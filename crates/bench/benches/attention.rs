@@ -1,0 +1,56 @@
+//! E6's criterion companion: dense vs sparse attention kernels over
+//! growing synthetic tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr::models::{sparse_attention, EncoderInput, SparseAxis, SparsePattern};
+use ntr::nn::init::SeededInit;
+use std::hint::black_box;
+
+fn grid_input(rows: usize, cols: usize) -> EncoderInput {
+    let mut input = EncoderInput {
+        ids: vec![2; 5],
+        rows: vec![0; 5],
+        cols: vec![0; 5],
+        segments: vec![0; 5],
+        kinds: vec![1; 5],
+        ranks: vec![0; 5],
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            input.ids.push(10);
+            input.rows.push(r + 1);
+            input.cols.push(c + 1);
+            input.segments.push(1);
+            input.kinds.push(3);
+            input.ranks.push(0);
+        }
+    }
+    input
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let d = 16usize;
+    let mut init = SeededInit::new(7);
+    let mut group = c.benchmark_group("attention");
+    for rows in [8usize, 32, 64] {
+        let input = grid_input(rows, 8);
+        let n = input.len();
+        let q = init.uniform(&[n, d], -1.0, 1.0);
+        let k = init.uniform(&[n, d], -1.0, 1.0);
+        let v = init.uniform(&[n, d], -1.0, 1.0);
+        let pattern = SparsePattern::from_input(&input, SparseAxis::Row);
+        group.bench_with_input(BenchmarkId::new("dense", rows), &rows, |b, _| {
+            b.iter(|| {
+                let scale = 1.0 / (d as f32).sqrt();
+                black_box(q.matmul_nt(&k).scale(scale).softmax_rows().matmul(&v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", rows), &rows, |b, _| {
+            b.iter(|| black_box(sparse_attention(&q, &k, &v, &pattern)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E2's timing companion: serialization + tokenization throughput per
+//! linearization strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::table::{
+    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer,
+    TemplateLinearizer, TurlLinearizer,
+};
+use std::hint::black_box;
+
+fn bench_linearizers(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: 12,
+            min_rows: 6,
+            max_rows: 8,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 1,
+        },
+    );
+    let tok = ntr::corpus::vocab::train_tokenizer(&corpus, &[], 1500);
+    let opts = LinearizerOptions::default();
+    let table = corpus.tables[0].clone();
+
+    let linearizers: Vec<Box<dyn Linearizer>> = vec![
+        Box::new(RowMajorLinearizer),
+        Box::new(TemplateLinearizer),
+        Box::new(ColumnMajorLinearizer),
+        Box::new(TapexLinearizer),
+        Box::new(TurlLinearizer),
+    ];
+    let mut group = c.benchmark_group("linearize");
+    for lin in &linearizers {
+        group.bench_with_input(BenchmarkId::from_parameter(lin.name()), &table, |b, t| {
+            b.iter(|| black_box(lin.linearize(t, &t.caption, &tok, &opts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate_entity_only(&world, &CorpusConfig::default());
+    let tok = ntr::corpus::vocab::train_tokenizer(&corpus, &[], 1500);
+    let t = &corpus.tables[0];
+    let encoded = TurlLinearizer.linearize(t, &t.caption, &tok, &LinearizerOptions::default());
+    let cfg = ntr::table::masking::MlmConfig::bert(tok.vocab_size());
+    c.bench_function("mask_mlm", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ntr::table::masking::mask_mlm(&encoded, &cfg, seed))
+        })
+    });
+    c.bench_function("mask_entities", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ntr::table::masking::mask_entities(&encoded, 0.3, seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_linearizers, bench_masking);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks for the tensor kernels every model is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr::nn::init::SeededInit;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut init = SeededInit::new(1);
+    for n in [32usize, 64, 128, 256] {
+        let a = init.uniform(&[n, n], -1.0, 1.0);
+        let b = init.uniform(&[n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_tn(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax_rows");
+    let mut init = SeededInit::new(2);
+    for n in [64usize, 256] {
+        let x = init.uniform(&[n, n], -4.0, 4.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(x.softmax_rows()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layernorm(c: &mut Criterion) {
+    let mut init = SeededInit::new(3);
+    let x = init.uniform(&[256, 64], -2.0, 2.0);
+    let mut ln = ntr::nn::LayerNorm::new(64);
+    c.bench_function("layernorm_256x64", |b| {
+        b.iter(|| black_box(ln.forward(&x)))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_layernorm);
+criterion_main!(benches);

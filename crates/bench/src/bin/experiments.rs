@@ -1,0 +1,62 @@
+//! Experiment runner: regenerates every figure/exercise of the paper.
+//!
+//! ```text
+//! cargo run -p ntr-bench --release --bin experiments -- all
+//! cargo run -p ntr-bench --release --bin experiments -- e1 e6 --scale=small
+//! ```
+//!
+//! Results print as markdown (paste-ready for EXPERIMENTS.md).
+
+use ntr_bench::experiments::registry;
+use ntr_bench::setup::{Scale, Setup};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut wanted: Vec<String> = Vec::new();
+    for a in &args {
+        if let Some(s) = a.strip_prefix("--scale=") {
+            scale = Scale::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown scale {s:?}; use small|full");
+                std::process::exit(2);
+            });
+        } else {
+            wanted.push(a.to_lowercase());
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("usage: experiments [--scale=small|full] <all|e1 e2 ...>");
+        eprintln!("\navailable experiments:");
+        for e in registry() {
+            eprintln!("  {:<4} {}", e.id, e.what);
+        }
+        std::process::exit(2);
+    }
+    let run_all = wanted.iter().any(|w| w == "all");
+
+    println!("# ntr experiment run (scale: {scale:?})\n");
+    let setup_start = Instant::now();
+    let setup = Setup::standard(scale);
+    println!(
+        "setup: {} entities, {} mixed tables, {} entity tables, vocab {} ({:.1}s)\n",
+        setup.world.n_entities(),
+        setup.corpus.len(),
+        setup.entity_corpus.len(),
+        setup.tok.vocab_size(),
+        setup_start.elapsed().as_secs_f64()
+    );
+
+    for e in registry() {
+        if !run_all && !wanted.contains(&e.id.to_string()) {
+            continue;
+        }
+        println!("## {} — {}\n", e.id.to_uppercase(), e.what);
+        let start = Instant::now();
+        let reports = (e.run)(&setup);
+        for r in &reports {
+            r.print();
+        }
+        println!("_{} completed in {:.1}s_\n", e.id, start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,78 @@
+//! E2 — Fig 2b: table processing and encoding.
+//!
+//! Compare the five serialization strategies across the whole corpus:
+//! sequence length, cell coverage under a fixed token budget, rows lost to
+//! truncation, and round-trip fidelity (does the decoded sequence still
+//! contain the cell text?).
+
+use crate::report::{f3, Report};
+use crate::setup::Setup;
+use ntr::table::{
+    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer,
+    TemplateLinearizer, TurlLinearizer,
+};
+
+pub fn run(setup: &Setup) -> Vec<Report> {
+    let linearizers: Vec<Box<dyn Linearizer>> = vec![
+        Box::new(RowMajorLinearizer),
+        Box::new(TemplateLinearizer),
+        Box::new(ColumnMajorLinearizer),
+        Box::new(TapexLinearizer),
+        Box::new(TurlLinearizer),
+    ];
+    let mut reports = Vec::new();
+    for budget in [96usize, 256] {
+        let opts = LinearizerOptions {
+            max_tokens: budget,
+            ..Default::default()
+        };
+        let mut report = Report::new(
+            format!("E2 — serialization strategies (Fig 2b), budget {budget} tokens"),
+            &["strategy", "mean tokens", "cell coverage", "rows dropped", "roundtrip"],
+        );
+        report.note(format!(
+            "averaged over {} corpus tables; roundtrip = fraction of encoded cells whose text \
+             survives decode (numeric sub-wording collapses whitespace)",
+            setup.corpus.len()
+        ));
+        for lin in &linearizers {
+            let mut tokens = 0usize;
+            let mut total_cells = 0usize;
+            let mut covered_cells = 0usize;
+            let mut dropped_rows = 0usize;
+            let mut roundtrip_hits = 0usize;
+            let mut roundtrip_total = 0usize;
+            for t in &setup.corpus.tables {
+                let e = lin.linearize(t, &t.caption, &setup.tok, &opts);
+                tokens += e.len();
+                total_cells += t.n_rows() * t.n_cols();
+                dropped_rows += e.truncated_rows();
+                let decoded = setup.tok.decode(e.ids()).replace(' ', "");
+                for (coord, _) in e.cells() {
+                    covered_cells += 1;
+                    let text = t
+                        .cell(coord.0, coord.1)
+                        .text()
+                        .to_lowercase()
+                        .replace(' ', "");
+                    if !text.is_empty() {
+                        roundtrip_total += 1;
+                        if decoded.contains(&text) {
+                            roundtrip_hits += 1;
+                        }
+                    }
+                }
+            }
+            let n = setup.corpus.len() as f64;
+            report.row(&[
+                lin.name().to_string(),
+                format!("{:.0}", tokens as f64 / n),
+                f3(covered_cells as f64 / total_cells.max(1) as f64),
+                format!("{:.1}", dropped_rows as f64 / n),
+                f3(roundtrip_hits as f64 / roundtrip_total.max(1) as f64),
+            ]);
+        }
+        reports.push(report);
+    }
+    reports
+}

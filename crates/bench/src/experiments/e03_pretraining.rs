@@ -1,0 +1,69 @@
+//! E3 — Fig 2c: pretraining and output encoding.
+//!
+//! TURL pretraining with both objectives (MLM + masked entity recovery):
+//! loss/accuracy trajectory, compared against an MLM-only BERT baseline on
+//! the same corpus.
+
+use crate::report::{f3, Report};
+use crate::setup::Setup;
+use ntr::models::{Turl, VanillaBert};
+use ntr::tasks::pretrain::{pretrain_mlm, pretrain_turl, PretrainReport};
+use ntr::tasks::TrainConfig;
+
+fn quartiles(xs: &[f32]) -> [f32; 4] {
+    if xs.is_empty() {
+        return [0.0; 4];
+    }
+    let q = xs.len().div_ceil(4).max(1);
+    let mut out = [0.0f32; 4];
+    for (k, chunk) in xs.chunks(q).take(4).enumerate() {
+        out[k] = chunk.iter().sum::<f32>() / chunk.len() as f32;
+    }
+    out
+}
+
+fn curve_rows(report: &mut Report, name: &str, loss: &[f32], acc: &[f32]) {
+    let lq = quartiles(loss);
+    let aq = quartiles(acc);
+    for k in 0..4 {
+        report.row(&[
+            name.to_string(),
+            format!("Q{}", k + 1),
+            f3(lq[k] as f64),
+            f3(aq[k] as f64),
+        ]);
+    }
+}
+
+pub fn run(setup: &Setup) -> Vec<Report> {
+    let cfg = setup.model_config();
+    let tc = TrainConfig {
+        epochs: setup.epochs(6, 20),
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 0x3E3,
+    };
+
+    let mut turl = Turl::new(&cfg);
+    let turl_report: PretrainReport =
+        pretrain_turl(&mut turl, &setup.entity_corpus, &setup.tok, &tc, 192);
+
+    let mut bert = VanillaBert::new(&cfg);
+    let bert_report = pretrain_mlm(&mut bert, &setup.entity_corpus, &setup.tok, &tc, 192);
+
+    let mut report = Report::new(
+        "E3 — pretraining trajectories (Fig 2c): loss/accuracy by training quartile",
+        &["objective", "quartile", "loss", "masked-recovery acc"],
+    );
+    report.note(format!(
+        "{} entity tables, {} epochs, {} optimizer steps (TURL)",
+        setup.entity_corpus.len(),
+        tc.epochs,
+        turl_report.mlm_loss.len()
+    ));
+    curve_rows(&mut report, "turl mlm", &turl_report.mlm_loss, &turl_report.mlm_acc);
+    curve_rows(&mut report, "turl mer", &turl_report.mer_loss, &turl_report.mer_acc);
+    curve_rows(&mut report, "bert mlm", &bert_report.mlm_loss, &bert_report.mlm_acc);
+    vec![report]
+}

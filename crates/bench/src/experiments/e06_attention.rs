@@ -1,0 +1,100 @@
+//! E6 — MATE's efficiency claim (§2.3): sparse row/column attention scales
+//! better than dense attention as tables grow.
+//!
+//! For synthetic tables of growing row counts we time (a) dense attention
+//! over the full sequence and (b) the genuinely sparse kernel, and report
+//! visited (query, key) pairs — the asymptotic driver.
+
+use crate::report::{f1, Report};
+use crate::setup::Setup;
+use ntr::models::{sparse_attention, EncoderInput, SparseAxis, SparsePattern};
+use ntr::nn::init::SeededInit;
+use std::time::Instant;
+
+/// Builds the metadata of a synthetic `rows x cols` grid with a small
+/// context prefix (5 tokens), 1 token per cell.
+fn grid_input(rows: usize, cols: usize) -> EncoderInput {
+    let mut input = EncoderInput {
+        ids: Vec::new(),
+        rows: Vec::new(),
+        cols: Vec::new(),
+        segments: Vec::new(),
+        kinds: Vec::new(),
+        ranks: Vec::new(),
+    };
+    for _ in 0..5 {
+        input.ids.push(2);
+        input.rows.push(0);
+        input.cols.push(0);
+        input.segments.push(0);
+        input.kinds.push(1);
+        input.ranks.push(0);
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            input.ids.push(10);
+            input.rows.push(r + 1);
+            input.cols.push(c + 1);
+            input.segments.push(1);
+            input.kinds.push(3);
+            input.ranks.push(0);
+        }
+    }
+    input
+}
+
+fn time_us(mut f: impl FnMut(), reps: usize) -> f64 {
+    // Warm up once, then take the best of `reps` to suppress noise.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let s = Instant::now();
+        f();
+        best = best.min(s.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+pub fn run(_setup: &Setup) -> Vec<Report> {
+    let d_head = 16;
+    let cols = 8;
+    let mut report = Report::new(
+        "E6 — dense vs sparse attention scaling (MATE, §2.3)",
+        &["rows", "seq len", "dense pairs", "sparse pairs", "dense µs", "sparse µs", "speedup"],
+    );
+    report.note("one attention head, d_head = 16, 8 columns, 1 token/cell; best of 5 runs");
+
+    let mut init = SeededInit::new(0x6A);
+    for rows in [4usize, 8, 16, 32, 64, 96] {
+        let input = grid_input(rows, cols);
+        let n = input.len();
+        let q = init.uniform(&[n, d_head], -1.0, 1.0);
+        let k = init.uniform(&[n, d_head], -1.0, 1.0);
+        let v = init.uniform(&[n, d_head], -1.0, 1.0);
+        let pattern = SparsePattern::from_input(&input, SparseAxis::Row);
+
+        let dense_us = time_us(
+            || {
+                let scale = 1.0 / (d_head as f32).sqrt();
+                let _ = q.matmul_nt(&k).scale(scale).softmax_rows().matmul(&v);
+            },
+            5,
+        );
+        let sparse_us = time_us(
+            || {
+                let _ = sparse_attention(&q, &k, &v, &pattern);
+            },
+            5,
+        );
+        report.row(&[
+            rows.to_string(),
+            n.to_string(),
+            (n * n).to_string(),
+            pattern.n_pairs().to_string(),
+            f1(dense_us),
+            f1(sparse_us),
+            format!("{:.2}x", dense_us / sparse_us),
+        ]);
+    }
+    vec![report]
+}

@@ -1,0 +1,74 @@
+//! E8 — the context-placement ablation the survey notes (§2.3): "context
+//! followed by serialized table vs. table appended by context".
+//!
+//! The same QA selector is trained and evaluated under both placements.
+
+use crate::report::{f3, Report};
+use crate::setup::Setup;
+use ntr::corpus::datasets::QaDataset;
+use ntr::corpus::Split;
+use ntr::models::Tapas;
+use ntr::table::{ContextPosition, LinearizerOptions};
+use ntr::tasks::pretrain::pretrain_mlm;
+use ntr::tasks::qa::{evaluate, finetune, snapshot_dataset, CellSelector};
+use ntr::tasks::TrainConfig;
+
+pub fn run(setup: &Setup) -> Vec<Report> {
+    let cfg = setup.model_config();
+    let ds = snapshot_dataset(&QaDataset::build(&setup.corpus, 5, 0x8A1), 2);
+
+    let mut report = Report::new(
+        "E8 — context before vs after the serialized table (QA accuracy)",
+        &["context position", "coord acc", "denotation acc", "n"],
+    );
+    report.note(format!(
+        "{} snapshot QA examples; identical model/pretraining/fine-tuning budgets",
+        ds.examples.len()
+    ));
+
+    for (name, position) in [
+        ("before table", ContextPosition::Before),
+        ("after table", ContextPosition::After),
+    ] {
+        let opts = LinearizerOptions {
+            max_tokens: 160,
+            context_position: position,
+        };
+        let mut encoder = Tapas::new(&cfg);
+        pretrain_mlm(
+            &mut encoder,
+            &setup.corpus,
+            &setup.tok,
+            &TrainConfig {
+                epochs: setup.epochs(4, 10),
+                lr: 3e-3,
+                batch_size: 8,
+                warmup_frac: 0.1,
+                seed: 0x8A2,
+            },
+            160,
+        );
+        let mut model = CellSelector::new(encoder, 0x8A3);
+        finetune(
+            &mut model,
+            &ds,
+            &setup.tok,
+            &TrainConfig {
+                epochs: setup.epochs(6, 15),
+                lr: 1e-3,
+                batch_size: 8,
+                warmup_frac: 0.1,
+                seed: 0x8A4,
+            },
+            &opts,
+        );
+        let eval = evaluate(&mut model, &ds, Split::Test, &setup.tok, &opts);
+        report.row(&[
+            name.to_string(),
+            f3(eval.coord_accuracy),
+            f3(eval.denotation_accuracy),
+            eval.n.to_string(),
+        ]);
+    }
+    vec![report]
+}

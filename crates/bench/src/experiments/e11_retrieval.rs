@@ -1,0 +1,91 @@
+//! E11 — §2.1 table retrieval: dense bi-encoder (zero-shot and
+//! contrastively fine-tuned) vs. the lexical tf-idf baseline.
+
+use crate::report::{f3, Report};
+use crate::setup::Setup;
+use ntr::corpus::datasets::RetrievalDataset;
+use ntr::corpus::Split;
+use ntr::models::VanillaBert;
+use ntr::table::LinearizerOptions;
+use ntr::tasks::pretrain::pretrain_mlm;
+use ntr::tasks::retrieval::{evaluate_dense, finetune_contrastive, RetrievalEval, TfIdfIndex};
+use ntr::tasks::TrainConfig;
+
+fn row(report: &mut Report, name: &str, e: &RetrievalEval) {
+    report.row(&[
+        name.to_string(),
+        f3(e.mrr),
+        f3(e.ndcg5),
+        f3(e.hits1),
+        e.n.to_string(),
+    ]);
+}
+
+pub fn run(setup: &Setup) -> Vec<Report> {
+    let cfg = setup.model_config();
+    let ds = RetrievalDataset::build(setup.corpus.clone(), 4, 0xB01);
+    let opts = LinearizerOptions {
+        max_tokens: 160,
+        ..Default::default()
+    };
+
+    let mut report = Report::new(
+        "E11 — table retrieval over the corpus pool",
+        &["system", "MRR", "NDCG@5", "Hits@1", "queries"],
+    );
+    report.note(format!(
+        "pool of {} tables, {} disambiguated queries (test split reported)",
+        ds.corpus.len(),
+        ds.queries.len()
+    ));
+
+    let index = TfIdfIndex::build(&ds);
+    row(&mut report, "tf-idf (lexical)", &index.evaluate(&ds, Split::Test));
+
+    let mut model = VanillaBert::new(&cfg);
+    row(
+        &mut report,
+        "dense untrained",
+        &evaluate_dense(&mut model, &ds, Split::Test, &setup.tok, &opts),
+    );
+
+    pretrain_mlm(
+        &mut model,
+        &setup.corpus,
+        &setup.tok,
+        &TrainConfig {
+            epochs: setup.epochs(4, 12),
+            lr: 3e-3,
+            batch_size: 8,
+            warmup_frac: 0.1,
+            seed: 0xB02,
+        },
+        160,
+    );
+    row(
+        &mut report,
+        "dense MLM-pretrained",
+        &evaluate_dense(&mut model, &ds, Split::Test, &setup.tok, &opts),
+    );
+
+    finetune_contrastive(
+        &mut model,
+        &ds,
+        &setup.tok,
+        &TrainConfig {
+            epochs: setup.epochs(2, 4),
+            lr: 1e-3,
+            batch_size: 4,
+            warmup_frac: 0.1,
+            seed: 0xB03,
+        },
+        &opts,
+        3,
+    );
+    row(
+        &mut report,
+        "dense contrastive",
+        &evaluate_dense(&mut model, &ds, Split::Test, &setup.tok, &opts),
+    );
+    vec![report]
+}

@@ -1,0 +1,74 @@
+//! E13 (extension) — TAPAS's weak-supervision setting: predict an
+//! aggregation operator and a target column, answer by executing the
+//! predicted program. Exercises the aggregation head the TAPAS paper adds
+//! at the survey's "output level".
+
+use crate::report::{f3, Report};
+use crate::setup::Setup;
+use ntr::corpus::Split;
+use ntr::models::Tapas;
+use ntr::table::LinearizerOptions;
+use ntr::tasks::aggqa::{baseline_keyword, evaluate, finetune, AggQaDataset, AggregationQa};
+use ntr::tasks::pretrain::pretrain_mlm;
+use ntr::tasks::TrainConfig;
+
+pub fn run(setup: &Setup) -> Vec<Report> {
+    let ds = AggQaDataset::build(&setup.corpus, 5, 0xD01);
+    let extra: Vec<String> = ds.examples.iter().map(|e| e.question.clone()).collect();
+    let tok = ntr::corpus::vocab::train_tokenizer(&setup.corpus, &extra, 2400);
+    let cfg = ntr::models::ModelConfig {
+        vocab_size: tok.vocab_size(),
+        ..setup.model_config()
+    };
+    let opts = LinearizerOptions {
+        max_tokens: 160,
+        ..Default::default()
+    };
+
+    let mut encoder = Tapas::new(&cfg);
+    pretrain_mlm(
+        &mut encoder,
+        &setup.corpus,
+        &tok,
+        &TrainConfig {
+            epochs: setup.epochs(4, 10),
+            lr: 3e-3,
+            batch_size: 8,
+            warmup_frac: 0.1,
+            seed: 0xD02,
+        },
+        160,
+    );
+    let mut model = AggregationQa::new(encoder, 0xD03);
+    let untrained = evaluate(&mut model, &ds, Split::Test, &tok, &opts);
+    finetune(
+        &mut model,
+        &ds,
+        &tok,
+        &TrainConfig {
+            epochs: setup.epochs(6, 15),
+            lr: 1e-3,
+            batch_size: 8,
+            warmup_frac: 0.1,
+            seed: 0xD04,
+        },
+        &opts,
+    );
+    let tuned = evaluate(&mut model, &ds, Split::Test, &tok, &opts);
+    let keyword = baseline_keyword(&ds, Split::Test);
+
+    let mut report = Report::new(
+        "E13 — aggregation QA (TAPAS weak supervision): operator + column + execution",
+        &["system", "op acc", "col acc", "denotation acc"],
+    );
+    report.note(format!(
+        "{} aggregate questions ({} evaluated on test); predicted programs \
+         executed by ntr-sql",
+        ds.examples.len(),
+        tuned.n
+    ));
+    report.row(&["tapas untrained".into(), f3(untrained.op_accuracy), f3(untrained.col_accuracy), f3(untrained.denotation_accuracy)]);
+    report.row(&["tapas fine-tuned".into(), f3(tuned.op_accuracy), f3(tuned.col_accuracy), f3(tuned.denotation_accuracy)]);
+    report.row(&["keyword baseline".into(), f3(keyword.op_accuracy), f3(keyword.col_accuracy), f3(keyword.denotation_accuracy)]);
+    vec![report]
+}

@@ -1,0 +1,107 @@
+//! The experiment suite (DESIGN.md §2): every runnable artifact of the
+//! paper mapped to a function. Each experiment takes the shared
+//! [`Setup`](crate::setup::Setup) and returns markdown [`Report`]s.
+
+use crate::report::Report;
+use crate::setup::Setup;
+
+mod e01_offtheshelf;
+mod e02_serialization;
+mod e03_pretraining;
+mod e04_imputation;
+mod e05_dimensions;
+mod e06_attention;
+mod e07_serialization_ablation;
+mod e08_context_position;
+mod e09_qa;
+mod e10_tapex;
+mod e11_retrieval;
+mod e12_consistency;
+mod e13_aggregation;
+mod e14_embedding_ablation;
+
+/// An experiment: id, description, and runner.
+pub struct Experiment {
+    /// Short id (`e1`…`e12`).
+    pub id: &'static str,
+    /// What the experiment reproduces.
+    pub what: &'static str,
+    /// Runner.
+    pub run: fn(&Setup) -> Vec<Report>,
+}
+
+/// The full registry in id order.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            what: "Fig 2a — off-the-shelf model inputs and outputs",
+            run: e01_offtheshelf::run,
+        },
+        Experiment {
+            id: "e2",
+            what: "Fig 2b — table processing and encoding",
+            run: e02_serialization::run,
+        },
+        Experiment {
+            id: "e3",
+            what: "Fig 2c — TURL pretraining (MLM + MER)",
+            run: e03_pretraining::run,
+        },
+        Experiment {
+            id: "e4",
+            what: "Fig 2d — fine-tuning for data imputation + failure slices",
+            run: e04_imputation::run,
+        },
+        Experiment {
+            id: "e5",
+            what: "§2.3 survey dimension matrix across model families",
+            run: e05_dimensions::run,
+        },
+        Experiment {
+            id: "e6",
+            what: "§2.3 MATE — sparse attention efficiency",
+            run: e06_attention::run,
+        },
+        Experiment {
+            id: "e7",
+            what: "§2.3 ablation — row vs column serialization",
+            run: e07_serialization_ablation::run,
+        },
+        Experiment {
+            id: "e8",
+            what: "§2.3 ablation — context-then-table vs table-then-context",
+            run: e08_context_position::run,
+        },
+        Experiment {
+            id: "e9",
+            what: "§2.1 QA demo — cell selection vs lexical baseline",
+            run: e09_qa::run,
+        },
+        Experiment {
+            id: "e10",
+            what: "§2.1 TAPEX neural SQL execution + text-to-SQL",
+            run: e10_tapex::run,
+        },
+        Experiment {
+            id: "e11",
+            what: "§2.1 table retrieval — dense vs tf-idf",
+            run: e11_retrieval::run,
+        },
+        Experiment {
+            id: "e12",
+            what: "§2.4 representation-consistency probes",
+            run: e12_consistency::run,
+        },
+        Experiment {
+            id: "e13",
+            what: "extension — TAPAS aggregation weak supervision",
+            run: e13_aggregation::run,
+        },
+        Experiment {
+            id: "e14",
+            what: "extension — structural-embedding ablation",
+            run: e14_embedding_ablation::run,
+        },
+    ]
+}

@@ -1,0 +1,114 @@
+//! Markdown report rendering for experiment results.
+
+use std::fmt::Write as _;
+
+/// A markdown table under a heading, built row by row.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    notes: Vec<String>,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// New report with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            notes: Vec::new(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a free-text note shown under the title.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
+    }
+
+    /// Adds one row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "report row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the report as markdown.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "{n}");
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+        }
+        // Column widths for aligned output.
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", line(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut r = Report::new("T", &["model", "acc"]);
+        r.note("a note");
+        r.row(&["bert".into(), f3(0.5)]);
+        r.row(&["tapas-long".into(), f3(1.0)]);
+        let s = r.render();
+        assert!(s.contains("### T"));
+        assert!(s.contains("a note"));
+        assert!(s.contains("| bert       | 0.500 |"));
+        assert!(s.contains("| tapas-long | 1.000 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_wrong_arity() {
+        let mut r = Report::new("T", &["a", "b"]);
+        r.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Shared experiment setup: standard worlds, corpora, tokenizers and model
+//! configurations, all derived from fixed seeds so every experiment is
+//! reproducible bit-for-bit.
+
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::models::ModelConfig;
+use ntr::tokenizer::WordPieceTokenizer;
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small: seconds per experiment (CI-friendly).
+    Small,
+    /// Full: the scale EXPERIMENTS.md records (minutes per experiment).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale=small|full` style values.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    fn tables(self) -> usize {
+        match self {
+            Scale::Small => 24,
+            Scale::Full => 90,
+        }
+    }
+}
+
+/// Everything an experiment needs: world, corpora, tokenizer, model config.
+pub struct Setup {
+    /// The knowledge base.
+    pub world: World,
+    /// Mixed corpus (all table kinds).
+    pub corpus: TableCorpus,
+    /// Entity-only corpus (for MER/linking).
+    pub entity_corpus: TableCorpus,
+    /// Tokenizer trained over the mixed corpus.
+    pub tok: WordPieceTokenizer,
+    /// Scale preset used.
+    pub scale: Scale,
+}
+
+impl Setup {
+    /// Builds the standard experiment setup.
+    pub fn standard(scale: Scale) -> Setup {
+        let world = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &world,
+            &CorpusConfig {
+                n_tables: scale.tables(),
+                min_rows: 4,
+                max_rows: 7,
+                null_prob: 0.02,
+                headerless_prob: 0.1,
+                seed: 0xE0,
+            },
+        );
+        let entity_corpus = TableCorpus::generate_entity_only(
+            &world,
+            &CorpusConfig {
+                n_tables: scale.tables(),
+                min_rows: 4,
+                max_rows: 7,
+                null_prob: 0.0,
+                headerless_prob: 0.0,
+                seed: 0xE1,
+            },
+        );
+        let tok = ntr::corpus::vocab::train_tokenizer(&corpus, &[], 2200);
+        Setup {
+            world,
+            corpus,
+            entity_corpus,
+            tok,
+            scale,
+        }
+    }
+
+    /// The standard model configuration for this setup's vocabulary.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig {
+            vocab_size: self.tok.vocab_size(),
+            n_entities: self.world.n_entities(),
+            d_model: 64,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            max_seq: 256,
+            max_rows: 32,
+            max_cols: 16,
+            dropout: 0.1,
+            seed: 42,
+        }
+    }
+
+    /// Training epochs scaled to the preset.
+    pub fn epochs(&self, small: usize, full: usize) -> usize {
+        match self.scale {
+            Scale::Small => small,
+            Scale::Full => full,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_setup_is_consistent() {
+        let s = Setup::standard(Scale::Small);
+        assert_eq!(s.corpus.len(), 24);
+        assert!(s.tok.vocab_size() > 100);
+        s.model_config().validate();
+        assert_eq!(s.epochs(1, 5), 1);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("x"), None);
+    }
+}

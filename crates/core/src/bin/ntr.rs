@@ -1,0 +1,212 @@
+//! `ntr` — command-line interface to the neural-table-representation
+//! pipeline: inspect a CSV, preview its serializations, run mini-SQL over
+//! it, or encode it with any model family.
+//!
+//! ```text
+//! ntr inspect   data/countries.csv
+//! ntr serialize data/countries.csv --strategy tapex --max-tokens 64
+//! ntr query     data/countries.csv "SELECT Capital FROM t WHERE Country = 'France'"
+//! ntr encode    data/countries.csv --model tapas --context "population by country"
+//! ```
+
+use ntr::pipeline::Pipeline;
+use ntr::sql::{execute, parse_query};
+use ntr::table::{
+    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
+    TapexLinearizer, TemplateLinearizer, TurlLinearizer,
+};
+use ntr::zoo::{build_model, ModelKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ntr inspect   <table.csv> [--no-header]
+  ntr serialize <table.csv> [--strategy row-major|template|column-major|tapex|turl]
+                            [--max-tokens N] [--context TEXT] [--no-header]
+  ntr query     <table.csv> <SQL> [--no-header]
+  ntr encode    <table.csv> [--model bert|tapas|turl|mate] [--context TEXT] [--no-header]
+
+  --no-header: treat the first CSV record as data and use synthetic col0..N names";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "inspect" => inspect(rest),
+        "serialize" => serialize(rest),
+        "query" => query(rest),
+        "encode" => encode(rest),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load_table(rest: &[String]) -> Result<(Table, Vec<String>), String> {
+    let (path, flags) = rest.split_first().ok_or("missing <table.csv>")?;
+    let table = if flags.iter().any(|f| f == "--no-header") {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let id = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "table".to_string());
+        Table::from_csv_str(&id, &text, false).map_err(|e| e.to_string())?
+    } else {
+        Table::from_csv_path(Path::new(path)).map_err(|e| e.to_string())?
+    };
+    Ok((table, flags.to_vec()))
+}
+
+fn flag_value<'a>(flags: &'a [String], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .position(|f| f == name)
+        .and_then(|i| flags.get(i + 1))
+        .map(String::as_str)
+        // Another flag in value position means the value was omitted.
+        .filter(|v| !v.starts_with("--"))
+}
+
+fn inspect(rest: &[String]) -> Result<(), String> {
+    let (table, _) = load_table(rest)?;
+    println!(
+        "table `{}`: {} rows x {} cols, {:.0}% null, headers {}",
+        table.id,
+        table.n_rows(),
+        table.n_cols(),
+        table.null_fraction() * 100.0,
+        if table.is_headerless() { "synthetic" } else { "descriptive" }
+    );
+    println!("\ncolumns:");
+    for (i, col) in table.columns().iter().enumerate() {
+        let sample = if table.n_rows() > 0 {
+            table.cell(0, i).text()
+        } else {
+            ""
+        };
+        println!(
+            "  {i:>2}  {:<20} {:<8} e.g. {sample:?}",
+            col.name,
+            col.sem_type.name()
+        );
+    }
+    Ok(())
+}
+
+fn serialize(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    let strategy = flag_value(&flags, "--strategy").unwrap_or("row-major");
+    let lin: Box<dyn Linearizer + Send + Sync> = match strategy {
+        "row-major" => Box::new(RowMajorLinearizer),
+        "template" => Box::new(TemplateLinearizer),
+        "column-major" => Box::new(ColumnMajorLinearizer),
+        "tapex" => Box::new(TapexLinearizer),
+        "turl" => Box::new(TurlLinearizer),
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    let max_tokens: usize = flag_value(&flags, "--max-tokens")
+        .map(|v| v.parse().map_err(|_| format!("bad --max-tokens {v:?}")))
+        .transpose()?
+        .unwrap_or(256);
+    let context = flag_value(&flags, "--context").unwrap_or(&table.caption).to_string();
+
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(std::slice::from_ref(&table))
+        .vocab_from_texts(std::slice::from_ref(&context))
+        .linearizer(lin)
+        .options(LinearizerOptions {
+            max_tokens,
+            ..Default::default()
+        })
+        .build();
+    let e = pipeline.serialize(&table, &context);
+    println!(
+        "strategy {} | {} tokens | {} rows encoded | {} rows truncated\n",
+        e.linearizer(),
+        e.len(),
+        e.n_rows_encoded(),
+        e.truncated_rows()
+    );
+    println!("{:>4} {:<14} {:>3} {:>3} {:>4} {:<9}", "pos", "token", "row", "col", "rank", "kind");
+    for (i, (&id, m)) in e.ids().iter().zip(e.meta()).enumerate() {
+        let kind = match m.kind {
+            ntr::table::TokenKind::Special => "special",
+            ntr::table::TokenKind::Context => "context",
+            ntr::table::TokenKind::Header => "header",
+            ntr::table::TokenKind::Cell => "cell",
+            ntr::table::TokenKind::Template => "template",
+        };
+        println!(
+            "{i:>4} {:<14} {:>3} {:>3} {:>4} {kind:<9}",
+            pipeline.tokenizer().vocab().token_of(id),
+            m.row,
+            m.col,
+            m.rank
+        );
+    }
+    Ok(())
+}
+
+fn query(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    // The SQL is the first positional (non-flag) argument, so flags may
+    // appear on either side of it.
+    let sql = flags
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing SQL (quote it)")?;
+    let q = parse_query(sql).map_err(|e| e.to_string())?;
+    let ans = execute(&q, &table).map_err(|e| e.to_string())?;
+    for v in &ans.values {
+        println!("{v}");
+    }
+    eprintln!("({} value(s))", ans.values.len());
+    Ok(())
+}
+
+fn encode(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    let kind = match flag_value(&flags, "--model").unwrap_or("tapas") {
+        "bert" => ModelKind::Bert,
+        "tapas" => ModelKind::Tapas,
+        "turl" => ModelKind::Turl,
+        "mate" => ModelKind::Mate,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let context = flag_value(&flags, "--context").unwrap_or(&table.caption).to_string();
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(std::slice::from_ref(&table))
+        .vocab_from_texts(std::slice::from_ref(&context))
+        .build();
+    let mut model = build_model(kind, &pipeline.default_config());
+    let enc = pipeline.encode(model.as_mut(), &table, &context);
+    println!(
+        "model {} | {} tokens -> states {:?} | table embedding norm {:.3}",
+        kind.name(),
+        enc.encoded.len(),
+        enc.states.shape(),
+        enc.table_embedding().norm()
+    );
+    println!("\ncell-embedding cosine to cell (0,0):");
+    for r in 0..table.n_rows().min(6) {
+        let mut line = String::new();
+        for c in 0..table.n_cols().min(8) {
+            match enc.cell_similarity((0, 0), (r, c)) {
+                Some(cos) => line.push_str(&format!("{cos:+.2} ")),
+                None => line.push_str("  --  "),
+            }
+        }
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! The end-to-end pipeline: tokenizer + linearizer + encoder → table
+//! representations at every granularity the survey discusses (cell, row,
+//! column, table).
+
+use ntr_models::{EncoderInput, ModelConfig, SequenceEncoder};
+use ntr_table::{
+    EncodedTable, Linearizer, LinearizerOptions, RowMajorLinearizer, Table, TokenKind,
+};
+use ntr_tensor::Tensor;
+use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+
+/// A configured encode pipeline (the paper's "Input Processing" module
+/// plus model invocation).
+pub struct Pipeline {
+    tokenizer: WordPieceTokenizer,
+    linearizer: Box<dyn Linearizer + Send + Sync>,
+    opts: LinearizerOptions,
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    vocab_docs: Vec<String>,
+    vocab_size: usize,
+    linearizer: Box<dyn Linearizer + Send + Sync>,
+    opts: LinearizerOptions,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self {
+            vocab_docs: Vec::new(),
+            vocab_size: 2000,
+            linearizer: Box::new(RowMajorLinearizer),
+            opts: LinearizerOptions::default(),
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Adds tables whose text trains the WordPiece vocabulary.
+    pub fn vocab_from_tables(mut self, tables: &[Table]) -> Self {
+        for t in tables {
+            self.vocab_docs.push(ntr_corpus::vocab::table_text(t));
+        }
+        // Structural symbols and digits must always be known.
+        self.vocab_docs.extend(std::iter::repeat_n(
+            "| : ; , . ? row col is the of what 0 1 2 3 4 5 6 7 8 9".to_string(),
+            8,
+        ));
+        self
+    }
+
+    /// Adds free-text documents (questions, claims) to vocabulary training.
+    pub fn vocab_from_texts(mut self, texts: &[String]) -> Self {
+        self.vocab_docs.extend_from_slice(texts);
+        self
+    }
+
+    /// Uses an already-trained tokenizer instead of training one.
+    pub fn build_with_tokenizer(self, tokenizer: WordPieceTokenizer) -> Pipeline {
+        Pipeline {
+            tokenizer,
+            linearizer: self.linearizer,
+            opts: self.opts,
+        }
+    }
+
+    /// Target vocabulary size (default 2000).
+    pub fn vocab_size(mut self, size: usize) -> Self {
+        self.vocab_size = size;
+        self
+    }
+
+    /// Overrides the serialization strategy (default row-major).
+    pub fn linearizer(mut self, lin: Box<dyn Linearizer + Send + Sync>) -> Self {
+        self.linearizer = lin;
+        self
+    }
+
+    /// Overrides linearizer options (token budget, context position).
+    pub fn options(mut self, opts: LinearizerOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Trains the vocabulary and finalizes the pipeline.
+    pub fn build(self) -> Pipeline {
+        let vocab = WordPieceTrainer::new(self.vocab_size)
+            .train(self.vocab_docs.iter().map(String::as_str));
+        Pipeline {
+            tokenizer: WordPieceTokenizer::new(vocab),
+            linearizer: self.linearizer,
+            opts: self.opts,
+        }
+    }
+}
+
+impl Pipeline {
+    /// Starts a builder.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// The tokenizer.
+    pub fn tokenizer(&self) -> &WordPieceTokenizer {
+        &self.tokenizer
+    }
+
+    /// The linearizer options in use.
+    pub fn options(&self) -> &LinearizerOptions {
+        &self.opts
+    }
+
+    /// A model config matched to this pipeline's vocabulary.
+    pub fn default_config(&self) -> ModelConfig {
+        ModelConfig {
+            vocab_size: self.tokenizer.vocab_size(),
+            ..ModelConfig::default()
+        }
+    }
+
+    /// Serializes (without encoding) — the §3.2 inspection step.
+    pub fn serialize(&self, table: &Table, context: &str) -> EncodedTable {
+        self.linearizer
+            .linearize(table, context, &self.tokenizer, &self.opts)
+    }
+
+    /// Full encode: serialize, run the model, package the representations.
+    pub fn encode(
+        &self,
+        model: &mut dyn SequenceEncoder,
+        table: &Table,
+        context: &str,
+    ) -> TableEncoding {
+        let encoded = self.serialize(table, context);
+        let input = EncoderInput::from_encoded(&encoded);
+        let states = model.encode(&input, false);
+        TableEncoding { encoded, states }
+    }
+}
+
+/// The output representations of one table encoding, at every granularity
+/// (the survey's "Output Model Representation" dimension).
+pub struct TableEncoding {
+    /// The serialized table (ids + structural metadata + spans).
+    pub encoded: EncodedTable,
+    /// Hidden states, `[seq_len, d_model]`.
+    pub states: Tensor,
+}
+
+impl TableEncoding {
+    /// Table-level representation: the `[CLS]` state, `[1, d]`.
+    pub fn table_embedding(&self) -> Tensor {
+        self.states.rows(0, 1)
+    }
+
+    /// Cell-level representation (mean over the cell's tokens), if the
+    /// cell survived truncation.
+    pub fn cell_embedding(&self, row: usize, col: usize) -> Option<Tensor> {
+        let span = self.encoded.cell_span(row, col)?;
+        Some(ntr_models::pool_mean(&self.states, &span))
+    }
+
+    /// Row-level representation: mean over the row's cell tokens.
+    pub fn row_embedding(&self, row: usize) -> Option<Tensor> {
+        self.pool_where(|m| m.row == row + 1 && m.kind == TokenKind::Cell)
+    }
+
+    /// Column-level representation: mean over the column's cell tokens.
+    pub fn column_embedding(&self, col: usize) -> Option<Tensor> {
+        self.pool_where(|m| m.col == col + 1 && m.kind == TokenKind::Cell)
+    }
+
+    fn pool_where(&self, keep: impl Fn(&ntr_table::TokenMeta) -> bool) -> Option<Tensor> {
+        let d = self.states.dim(1);
+        let mut sum = Tensor::zeros(&[1, d]);
+        let mut n = 0usize;
+        for (i, m) in self.encoded.meta().iter().enumerate() {
+            if keep(m) {
+                for j in 0..d {
+                    sum.data_mut()[j] += self.states.at(&[i, j]);
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum.scale(1.0 / n as f32))
+        }
+    }
+
+    /// Cosine similarity between two cells' representations.
+    pub fn cell_similarity(&self, a: (usize, usize), b: (usize, usize)) -> Option<f32> {
+        Some(self.cell_embedding(a.0, a.1)?.cosine(&self.cell_embedding(b.0, b.1)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{build_model, ModelKind};
+    use ntr_table::{ColumnMajorLinearizer, ContextPosition};
+
+    fn sample() -> Table {
+        Table::from_strings(
+            "t",
+            &["Country", "Capital", "Population"],
+            &[
+                &["France", "Paris", "67.8"],
+                &["Australia", "Canberra", "25.69"],
+            ],
+        )
+        .with_caption("Population in Million by Country")
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::builder()
+            .vocab_from_tables(&[sample()])
+            .vocab_size(600)
+            .build()
+    }
+
+    #[test]
+    fn encode_produces_all_granularities() {
+        let p = pipeline();
+        let t = sample();
+        let mut model = build_model(ModelKind::Tapas, &p.default_config());
+        let enc = p.encode(model.as_mut(), &t, &t.caption);
+        assert_eq!(enc.table_embedding().shape(), &[1, 64]);
+        assert!(enc.cell_embedding(0, 0).is_some());
+        assert!(enc.cell_embedding(9, 9).is_none());
+        assert!(enc.row_embedding(1).is_some());
+        assert!(enc.column_embedding(2).is_some());
+        assert!(enc.cell_similarity((0, 0), (1, 0)).unwrap().is_finite());
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let p = Pipeline::builder()
+            .vocab_from_tables(&[sample()])
+            .vocab_size(500)
+            .linearizer(Box::new(ColumnMajorLinearizer))
+            .options(LinearizerOptions {
+                max_tokens: 40,
+                context_position: ContextPosition::Before,
+            })
+            .build();
+        let e = p.serialize(&sample(), "ctx");
+        assert!(e.len() <= 40);
+        assert_eq!(e.linearizer(), "column-major");
+    }
+
+    #[test]
+    fn same_build_is_deterministic() {
+        let t = sample();
+        let a = pipeline().serialize(&t, &t.caption);
+        let b = pipeline().serialize(&t, &t.caption);
+        assert_eq!(a.ids(), b.ids());
+    }
+}

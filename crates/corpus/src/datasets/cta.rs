@@ -1,0 +1,164 @@
+//! Column type annotation ("table metadata prediction" in the paper's
+//! §2.1): predict a column's logical name from its values alone.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_table::{Column, Table};
+use std::collections::BTreeSet;
+
+/// One CTA example: a headerless view of a table and the gold label for one
+/// of its columns.
+#[derive(Debug, Clone)]
+pub struct CtaExample {
+    /// Table with headers stripped (`col0`, `col1`, …).
+    pub table: Table,
+    /// Which column to classify.
+    pub col: usize,
+    /// Index of the gold label in the dataset's label space.
+    pub label: usize,
+}
+
+/// A column-type-annotation dataset with a closed label space.
+#[derive(Debug, Clone)]
+pub struct CtaDataset {
+    /// All examples.
+    pub examples: Vec<CtaExample>,
+    /// Ordered label space (lowercased original headers).
+    pub labels: Vec<String>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+impl CtaDataset {
+    /// Builds one example per column of every headered table: the model
+    /// sees the values (headers replaced by `colN`) and must recover the
+    /// original header from the closed label set.
+    pub fn build(corpus: &TableCorpus, seed: u64) -> Self {
+        // Label space: all headers that appear in the corpus.
+        let mut label_set: BTreeSet<String> = BTreeSet::new();
+        for t in &corpus.tables {
+            if t.is_headerless() {
+                continue;
+            }
+            for c in t.columns() {
+                label_set.insert(c.name.to_lowercase());
+            }
+        }
+        let labels: Vec<String> = label_set.into_iter().collect();
+
+        let mut examples = Vec::new();
+        for t in &corpus.tables {
+            if t.is_headerless() || t.n_rows() == 0 {
+                continue;
+            }
+            let stripped = strip_headers(t);
+            for (ci, col) in t.columns().iter().enumerate() {
+                let name = col.name.to_lowercase();
+                let label = labels
+                    .iter()
+                    .position(|l| *l == name)
+                    .expect("label space covers all headers");
+                examples.push(CtaExample {
+                    table: stripped.clone(),
+                    col: ci,
+                    label,
+                });
+            }
+        }
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0xC7A);
+        Self {
+            examples,
+            labels,
+            splits,
+        }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+fn strip_headers(t: &Table) -> Table {
+    let columns: Vec<Column> = (0..t.n_cols()).map(|i| Column::new(format!("col{i}"))).collect();
+    let rows = t.rows().to_vec();
+    Table::new(t.id.clone(), columns, rows)
+        .expect("same shape")
+        .with_caption(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> CtaDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 18,
+                ..Default::default()
+            },
+        );
+        CtaDataset::build(&corpus, 17)
+    }
+
+    #[test]
+    fn label_space_contains_expected_headers() {
+        let ds = dataset();
+        for expected in ["country", "capital", "population", "age", "income"] {
+            assert!(
+                ds.labels.iter().any(|l| l == expected),
+                "{expected} missing from {:?}",
+                ds.labels
+            );
+        }
+    }
+
+    #[test]
+    fn example_tables_are_headerless_but_labels_valid() {
+        let ds = dataset();
+        assert!(!ds.examples.is_empty());
+        for ex in &ds.examples {
+            assert!(ex.table.is_headerless());
+            assert!(ex.col < ex.table.n_cols());
+            assert!(ex.label < ds.labels.len());
+            assert!(ex.table.caption.is_empty(), "captions would leak the topic");
+        }
+    }
+
+    #[test]
+    fn gold_labels_match_original_headers() {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 6,
+                ..Default::default()
+            },
+        );
+        let ds = CtaDataset::build(&corpus, 1);
+        // Reconstruct: examples are emitted in corpus order, columns in order.
+        let mut i = 0;
+        for t in &corpus.tables {
+            if t.is_headerless() || t.n_rows() == 0 {
+                continue;
+            }
+            for c in t.columns() {
+                assert_eq!(ds.labels[ds.examples[i].label], c.name.to_lowercase());
+                i += 1;
+            }
+        }
+        assert_eq!(i, ds.examples.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.examples.len(), b.examples.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Data imputation (the paper's hands-on §3.4): blank a cell, recover its
+//! value.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_table::{Cell, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One imputation example: a table with one cell blanked out.
+#[derive(Debug, Clone)]
+pub struct ImputationExample {
+    /// The corrupted table (target cell replaced by NULL).
+    pub table: Table,
+    /// 0-based coordinate of the blanked cell.
+    pub coord: (usize, usize),
+    /// Gold surface text of the blanked cell.
+    pub target_text: String,
+    /// Gold entity link, when the blanked cell was entity-linked.
+    pub target_entity: Option<u32>,
+}
+
+/// A full imputation dataset with splits.
+#[derive(Debug, Clone)]
+pub struct ImputationDataset {
+    /// All examples.
+    pub examples: Vec<ImputationExample>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+impl ImputationDataset {
+    /// Builds examples by blanking up to `per_table` non-null, non-subject
+    /// cells from every table in the corpus.
+    pub fn build(corpus: &TableCorpus, per_table: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::new();
+        for table in &corpus.tables {
+            if table.n_rows() == 0 || table.n_cols() < 2 {
+                continue;
+            }
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for r in 0..table.n_rows() {
+                // Column 0 is the row's identity; blanking it would make the
+                // answer unrecoverable, so imputation targets attributes.
+                for c in 1..table.n_cols() {
+                    if !table.cell(r, c).is_null() {
+                        candidates.push((r, c));
+                    }
+                }
+            }
+            for _ in 0..per_table.min(candidates.len()) {
+                let pick = rng.gen_range(0..candidates.len());
+                let (r, c) = candidates.swap_remove(pick);
+                let gold = table.cell(r, c).clone();
+                let mut corrupted = table.clone();
+                *corrupted.cell_mut(r, c) = Cell::null();
+                examples.push(ImputationExample {
+                    table: corrupted,
+                    coord: (r, c),
+                    target_text: gold.text().to_string(),
+                    target_entity: gold.entity,
+                });
+            }
+        }
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0x51EA);
+        Self { examples, splits }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> ImputationDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate_entity_only(
+            &w,
+            &CorpusConfig {
+                n_tables: 20,
+                ..Default::default()
+            },
+        );
+        ImputationDataset::build(&corpus, 3, 11)
+    }
+
+    #[test]
+    fn blanks_exactly_one_cell_per_example() {
+        let ds = dataset();
+        assert!(!ds.examples.is_empty());
+        for ex in &ds.examples {
+            let (r, c) = ex.coord;
+            assert!(ex.table.cell(r, c).is_null());
+            assert!(!ex.target_text.is_empty());
+            assert_ne!(c, 0, "subject column must not be blanked");
+        }
+    }
+
+    #[test]
+    fn entity_targets_preserved_for_entity_cells() {
+        let ds = dataset();
+        assert!(
+            ds.examples.iter().any(|e| e.target_entity.is_some()),
+            "entity tables should yield entity targets"
+        );
+    }
+
+    #[test]
+    fn splits_cover_all_examples() {
+        let ds = dataset();
+        let total: usize = [Split::Train, Split::Val, Split::Test]
+            .into_iter()
+            .map(|s| ds.indices(s).len())
+            .sum();
+        assert_eq!(total, ds.examples.len());
+        assert!(!ds.indices(Split::Train).is_empty());
+        assert!(!ds.indices(Split::Test).is_empty());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.examples.len(), b.examples.len());
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!(x.coord, y.coord);
+            assert_eq!(x.target_text, y.target_text);
+        }
+    }
+}

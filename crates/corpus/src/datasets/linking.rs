@@ -1,0 +1,148 @@
+//! Entity linking (part of "table metadata prediction" in §2.1): resolve a
+//! cell mention to the right knowledge-base entity among candidates.
+
+use crate::kb::World;
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_table::Table;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// One linking example: a mention cell and a candidate set containing the
+/// gold entity plus same-type distractors.
+#[derive(Debug, Clone)]
+pub struct LinkingExample {
+    /// The table containing the mention.
+    pub table: Table,
+    /// Coordinate of the mention cell.
+    pub coord: (usize, usize),
+    /// The mention surface text.
+    pub mention: String,
+    /// Candidate entity ids (shuffled; contains `gold`).
+    pub candidates: Vec<u32>,
+    /// The gold entity id.
+    pub gold: u32,
+}
+
+/// An entity-linking dataset with splits.
+#[derive(Debug, Clone)]
+pub struct LinkingDataset {
+    /// All examples.
+    pub examples: Vec<LinkingExample>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+impl LinkingDataset {
+    /// Builds examples from entity-linked cells: each gets `n_candidates`
+    /// options (gold + same-type distractors, shuffled).
+    pub fn build(world: &World, corpus: &TableCorpus, n_candidates: usize, seed: u64) -> Self {
+        assert!(n_candidates >= 2, "need at least gold + 1 distractor");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::new();
+        for table in &corpus.tables {
+            for r in 0..table.n_rows() {
+                for c in 0..table.n_cols() {
+                    let Some(gold) = table.cell(r, c).entity else {
+                        continue;
+                    };
+                    let gold_type = world.entity(gold).etype;
+                    let mut distractors: Vec<u32> = world
+                        .entities
+                        .iter()
+                        .filter(|e| e.etype == gold_type && e.id != gold)
+                        .map(|e| e.id)
+                        .collect();
+                    if distractors.is_empty() {
+                        continue;
+                    }
+                    distractors.shuffle(&mut rng);
+                    distractors.truncate(n_candidates - 1);
+                    let mut candidates = distractors;
+                    candidates.push(gold);
+                    candidates.shuffle(&mut rng);
+                    examples.push(LinkingExample {
+                        table: table.clone(),
+                        coord: (r, c),
+                        mention: table.cell(r, c).text().to_string(),
+                        candidates,
+                        gold,
+                    });
+                }
+            }
+        }
+        // Keep dataset size manageable: sample down deterministically.
+        examples.shuffle(&mut rng);
+        examples.truncate(600);
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0x71);
+        Self { examples, splits }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::WorldConfig;
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> (World, LinkingDataset) {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate_entity_only(
+            &w,
+            &CorpusConfig {
+                n_tables: 10,
+                ..Default::default()
+            },
+        );
+        let ds = LinkingDataset::build(&w, &corpus, 5, 23);
+        (w, ds)
+    }
+
+    #[test]
+    fn candidates_contain_gold_and_share_type() {
+        let (w, ds) = dataset();
+        assert!(!ds.examples.is_empty());
+        for ex in &ds.examples {
+            assert!(ex.candidates.contains(&ex.gold));
+            assert!(ex.candidates.len() >= 2 && ex.candidates.len() <= 5);
+            let gtype = w.entity(ex.gold).etype;
+            for &c in &ex.candidates {
+                assert_eq!(w.entity(c).etype, gtype);
+            }
+        }
+    }
+
+    #[test]
+    fn mention_matches_gold_name() {
+        let (w, ds) = dataset();
+        for ex in &ds.examples {
+            assert_eq!(ex.mention, w.name(ex.gold));
+        }
+    }
+
+    #[test]
+    fn gold_position_varies() {
+        let (_, ds) = dataset();
+        let first_pos: Vec<usize> = ds
+            .examples
+            .iter()
+            .take(50)
+            .map(|e| e.candidates.iter().position(|&c| c == e.gold).unwrap())
+            .collect();
+        let distinct: std::collections::BTreeSet<usize> = first_pos.iter().copied().collect();
+        assert!(distinct.len() > 1, "gold always in the same slot");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least gold")]
+    fn rejects_tiny_candidate_sets() {
+        let (w, _) = dataset();
+        let corpus = TableCorpus::generate_entity_only(&w, &CorpusConfig::default());
+        let _ = LinkingDataset::build(&w, &corpus, 1, 0);
+    }
+}

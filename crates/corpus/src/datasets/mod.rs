@@ -1,0 +1,23 @@
+//! Downstream-task datasets built over the synthetic corpus, mirroring the
+//! task list of the paper's §2.1: data imputation, table QA, fact
+//! verification (NLI), table retrieval, table metadata prediction (column
+//! type annotation), entity linking, and text-to-SQL.
+//!
+//! Every builder is a pure function of `(world/corpus, config, seed)` and
+//! ships with a deterministic train/val/test split.
+
+mod cta;
+mod imputation;
+mod linking;
+mod nli;
+mod qa;
+mod retrieval;
+mod text2sql;
+
+pub use cta::{CtaDataset, CtaExample};
+pub use imputation::{ImputationDataset, ImputationExample};
+pub use linking::{LinkingDataset, LinkingExample};
+pub use nli::{NliDataset, NliExample};
+pub use qa::{QaDataset, QaExample};
+pub use retrieval::{RetrievalDataset, RetrievalQuery};
+pub use text2sql::{render_question, Text2SqlDataset, Text2SqlExample};

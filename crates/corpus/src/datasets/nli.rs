@@ -1,0 +1,251 @@
+//! Tabular natural-language inference / fact verification (TabFact-like):
+//! claim + table → supported or refuted.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fact-verification example.
+#[derive(Debug, Clone)]
+pub struct NliExample {
+    /// The evidence table.
+    pub table: Table,
+    /// The claim text.
+    pub claim: String,
+    /// True = supported by the table, false = refuted.
+    pub label: bool,
+}
+
+/// A fact-verification dataset with splits.
+#[derive(Debug, Clone)]
+pub struct NliDataset {
+    /// All examples.
+    pub examples: Vec<NliExample>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+impl NliDataset {
+    /// Builds `per_table` claims per table, balanced between supported and
+    /// refuted. Two claim families:
+    ///
+    /// * **cell facts** — "the {attr} of {subject} is {value}"; refuted
+    ///   versions substitute a different value from the same column;
+    /// * **numeric comparisons** — "the {attr} of {a} is higher than that
+    ///   of {b}"; refuted versions swap the direction.
+    pub fn build(corpus: &TableCorpus, per_table: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::new();
+        for table in &corpus.tables {
+            if table.is_headerless() || table.n_rows() < 2 || table.n_cols() < 2 {
+                continue;
+            }
+            for k in 0..per_table {
+                let label = k % 2 == 0;
+                let ex = if rng.gen::<f64>() < 0.6 {
+                    cell_fact_claim(table, label, &mut rng)
+                } else {
+                    comparison_claim(table, label, &mut rng)
+                        .or_else(|| cell_fact_claim(table, label, &mut rng))
+                };
+                if let Some(e) = ex {
+                    examples.push(e);
+                }
+            }
+        }
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0x11F);
+        Self { examples, splits }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+fn cell_fact_claim(table: &Table, label: bool, rng: &mut StdRng) -> Option<NliExample> {
+    // Pick a non-null attribute cell whose column has at least one other
+    // distinct value (so a refuting substitute exists).
+    for _ in 0..16 {
+        let r = rng.gen_range(0..table.n_rows());
+        let c = rng.gen_range(1..table.n_cols());
+        if table.cell(r, c).is_null() {
+            continue;
+        }
+        let truth = table.cell(r, c).text().to_string();
+        let value = if label {
+            truth.clone()
+        } else {
+            let distinct: Vec<String> = (0..table.n_rows())
+                .map(|q| table.cell(q, c).text().to_string())
+                .filter(|v| !v.is_empty() && *v != truth)
+                .collect();
+            if distinct.is_empty() {
+                continue;
+            }
+            distinct[rng.gen_range(0..distinct.len())].clone()
+        };
+        let claim = format!(
+            "the {} of {} is {}",
+            table.columns()[c].name.to_lowercase(),
+            table.cell(r, 0).text(),
+            value
+        );
+        return Some(NliExample {
+            table: table.clone(),
+            claim,
+            label,
+        });
+    }
+    None
+}
+
+fn comparison_claim(table: &Table, label: bool, rng: &mut StdRng) -> Option<NliExample> {
+    // Find a numeric column and two rows with strictly different values.
+    let numeric_cols: Vec<usize> = (1..table.n_cols())
+        .filter(|&c| {
+            matches!(
+                table.columns()[c].sem_type,
+                ntr_table::SemanticType::Integer | ntr_table::SemanticType::Float
+            )
+        })
+        .collect();
+    if numeric_cols.is_empty() {
+        return None;
+    }
+    for _ in 0..16 {
+        let c = numeric_cols[rng.gen_range(0..numeric_cols.len())];
+        let a = rng.gen_range(0..table.n_rows());
+        let b = rng.gen_range(0..table.n_rows());
+        if a == b {
+            continue;
+        }
+        let (Some(va), Some(vb)) = (
+            table.cell(a, c).value.as_number(),
+            table.cell(b, c).value.as_number(),
+        ) else {
+            continue;
+        };
+        if (va - vb).abs() < 1e-9 {
+            continue;
+        }
+        // Orient so that the "higher" claim is true, then flip for refuted.
+        let (hi, lo) = if va > vb { (a, b) } else { (b, a) };
+        let (s1, s2) = if label { (hi, lo) } else { (lo, hi) };
+        let claim = format!(
+            "the {} of {} is higher than the {} of {}",
+            table.columns()[c].name.to_lowercase(),
+            table.cell(s1, 0).text(),
+            table.columns()[c].name.to_lowercase(),
+            table.cell(s2, 0).text()
+        );
+        return Some(NliExample {
+            table: table.clone(),
+            claim,
+            label,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> NliDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 24,
+                null_prob: 0.0,
+                ..Default::default()
+            },
+        );
+        NliDataset::build(&corpus, 4, 5)
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let ds = dataset();
+        let pos = ds.examples.iter().filter(|e| e.label).count();
+        let neg = ds.examples.len() - pos;
+        assert!(pos > 0 && neg > 0);
+        let ratio = pos as f64 / ds.examples.len() as f64;
+        assert!((0.35..0.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn supported_cell_facts_hold_in_the_table() {
+        let ds = dataset();
+        for ex in ds.examples.iter().filter(|e| e.label) {
+            if let Some(rest) = ex.claim.strip_prefix("the ") {
+                if let Some((attr, tail)) = rest.split_once(" of ") {
+                    if let Some((subject, value)) = tail.split_once(" is ") {
+                        if value.contains("higher than") {
+                            continue;
+                        }
+                        // Locate the row and check the cell really has the value.
+                        let col = ex.table.column_index(attr);
+                        if let Some(col) = col {
+                            let row = (0..ex.table.n_rows())
+                                .find(|&r| ex.table.cell(r, 0).text() == subject);
+                            if let Some(row) = row {
+                                assert_eq!(
+                                    ex.table.cell(row, col).text(),
+                                    value,
+                                    "claim {:?} not supported",
+                                    ex.claim
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refuted_cell_facts_differ_from_table() {
+        let ds = dataset();
+        let mut checked = 0;
+        for ex in ds.examples.iter().filter(|e| !e.label) {
+            let Some(rest) = ex.claim.strip_prefix("the ") else { continue };
+            let Some((attr, tail)) = rest.split_once(" of ") else { continue };
+            let Some((subject, value)) = tail.split_once(" is ") else { continue };
+            if value.contains("higher than") {
+                continue;
+            }
+            let Some(col) = ex.table.column_index(attr) else { continue };
+            let Some(row) =
+                (0..ex.table.n_rows()).find(|&r| ex.table.cell(r, 0).text() == subject)
+            else {
+                continue;
+            };
+            assert_ne!(ex.table.cell(row, col).text(), value, "claim {:?}", ex.claim);
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn comparison_claims_exist_and_use_numeric_columns() {
+        let ds = dataset();
+        assert!(
+            ds.examples.iter().any(|e| e.claim.contains("higher than")),
+            "no comparison claims generated"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.examples.len(), b.examples.len());
+        assert_eq!(a.examples[0].claim, b.examples[0].claim);
+    }
+}

@@ -1,0 +1,166 @@
+//! Table question answering (the paper's §2.1 demo task): natural-language
+//! question → answer cell.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_table::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One QA example over a table.
+#[derive(Debug, Clone)]
+pub struct QaExample {
+    /// The table.
+    pub table: Table,
+    /// The natural-language question.
+    pub question: String,
+    /// 0-based coordinate of the answer cell.
+    pub answer_coord: (usize, usize),
+    /// Gold answer text.
+    pub answer_text: String,
+}
+
+/// A QA dataset with splits.
+#[derive(Debug, Clone)]
+pub struct QaDataset {
+    /// All examples.
+    pub examples: Vec<QaExample>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+/// Question phrasings; several templates per slot so models cannot latch
+/// onto one fixed string.
+const TEMPLATES: &[&str] = &[
+    "what is the {attr} of {subject}?",
+    "which {attr} does {subject} have?",
+    "tell me the {attr} for {subject}",
+    "{attr} of {subject}?",
+];
+
+impl QaDataset {
+    /// Builds up to `per_table` questions for every table with headers.
+    /// Questions ask for an attribute (column ≥ 1) of a subject (column 0
+    /// value), exactly the Fig. 1 example ("question about France
+    /// population" → highlighted cell).
+    pub fn build(corpus: &TableCorpus, per_table: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut examples = Vec::new();
+        for table in &corpus.tables {
+            if table.is_headerless() || table.n_rows() == 0 || table.n_cols() < 2 {
+                continue;
+            }
+            // A subject must identify its row uniquely for the question to
+            // be well-posed.
+            let unique_subject = |r: usize| {
+                let s = table.cell(r, 0).text();
+                (0..table.n_rows()).filter(|&q| table.cell(q, 0).text() == s).count() == 1
+            };
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for r in 0..table.n_rows() {
+                if !unique_subject(r) {
+                    continue;
+                }
+                for c in 1..table.n_cols() {
+                    if !table.cell(r, c).is_null() {
+                        candidates.push((r, c));
+                    }
+                }
+            }
+            for _ in 0..per_table.min(candidates.len()) {
+                let pick = rng.gen_range(0..candidates.len());
+                let (r, c) = candidates.swap_remove(pick);
+                let template = TEMPLATES[rng.gen_range(0..TEMPLATES.len())];
+                let question = template
+                    .replace("{attr}", &table.columns()[c].name.to_lowercase())
+                    .replace("{subject}", table.cell(r, 0).text());
+                examples.push(QaExample {
+                    table: table.clone(),
+                    question,
+                    answer_coord: (r, c),
+                    answer_text: table.cell(r, c).text().to_string(),
+                });
+            }
+        }
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0x9A);
+        Self { examples, splits }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> QaDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 24,
+                ..Default::default()
+            },
+        );
+        QaDataset::build(&corpus, 3, 3)
+    }
+
+    #[test]
+    fn questions_mention_subject_and_attribute() {
+        let ds = dataset();
+        assert!(!ds.examples.is_empty());
+        for ex in &ds.examples {
+            let (r, c) = ex.answer_coord;
+            let subject = ex.table.cell(r, 0).text();
+            let attr = ex.table.columns()[c].name.to_lowercase();
+            assert!(
+                ex.question.contains(subject),
+                "{:?} missing subject {subject:?}",
+                ex.question
+            );
+            assert!(
+                ex.question.contains(&attr),
+                "{:?} missing attr {attr:?}",
+                ex.question
+            );
+            assert_eq!(ex.answer_text, ex.table.cell(r, c).text());
+        }
+    }
+
+    #[test]
+    fn answer_cells_are_never_null_or_subject_column() {
+        let ds = dataset();
+        for ex in &ds.examples {
+            let (r, c) = ex.answer_coord;
+            assert_ne!(c, 0);
+            assert!(!ex.table.cell(r, c).is_null());
+        }
+    }
+
+    #[test]
+    fn subjects_identify_rows_uniquely() {
+        let ds = dataset();
+        for ex in &ds.examples {
+            let (r, _) = ex.answer_coord;
+            let s = ex.table.cell(r, 0).text();
+            let count = (0..ex.table.n_rows())
+                .filter(|&q| ex.table.cell(q, 0).text() == s)
+                .count();
+            assert_eq!(count, 1, "ambiguous subject {s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_split() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.examples.len(), b.examples.len());
+        assert_eq!(a.examples[0].question, b.examples[0].question);
+        assert!(!a.indices(Split::Test).is_empty());
+    }
+}

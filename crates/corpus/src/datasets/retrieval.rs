@@ -1,0 +1,142 @@
+//! Table retrieval: natural-language query → relevant table from a pool.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One retrieval query over the shared table pool.
+#[derive(Debug, Clone)]
+pub struct RetrievalQuery {
+    /// The query text.
+    pub text: String,
+    /// Index (into the dataset's `corpus`) of the single relevant table.
+    pub positive: usize,
+}
+
+/// A retrieval dataset: a table pool plus queries with one positive each.
+#[derive(Debug, Clone)]
+pub struct RetrievalDataset {
+    /// The candidate pool.
+    pub corpus: TableCorpus,
+    /// The queries.
+    pub queries: Vec<RetrievalQuery>,
+    /// Split assignment per query.
+    pub splits: Vec<Split>,
+}
+
+impl RetrievalDataset {
+    /// Builds queries that mention content unique to their positive table:
+    /// an attribute name plus **two** subjects (column-0 values) from that
+    /// table. A pair of subjects pins down a table far more reliably than a
+    /// single one when tables of the same kind share rows; queries whose
+    /// (attribute, subject-pair) combination also matches another table are
+    /// skipped, and those tables stay in the pool as distractors.
+    pub fn build(corpus: TableCorpus, per_table: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut queries = Vec::new();
+        for (ti, table) in corpus.tables.iter().enumerate() {
+            if table.n_rows() < 2 || table.n_cols() < 2 || table.is_headerless() {
+                continue;
+            }
+            for _ in 0..per_table {
+                let r1 = rng.gen_range(0..table.n_rows());
+                let r2 = rng.gen_range(0..table.n_rows());
+                if r1 == r2 {
+                    continue;
+                }
+                let c = rng.gen_range(1..table.n_cols());
+                let s1 = table.cell(r1, 0).text();
+                let s2 = table.cell(r2, 0).text();
+                if s1.is_empty() || s2.is_empty() {
+                    continue;
+                }
+                let attr = table.columns()[c].name.to_lowercase();
+                let ambiguous = corpus.tables.iter().enumerate().any(|(tj, other)| {
+                    tj != ti
+                        && other.column_index(&attr).is_some()
+                        && (0..other.n_rows()).any(|q| other.cell(q, 0).text() == s1)
+                        && (0..other.n_rows()).any(|q| other.cell(q, 0).text() == s2)
+                });
+                if ambiguous {
+                    continue;
+                }
+                queries.push(RetrievalQuery {
+                    text: format!("{attr} of {s1} and {s2}"),
+                    positive: ti,
+                });
+            }
+        }
+        let splits = split_three(queries.len(), 0.1, 0.2, seed ^ 0x8E7);
+        Self {
+            corpus,
+            queries,
+            splits,
+        }
+    }
+
+    /// Indices of queries in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+
+    fn dataset() -> RetrievalDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 18,
+                ..Default::default()
+            },
+        );
+        RetrievalDataset::build(corpus, 2, 13)
+    }
+
+    #[test]
+    fn queries_reference_valid_tables() {
+        let ds = dataset();
+        assert!(!ds.queries.is_empty());
+        for q in &ds.queries {
+            assert!(q.positive < ds.corpus.len());
+            assert!(!q.text.is_empty());
+        }
+    }
+
+    #[test]
+    fn query_subject_pair_appears_only_in_positive() {
+        let ds = dataset();
+        for q in &ds.queries {
+            let (attr, subjects) = q.text.split_once(" of ").unwrap();
+            let (s1, s2) = subjects.split_once(" and ").unwrap();
+            for (ti, table) in ds.corpus.tables.iter().enumerate() {
+                if ti == q.positive {
+                    continue;
+                }
+                let all = table.column_index(attr).is_some()
+                    && (0..table.n_rows()).any(|r| table.cell(r, 0).text() == s1)
+                    && (0..table.n_rows()).any(|r| table.cell(r, 0).text() == s2);
+                assert!(!all, "query {:?} ambiguous with table {ti}", q.text);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_with_splits() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.queries.len(), b.queries.len());
+        assert_eq!(a.queries[0].text, b.queries[0].text);
+        let total: usize = [Split::Train, Split::Val, Split::Test]
+            .into_iter()
+            .map(|s| a.indices(s).len())
+            .sum();
+        assert_eq!(total, a.queries.len());
+    }
+}

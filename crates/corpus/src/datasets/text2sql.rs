@@ -1,0 +1,159 @@
+//! Text-to-SQL semantic parsing (WikiSQL-like): natural-language question +
+//! table → SQL query, evaluated by denotation.
+
+use crate::split::{split_three, Split};
+use crate::tables::TableCorpus;
+use ntr_sql::gen::{GenConfig, QueryGenerator};
+use ntr_sql::{Agg, Answer, CmpOp, Literal, Query};
+use ntr_table::Table;
+
+/// One text-to-SQL example.
+#[derive(Debug, Clone)]
+pub struct Text2SqlExample {
+    /// The table the question is asked over.
+    pub table: Table,
+    /// The natural-language question.
+    pub question: String,
+    /// Gold SQL.
+    pub sql: Query,
+    /// Gold answer (executed gold SQL).
+    pub answer: Answer,
+}
+
+/// A text-to-SQL dataset with splits.
+#[derive(Debug, Clone)]
+pub struct Text2SqlDataset {
+    /// All examples.
+    pub examples: Vec<Text2SqlExample>,
+    /// Split assignment per example.
+    pub splits: Vec<Split>,
+}
+
+impl Text2SqlDataset {
+    /// Builds `per_table` examples per headered table by generating random
+    /// executable queries and rendering them to natural language.
+    pub fn build(corpus: &TableCorpus, per_table: usize, seed: u64) -> Self {
+        let mut examples = Vec::new();
+        for (ti, table) in corpus.tables.iter().enumerate() {
+            if table.is_headerless() || table.n_rows() == 0 {
+                continue;
+            }
+            let mut gen = QueryGenerator::new(
+                seed ^ (ti as u64).wrapping_mul(0x9E37_79B9),
+                GenConfig::default(),
+            );
+            for (sql, answer) in gen.generate_n(table, per_table) {
+                let question = render_question(&sql);
+                examples.push(Text2SqlExample {
+                    table: table.clone(),
+                    question,
+                    sql,
+                    answer,
+                });
+            }
+        }
+        let splits = split_three(examples.len(), 0.1, 0.2, seed ^ 0x7541);
+        Self { examples, splits }
+    }
+
+    /// Indices of examples in `split`.
+    pub fn indices(&self, split: Split) -> Vec<usize> {
+        crate::split::indices_of(&self.splits, split)
+    }
+}
+
+/// Renders a query as a natural-language question — the inverse templates a
+/// text-to-SQL model must learn to undo.
+pub fn render_question(q: &Query) -> String {
+    let head = match q.agg {
+        None => format!("what is the {}", q.column.to_lowercase()),
+        Some(Agg::Count) => format!("how many {} entries are there", q.column.to_lowercase()),
+        Some(Agg::Sum) => format!("what is the total {}", q.column.to_lowercase()),
+        Some(Agg::Avg) => format!("what is the average {}", q.column.to_lowercase()),
+        Some(Agg::Min) => format!("what is the lowest {}", q.column.to_lowercase()),
+        Some(Agg::Max) => format!("what is the highest {}", q.column.to_lowercase()),
+    };
+    let mut out = head;
+    for (i, c) in q.conditions.iter().enumerate() {
+        out.push_str(if i == 0 { " when " } else { " and " });
+        let op_phrase = match c.op {
+            CmpOp::Eq => "is",
+            CmpOp::Neq => "is not",
+            CmpOp::Gt => "is more than",
+            CmpOp::Lt => "is less than",
+            CmpOp::Ge => "is at least",
+            CmpOp::Le => "is at most",
+        };
+        let value = match &c.value {
+            Literal::Number(n) => format!("{n}"),
+            Literal::Text(s) => s.clone(),
+        };
+        out.push_str(&format!("{} {op_phrase} {value}", c.column.to_lowercase()));
+    }
+    out.push('?');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+    use ntr_sql::execute;
+
+    fn dataset() -> Text2SqlDataset {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 12,
+                null_prob: 0.0,
+                ..Default::default()
+            },
+        );
+        Text2SqlDataset::build(&corpus, 3, 29)
+    }
+
+    #[test]
+    fn answers_match_reexecution() {
+        let ds = dataset();
+        assert!(!ds.examples.is_empty());
+        for ex in &ds.examples {
+            let re = execute(&ex.sql, &ex.table).unwrap();
+            assert!(re.same_denotation(&ex.answer));
+        }
+    }
+
+    #[test]
+    fn questions_mention_selected_column() {
+        let ds = dataset();
+        for ex in &ds.examples {
+            assert!(
+                ex.question.contains(&ex.sql.column.to_lowercase()),
+                "{:?} does not mention {:?}",
+                ex.question,
+                ex.sql.column
+            );
+            assert!(ex.question.ends_with('?'));
+        }
+    }
+
+    #[test]
+    fn render_covers_all_aggregates() {
+        for agg in Agg::ALL {
+            let q = Query::select("score").with_agg(agg);
+            let text = render_question(&q);
+            assert!(text.contains("score"), "{text}");
+        }
+        let q = Query::select("a").with_condition("b", CmpOp::Ge, Literal::Number(3.0));
+        assert!(render_question(&q).contains("b is at least 3"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(a.examples.len(), b.examples.len());
+        assert_eq!(a.examples[0].question, b.examples[0].question);
+    }
+}

@@ -1,0 +1,473 @@
+//! The synthetic knowledge base ("world"): entities and typed relations.
+//!
+//! A [`World`] is generated deterministically from a [`WorldConfig`]. Base
+//! geography uses a fixed list of real country/capital pairs (so serialized
+//! tables read naturally, like the paper's `France | Paris` examples);
+//! everything else — populations, people, films, clubs — is procedural from
+//! the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Kind of entity in the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityType {
+    /// A country.
+    Country,
+    /// A city.
+    City,
+    /// A person.
+    Person,
+    /// A film.
+    Film,
+    /// A sports club.
+    Club,
+}
+
+impl EntityType {
+    /// Label used by the column-type-annotation task.
+    pub fn name(self) -> &'static str {
+        match self {
+            EntityType::Country => "country",
+            EntityType::City => "city",
+            EntityType::Person => "person",
+            EntityType::Film => "film",
+            EntityType::Club => "club",
+        }
+    }
+}
+
+/// One entity: a stable id (its index in [`World::entities`]), a unique
+/// surface name, and a type.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Stable id; equals the index in [`World::entities`].
+    pub id: u32,
+    /// Unique display name.
+    pub name: String,
+    /// Entity kind.
+    pub etype: EntityType,
+}
+
+/// A country record (indices are entity ids).
+#[derive(Debug, Clone)]
+pub struct CountryRec {
+    /// The country entity.
+    pub entity: u32,
+    /// Capital city entity.
+    pub capital: u32,
+    /// Continent name.
+    pub continent: &'static str,
+    /// Population in millions.
+    pub population_m: f64,
+    /// Area in thousand km².
+    pub area_k: f64,
+    /// Primary language.
+    pub language: String,
+}
+
+/// A city record.
+#[derive(Debug, Clone)]
+pub struct CityRec {
+    /// The city entity.
+    pub entity: u32,
+    /// Country entity it belongs to.
+    pub country: u32,
+    /// Population in millions.
+    pub population_m: f64,
+}
+
+/// A person record.
+#[derive(Debug, Clone)]
+pub struct PersonRec {
+    /// The person entity.
+    pub entity: u32,
+    /// Birth year.
+    pub birth_year: i32,
+    /// Nationality (country entity).
+    pub nationality: u32,
+    /// Profession label.
+    pub profession: &'static str,
+}
+
+/// A film record.
+#[derive(Debug, Clone)]
+pub struct FilmRec {
+    /// The film entity.
+    pub entity: u32,
+    /// Director (person entity).
+    pub director: u32,
+    /// Release year.
+    pub year: i32,
+    /// Language.
+    pub language: String,
+    /// Critic rating 1.0–10.0.
+    pub rating: f64,
+}
+
+/// A sports-club record.
+#[derive(Debug, Clone)]
+pub struct ClubRec {
+    /// The club entity.
+    pub entity: u32,
+    /// Home city entity.
+    pub city: u32,
+    /// Founding year.
+    pub founded: i32,
+    /// Championship titles won.
+    pub titles: i64,
+}
+
+/// Sizing knobs for world generation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Countries to include (clamped to the base list length).
+    pub n_countries: usize,
+    /// People to generate.
+    pub n_people: usize,
+    /// Films to generate.
+    pub n_films: usize,
+    /// Clubs to generate.
+    pub n_clubs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            n_countries: 24,
+            n_people: 80,
+            n_films: 60,
+            n_clubs: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// The generated knowledge base.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// All entities; `entities[i].id == i`.
+    pub entities: Vec<Entity>,
+    /// Country records.
+    pub countries: Vec<CountryRec>,
+    /// City records.
+    pub cities: Vec<CityRec>,
+    /// Person records.
+    pub people: Vec<PersonRec>,
+    /// Film records.
+    pub films: Vec<FilmRec>,
+    /// Club records.
+    pub clubs: Vec<ClubRec>,
+}
+
+const BASE_GEO: &[(&str, &str, &str, &str)] = &[
+    ("France", "Paris", "Europe", "French"),
+    ("Germany", "Berlin", "Europe", "German"),
+    ("Italy", "Rome", "Europe", "Italian"),
+    ("Spain", "Madrid", "Europe", "Spanish"),
+    ("Portugal", "Lisbon", "Europe", "Portuguese"),
+    ("Netherlands", "Amsterdam", "Europe", "Dutch"),
+    ("Austria", "Vienna", "Europe", "German"),
+    ("Greece", "Athens", "Europe", "Greek"),
+    ("Sweden", "Stockholm", "Europe", "Swedish"),
+    ("Norway", "Oslo", "Europe", "Norwegian"),
+    ("Japan", "Tokyo", "Asia", "Japanese"),
+    ("China", "Beijing", "Asia", "Chinese"),
+    ("India", "Delhi", "Asia", "Hindi"),
+    ("Thailand", "Bangkok", "Asia", "Thai"),
+    ("Vietnam", "Hanoi", "Asia", "Vietnamese"),
+    ("Kenya", "Nairobi", "Africa", "Swahili"),
+    ("Egypt", "Cairo", "Africa", "Arabic"),
+    ("Nigeria", "Abuja", "Africa", "English"),
+    ("Morocco", "Rabat", "Africa", "Arabic"),
+    ("Brazil", "Brasilia", "America", "Portuguese"),
+    ("Argentina", "Buenos Aires", "America", "Spanish"),
+    ("Canada", "Ottawa", "America", "English"),
+    ("Mexico", "Mexico City", "America", "Spanish"),
+    ("Australia", "Canberra", "Oceania", "English"),
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "Hedy", "Claude", "Radia", "Tim",
+    "Margaret", "John", "Katherine", "Dennis", "Frances", "Ken", "Adele", "Linus", "Annie",
+    "Edgar",
+];
+const LAST_NAMES: &[&str] = &[
+    "Lovell", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Lamarr", "Shannon", "Perlman",
+    "Berners", "Hamilton", "Backus", "Johnson", "Ritchie", "Allen", "Thompson", "Goldberg",
+    "Torval", "Easley", "Codd",
+];
+const PROFESSIONS: &[&str] = &["director", "engineer", "writer", "scientist", "producer"];
+const FILM_ADJ: &[&str] = &[
+    "Silent", "Golden", "Hidden", "Broken", "Distant", "Eternal", "Crimson", "Forgotten",
+    "Midnight", "Electric",
+];
+const FILM_NOUN: &[&str] = &[
+    "River", "Garden", "Horizon", "Station", "Mirror", "Harbor", "Mountain", "Letter", "Summer",
+    "Orchid",
+];
+const CLUB_SUFFIX: &[&str] = &["United", "City", "Rovers", "Athletic", "Wanderers"];
+
+impl World {
+    /// Generates a world from the config; pure function of the config.
+    pub fn generate(cfg: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut w = World {
+            entities: Vec::new(),
+            countries: Vec::new(),
+            cities: Vec::new(),
+            people: Vec::new(),
+            films: Vec::new(),
+            clubs: Vec::new(),
+        };
+
+        let n_countries = cfg.n_countries.clamp(1, BASE_GEO.len());
+        for &(country, capital, continent, language) in &BASE_GEO[..n_countries] {
+            let country_id = w.add_entity(country, EntityType::Country);
+            let capital_id = w.add_entity(capital, EntityType::City);
+            let population_m = round1(rng.gen_range(1.0..150.0));
+            w.countries.push(CountryRec {
+                entity: country_id,
+                capital: capital_id,
+                continent,
+                population_m,
+                area_k: round1(rng.gen_range(30.0..9000.0)),
+                language: language.to_string(),
+            });
+            w.cities.push(CityRec {
+                entity: capital_id,
+                country: country_id,
+                population_m: round1(rng.gen_range(0.3..population_m.max(0.4))),
+            });
+        }
+
+        for i in 0..cfg.n_people {
+            let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+            let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            // Suffix a number when the combination repeats, keeping names unique.
+            let base = format!("{first} {last}");
+            let name = if w.entities.iter().any(|e| e.name == base) {
+                format!("{base} {}", i)
+            } else {
+                base
+            };
+            let person_id = w.add_entity(&name, EntityType::Person);
+            let nationality = w.countries[rng.gen_range(0..w.countries.len())].entity;
+            w.people.push(PersonRec {
+                entity: person_id,
+                birth_year: rng.gen_range(1920..2000),
+                nationality,
+                profession: PROFESSIONS[rng.gen_range(0..PROFESSIONS.len())],
+            });
+        }
+
+        for i in 0..cfg.n_films {
+            let adj = FILM_ADJ[rng.gen_range(0..FILM_ADJ.len())];
+            let noun = FILM_NOUN[rng.gen_range(0..FILM_NOUN.len())];
+            let base = format!("The {adj} {noun}");
+            let name = if w.entities.iter().any(|e| e.name == base) {
+                format!("{base} {}", i + 2)
+            } else {
+                base
+            };
+            let film_id = w.add_entity(&name, EntityType::Film);
+            let director = w.people[rng.gen_range(0..w.people.len())].entity;
+            let nationality = w.person(director).expect("director exists").nationality;
+            let language = w
+                .country(nationality)
+                .expect("country exists")
+                .language
+                .clone();
+            w.films.push(FilmRec {
+                entity: film_id,
+                director,
+                year: rng.gen_range(1950..2023),
+                language,
+                rating: round1(rng.gen_range(3.0..9.5)),
+            });
+        }
+
+        for i in 0..cfg.n_clubs {
+            let city = w.cities[rng.gen_range(0..w.cities.len())].clone();
+            let suffix = CLUB_SUFFIX[rng.gen_range(0..CLUB_SUFFIX.len())];
+            let base = format!("{} {suffix}", w.entities[city.entity as usize].name);
+            let name = if w.entities.iter().any(|e| e.name == base) {
+                format!("{base} {}", i + 2)
+            } else {
+                base
+            };
+            let club_id = w.add_entity(&name, EntityType::Club);
+            w.clubs.push(ClubRec {
+                entity: club_id,
+                city: city.entity,
+                founded: rng.gen_range(1880..1990),
+                titles: rng.gen_range(0..30),
+            });
+        }
+        w
+    }
+
+    fn add_entity(&mut self, name: &str, etype: EntityType) -> u32 {
+        let id = self.entities.len() as u32;
+        self.entities.push(Entity {
+            id,
+            name: name.to_string(),
+            etype,
+        });
+        id
+    }
+
+    /// Total entity count (the MER label-space size).
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Entity by id.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn entity(&self, id: u32) -> &Entity {
+        &self.entities[id as usize]
+    }
+
+    /// Entity name by id.
+    pub fn name(&self, id: u32) -> &str {
+        &self.entities[id as usize].name
+    }
+
+    /// Looks up an entity id by exact name.
+    pub fn entity_by_name(&self, name: &str) -> Option<u32> {
+        self.entities.iter().find(|e| e.name == name).map(|e| e.id)
+    }
+
+    /// Country record for an entity id, if it is a country.
+    pub fn country(&self, id: u32) -> Option<&CountryRec> {
+        self.countries.iter().find(|c| c.entity == id)
+    }
+
+    /// City record for an entity id.
+    pub fn city(&self, id: u32) -> Option<&CityRec> {
+        self.cities.iter().find(|c| c.entity == id)
+    }
+
+    /// Person record for an entity id.
+    pub fn person(&self, id: u32) -> Option<&PersonRec> {
+        self.people.iter().find(|p| p.entity == id)
+    }
+
+    /// Film record for an entity id.
+    pub fn film(&self, id: u32) -> Option<&FilmRec> {
+        self.films.iter().find(|f| f.entity == id)
+    }
+
+    /// Club record for an entity id.
+    pub fn club(&self, id: u32) -> Option<&ClubRec> {
+        self.clubs.iter().find(|c| c.entity == id)
+    }
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::default());
+        let b = World::generate(WorldConfig::default());
+        assert_eq!(a.n_entities(), b.n_entities());
+        for (ea, eb) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(ea.name, eb.name);
+            assert_eq!(ea.etype, eb.etype);
+        }
+        assert_eq!(a.countries[0].population_m, b.countries[0].population_m);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::default());
+        let b = World::generate(WorldConfig {
+            seed: 999,
+            ..Default::default()
+        });
+        let pa: Vec<f64> = a.countries.iter().map(|c| c.population_m).collect();
+        let pb: Vec<f64> = b.countries.iter().map(|c| c.population_m).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn entity_ids_are_indices_and_names_unique() {
+        let w = World::generate(WorldConfig::default());
+        for (i, e) in w.entities.iter().enumerate() {
+            assert_eq!(e.id as usize, i);
+        }
+        let mut names: Vec<&str> = w.entities.iter().map(|e| e.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate entity names");
+    }
+
+    #[test]
+    fn relations_are_well_typed() {
+        let w = World::generate(WorldConfig::default());
+        for c in &w.countries {
+            assert_eq!(w.entity(c.entity).etype, EntityType::Country);
+            assert_eq!(w.entity(c.capital).etype, EntityType::City);
+            assert!(c.population_m > 0.0);
+        }
+        for p in &w.people {
+            assert_eq!(w.entity(p.nationality).etype, EntityType::Country);
+        }
+        for f in &w.films {
+            assert_eq!(w.entity(f.director).etype, EntityType::Person);
+            assert!(w.person(f.director).is_some());
+            assert!((1.0..=10.0).contains(&f.rating));
+        }
+        for c in &w.clubs {
+            assert_eq!(w.entity(c.city).etype, EntityType::City);
+        }
+    }
+
+    #[test]
+    fn film_language_matches_director_nationality() {
+        let w = World::generate(WorldConfig::default());
+        for f in &w.films {
+            let director = w.person(f.director).unwrap();
+            let country = w.country(director.nationality).unwrap();
+            assert_eq!(f.language, country.language);
+        }
+    }
+
+    #[test]
+    fn config_sizes_respected() {
+        let w = World::generate(WorldConfig {
+            n_countries: 5,
+            n_people: 10,
+            n_films: 7,
+            n_clubs: 3,
+            seed: 1,
+        });
+        assert_eq!(w.countries.len(), 5);
+        assert_eq!(w.people.len(), 10);
+        assert_eq!(w.films.len(), 7);
+        assert_eq!(w.clubs.len(), 3);
+        // countries + capitals + people + films + clubs
+        assert_eq!(w.n_entities(), 5 + 5 + 10 + 7 + 3);
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let w = World::generate(WorldConfig::default());
+        let fr = w.entity_by_name("France").unwrap();
+        let rec = w.country(fr).unwrap();
+        assert_eq!(w.name(rec.capital), "Paris");
+        assert!(w.city(rec.capital).is_some());
+        assert!(w.entity_by_name("Atlantis").is_none());
+    }
+}

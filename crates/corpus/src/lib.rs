@@ -1,0 +1,36 @@
+//! # ntr-corpus
+//!
+//! Seeded synthetic table corpora and downstream-task datasets.
+//!
+//! The paper's pipelines pretrain on web-table corpora (WikiTables, the WDC
+//! Web Table Corpus, GitTables) and fine-tune/evaluate on annotated sets
+//! (TabFact, WikiSQL, …). None of those are redistributable inside this
+//! reproduction, so this crate builds the closest synthetic equivalents:
+//!
+//! * a [`World`]: a knowledge base of entities (countries, cities, people,
+//!   films, clubs) with typed relations, generated deterministically from a
+//!   seed — the ground truth that real corpora only provide via expensive
+//!   annotation;
+//! * **wiki-style entity tables** ([`tables`]): relational slices of the
+//!   world with captions and entity-linked cells (the WikiTables stand-in);
+//! * **GitTables-style typed tables**: numeric/categorical CSV-like tables
+//!   (employees, sales) without entity links — including the
+//!   `age/workclass/education/hours-per-week/income` shape the paper's
+//!   Fig. 2d uses;
+//! * **downstream datasets** ([`datasets`]): data imputation, table QA,
+//!   fact verification (TabFact-like), table retrieval, column type
+//!   annotation, entity linking and text-to-SQL (WikiSQL-like), each with
+//!   seeded train/val/test splits.
+//!
+//! Everything is a pure function of `(config, seed)`, so every experiment in
+//! `ntr-bench` reproduces bit-for-bit.
+
+pub mod datasets;
+pub mod kb;
+pub mod split;
+pub mod tables;
+pub mod vocab;
+
+pub use kb::{Entity, EntityType, World, WorldConfig};
+pub use split::{split_three, Split};
+pub use tables::{CorpusConfig, TableCorpus};

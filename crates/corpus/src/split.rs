@@ -1,0 +1,109 @@
+//! Deterministic train/validation/test splitting.
+
+/// Which split an item belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training set.
+    Train,
+    /// Validation set.
+    Val,
+    /// Held-out test set.
+    Test,
+}
+
+/// Assigns each of `n` items to a split by hashing `(seed, index)`, with
+/// the given validation/test fractions (train gets the rest).
+///
+/// Hashing (rather than slicing) keeps assignments stable when `n` grows:
+/// item `i`'s split never depends on how many items follow it.
+///
+/// # Panics
+/// Panics when `val_frac + test_frac >= 1.0` or either is negative.
+pub fn split_three(n: usize, val_frac: f64, test_frac: f64, seed: u64) -> Vec<Split> {
+    assert!(
+        val_frac >= 0.0 && test_frac >= 0.0 && val_frac + test_frac < 1.0,
+        "invalid split fractions val={val_frac} test={test_frac}"
+    );
+    (0..n)
+        .map(|i| {
+            let h = hash2(seed, i as u64);
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
+            if u < test_frac {
+                Split::Test
+            } else if u < test_frac + val_frac {
+                Split::Val
+            } else {
+                Split::Train
+            }
+        })
+        .collect()
+}
+
+/// Indices of items in a given split.
+pub fn indices_of(splits: &[Split], which: Split) -> Vec<usize> {
+    splits
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s == which)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn hash2(seed: u64, i: u64) -> u64 {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_deterministic_and_stable_under_growth() {
+        let a = split_three(100, 0.1, 0.2, 5);
+        let b = split_three(100, 0.1, 0.2, 5);
+        assert_eq!(a, b);
+        let bigger = split_three(200, 0.1, 0.2, 5);
+        assert_eq!(&bigger[..100], &a[..], "prefix stability");
+    }
+
+    #[test]
+    fn fractions_are_roughly_respected() {
+        let s = split_three(10_000, 0.1, 0.2, 42);
+        let test = s.iter().filter(|&&x| x == Split::Test).count();
+        let val = s.iter().filter(|&&x| x == Split::Val).count();
+        let train = s.iter().filter(|&&x| x == Split::Train).count();
+        assert!((1800..2200).contains(&test), "test={test}");
+        assert!((800..1200).contains(&val), "val={val}");
+        assert_eq!(train + val + test, 10_000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = split_three(100, 0.2, 0.2, 1);
+        let b = split_three(100, 0.2, 0.2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn indices_of_partitions() {
+        let s = split_three(50, 0.2, 0.2, 3);
+        let all: usize = [Split::Train, Split::Val, Split::Test]
+            .into_iter()
+            .map(|w| indices_of(&s, w).len())
+            .sum();
+        assert_eq!(all, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid split fractions")]
+    fn rejects_bad_fractions() {
+        let _ = split_three(10, 0.6, 0.5, 0);
+    }
+}

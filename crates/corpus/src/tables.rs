@@ -1,0 +1,591 @@
+//! Table corpus generation: wiki-style entity tables over the [`World`] and
+//! GitTables-style typed tables, with controlled noise.
+
+use crate::kb::World;
+use ntr_table::{Cell, Column, Table};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Corpus sizing and noise knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusConfig {
+    /// Number of tables to generate.
+    pub n_tables: usize,
+    /// Inclusive row-count range per table.
+    pub min_rows: usize,
+    /// Inclusive upper bound on rows per table.
+    pub max_rows: usize,
+    /// Per-cell probability of replacing a value with NULL (never applied
+    /// to the subject column of entity tables).
+    pub null_prob: f64,
+    /// Probability a table loses its headers (`col0`, `col1`, …) — the
+    /// "tables without descriptive headers" failure slice of §3.4.
+    pub headerless_prob: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_tables: 100,
+            min_rows: 4,
+            max_rows: 10,
+            null_prob: 0.05,
+            headerless_prob: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// What kind of world slice a table shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Countries with capital/continent/population/area/language columns.
+    Country,
+    /// Films with director/year/language/rating columns.
+    Film,
+    /// People with birth year/nationality/profession columns.
+    Person,
+    /// Clubs with city/founded/titles columns.
+    Club,
+    /// GitTables-style employee records (no entities).
+    Employees,
+    /// GitTables-style sales records (no entities).
+    Sales,
+}
+
+impl TableKind {
+    /// All kinds, in generation rotation order.
+    pub const ALL: [TableKind; 6] = [
+        TableKind::Country,
+        TableKind::Film,
+        TableKind::Person,
+        TableKind::Club,
+        TableKind::Employees,
+        TableKind::Sales,
+    ];
+
+    /// True when tables of this kind carry entity links.
+    pub fn has_entities(self) -> bool {
+        !matches!(self, TableKind::Employees | TableKind::Sales)
+    }
+}
+
+/// A generated corpus: tables plus their kinds (aligned by index).
+#[derive(Debug, Clone)]
+pub struct TableCorpus {
+    /// The tables, each with caption and (for entity kinds) linked cells.
+    pub tables: Vec<Table>,
+    /// Kind of each table.
+    pub kinds: Vec<TableKind>,
+}
+
+impl TableCorpus {
+    /// Generates a mixed corpus over all [`TableKind`]s.
+    pub fn generate(world: &World, cfg: &CorpusConfig) -> TableCorpus {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut tables = Vec::with_capacity(cfg.n_tables);
+        let mut kinds = Vec::with_capacity(cfg.n_tables);
+        for i in 0..cfg.n_tables {
+            let kind = TableKind::ALL[i % TableKind::ALL.len()];
+            let t = generate_table(world, kind, i, cfg, &mut rng);
+            tables.push(t);
+            kinds.push(kind);
+        }
+        TableCorpus { tables, kinds }
+    }
+
+    /// Generates a corpus of only entity-bearing kinds (for MER pretraining).
+    pub fn generate_entity_only(world: &World, cfg: &CorpusConfig) -> TableCorpus {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let entity_kinds: Vec<TableKind> = TableKind::ALL
+            .into_iter()
+            .filter(|k| k.has_entities())
+            .collect();
+        let mut tables = Vec::with_capacity(cfg.n_tables);
+        let mut kinds = Vec::with_capacity(cfg.n_tables);
+        for i in 0..cfg.n_tables {
+            let kind = entity_kinds[i % entity_kinds.len()];
+            tables.push(generate_table(world, kind, i, cfg, &mut rng));
+            kinds.push(kind);
+        }
+        TableCorpus { tables, kinds }
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Column blueprint: header name + cell builder over a subject index.
+struct ColSpec<'w> {
+    name: &'static str,
+    build: Box<dyn Fn(usize) -> Cell + 'w>,
+}
+
+fn generate_table(
+    world: &World,
+    kind: TableKind,
+    index: usize,
+    cfg: &CorpusConfig,
+    rng: &mut StdRng,
+) -> Table {
+    let (caption, specs, n_subjects) = blueprint(world, kind, rng);
+    let n_rows = rng
+        .gen_range(cfg.min_rows..=cfg.max_rows)
+        .min(n_subjects.max(1));
+
+    // Choose which subjects (world records) become rows.
+    let mut subject_idx: Vec<usize> = (0..n_subjects).collect();
+    subject_idx.shuffle(rng);
+    subject_idx.truncate(n_rows);
+
+    // Optionally drop some attribute columns (keep subject col 0).
+    let mut col_idx: Vec<usize> = (1..specs.len()).collect();
+    col_idx.shuffle(rng);
+    let keep_attrs = rng.gen_range(2..=col_idx.len().max(2)).min(col_idx.len());
+    col_idx.truncate(keep_attrs);
+    col_idx.sort_unstable();
+    let mut chosen: Vec<usize> = vec![0];
+    chosen.extend(col_idx);
+
+    let headerless = rng.gen::<f64>() < cfg.headerless_prob;
+    let columns: Vec<Column> = chosen
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            if headerless {
+                Column::new(format!("col{i}"))
+            } else {
+                Column::new(specs[c].name)
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(subject_idx.len());
+    for &s in &subject_idx {
+        let mut row: Vec<Cell> = Vec::with_capacity(chosen.len());
+        for (ci, &c) in chosen.iter().enumerate() {
+            let mut cell = (specs[c].build)(s);
+            // Null noise, sparing the subject column so every row stays
+            // identifiable.
+            if ci != 0 && rng.gen::<f64>() < cfg.null_prob {
+                cell = Cell::null();
+            }
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    Table::new(format!("{}-{index}", kind_slug(kind)), columns, rows)
+        .expect("generated tables are rectangular")
+        .with_caption(caption)
+}
+
+fn kind_slug(kind: TableKind) -> &'static str {
+    match kind {
+        TableKind::Country => "country",
+        TableKind::Film => "film",
+        TableKind::Person => "person",
+        TableKind::Club => "club",
+        TableKind::Employees => "employees",
+        TableKind::Sales => "sales",
+    }
+}
+
+fn blueprint<'w>(
+    world: &'w World,
+    kind: TableKind,
+    rng: &mut StdRng,
+) -> (String, Vec<ColSpec<'w>>, usize) {
+    match kind {
+        TableKind::Country => (
+            "Countries by population and area".to_string(),
+            vec![
+                ColSpec {
+                    name: "Country",
+                    build: Box::new(move |i| {
+                        let c = &world.countries[i];
+                        Cell::with_entity(world.name(c.entity), c.entity)
+                    }),
+                },
+                ColSpec {
+                    name: "Capital",
+                    build: Box::new(move |i| {
+                        let c = &world.countries[i];
+                        Cell::with_entity(world.name(c.capital), c.capital)
+                    }),
+                },
+                ColSpec {
+                    name: "Continent",
+                    build: Box::new(move |i| Cell::new(world.countries[i].continent)),
+                },
+                ColSpec {
+                    name: "Population",
+                    build: Box::new(move |i| {
+                        Cell::new(format!("{}", world.countries[i].population_m))
+                    }),
+                },
+                ColSpec {
+                    name: "Area",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.countries[i].area_k))),
+                },
+                ColSpec {
+                    name: "Language",
+                    build: Box::new(move |i| Cell::new(world.countries[i].language.clone())),
+                },
+            ],
+            world.countries.len(),
+        ),
+        TableKind::Film => (
+            "Films with director and year".to_string(),
+            vec![
+                ColSpec {
+                    name: "Film",
+                    build: Box::new(move |i| {
+                        let f = &world.films[i];
+                        Cell::with_entity(world.name(f.entity), f.entity)
+                    }),
+                },
+                ColSpec {
+                    name: "Director",
+                    build: Box::new(move |i| {
+                        let f = &world.films[i];
+                        Cell::with_entity(world.name(f.director), f.director)
+                    }),
+                },
+                ColSpec {
+                    name: "Year",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.films[i].year))),
+                },
+                ColSpec {
+                    name: "Language",
+                    build: Box::new(move |i| Cell::new(world.films[i].language.clone())),
+                },
+                ColSpec {
+                    name: "Rating",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.films[i].rating))),
+                },
+            ],
+            world.films.len(),
+        ),
+        TableKind::Person => (
+            "People with nationality and profession".to_string(),
+            vec![
+                ColSpec {
+                    name: "Person",
+                    build: Box::new(move |i| {
+                        let p = &world.people[i];
+                        Cell::with_entity(world.name(p.entity), p.entity)
+                    }),
+                },
+                ColSpec {
+                    name: "Born",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.people[i].birth_year))),
+                },
+                ColSpec {
+                    name: "Nationality",
+                    build: Box::new(move |i| {
+                        let p = &world.people[i];
+                        Cell::with_entity(world.name(p.nationality), p.nationality)
+                    }),
+                },
+                ColSpec {
+                    name: "Profession",
+                    build: Box::new(move |i| Cell::new(world.people[i].profession)),
+                },
+            ],
+            world.people.len(),
+        ),
+        TableKind::Club => (
+            "Clubs by city and titles".to_string(),
+            vec![
+                ColSpec {
+                    name: "Club",
+                    build: Box::new(move |i| {
+                        let c = &world.clubs[i];
+                        Cell::with_entity(world.name(c.entity), c.entity)
+                    }),
+                },
+                ColSpec {
+                    name: "City",
+                    build: Box::new(move |i| {
+                        let c = &world.clubs[i];
+                        Cell::with_entity(world.name(c.city), c.city)
+                    }),
+                },
+                ColSpec {
+                    name: "Founded",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.clubs[i].founded))),
+                },
+                ColSpec {
+                    name: "Titles",
+                    build: Box::new(move |i| Cell::new(format!("{}", world.clubs[i].titles))),
+                },
+            ],
+            world.clubs.len(),
+        ),
+        TableKind::Employees => {
+            // Procedural adult-income-like rows (Fig. 2d of the paper).
+            let seed: u64 = rng.gen();
+            let workclasses = ["Private", "State-gov", "Self-emp", "Federal-gov"];
+            let educations = ["HS-grad", "Some-college", "Bachelors", "Assoc-acdm", "Masters"];
+            (
+                "Employee census records".to_string(),
+                vec![
+                    ColSpec {
+                        name: "age",
+                        build: Box::new(move |i| {
+                            Cell::new(format!("{}", 18 + mix(seed, i as u64, 0) % 60))
+                        }),
+                    },
+                    ColSpec {
+                        name: "workclass",
+                        build: Box::new(move |i| {
+                            Cell::new(workclasses[(mix(seed, i as u64, 1) % 4) as usize])
+                        }),
+                    },
+                    ColSpec {
+                        name: "education",
+                        build: Box::new(move |i| {
+                            Cell::new(educations[(mix(seed, i as u64, 2) % 5) as usize])
+                        }),
+                    },
+                    ColSpec {
+                        name: "hours-per-week",
+                        build: Box::new(move |i| {
+                            Cell::new(format!("{}", 10 + mix(seed, i as u64, 3) % 60))
+                        }),
+                    },
+                    ColSpec {
+                        name: "income",
+                        build: Box::new(move |i| {
+                            // Income correlates with hours, so it is learnable.
+                            let hours = 10 + mix(seed, i as u64, 3) % 60;
+                            Cell::new(if hours > 40 { ">50K" } else { "<=50K" })
+                        }),
+                    },
+                ],
+                1000,
+            )
+        }
+        TableKind::Sales => {
+            let seed: u64 = rng.gen();
+            let products = ["widget", "gadget", "sprocket", "gizmo"];
+            (
+                "Quarterly sales by product".to_string(),
+                vec![
+                    ColSpec {
+                        name: "date",
+                        build: Box::new(move |i| {
+                            let m = 1 + mix(seed, i as u64, 0) % 12;
+                            let d = 1 + mix(seed, i as u64, 1) % 28;
+                            Cell::new(format!("2023-{m:02}-{d:02}"))
+                        }),
+                    },
+                    ColSpec {
+                        name: "product",
+                        build: Box::new(move |i| {
+                            Cell::new(products[(mix(seed, i as u64, 2) % 4) as usize])
+                        }),
+                    },
+                    ColSpec {
+                        name: "units",
+                        build: Box::new(move |i| {
+                            Cell::new(format!("{}", 1 + mix(seed, i as u64, 3) % 100))
+                        }),
+                    },
+                    ColSpec {
+                        name: "price",
+                        build: Box::new(move |i| {
+                            Cell::new(format!("{}", (5 + mix(seed, i as u64, 4) % 95) as f64 / 2.0))
+                        }),
+                    },
+                    ColSpec {
+                        name: "total",
+                        build: Box::new(move |i| {
+                            let units = 1 + mix(seed, i as u64, 3) % 100;
+                            let price = (5 + mix(seed, i as u64, 4) % 95) as f64 / 2.0;
+                            Cell::new(format!("{}", units as f64 * price))
+                        }),
+                    },
+                ],
+                1000,
+            )
+        }
+    }
+}
+
+/// Cheap deterministic per-(seed,row,col) hash for procedural values.
+fn mix(seed: u64, i: u64, salt: u64) -> u64 {
+    let mut x = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::default())
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let w = world();
+        let cfg = CorpusConfig::default();
+        let a = TableCorpus::generate(&w, &cfg);
+        let b = TableCorpus::generate(&w, &cfg);
+        assert_eq!(a.len(), cfg.n_tables);
+        for (ta, tb) in a.tables.iter().zip(&b.tables) {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn covers_all_kinds() {
+        let w = world();
+        let c = TableCorpus::generate(&w, &CorpusConfig::default());
+        for kind in TableKind::ALL {
+            assert!(c.kinds.contains(&kind), "{kind:?} missing");
+        }
+    }
+
+    #[test]
+    fn entity_tables_have_linked_subject_column() {
+        let w = world();
+        let c = TableCorpus::generate_entity_only(&w, &CorpusConfig::default());
+        for (t, kind) in c.tables.iter().zip(&c.kinds) {
+            assert!(kind.has_entities());
+            for r in 0..t.n_rows() {
+                let cell = t.cell(r, 0);
+                let e = cell
+                    .entity
+                    .unwrap_or_else(|| panic!("{}: unlinked subject {:?}", t.id, cell.raw));
+                assert_eq!(w.name(e), cell.text(), "{}: link/name mismatch", t.id);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_within_bounds_and_rectangular() {
+        let w = world();
+        let cfg = CorpusConfig {
+            min_rows: 3,
+            max_rows: 6,
+            ..Default::default()
+        };
+        let c = TableCorpus::generate(&w, &cfg);
+        for t in &c.tables {
+            assert!(t.n_rows() >= 1 && t.n_rows() <= 6, "{}: {}", t.id, t.n_rows());
+            assert!(t.n_cols() >= 3, "{}: {}", t.id, t.n_cols());
+        }
+    }
+
+    #[test]
+    fn null_noise_is_applied_but_never_to_subjects() {
+        let w = world();
+        let cfg = CorpusConfig {
+            null_prob: 0.4,
+            n_tables: 30,
+            ..Default::default()
+        };
+        let c = TableCorpus::generate_entity_only(&w, &cfg);
+        let mut any_null = false;
+        for t in &c.tables {
+            for r in 0..t.n_rows() {
+                assert!(!t.cell(r, 0).is_null(), "subject cell nulled in {}", t.id);
+                for col in 1..t.n_cols() {
+                    any_null |= t.cell(r, col).is_null();
+                }
+            }
+        }
+        assert!(any_null, "null_prob=0.4 produced no nulls");
+    }
+
+    #[test]
+    fn headerless_probability_produces_headerless_tables() {
+        let w = world();
+        let cfg = CorpusConfig {
+            headerless_prob: 1.0,
+            n_tables: 6,
+            ..Default::default()
+        };
+        let c = TableCorpus::generate(&w, &cfg);
+        assert!(c.tables.iter().all(|t| t.is_headerless()));
+        let cfg0 = CorpusConfig::default();
+        let c0 = TableCorpus::generate(&w, &cfg0);
+        assert!(c0.tables.iter().all(|t| !t.is_headerless()));
+    }
+
+    #[test]
+    fn employees_income_correlates_with_hours() {
+        let w = world();
+        let cfg = CorpusConfig {
+            n_tables: 60,
+            null_prob: 0.0,
+            min_rows: 8,
+            max_rows: 10,
+            ..Default::default()
+        };
+        let c = TableCorpus::generate(&w, &cfg);
+        for (t, kind) in c.tables.iter().zip(&c.kinds) {
+            if *kind != TableKind::Employees {
+                continue;
+            }
+            let (Some(h), Some(inc)) = (t.column_index("hours-per-week"), t.column_index("income"))
+            else {
+                continue; // those columns may have been dropped
+            };
+            for r in 0..t.n_rows() {
+                let hours: f64 = t.cell(r, h).value.as_number().unwrap();
+                let expected = if hours > 40.0 { ">50K" } else { "<=50K" };
+                assert_eq!(t.cell(r, inc).text(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn sales_totals_are_consistent() {
+        let w = world();
+        let cfg = CorpusConfig {
+            n_tables: 60,
+            null_prob: 0.0,
+            ..Default::default()
+        };
+        let c = TableCorpus::generate(&w, &cfg);
+        let mut checked = false;
+        for (t, kind) in c.tables.iter().zip(&c.kinds) {
+            if *kind != TableKind::Sales {
+                continue;
+            }
+            let (Some(u), Some(p), Some(tot)) = (
+                t.column_index("units"),
+                t.column_index("price"),
+                t.column_index("total"),
+            ) else {
+                continue;
+            };
+            for r in 0..t.n_rows() {
+                let units = t.cell(r, u).value.as_number().unwrap();
+                let price = t.cell(r, p).value.as_number().unwrap();
+                let total = t.cell(r, tot).value.as_number().unwrap();
+                assert!((units * price - total).abs() < 1e-6);
+                checked = true;
+            }
+        }
+        assert!(checked);
+    }
+}

@@ -1,0 +1,102 @@
+//! Building a WordPiece vocabulary from a table corpus: every text the
+//! models will ever see — serialized tables, captions, questions, claims —
+//! goes through the trainer so the vocabulary covers structural symbols
+//! (`|`, `:`, `;`, `row`, `col`), headers, cell values and digits.
+
+use crate::tables::TableCorpus;
+use ntr_tokenizer::train::WordPieceTrainer;
+use ntr_tokenizer::WordPieceTokenizer;
+
+/// The structural symbols linearizers emit; always included in training
+/// text so they never fall to `[UNK]`.
+const STRUCTURAL: &str = "| : ; , . ? ' - row col is the of what which how many 0 1 2 3 4 5 6 7 8 9";
+
+/// Renders a table (headers, cells, caption) as vocabulary-training text.
+pub fn table_text(t: &ntr_table::Table) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str(&t.caption);
+    s.push('\n');
+    for c in t.columns() {
+        s.push_str(&c.name);
+        s.push(' ');
+    }
+    s.push('\n');
+    for row in t.rows() {
+        for cell in row {
+            s.push_str(cell.text());
+            s.push(' ');
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Trains a tokenizer over the corpus plus any extra texts (questions,
+/// claims, SQL renderings).
+pub fn train_tokenizer(
+    corpus: &TableCorpus,
+    extra_texts: &[String],
+    vocab_size: usize,
+) -> WordPieceTokenizer {
+    let mut docs: Vec<String> = corpus.tables.iter().map(table_text).collect();
+    docs.extend_from_slice(extra_texts);
+    // Repeat structural symbols so merges never drop them below threshold.
+    for _ in 0..8 {
+        docs.push(STRUCTURAL.to_string());
+    }
+    let vocab = WordPieceTrainer::new(vocab_size).train(docs.iter().map(String::as_str));
+    WordPieceTokenizer::new(vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{World, WorldConfig};
+    use crate::tables::CorpusConfig;
+    use ntr_tokenizer::SpecialToken;
+
+    #[test]
+    fn trained_tokenizer_covers_structural_symbols_and_content() {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(&w, &CorpusConfig::default());
+        let tok = train_tokenizer(&corpus, &[], 2000);
+        for sym in ["|", ":", ";", "?"] {
+            let ids = tok.encode(sym);
+            assert_eq!(ids.len(), 1, "{sym} should be one token");
+            assert_ne!(ids[0], SpecialToken::Unk.id(), "{sym} must be known");
+        }
+        // Frequent world words should not be UNK.
+        for word in ["france", "paris", "population", "country"] {
+            let ids = tok.encode(word);
+            assert!(
+                ids.iter().all(|&i| i != SpecialToken::Unk.id()),
+                "{word} hit UNK"
+            );
+        }
+    }
+
+    #[test]
+    fn digits_are_always_encodable() {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(&w, &CorpusConfig::default());
+        let tok = train_tokenizer(&corpus, &[], 1500);
+        let ids = tok.encode("1234567890");
+        assert!(ids.iter().all(|&i| i != SpecialToken::Unk.id()));
+    }
+
+    #[test]
+    fn extra_texts_enter_the_vocabulary() {
+        let w = World::generate(WorldConfig::default());
+        let corpus = TableCorpus::generate(
+            &w,
+            &CorpusConfig {
+                n_tables: 5,
+                ..Default::default()
+            },
+        );
+        let extras: Vec<String> = (0..30).map(|_| "zyzzyva zyzzyva zyzzyva".to_string()).collect();
+        let tok = train_tokenizer(&corpus, &extras, 3000);
+        let ids = tok.encode("zyzzyva");
+        assert!(ids.iter().all(|&i| i != SpecialToken::Unk.id()));
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared model hyperparameters.
+
+/// Hyperparameters shared by every model family.
+///
+/// Defaults target the laptop-scale regime this reproduction trains in
+/// (see DESIGN.md §4): d_model 64, 2 layers, 4 heads.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// WordPiece vocabulary size (sizes the word-embedding table and heads).
+    pub vocab_size: usize,
+    /// Entity vocabulary size (TURL's MER label space; 0 disables).
+    pub n_entities: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub n_heads: usize,
+    /// Encoder (and, for TAPEX, decoder) layers.
+    pub n_layers: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length (sizes the position table).
+    pub max_seq: usize,
+    /// Maximum distinct row ids (0 = outside grid, 1.. data rows; clamped).
+    pub max_rows: usize,
+    /// Maximum distinct column ids (clamped like rows).
+    pub max_cols: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Master init seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 2000,
+            n_entities: 0,
+            d_model: 64,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            max_seq: 256,
+            max_rows: 32,
+            max_cols: 16,
+            dropout: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            n_entities: 0,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            d_ff: 32,
+            max_seq: 64,
+            max_rows: 8,
+            max_cols: 8,
+            dropout: 0.0,
+            seed: 7,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings (e.g. heads not dividing width).
+    pub fn validate(&self) {
+        assert!(self.vocab_size > 7, "vocab must include the special tokens");
+        assert!(self.d_model > 0 && self.n_heads > 0 && self.n_layers > 0);
+        assert_eq!(
+            self.d_model % self.n_heads,
+            0,
+            "n_heads {} must divide d_model {}",
+            self.n_heads,
+            self.d_model
+        );
+        assert!(self.max_seq > 0 && self.max_rows > 1 && self.max_cols > 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ModelConfig::default().validate();
+        ModelConfig::tiny(100).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn rejects_indivisible_heads() {
+        ModelConfig {
+            d_model: 10,
+            n_heads: 3,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

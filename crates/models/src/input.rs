@@ -1,0 +1,135 @@
+//! [`EncoderInput`]: the id/metadata bundle every model consumes.
+
+use ntr_table::masking::MaskedExample;
+use ntr_table::EncodedTable;
+
+/// Token ids plus aligned structural-id streams, ready for embedding.
+///
+/// Built from an [`EncodedTable`] (optionally with MLM/MER-corrupted ids);
+/// all streams have equal length.
+#[derive(Debug, Clone)]
+pub struct EncoderInput {
+    /// Token ids.
+    pub ids: Vec<usize>,
+    /// Row ids (0 = outside grid).
+    pub rows: Vec<usize>,
+    /// Column ids (0 = outside grid).
+    pub cols: Vec<usize>,
+    /// Segment ids (0 = context, 1 = table).
+    pub segments: Vec<usize>,
+    /// Token-kind ids (see `ntr_table::EncodedTable::kind_ids`).
+    pub kinds: Vec<usize>,
+    /// Numeric-rank ids (0 = no rank; TAPAS-style rank embeddings).
+    pub ranks: Vec<usize>,
+}
+
+impl EncoderInput {
+    /// Builds from an encoded table, using its original ids.
+    pub fn from_encoded(e: &EncodedTable) -> Self {
+        Self {
+            ids: e.ids().to_vec(),
+            rows: e.row_ids(),
+            cols: e.col_ids(),
+            segments: e.segment_ids(),
+            kinds: e.kind_ids(),
+            ranks: e.rank_ids(),
+        }
+    }
+
+    /// Builds from an encoded table but with corrupted ids (MLM/MER input).
+    ///
+    /// # Panics
+    /// Panics when lengths disagree.
+    pub fn from_encoded_with_ids(e: &EncodedTable, ids: Vec<usize>) -> Self {
+        assert_eq!(ids.len(), e.len(), "override ids length mismatch");
+        Self {
+            ids,
+            rows: e.row_ids(),
+            cols: e.col_ids(),
+            segments: e.segment_ids(),
+            kinds: e.kind_ids(),
+            ranks: e.rank_ids(),
+        }
+    }
+
+    /// Builds from an encoded table and an MLM masking result.
+    pub fn from_masked(e: &EncodedTable, m: &MaskedExample) -> Self {
+        Self::from_encoded_with_ids(e, m.input_ids.clone())
+    }
+
+    /// Builds a plain-text input (no table structure), e.g. for a decoder
+    /// prefix or a pure-text baseline.
+    pub fn from_text_ids(ids: Vec<usize>) -> Self {
+        let n = ids.len();
+        Self {
+            ids,
+            rows: vec![0; n],
+            cols: vec![0; n],
+            segments: vec![0; n],
+            kinds: vec![1; n],
+            ranks: vec![0; n],
+        }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_table::{Linearizer, LinearizerOptions, RowMajorLinearizer, Table};
+    use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+
+    fn encoded() -> EncodedTable {
+        let tok = WordPieceTokenizer::new(
+            WordPieceTrainer::new(200).train(["a b c d | : one two three"]),
+        );
+        let t = Table::from_strings("t", &["a", "b"], &[&["one", "two"], &["three", "one"]]);
+        RowMajorLinearizer.linearize(&t, "c d", &tok, &LinearizerOptions::default())
+    }
+
+    #[test]
+    fn from_encoded_aligns_all_streams() {
+        let e = encoded();
+        let inp = EncoderInput::from_encoded(&e);
+        assert_eq!(inp.len(), e.len());
+        assert_eq!(inp.rows.len(), inp.len());
+        assert_eq!(inp.cols.len(), inp.len());
+        assert_eq!(inp.segments.len(), inp.len());
+        assert_eq!(inp.kinds.len(), inp.len());
+        assert_eq!(inp.ranks.len(), inp.len());
+        assert_eq!(inp.ids, e.ids());
+    }
+
+    #[test]
+    fn override_ids_keeps_structure() {
+        let e = encoded();
+        let corrupted = vec![4; e.len()];
+        let inp = EncoderInput::from_encoded_with_ids(&e, corrupted.clone());
+        assert_eq!(inp.ids, corrupted);
+        assert_eq!(inp.rows, e.row_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn override_ids_validates_length() {
+        let e = encoded();
+        let _ = EncoderInput::from_encoded_with_ids(&e, vec![0; 3]);
+    }
+
+    #[test]
+    fn text_input_has_no_structure() {
+        let inp = EncoderInput::from_text_ids(vec![2, 9, 9, 3]);
+        assert_eq!(inp.rows, vec![0; 4]);
+        assert_eq!(inp.segments, vec![0; 4]);
+        assert!(!inp.is_empty());
+    }
+}

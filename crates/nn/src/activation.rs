@@ -1,0 +1,148 @@
+//! Element-wise activations with cached backward passes.
+
+use ntr_tensor::Tensor;
+
+/// GELU activation (tanh approximation, as used by BERT).
+///
+/// `gelu(x) = 0.5·x·(1 + tanh(√(2/π)·(x + 0.044715·x³)))`
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cache_x: Option<Tensor>,
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_C: f32 = 0.044_715;
+
+/// The scalar GELU function.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_C * x * x * x)).tanh())
+}
+
+/// Derivative of the scalar GELU function.
+pub fn gelu_grad(x: f32) -> f32 {
+    let u = SQRT_2_OVER_PI * (x + GELU_C * x * x * x);
+    let t = u.tanh();
+    let du = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_C * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+impl Gelu {
+    /// Applies GELU element-wise; caches the input.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        x.map(gelu)
+    }
+
+    /// Forward without caching, for inference paths.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        x.map(gelu)
+    }
+
+    /// Returns `dy ⊙ gelu'(x)`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Gelu::backward called without a cached forward");
+        dy.mul(&x.map(gelu_grad))
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cache_x: Option<Tensor>,
+}
+
+impl Relu {
+    /// Applies `max(0, x)` element-wise; caches the input.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_x = Some(x.clone());
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Returns `dy ⊙ 1[x > 0]`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Relu::backward called without a cached forward");
+        Tensor::from_vec(
+            dy.data()
+                .iter()
+                .zip(x.data())
+                .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
+                .collect(),
+            dy.shape(),
+        )
+    }
+}
+
+/// Tanh activation (used for pooler heads).
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cache_y: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Applies `tanh` element-wise; caches the output.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x.map(f32::tanh);
+        self.cache_y = Some(y.clone());
+        y
+    }
+
+    /// Returns `dy ⊙ (1 − y²)`.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let y = self
+            .cache_y
+            .take()
+            .expect("Tanh::backward called without a cached forward");
+        dy.mul(&y.map(|v| 1.0 - v * v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, numeric_grad};
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // GELU is asymptotically identity for large x, ~0 for very negative x.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradcheck() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[1, 5]);
+        let mut g = Gelu::default();
+        let _ = g.forward(&x);
+        let dx = g.backward(&Tensor::ones(&[1, 5]));
+        let num = numeric_grad(&x, 1e-3, |x| x.map(gelu).sum());
+        assert_close(&dx, &num, 1e-2, "gelu");
+    }
+
+    #[test]
+    fn relu_masks_negative() {
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[1, 2]);
+        let mut r = Relu::default();
+        assert_eq!(r.forward(&x).data(), &[0.0, 2.0]);
+        let dx = r.backward(&Tensor::from_vec(vec![5.0, 5.0], &[1, 2]));
+        assert_eq!(dx.data(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradcheck() {
+        let x = Tensor::from_vec(vec![-1.5, 0.0, 0.7], &[1, 3]);
+        let mut t = Tanh::default();
+        let _ = t.forward(&x);
+        let dx = t.backward(&Tensor::ones(&[1, 3]));
+        let num = numeric_grad(&x, 1e-3, |x| x.map(f32::tanh).sum());
+        assert_close(&dx, &num, 1e-2, "tanh");
+    }
+}

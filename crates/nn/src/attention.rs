@@ -1,0 +1,433 @@
+//! Multi-head scaled-dot-product attention with pluggable additive masks.
+//!
+//! The mask abstraction is the hook every table-aware architecture in the
+//! survey uses:
+//!
+//! * **TURL** expresses its *visibility matrix* as a shared additive mask
+//!   (`0` where attending is allowed, `−inf` where not);
+//! * **MATE** gives *each head* its own row- or column-restricted mask;
+//! * **TAPEX**'s decoder uses a causal mask;
+//! * padding is an everything-may-not-attend-here mask.
+//!
+//! All of these are [`AttnMask`] values; the attention core is shared and its
+//! backward pass is verified once by finite differences.
+
+use crate::init::SeededInit;
+use crate::linear::Linear;
+use crate::{Layer, Param};
+use ntr_tensor::Tensor;
+
+/// Additive attention mask(s), broadcast over heads or specified per head.
+///
+/// Masks contain `0.0` for allowed pairs and `f32::NEG_INFINITY` (or any
+/// large negative value) for disallowed pairs; they are added to the raw
+/// attention scores before the softmax.
+#[derive(Debug, Clone)]
+pub enum AttnMask {
+    /// One `[n_q, n_k]` mask shared by every head.
+    Shared(Tensor),
+    /// One `[n_q, n_k]` mask per head (length must equal `n_heads`).
+    PerHead(Vec<Tensor>),
+}
+
+impl AttnMask {
+    /// A causal (lower-triangular) mask for autoregressive decoding.
+    pub fn causal(n: usize) -> Self {
+        let mut m = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            for j in i + 1..n {
+                m.set(&[i, j], f32::NEG_INFINITY);
+            }
+        }
+        AttnMask::Shared(m)
+    }
+
+    /// A mask that hides key positions `>= valid_len` from every query —
+    /// the padding mask.
+    pub fn padding(n_q: usize, n_k: usize, valid_len: usize) -> Self {
+        let mut m = Tensor::zeros(&[n_q, n_k]);
+        for i in 0..n_q {
+            for j in valid_len..n_k {
+                m.set(&[i, j], f32::NEG_INFINITY);
+            }
+        }
+        AttnMask::Shared(m)
+    }
+
+    fn for_head(&self, h: usize) -> &Tensor {
+        match self {
+            AttnMask::Shared(m) => m,
+            AttnMask::PerHead(ms) => &ms[h],
+        }
+    }
+
+    fn check(&self, n_heads: usize, n_q: usize, n_k: usize) {
+        let check_one = |m: &Tensor| {
+            assert_eq!(
+                m.shape(),
+                &[n_q, n_k],
+                "attention mask shape {:?} does not match scores [{n_q}, {n_k}]",
+                m.shape()
+            );
+        };
+        match self {
+            AttnMask::Shared(m) => check_one(m),
+            AttnMask::PerHead(ms) => {
+                assert_eq!(ms.len(), n_heads, "PerHead mask count != n_heads");
+                ms.iter().for_each(check_one);
+            }
+        }
+    }
+}
+
+/// Multi-head attention: Q/K/V/O projections plus the softmax core.
+///
+/// Supports self-attention ([`MultiHeadAttention::forward_self`]) and
+/// cross-attention ([`MultiHeadAttention::forward_cross`]). After any
+/// forward, the per-head attention distributions are available via
+/// [`MultiHeadAttention::last_attention`] — the inspection hook used by the
+/// paper's hands-on §3.3 ("visualize the attention weights").
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    d_head: usize,
+    cache: Option<Cache>,
+    last_probs: Vec<Tensor>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    probs: Vec<Tensor>,
+    self_attn: bool,
+}
+
+impl MultiHeadAttention {
+    /// New attention block with `n_heads` heads over `d_model` features.
+    ///
+    /// # Panics
+    /// Panics unless `n_heads` divides `d_model`.
+    pub fn new(d_model: usize, n_heads: usize, init: &mut SeededInit) -> Self {
+        assert!(
+            d_model.is_multiple_of(n_heads),
+            "d_model {d_model} must be divisible by n_heads {n_heads}"
+        );
+        Self {
+            wq: Linear::new(d_model, d_model, &mut init.fork()),
+            wk: Linear::new(d_model, d_model, &mut init.fork()),
+            wv: Linear::new(d_model, d_model, &mut init.fork()),
+            wo: Linear::new(d_model, d_model, &mut init.fork()),
+            n_heads,
+            d_head: d_model / n_heads,
+            cache: None,
+            last_probs: Vec::new(),
+        }
+    }
+
+    /// Number of heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.n_heads * self.d_head
+    }
+
+    /// Per-head attention distributions from the most recent forward pass.
+    /// Each tensor is `[n_q, n_k]`; empty before the first forward.
+    pub fn last_attention(&self) -> &[Tensor] {
+        &self.last_probs
+    }
+
+    /// Self-attention over `x: [n, d]`.
+    pub fn forward_self(&mut self, x: &Tensor, mask: Option<&AttnMask>) -> Tensor {
+        self.forward(x, x, mask, true)
+    }
+
+    /// Cross-attention: queries from `xq: [n_q, d]`, keys/values from
+    /// `xkv: [n_k, d]`. Input gradients are returned separately by
+    /// [`MultiHeadAttention::backward_cross`].
+    pub fn forward_cross(&mut self, xq: &Tensor, xkv: &Tensor, mask: Option<&AttnMask>) -> Tensor {
+        self.forward(xq, xkv, mask, false)
+    }
+
+    fn forward(&mut self, xq: &Tensor, xkv: &Tensor, mask: Option<&AttnMask>, self_attn: bool) -> Tensor {
+        let d = self.d_model();
+        assert_eq!(xq.dim(1), d, "query input width {} != d_model {d}", xq.dim(1));
+        assert_eq!(xkv.dim(1), d, "key/value input width {} != d_model {d}", xkv.dim(1));
+        let (n_q, n_k) = (xq.dim(0), xkv.dim(0));
+        if let Some(m) = mask {
+            m.check(self.n_heads, n_q, n_k);
+        }
+
+        let q = self.wq.forward(xq);
+        let k = self.wk.forward(xkv);
+        let v = self.wv.forward(xkv);
+
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+        let mut concat = Tensor::zeros(&[n_q, d]);
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for h in 0..self.n_heads {
+            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+            let qh = q.cols(s, e);
+            let kh = k.cols(s, e);
+            let vh = v.cols(s, e);
+            let mut scores = qh.matmul_nt(&kh).scale(scale);
+            if let Some(m) = mask {
+                scores = scores.add(m.for_head(h));
+            }
+            let p = scores.softmax_rows();
+            let oh = p.matmul(&vh);
+            concat.set_cols(s, &oh);
+            probs.push(p);
+        }
+        self.last_probs = probs.clone();
+        self.cache = Some(Cache {
+            q,
+            k,
+            v,
+            probs,
+            self_attn,
+        });
+        self.wo.forward(&concat)
+    }
+
+    /// Backward for self-attention; returns `d loss / d x`.
+    ///
+    /// # Panics
+    /// Panics if the preceding forward was cross-attention (use
+    /// [`MultiHeadAttention::backward_cross`]) or missing.
+    pub fn backward_self(&mut self, dy: &Tensor) -> Tensor {
+        let (dxq, dxkv) = self.backward_inner(dy, true);
+        dxq.add(&dxkv)
+    }
+
+    /// Backward for cross-attention; returns `(d/d xq, d/d xkv)`.
+    pub fn backward_cross(&mut self, dy: &Tensor) -> (Tensor, Tensor) {
+        self.backward_inner(dy, false)
+    }
+
+    fn backward_inner(&mut self, dy: &Tensor, expect_self: bool) -> (Tensor, Tensor) {
+        let cache = self
+            .cache
+            .take()
+            .expect("attention backward called without a cached forward");
+        assert_eq!(
+            cache.self_attn, expect_self,
+            "attention backward variant does not match the forward variant"
+        );
+        let d = self.d_model();
+        let n_q = cache.q.dim(0);
+        let n_k = cache.k.dim(0);
+        let scale = 1.0 / (self.d_head as f32).sqrt();
+
+        let dconcat = self.wo.backward(dy);
+        let mut dq = Tensor::zeros(&[n_q, d]);
+        let mut dk = Tensor::zeros(&[n_k, d]);
+        let mut dv = Tensor::zeros(&[n_k, d]);
+
+        for h in 0..self.n_heads {
+            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+            let doh = dconcat.cols(s, e);
+            let p = &cache.probs[h];
+            let vh = cache.v.cols(s, e);
+            let qh = cache.q.cols(s, e);
+            let kh = cache.k.cols(s, e);
+
+            // dP = dO·Vᵀ ; dV = Pᵀ·dO
+            let dp = doh.matmul_nt(&vh);
+            let dvh = p.matmul_tn(&doh);
+
+            // Softmax Jacobian row-wise: dS_ij = P_ij (dP_ij − Σ_k dP_ik P_ik)
+            let mut ds = Tensor::zeros(&[n_q, n_k]);
+            for r in 0..n_q {
+                let prow = p.row(r);
+                let dprow = dp.row(r);
+                let dot: f32 = prow.iter().zip(dprow).map(|(&a, &b)| a * b).sum();
+                let dsrow = ds.row_mut(r);
+                for j in 0..n_k {
+                    dsrow[j] = prow[j] * (dprow[j] - dot);
+                }
+            }
+
+            let dqh = ds.matmul(&kh).scale(scale);
+            let dkh = ds.matmul_tn(&qh).scale(scale);
+            dq.set_cols(s, &dqh);
+            dk.set_cols(s, &dkh);
+            dv.set_cols(s, &dvh);
+        }
+
+        let dxq = self.wq.backward(&dq);
+        let dxk = self.wk.backward(&dk);
+        let dxv = self.wv.backward(&dv);
+        (dxq, dxk.add(&dxv))
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        visit_child(&mut self.wq, "wq", f);
+        visit_child(&mut self.wk, "wk", f);
+        visit_child(&mut self.wv, "wv", f);
+        visit_child(&mut self.wo, "wo", f);
+    }
+}
+
+/// Prefixes a child layer's parameter names with `prefix/`.
+pub(crate) fn visit_child(
+    child: &mut dyn Layer,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, &mut Param),
+) {
+    child.visit_params(&mut |name, p| f(&format!("{prefix}/{name}"), p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, numeric_grad};
+
+    fn mha(d: usize, h: usize, seed: u64) -> MultiHeadAttention {
+        MultiHeadAttention::new(d, h, &mut SeededInit::new(seed))
+    }
+
+    #[test]
+    fn forward_shapes_and_prob_rows_sum_to_one() {
+        let mut a = mha(8, 2, 1);
+        let x = SeededInit::new(2).uniform(&[5, 8], -1.0, 1.0);
+        let y = a.forward_self(&x, None);
+        assert_eq!(y.shape(), &[5, 8]);
+        assert_eq!(a.last_attention().len(), 2);
+        for p in a.last_attention() {
+            assert_eq!(p.shape(), &[5, 5]);
+            for r in 0..5 {
+                let s: f32 = p.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut a = mha(8, 2, 3);
+        let x = SeededInit::new(4).uniform(&[4, 8], -1.0, 1.0);
+        let mask = AttnMask::causal(4);
+        let _ = a.forward_self(&x, Some(&mask));
+        for p in a.last_attention() {
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    assert!(p.at(&[i, j]).abs() < 1e-7, "future leak at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_mask_zeroes_padded_keys() {
+        let mut a = mha(8, 2, 5);
+        let x = SeededInit::new(6).uniform(&[4, 8], -1.0, 1.0);
+        let mask = AttnMask::padding(4, 4, 2);
+        let _ = a.forward_self(&x, Some(&mask));
+        for p in a.last_attention() {
+            for i in 0..4 {
+                assert!(p.at(&[i, 2]) < 1e-7 && p.at(&[i, 3]) < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn per_head_masks_differ_per_head() {
+        let mut a = mha(8, 2, 7);
+        let x = SeededInit::new(8).uniform(&[3, 8], -1.0, 1.0);
+        let mut m0 = Tensor::zeros(&[3, 3]);
+        m0.set(&[0, 2], f32::NEG_INFINITY);
+        let m1 = Tensor::zeros(&[3, 3]);
+        let _ = a.forward_self(&x, Some(&AttnMask::PerHead(vec![m0, m1])));
+        assert!(a.last_attention()[0].at(&[0, 2]) < 1e-7);
+        assert!(a.last_attention()[1].at(&[0, 2]) > 1e-7);
+    }
+
+    /// Full finite-difference check of self-attention input gradients,
+    /// through all four projections and the softmax.
+    #[test]
+    fn gradcheck_self_attention_input() {
+        let mut a = mha(6, 2, 9);
+        let x = SeededInit::new(10).uniform(&[3, 6], -0.5, 0.5);
+        let dy = SeededInit::new(11).uniform(&[3, 6], -1.0, 1.0);
+
+        let _ = a.forward_self(&x, None);
+        let dx = a.backward_self(&dy);
+
+        let mut probe = a.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 5e-3, |x| {
+            probe.forward_self(x, None).mul(&dyc).sum()
+        });
+        assert_close(&dx, &num, 3e-2, "mha dx");
+    }
+
+    #[test]
+    fn gradcheck_projection_weights() {
+        let mut a = mha(6, 2, 12);
+        let x = SeededInit::new(13).uniform(&[3, 6], -0.5, 0.5);
+        let dy = SeededInit::new(14).uniform(&[3, 6], -1.0, 1.0);
+        let _ = a.forward_self(&x, None);
+        let _ = a.backward_self(&dy);
+
+        let wq = a.wq.w.value.clone();
+        let mut probe = a.clone();
+        let xc = x.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&wq, 5e-3, |w| {
+            probe.wq.w.value = w.clone();
+            probe.forward_self(&xc, None).mul(&dyc).sum()
+        });
+        assert_close(&a.wq.w.grad, &num, 3e-2, "mha dwq");
+    }
+
+    #[test]
+    fn gradcheck_cross_attention_both_inputs() {
+        let mut a = mha(6, 2, 15);
+        let xq = SeededInit::new(16).uniform(&[2, 6], -0.5, 0.5);
+        let xkv = SeededInit::new(17).uniform(&[4, 6], -0.5, 0.5);
+        let dy = SeededInit::new(18).uniform(&[2, 6], -1.0, 1.0);
+        let _ = a.forward_cross(&xq, &xkv, None);
+        let (dxq, dxkv) = a.backward_cross(&dy);
+
+        let mut probe = a.clone();
+        let (xkvc, dyc) = (xkv.clone(), dy.clone());
+        let num_q = numeric_grad(&xq, 5e-3, |q| {
+            probe.forward_cross(q, &xkvc, None).mul(&dyc).sum()
+        });
+        assert_close(&dxq, &num_q, 3e-2, "cross dxq");
+
+        let mut probe = a.clone();
+        let (xqc, dyc) = (xq.clone(), dy.clone());
+        let num_kv = numeric_grad(&xkv, 5e-3, |kv| {
+            probe.forward_cross(&xqc, kv, None).mul(&dyc).sum()
+        });
+        assert_close(&dxkv, &num_kv, 3e-2, "cross dxkv");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the forward variant")]
+    fn mismatched_backward_variant_panics() {
+        let mut a = mha(4, 1, 19);
+        let x = Tensor::ones(&[2, 4]);
+        let _ = a.forward_self(&x, None);
+        let _ = a.backward_cross(&Tensor::ones(&[2, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_heads() {
+        let _ = mha(7, 2, 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Transformer encoder: feed-forward block, pre-LN encoder layer, stack.
+
+use crate::activation::Gelu;
+use crate::attention::{visit_child, AttnMask, MultiHeadAttention};
+use crate::dropout::Dropout;
+use crate::init::SeededInit;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::{Layer, Param};
+use ntr_tensor::Tensor;
+
+/// Position-wise feed-forward block: `Linear → GELU → Linear`.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    lin1: Linear,
+    act: Gelu,
+    lin2: Linear,
+}
+
+impl FeedForward {
+    /// New block expanding `d_model` to `d_ff` and back.
+    pub fn new(d_model: usize, d_ff: usize, init: &mut SeededInit) -> Self {
+        Self {
+            lin1: Linear::new(d_model, d_ff, &mut init.fork()),
+            act: Gelu::default(),
+            lin2: Linear::new(d_ff, d_model, &mut init.fork()),
+        }
+    }
+
+    /// Forward with caching.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.lin2.forward(&self.act.forward(&self.lin1.forward(x)))
+    }
+
+    /// Backward; returns the input gradient.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        self.lin1.backward(&self.act.backward(&self.lin2.backward(dy)))
+    }
+}
+
+impl Layer for FeedForward {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        visit_child(&mut self.lin1, "lin1", f);
+        visit_child(&mut self.lin2, "lin2", f);
+    }
+}
+
+/// One pre-LayerNorm transformer encoder layer:
+///
+/// ```text
+/// x ── LN1 ── MHA ── dropout ──(+)── LN2 ── FFN ── dropout ──(+)── out
+///  └──────────────────────────────┘ └──────────────────────────┘
+/// ```
+///
+/// Pre-LN (rather than BERT's post-LN) is used throughout the workspace
+/// because it trains stably from scratch without long warmups — a documented
+/// deviation that does not change any of the table-structure mechanisms the
+/// paper surveys.
+#[derive(Debug, Clone)]
+pub struct EncoderLayer {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    drop1: Dropout,
+    ln2: LayerNorm,
+    ffn: FeedForward,
+    drop2: Dropout,
+}
+
+impl EncoderLayer {
+    /// New encoder layer.
+    pub fn new(d_model: usize, n_heads: usize, d_ff: usize, dropout: f32, init: &mut SeededInit) -> Self {
+        let seed_base = init.uniform(&[1], 0.0, 1e9).data()[0] as u64;
+        Self {
+            ln1: LayerNorm::new(d_model),
+            attn: MultiHeadAttention::new(d_model, n_heads, init),
+            drop1: Dropout::new(dropout, seed_base),
+            ln2: LayerNorm::new(d_model),
+            ffn: FeedForward::new(d_model, d_ff, init),
+            drop2: Dropout::new(dropout, seed_base.wrapping_add(1)),
+        }
+    }
+
+    /// Forward pass; `mask` is forwarded to the attention core.
+    pub fn forward(&mut self, x: &Tensor, mask: Option<&AttnMask>, train: bool) -> Tensor {
+        let h = self
+            .drop1
+            .forward(&self.attn.forward_self(&self.ln1.forward(x), mask), train);
+        let x1 = x.add(&h);
+        let h2 = self.drop2.forward(&self.ffn.forward(&self.ln2.forward(&x1)), train);
+        x1.add(&h2)
+    }
+
+    /// Backward pass; returns the input gradient.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // Residual 2: dy flows both into the FFN branch and straight through.
+        let dffn = self.ln2.backward(&self.ffn.backward(&self.drop2.backward(dy)));
+        let dx1 = dy.add(&dffn);
+        // Residual 1.
+        let dattn = self
+            .ln1
+            .backward(&self.attn.backward_self(&self.drop1.backward(&dx1)));
+        dx1.add(&dattn)
+    }
+
+    /// The attention sub-layer (for weight inspection / visualization).
+    pub fn attention(&self) -> &MultiHeadAttention {
+        &self.attn
+    }
+}
+
+impl Layer for EncoderLayer {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        visit_child(&mut self.ln1, "ln1", f);
+        visit_child(&mut self.attn, "attn", f);
+        visit_child(&mut self.ln2, "ln2", f);
+        visit_child(&mut self.ffn, "ffn", f);
+    }
+}
+
+/// A stack of [`EncoderLayer`]s with a final LayerNorm (pre-LN convention).
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    layers: Vec<EncoderLayer>,
+    final_ln: LayerNorm,
+}
+
+impl Encoder {
+    /// New encoder with `n_layers` layers.
+    pub fn new(
+        n_layers: usize,
+        d_model: usize,
+        n_heads: usize,
+        d_ff: usize,
+        dropout: f32,
+        init: &mut SeededInit,
+    ) -> Self {
+        Self {
+            layers: (0..n_layers)
+                .map(|_| EncoderLayer::new(d_model, n_heads, d_ff, dropout, init))
+                .collect(),
+            final_ln: LayerNorm::new(d_model),
+        }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.final_ln.dim()
+    }
+
+    /// Forward through all layers; the same `mask` is applied at every layer.
+    pub fn forward(&mut self, x: &Tensor, mask: Option<&AttnMask>, train: bool) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, mask, train);
+        }
+        self.final_ln.forward(&h)
+    }
+
+    /// Backward through all layers in reverse.
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut g = self.final_ln.backward(dy);
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Per-layer, per-head attention maps from the last forward pass.
+    pub fn attention_maps(&self) -> Vec<&[Tensor]> {
+        self.layers.iter().map(|l| l.attention().last_attention()).collect()
+    }
+}
+
+impl Layer for Encoder {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            visit_child(layer, &format!("layer{i}"), f);
+        }
+        visit_child(&mut self.final_ln, "final_ln", f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, numeric_grad};
+
+    #[test]
+    fn ffn_gradcheck() {
+        let mut f = FeedForward::new(4, 8, &mut SeededInit::new(1));
+        let x = SeededInit::new(2).uniform(&[3, 4], -1.0, 1.0);
+        let dy = SeededInit::new(3).uniform(&[3, 4], -1.0, 1.0);
+        let _ = f.forward(&x);
+        let dx = f.backward(&dy);
+        let mut probe = f.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 5e-3, |x| probe.forward(x).mul(&dyc).sum());
+        assert_close(&dx, &num, 2e-2, "ffn dx");
+    }
+
+    #[test]
+    fn encoder_layer_preserves_shape() {
+        let mut l = EncoderLayer::new(8, 2, 16, 0.0, &mut SeededInit::new(4));
+        let x = SeededInit::new(5).uniform(&[6, 8], -1.0, 1.0);
+        let y = l.forward(&x, None, false);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn encoder_layer_gradcheck() {
+        let mut l = EncoderLayer::new(6, 2, 12, 0.0, &mut SeededInit::new(6));
+        let x = SeededInit::new(7).uniform(&[3, 6], -0.5, 0.5);
+        let dy = SeededInit::new(8).uniform(&[3, 6], -1.0, 1.0);
+        let _ = l.forward(&x, None, true);
+        let dx = l.backward(&dy);
+        let mut probe = l.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 5e-3, |x| probe.forward(x, None, false).mul(&dyc).sum());
+        assert_close(&dx, &num, 3e-2, "encoder layer dx");
+    }
+
+    #[test]
+    fn encoder_stack_gradcheck() {
+        let mut enc = Encoder::new(2, 6, 2, 12, 0.0, &mut SeededInit::new(9));
+        let x = SeededInit::new(10).uniform(&[3, 6], -0.5, 0.5);
+        let dy = SeededInit::new(11).uniform(&[3, 6], -1.0, 1.0);
+        let _ = enc.forward(&x, None, true);
+        let dx = enc.backward(&dy);
+        let mut probe = enc.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 5e-3, |x| probe.forward(x, None, false).mul(&dyc).sum());
+        assert_close(&dx, &num, 3e-2, "encoder dx");
+    }
+
+    #[test]
+    fn encoder_exposes_attention_maps() {
+        let mut enc = Encoder::new(2, 8, 2, 16, 0.0, &mut SeededInit::new(12));
+        let x = SeededInit::new(13).uniform(&[4, 8], -1.0, 1.0);
+        let _ = enc.forward(&x, None, false);
+        let maps = enc.attention_maps();
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0].len(), 2);
+        assert_eq!(maps[0][0].shape(), &[4, 4]);
+    }
+
+    #[test]
+    fn param_count_is_deterministic() {
+        let mut a = Encoder::new(2, 8, 2, 16, 0.1, &mut SeededInit::new(14));
+        let mut b = Encoder::new(2, 8, 2, 16, 0.1, &mut SeededInit::new(14));
+        assert_eq!(a.num_params(), b.num_params());
+        assert!(a.num_params() > 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Seeded weight initialization.
+//!
+//! All randomness in the workspace flows through explicit seeds so every
+//! experiment in `ntr-bench` is reproducible bit-for-bit.
+
+use ntr_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded source of initialized weight tensors.
+pub struct SeededInit {
+    rng: StdRng,
+}
+
+impl SeededInit {
+    /// Creates an initializer from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform Glorot/Xavier initialization for a `[fan_in, fan_out]` matrix.
+    ///
+    /// Bound is `sqrt(6 / (fan_in + fan_out))`, the standard choice for
+    /// tanh/GELU-family networks.
+    pub fn xavier(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(&[fan_in, fan_out], -bound, bound)
+    }
+
+    /// Truncated-normal-ish initialization used for embedding tables
+    /// (mean 0, std `std`, resampled into ±2σ).
+    pub fn normal(&mut self, shape: &[usize], std: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| {
+            // Box-Muller with rejection outside 2σ: cheap truncated normal.
+            loop {
+                let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = self.rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                if z.abs() <= 2.0 {
+                    return z * std;
+                }
+            }
+        })
+    }
+
+    /// Uniform initialization on `[lo, hi)`.
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        Tensor::from_fn(shape, |_| self.rng.gen_range(lo..hi))
+    }
+
+    /// Derives an independent child initializer, for giving each sub-layer
+    /// its own stream while staying a pure function of the root seed.
+    pub fn fork(&mut self) -> SeededInit {
+        SeededInit::new(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = SeededInit::new(42).xavier(8, 8);
+        let b = SeededInit::new(42).xavier(8, 8);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let a = SeededInit::new(1).xavier(8, 8);
+        let b = SeededInit::new(2).xavier(8, 8);
+        assert_ne!(a.data(), b.data());
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let t = SeededInit::new(7).xavier(10, 10);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn normal_is_truncated_and_roughly_centered() {
+        let t = SeededInit::new(3).normal(&[1000], 0.5);
+        assert!(t.data().iter().all(|&x| x.abs() <= 1.0 + 1e-6));
+        assert!(t.mean().abs() < 0.1);
+    }
+
+    #[test]
+    fn fork_streams_are_decoupled_but_deterministic() {
+        let mut root1 = SeededInit::new(9);
+        let mut root2 = SeededInit::new(9);
+        let a = root1.fork().uniform(&[4], 0.0, 1.0);
+        let b = root2.fork().uniform(&[4], 0.0, 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,153 @@
+//! # ntr-nn
+//!
+//! Neural-network layers, losses, optimizers and weight serialization for the
+//! `ntr` workspace, built on [`ntr_tensor`].
+//!
+//! ## Architecture
+//!
+//! Every layer is a plain struct owning its [`Param`]s and an activation
+//! cache. Training follows the classic three-step contract:
+//!
+//! 1. `forward(&mut self, x, train)` computes the output **and records the
+//!    activations** needed by the backward pass;
+//! 2. `backward(&mut self, grad_out)` consumes the cache, **accumulates**
+//!    parameter gradients into each `Param`, and returns the gradient with
+//!    respect to the layer input;
+//! 3. an [`optim::Adam`] step visits all parameters via [`Layer::visit_params`]
+//!    and applies the update, after which `zero_grad` resets accumulators.
+//!
+//! Backward passes are hand-derived rather than taped: the model zoo in
+//! `ntr-models` only needs a fixed set of blocks, and explicit code is easier
+//! to verify. Every layer's gradient is pinned by a finite-difference check in
+//! its unit tests (see [`gradcheck`]).
+//!
+//! Sequences are processed unbatched (`[seq_len, d_model]` matrices); batching
+//! is a loop over sequences with gradient accumulation, which keeps shapes
+//! two-dimensional everywhere and makes the kernels trivially auditable.
+//!
+//! ## Example: one training step of a tiny MLP
+//!
+//! ```
+//! use ntr_nn::{Linear, Gelu, loss::softmax_cross_entropy, optim::Adam, Layer};
+//! use ntr_tensor::Tensor;
+//!
+//! let mut l1 = Linear::new(4, 8, &mut ntr_nn::init::SeededInit::new(1));
+//! let mut act = Gelu::default();
+//! let mut l2 = Linear::new(8, 3, &mut ntr_nn::init::SeededInit::new(2));
+//! let mut adam = Adam::new(1e-2);
+//!
+//! let x = Tensor::ones(&[2, 4]);
+//! let h = act.forward(&l1.forward(&x));
+//! let logits = l2.forward(&h);
+//! let (loss, dlogits) = softmax_cross_entropy(&logits, &[0, 2], None);
+//! assert!(loss.is_finite());
+//! let dh = act.backward(&l2.backward(&dlogits));
+//! l1.backward(&dh);
+//! let mut step = adam.begin_step();
+//! l1.visit_params(&mut |_, p| step.update(p));
+//! l2.visit_params(&mut |_, p| step.update(p));
+//! ```
+
+pub mod activation;
+pub mod attention;
+pub mod decoder;
+pub mod dropout;
+pub mod embedding;
+pub mod encoder;
+pub mod init;
+pub mod layernorm;
+pub mod linear;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+
+pub use activation::{Gelu, Relu, Tanh};
+pub use attention::{AttnMask, MultiHeadAttention};
+pub use decoder::{Decoder, DecoderLayer};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use encoder::{Encoder, EncoderLayer};
+pub use layernorm::LayerNorm;
+pub use linear::Linear;
+pub use param::Param;
+
+/// Visitation interface over a layer's trainable parameters.
+///
+/// The `name` passed to the visitor is a `/`-separated path that uniquely
+/// identifies the parameter within the layer; composite layers prefix the
+/// names of their children. Paths are the keys used by [`serialize`].
+pub trait Layer {
+    /// Calls `f` once per trainable parameter, in a deterministic order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param));
+
+    /// Sets all parameter gradients to zero.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalar parameters.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_, p| n += p.value.numel());
+        n
+    }
+}
+
+/// Adds a clone's accumulated gradients into the master's parameters.
+///
+/// This is the unrolled-weight-sharing primitive: when one block must
+/// process several sequences within a single backward pass (TaBERT's
+/// per-row/per-column encoders, bi-encoder retrieval), the block is cloned
+/// per sequence (clones share values but have fresh gradient accumulators
+/// after `zero_grad`), each clone runs its own forward/backward, and this
+/// function folds the clone gradients back into the master. Visit order is
+/// deterministic and identical across clones, so the pairing is exact.
+///
+/// # Panics
+/// Panics when the parameter counts (or shapes) of master and clone differ.
+pub fn merge_grads(master: &mut dyn Layer, clone: &mut dyn Layer) {
+    let mut grads: Vec<ntr_tensor::Tensor> = Vec::new();
+    clone.visit_params(&mut |_, p| grads.push(p.grad.clone()));
+    let mut i = 0;
+    master.visit_params(&mut |name, p| {
+        assert!(i < grads.len(), "clone/master param count mismatch at {name}");
+        p.grad.add_assign(&grads[i]);
+        i += 1;
+    });
+    assert_eq!(i, grads.len(), "clone/master param count mismatch");
+}
+
+/// Finite-difference gradient checking utilities shared by layer tests.
+pub mod gradcheck {
+    use ntr_tensor::Tensor;
+
+    /// Numerically estimates `d loss / d x` for a scalar-valued function by
+    /// central differences with step `eps`.
+    pub fn numeric_grad(x: &Tensor, eps: f32, mut loss: impl FnMut(&Tensor) -> f32) -> Tensor {
+        let mut g = Tensor::zeros(x.shape());
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            g.data_mut()[i] = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+        }
+        g
+    }
+
+    /// Asserts that `analytic` and `numeric` agree within a relative
+    /// tolerance appropriate for f32 central differences.
+    pub fn assert_close(analytic: &Tensor, numeric: &Tensor, tol: f32, what: &str) {
+        assert_eq!(analytic.shape(), numeric.shape(), "{what}: shape mismatch");
+        for i in 0..analytic.numel() {
+            let a = analytic.data()[i];
+            let n = numeric.data()[i];
+            let denom = a.abs().max(n.abs()).max(1.0);
+            assert!(
+                (a - n).abs() / denom < tol,
+                "{what}: gradient mismatch at {i}: analytic={a} numeric={n}"
+            );
+        }
+    }
+}

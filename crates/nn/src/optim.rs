@@ -1,0 +1,242 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::Param;
+use ntr_tensor::Tensor;
+use std::collections::HashMap;
+
+/// AdamW: Adam with decoupled weight decay and bias correction.
+///
+/// Per-parameter moment state is keyed by [`Param::id`], so the same `Adam`
+/// instance can be shared across all of a model's parameters and across
+/// steps. Usage per step:
+///
+/// ```text
+/// let mut step = adam.begin_step();      // advances t once
+/// model.visit_params(&mut |_, p| step.update(p));
+/// model.zero_grad();
+/// ```
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    state: HashMap<u64, Moments>,
+}
+
+#[derive(Debug)]
+struct Moments {
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Adam {
+    /// Adam with standard β=(0.9, 0.999), ε=1e-8, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Sets decoupled weight decay (AdamW).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Overrides the learning rate (e.g. from a schedule) before a step.
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Begins one optimizer step: advances the timestep and returns a guard
+    /// whose [`AdamStep::update`] applies the update to each parameter.
+    pub fn begin_step(&mut self) -> AdamStep<'_> {
+        self.t += 1;
+        AdamStep { adam: self }
+    }
+}
+
+/// Guard for a single optimizer step. See [`Adam::begin_step`].
+pub struct AdamStep<'a> {
+    adam: &'a mut Adam,
+}
+
+impl AdamStep<'_> {
+    /// Applies the AdamW update to `p` using its accumulated gradient.
+    /// Does **not** zero the gradient; callers do that after the full step.
+    pub fn update(&mut self, p: &mut Param) {
+        let a = &mut *self.adam;
+        let entry = a.state.entry(p.id()).or_insert_with(|| Moments {
+            m: Tensor::zeros(p.value.shape()),
+            v: Tensor::zeros(p.value.shape()),
+        });
+        assert_eq!(
+            entry.m.shape(),
+            p.value.shape(),
+            "Adam state shape mismatch: parameter was recreated or resized"
+        );
+        let bc1 = 1.0 - a.beta1.powi(a.t as i32);
+        let bc2 = 1.0 - a.beta2.powi(a.t as i32);
+        let n = p.value.numel();
+        for i in 0..n {
+            let g = p.grad.data()[i];
+            let m = &mut entry.m.data_mut()[i];
+            *m = a.beta1 * *m + (1.0 - a.beta1) * g;
+            let v = &mut entry.v.data_mut()[i];
+            *v = a.beta2 * *v + (1.0 - a.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            let w = &mut p.value.data_mut()[i];
+            *w -= a.lr * (mhat / (vhat.sqrt() + a.eps) + a.weight_decay * *w);
+        }
+    }
+}
+
+/// Linear warmup followed by linear decay to zero — the standard BERT
+/// fine-tuning schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupLinearSchedule {
+    /// Peak learning rate reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Number of warmup steps.
+    pub warmup: u64,
+    /// Total training steps (decay reaches zero here).
+    pub total: u64,
+}
+
+impl WarmupLinearSchedule {
+    /// Learning rate at step `t` (0-based).
+    pub fn lr_at(&self, t: u64) -> f32 {
+        if self.total == 0 {
+            return self.peak_lr;
+        }
+        if t < self.warmup {
+            return self.peak_lr * (t + 1) as f32 / self.warmup.max(1) as f32;
+        }
+        let remaining = self.total.saturating_sub(t) as f32;
+        let decay_span = self.total.saturating_sub(self.warmup).max(1) as f32;
+        self.peak_lr * (remaining / decay_span).clamp(0.0, 1.0)
+    }
+}
+
+/// Global-norm gradient clipping: scales every gradient so the concatenated
+/// gradient vector has norm at most `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|&g| g * g).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for p in params.iter_mut() {
+            for g in p.grad.data_mut() {
+                *g *= scale;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step(adam: &mut Adam, p: &mut Param) {
+        // loss = Σ w², grad = 2w
+        p.zero_grad();
+        let g = p.value.scale(2.0);
+        p.accumulate(&g);
+        let mut step = adam.begin_step();
+        step.update(p);
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut p = Param::new(Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let mut adam = Adam::new(0.1);
+        for _ in 0..500 {
+            quadratic_step(&mut adam, &mut p);
+        }
+        assert!(p.value.norm() < 1e-2, "did not converge: {:?}", p.value);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut p = Param::new(Tensor::from_vec(vec![1.0], &[1]));
+        let mut adam = Adam::new(0.01).with_weight_decay(0.1);
+        for _ in 0..100 {
+            p.zero_grad();
+            let mut step = adam.begin_step();
+            step.update(&mut p);
+        }
+        assert!(p.value.data()[0] < 1.0);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_lr() {
+        // With bias correction, the first Adam step has magnitude ≈ lr.
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], &[1]));
+        p.accumulate(&Tensor::from_vec(vec![123.0], &[1]));
+        let mut adam = Adam::new(0.5);
+        adam.begin_step().update(&mut p);
+        assert!((p.value.data()[0].abs() - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn schedule_warms_up_then_decays() {
+        let s = WarmupLinearSchedule {
+            peak_lr: 1.0,
+            warmup: 10,
+            total: 110,
+        };
+        assert!(s.lr_at(0) > 0.0 && s.lr_at(0) <= 0.1 + 1e-6);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+        assert!(s.lr_at(60) < 1.0 && s.lr_at(60) > 0.0);
+        assert_eq!(s.lr_at(110), 0.0);
+        assert!(s.lr_at(30) > s.lr_at(90), "monotone decay");
+    }
+
+    #[test]
+    fn schedule_degenerate_totals_are_safe() {
+        let s = WarmupLinearSchedule {
+            peak_lr: 1.0,
+            warmup: 0,
+            total: 0,
+        };
+        assert_eq!(s.lr_at(0), 1.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        a.accumulate(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let norm = clip_grad_norm(&mut [&mut a], 1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert!((a.grad.norm() - 1.0).abs() < 1e-5);
+
+        let mut b = Param::new(Tensor::zeros(&[1]));
+        b.accumulate(&Tensor::from_vec(vec![0.1], &[1]));
+        clip_grad_norm(&mut [&mut b], 1.0);
+        assert!((b.grad.data()[0] - 0.1).abs() < 1e-7, "small grads untouched");
+    }
+}

@@ -1,0 +1,108 @@
+//! Trainable parameters: a value tensor plus an accumulated gradient.
+
+use ntr_tensor::Tensor;
+
+/// A trainable tensor with its gradient accumulator.
+///
+/// Layers accumulate into `grad` during `backward`; optimizers read `grad`
+/// and write `value`. Optimizer state (Adam moments) is keyed off the
+/// parameter's stable [`Param::id`], so parameters must not be recreated
+/// between optimizer steps.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+    id: u64,
+}
+
+impl Param {
+    /// Wraps an initialized tensor as a trainable parameter.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            value,
+            grad,
+            id: next_id(),
+        }
+    }
+
+    /// Stable identity used by optimizers to key per-parameter state.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    /// Panics if `g` has a different shape than the parameter.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+
+    /// Replaces the values while keeping identity and gradient shape.
+    ///
+    /// # Panics
+    /// Panics if the new values have a different shape.
+    pub fn load(&mut self, value: Tensor) {
+        assert_eq!(
+            self.value.shape(),
+            value.shape(),
+            "Param::load: shape mismatch {:?} vs {:?}",
+            self.value.shape(),
+            value.shape()
+        );
+        self.value = value;
+    }
+}
+
+fn next_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_and_unique_id() {
+        let a = Param::new(Tensor::ones(&[2, 2]));
+        let b = Param::new(Tensor::ones(&[2, 2]));
+        assert!(a.grad.data().iter().all(|&x| x == 0.0));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn accumulate_then_zero() {
+        let mut p = Param::new(Tensor::zeros(&[3]));
+        p.accumulate(&Tensor::ones(&[3]));
+        p.accumulate(&Tensor::ones(&[3]));
+        assert_eq!(p.grad.data(), &[2.0, 2.0, 2.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn load_replaces_values_keeps_id() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        let id = p.id();
+        p.load(Tensor::ones(&[2]));
+        assert_eq!(p.value.data(), &[1.0, 1.0]);
+        assert_eq!(p.id(), id);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn load_rejects_shape_change() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.load(Tensor::ones(&[3]));
+    }
+}

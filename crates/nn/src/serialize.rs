@@ -1,0 +1,266 @@
+//! Checkpointing: save/load a layer's named parameters to a simple,
+//! versioned binary format.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  b"NTRW"
+//! u32    version (1)
+//! u32    parameter count
+//! per parameter:
+//!   u32      name length, then UTF-8 name bytes
+//!   u32      ndim, then u32 per dim
+//!   f32 * n  row-major values
+//! ```
+//!
+//! Loading is strict by name and shape: the checkpoint and the model must
+//! describe the same parameter set, which catches architecture drift early.
+
+use crate::Layer;
+use ntr_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NTRW";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint load/save.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not an `NTRW` checkpoint or has a bad version.
+    BadFormat(String),
+    /// Checkpoint and model disagree on the parameter set.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadFormat(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint/model mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Collects a layer's parameters into a name → tensor map.
+pub fn state_dict(layer: &mut dyn Layer) -> BTreeMap<String, Tensor> {
+    let mut map = BTreeMap::new();
+    layer.visit_params(&mut |name, p| {
+        let prev = map.insert(name.to_string(), p.value.clone());
+        assert!(prev.is_none(), "duplicate parameter name {name}");
+    });
+    map
+}
+
+/// Serializes a layer's parameters to `w`.
+pub fn save_to(layer: &mut dyn Layer, w: &mut dyn Write) -> Result<(), CheckpointError> {
+    let dict = state_dict(layer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(dict.len() as u32).to_le_bytes())?;
+    for (name, t) in &dict {
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(t.ndim() as u32).to_le_bytes())?;
+        for &d in t.shape() {
+            w.write_all(&(d as u32).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves a layer's parameters to a file.
+pub fn save(layer: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_to(layer, &mut f)
+}
+
+/// Reads a checkpoint into a name → tensor map.
+pub fn read_from(r: &mut dyn Read) -> Result<BTreeMap<String, Tensor>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadFormat(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadFormat(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let count = read_u32(r)? as usize;
+    let mut map = BTreeMap::new();
+    for _ in 0..count {
+        let name_len = read_u32(r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| CheckpointError::BadFormat(format!("non-UTF8 name: {e}")))?;
+        let ndim = read_u32(r)? as usize;
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u32(r)? as usize);
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0.0f32; numel];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        map.insert(name, Tensor::from_vec(data, &shape));
+    }
+    Ok(map)
+}
+
+/// Loads a checkpoint into a layer, strict on names and shapes.
+pub fn load_from(layer: &mut dyn Layer, r: &mut dyn Read) -> Result<(), CheckpointError> {
+    let mut map = read_from(r)?;
+    let mut error: Option<CheckpointError> = None;
+    let mut loaded = 0usize;
+    layer.visit_params(&mut |name, p| {
+        if error.is_some() {
+            return;
+        }
+        match map.remove(name) {
+            Some(t) if t.shape() == p.value.shape() => {
+                p.value = t;
+                loaded += 1;
+            }
+            Some(t) => {
+                error = Some(CheckpointError::Mismatch(format!(
+                    "parameter {name}: checkpoint shape {:?} != model shape {:?}",
+                    t.shape(),
+                    p.value.shape()
+                )));
+            }
+            None => {
+                error = Some(CheckpointError::Mismatch(format!(
+                    "parameter {name} missing from checkpoint"
+                )));
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if let Some(extra) = map.keys().next() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint contains {} parameter(s) unknown to the model, e.g. {extra}",
+            map.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Loads a checkpoint file into a layer.
+pub fn load(layer: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_from(layer, &mut f)
+}
+
+fn read_u32(r: &mut dyn Read) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::SeededInit;
+    use crate::{Encoder, Linear};
+
+    #[test]
+    fn roundtrip_linear() {
+        let mut a = Linear::new(3, 4, &mut SeededInit::new(1));
+        let mut buf = Vec::new();
+        save_to(&mut a, &mut buf).unwrap();
+        let mut b = Linear::new(3, 4, &mut SeededInit::new(999));
+        assert_ne!(a.w.value.data(), b.w.value.data());
+        load_from(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(a.w.value.data(), b.w.value.data());
+        assert_eq!(a.b.value.data(), b.b.value.data());
+    }
+
+    #[test]
+    fn roundtrip_encoder_with_nested_names() {
+        let mut a = Encoder::new(2, 8, 2, 16, 0.0, &mut SeededInit::new(2));
+        let mut buf = Vec::new();
+        save_to(&mut a, &mut buf).unwrap();
+        let dict = read_from(&mut buf.as_slice()).unwrap();
+        assert!(dict.keys().any(|k| k.starts_with("layer0/attn/wq/")));
+        assert!(dict.contains_key("final_ln/gamma"));
+        let mut b = Encoder::new(2, 8, 2, 16, 0.0, &mut SeededInit::new(3));
+        load_from(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(state_dict(&mut a), state_dict(&mut b));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut a = Linear::new(3, 4, &mut SeededInit::new(4));
+        let mut buf = Vec::new();
+        save_to(&mut a, &mut buf).unwrap();
+        let mut b = Linear::new(3, 5, &mut SeededInit::new(5));
+        let err = load_from(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn missing_parameter_is_an_error() {
+        let mut small = Linear::new(2, 2, &mut SeededInit::new(6));
+        let mut buf = Vec::new();
+        save_to(&mut small, &mut buf).unwrap();
+        let mut big = Encoder::new(1, 4, 1, 8, 0.0, &mut SeededInit::new(7));
+        let err = load_from(&mut big, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let buf = b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        let err = read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_is_io_error() {
+        let mut a = Linear::new(3, 4, &mut SeededInit::new(8));
+        let mut buf = Vec::new();
+        save_to(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = Linear::new(3, 4, &mut SeededInit::new(9));
+        let err = load_from(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ntr_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lin.ntrw");
+        let mut a = Linear::new(2, 3, &mut SeededInit::new(10));
+        save(&mut a, &path).unwrap();
+        let mut b = Linear::new(2, 3, &mut SeededInit::new(11));
+        load(&mut b, &path).unwrap();
+        assert_eq!(a.w.value.data(), b.w.value.data());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based gradient checks: every layer's backward must match
+//! central finite differences for random shapes, inputs and weights.
+
+use ntr_nn::gradcheck::numeric_grad;
+use ntr_nn::init::SeededInit;
+use ntr_nn::loss::softmax_cross_entropy;
+use ntr_nn::{Gelu, LayerNorm, Linear, MultiHeadAttention};
+use proptest::prelude::*;
+
+fn close(analytic: &ntr_tensor::Tensor, numeric: &ntr_tensor::Tensor, tol: f32) -> bool {
+    analytic
+        .data()
+        .iter()
+        .zip(numeric.data())
+        .all(|(&a, &n)| (a - n).abs() / a.abs().max(n.abs()).max(1.0) < tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn linear_input_gradient_matches(seed in 0u64..1000, n in 1usize..5, d_in in 1usize..5, d_out in 1usize..5) {
+        let mut init = SeededInit::new(seed);
+        let mut layer = Linear::new(d_in, d_out, &mut init.fork());
+        let x = init.uniform(&[n, d_in], -1.0, 1.0);
+        let dy = init.uniform(&[n, d_out], -1.0, 1.0);
+        let _ = layer.forward(&x);
+        let dx = layer.backward(&dy);
+        let probe = layer.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 1e-2, |x| probe.forward_inference(x).mul(&dyc).sum());
+        prop_assert!(close(&dx, &num, 3e-2));
+    }
+
+    #[test]
+    fn gelu_gradient_matches(seed in 0u64..1000, n in 1usize..6) {
+        let mut init = SeededInit::new(seed);
+        let x = init.uniform(&[1, n], -2.0, 2.0);
+        let mut g = Gelu::default();
+        let _ = g.forward(&x);
+        let dx = g.backward(&ntr_tensor::Tensor::ones(&[1, n]));
+        let num = numeric_grad(&x, 1e-3, |x| x.map(ntr_nn::activation::gelu).sum());
+        prop_assert!(close(&dx, &num, 2e-2));
+    }
+
+    #[test]
+    fn layernorm_input_gradient_matches(seed in 0u64..1000, n in 1usize..4, d in 2usize..6) {
+        let mut init = SeededInit::new(seed);
+        let mut ln = LayerNorm::new(d);
+        ln.gamma.value = init.uniform(&[d], 0.5, 1.5);
+        let x = init.uniform(&[n, d], -2.0, 2.0);
+        let dy = init.uniform(&[n, d], -1.0, 1.0);
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&dy);
+        let probe = ln.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 1e-2, |x| probe.forward_inference(x).mul(&dyc).sum());
+        prop_assert!(close(&dx, &num, 5e-2));
+    }
+
+    #[test]
+    fn attention_input_gradient_matches(seed in 0u64..200, n in 2usize..4) {
+        let mut init = SeededInit::new(seed);
+        let mut attn = MultiHeadAttention::new(4, 2, &mut init);
+        let x = init.uniform(&[n, 4], -0.5, 0.5);
+        let dy = init.uniform(&[n, 4], -1.0, 1.0);
+        let _ = attn.forward_self(&x, None);
+        let dx = attn.backward_self(&dy);
+        let mut probe = attn.clone();
+        let dyc = dy.clone();
+        let num = numeric_grad(&x, 5e-3, |x| probe.forward_self(x, None).mul(&dyc).sum());
+        prop_assert!(close(&dx, &num, 6e-2));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches(seed in 0u64..1000, n in 1usize..4, c in 2usize..6) {
+        let mut init = SeededInit::new(seed);
+        let logits = init.uniform(&[n, c], -2.0, 2.0);
+        let targets: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % c).collect();
+        let (_, d) = softmax_cross_entropy(&logits, &targets, None);
+        let t = targets.clone();
+        let num = numeric_grad(&logits, 1e-2, |l| softmax_cross_entropy(l, &t, None).0);
+        prop_assert!(close(&d, &num, 3e-2));
+    }
+
+    #[test]
+    fn softmax_cross_entropy_loss_is_nonnegative(seed in 0u64..1000, n in 1usize..4, c in 2usize..6) {
+        let mut init = SeededInit::new(seed);
+        let logits = init.uniform(&[n, c], -5.0, 5.0);
+        let targets: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let (loss, _) = softmax_cross_entropy(&logits, &targets, None);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(loss.is_finite());
+    }
+}

@@ -1,0 +1,214 @@
+//! Query AST and its SQL rendering.
+
+use std::fmt;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agg {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl Agg {
+    /// Keyword form.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Agg::Count => "COUNT",
+            Agg::Sum => "SUM",
+            Agg::Avg => "AVG",
+            Agg::Min => "MIN",
+            Agg::Max => "MAX",
+        }
+    }
+
+    /// All aggregates (for generators and label spaces).
+    pub const ALL: [Agg; 5] = [Agg::Count, Agg::Sum, Agg::Avg, Agg::Min, Agg::Max];
+}
+
+/// Comparison operators in `WHERE` conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl CmpOp {
+    /// Symbol form.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "!=",
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+        }
+    }
+
+    /// All operators.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Gt,
+        CmpOp::Lt,
+        CmpOp::Ge,
+        CmpOp::Le,
+    ];
+}
+
+/// A literal in a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (stored unquoted).
+    Text(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// One `WHERE` condition: `column op literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Column name.
+    pub column: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand literal.
+    pub value: Literal,
+}
+
+/// A full query: optional aggregate over one selected column, with an
+/// AND-conjunction of conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Aggregate, if any.
+    pub agg: Option<Agg>,
+    /// Selected column name.
+    pub column: String,
+    /// Conjunctive conditions (possibly empty).
+    pub conditions: Vec<Condition>,
+}
+
+impl Query {
+    /// A bare column selection.
+    pub fn select(column: impl Into<String>) -> Self {
+        Self {
+            agg: None,
+            column: column.into(),
+            conditions: Vec::new(),
+        }
+    }
+
+    /// Adds an aggregate, builder-style.
+    pub fn with_agg(mut self, agg: Agg) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+
+    /// Adds a condition, builder-style.
+    pub fn with_condition(
+        mut self,
+        column: impl Into<String>,
+        op: CmpOp,
+        value: Literal,
+    ) -> Self {
+        self.conditions.push(Condition {
+            column: column.into(),
+            op,
+            value,
+        });
+        self
+    }
+}
+
+fn quote_col(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.is_empty()
+    {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+impl fmt::Display for Query {
+    /// Renders canonical SQL text (parsable by [`crate::parse_query`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if let Some(agg) = self.agg {
+            write!(f, "{} ", agg.keyword())?;
+        }
+        write!(f, "{} FROM t", quote_col(&self.column))?;
+        for (i, c) in self.conditions.iter().enumerate() {
+            let kw = if i == 0 { " WHERE" } else { " AND" };
+            write!(f, "{kw} {} {} {}", quote_col(&c.column), c.op.symbol(), c.value)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_bare_select() {
+        assert_eq!(Query::select("city").to_string(), "SELECT city FROM t");
+    }
+
+    #[test]
+    fn renders_aggregate_and_conditions() {
+        let q = Query::select("population")
+            .with_agg(Agg::Sum)
+            .with_condition("country", CmpOp::Eq, Literal::Text("France".into()))
+            .with_condition("year", CmpOp::Ge, Literal::Number(2000.0));
+        assert_eq!(
+            q.to_string(),
+            "SELECT SUM population FROM t WHERE country = 'France' AND year >= 2000"
+        );
+    }
+
+    #[test]
+    fn quotes_awkward_column_names() {
+        let q = Query::select("hours-per-week");
+        assert_eq!(q.to_string(), "SELECT \"hours-per-week\" FROM t");
+    }
+
+    #[test]
+    fn escapes_quotes_in_literals() {
+        let q = Query::select("a").with_condition(
+            "b",
+            CmpOp::Eq,
+            Literal::Text("O'Brien".into()),
+        );
+        assert!(q.to_string().contains("'O''Brien'"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Query execution over a single table, and answer canonicalization.
+
+use crate::ast::{Agg, CmpOp, Literal, Query};
+use ntr_table::{CellValue, Table};
+use std::fmt;
+
+/// Execution errors.
+#[derive(Debug, PartialEq)]
+pub enum ExecError {
+    /// A referenced column does not exist in the table.
+    NoSuchColumn(String),
+    /// `SUM`/`AVG` over a value that is not numeric.
+    NonNumericAggregate {
+        /// The aggregate.
+        agg: Agg,
+        /// The offending cell text.
+        cell: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoSuchColumn(c) => write!(f, "no such column: {c:?}"),
+            ExecError::NonNumericAggregate { agg, cell } => {
+                write!(f, "{} over non-numeric cell {cell:?}", agg.keyword())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A query result: the list of selected values (aggregates produce one).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// Result values in row order.
+    pub values: Vec<CellValue>,
+}
+
+impl Answer {
+    /// Canonical string forms for denotation comparison: trimmed,
+    /// lowercased, numbers normalized (`2.0` → `2`), sorted.
+    ///
+    /// Sorting makes the comparison order-insensitive, matching the
+    /// convention of WikiSQL-style denotation accuracy.
+    pub fn denotation(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.values.iter().map(canonical).collect();
+        out.sort();
+        out
+    }
+
+    /// True when two answers denote the same result set.
+    pub fn same_denotation(&self, other: &Answer) -> bool {
+        self.denotation() == other.denotation()
+    }
+}
+
+/// Canonicalizes one value for denotation comparison.
+pub fn canonical(v: &CellValue) -> String {
+    match v {
+        CellValue::Float(f) => {
+            if (f.fract()).abs() < 1e-9 && f.abs() < 1e15 {
+                format!("{}", *f as i64)
+            } else {
+                format!("{:.4}", f)
+                    .trim_end_matches('0')
+                    .trim_end_matches('.')
+                    .to_string()
+            }
+        }
+        CellValue::Int(i) => i.to_string(),
+        other => other.to_string().trim().to_lowercase(),
+    }
+}
+
+fn matches_condition(cell: &CellValue, op: CmpOp, lit: &Literal) -> bool {
+    // Numeric comparison whenever both sides are numeric; otherwise
+    // case-insensitive string comparison (ordering ops lexicographic).
+    match (cell.as_number(), lit) {
+        (Some(a), Literal::Number(b)) => compare_f64(a, *b, op),
+        _ => {
+            let a = canonical(cell);
+            let b = match lit {
+                Literal::Number(n) => canonical(&CellValue::Float(*n)),
+                Literal::Text(s) => s.trim().to_lowercase(),
+            };
+            if cell.is_null() {
+                // NULLs match nothing except explicit != (SQL-ish pragmatism:
+                // treat NULL as unequal to every literal).
+                return op == CmpOp::Neq;
+            }
+            match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Neq => a != b,
+                CmpOp::Gt => a > b,
+                CmpOp::Lt => a < b,
+                CmpOp::Ge => a >= b,
+                CmpOp::Le => a <= b,
+            }
+        }
+    }
+}
+
+fn compare_f64(a: f64, b: f64, op: CmpOp) -> bool {
+    const EPS: f64 = 1e-9;
+    match op {
+        CmpOp::Eq => (a - b).abs() <= EPS,
+        CmpOp::Neq => (a - b).abs() > EPS,
+        CmpOp::Gt => a > b + EPS,
+        CmpOp::Lt => a < b - EPS,
+        CmpOp::Ge => a >= b - EPS,
+        CmpOp::Le => a <= b + EPS,
+    }
+}
+
+/// Executes `query` against `table`.
+pub fn execute(query: &Query, table: &Table) -> Result<Answer, ExecError> {
+    let sel = table
+        .column_index(&query.column)
+        .ok_or_else(|| ExecError::NoSuchColumn(query.column.clone()))?;
+    let mut cond_cols = Vec::with_capacity(query.conditions.len());
+    for c in &query.conditions {
+        cond_cols.push(
+            table
+                .column_index(&c.column)
+                .ok_or_else(|| ExecError::NoSuchColumn(c.column.clone()))?,
+        );
+    }
+
+    let selected: Vec<&CellValue> = (0..table.n_rows())
+        .filter(|&r| {
+            query
+                .conditions
+                .iter()
+                .zip(&cond_cols)
+                .all(|(c, &col)| matches_condition(&table.cell(r, col).value, c.op, &c.value))
+        })
+        .map(|r| &table.cell(r, sel).value)
+        .collect();
+
+    let values = match query.agg {
+        None => selected.into_iter().cloned().collect(),
+        Some(Agg::Count) => vec![CellValue::Int(selected.len() as i64)],
+        Some(agg @ (Agg::Sum | Agg::Avg)) => {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for v in &selected {
+                if v.is_null() {
+                    continue; // SQL aggregates skip NULLs
+                }
+                let x = v.as_number().ok_or_else(|| ExecError::NonNumericAggregate {
+                    agg,
+                    cell: v.to_string(),
+                })?;
+                sum += x;
+                n += 1;
+            }
+            let result = match agg {
+                Agg::Sum => sum,
+                _ if n == 0 => f64::NAN,
+                _ => sum / n as f64,
+            };
+            if result.is_nan() {
+                vec![CellValue::Null]
+            } else {
+                vec![CellValue::Float(result)]
+            }
+        }
+        Some(agg @ (Agg::Min | Agg::Max)) => {
+            let non_null: Vec<&&CellValue> = selected.iter().filter(|v| !v.is_null()).collect();
+            if non_null.is_empty() {
+                vec![CellValue::Null]
+            } else if non_null.iter().all(|v| v.as_number().is_some()) {
+                let nums = non_null.iter().map(|v| v.as_number().expect("checked"));
+                let best = match agg {
+                    Agg::Min => nums.fold(f64::INFINITY, f64::min),
+                    _ => nums.fold(f64::NEG_INFINITY, f64::max),
+                };
+                vec![CellValue::Float(best)]
+            } else {
+                // Lexicographic min/max over canonical strings.
+                let mut strs: Vec<(String, &CellValue)> =
+                    non_null.iter().map(|v| (canonical(v), **v)).collect();
+                strs.sort_by(|a, b| a.0.cmp(&b.0));
+                let pick = match agg {
+                    Agg::Min => strs.first(),
+                    _ => strs.last(),
+                };
+                vec![pick.expect("non-empty").1.clone()]
+            }
+        }
+    };
+    Ok(Answer { values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn table() -> Table {
+        Table::from_strings(
+            "countries",
+            &["Country", "Capital", "Population", "Continent"],
+            &[
+                &["France", "Paris", "67.8", "Europe"],
+                &["Australia", "Canberra", "25.69", "Oceania"],
+                &["Japan", "Tokyo", "125.7", "Asia"],
+                &["Germany", "Berlin", "83.2", "Europe"],
+                &["Fiji", "Suva", "", "Oceania"],
+            ],
+        )
+    }
+
+    fn run(sql: &str) -> Answer {
+        execute(&parse_query(sql).unwrap(), &table()).unwrap()
+    }
+
+    #[test]
+    fn bare_select_returns_column() {
+        let a = run("SELECT Capital FROM t");
+        assert_eq!(a.values.len(), 5);
+        assert_eq!(a.denotation()[0], "berlin");
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let a = run("SELECT Capital FROM t WHERE Country = 'France'");
+        assert_eq!(a.denotation(), vec!["paris"]);
+    }
+
+    #[test]
+    fn conjunction_is_and() {
+        let a = run("SELECT Country FROM t WHERE Continent = 'Europe' AND Population > 70");
+        assert_eq!(a.denotation(), vec!["germany"]);
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let a = run("SELECT Country FROM t WHERE Population >= 67.8");
+        assert_eq!(a.denotation(), vec!["france", "germany", "japan"]);
+        let a = run("SELECT Country FROM t WHERE Population < 30");
+        assert_eq!(a.denotation(), vec!["australia"]);
+    }
+
+    #[test]
+    fn count_includes_matched_nulls() {
+        let a = run("SELECT COUNT Country FROM t WHERE Continent = 'Oceania'");
+        assert_eq!(a.denotation(), vec!["2"]);
+    }
+
+    #[test]
+    fn sum_and_avg_skip_nulls() {
+        let a = run("SELECT SUM Population FROM t WHERE Continent = 'Oceania'");
+        assert_eq!(a.denotation(), vec!["25.69"]);
+        let a = run("SELECT AVG Population FROM t WHERE Continent = 'Europe'");
+        assert_eq!(a.denotation(), vec!["75.5"]);
+    }
+
+    #[test]
+    fn min_max_numeric_and_text() {
+        assert_eq!(run("SELECT MIN Population FROM t").denotation(), vec!["25.69"]);
+        assert_eq!(run("SELECT MAX Population FROM t").denotation(), vec!["125.7"]);
+        assert_eq!(run("SELECT MIN Country FROM t").denotation(), vec!["australia"]);
+        assert_eq!(run("SELECT MAX Country FROM t").denotation(), vec!["japan"]);
+    }
+
+    #[test]
+    fn aggregates_over_empty_selection() {
+        assert_eq!(
+            run("SELECT COUNT Country FROM t WHERE Country = 'Narnia'").denotation(),
+            vec!["0"]
+        );
+        assert_eq!(
+            run("SELECT SUM Population FROM t WHERE Country = 'Narnia'").denotation(),
+            vec!["0"]
+        );
+        // AVG/MIN/MAX of nothing are NULL (canonical empty string).
+        assert_eq!(
+            run("SELECT AVG Population FROM t WHERE Country = 'Narnia'").denotation(),
+            vec![""]
+        );
+        assert_eq!(
+            run("SELECT MIN Population FROM t WHERE Country = 'Narnia'").denotation(),
+            vec![""]
+        );
+    }
+
+    #[test]
+    fn string_matching_is_case_insensitive() {
+        let a = run("SELECT Capital FROM t WHERE Country = 'fRaNcE'");
+        assert_eq!(a.denotation(), vec!["paris"]);
+    }
+
+    #[test]
+    fn null_cells_match_only_neq() {
+        let a = run("SELECT Country FROM t WHERE Population = ''");
+        assert!(a.values.is_empty());
+        let a = run("SELECT Country FROM t WHERE Population != 100");
+        // Fiji's NULL population is "not equal" to 100.
+        assert!(a.denotation().contains(&"fiji".to_string()));
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let err = execute(&parse_query("SELECT nope FROM t").unwrap(), &table()).unwrap_err();
+        assert_eq!(err, ExecError::NoSuchColumn("nope".into()));
+        let err = execute(
+            &parse_query("SELECT Country FROM t WHERE nope = 1").unwrap(),
+            &table(),
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::NoSuchColumn("nope".into()));
+    }
+
+    #[test]
+    fn sum_over_text_is_error() {
+        let err = execute(&parse_query("SELECT SUM Country FROM t").unwrap(), &table()).unwrap_err();
+        assert!(matches!(err, ExecError::NonNumericAggregate { .. }));
+    }
+
+    #[test]
+    fn denotation_is_order_insensitive() {
+        let a = Answer {
+            values: vec![CellValue::Text("b".into()), CellValue::Text("a".into())],
+        };
+        let b = Answer {
+            values: vec![CellValue::Text("A".into()), CellValue::Text("B".into())],
+        };
+        assert!(a.same_denotation(&b));
+    }
+
+    #[test]
+    fn canonical_number_formats() {
+        assert_eq!(canonical(&CellValue::Float(2.0)), "2");
+        assert_eq!(canonical(&CellValue::Float(2.5)), "2.5");
+        assert_eq!(canonical(&CellValue::Float(75.5)), "75.5");
+        assert_eq!(canonical(&CellValue::Int(-3)), "-3");
+    }
+}

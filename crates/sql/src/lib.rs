@@ -1,0 +1,44 @@
+//! # ntr-sql
+//!
+//! A miniature SQL engine over single [`ntr_table::Table`]s, covering the
+//! WikiSQL-class query language the paper's applications rely on:
+//!
+//! ```sql
+//! SELECT [COUNT|SUM|AVG|MIN|MAX] <column>
+//! FROM t
+//! [WHERE <column> <op> <literal> [AND ...]]
+//! ```
+//!
+//! It serves two roles in the reproduction:
+//!
+//! 1. **TAPEX supervision** — TAPEX pretrains a transformer to *be* a SQL
+//!    executor; generating (table, query, answer) triples requires a real
+//!    executor to produce the answers. This crate is that executor, and
+//!    [`gen`] produces seeded random queries over any table schema.
+//! 2. **Text-to-SQL evaluation** — denotation accuracy for the semantic
+//!    parsing task compares a predicted query's result against the gold
+//!    query's result; [`Answer::denotation`] canonicalizes results for that
+//!    comparison.
+//!
+//! ```
+//! use ntr_sql::{parse_query, execute};
+//! use ntr_table::Table;
+//!
+//! let t = Table::from_strings(
+//!     "cities",
+//!     &["city", "population"],
+//!     &[&["paris", "2.1"], &["lyon", "0.5"], &["nice", "0.3"]],
+//! );
+//! let q = parse_query("SELECT COUNT city FROM t WHERE population > 0.4").unwrap();
+//! let answer = execute(&q, &t).unwrap();
+//! assert_eq!(answer.denotation(), vec!["2"]);
+//! ```
+
+mod ast;
+mod exec;
+pub mod gen;
+mod parse;
+
+pub use ast::{Agg, CmpOp, Condition, Literal, Query};
+pub use exec::{execute, Answer, ExecError};
+pub use parse::{parse_query, ParseError};

@@ -1,0 +1,414 @@
+//! Hand-rolled lexer and recursive-descent parser for the mini-SQL grammar.
+//!
+//! ```text
+//! query  := SELECT agg? column FROM ident (WHERE cond (AND cond)*)?
+//! agg    := COUNT | SUM | AVG | MIN | MAX
+//! cond   := column op literal
+//! op     := = | != | <> | > | < | >= | <=
+//! column := ident | "quoted ident"
+//! literal:= number | 'string'
+//! ```
+//!
+//! Keywords are case-insensitive; column names are matched against tables
+//! case-insensitively at execution time.
+
+use crate::ast::{Agg, CmpOp, Condition, Literal, Query};
+use std::fmt;
+
+/// Parse errors with byte offsets into the query text.
+#[derive(Debug, PartialEq)]
+pub enum ParseError {
+    /// Unexpected character during lexing.
+    UnexpectedChar {
+        /// Byte offset.
+        at: usize,
+        /// The character.
+        ch: char,
+    },
+    /// A string/quoted identifier was never closed.
+    UnterminatedString {
+        /// Byte offset where it started.
+        at: usize,
+    },
+    /// Parser expected something else.
+    Expected {
+        /// What was expected.
+        what: &'static str,
+        /// What was found.
+        found: String,
+    },
+    /// Extra tokens after a complete query.
+    TrailingTokens(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { at, ch } => {
+                write!(f, "unexpected character {ch:?} at byte {at}")
+            }
+            ParseError::UnterminatedString { at } => {
+                write!(f, "unterminated string starting at byte {at}")
+            }
+            ParseError::Expected { what, found } => {
+                write!(f, "expected {what}, found {found}")
+            }
+            ParseError::TrailingTokens(t) => write!(f, "trailing tokens after query: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    QuotedIdent(String),
+    Str(String),
+    Num(f64),
+    Op(CmpOp),
+    Eof,
+}
+
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier {s:?}"),
+            Token::QuotedIdent(s) => format!("quoted identifier {s:?}"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::Num(n) => format!("number {n}"),
+            Token::Op(o) => format!("operator {}", o.symbol()),
+            Token::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    Some('\'') if bytes.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                    None => return Err(ParseError::UnterminatedString { at: start }),
+                }
+            }
+            tokens.push(Token::Str(s));
+        } else if c == '"' {
+            let start = i;
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(i) {
+                    Some('"') if bytes.get(i + 1) == Some(&'"') => {
+                        s.push('"');
+                        i += 2;
+                    }
+                    Some('"') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                    None => return Err(ParseError::UnterminatedString { at: start }),
+                }
+            }
+            tokens.push(Token::QuotedIdent(s));
+        } else if (c == '!' && bytes.get(i + 1) == Some(&'='))
+            || (c == '<' && bytes.get(i + 1) == Some(&'>'))
+        {
+            tokens.push(Token::Op(CmpOp::Neq));
+            i += 2;
+        } else if c == '>' && bytes.get(i + 1) == Some(&'=') {
+            tokens.push(Token::Op(CmpOp::Ge));
+            i += 2;
+        } else if c == '<' && bytes.get(i + 1) == Some(&'=') {
+            tokens.push(Token::Op(CmpOp::Le));
+            i += 2;
+        } else if c == '=' {
+            tokens.push(Token::Op(CmpOp::Eq));
+            i += 1;
+        } else if c == '>' {
+            tokens.push(Token::Op(CmpOp::Gt));
+            i += 1;
+        } else if c == '<' {
+            tokens.push(Token::Op(CmpOp::Lt));
+            i += 1;
+        } else if c.is_ascii_digit()
+            || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let n: f64 = text.parse().map_err(|_| ParseError::Expected {
+                what: "number",
+                found: text.clone(),
+            })?;
+            tokens.push(Token::Num(n));
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(bytes[start..i].iter().collect()));
+        } else {
+            return Err(ParseError::UnexpectedChar { at: i, ch: c });
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, kw: &'static str) -> Result<(), ParseError> {
+        match self.next() {
+            Token::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::Expected {
+                what: kw,
+                found: other.describe(),
+            }),
+        }
+    }
+
+    fn try_keyword(&mut self, kw: &str) -> bool {
+        if let Token::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn column(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            other => Err(ParseError::Expected {
+                what: "column name",
+                found: other.describe(),
+            }),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, ParseError> {
+        match self.next() {
+            Token::Num(n) => Ok(Literal::Number(n)),
+            Token::Str(s) => Ok(Literal::Text(s)),
+            // Unquoted single words are accepted as text literals, which is
+            // what naive text-to-SQL decoders emit.
+            Token::Ident(s) => Ok(Literal::Text(s)),
+            other => Err(ParseError::Expected {
+                what: "literal",
+                found: other.describe(),
+            }),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let column = self.column()?;
+        let op = match self.next() {
+            Token::Op(o) => o,
+            other => {
+                return Err(ParseError::Expected {
+                    what: "comparison operator",
+                    found: other.describe(),
+                })
+            }
+        };
+        let value = self.literal()?;
+        Ok(Condition { column, op, value })
+    }
+}
+
+fn try_agg(word: &str) -> Option<Agg> {
+    Agg::ALL
+        .into_iter()
+        .find(|a| a.keyword().eq_ignore_ascii_case(word))
+}
+
+/// Parses a query string. See the [module docs](self) for the grammar.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
+    p.keyword("SELECT")?;
+
+    // Aggregate keyword, unless it is immediately followed by FROM (then it
+    // was a column named e.g. "count").
+    let mut agg = None;
+    if let Token::Ident(word) = p.peek().clone() {
+        if let Some(a) = try_agg(&word) {
+            let saved = p.pos;
+            p.pos += 1;
+            if matches!(p.peek(), Token::Ident(w) if w.eq_ignore_ascii_case("from")) {
+                p.pos = saved; // it was the column itself
+            } else {
+                agg = Some(a);
+            }
+        }
+    }
+
+    let column = p.column()?;
+    p.keyword("FROM")?;
+    let _table = p.column()?; // single-table engine; name accepted, ignored
+    let mut conditions = Vec::new();
+    if p.try_keyword("WHERE") {
+        conditions.push(p.condition()?);
+        while p.try_keyword("AND") {
+            conditions.push(p.condition()?);
+        }
+    }
+    match p.peek() {
+        Token::Eof => Ok(Query {
+            agg,
+            column,
+            conditions,
+        }),
+        other => Err(ParseError::TrailingTokens(other.describe())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_select() {
+        let q = parse_query("SELECT city FROM t").unwrap();
+        assert_eq!(q, Query::select("city"));
+    }
+
+    #[test]
+    fn parses_aggregates_case_insensitively() {
+        for (text, agg) in [
+            ("select count x from t", Agg::Count),
+            ("SELECT sum x FROM t", Agg::Sum),
+            ("SELECT Avg x FROM t", Agg::Avg),
+            ("SELECT MIN x FROM t", Agg::Min),
+            ("SELECT max x FROM t", Agg::Max),
+        ] {
+            assert_eq!(parse_query(text).unwrap().agg, Some(agg), "{text}");
+        }
+    }
+
+    #[test]
+    fn column_named_like_aggregate() {
+        let q = parse_query("SELECT count FROM t").unwrap();
+        assert_eq!(q.agg, None);
+        assert_eq!(q.column, "count");
+    }
+
+    #[test]
+    fn parses_conditions_with_all_operators() {
+        let q = parse_query(
+            "SELECT a FROM t WHERE b = 'x' AND c != 2 AND d > 1 AND e < 2 AND f >= 3 AND g <= 4",
+        )
+        .unwrap();
+        assert_eq!(q.conditions.len(), 6);
+        assert_eq!(q.conditions[0].value, Literal::Text("x".into()));
+        assert_eq!(q.conditions[1].op, CmpOp::Neq);
+        assert_eq!(q.conditions[5].op, CmpOp::Le);
+    }
+
+    #[test]
+    fn diamond_means_neq() {
+        let q = parse_query("SELECT a FROM t WHERE b <> 1").unwrap();
+        assert_eq!(q.conditions[0].op, CmpOp::Neq);
+    }
+
+    #[test]
+    fn negative_and_decimal_numbers() {
+        let q = parse_query("SELECT a FROM t WHERE b > -2.5").unwrap();
+        assert_eq!(q.conditions[0].value, Literal::Number(-2.5));
+    }
+
+    #[test]
+    fn quoted_identifiers_and_escaped_strings() {
+        let q = parse_query("SELECT \"hours-per-week\" FROM t WHERE name = 'O''Brien'").unwrap();
+        assert_eq!(q.column, "hours-per-week");
+        assert_eq!(q.conditions[0].value, Literal::Text("O'Brien".into()));
+    }
+
+    #[test]
+    fn unquoted_word_literal_is_text() {
+        let q = parse_query("SELECT a FROM t WHERE b = paris").unwrap();
+        assert_eq!(q.conditions[0].value, Literal::Text("paris".into()));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let q = Query::select("population")
+            .with_agg(Agg::Avg)
+            .with_condition("country", CmpOp::Neq, Literal::Text("France".into()))
+            .with_condition("year", CmpOp::Le, Literal::Number(2020.0));
+        let back = parse_query(&q.to_string()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            parse_query("SELECT FROM t"),
+            Err(ParseError::Expected { .. })
+        ));
+        assert!(matches!(
+            parse_query("SELECT a FROM t extra"),
+            Err(ParseError::TrailingTokens(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT a FROM t WHERE b = 'unclosed"),
+            Err(ParseError::UnterminatedString { .. })
+        ));
+        assert!(matches!(
+            parse_query("SELECT a FROM t WHERE b # 1"),
+            Err(ParseError::UnexpectedChar { .. })
+        ));
+        assert!(matches!(
+            parse_query("pick a from t"),
+            Err(ParseError::Expected { what: "SELECT", .. })
+        ));
+    }
+}

@@ -1,0 +1,383 @@
+//! Cell values, type inference, and column semantic types.
+
+use std::fmt;
+
+/// A typed cell value, inferred from the raw string by [`CellValue::infer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellValue {
+    /// Free text.
+    Text(String),
+    /// Integer (fits in `i64`).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// Boolean (`true/false/yes/no`, case-insensitive).
+    Bool(bool),
+    /// Calendar date, year-month-day (parsed from `YYYY-MM-DD`).
+    Date { year: i32, month: u8, day: u8 },
+    /// Missing/NULL (empty string, `null`, `na`, `n/a`, `-`).
+    Null,
+}
+
+impl CellValue {
+    /// Infers a typed value from raw text, trimming whitespace first.
+    pub fn infer(raw: &str) -> CellValue {
+        let s = raw.trim();
+        if s.is_empty() {
+            return CellValue::Null;
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "null" | "na" | "n/a" | "none" | "-" | "nan" => return CellValue::Null,
+            "true" | "yes" => return CellValue::Bool(true),
+            "false" | "no" => return CellValue::Bool(false),
+            _ => {}
+        }
+        if let Ok(i) = s.parse::<i64>() {
+            return CellValue::Int(i);
+        }
+        // Thousands separators: "25,690" → 25690.
+        if s.contains(',') && !s.contains('.') {
+            let cleaned: String = s.chars().filter(|&c| c != ',').collect();
+            if cleaned.chars().all(|c| c.is_ascii_digit() || c == '-') {
+                if let Ok(i) = cleaned.parse::<i64>() {
+                    return CellValue::Int(i);
+                }
+            }
+        }
+        if let Ok(f) = s.parse::<f64>() {
+            if f.is_finite() {
+                return CellValue::Float(f);
+            }
+        }
+        if let Some(d) = parse_date(s) {
+            return d;
+        }
+        CellValue::Text(s.to_string())
+    }
+
+    /// The value's semantic type.
+    pub fn semantic_type(&self) -> SemanticType {
+        match self {
+            CellValue::Text(_) => SemanticType::Text,
+            CellValue::Int(_) => SemanticType::Integer,
+            CellValue::Float(_) => SemanticType::Float,
+            CellValue::Bool(_) => SemanticType::Boolean,
+            CellValue::Date { .. } => SemanticType::Date,
+            CellValue::Null => SemanticType::Unknown,
+        }
+    }
+
+    /// Numeric view: `Int`/`Float`/`Bool` as `f64`, else `None`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            CellValue::Int(i) => Some(*i as f64),
+            CellValue::Float(f) => Some(*f),
+            CellValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// True for [`CellValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, CellValue::Null)
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellValue::Text(s) => write!(f, "{s}"),
+            CellValue::Int(i) => write!(f, "{i}"),
+            CellValue::Float(x) => write!(f, "{x}"),
+            CellValue::Bool(b) => write!(f, "{b}"),
+            CellValue::Date { year, month, day } => write!(f, "{year:04}-{month:02}-{day:02}"),
+            CellValue::Null => Ok(()),
+        }
+    }
+}
+
+fn parse_date(s: &str) -> Option<CellValue> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    let year: i32 = parts[0].parse().ok()?;
+    let month: u8 = parts[1].parse().ok()?;
+    let day: u8 = parts[2].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) || !(0..=9999).contains(&year) {
+        return None;
+    }
+    Some(CellValue::Date { year, month, day })
+}
+
+/// A table cell: the raw surface string, its inferred value, and an optional
+/// link to an entity in a knowledge base (used by TURL-style models).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Original text as loaded.
+    pub raw: String,
+    /// Typed value inferred from `raw`.
+    pub value: CellValue,
+    /// Knowledge-base entity this cell mentions, when known.
+    pub entity: Option<u32>,
+}
+
+impl Cell {
+    /// Builds a cell by inferring the value from text.
+    pub fn new(raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        let value = CellValue::infer(&raw);
+        Self {
+            raw,
+            value,
+            entity: None,
+        }
+    }
+
+    /// Builds a cell linked to a knowledge-base entity.
+    pub fn with_entity(raw: impl Into<String>, entity: u32) -> Self {
+        let mut c = Self::new(raw);
+        c.entity = Some(entity);
+        c
+    }
+
+    /// An explicit NULL cell.
+    pub fn null() -> Self {
+        Self {
+            raw: String::new(),
+            value: CellValue::Null,
+            entity: None,
+        }
+    }
+
+    /// True when the cell holds no value.
+    pub fn is_null(&self) -> bool {
+        self.value.is_null()
+    }
+
+    /// Display text: the trimmed raw string (empty for NULL).
+    pub fn text(&self) -> &str {
+        if self.is_null() {
+            ""
+        } else {
+            self.raw.trim()
+        }
+    }
+}
+
+/// Column-level semantic type, inferred by majority over non-null cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticType {
+    /// Free text.
+    Text,
+    /// Integers.
+    Integer,
+    /// Floating-point numbers.
+    Float,
+    /// Booleans.
+    Boolean,
+    /// Dates.
+    Date,
+    /// Entity mentions (cells linked to a knowledge base).
+    Entity,
+    /// No single type reaches a majority.
+    Mixed,
+    /// No evidence (all nulls / no rows).
+    Unknown,
+}
+
+impl SemanticType {
+    /// Infers a column type from its cells: entity if most non-null cells
+    /// are entity-linked, else the majority value type, else `Mixed`.
+    pub fn infer_column(cells: &[&Cell]) -> SemanticType {
+        let non_null: Vec<&&Cell> = cells.iter().filter(|c| !c.is_null()).collect();
+        if non_null.is_empty() {
+            return SemanticType::Unknown;
+        }
+        let linked = non_null.iter().filter(|c| c.entity.is_some()).count();
+        if linked * 2 > non_null.len() {
+            return SemanticType::Entity;
+        }
+        let mut counts: [usize; 6] = [0; 6];
+        for c in &non_null {
+            let idx = match c.value.semantic_type() {
+                SemanticType::Text => 0,
+                SemanticType::Integer => 1,
+                SemanticType::Float => 2,
+                SemanticType::Boolean => 3,
+                SemanticType::Date => 4,
+                _ => 5,
+            };
+            counts[idx] += 1;
+        }
+        // Integers count toward Float majorities (1, 2.5, 3 is a float column).
+        let types = [
+            SemanticType::Text,
+            SemanticType::Integer,
+            SemanticType::Float,
+            SemanticType::Boolean,
+            SemanticType::Date,
+        ];
+        let (best_idx, &best) = counts[..5]
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("non-empty");
+        if best * 2 > non_null.len() {
+            return types[best_idx];
+        }
+        if (counts[1] + counts[2]) * 2 > non_null.len() {
+            return SemanticType::Float;
+        }
+        SemanticType::Mixed
+    }
+
+    /// Human-readable name (used as a classification label in `ntr-tasks`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticType::Text => "text",
+            SemanticType::Integer => "integer",
+            SemanticType::Float => "float",
+            SemanticType::Boolean => "boolean",
+            SemanticType::Date => "date",
+            SemanticType::Entity => "entity",
+            SemanticType::Mixed => "mixed",
+            SemanticType::Unknown => "unknown",
+        }
+    }
+
+    /// All types, for building classifier label spaces.
+    pub const ALL: [SemanticType; 8] = [
+        SemanticType::Text,
+        SemanticType::Integer,
+        SemanticType::Float,
+        SemanticType::Boolean,
+        SemanticType::Date,
+        SemanticType::Entity,
+        SemanticType::Mixed,
+        SemanticType::Unknown,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infers_scalar_types() {
+        assert_eq!(CellValue::infer("42"), CellValue::Int(42));
+        assert_eq!(CellValue::infer("-7"), CellValue::Int(-7));
+        assert_eq!(CellValue::infer("25.69"), CellValue::Float(25.69));
+        assert_eq!(CellValue::infer("true"), CellValue::Bool(true));
+        assert_eq!(CellValue::infer("No"), CellValue::Bool(false));
+        assert_eq!(
+            CellValue::infer("2023-06-18"),
+            CellValue::Date {
+                year: 2023,
+                month: 6,
+                day: 18
+            }
+        );
+        assert_eq!(CellValue::infer("Paris"), CellValue::Text("Paris".into()));
+    }
+
+    #[test]
+    fn infers_nulls() {
+        for s in ["", "  ", "null", "N/A", "-", "NaN", "none"] {
+            assert_eq!(CellValue::infer(s), CellValue::Null, "for {s:?}");
+        }
+    }
+
+    #[test]
+    fn thousands_separators_parse_as_int() {
+        assert_eq!(CellValue::infer("25,690"), CellValue::Int(25690));
+        assert_eq!(CellValue::infer("1,234,567"), CellValue::Int(1234567));
+        // But a comma-bearing word stays text.
+        assert_eq!(
+            CellValue::infer("a,b"),
+            CellValue::Text("a,b".into())
+        );
+    }
+
+    #[test]
+    fn invalid_dates_stay_text() {
+        assert_eq!(
+            CellValue::infer("2023-13-01"),
+            CellValue::Text("2023-13-01".into())
+        );
+        assert_eq!(
+            CellValue::infer("2023-00-10"),
+            CellValue::Text("2023-00-10".into())
+        );
+    }
+
+    #[test]
+    fn as_number_views() {
+        assert_eq!(CellValue::Int(3).as_number(), Some(3.0));
+        assert_eq!(CellValue::Float(2.5).as_number(), Some(2.5));
+        assert_eq!(CellValue::Bool(true).as_number(), Some(1.0));
+        assert_eq!(CellValue::Text("x".into()).as_number(), None);
+        assert_eq!(CellValue::Null.as_number(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_reasonably() {
+        assert_eq!(CellValue::Int(42).to_string(), "42");
+        assert_eq!(
+            CellValue::Date {
+                year: 5,
+                month: 1,
+                day: 2
+            }
+            .to_string(),
+            "0005-01-02"
+        );
+        assert_eq!(CellValue::Null.to_string(), "");
+    }
+
+    #[test]
+    fn cell_text_trims_and_nulls() {
+        assert_eq!(Cell::new(" Paris ").text(), "Paris");
+        assert_eq!(Cell::new("null").text(), "");
+        assert!(Cell::null().is_null());
+    }
+
+    #[test]
+    fn column_type_majority() {
+        let ints: Vec<Cell> = ["1", "2", "3", "x"].iter().map(|&s| Cell::new(s)).collect();
+        let refs: Vec<&Cell> = ints.iter().collect();
+        assert_eq!(SemanticType::infer_column(&refs), SemanticType::Integer);
+    }
+
+    #[test]
+    fn column_type_numeric_mix_is_float() {
+        let cells: Vec<Cell> = ["1", "2.5", "3", "4.1"].iter().map(|&s| Cell::new(s)).collect();
+        let refs: Vec<&Cell> = cells.iter().collect();
+        assert_eq!(SemanticType::infer_column(&refs), SemanticType::Float);
+    }
+
+    #[test]
+    fn column_type_entity_dominates() {
+        let cells = [
+            Cell::with_entity("France", 1),
+            Cell::with_entity("Spain", 2),
+            Cell::new("other"),
+        ];
+        let refs: Vec<&Cell> = cells.iter().collect();
+        assert_eq!(SemanticType::infer_column(&refs), SemanticType::Entity);
+    }
+
+    #[test]
+    fn column_type_all_null_is_unknown_and_mixed_detected() {
+        let nulls = [Cell::null(), Cell::null()];
+        let refs: Vec<&Cell> = nulls.iter().collect();
+        assert_eq!(SemanticType::infer_column(&refs), SemanticType::Unknown);
+
+        let mixed: Vec<Cell> = ["x", "true", "2023-01-01", "y", "false", "2020-02-02"]
+            .iter()
+            .map(|&s| Cell::new(s))
+            .collect();
+        let refs: Vec<&Cell> = mixed.iter().collect();
+        assert_eq!(SemanticType::infer_column(&refs), SemanticType::Mixed);
+    }
+}

@@ -1,0 +1,303 @@
+//! A hand-rolled RFC 4180 CSV reader/writer.
+//!
+//! Part of the system under reproduction (the paper's hands-on §3.1 starts
+//! by "loading a given table from a CSV file"), so it is implemented here
+//! rather than pulled in as a dependency. Supports quoted fields, escaped
+//! quotes (`""`), embedded newlines and CRLF line endings.
+
+use crate::cell::Cell;
+use crate::table::{Column, Table, TableError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// I/O failure reading the file.
+    Io(std::io::Error),
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// Text after a closing quote that is not a separator/newline.
+    TrailingAfterQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Rows have inconsistent field counts.
+    Ragged(TableError),
+    /// The input contained no rows at all.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv I/O error: {e}"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::TrailingAfterQuote { line } => {
+                write!(f, "unexpected text after closing quote on line {line}")
+            }
+            CsvError::Ragged(e) => write!(f, "ragged csv: {e}"),
+            CsvError::Empty => write!(f, "csv input contains no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Parses CSV text into raw records (no header interpretation).
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut in_quotes = false;
+    let mut quote_start_line = 1usize;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                        // Only separator, newline or EOF may follow.
+                        match chars.peek() {
+                            None | Some(',') | Some('\n') | Some('\r') => {}
+                            Some(_) => return Err(CsvError::TrailingAfterQuote { line }),
+                        }
+                    }
+                }
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => {
+                    in_quotes = true;
+                    quote_start_line = line;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    // Swallow; the following \n ends the record.
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any_char || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes records to CSV text (LF line endings).
+pub fn write_csv(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let line: Vec<String> = rec.iter().map(|f| escape(f)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+impl Table {
+    /// Parses a table from CSV text. The first record is the header; a
+    /// `use_header=false` caller gets synthetic `col0..colN` names and keeps
+    /// the first record as data (the paper's "tables without descriptive
+    /// headers" case).
+    pub fn from_csv_str(id: &str, input: &str, use_header: bool) -> Result<Table, CsvError> {
+        let records = parse_csv(input)?;
+        let (columns, data_start): (Vec<Column>, usize) = if use_header {
+            (
+                records[0].iter().map(Column::new).collect(),
+                1,
+            )
+        } else {
+            (
+                (0..records[0].len())
+                    .map(|i| Column::new(format!("col{i}")))
+                    .collect(),
+                0,
+            )
+        };
+        let rows: Vec<Vec<Cell>> = records[data_start..]
+            .iter()
+            .map(|rec| rec.iter().map(Cell::new).collect())
+            .collect();
+        Table::new(id, columns, rows).map_err(CsvError::Ragged)
+    }
+
+    /// Loads a table from a CSV file; the file stem becomes the table id.
+    pub fn from_csv_path(path: &Path) -> Result<Table, CsvError> {
+        let text = std::fs::read_to_string(path)?;
+        let id = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "table".to_string());
+        Table::from_csv_str(&id, &text, true)
+    }
+
+    /// Serializes the table (header + rows) to CSV text.
+    pub fn to_csv_string(&self) -> String {
+        let mut records = Vec::with_capacity(self.n_rows() + 1);
+        records.push(self.columns().iter().map(|c| c.name.clone()).collect());
+        for row in self.rows() {
+            records.push(row.iter().map(|c| c.raw.clone()).collect());
+        }
+        write_csv(&records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let recs = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn handles_missing_trailing_newline() {
+        let recs = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let recs = parse_csv("name,notes\n\"Doe, Jane\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(recs[1][0], "Doe, Jane");
+        assert_eq!(recs[1][1], "line1\nline2");
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let recs = parse_csv("a\n\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(recs[1][0], "he said \"hi\"");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let recs = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(recs, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let recs = parse_csv("a,,c\n,,\n").unwrap();
+        assert_eq!(recs[0], vec!["a", "", "c"]);
+        assert_eq!(recs[1], vec!["", "", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = parse_csv("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { line: 2 }), "{err}");
+    }
+
+    #[test]
+    fn trailing_after_quote_is_error() {
+        let err = parse_csv("\"x\"y\n").unwrap_err();
+        assert!(matches!(err, CsvError::TrailingAfterQuote { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(parse_csv(""), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn roundtrip_with_special_characters() {
+        let records = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "with\nnewline".to_string()],
+        ];
+        let text = write_csv(&records);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn table_from_csv_with_header() {
+        let t = Table::from_csv_str("t", "Country,Population\nFrance,67.8\n", true).unwrap();
+        assert_eq!(t.columns()[0].name, "Country");
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 1).text(), "67.8");
+    }
+
+    #[test]
+    fn table_from_csv_headerless() {
+        let t = Table::from_csv_str("t", "1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.columns()[0].name, "col0");
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.is_headerless());
+    }
+
+    #[test]
+    fn ragged_csv_is_error() {
+        let err = Table::from_csv_str("t", "a,b\n1\n", true).unwrap_err();
+        assert!(matches!(err, CsvError::Ragged(_)), "{err}");
+    }
+
+    #[test]
+    fn table_csv_roundtrip() {
+        let t = Table::from_strings(
+            "r",
+            &["a", "b"],
+            &[&["1", "x,y"], &["", "q\"uote"]],
+        );
+        let text = t.to_csv_string();
+        let back = Table::from_csv_str("r", &text, true).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.cell(0, 1).text(), "x,y");
+        assert_eq!(back.cell(1, 1).text(), "q\"uote");
+        assert!(back.cell(1, 0).is_null());
+    }
+}

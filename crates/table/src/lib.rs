@@ -1,0 +1,40 @@
+//! # ntr-table
+//!
+//! The relational-table data model and the *input processing* half of the
+//! paper's framework (Fig. 1, first module): loading tables from CSV, typing
+//! their cells, filtering rows to fit a transformer's budget, **serializing**
+//! 2-D tables into 1-D token sequences with structural metadata, and masking
+//! tokens/entities for pretraining.
+//!
+//! The paper's hands-on §3.2 contrasts several linearization procedures
+//! (its Fig. 2b); each is a [`Linearizer`] implementation here:
+//!
+//! | Linearizer | Style | Survey exemplar |
+//! |---|---|---|
+//! | [`RowMajorLinearizer`] | `[CLS] ctx [SEP] h₁ \| h₂ [SEP] v₁₁ \| v₁₂ …` | BERT/TAPAS |
+//! | [`TemplateLinearizer`] | `row one Country is Australia; …` | natural-text templates |
+//! | [`ColumnMajorLinearizer`] | per-column header+values | column-centric models |
+//! | [`TapexLinearizer`] | `col : … row 1 : …` | TAPEX |
+//! | [`TurlLinearizer`] | entity-cell focused with type/position roles | TURL |
+//!
+//! Every linearizer produces an [`EncodedTable`]: token ids plus per-token
+//! structural metadata (row, column, segment, kind) and a cell → token-span
+//! index, which is exactly what the structure-aware embeddings and heads in
+//! `ntr-models` consume.
+
+mod cell;
+mod csv;
+mod encoded;
+mod linearize;
+pub mod masking;
+pub mod snapshot;
+mod table;
+
+pub use cell::{Cell, CellValue, SemanticType};
+pub use csv::{parse_csv, write_csv, CsvError};
+pub use encoded::{EncodedTable, Segment, TokenKind, TokenMeta};
+pub use linearize::{
+    ColumnMajorLinearizer, ContextPosition, Linearizer, LinearizerOptions, RowMajorLinearizer,
+    TapexLinearizer, TemplateLinearizer, TurlLinearizer,
+};
+pub use table::{Column, Table, TableError};

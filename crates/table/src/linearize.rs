@@ -1,0 +1,718 @@
+//! Table → token-sequence linearization strategies (the paper's Fig. 2b).
+//!
+//! Each [`Linearizer`] flattens a 2-D [`Table`] plus its natural-language
+//! context into an [`EncodedTable`]. All strategies:
+//!
+//! * respect a token budget by truncating **whole data rows** (recording how
+//!   many were dropped — the paper's "data retrieval and filtering" step);
+//! * record per-token row/column/segment/kind metadata and cell spans;
+//! * carry entity links from cells into token metadata (for TURL-style
+//!   masked entity recovery).
+//!
+//! The context can be placed before or after the table
+//! ([`ContextPosition`]), the ablation the survey (§2.3) notes a few works
+//! evaluated ("context followed by serialized table vs. table appended by
+//! context").
+
+use crate::cell::Cell;
+use crate::encoded::{EncodedTable, Segment, TokenKind, TokenMeta};
+use crate::table::Table;
+use std::collections::HashMap as RankMap;
+use ntr_tokenizer::{SpecialToken, WordPieceTokenizer};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Where the natural-language context goes relative to the table tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContextPosition {
+    /// `[CLS] context [SEP] table…` (the common choice).
+    #[default]
+    Before,
+    /// `[CLS] table… [SEP] context`.
+    After,
+}
+
+/// Options shared by all linearizers.
+#[derive(Debug, Clone)]
+pub struct LinearizerOptions {
+    /// Hard cap on the encoded sequence length.
+    pub max_tokens: usize,
+    /// Context placement.
+    pub context_position: ContextPosition,
+}
+
+impl Default for LinearizerOptions {
+    fn default() -> Self {
+        Self {
+            max_tokens: 256,
+            context_position: ContextPosition::Before,
+        }
+    }
+}
+
+/// A strategy for flattening a table (+context) into tokens.
+pub trait Linearizer {
+    /// Stable strategy name (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Linearizes `table` with natural-language `context` (caption,
+    /// question, …; may be empty).
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable;
+}
+
+// ---------------------------------------------------------------------
+// Shared sequence builder
+// ---------------------------------------------------------------------
+
+struct SeqBuilder<'a> {
+    tok: &'a WordPieceTokenizer,
+    ids: Vec<usize>,
+    meta: Vec<TokenMeta>,
+    cell_spans: HashMap<(usize, usize), Range<usize>>,
+    header_spans: HashMap<usize, Range<usize>>,
+    ranks: RankMap<(usize, usize), usize>,
+}
+
+impl<'a> SeqBuilder<'a> {
+    fn new_for(tok: &'a WordPieceTokenizer, table: &Table) -> Self {
+        Self {
+            tok,
+            ids: Vec::new(),
+            meta: Vec::new(),
+            cell_spans: HashMap::new(),
+            header_spans: HashMap::new(),
+            ranks: numeric_ranks(table),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn push_special(&mut self, s: SpecialToken, segment: Segment) {
+        self.ids.push(s.id());
+        self.meta.push(TokenMeta::outside(segment, TokenKind::Special));
+    }
+
+    /// Tokenizes `text` and appends it with `template` metadata; returns the
+    /// appended token range. NULL text yields a single `[EMPTY]` token.
+    fn push_text(&mut self, text: &str, template: TokenMeta) -> Range<usize> {
+        let start = self.ids.len();
+        let ids = self.tok.encode(text);
+        if ids.is_empty() {
+            self.ids.push(SpecialToken::Empty.id());
+            self.meta.push(template);
+        } else {
+            for id in ids {
+                self.ids.push(id);
+                self.meta.push(template);
+            }
+        }
+        start..self.ids.len()
+    }
+
+    fn push_cell(&mut self, cell: &Cell, row: usize, col: usize) {
+        let template = TokenMeta {
+            row: row + 1,
+            col: col + 1,
+            segment: Segment::Table,
+            kind: TokenKind::Cell,
+            entity: cell.entity,
+            rank: self.ranks.get(&(row, col)).copied().unwrap_or(0),
+        };
+        let span = self.push_text(cell.text(), template);
+        self.cell_spans.insert((row, col), span);
+    }
+
+    fn push_header(&mut self, name: &str, col: usize) {
+        let template = TokenMeta {
+            row: 0,
+            col: col + 1,
+            segment: Segment::Table,
+            kind: TokenKind::Header,
+            entity: None,
+            rank: 0,
+        };
+        let span = self.push_text(name, template);
+        self.header_spans.insert(col, span);
+    }
+
+    /// Structural filler (separators, `row`, `is`, …) attributed to a grid
+    /// position when meaningful.
+    fn push_template(&mut self, text: &str, row: usize, col: usize) {
+        let template = TokenMeta {
+            row,
+            col,
+            segment: Segment::Table,
+            kind: TokenKind::Template,
+            entity: None,
+            rank: 0,
+        };
+        let _ = self.push_text(text, template);
+    }
+
+    fn push_context(&mut self, context: &str) {
+        if context.trim().is_empty() {
+            return;
+        }
+        let template = TokenMeta::outside(Segment::Context, TokenKind::Context);
+        let _ = self.push_text(context, template);
+    }
+
+    /// Rolls the builder back to `len` tokens, dropping spans that start at
+    /// or beyond the cut (used for whole-row truncation).
+    fn truncate_to(&mut self, len: usize) {
+        self.ids.truncate(len);
+        self.meta.truncate(len);
+        self.cell_spans.retain(|_, s| s.end <= len);
+        self.header_spans.retain(|_, s| s.end <= len);
+    }
+
+    fn finish(
+        mut self,
+        max_tokens: usize,
+        n_rows_encoded: usize,
+        n_cols: usize,
+        truncated_rows: usize,
+        name: &'static str,
+    ) -> EncodedTable {
+        if self.ids.len() > max_tokens {
+            self.truncate_to(max_tokens);
+        }
+        EncodedTable::new(
+            self.ids,
+            self.meta,
+            self.cell_spans,
+            self.header_spans,
+            n_rows_encoded,
+            n_cols,
+            truncated_rows,
+            name,
+        )
+    }
+}
+
+/// Appends rows via `append_row` until the budget is exhausted; returns
+/// `(rows_encoded, rows_truncated)`.
+fn fill_rows(
+    b: &mut SeqBuilder<'_>,
+    table: &Table,
+    budget: usize,
+    mut append_row: impl FnMut(&mut SeqBuilder<'_>, usize),
+) -> (usize, usize) {
+    let mut encoded = 0;
+    for r in 0..table.n_rows() {
+        let snapshot = b.len();
+        append_row(b, r);
+        if b.len() > budget {
+            b.truncate_to(snapshot);
+            break;
+        }
+        encoded += 1;
+    }
+    (encoded, table.n_rows() - encoded)
+}
+
+/// TAPAS-style numeric ranks: for every numeric column, the 1-based rank
+/// of each non-null cell's value in ascending order (ties share the lower
+/// rank's position order). Non-numeric columns and null cells get no rank.
+fn numeric_ranks(table: &Table) -> RankMap<(usize, usize), usize> {
+    let mut ranks = RankMap::new();
+    for c in 0..table.n_cols() {
+        let mut vals: Vec<(usize, f64)> = (0..table.n_rows())
+            .filter_map(|r| table.cell(r, c).value.as_number().map(|v| (r, v)))
+            .collect();
+        // Only rank columns that are predominantly numeric.
+        if vals.len() * 2 <= table.n_rows() || vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        for (rank, (r, _)) in vals.into_iter().enumerate() {
+            ranks.insert((r, c), rank + 1);
+        }
+    }
+    ranks
+}
+
+// ---------------------------------------------------------------------
+// Row-major (BERT/TAPAS style)
+// ---------------------------------------------------------------------
+
+/// `[CLS] context [SEP] h₁ | h₂ | h₃ [SEP] v₁₁ | v₁₂ | v₁₃ [SEP] v₂₁ …`
+///
+/// The format the hands-on §3.1 builds by hand for BERT, and (with the
+/// row/column metadata this crate always records) the input format of
+/// TAPAS-style models.
+#[derive(Debug, Clone, Default)]
+pub struct RowMajorLinearizer;
+
+impl Linearizer for RowMajorLinearizer {
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable {
+        let mut b = SeqBuilder::new_for(tok, table);
+        b.push_special(SpecialToken::Cls, Segment::Context);
+        if opts.context_position == ContextPosition::Before {
+            b.push_context(context);
+            b.push_special(SpecialToken::Sep, Segment::Context);
+        }
+        for (c, col) in table.columns().iter().enumerate() {
+            if c > 0 {
+                b.push_template("|", 0, 0);
+            }
+            b.push_header(&col.name, c);
+        }
+        b.push_special(SpecialToken::Sep, Segment::Table);
+
+        // Reserve room for the trailing context when it comes after.
+        let tail = if opts.context_position == ContextPosition::After {
+            tok.encode(context).len() + 1
+        } else {
+            0
+        };
+        let budget = opts.max_tokens.saturating_sub(tail);
+        let (encoded, truncated) = fill_rows(&mut b, table, budget, |b, r| {
+            for c in 0..table.n_cols() {
+                if c > 0 {
+                    b.push_template("|", r + 1, 0);
+                }
+                b.push_cell(table.cell(r, c), r, c);
+            }
+            b.push_special(SpecialToken::Sep, Segment::Table);
+        });
+
+        if opts.context_position == ContextPosition::After {
+            b.push_context(context);
+            b.push_special(SpecialToken::Sep, Segment::Context);
+        }
+        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Template ("row one Country is Australia; …")
+// ---------------------------------------------------------------------
+
+/// Natural-text templates, Fig. 2b(2) of the paper:
+/// `row 1 : Country is Australia ; Capital is Sydney ; … row 2 : …`
+#[derive(Debug, Clone, Default)]
+pub struct TemplateLinearizer;
+
+impl Linearizer for TemplateLinearizer {
+    fn name(&self) -> &'static str {
+        "template"
+    }
+
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable {
+        let mut b = SeqBuilder::new_for(tok, table);
+        b.push_special(SpecialToken::Cls, Segment::Context);
+        b.push_context(context);
+        b.push_special(SpecialToken::Sep, Segment::Context);
+
+        let (encoded, truncated) = fill_rows(&mut b, table, opts.max_tokens, |b, r| {
+            b.push_template(&format!("row {}", r + 1), r + 1, 0);
+            b.push_template(":", r + 1, 0);
+            for c in 0..table.n_cols() {
+                b.push_header(&table.columns()[c].name, c);
+                b.push_template("is", r + 1, c + 1);
+                b.push_cell(table.cell(r, c), r, c);
+                b.push_template(";", r + 1, c + 1);
+            }
+        });
+        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Column-major
+// ---------------------------------------------------------------------
+
+/// Per-column serialization:
+/// `[CLS] context [SEP] h₁ : v₁₁ | v₂₁ [SEP] h₂ : v₁₂ | v₂₂ [SEP] …`
+///
+/// The row-budget is honored by finding the largest row prefix whose
+/// column-major encoding fits, so E7 compares row- vs column-major on equal
+/// cell coverage.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnMajorLinearizer;
+
+impl ColumnMajorLinearizer {
+    fn build<'a>(
+        table: &Table,
+        context: &str,
+        tok: &'a WordPieceTokenizer,
+        n_rows: usize,
+    ) -> SeqBuilder<'a> {
+        let mut b = SeqBuilder::new_for(tok, table);
+        b.push_special(SpecialToken::Cls, Segment::Context);
+        b.push_context(context);
+        b.push_special(SpecialToken::Sep, Segment::Context);
+        for c in 0..table.n_cols() {
+            b.push_header(&table.columns()[c].name, c);
+            b.push_template(":", 0, c + 1);
+            for r in 0..n_rows {
+                if r > 0 {
+                    b.push_template("|", 0, c + 1);
+                }
+                b.push_cell(table.cell(r, c), r, c);
+            }
+            b.push_special(SpecialToken::Sep, Segment::Table);
+        }
+        b
+    }
+}
+
+impl Linearizer for ColumnMajorLinearizer {
+    fn name(&self) -> &'static str {
+        "column-major"
+    }
+
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable {
+        let mut n_rows = table.n_rows();
+        loop {
+            let b = Self::build(table, context, tok, n_rows);
+            if b.len() <= opts.max_tokens || n_rows == 0 {
+                let truncated = table.n_rows() - n_rows;
+                return b.finish(opts.max_tokens, n_rows, table.n_cols(), truncated, self.name());
+            }
+            n_rows -= 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TAPEX style
+// ---------------------------------------------------------------------
+
+/// TAPEX's flattening: `[CLS] context [SEP] col : h₁ | h₂ row 1 : v₁₁ | v₁₂
+/// row 2 : …` — the format its neural SQL executor is trained on.
+#[derive(Debug, Clone, Default)]
+pub struct TapexLinearizer;
+
+impl Linearizer for TapexLinearizer {
+    fn name(&self) -> &'static str {
+        "tapex"
+    }
+
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable {
+        let mut b = SeqBuilder::new_for(tok, table);
+        b.push_special(SpecialToken::Cls, Segment::Context);
+        b.push_context(context);
+        b.push_special(SpecialToken::Sep, Segment::Context);
+        b.push_template("col", 0, 0);
+        b.push_template(":", 0, 0);
+        for (c, col) in table.columns().iter().enumerate() {
+            if c > 0 {
+                b.push_template("|", 0, 0);
+            }
+            b.push_header(&col.name, c);
+        }
+        let (encoded, truncated) = fill_rows(&mut b, table, opts.max_tokens, |b, r| {
+            b.push_template(&format!("row {}", r + 1), r + 1, 0);
+            b.push_template(":", r + 1, 0);
+            for c in 0..table.n_cols() {
+                if c > 0 {
+                    b.push_template("|", r + 1, 0);
+                }
+                b.push_cell(table.cell(r, c), r, c);
+            }
+        });
+        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+    }
+}
+
+// ---------------------------------------------------------------------
+// TURL style
+// ---------------------------------------------------------------------
+
+/// TURL's entity-focused compact form: context and headers, then one
+/// contiguous token group per cell with **no separators**, entity links in
+/// metadata. Paired with the visibility-matrix attention in `ntr-models`,
+/// this reproduces the structure Fig. 2b(2) of the paper shows (Token /
+/// Type / Position rows).
+#[derive(Debug, Clone, Default)]
+pub struct TurlLinearizer;
+
+impl Linearizer for TurlLinearizer {
+    fn name(&self) -> &'static str {
+        "turl"
+    }
+
+    fn linearize(
+        &self,
+        table: &Table,
+        context: &str,
+        tok: &WordPieceTokenizer,
+        opts: &LinearizerOptions,
+    ) -> EncodedTable {
+        let mut b = SeqBuilder::new_for(tok, table);
+        b.push_special(SpecialToken::Cls, Segment::Context);
+        b.push_context(context);
+        b.push_special(SpecialToken::Sep, Segment::Context);
+        for (c, col) in table.columns().iter().enumerate() {
+            b.push_header(&col.name, c);
+        }
+        b.push_special(SpecialToken::Sep, Segment::Table);
+        let (encoded, truncated) = fill_rows(&mut b, table, opts.max_tokens, |b, r| {
+            for c in 0..table.n_cols() {
+                b.push_cell(table.cell(r, c), r, c);
+            }
+        });
+        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_tokenizer::train::WordPieceTrainer;
+
+    fn tokenizer() -> WordPieceTokenizer {
+        let corpus = [
+            "country capital population france paris australia canberra japan tokyo",
+            "row 1 2 3 4 5 : | ; is col country capital population",
+            "population in million by country which city 67.8 25.69 125.7",
+            "row 1 : | ; is col row 2 : | ; row 3 : | ;",
+        ];
+        WordPieceTokenizer::new(WordPieceTrainer::new(600).train(corpus.iter().copied()))
+    }
+
+    fn sample() -> Table {
+        Table::from_strings(
+            "t",
+            &["Country", "Capital", "Population"],
+            &[
+                &["France", "Paris", "67.8"],
+                &["Australia", "Canberra", "25.69"],
+                &["Japan", "Tokyo", "125.7"],
+            ],
+        )
+        .with_caption("Population in Million by Country")
+    }
+
+    fn all_linearizers() -> Vec<Box<dyn Linearizer>> {
+        vec![
+            Box::new(RowMajorLinearizer),
+            Box::new(TemplateLinearizer),
+            Box::new(ColumnMajorLinearizer),
+            Box::new(TapexLinearizer),
+            Box::new(TurlLinearizer),
+        ]
+    }
+
+    #[test]
+    fn every_linearizer_encodes_all_cells_when_budget_allows() {
+        let tok = tokenizer();
+        let t = sample();
+        let opts = LinearizerOptions::default();
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            assert_eq!(e.truncated_rows(), 0, "{}", lin.name());
+            assert_eq!(e.n_rows_encoded(), 3, "{}", lin.name());
+            for r in 0..3 {
+                for c in 0..3 {
+                    let span = e.cell_span(r, c).unwrap_or_else(|| {
+                        panic!("{}: missing cell ({r},{c})", lin.name())
+                    });
+                    assert!(!span.is_empty());
+                    // Every token in the span carries the right coordinates.
+                    for i in span {
+                        assert_eq!(e.meta()[i].row, r + 1, "{}", lin.name());
+                        assert_eq!(e.meta()[i].col, c + 1, "{}", lin.name());
+                    }
+                }
+            }
+            for c in 0..3 {
+                assert!(e.header_span(c).is_some(), "{}: header {c}", lin.name());
+            }
+        }
+    }
+
+    #[test]
+    fn starts_with_cls() {
+        let tok = tokenizer();
+        let t = sample();
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, "", &tok, &LinearizerOptions::default());
+            assert_eq!(e.ids()[0], SpecialToken::Cls.id(), "{}", lin.name());
+        }
+    }
+
+    #[test]
+    fn truncation_drops_whole_rows_and_counts_them() {
+        let tok = tokenizer();
+        let t = sample();
+        for lin in all_linearizers() {
+            let opts = LinearizerOptions {
+                max_tokens: 30,
+                ..Default::default()
+            };
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            assert!(e.len() <= 30, "{}: {} tokens", lin.name(), e.len());
+            assert_eq!(
+                e.n_rows_encoded() + e.truncated_rows(),
+                3,
+                "{}",
+                lin.name()
+            );
+            // No partial rows: every encoded row has all its cells.
+            for r in 0..e.n_rows_encoded() {
+                for c in 0..3 {
+                    assert!(e.cell_span(r, c).is_some(), "{} row {r}", lin.name());
+                }
+            }
+            for r in e.n_rows_encoded()..3 {
+                for c in 0..3 {
+                    assert!(e.cell_span(r, c).is_none(), "{} row {r}", lin.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_position_after_places_context_at_end() {
+        let tok = tokenizer();
+        let t = sample();
+        let before = RowMajorLinearizer.linearize(&t, &t.caption, &tok, &LinearizerOptions::default());
+        let after = RowMajorLinearizer.linearize(
+            &t,
+            &t.caption,
+            &tok,
+            &LinearizerOptions {
+                context_position: ContextPosition::After,
+                ..Default::default()
+            },
+        );
+        let ctx_positions =
+            |e: &EncodedTable| -> Vec<usize> {
+                e.meta()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.kind == TokenKind::Context)
+                    .map(|(i, _)| i)
+                    .collect()
+            };
+        let pb = ctx_positions(&before);
+        let pa = ctx_positions(&after);
+        assert!(!pb.is_empty() && !pa.is_empty());
+        assert!(pb.iter().max() < pa.iter().min(), "context must move to the end");
+        // Same cells encoded either way.
+        assert_eq!(before.n_rows_encoded(), after.n_rows_encoded());
+    }
+
+    #[test]
+    fn null_cells_become_empty_token() {
+        let tok = tokenizer();
+        let t = Table::from_strings("n", &["a", "b"], &[&["1", ""]]);
+        let e = RowMajorLinearizer.linearize(&t, "", &tok, &LinearizerOptions::default());
+        let span = e.cell_span(0, 1).unwrap();
+        assert_eq!(span.len(), 1);
+        assert_eq!(e.ids()[span.start], SpecialToken::Empty.id());
+    }
+
+    #[test]
+    fn entities_flow_into_metadata() {
+        let tok = tokenizer();
+        let mut t = sample();
+        t.cell_mut(0, 0).entity = Some(42);
+        let e = TurlLinearizer.linearize(&t, "", &tok, &LinearizerOptions::default());
+        let span = e.cell_span(0, 0).unwrap();
+        for i in span {
+            assert_eq!(e.meta()[i].entity, Some(42));
+        }
+        let other = e.cell_span(0, 1).unwrap();
+        assert_eq!(e.meta()[other.start].entity, None);
+    }
+
+    #[test]
+    fn empty_table_still_produces_frame() {
+        let tok = tokenizer();
+        let t = Table::new("e", vec![crate::table::Column::new("only")], vec![]).unwrap();
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, "caption", &tok, &LinearizerOptions::default());
+            assert!(e.len() >= 2, "{}", lin.name());
+            assert_eq!(e.n_rows_encoded(), 0);
+        }
+    }
+
+    #[test]
+    fn tiny_budget_never_overflows_or_panics() {
+        let tok = tokenizer();
+        let t = sample();
+        for lin in all_linearizers() {
+            for max in [1, 2, 3, 5, 8] {
+                let opts = LinearizerOptions {
+                    max_tokens: max,
+                    ..Default::default()
+                };
+                let e = lin.linearize(&t, &t.caption, &tok, &opts);
+                assert!(e.len() <= max, "{} budget {max}", lin.name());
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_ranks_order_cells_within_columns() {
+        let tok = tokenizer();
+        let t = sample(); // Population column: 67.8, 25.69, 125.7
+        let e = RowMajorLinearizer.linearize(&t, "", &tok, &LinearizerOptions::default());
+        let rank_of = |r: usize, c: usize| {
+            let span = e.cell_span(r, c).unwrap();
+            e.meta()[span.start].rank
+        };
+        // Population (column 2) is numeric: 25.69 < 67.8 < 125.7.
+        assert_eq!(rank_of(1, 2), 1, "25.69 is smallest");
+        assert_eq!(rank_of(0, 2), 2, "67.8 is middle");
+        assert_eq!(rank_of(2, 2), 3, "125.7 is largest");
+        // Text columns carry no rank.
+        assert_eq!(rank_of(0, 0), 0);
+        assert_eq!(rank_of(0, 1), 0);
+        // Header/context/special tokens carry no rank.
+        for (i, m) in e.meta().iter().enumerate() {
+            if m.kind != TokenKind::Cell {
+                assert_eq!(m.rank, 0, "token {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearizer_names_are_distinct() {
+        let names: Vec<&str> = all_linearizers().iter().map(|l| l.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,128 @@
+//! Content snapshots: selecting the table rows most relevant to a query
+//! before linearization — the paper's "data retrieval and filtering" input-
+//! processing step (TaBERT calls this a *content snapshot*).
+
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Scores one row's lexical overlap with the query: the fraction of query
+/// words that appear (case-insensitively, as substrings of cell text) in
+/// the row. Header words count toward every row.
+pub fn row_relevance(table: &Table, row: usize, query: &str) -> f64 {
+    let words: Vec<String> = query
+        .split_whitespace()
+        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if words.is_empty() {
+        return 0.0;
+    }
+    let mut haystack: Vec<String> = table
+        .row(row)
+        .iter()
+        .map(|c| c.text().to_lowercase())
+        .collect();
+    haystack.extend(table.columns().iter().map(|c| c.name.to_lowercase()));
+    let hits = words
+        .iter()
+        .filter(|w| haystack.iter().any(|h| h.contains(*w)))
+        .count();
+    hits as f64 / words.len() as f64
+}
+
+/// Selects up to `k` rows most relevant to `query`, preserving the original
+/// row order among the selected (ties keep earlier rows). With an empty
+/// query, the first `k` rows are returned.
+pub fn select_rows(table: &Table, query: &str, k: usize) -> Vec<usize> {
+    let k = k.min(table.n_rows());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut scored: Vec<(usize, f64)> = (0..table.n_rows())
+        .map(|r| (r, row_relevance(table, r, query)))
+        .collect();
+    // Stable sort by descending score; stability keeps original order on ties.
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("scores are finite"));
+    let keep: HashSet<usize> = scored[..k].iter().map(|&(r, _)| r).collect();
+    (0..table.n_rows()).filter(|r| keep.contains(r)).collect()
+}
+
+/// Builds the snapshot table directly: `table.select_rows(select_rows(...))`.
+pub fn snapshot(table: &Table, query: &str, k: usize) -> Table {
+    table.select_rows(&select_rows(table, query, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn countries() -> Table {
+        Table::from_strings(
+            "c",
+            &["Country", "Capital", "Population"],
+            &[
+                &["France", "Paris", "67.8"],
+                &["Australia", "Canberra", "25.69"],
+                &["Japan", "Tokyo", "125.7"],
+                &["Kenya", "Nairobi", "54.0"],
+            ],
+        )
+    }
+
+    #[test]
+    fn relevant_row_scores_higher() {
+        let t = countries();
+        let q = "what is the population of France";
+        assert!(row_relevance(&t, 0, q) > row_relevance(&t, 2, q));
+    }
+
+    #[test]
+    fn header_words_count_for_all_rows() {
+        let t = countries();
+        let q = "population";
+        for r in 0..t.n_rows() {
+            assert!(row_relevance(&t, r, q) > 0.0, "row {r}");
+        }
+    }
+
+    #[test]
+    fn select_rows_picks_the_mentioned_row_first() {
+        let t = countries();
+        let rows = select_rows(&t, "capital of Japan", 1);
+        assert_eq!(rows, vec![2]);
+    }
+
+    #[test]
+    fn select_rows_preserves_original_order() {
+        let t = countries();
+        let rows = select_rows(&t, "France and Kenya", 2);
+        assert_eq!(rows, vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_query_takes_prefix() {
+        let t = countries();
+        assert_eq!(select_rows(&t, "", 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_table_is_clamped() {
+        let t = countries();
+        assert_eq!(select_rows(&t, "x", 99).len(), 4);
+        assert!(select_rows(&t, "x", 0).is_empty());
+    }
+
+    #[test]
+    fn snapshot_builds_subtable() {
+        let t = countries();
+        let s = snapshot(&t, "population of Australia", 1);
+        assert_eq!(s.n_rows(), 1);
+        assert_eq!(s.cell(0, 0).text(), "Australia");
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        let t = countries();
+        assert!(row_relevance(&t, 0, "FRANCE?") > 0.9);
+    }
+}

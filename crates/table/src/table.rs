@@ -1,0 +1,398 @@
+//! The [`Table`] type: named, captioned, rectangular grids of typed cells.
+
+use crate::cell::{Cell, SemanticType};
+use std::fmt;
+
+/// A column: a header name plus an (inferable) semantic type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Header text. May be a synthetic `col0`, `col1`… for headerless data.
+    pub name: String,
+    /// Semantic type; [`SemanticType::Unknown`] until inferred.
+    pub sem_type: SemanticType,
+}
+
+impl Column {
+    /// A column with an unknown type.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            sem_type: SemanticType::Unknown,
+        }
+    }
+}
+
+/// Errors constructing or mutating tables.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// A row's cell count does not match the column count.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Cells found in that row.
+        found: usize,
+        /// Cells expected (column count).
+        expected: usize,
+    },
+    /// Referenced column does not exist.
+    NoSuchColumn(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(f, "row {row} has {found} cells, expected {expected}"),
+            TableError::NoSuchColumn(c) => write!(f, "no such column: {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// A relational table: identifier, optional caption (the *context* the
+/// paper's Fig. 1 concatenates with the serialized table), columns, and a
+/// rectangular grid of [`Cell`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Stable identifier (e.g. filename or corpus id).
+    pub id: String,
+    /// Caption / title / page context. Empty when absent.
+    pub caption: String,
+    columns: Vec<Column>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table, validating rectangularity.
+    pub fn new(
+        id: impl Into<String>,
+        columns: Vec<Column>,
+        rows: Vec<Vec<Cell>>,
+    ) -> Result<Self, TableError> {
+        let expected = columns.len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != expected {
+                return Err(TableError::RaggedRow {
+                    row: i,
+                    found: r.len(),
+                    expected,
+                });
+            }
+        }
+        let mut t = Self {
+            id: id.into(),
+            caption: String::new(),
+            columns,
+            rows,
+        };
+        t.infer_column_types();
+        Ok(t)
+    }
+
+    /// Convenience constructor from string data.
+    ///
+    /// # Panics
+    /// Panics on ragged input (intended for literals in tests/examples).
+    pub fn from_strings(id: &str, headers: &[&str], rows: &[&[&str]]) -> Self {
+        let columns = headers.iter().map(|h| Column::new(*h)).collect();
+        let rows = rows
+            .iter()
+            .map(|r| r.iter().map(|&s| Cell::new(s)).collect())
+            .collect();
+        Self::new(id, columns, rows).expect("literal table must be rectangular")
+    }
+
+    /// Sets the caption, builder-style.
+    pub fn with_caption(mut self, caption: impl Into<String>) -> Self {
+        self.caption = caption.into();
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Row `r` as a cell slice.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn row(&self, r: usize) -> &[Cell] {
+        &self.rows[r]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Cell>] {
+        &self.rows
+    }
+
+    /// Cell at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when out of range.
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        &self.rows[row][col]
+    }
+
+    /// Mutable cell at `(row, col)`.
+    pub fn cell_mut(&mut self, row: usize, col: usize) -> &mut Cell {
+        &mut self.rows[row][col]
+    }
+
+    /// Index of the column named `name` (exact match, then
+    /// case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .or_else(|| {
+                self.columns
+                    .iter()
+                    .position(|c| c.name.eq_ignore_ascii_case(name))
+            })
+    }
+
+    /// All cells of column `col`.
+    pub fn column_cells(&self, col: usize) -> Vec<&Cell> {
+        self.rows.iter().map(|r| &r[col]).collect()
+    }
+
+    /// Re-infers every column's semantic type from its current cells.
+    pub fn infer_column_types(&mut self) {
+        for c in 0..self.columns.len() {
+            let cells: Vec<&Cell> = self.rows.iter().map(|r| &r[c]).collect();
+            self.columns[c].sem_type = SemanticType::infer_column(&cells);
+        }
+    }
+
+    /// A new table containing only the given row indices (in that order).
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> Table {
+        let rows = indices.iter().map(|&i| self.rows[i].clone()).collect();
+        let mut t = Table {
+            id: self.id.clone(),
+            caption: self.caption.clone(),
+            columns: self.columns.clone(),
+            rows,
+        };
+        t.infer_column_types();
+        t
+    }
+
+    /// A new table containing only the given column indices (in that order).
+    pub fn select_columns(&self, indices: &[usize]) -> Table {
+        let columns = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Table {
+            id: self.id.clone(),
+            caption: self.caption.clone(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, row: Vec<Cell>) -> Result<(), TableError> {
+        if row.len() != self.columns.len() {
+            return Err(TableError::RaggedRow {
+                row: self.rows.len(),
+                found: row.len(),
+                expected: self.columns.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Fraction of cells that are NULL (0.0 for an empty table).
+    pub fn null_fraction(&self) -> f64 {
+        let total = self.n_rows() * self.n_cols();
+        if total == 0 {
+            return 0.0;
+        }
+        let nulls = self
+            .rows
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|c| c.is_null())
+            .count();
+        nulls as f64 / total as f64
+    }
+
+    /// True when headers look synthetic/uninformative (`col0`, `col1`, …,
+    /// empty, or single characters) — one of the failure slices the paper's
+    /// hands-on §3.4 examines.
+    pub fn is_headerless(&self) -> bool {
+        self.columns.iter().all(|c| {
+            let n = c.name.trim();
+            n.is_empty()
+                || n.chars().count() <= 1
+                || (n.to_ascii_lowercase().starts_with("col")
+                    && n[3.min(n.len())..].chars().all(|ch| ch.is_ascii_digit()))
+        })
+    }
+
+    /// True when a majority of columns are numeric — the "numeric tables"
+    /// failure slice of §3.4.
+    pub fn is_mostly_numeric(&self) -> bool {
+        let numeric = self
+            .columns
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.sem_type,
+                    SemanticType::Integer | SemanticType::Float
+                )
+            })
+            .count();
+        numeric * 2 > self.columns.len().max(1)
+    }
+}
+
+impl fmt::Display for Table {
+    /// Pretty-prints as a compact markdown-like grid (for examples/demos).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.caption.is_empty() {
+            writeln!(f, "# {}", self.caption)?;
+        }
+        let names: Vec<&str> = self.columns.iter().map(|c| c.name.as_str()).collect();
+        writeln!(f, "| {} |", names.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<&str> = row.iter().map(|c| c.text()).collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_strings(
+            "t1",
+            &["Country", "Capital", "Population"],
+            &[
+                &["France", "Paris", "67.8"],
+                &["Australia", "Canberra", "25.69"],
+                &["Japan", "Tokyo", "125.7"],
+            ],
+        )
+        .with_caption("Population in Million by Country")
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.cell(1, 1).text(), "Canberra");
+        assert_eq!(t.caption, "Population in Million by Country");
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = Table::new(
+            "bad",
+            vec![Column::new("a"), Column::new("b")],
+            vec![vec![Cell::new("1")]],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            TableError::RaggedRow {
+                row: 0,
+                found: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn column_types_inferred_on_construction() {
+        let t = sample();
+        assert_eq!(t.columns()[0].sem_type, SemanticType::Text);
+        assert_eq!(t.columns()[2].sem_type, SemanticType::Float);
+    }
+
+    #[test]
+    fn column_index_is_case_insensitive_fallback() {
+        let t = sample();
+        assert_eq!(t.column_index("Capital"), Some(1));
+        assert_eq!(t.column_index("capital"), Some(1));
+        assert_eq!(t.column_index("nope"), None);
+    }
+
+    #[test]
+    fn select_rows_and_columns() {
+        let t = sample();
+        let top = t.select_rows(&[2, 0]);
+        assert_eq!(top.n_rows(), 2);
+        assert_eq!(top.cell(0, 0).text(), "Japan");
+        let narrow = t.select_columns(&[2, 0]);
+        assert_eq!(narrow.columns()[0].name, "Population");
+        assert_eq!(narrow.cell(0, 1).text(), "France");
+    }
+
+    #[test]
+    fn push_row_validates_width() {
+        let mut t = sample();
+        assert!(t.push_row(vec![Cell::new("x")]).is_err());
+        assert!(t
+            .push_row(vec![Cell::new("Kenya"), Cell::new("Nairobi"), Cell::new("54")])
+            .is_ok());
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn null_fraction_counts() {
+        let t = Table::from_strings("n", &["a", "b"], &[&["1", ""], &["null", "2"]]);
+        assert!((t.null_fraction() - 0.5).abs() < 1e-12);
+        let empty = Table::new("e", vec![Column::new("a")], vec![]).unwrap();
+        assert_eq!(empty.null_fraction(), 0.0);
+    }
+
+    #[test]
+    fn headerless_detection() {
+        let t = Table::from_strings("h", &["col0", "col1"], &[&["1", "2"]]);
+        assert!(t.is_headerless());
+        let t2 = Table::from_strings("h2", &["", "x"], &[&["1", "2"]]);
+        assert!(t2.is_headerless());
+        assert!(!sample().is_headerless());
+    }
+
+    #[test]
+    fn numeric_table_detection() {
+        let t = Table::from_strings("n", &["a", "b", "c"], &[&["1", "2.5", "x"], &["3", "4.5", "y"]]);
+        assert!(t.is_mostly_numeric());
+        assert!(!sample().is_mostly_numeric());
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let s = sample().to_string();
+        assert!(s.contains("# Population in Million by Country"));
+        assert!(s.contains("| France | Paris | 67.8 |"));
+    }
+}

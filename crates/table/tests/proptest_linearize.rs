@@ -1,0 +1,120 @@
+//! Property tests for the linearizers: structural invariants over random
+//! tables, budgets and strategies.
+
+use ntr_table::{
+    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
+    TapexLinearizer, TemplateLinearizer, TokenKind, TurlLinearizer,
+};
+use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    prop_oneof![
+        proptest::string::string_regex("[a-z]{1,8}").expect("regex"),
+        (0i64..10000).prop_map(|n| n.to_string()),
+        Just(String::new()), // null cells
+    ]
+}
+
+fn table() -> impl Strategy<Value = Table> {
+    ((1usize..5), (1usize..4)).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(word(), rows * cols).prop_map(move |cells| {
+            let headers: Vec<String> = (0..cols).map(|c| format!("h{c}")).collect();
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let row_strs: Vec<Vec<&str>> = (0..rows)
+                .map(|r| (0..cols).map(|c| cells[r * cols + c].as_str()).collect())
+                .collect();
+            let slices: Vec<&[&str]> = row_strs.iter().map(Vec::as_slice).collect();
+            Table::from_strings("prop", &header_refs, &slices).with_caption("a caption")
+        })
+    })
+}
+
+fn tokenizer() -> WordPieceTokenizer {
+    let corpus = ["a b c d e f g h i j k l m n o p q r s t u v w x y z 0 1 2 3 4 5 6 7 8 9 | : ; , . h0 h1 h2 caption row col is the"];
+    WordPieceTokenizer::new(WordPieceTrainer::new(400).train(corpus.iter().copied()))
+}
+
+fn all_linearizers() -> Vec<Box<dyn Linearizer>> {
+    vec![
+        Box::new(RowMajorLinearizer),
+        Box::new(TemplateLinearizer),
+        Box::new(ColumnMajorLinearizer),
+        Box::new(TapexLinearizer),
+        Box::new(TurlLinearizer),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn budgets_are_never_exceeded(t in table(), budget in 1usize..80) {
+        let tok = tokenizer();
+        let opts = LinearizerOptions { max_tokens: budget, ..Default::default() };
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            prop_assert!(e.len() <= budget, "{} exceeded {budget}: {}", lin.name(), e.len());
+        }
+    }
+
+    #[test]
+    fn coordinates_stay_within_table_bounds(t in table()) {
+        let tok = tokenizer();
+        let opts = LinearizerOptions::default();
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            for m in e.meta() {
+                prop_assert!(m.row <= t.n_rows(), "{}", lin.name());
+                prop_assert!(m.col <= t.n_cols(), "{}", lin.name());
+                prop_assert!(m.rank <= t.n_rows(), "{}", lin.name());
+                if m.kind == TokenKind::Cell {
+                    prop_assert!(m.row >= 1 && m.col >= 1, "{}", lin.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_covers_every_cell(t in table()) {
+        let tok = tokenizer();
+        let opts = LinearizerOptions { max_tokens: 4096, ..Default::default() };
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            prop_assert_eq!(e.truncated_rows(), 0, "{}", lin.name());
+            for r in 0..t.n_rows() {
+                for c in 0..t.n_cols() {
+                    prop_assert!(e.cell_span(r, c).is_some(), "{} ({r},{c})", lin.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spans_are_disjoint_and_in_bounds(t in table()) {
+        let tok = tokenizer();
+        let opts = LinearizerOptions::default();
+        for lin in all_linearizers() {
+            let e = lin.linearize(&t, &t.caption, &tok, &opts);
+            let mut seen = vec![false; e.len()];
+            for (_, span) in e.cells() {
+                prop_assert!(span.end <= e.len(), "{}", lin.name());
+                for i in span {
+                    prop_assert!(!seen[i], "{}: overlapping cell spans", lin.name());
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(t in table()) {
+        let tok = tokenizer();
+        let opts = LinearizerOptions::default();
+        for lin in all_linearizers() {
+            let a = lin.linearize(&t, &t.caption, &tok, &opts);
+            let b = lin.linearize(&t, &t.caption, &tok, &opts);
+            prop_assert_eq!(a.ids(), b.ids(), "{}", lin.name());
+        }
+    }
+}

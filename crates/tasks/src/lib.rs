@@ -1,0 +1,37 @@
+//! # ntr-tasks
+//!
+//! Training loops, evaluation metrics, non-neural baselines and analysis
+//! probes for every downstream task in the paper's §2.1:
+//!
+//! * [`pretrain`] — the hands-on §3.3: MLM pretraining for any encoder,
+//!   joint MLM + masked-entity-recovery for TURL, and neural-SQL-executor
+//!   pretraining for TAPEX;
+//! * [`imputation`] — the hands-on §3.4: fine-tune for data imputation,
+//!   evaluate accuracy/F1 with failure slices (numeric / headerless);
+//! * [`qa`] — TAPAS-style cell-selection question answering;
+//! * [`nli`] — tabular fact verification (TabFact-like);
+//! * [`retrieval`] — dense table retrieval vs. a lexical baseline;
+//! * [`cta`] — column type annotation (metadata prediction);
+//! * [`linking`] — entity linking with TURL entity embeddings;
+//! * [`text2sql`] — seq2seq semantic parsing evaluated by denotation;
+//! * [`probes`] — §2.4's "consistency of the data representation" tests
+//!   (row/column-order invariance, header sensitivity);
+//! * [`aggqa`] — TAPAS-style aggregation prediction (operator + column);
+//! * [`visualize`] — §3.3's attention/encoding inspection utilities;
+//! * [`metrics`] — accuracy, P/R/F1, MRR, NDCG, Hits@k.
+
+pub mod aggqa;
+pub mod cta;
+pub mod imputation;
+pub mod linking;
+pub mod metrics;
+pub mod nli;
+pub mod pretrain;
+pub mod probes;
+pub mod qa;
+pub mod retrieval;
+pub mod text2sql;
+pub mod visualize;
+pub mod trainer;
+
+pub use trainer::TrainConfig;

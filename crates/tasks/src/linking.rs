@@ -1,0 +1,235 @@
+//! Entity linking (§2.1 "entity resolution and linking"): resolve a cell
+//! mention to a knowledge-base entity using TURL's entity embeddings.
+//!
+//! Training runs TURL's MER head over the full entity vocabulary with the
+//! gold entity as target; evaluation restricts the softmax to each
+//! example's candidate set (the standard candidate-ranking protocol).
+
+use crate::metrics::{accuracy, hits_at_k, rank_of};
+use crate::trainer::{epoch_order, ScheduledOptimizer, TrainConfig};
+use ntr_corpus::datasets::LinkingDataset;
+use ntr_corpus::Split;
+use ntr_models::{pool_mean, pool_mean_backward, EncoderInput, SequenceEncoder, Turl};
+use ntr_nn::loss::softmax_cross_entropy;
+use ntr_table::{Linearizer, LinearizerOptions, TurlLinearizer};
+use ntr_tokenizer::WordPieceTokenizer;
+use std::ops::Range;
+
+fn mention_encoding(
+    ex: &ntr_corpus::datasets::LinkingExample,
+    tok: &WordPieceTokenizer,
+    opts: &LinearizerOptions,
+) -> Option<(EncoderInput, Range<usize>)> {
+    let encoded = TurlLinearizer.linearize(&ex.table, &ex.table.caption, tok, opts);
+    let span = encoded.cell_span(ex.coord.0, ex.coord.1)?;
+    Some((EncoderInput::from_encoded(&encoded), span))
+}
+
+/// Fine-tunes TURL's MER pathway for linking (CE over all entities).
+pub fn finetune(
+    model: &mut Turl,
+    ds: &LinkingDataset,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    opts: &LinearizerOptions,
+) {
+    let prepared: Vec<(EncoderInput, Range<usize>, usize)> = ds
+        .indices(Split::Train)
+        .iter()
+        .filter_map(|&i| {
+            let ex = &ds.examples[i];
+            let (input, span) = mention_encoding(ex, tok, opts)?;
+            Some((input, span, ex.gold as usize))
+        })
+        .collect();
+    let steps = (prepared.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
+    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut in_batch = 0;
+    for epoch in 0..cfg.epochs {
+        for &i in &epoch_order(prepared.len(), epoch, cfg.seed) {
+            let (input, span, gold) = &prepared[i];
+            let states = model.encode(input, true);
+            let pooled = pool_mean(&states, span);
+            let logits = model.mer.forward(&pooled);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &[*gold], None);
+            let d_pooled = model.mer.backward(&dlogits);
+            let dstates = pool_mean_backward(&d_pooled, span, states.dim(0));
+            SequenceEncoder::backward(model, &dstates);
+            in_batch += 1;
+            if in_batch == cfg.batch_size {
+                opt.step(model);
+                in_batch = 0;
+            }
+        }
+    }
+    if in_batch > 0 {
+        opt.step(model);
+    }
+}
+
+/// Linking evaluation over candidate sets.
+#[derive(Debug, Clone, Default)]
+pub struct LinkingEval {
+    /// Top-1 accuracy among candidates.
+    pub accuracy: f64,
+    /// Hits@3 among candidates.
+    pub hits3: f64,
+    /// Examples evaluated.
+    pub n: usize,
+}
+
+/// Evaluates candidate-restricted linking on a split.
+pub fn evaluate(
+    model: &mut Turl,
+    ds: &LinkingDataset,
+    split: Split,
+    tok: &WordPieceTokenizer,
+    opts: &LinearizerOptions,
+) -> LinkingEval {
+    let mut pred = Vec::new();
+    let mut gold = Vec::new();
+    let mut ranks = Vec::new();
+    for &i in &ds.indices(split) {
+        let ex = &ds.examples[i];
+        let Some((input, span)) = mention_encoding(ex, tok, opts) else {
+            continue;
+        };
+        let states = model.encode(&input, false);
+        let pooled = pool_mean(&states, &span);
+        let logits = model.mer.forward(&pooled);
+        let scores: Vec<f64> = ex
+            .candidates
+            .iter()
+            .map(|&c| logits.at(&[0, c as usize]) as f64)
+            .collect();
+        let gold_pos = ex
+            .candidates
+            .iter()
+            .position(|&c| c == ex.gold)
+            .expect("gold in candidates");
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(k, _)| k)
+            .expect("non-empty");
+        pred.push(best);
+        gold.push(gold_pos);
+        ranks.push(rank_of(&scores, gold_pos));
+    }
+    LinkingEval {
+        accuracy: accuracy(&pred, &gold),
+        hits3: hits_at_k(&ranks, 3),
+        n: pred.len(),
+    }
+}
+
+/// Name-match baseline: pick the candidate whose name equals the mention
+/// (ties → first); random-ish otherwise.
+pub fn baseline_name_match(
+    world: &ntr_corpus::World,
+    ds: &LinkingDataset,
+    split: Split,
+) -> LinkingEval {
+    let mut pred = Vec::new();
+    let mut gold = Vec::new();
+    for &i in &ds.indices(split) {
+        let ex = &ds.examples[i];
+        let gold_pos = ex
+            .candidates
+            .iter()
+            .position(|&c| c == ex.gold)
+            .expect("gold in candidates");
+        let best = ex
+            .candidates
+            .iter()
+            .position(|&c| world.name(c) == ex.mention)
+            .unwrap_or(0);
+        pred.push(best);
+        gold.push(gold_pos);
+    }
+    LinkingEval {
+        accuracy: accuracy(&pred, &gold),
+        hits3: 0.0,
+        n: pred.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_corpus::tables::{CorpusConfig, TableCorpus};
+    use ntr_corpus::{World, WorldConfig};
+    use ntr_models::ModelConfig;
+
+    fn setup() -> (World, LinkingDataset, WordPieceTokenizer) {
+        let w = World::generate(WorldConfig {
+            n_countries: 8,
+            n_people: 8,
+            n_films: 6,
+            n_clubs: 4,
+            seed: 51,
+        });
+        let corpus = TableCorpus::generate_entity_only(
+            &w,
+            &CorpusConfig {
+                n_tables: 8,
+                min_rows: 3,
+                max_rows: 4,
+                null_prob: 0.0,
+                headerless_prob: 0.0,
+                seed: 52,
+            },
+        );
+        let tok = ntr_corpus::vocab::train_tokenizer(&corpus, &[], 1200);
+        let ds = LinkingDataset::build(&w, &corpus, 5, 53);
+        (w, ds, tok)
+    }
+
+    #[test]
+    fn name_match_baseline_is_perfect_on_clean_mentions() {
+        let (w, ds, _) = setup();
+        let eval = baseline_name_match(&w, &ds, Split::Test);
+        assert!(eval.n > 0);
+        // Mentions are exact entity names in this corpus, so the baseline
+        // saturates — the neural model's value shows when surface forms
+        // are ambiguous (several entities sharing names).
+        assert!(eval.accuracy > 0.95, "{eval:?}");
+    }
+
+    #[test]
+    fn finetuning_lifts_linking_above_chance() {
+        let (w, ds, tok) = setup();
+        let cfg = ModelConfig {
+            vocab_size: tok.vocab_size(),
+            n_entities: w.n_entities(),
+            ..ModelConfig::tiny(tok.vocab_size())
+        };
+        let opts = LinearizerOptions {
+            max_tokens: 96,
+            ..Default::default()
+        };
+        let mut model = Turl::new(&cfg);
+        let before = evaluate(&mut model, &ds, Split::Train, &tok, &opts);
+        finetune(
+            &mut model,
+            &ds,
+            &tok,
+            &TrainConfig {
+                epochs: 4,
+                lr: 3e-3,
+                batch_size: 4,
+                warmup_frac: 0.1,
+                seed: 6,
+            },
+            &opts,
+        );
+        let after = evaluate(&mut model, &ds, Split::Train, &tok, &opts);
+        assert!(after.n > 0);
+        assert!(
+            after.accuracy > before.accuracy.max(0.3),
+            "linking must improve: {before:?} → {after:?}"
+        );
+        assert!(after.hits3 >= after.accuracy);
+    }
+}

@@ -1,0 +1,193 @@
+//! Evaluation metrics shared by every task.
+
+/// Fraction of correct predictions. Returns 0.0 on empty input.
+pub fn accuracy<T: PartialEq>(pred: &[T], gold: &[T]) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "accuracy: length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    let hits = pred.iter().zip(gold).filter(|(p, g)| p == g).count();
+    hits as f64 / pred.len() as f64
+}
+
+/// Binary precision / recall / F1 for boolean predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prf {
+    /// Precision (0 when no positive predictions).
+    pub precision: f64,
+    /// Recall (0 when no positive golds).
+    pub recall: f64,
+    /// F1 (harmonic mean; 0 when both are 0).
+    pub f1: f64,
+}
+
+/// Binary P/R/F1, treating `true` as the positive class.
+pub fn binary_prf(pred: &[bool], gold: &[bool]) -> Prf {
+    assert_eq!(pred.len(), gold.len(), "binary_prf: length mismatch");
+    let tp = pred.iter().zip(gold).filter(|(&p, &g)| p && g).count() as f64;
+    let fp = pred.iter().zip(gold).filter(|(&p, &g)| p && !g).count() as f64;
+    let fn_ = pred.iter().zip(gold).filter(|(&p, &g)| !p && g).count() as f64;
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Prf {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+/// Macro-averaged F1 over `n_classes` classes: per-class one-vs-rest F1,
+/// averaged with equal class weight (classes absent from gold and pred
+/// contribute 0, matching scikit-learn's default).
+pub fn macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> f64 {
+    assert_eq!(pred.len(), gold.len(), "macro_f1: length mismatch");
+    if n_classes == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for class in 0..n_classes {
+        let p: Vec<bool> = pred.iter().map(|&x| x == class).collect();
+        let g: Vec<bool> = gold.iter().map(|&x| x == class).collect();
+        // Skip classes that never occur anywhere (keeps small test sets fair).
+        if !p.iter().any(|&x| x) && !g.iter().any(|&x| x) {
+            continue;
+        }
+        total += binary_prf(&p, &g).f1;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Mean reciprocal rank: for each query, `ranks[i]` is the 1-based rank of
+/// the first relevant item (`None` when absent → contributes 0).
+pub fn mrr(ranks: &[Option<usize>]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks
+        .iter()
+        .map(|r| r.map_or(0.0, |rank| 1.0 / rank as f64))
+        .sum::<f64>()
+        / ranks.len() as f64
+}
+
+/// Hits@k: fraction of queries whose first relevant item ranks ≤ k.
+pub fn hits_at_k(ranks: &[Option<usize>], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks
+        .iter()
+        .filter(|r| matches!(r, Some(rank) if *rank <= k))
+        .count() as f64
+        / ranks.len() as f64
+}
+
+/// NDCG@k with binary relevance and a single relevant item per query:
+/// `1 / log2(rank + 1)` when the item ranks ≤ k, else 0 (IDCG = 1).
+pub fn ndcg_at_k(ranks: &[Option<usize>], k: usize) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks
+        .iter()
+        .map(|r| match r {
+            Some(rank) if *rank <= k => 1.0 / ((*rank as f64) + 1.0).log2(),
+            _ => 0.0,
+        })
+        .sum::<f64>()
+        / ranks.len() as f64
+}
+
+/// Ranks items by descending score and returns the 1-based rank of
+/// `target` (ties resolved against the target, i.e. pessimistically).
+pub fn rank_of(scores: &[f64], target: usize) -> Option<usize> {
+    if target >= scores.len() {
+        return None;
+    }
+    let t = scores[target];
+    if !t.is_finite() {
+        return None;
+    }
+    let better = scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != target && (s > t || (s == t && i < target)))
+        .count();
+    Some(better + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(accuracy::<usize>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn binary_prf_hand_checked() {
+        // pred: T T F F ; gold: T F T F → tp=1 fp=1 fn=1
+        let m = binary_prf(&[true, true, false, false], &[true, false, true, false]);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_prf_degenerate() {
+        let m = binary_prf(&[false, false], &[false, false]);
+        assert_eq!(m.f1, 0.0);
+        let m = binary_prf(&[true, true], &[true, true]);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn macro_f1_weighs_classes_equally() {
+        // Class 1 perfectly predicted, class 0 never predicted correctly.
+        let pred = [1, 1, 1, 1, 1];
+        let gold = [1, 1, 1, 1, 0];
+        let f1 = macro_f1(&pred, &gold, 2);
+        // class1: p=4/5, r=1 → f1=8/9 ; class0: 0 → macro = 4/9
+        assert!((f1 - 4.0 / 9.0).abs() < 1e-9, "{f1}");
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_classes() {
+        let f1 = macro_f1(&[0, 0], &[0, 0], 10);
+        assert_eq!(f1, 1.0, "only class 0 occurs and it is perfect");
+    }
+
+    #[test]
+    fn ranking_metrics() {
+        let ranks = [Some(1), Some(2), None, Some(5)];
+        assert!((mrr(&ranks) - (1.0 + 0.5 + 0.0 + 0.2) / 4.0).abs() < 1e-12);
+        assert_eq!(hits_at_k(&ranks, 1), 0.25);
+        assert_eq!(hits_at_k(&ranks, 2), 0.5);
+        assert_eq!(hits_at_k(&ranks, 5), 0.75);
+        let n = ndcg_at_k(&ranks, 5);
+        let expect = (1.0 + 1.0 / 3f64.log2() + 0.0 + 1.0 / 6f64.log2()) / 4.0;
+        assert!((n - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_of_is_pessimistic_on_ties() {
+        assert_eq!(rank_of(&[0.5, 0.9, 0.5], 0), Some(2));
+        assert_eq!(rank_of(&[0.5, 0.9, 0.5], 2), Some(3), "tie at lower index wins");
+        assert_eq!(rank_of(&[0.1], 0), Some(1));
+        assert_eq!(rank_of(&[0.1], 5), None);
+        assert_eq!(rank_of(&[f64::NAN, 1.0], 0), None);
+    }
+}

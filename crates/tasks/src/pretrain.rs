@@ -1,0 +1,498 @@
+//! Pretraining objectives (the paper's hands-on §3.3): masked language
+//! modeling, TURL's joint MLM + masked entity recovery, and TAPEX's
+//! neural-SQL-executor objective.
+
+use crate::trainer::{epoch_order, ScheduledOptimizer, TrainConfig};
+use ntr_corpus::tables::TableCorpus;
+use ntr_models::{
+    pool_mean, pool_mean_backward, EncoderInput, Mate, MlmHead, SequenceEncoder, Tapas, Tapex,
+    Turl, VanillaBert,
+};
+use ntr_nn::loss::softmax_cross_entropy;
+use ntr_sql::gen::{GenConfig, QueryGenerator};
+use ntr_table::masking::{mask_entities, mask_mlm, MaskedExample, MlmConfig};
+use ntr_table::{Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer, TurlLinearizer};
+use ntr_tensor::Tensor;
+use ntr_tokenizer::{SpecialToken, WordPieceTokenizer};
+
+/// A model that exposes an MLM head — the requirement for generic MLM
+/// pretraining.
+pub trait MlmModel: SequenceEncoder {
+    /// The masked-language-modeling head.
+    fn mlm_head(&mut self) -> &mut MlmHead;
+}
+
+impl MlmModel for VanillaBert {
+    fn mlm_head(&mut self) -> &mut MlmHead {
+        &mut self.mlm
+    }
+}
+
+impl MlmModel for Turl {
+    fn mlm_head(&mut self) -> &mut MlmHead {
+        &mut self.mlm
+    }
+}
+
+impl MlmModel for Tapas {
+    fn mlm_head(&mut self) -> &mut MlmHead {
+        &mut self.mlm
+    }
+}
+
+impl MlmModel for Mate {
+    fn mlm_head(&mut self) -> &mut MlmHead {
+        &mut self.mlm
+    }
+}
+
+/// Loss/accuracy trajectory of a pretraining run (one point per optimizer
+/// step) — the curves the E3 experiment plots.
+#[derive(Debug, Clone, Default)]
+pub struct PretrainReport {
+    /// Mean MLM loss per step.
+    pub mlm_loss: Vec<f32>,
+    /// Masked-token recovery accuracy per step.
+    pub mlm_acc: Vec<f32>,
+    /// Mean MER loss per step (empty for MLM-only runs).
+    pub mer_loss: Vec<f32>,
+    /// Masked-entity recovery accuracy per step (empty for MLM-only runs).
+    pub mer_acc: Vec<f32>,
+}
+
+/// MLM pretraining over a corpus for any [`MlmModel`] (row-major
+/// serialization; see [`pretrain_mlm_with`] to vary the linearizer).
+pub fn pretrain_mlm<M: MlmModel>(
+    model: &mut M,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+) -> PretrainReport {
+    pretrain_mlm_with(model, corpus, tok, cfg, max_tokens, &RowMajorLinearizer)
+}
+
+/// MLM pretraining with an explicit serialization strategy — the hook the
+/// E7 row-vs-column ablation uses.
+pub fn pretrain_mlm_with<M: MlmModel>(
+    model: &mut M,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    linearizer: &dyn Linearizer,
+) -> PretrainReport {
+    let opts = LinearizerOptions {
+        max_tokens,
+        ..Default::default()
+    };
+    let mlm_cfg = MlmConfig::bert(tok.vocab_size());
+    let encoded: Vec<_> = corpus
+        .tables
+        .iter()
+        .map(|t| linearizer.linearize(t, &t.caption, tok, &opts))
+        .collect();
+
+    let steps = (corpus.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
+    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut report = PretrainReport::default();
+    let mut batch_loss = 0.0;
+    let mut batch_hits = 0usize;
+    let mut batch_masked = 0usize;
+    let mut in_batch = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        for (step_idx, &i) in epoch_order(encoded.len(), epoch, cfg.seed).iter().enumerate() {
+            let e = &encoded[i];
+            let masked = mask_mlm(e, &mlm_cfg, cfg.seed ^ ((epoch * 31 + step_idx) as u64));
+            let input = EncoderInput::from_masked(e, &masked);
+            let states = model.encode(&input, true);
+            let logits = model.mlm_head().forward(&states);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &masked.targets, None);
+            let preds = logits.argmax_rows();
+            for (pos, &t) in masked.targets.iter().enumerate() {
+                if t != MaskedExample::IGNORE {
+                    batch_masked += 1;
+                    if preds[pos] == t {
+                        batch_hits += 1;
+                    }
+                }
+            }
+            let dstates = model.mlm_head().backward(&dlogits);
+            model.backward(&dstates);
+            batch_loss += loss;
+            in_batch += 1;
+            if in_batch == cfg.batch_size {
+                opt.step(model);
+                report.mlm_loss.push(batch_loss / in_batch as f32);
+                report
+                    .mlm_acc
+                    .push(batch_hits as f32 / batch_masked.max(1) as f32);
+                batch_loss = 0.0;
+                batch_hits = 0;
+                batch_masked = 0;
+                in_batch = 0;
+            }
+        }
+    }
+    if in_batch > 0 {
+        opt.step(model);
+        report.mlm_loss.push(batch_loss / in_batch as f32);
+        report
+            .mlm_acc
+            .push(batch_hits as f32 / batch_masked.max(1) as f32);
+    }
+    report
+}
+
+/// TURL joint pretraining: MER masks whole entity cells, MLM masks
+/// remaining tokens; both objectives backpropagate through one encoding.
+pub fn pretrain_turl(
+    model: &mut Turl,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+) -> PretrainReport {
+    let opts = LinearizerOptions {
+        max_tokens,
+        ..Default::default()
+    };
+    let mlm_cfg = MlmConfig::bert(tok.vocab_size());
+    let encoded: Vec<_> = corpus
+        .tables
+        .iter()
+        .map(|t| TurlLinearizer.linearize(t, &t.caption, tok, &opts))
+        .collect();
+
+    let steps = (corpus.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
+    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut report = PretrainReport::default();
+    let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
+    let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) = (0usize, 0usize, 0usize, 0usize);
+    let mut in_batch = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        for (step_idx, &i) in epoch_order(encoded.len(), epoch, cfg.seed).iter().enumerate() {
+            let e = &encoded[i];
+            let seed = cfg.seed ^ ((epoch * 131 + step_idx) as u64);
+            // 1. MER corruption (whole entity cells → [MASK]).
+            let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
+            // 2. MLM corruption on top, skipping positions MER already took.
+            let mlm = mask_mlm(e, &mlm_cfg, seed ^ 0xA5A5);
+            let mut input_ids = mer_ids;
+            let mut mlm_targets = mlm.targets.clone();
+            let mer_positions: std::collections::HashSet<usize> = masked_entities
+                .iter()
+                .flat_map(|m| m.positions.iter().copied())
+                .collect();
+            for (pos, id) in input_ids.iter_mut().enumerate() {
+                if mer_positions.contains(&pos) {
+                    mlm_targets[pos] = MaskedExample::IGNORE;
+                } else if mlm.targets[pos] != MaskedExample::IGNORE {
+                    *id = mlm.input_ids[pos];
+                }
+            }
+            let input = EncoderInput::from_encoded_with_ids(e, input_ids);
+            let states = model.encode(&input, true);
+            let seq_len = states.dim(0);
+            let d = states.dim(1);
+
+            // MLM objective.
+            let logits = model.mlm.forward(&states);
+            let (mlm_loss, dlogits) = softmax_cross_entropy(&logits, &mlm_targets, None);
+            let preds = logits.argmax_rows();
+            for (pos, &t) in mlm_targets.iter().enumerate() {
+                if t != MaskedExample::IGNORE {
+                    n_mlm += 1;
+                    if preds[pos] == t {
+                        hits_mlm += 1;
+                    }
+                }
+            }
+            let mut dstates = model.mlm.backward(&dlogits);
+
+            // MER objective: pool each masked cell, classify over entities.
+            let mut mer_loss = 0.0;
+            if !masked_entities.is_empty() {
+                let mut pooled = Tensor::zeros(&[masked_entities.len(), d]);
+                for (k, m) in masked_entities.iter().enumerate() {
+                    let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                    pooled.row_mut(k).copy_from_slice(pool_mean(&states, &span).data());
+                }
+                let mer_logits = model.mer.forward(&pooled);
+                let targets: Vec<usize> =
+                    masked_entities.iter().map(|m| m.entity as usize).collect();
+                let (loss, dmer_logits) = softmax_cross_entropy(&mer_logits, &targets, None);
+                mer_loss = loss;
+                let mer_preds = mer_logits.argmax_rows();
+                for (k, &t) in targets.iter().enumerate() {
+                    n_mer += 1;
+                    if mer_preds[k] == t {
+                        hits_mer += 1;
+                    }
+                }
+                let d_pooled = model.mer.backward(&dmer_logits);
+                for (k, m) in masked_entities.iter().enumerate() {
+                    let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                    let dp = d_pooled.rows(k, k + 1);
+                    dstates.add_assign(&pool_mean_backward(&dp, &span, seq_len));
+                }
+            }
+
+            model.backward(&dstates);
+            bl_mlm += mlm_loss;
+            bl_mer += mer_loss;
+            in_batch += 1;
+            if in_batch == cfg.batch_size {
+                opt.step(model);
+                report.mlm_loss.push(bl_mlm / in_batch as f32);
+                report.mer_loss.push(bl_mer / in_batch as f32);
+                report.mlm_acc.push(hits_mlm as f32 / n_mlm.max(1) as f32);
+                report.mer_acc.push(hits_mer as f32 / n_mer.max(1) as f32);
+                bl_mlm = 0.0;
+                bl_mer = 0.0;
+                hits_mlm = 0;
+                n_mlm = 0;
+                hits_mer = 0;
+                n_mer = 0;
+                in_batch = 0;
+            }
+        }
+    }
+    if in_batch > 0 {
+        opt.step(model);
+        report.mlm_loss.push(bl_mlm / in_batch as f32);
+        report.mer_loss.push(bl_mer / in_batch as f32);
+        report.mlm_acc.push(hits_mlm as f32 / n_mlm.max(1) as f32);
+        report.mer_acc.push(hits_mer as f32 / n_mer.max(1) as f32);
+    }
+    report
+}
+
+/// Builds the TAPEX encoder input for `(sql, table)` and the target ids
+/// for the answer denotation.
+pub fn tapex_example(
+    table: &ntr_table::Table,
+    sql: &ntr_sql::Query,
+    answer: &ntr_sql::Answer,
+    tok: &WordPieceTokenizer,
+    max_tokens: usize,
+) -> (EncoderInput, Vec<usize>) {
+    let opts = LinearizerOptions {
+        max_tokens,
+        ..Default::default()
+    };
+    let encoded = TapexLinearizer.linearize(table, &sql.to_string(), tok, &opts);
+    let input = EncoderInput::from_encoded(&encoded);
+    let mut target = tok.encode(&answer.denotation().join(" ; "));
+    target.truncate(24);
+    target.push(SpecialToken::Sep.id());
+    (input, target)
+}
+
+/// TAPEX pretraining: teach the encoder–decoder to *execute* generated SQL
+/// over corpus tables. Returns per-step losses.
+pub fn pretrain_tapex(
+    model: &mut Tapex,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    queries_per_table: usize,
+    max_tokens: usize,
+) -> Vec<f32> {
+    // Materialize (input, target) pairs once.
+    let mut pairs = Vec::new();
+    for (ti, table) in corpus.tables.iter().enumerate() {
+        let mut gen = QueryGenerator::new(cfg.seed ^ (ti as u64), GenConfig::default());
+        for (sql, answer) in gen.generate_n(table, queries_per_table) {
+            pairs.push(tapex_example(table, &sql, &answer, tok, max_tokens));
+        }
+    }
+    let steps = (pairs.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
+    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut losses = Vec::new();
+    let mut batch_loss = 0.0;
+    let mut in_batch = 0;
+    for epoch in 0..cfg.epochs {
+        for &i in &epoch_order(pairs.len(), epoch, cfg.seed) {
+            let (input, target) = &pairs[i];
+            batch_loss += model.train_step(input, target);
+            in_batch += 1;
+            if in_batch == cfg.batch_size {
+                opt.step(model);
+                losses.push(batch_loss / in_batch as f32);
+                batch_loss = 0.0;
+                in_batch = 0;
+            }
+        }
+    }
+    if in_batch > 0 {
+        opt.step(model);
+        losses.push(batch_loss / in_batch as f32);
+    }
+    losses
+}
+
+/// Held-out MLM evaluation: masks each table once (seeded) and measures
+/// masked-token recovery accuracy, without touching the model's weights.
+pub fn eval_mlm<M: MlmModel>(
+    model: &mut M,
+    tables: &[ntr_table::Table],
+    tok: &WordPieceTokenizer,
+    max_tokens: usize,
+    linearizer: &dyn Linearizer,
+    seed: u64,
+) -> f64 {
+    let opts = LinearizerOptions {
+        max_tokens,
+        ..Default::default()
+    };
+    let mlm_cfg = MlmConfig::bert(tok.vocab_size());
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (i, t) in tables.iter().enumerate() {
+        let e = linearizer.linearize(t, &t.caption, tok, &opts);
+        let masked = mask_mlm(&e, &mlm_cfg, seed ^ i as u64);
+        let input = EncoderInput::from_masked(&e, &masked);
+        let states = model.encode(&input, false);
+        let logits = model.mlm_head().forward(&states);
+        let preds = logits.argmax_rows();
+        for (pos, &target) in masked.targets.iter().enumerate() {
+            if target != MaskedExample::IGNORE {
+                total += 1;
+                if preds[pos] == target {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+/// Evaluates TAPEX as a neural executor: greedy-generate the answer for
+/// each (sql, table) pair and compare denotation strings. Returns accuracy.
+pub fn eval_tapex_execution(
+    model: &mut Tapex,
+    pairs: &[(ntr_table::Table, ntr_sql::Query, ntr_sql::Answer)],
+    tok: &WordPieceTokenizer,
+    max_tokens: usize,
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0;
+    for (table, sql, answer) in pairs {
+        let (input, target) = tapex_example(table, sql, answer, tok, max_tokens);
+        let generated = model.generate(&input, 26);
+        // Compare in decoded-token space so sub-word segmentation (e.g.
+        // "25.69" → "25 . 69") cancels out on both sides.
+        let text = tok.decode(&generated);
+        let gold = tok.decode(&target[..target.len() - 1]);
+        if text == gold {
+            hits += 1;
+        }
+    }
+    hits as f64 / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_corpus::tables::CorpusConfig;
+    use ntr_corpus::{World, WorldConfig};
+    use ntr_models::ModelConfig;
+
+    fn small_world() -> (World, TableCorpus, WordPieceTokenizer) {
+        let w = World::generate(WorldConfig {
+            n_countries: 8,
+            n_people: 10,
+            n_films: 8,
+            n_clubs: 6,
+            seed: 5,
+        });
+        let corpus = TableCorpus::generate_entity_only(
+            &w,
+            &CorpusConfig {
+                n_tables: 10,
+                min_rows: 3,
+                max_rows: 5,
+                null_prob: 0.0,
+                headerless_prob: 0.0,
+                seed: 6,
+            },
+        );
+        let tok = ntr_corpus::vocab::train_tokenizer(&corpus, &[], 1200);
+        (w, corpus, tok)
+    }
+
+    fn quick_cfg() -> TrainConfig {
+        TrainConfig {
+            epochs: 3,
+            lr: 3e-3,
+            batch_size: 4,
+            warmup_frac: 0.1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn mlm_pretraining_reduces_loss() {
+        let (_, corpus, tok) = small_world();
+        let cfg = ModelConfig {
+            vocab_size: tok.vocab_size(),
+            ..ModelConfig::tiny(tok.vocab_size())
+        };
+        let mut model = VanillaBert::new(&cfg);
+        let report = pretrain_mlm(&mut model, &corpus, &tok, &quick_cfg(), 96);
+        assert!(report.mlm_loss.len() >= 6);
+        let first = report.mlm_loss[..2].iter().sum::<f32>() / 2.0;
+        let n = report.mlm_loss.len();
+        let last = report.mlm_loss[n - 2..].iter().sum::<f32>() / 2.0;
+        assert!(last < first, "MLM loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn turl_pretraining_improves_both_objectives() {
+        let (w, corpus, tok) = small_world();
+        let cfg = ModelConfig {
+            vocab_size: tok.vocab_size(),
+            n_entities: w.n_entities(),
+            ..ModelConfig::tiny(tok.vocab_size())
+        };
+        let mut model = Turl::new(&cfg);
+        let tc = TrainConfig {
+            epochs: 5,
+            ..quick_cfg()
+        };
+        let report = pretrain_turl(&mut model, &corpus, &tok, &tc, 96);
+        assert!(!report.mer_loss.is_empty());
+        let first = report.mer_loss[..2].iter().sum::<f32>() / 2.0;
+        let n = report.mer_loss.len();
+        let last = report.mer_loss[n - 2..].iter().sum::<f32>() / 2.0;
+        assert!(last < first, "MER loss should drop: {first} → {last}");
+        let first = report.mlm_loss[..2].iter().sum::<f32>() / 2.0;
+        let last = report.mlm_loss[n - 2..].iter().sum::<f32>() / 2.0;
+        assert!(last < first, "MLM loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn tapex_pretraining_loss_drops() {
+        let (_, corpus, tok) = small_world();
+        let small = TableCorpus {
+            tables: corpus.tables[..4].to_vec(),
+            kinds: corpus.kinds[..4].to_vec(),
+        };
+        let cfg = ModelConfig {
+            vocab_size: tok.vocab_size(),
+            ..ModelConfig::tiny(tok.vocab_size())
+        };
+        let mut model = Tapex::new(&cfg);
+        let losses = pretrain_tapex(&mut model, &small, &tok, &quick_cfg(), 2, 96);
+        assert!(losses.len() >= 3);
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "TAPEX loss should drop: {losses:?}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # ntr-tensor
+//!
+//! A small, dependency-free, CPU tensor library purpose-built for the
+//! transformer models in the `ntr` workspace.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Correctness** — every numerical kernel here is exercised by
+//!    finite-difference gradient checks in `ntr-nn`, so the math must be
+//!    boring and auditable. No `unsafe`, no clever layout tricks.
+//! 2. **Predictability** — tensors are always contiguous, row-major `f32`
+//!    buffers. Shape errors are programmer errors and panic with a clear
+//!    message rather than threading `Result` through hot math.
+//! 3. **Sufficient speed** — the models in this workspace are laptop-scale
+//!    (d_model ≤ 256, sequence length ≤ 512). The matmul kernels use loop
+//!    orders that vectorize well; that is all the optimization the workloads
+//!    need, and benchmarks in `ntr-bench` keep us honest.
+//!
+//! The crate deliberately stops at raw math: neural-network layers, parameter
+//! management and backpropagation live in `ntr-nn`, which composes these
+//! kernels and caches activations for its hand-derived backward passes.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use ntr_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//!
+//! let probs = Tensor::from_vec(vec![0.0, f32::NEG_INFINITY], &[1, 2]).softmax_rows();
+//! assert!((probs.at(&[0, 0]) - 1.0).abs() < 1e-6);
+//! ```
+
+mod ops;
+mod reduce;
+mod tensor;
+
+pub use tensor::Tensor;
+
+/// Numerical comparison helper used across the workspace's tests: `true` when
+/// `a` and `b` differ by less than `atol + rtol * |b|` element-wise.
+pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allclose_accepts_equal_and_rejects_distant() {
+        assert!(allclose(&[1.0, 2.0], &[1.0, 2.0], 0.0, 0.0));
+        assert!(allclose(&[1.0, 2.0], &[1.0, 2.000001], 1e-5, 0.0));
+        assert!(!allclose(&[1.0], &[1.1], 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn allclose_rejects_length_mismatch() {
+        assert!(!allclose(&[1.0], &[1.0, 1.0], 1.0, 1.0));
+    }
+}

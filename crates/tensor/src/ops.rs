@@ -1,0 +1,292 @@
+//! Element-wise arithmetic and matrix-multiplication kernels.
+//!
+//! The four matmul variants (`matmul`, `matmul_tn`, `matmul_nt`, `matmul_tt`)
+//! exist because hand-derived backward passes in `ntr-nn` need products with
+//! either operand transposed; computing them directly avoids materializing
+//! transposed copies in the training hot path.
+
+use crate::Tensor;
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Element-wise ops
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum. Shapes must match exactly.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference. Shapes must match exactly.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product. Shapes must match exactly.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Applies `f` to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.shape())
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other`, the AXPY primitive used by optimizers.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += s * b;
+        }
+    }
+
+    /// Adds a 1-D bias of length `cols` to every row of a 2-D tensor.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "add_row_broadcast requires a 2-D tensor");
+        assert_eq!(
+            bias.numel(),
+            self.dim(1),
+            "bias length {} does not match column count {}",
+            bias.numel(),
+            self.dim(1)
+        );
+        let cols = self.dim(1);
+        let mut out = self.clone();
+        for row in out.data_mut().chunks_mut(cols) {
+            for (x, &b) in row.iter_mut().zip(bias.data()) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    fn zip_with(&self, other: &Tensor, op: &str, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.shape(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix multiplication kernels (2-D)
+    // ------------------------------------------------------------------
+
+    /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+    ///
+    /// Uses the i-k-j loop order so the inner loop walks both `B` and `C`
+    /// contiguously, which LLVM auto-vectorizes.
+    pub fn matmul(&self, b: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul lhs");
+        let (kb, n) = dims2(b, "matmul rhs");
+        assert_eq!(k, kb, "matmul: inner dims differ ({k} vs {kb})");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let bd = b.data();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — gradient w.r.t. weights.
+    pub fn matmul_tn(&self, b: &Tensor) -> Tensor {
+        let (k, m) = dims2(self, "matmul_tn lhs");
+        let (kb, n) = dims2(b, "matmul_tn rhs");
+        assert_eq!(k, kb, "matmul_tn: leading dims differ ({k} vs {kb})");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let bd = b.data();
+        for kk in 0..k {
+            let arow = &a[kk * m..(kk + 1) * m];
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let crow = &mut out[i * n..(i + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow) {
+                    *c += av * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — attention scores and
+    /// gradient w.r.t. inputs.
+    pub fn matmul_nt(&self, b: &Tensor) -> Tensor {
+        let (m, k) = dims2(self, "matmul_nt lhs");
+        let (n, kb) = dims2(b, "matmul_nt rhs");
+        assert_eq!(k, kb, "matmul_nt: inner dims differ ({k} vs {kb})");
+        let mut out = vec![0.0f32; m * n];
+        let a = self.data();
+        let bd = b.data();
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                out[i * n + j] = dot(arow, brow);
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `C = Aᵀ · Bᵀ` for `A: [k, m]`, `B: [n, k]`. Rarely needed; provided
+    /// for completeness of the backward-pass algebra.
+    pub fn matmul_tt(&self, b: &Tensor) -> Tensor {
+        self.transpose().matmul(&b.transpose())
+    }
+
+    /// Dot product of two 1-D tensors (or any equal-length tensors, flattened).
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(
+            self.numel(),
+            other.numel(),
+            "dot: element counts differ ({} vs {})",
+            self.numel(),
+            other.numel()
+        );
+        dot(self.data(), other.data())
+    }
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.ndim(), 2, "{what} must be 2-D, got shape {:?}", t.shape());
+    (t.dim(0), t.dim(1))
+}
+
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    // Manual 4-way unroll: reliable vectorization without unsafe.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{allclose, Tensor};
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_assign_and_axpy() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        a.add_assign(&t(&[2.0, 3.0], &[2]));
+        assert_eq!(a.data(), &[3.0, 4.0]);
+        a.axpy(-0.5, &t(&[2.0, 2.0], &[2]));
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_adds_per_column() {
+        let x = t(&[0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(x.add_row_broadcast(&b).data(), &[10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = t(&[1.0, -2.0, 0.5, 3.0, 4.0, -1.0], &[3, 2]);
+        let b = t(&[2.0, 0.0, 1.0, -1.0, 3.0, 2.0], &[3, 2]);
+        // Aᵀ·B : [2,3]·[3,2]
+        let tn = a.matmul_tn(&b);
+        let expect = a.transpose().matmul(&b);
+        assert!(allclose(tn.data(), expect.data(), 1e-6, 1e-6));
+        // A·Bᵀ with compatible shapes: a is [3,2], b is [3,2] → a·bᵀ = [3,3]
+        let nt = a.matmul_nt(&b);
+        let expect = a.matmul(&b.transpose());
+        assert!(allclose(nt.data(), expect.data(), 1e-6, 1e-6));
+        // Aᵀ·Bᵀ: [2,3]·[2,3]ᵀ? shapes: a [3,2] → aᵀ [2,3]; need bᵀ [2,3]ᵀ… use b [3,2] ⇒ bᵀ [2,3]
+        let c = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let tt = a.matmul_tt(&c);
+        let expect = a.transpose().matmul(&c.transpose());
+        assert!(allclose(tt.data(), expect.data(), 1e-6, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_dim_mismatch() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5]);
+        let b = t(&[1.0, 1.0, 1.0, 1.0, 1.0], &[5]);
+        assert_eq!(a.dot(&b), 15.0);
+    }
+}

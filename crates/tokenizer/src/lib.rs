@@ -1,0 +1,38 @@
+//! # ntr-tokenizer
+//!
+//! A from-scratch WordPiece tokenizer: vocabulary training, greedy
+//! longest-match encoding, decoding, and the special-token conventions the
+//! table models in `ntr-models` rely on.
+//!
+//! The paper's hands-on session (§3.1–3.2) formats tables into token
+//! sequences "compatible with BERT"; this crate is that machinery. The
+//! pipeline is:
+//!
+//! 1. [`pretokenize`] normalizes text into word/punctuation/number pieces;
+//! 2. [`train::WordPieceTrainer`] learns a subword vocabulary from a corpus
+//!    by BPE-style pair merging;
+//! 3. [`WordPieceTokenizer`] encodes text by greedy longest-match against
+//!    that vocabulary, emitting `##`-prefixed continuation pieces.
+//!
+//! Special tokens occupy fixed low ids (see [`SpecialToken`]) so model
+//! embedding tables can hard-code them.
+//!
+//! ```
+//! use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+//!
+//! let corpus = ["the population of france", "the capital of france is paris"];
+//! let vocab = WordPieceTrainer::new(200).train(corpus.iter().copied());
+//! let tok = WordPieceTokenizer::new(vocab);
+//! let ids = tok.encode("capital of france");
+//! assert!(!ids.is_empty());
+//! assert_eq!(tok.decode(&ids), "capital of france");
+//! ```
+
+mod pretokenize;
+pub mod train;
+mod vocab;
+mod wordpiece;
+
+pub use pretokenize::{pretokenize, PretokenizeOptions};
+pub use vocab::{SpecialToken, Vocab, VocabError};
+pub use wordpiece::WordPieceTokenizer;

@@ -1,0 +1,123 @@
+//! Pre-tokenization: normalizing raw text into word-level pieces before
+//! subword encoding.
+//!
+//! The rules mirror BERT's BasicTokenizer: lowercase (optional), split on
+//! whitespace, and emit each punctuation character as its own piece. An
+//! additional `split_digits` mode breaks numbers into single digits — the
+//! mitigation several table models use for the "numeric cells" failure mode
+//! the paper's §3.4 discusses.
+
+/// Options controlling [`pretokenize`].
+#[derive(Debug, Clone, Copy)]
+pub struct PretokenizeOptions {
+    /// Lowercase the input first (BERT-uncased convention).
+    pub lowercase: bool,
+    /// Emit each ASCII digit as its own piece, so `"25.69"` becomes
+    /// `["2", "5", ".", "6", "9"]`. Improves numeric generalization.
+    pub split_digits: bool,
+}
+
+impl Default for PretokenizeOptions {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            split_digits: false,
+        }
+    }
+}
+
+/// Splits `text` into word/punctuation (and optionally digit) pieces.
+///
+/// Whitespace never produces pieces; punctuation is any non-alphanumeric,
+/// non-whitespace character and is always its own piece.
+pub fn pretokenize(text: &str, opts: PretokenizeOptions) -> Vec<String> {
+    let lowered;
+    let text = if opts.lowercase {
+        lowered = text.to_lowercase();
+        &lowered
+    } else {
+        text
+    };
+    let mut pieces = Vec::new();
+    let mut current = String::new();
+    let flush = |current: &mut String, pieces: &mut Vec<String>| {
+        if !current.is_empty() {
+            pieces.push(std::mem::take(current));
+        }
+    };
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            flush(&mut current, &mut pieces);
+        } else if !ch.is_alphanumeric() || (opts.split_digits && ch.is_ascii_digit()) {
+            flush(&mut current, &mut pieces);
+            pieces.push(ch.to_string());
+        } else {
+            current.push(ch);
+        }
+    }
+    flush(&mut current, &mut pieces);
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(s: &str) -> Vec<String> {
+        pretokenize(s, PretokenizeOptions::default())
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(pt("hello  world\tfoo\nbar"), ["hello", "world", "foo", "bar"]);
+    }
+
+    #[test]
+    fn lowercases_by_default() {
+        assert_eq!(pt("Hello WORLD"), ["hello", "world"]);
+    }
+
+    #[test]
+    fn preserves_case_when_disabled() {
+        let opts = PretokenizeOptions {
+            lowercase: false,
+            split_digits: false,
+        };
+        assert_eq!(pretokenize("Hello", opts), ["Hello"]);
+    }
+
+    #[test]
+    fn punctuation_is_isolated() {
+        assert_eq!(pt("don't stop."), ["don", "'", "t", "stop", "."]);
+        assert_eq!(pt("a,b|c"), ["a", ",", "b", "|", "c"]);
+    }
+
+    #[test]
+    fn numbers_whole_by_default() {
+        assert_eq!(pt("25.69 million"), ["25", ".", "69", "million"]);
+    }
+
+    #[test]
+    fn split_digits_mode() {
+        let opts = PretokenizeOptions {
+            lowercase: true,
+            split_digits: true,
+        };
+        assert_eq!(
+            pretokenize("25.69", opts),
+            ["2", "5", ".", "6", "9"]
+        );
+        assert_eq!(pretokenize("a1b", opts), ["a", "1", "b"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(pt("").is_empty());
+        assert!(pt("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(pt("café über"), ["café", "über"]);
+    }
+}

@@ -1,0 +1,198 @@
+//! WordPiece vocabulary training via BPE-style pair merging.
+//!
+//! The trainer counts word frequencies over a corpus, represents each word
+//! as characters (continuations prefixed with `##`), and repeatedly merges
+//! the most frequent adjacent symbol pair until the vocabulary budget is
+//! reached. Ties break lexicographically so training is deterministic.
+
+use crate::pretokenize::{pretokenize, PretokenizeOptions};
+use crate::vocab::{SpecialToken, Vocab};
+use std::collections::{BTreeMap, HashMap};
+
+/// Trains a WordPiece vocabulary from raw text.
+#[derive(Debug, Clone)]
+pub struct WordPieceTrainer {
+    vocab_size: usize,
+    min_pair_freq: u64,
+    opts: PretokenizeOptions,
+}
+
+impl WordPieceTrainer {
+    /// A trainer targeting `vocab_size` total tokens (special tokens
+    /// included) with default pre-tokenization.
+    pub fn new(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            min_pair_freq: 2,
+            opts: PretokenizeOptions::default(),
+        }
+    }
+
+    /// Overrides the pre-tokenization options.
+    pub fn with_options(mut self, opts: PretokenizeOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the minimum pair frequency required to perform a merge
+    /// (default 2; merges of singletons only memorize noise).
+    pub fn with_min_pair_freq(mut self, f: u64) -> Self {
+        self.min_pair_freq = f.max(1);
+        self
+    }
+
+    /// Trains on an iterator of documents and returns the vocabulary.
+    pub fn train<'a, I>(&self, corpus: I) -> Vocab
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        // 1. Word frequencies.
+        let mut word_freq: HashMap<String, u64> = HashMap::new();
+        for doc in corpus {
+            for piece in pretokenize(doc, self.opts) {
+                *word_freq.entry(piece).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Words as symbol sequences: first char bare, rest ##-prefixed.
+        let mut words: Vec<(Vec<String>, u64)> = word_freq
+            .into_iter()
+            .map(|(w, f)| (split_word(&w), f))
+            .collect();
+        // Deterministic iteration order independent of HashMap state.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // 3. Base symbols, ordered for determinism.
+        let mut symbols: BTreeMap<String, ()> = BTreeMap::new();
+        for (syms, _) in &words {
+            for s in syms {
+                symbols.insert(s.clone(), ());
+            }
+        }
+        let mut vocab_tokens: Vec<String> = symbols.into_keys().collect();
+        let specials = SpecialToken::ALL.len();
+
+        // 4. Merge loop.
+        while vocab_tokens.len() + specials < self.vocab_size {
+            let mut pair_freq: BTreeMap<(String, String), u64> = BTreeMap::new();
+            for (syms, f) in &words {
+                for win in syms.windows(2) {
+                    *pair_freq
+                        .entry((win[0].clone(), win[1].clone()))
+                        .or_insert(0) += f;
+                }
+            }
+            // Highest frequency wins; BTreeMap order breaks ties low.
+            let Some(((left, right), freq)) = pair_freq
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if freq < self.min_pair_freq {
+                break;
+            }
+            let merged = merge_symbols(&left, &right);
+            for (syms, _) in &mut words {
+                apply_merge(syms, &left, &right, &merged);
+            }
+            vocab_tokens.push(merged);
+        }
+
+        Vocab::new(vocab_tokens).expect("trainer produces unique tokens")
+    }
+}
+
+/// Splits a word into WordPiece base symbols.
+fn split_word(w: &str) -> Vec<String> {
+    w.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == 0 {
+                c.to_string()
+            } else {
+                format!("##{c}")
+            }
+        })
+        .collect()
+}
+
+/// WordPiece merge: `p + ##o → po`, `##o + ##p → ##op`.
+fn merge_symbols(left: &str, right: &str) -> String {
+    let right_core = right.strip_prefix("##").unwrap_or(right);
+    format!("{left}{right_core}")
+}
+
+fn apply_merge(syms: &mut Vec<String>, left: &str, right: &str, merged: &str) {
+    let mut i = 0;
+    while i + 1 < syms.len() {
+        if syms[i] == left && syms[i + 1] == right {
+            syms[i] = merged.to_string();
+            syms.remove(i + 1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_word_marks_continuations() {
+        assert_eq!(split_word("abc"), ["a", "##b", "##c"]);
+        assert_eq!(split_word("x"), ["x"]);
+    }
+
+    #[test]
+    fn merge_symbols_handles_prefixes() {
+        assert_eq!(merge_symbols("p", "##o"), "po");
+        assert_eq!(merge_symbols("##o", "##p"), "##op");
+    }
+
+    #[test]
+    fn frequent_word_becomes_single_token() {
+        let corpus: Vec<&str> = std::iter::repeat_n("population", 50)
+            .chain(std::iter::repeat_n("zebra", 2))
+            .collect();
+        let vocab = WordPieceTrainer::new(120).train(corpus);
+        assert!(
+            vocab.id_of("population").is_some(),
+            "frequent word should be fully merged"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = ["france paris population", "france population of paris"];
+        let a = WordPieceTrainer::new(60).train(corpus.iter().copied());
+        let b = WordPieceTrainer::new(60).train(corpus.iter().copied());
+        assert_eq!(a.len(), b.len());
+        for (id, tok) in a.iter() {
+            assert_eq!(b.token_of(id), tok);
+        }
+    }
+
+    #[test]
+    fn vocab_size_budget_is_respected() {
+        let corpus = ["aaa bbb ccc ddd eee fff ggg aaa bbb aaa"];
+        let vocab = WordPieceTrainer::new(20).train(corpus.iter().copied());
+        assert!(vocab.len() <= 20 + 7, "len={} exceeds budget", vocab.len());
+    }
+
+    #[test]
+    fn min_pair_freq_stops_noise_merges() {
+        // Every word unique → no pair reaches freq 2 → only base chars.
+        let vocab = WordPieceTrainer::new(1000).train(["qx wy ez"]);
+        assert!(vocab.id_of("qx").is_none());
+        assert!(vocab.id_of("q").is_some());
+        assert!(vocab.id_of("##x").is_some());
+    }
+
+    #[test]
+    fn empty_corpus_yields_specials_only() {
+        let vocab = WordPieceTrainer::new(100).train(std::iter::empty());
+        assert!(vocab.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Vocabulary: token ↔ id maps with fixed special tokens.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// The special tokens every vocabulary starts with, at fixed ids `0..=6`.
+///
+/// Fixed ids let model code address them without a vocabulary lookup and
+/// keep checkpoints portable across vocabularies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialToken {
+    /// Padding; id 0.
+    Pad,
+    /// Unknown token; id 1.
+    Unk,
+    /// Sequence-start classification token; id 2.
+    Cls,
+    /// Separator between context and table segments; id 3.
+    Sep,
+    /// Mask token for MLM/MER pretraining; id 4.
+    Mask,
+    /// Placeholder for empty/NULL cells; id 5.
+    Empty,
+    /// Start-of-sequence for decoder targets; id 6.
+    Bos,
+}
+
+impl SpecialToken {
+    /// All special tokens, in id order.
+    pub const ALL: [SpecialToken; 7] = [
+        SpecialToken::Pad,
+        SpecialToken::Unk,
+        SpecialToken::Cls,
+        SpecialToken::Sep,
+        SpecialToken::Mask,
+        SpecialToken::Empty,
+        SpecialToken::Bos,
+    ];
+
+    /// The token's fixed id.
+    pub fn id(self) -> usize {
+        match self {
+            SpecialToken::Pad => 0,
+            SpecialToken::Unk => 1,
+            SpecialToken::Cls => 2,
+            SpecialToken::Sep => 3,
+            SpecialToken::Mask => 4,
+            SpecialToken::Empty => 5,
+            SpecialToken::Bos => 6,
+        }
+    }
+
+    /// The token's surface form.
+    pub fn text(self) -> &'static str {
+        match self {
+            SpecialToken::Pad => "[PAD]",
+            SpecialToken::Unk => "[UNK]",
+            SpecialToken::Cls => "[CLS]",
+            SpecialToken::Sep => "[SEP]",
+            SpecialToken::Mask => "[MASK]",
+            SpecialToken::Empty => "[EMPTY]",
+            SpecialToken::Bos => "[BOS]",
+        }
+    }
+}
+
+/// Errors from vocabulary I/O and construction.
+#[derive(Debug)]
+pub enum VocabError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Duplicate token in the input.
+    Duplicate(String),
+    /// File does not begin with the expected special tokens.
+    MissingSpecials,
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::Io(e) => write!(f, "vocab I/O error: {e}"),
+            VocabError::Duplicate(t) => write!(f, "duplicate token in vocab: {t:?}"),
+            VocabError::MissingSpecials => {
+                write!(f, "vocab file does not start with the 7 special tokens")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+impl From<std::io::Error> for VocabError {
+    fn from(e: std::io::Error) -> Self {
+        VocabError::Io(e)
+    }
+}
+
+/// A token ↔ id bijection. Ids `0..7` are always the special tokens.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    id_to_token: Vec<String>,
+    token_to_id: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from regular tokens (special tokens are prepended
+    /// automatically and must not appear in `tokens`).
+    pub fn new<I, S>(tokens: I) -> Result<Self, VocabError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut id_to_token: Vec<String> = SpecialToken::ALL
+            .iter()
+            .map(|s| s.text().to_string())
+            .collect();
+        let mut token_to_id: HashMap<String, usize> = id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        for tok in tokens {
+            let tok = tok.into();
+            if token_to_id.contains_key(&tok) {
+                return Err(VocabError::Duplicate(tok));
+            }
+            token_to_id.insert(tok.clone(), id_to_token.len());
+            id_to_token.push(tok);
+        }
+        Ok(Self {
+            id_to_token,
+            token_to_id,
+        })
+    }
+
+    /// Number of tokens, special tokens included.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only the special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() == SpecialToken::ALL.len()
+    }
+
+    /// Id for `token`, if present.
+    pub fn id_of(&self, token: &str) -> Option<usize> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Id for `token`, or the `[UNK]` id.
+    pub fn id_or_unk(&self, token: &str) -> usize {
+        self.id_of(token).unwrap_or(SpecialToken::Unk.id())
+    }
+
+    /// Surface form of `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn token_of(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Iterates over `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.id_to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+
+    /// Writes the vocabulary as one token per line (id = line number).
+    pub fn save(&self, path: &Path) -> Result<(), VocabError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for t in &self.id_to_token {
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+
+    /// Loads a vocabulary saved by [`Vocab::save`].
+    pub fn load(path: &Path) -> Result<Self, VocabError> {
+        let f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = Vec::new();
+        for line in f.lines() {
+            lines.push(line?);
+        }
+        let specials: Vec<&str> = SpecialToken::ALL.iter().map(|s| s.text()).collect();
+        if lines.len() < specials.len()
+            || lines[..specials.len()].iter().map(String::as_str).ne(specials.iter().copied())
+        {
+            return Err(VocabError::MissingSpecials);
+        }
+        Self::new(lines.into_iter().skip(specials.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_tokens_have_fixed_low_ids() {
+        let v = Vocab::new(Vec::<String>::new()).unwrap();
+        for s in SpecialToken::ALL {
+            assert_eq!(v.id_of(s.text()), Some(s.id()));
+            assert_eq!(v.token_of(s.id()), s.text());
+        }
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn regular_tokens_follow_specials() {
+        let v = Vocab::new(["hello", "world"]).unwrap();
+        assert_eq!(v.id_of("hello"), Some(7));
+        assert_eq!(v.id_of("world"), Some(8));
+        assert_eq!(v.len(), 9);
+    }
+
+    #[test]
+    fn unknown_maps_to_unk() {
+        let v = Vocab::new(["a"]).unwrap();
+        assert_eq!(v.id_or_unk("zzz"), SpecialToken::Unk.id());
+        assert_eq!(v.id_or_unk("a"), 7);
+    }
+
+    #[test]
+    fn duplicate_is_rejected() {
+        let err = Vocab::new(["x", "x"]).unwrap_err();
+        assert!(matches!(err, VocabError::Duplicate(_)));
+        let err = Vocab::new(["[CLS]"]).unwrap_err();
+        assert!(matches!(err, VocabError::Duplicate(_)));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("ntr_vocab_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vocab.txt");
+        let v = Vocab::new(["alpha", "##beta", "γ"]).unwrap();
+        v.save(&path).unwrap();
+        let w = Vocab::load(&path).unwrap();
+        assert_eq!(v.len(), w.len());
+        for (id, tok) in v.iter() {
+            assert_eq!(w.token_of(id), tok);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_file_without_specials() {
+        let dir = std::env::temp_dir().join("ntr_vocab_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "just\nsome\ntokens\n").unwrap();
+        assert!(matches!(Vocab::load(&path), Err(VocabError::MissingSpecials)));
+        let _ = std::fs::remove_file(&path);
+    }
+}

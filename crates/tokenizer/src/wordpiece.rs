@@ -1,0 +1,202 @@
+//! Greedy longest-match WordPiece encoding and decoding.
+
+use crate::pretokenize::{pretokenize, PretokenizeOptions};
+use crate::vocab::{SpecialToken, Vocab};
+
+/// Words longer than this are mapped to `[UNK]` wholesale, bounding the
+/// quadratic worst case of greedy matching (the BERT convention is 100;
+/// table cells rarely need more).
+const MAX_WORD_CHARS: usize = 64;
+
+/// A WordPiece tokenizer over a trained [`Vocab`].
+#[derive(Debug, Clone)]
+pub struct WordPieceTokenizer {
+    vocab: Vocab,
+    opts: PretokenizeOptions,
+}
+
+impl WordPieceTokenizer {
+    /// Wraps a vocabulary with default pre-tokenization.
+    pub fn new(vocab: Vocab) -> Self {
+        Self {
+            vocab,
+            opts: PretokenizeOptions::default(),
+        }
+    }
+
+    /// Overrides pre-tokenization options (must match training options for
+    /// sensible results).
+    pub fn with_options(mut self, opts: PretokenizeOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Vocabulary size (convenience for sizing embedding tables).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes text into token ids (no special tokens added).
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        self.encode_pieces(text)
+            .into_iter()
+            .map(|p| self.vocab.id_or_unk(&p))
+            .collect()
+    }
+
+    /// Encodes text into surface pieces (`##`-prefixed continuations).
+    pub fn encode_pieces(&self, text: &str) -> Vec<String> {
+        let mut pieces = Vec::new();
+        for word in pretokenize(text, self.opts) {
+            self.word_to_pieces(&word, &mut pieces);
+        }
+        pieces
+    }
+
+    /// Greedy longest-match of one word; emits `[UNK]` when any part of the
+    /// word cannot be matched.
+    fn word_to_pieces(&self, word: &str, out: &mut Vec<String>) {
+        let chars: Vec<char> = word.chars().collect();
+        if chars.is_empty() {
+            return;
+        }
+        if chars.len() > MAX_WORD_CHARS {
+            out.push(SpecialToken::Unk.text().to_string());
+            return;
+        }
+        let mut result = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let mut end = chars.len();
+            let mut found: Option<String> = None;
+            while end > start {
+                let core: String = chars[start..end].iter().collect();
+                let candidate = if start == 0 { core } else { format!("##{core}") };
+                if self.vocab.id_of(&candidate).is_some() {
+                    found = Some(candidate);
+                    break;
+                }
+                end -= 1;
+            }
+            match found {
+                Some(p) => {
+                    result.push(p);
+                    start = end;
+                }
+                None => {
+                    out.push(SpecialToken::Unk.text().to_string());
+                    return;
+                }
+            }
+        }
+        out.extend(result);
+    }
+
+    /// Decodes ids back to text: pieces joined by spaces, `##` continuations
+    /// attached to the previous piece, `[PAD]` dropped.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if id == SpecialToken::Pad.id() {
+                continue;
+            }
+            let tok = self.vocab.token_of(id);
+            if let Some(cont) = tok.strip_prefix("##") {
+                out.push_str(cont);
+            } else {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(tok);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::WordPieceTrainer;
+
+    fn trained() -> WordPieceTokenizer {
+        let corpus = [
+            "the population of france is large",
+            "the capital of france is paris",
+            "population and capital tables",
+            "france population france capital",
+            "cities: paris, lyon, nice. done.",
+        ];
+        let vocab = WordPieceTrainer::new(400).train(corpus.iter().copied());
+        WordPieceTokenizer::new(vocab)
+    }
+
+    #[test]
+    fn known_words_roundtrip() {
+        let tok = trained();
+        let text = "the capital of france";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn unseen_word_splits_into_subwords_of_seen_chars() {
+        let tok = trained();
+        // "pariscapital" was never seen, but its characters were.
+        let pieces = tok.encode_pieces("pariscapital");
+        assert!(pieces.len() > 1);
+        assert!(pieces.iter().all(|p| p != "[UNK]"), "{pieces:?}");
+        assert_eq!(tok.decode(&tok.encode("pariscapital")), "pariscapital");
+    }
+
+    #[test]
+    fn unknown_characters_produce_unk() {
+        let tok = trained();
+        let ids = tok.encode("日本");
+        assert_eq!(ids, vec![SpecialToken::Unk.id()]);
+    }
+
+    #[test]
+    fn greedy_prefers_longest_match() {
+        let vocab = crate::Vocab::new(["ab", "a", "##b", "##c", "abc"]).unwrap();
+        let tok = WordPieceTokenizer::new(vocab);
+        assert_eq!(tok.encode_pieces("abc"), ["abc"]);
+        // "abb": longest prefix "ab", then "##b".
+        assert_eq!(tok.encode_pieces("abb"), ["ab", "##b"]);
+    }
+
+    #[test]
+    fn overlong_word_is_unk() {
+        let tok = trained();
+        let long = "a".repeat(100);
+        assert_eq!(tok.encode(&long), vec![SpecialToken::Unk.id()]);
+    }
+
+    #[test]
+    fn decode_skips_padding() {
+        let tok = trained();
+        let mut ids = tok.encode("paris");
+        ids.push(SpecialToken::Pad.id());
+        ids.insert(0, SpecialToken::Pad.id());
+        assert_eq!(tok.decode(&ids), "paris");
+    }
+
+    #[test]
+    fn punctuation_tokens_are_separate() {
+        let tok = trained();
+        let pieces = tok.encode_pieces("france, paris.");
+        assert!(pieces.contains(&",".to_string()));
+        assert!(pieces.contains(&".".to_string()));
+    }
+
+    #[test]
+    fn empty_text_is_empty() {
+        let tok = trained();
+        assert!(tok.encode("").is_empty());
+        assert_eq!(tok.decode(&[]), "");
+    }
+}

@@ -1,0 +1,91 @@
+//! Fact checking — the paper's §2.1 "Tabular Natural Language Inference"
+//! application: verify claims against tables, TabFact-style.
+//!
+//! Run with: `cargo run --release --example fact_checking`
+
+use ntr::corpus::datasets::NliDataset;
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{Split, World, WorldConfig};
+use ntr::models::{ModelConfig, Tapas};
+use ntr::table::LinearizerOptions;
+use ntr::tasks::nli::{baseline_lookup, evaluate, finetune, FactVerifier};
+use ntr::tasks::TrainConfig;
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: 36,
+            min_rows: 4,
+            max_rows: 6,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 41,
+        },
+    );
+    let ds = NliDataset::build(&corpus, 6, 42);
+    let extra: Vec<String> = ds.examples.iter().map(|e| e.claim.clone()).collect();
+    let tok = ntr::corpus::vocab::train_tokenizer(&corpus, &extra, 2200);
+    let pos = ds.examples.iter().filter(|e| e.label).count();
+    println!(
+        "NLI dataset: {} claims ({} supported / {} refuted)",
+        ds.examples.len(),
+        pos,
+        ds.examples.len() - pos
+    );
+
+    let cfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        d_model: 64,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        ..ModelConfig::default()
+    };
+    let opts = LinearizerOptions {
+        max_tokens: 192,
+        ..Default::default()
+    };
+    let mut model = FactVerifier::new(Tapas::new(&cfg), 43);
+    println!("fine-tuning claim verification...");
+    finetune(
+        &mut model,
+        &ds,
+        &tok,
+        &TrainConfig {
+            epochs: 6,
+            lr: 3e-3,
+            batch_size: 8,
+            warmup_frac: 0.1,
+            seed: 44,
+        },
+        &opts,
+    );
+
+    let neural = evaluate(&mut model, &ds, Split::Test, &tok, &opts);
+    let symbolic = baseline_lookup(&ds, Split::Test);
+    println!("\n                  | accuracy | precision | recall |   f1");
+    println!(
+        "  tapas (tuned)   |  {:.3}   |   {:.3}   | {:.3}  | {:.3}",
+        neural.accuracy, neural.prf.precision, neural.prf.recall, neural.prf.f1
+    );
+    println!(
+        "  symbolic lookup |  {:.3}   |   {:.3}   | {:.3}  | {:.3}",
+        symbolic.accuracy, symbolic.prf.precision, symbolic.prf.recall, symbolic.prf.f1
+    );
+
+    // Show a few verdicts.
+    println!("\nsample verdicts (test split):");
+    for &i in ds.indices(Split::Test).iter().take(5) {
+        let ex = &ds.examples[i];
+        println!(
+            "  [{}] {:?}",
+            if ex.label { "SUPPORTED" } else { "REFUTED  " },
+            ex.claim
+        );
+    }
+    println!("\nTake-away: the symbolic checker wins on exact-match claims — the");
+    println!("paper's point that complex/compositional claims are where neural");
+    println!("representations have open challenges (§2.4).");
+}

@@ -1,0 +1,5 @@
+//! `ntr-suite` — workspace-level integration tests and examples.
+//!
+//! The actual library lives in the `ntr` facade crate (`crates/core`) and the
+//! crates it re-exports. This package only exists so that the repository-root
+//! `tests/` and `examples/` directories are compiled by Cargo.

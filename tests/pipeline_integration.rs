@@ -1,0 +1,122 @@
+//! Cross-crate integration: CSV → pipeline → every model family →
+//! representations → checkpoints.
+
+use ntr::pipeline::Pipeline;
+use ntr::table::Table;
+use ntr::zoo::{build_model, ModelKind};
+
+fn sample_csv() -> &'static str {
+    "Country,Capital,Population\nFrance,Paris,67.8\nAustralia,Canberra,25.69\nJapan,Tokyo,125.7\n"
+}
+
+fn pipeline_for(table: &Table) -> Pipeline {
+    Pipeline::builder()
+        .vocab_from_tables(std::slice::from_ref(table))
+        .vocab_size(800)
+        .build()
+}
+
+#[test]
+fn csv_to_embeddings_for_every_family() {
+    let table = Table::from_csv_str("countries", sample_csv(), true)
+        .expect("csv parses")
+        .with_caption("Population in Million by Country");
+    let pipeline = pipeline_for(&table);
+    let cfg = pipeline.default_config();
+
+    for kind in ModelKind::ALL {
+        let mut model = build_model(kind, &cfg);
+        let enc = pipeline.encode(model.as_mut(), &table, &table.caption);
+        assert_eq!(
+            enc.states.shape(),
+            &[enc.encoded.len(), cfg.d_model],
+            "{}",
+            kind.name()
+        );
+        // All three data rows and columns reachable.
+        for r in 0..3 {
+            for c in 0..3 {
+                let cell = enc.cell_embedding(r, c).unwrap_or_else(|| {
+                    panic!("{}: missing cell ({r},{c})", kind.name())
+                });
+                assert!(cell.data().iter().all(|x| x.is_finite()));
+            }
+        }
+        assert!(enc.row_embedding(0).is_some());
+        assert!(enc.column_embedding(2).is_some());
+    }
+}
+
+#[test]
+fn encoding_is_deterministic_per_seed_and_sensitive_to_content() {
+    let table = Table::from_csv_str("t", sample_csv(), true).expect("csv parses");
+    let pipeline = pipeline_for(&table);
+    let cfg = pipeline.default_config();
+
+    let mut a = build_model(ModelKind::Tapas, &cfg);
+    let mut b = build_model(ModelKind::Tapas, &cfg);
+    let ea = pipeline.encode(a.as_mut(), &table, "ctx");
+    let eb = pipeline.encode(b.as_mut(), &table, "ctx");
+    assert_eq!(ea.states, eb.states);
+
+    // Changing one cell changes the encoding.
+    let mut changed = table.clone();
+    *changed.cell_mut(0, 1) = ntr::table::Cell::new("Lyon");
+    let ec = pipeline.encode(a.as_mut(), &changed, "ctx");
+    assert_ne!(ea.states, ec.states);
+}
+
+#[test]
+fn checkpoints_transfer_between_fresh_models() {
+    let table = Table::from_csv_str("t", sample_csv(), true).expect("csv parses");
+    let pipeline = pipeline_for(&table);
+    let cfg = pipeline.default_config();
+
+    let mut original = build_model(ModelKind::Turl, &cfg);
+    let before = pipeline.encode(original.as_mut(), &table, "x").states;
+
+    let dir = std::env::temp_dir().join("ntr_integration_ckpt");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("turl.ntrw");
+    ntr::nn::serialize::save(original.as_mut(), &path).expect("save");
+
+    let mut restored = build_model(
+        ModelKind::Turl,
+        &ntr::models::ModelConfig { seed: 4242, ..cfg },
+    );
+    let different = pipeline.encode(restored.as_mut(), &table, "x").states;
+    assert_ne!(before, different, "different seeds must differ pre-load");
+
+    ntr::nn::serialize::load(restored.as_mut(), &path).expect("load");
+    let after = pipeline.encode(restored.as_mut(), &table, "x").states;
+    assert_eq!(before, after, "checkpoint must restore behaviour exactly");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn headerless_csv_flows_through() {
+    let table = Table::from_csv_str("h", "1,2\n3,4\n5,6\n", false).expect("csv parses");
+    assert!(table.is_headerless());
+    let pipeline = pipeline_for(&table);
+    let mut model = build_model(ModelKind::Bert, &pipeline.default_config());
+    let enc = pipeline.encode(model.as_mut(), &table, "");
+    assert!(enc.cell_embedding(2, 1).is_some());
+}
+
+#[test]
+fn model_parameter_counts_are_stable() {
+    // Regression guard: architecture drift shows up as parameter-count
+    // changes, which silently invalidates recorded experiments.
+    let table = Table::from_csv_str("t", sample_csv(), true).expect("csv parses");
+    let pipeline = pipeline_for(&table);
+    let cfg = pipeline.default_config();
+    for kind in ModelKind::ALL {
+        let mut m = build_model(kind, &cfg);
+        let params = m.num_params();
+        assert!(
+            params > 50_000 && params < 3_000_000,
+            "{}: {params} parameters looks wrong",
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning the tensor math, CSV, tokenizer, SQL and masking layers.
+
+use ntr::sql::{execute, parse_query, Answer};
+use ntr::table::masking::{mask_mlm, MaskedExample, MlmConfig};
+use ntr::table::{parse_csv, write_csv, Linearizer, LinearizerOptions, RowMajorLinearizer, Table};
+use ntr::tensor::Tensor;
+use ntr::tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Tensor algebra
+// ---------------------------------------------------------------------
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative_enough(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(ntr::tensor::allclose(left.data(), right.data(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(ntr::tensor::allclose(left.data(), right.data(), 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in small_matrix(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose(a in small_matrix(3, 4), b in small_matrix(5, 4)) {
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        prop_assert!(ntr::tensor::allclose(fast.data(), slow.data(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_probability_distributions(a in small_matrix(4, 7)) {
+        let s = a.softmax_rows();
+        for r in 0..4 {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(a in small_matrix(2, 5), shift in -100.0f32..100.0) {
+        let shifted = a.map(|x| x + shift);
+        prop_assert!(ntr::tensor::allclose(
+            a.softmax_rows().data(),
+            shifted.softmax_rows().data(),
+            1e-3,
+            1e-4
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV round-trips on arbitrary content
+// ---------------------------------------------------------------------
+
+fn csv_field() -> impl Strategy<Value = String> {
+    // Arbitrary printable content including the characters CSV must quote.
+    proptest::string::string_regex("[ -~]{0,12}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrips_arbitrary_fields(
+        rows in proptest::collection::vec(proptest::collection::vec(csv_field(), 3), 1..6)
+    ) {
+        let text = write_csv(&rows);
+        let parsed = parse_csv(&text).expect("own output parses");
+        prop_assert_eq!(parsed, rows);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tokenizer_ids_are_always_in_vocab(text in "[a-z0-9 .,|:;]{0,40}") {
+        let corpus = ["the quick brown fox 0 1 2 3 4 5 6 7 8 9 . , | : ;"];
+        let tok = WordPieceTokenizer::new(WordPieceTrainer::new(300).train(corpus.iter().copied()));
+        for id in tok.encode(&text) {
+            prop_assert!(id < tok.vocab_size());
+        }
+    }
+
+    #[test]
+    fn decode_of_known_words_roundtrips(words in proptest::collection::vec("(fox|quick|brown|the)", 0..6)) {
+        let corpus = ["the quick brown fox the quick brown fox"];
+        let tok = WordPieceTokenizer::new(WordPieceTrainer::new(300).train(corpus.iter().copied()));
+        let text = words.join(" ");
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+}
+
+// ---------------------------------------------------------------------
+// SQL engine invariants on arbitrary numeric tables
+// ---------------------------------------------------------------------
+
+fn numeric_table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec(proptest::collection::vec(-1000i64..1000, 2), 1..8).prop_map(|rows| {
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|x| x.to_string()).collect())
+            .collect();
+        let refs: Vec<Vec<&str>> = data
+            .iter()
+            .map(|r| r.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = refs.iter().map(Vec::as_slice).collect();
+        Table::from_strings("prop", &["a", "b"], &slices)
+    })
+}
+
+proptest! {
+    #[test]
+    fn sql_count_never_exceeds_rows(table in numeric_table(), threshold in -1000i64..1000) {
+        let q = parse_query(&format!("SELECT COUNT a FROM t WHERE b > {threshold}")).expect("parses");
+        let ans = execute(&q, &table).expect("executes");
+        let count: usize = ans.denotation()[0].parse().expect("count is integer");
+        prop_assert!(count <= table.n_rows());
+    }
+
+    #[test]
+    fn sql_where_partition(table in numeric_table(), threshold in -1000i64..1000) {
+        // rows(b > t) + rows(b <= t) == rows
+        let gt = execute(&parse_query(&format!("SELECT a FROM t WHERE b > {threshold}")).expect("p"), &table).expect("e");
+        let le = execute(&parse_query(&format!("SELECT a FROM t WHERE b <= {threshold}")).expect("p"), &table).expect("e");
+        prop_assert_eq!(gt.values.len() + le.values.len(), table.n_rows());
+    }
+
+    #[test]
+    fn sql_denotation_is_order_insensitive(table in numeric_table()) {
+        let all = execute(&parse_query("SELECT a FROM t").expect("p"), &table).expect("e");
+        let mut reversed = all.values.clone();
+        reversed.reverse();
+        let rev = Answer { values: reversed };
+        prop_assert!(all.same_denotation(&rev));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Masking invariants on arbitrary small tables
+// ---------------------------------------------------------------------
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,6}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn mlm_masking_preserves_length_and_targets(
+        cells in proptest::collection::vec(word(), 6),
+        seed in 0u64..1000
+    ) {
+        let rows: Vec<&str> = cells.iter().map(String::as_str).collect();
+        let table = Table::from_strings("m", &["x", "y", "z"], &[&rows[0..3], &rows[3..6]]);
+        let tok = WordPieceTokenizer::new(
+            WordPieceTrainer::new(500).train([cells.join(" ").as_str(), "x y z |"].into_iter()),
+        );
+        let encoded = RowMajorLinearizer.linearize(&table, "", &tok, &LinearizerOptions::default());
+        let masked = mask_mlm(&encoded, &MlmConfig::bert(tok.vocab_size()), seed);
+        prop_assert_eq!(masked.input_ids.len(), encoded.len());
+        prop_assert!(masked.n_masked() >= 1);
+        for (pos, &target) in masked.targets.iter().enumerate() {
+            if target == MaskedExample::IGNORE {
+                prop_assert_eq!(masked.input_ids[pos], encoded.ids()[pos]);
+            } else {
+                prop_assert_eq!(target, encoded.ids()[pos]);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Integration between the SQL engine and the synthetic corpus: generated
+//! queries must execute consistently over generated tables.
+
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::sql::gen::{GenConfig, QueryGenerator};
+use ntr::sql::{execute, parse_query, Agg, CmpOp, Literal, Query};
+
+fn corpus() -> TableCorpus {
+    let world = World::generate(WorldConfig::default());
+    TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: 24,
+            min_rows: 3,
+            max_rows: 8,
+            null_prob: 0.05,
+            headerless_prob: 0.0,
+            seed: 0x5A1,
+        },
+    )
+}
+
+#[test]
+fn generated_queries_roundtrip_and_execute_on_every_table() {
+    let corpus = corpus();
+    for (ti, table) in corpus.tables.iter().enumerate() {
+        let mut gen = QueryGenerator::new(ti as u64, GenConfig::default());
+        for (query, answer) in gen.generate_n(table, 10) {
+            // SQL text roundtrip.
+            let reparsed = parse_query(&query.to_string())
+                .unwrap_or_else(|e| panic!("{}: {e} for {query}", table.id));
+            assert_eq!(reparsed, query);
+            // Execution is deterministic.
+            let again = execute(&query, table).expect("re-execution");
+            assert!(again.same_denotation(&answer));
+        }
+    }
+}
+
+#[test]
+fn count_matches_manual_filtering() {
+    let corpus = corpus();
+    let table = &corpus.tables[0];
+    let col = &table.columns()[0].name;
+    let needle = table.cell(0, 0).text().to_string();
+    let q = Query::select(col.clone())
+        .with_agg(Agg::Count)
+        .with_condition(col.clone(), CmpOp::Eq, Literal::Text(needle.clone()));
+    let ans = execute(&q, table).expect("executes");
+    let manual = (0..table.n_rows())
+        .filter(|&r| table.cell(r, 0).text().eq_ignore_ascii_case(&needle))
+        .count();
+    assert_eq!(ans.denotation(), vec![manual.to_string()]);
+}
+
+#[test]
+fn aggregate_identities_hold_on_numeric_columns() {
+    // SUM = AVG * COUNT(non-null) and MIN <= AVG <= MAX on every numeric
+    // column of every corpus table.
+    let corpus = corpus();
+    let mut checked = 0;
+    for table in &corpus.tables {
+        for col in table.columns() {
+            if !matches!(
+                col.sem_type,
+                ntr::table::SemanticType::Integer | ntr::table::SemanticType::Float
+            ) {
+                continue;
+            }
+            let sel = |agg| {
+                let q = Query::select(col.name.clone()).with_agg(agg);
+                execute(&q, table).expect("aggregate executes").values[0].as_number()
+            };
+            let (Some(sum), Some(avg), Some(min), Some(max)) =
+                (sel(Agg::Sum), sel(Agg::Avg), sel(Agg::Min), sel(Agg::Max))
+            else {
+                continue; // all-null column
+            };
+            let n = (0..table.n_rows())
+                .filter(|&r| {
+                    let c = table.column_index(&col.name).expect("col exists");
+                    !table.cell(r, c).is_null()
+                })
+                .count() as f64;
+            assert!((sum - avg * n).abs() < 1e-6 * sum.abs().max(1.0), "{}", table.id);
+            assert!(min <= avg + 1e-9 && avg <= max + 1e-9, "{}", table.id);
+            checked += 1;
+        }
+    }
+    assert!(checked > 10, "too few numeric columns checked: {checked}");
+}
+
+#[test]
+fn world_facts_are_queryable() {
+    // The KB and the generated tables must agree: querying a country table
+    // for a capital returns the KB's capital.
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate_entity_only(
+        &world,
+        &CorpusConfig {
+            n_tables: 24,
+            min_rows: 5,
+            max_rows: 8,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 0x5A2,
+        },
+    );
+    let mut checked = 0;
+    for table in &corpus.tables {
+        let (Some(_), Some(cap_col)) = (table.column_index("Country"), table.column_index("Capital"))
+        else {
+            continue;
+        };
+        for r in 0..table.n_rows() {
+            let country = table.cell(r, 0).text();
+            let q = Query::select("Capital").with_condition(
+                "Country",
+                CmpOp::Eq,
+                Literal::Text(country.to_string()),
+            );
+            let ans = execute(&q, table).expect("executes");
+            let entity = world.entity_by_name(country).expect("country in KB");
+            let kb_capital = world.name(world.country(entity).expect("record").capital);
+            assert_eq!(
+                ans.denotation(),
+                vec![kb_capital.to_lowercase()],
+                "table {} row {r} col {cap_col}",
+                table.id
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no country tables checked");
+}
