@@ -35,9 +35,11 @@ fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encode");
     for kind in ModelKind::ALL {
         let mut model = build_model(kind, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &input, |b, inp| {
-            b.iter(|| black_box(model.encode(inp, false)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &input,
+            |b, inp| b.iter(|| black_box(model.encode(inp, false))),
+        );
     }
     let mut tabert = TaBert::new(&cfg);
     group.bench_function("tabert", |b| {

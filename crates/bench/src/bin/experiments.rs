@@ -57,6 +57,10 @@ fn main() {
         for r in &reports {
             r.print();
         }
-        println!("_{} completed in {:.1}s_\n", e.id, start.elapsed().as_secs_f64());
+        println!(
+            "_{} completed in {:.1}s_\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
     }
 }

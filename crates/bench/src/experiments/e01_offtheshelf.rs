@@ -8,7 +8,9 @@ use crate::report::{f1, Report};
 use crate::setup::Setup;
 use ntr::models::{EncoderInput, TaBert};
 use ntr::nn::Layer;
-use ntr::table::{Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer, TurlLinearizer};
+use ntr::table::{
+    Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer, TurlLinearizer,
+};
 use ntr::zoo::{build_model, ModelKind};
 use std::time::Instant;
 
@@ -19,7 +21,14 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     let mut report = Report::new(
         "E1 — off-the-shelf inputs and outputs (Fig 2a)",
-        &["model", "input format", "tokens", "params", "output shape", "encode ms"],
+        &[
+            "model",
+            "input format",
+            "tokens",
+            "params",
+            "output shape",
+            "encode ms",
+        ],
     );
     report.note(format!(
         "table `{}`: {} rows x {} cols, caption {:?}",

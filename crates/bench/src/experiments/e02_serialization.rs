@@ -28,7 +28,13 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         };
         let mut report = Report::new(
             format!("E2 — serialization strategies (Fig 2b), budget {budget} tokens"),
-            &["strategy", "mean tokens", "cell coverage", "rows dropped", "roundtrip"],
+            &[
+                "strategy",
+                "mean tokens",
+                "cell coverage",
+                "rows dropped",
+                "roundtrip",
+            ],
         );
         report.note(format!(
             "averaged over {} corpus tables; roundtrip = fraction of encoded cells whose text \

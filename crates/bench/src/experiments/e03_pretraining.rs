@@ -62,8 +62,23 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         tc.epochs,
         turl_report.mlm_loss.len()
     ));
-    curve_rows(&mut report, "turl mlm", &turl_report.mlm_loss, &turl_report.mlm_acc);
-    curve_rows(&mut report, "turl mer", &turl_report.mer_loss, &turl_report.mer_acc);
-    curve_rows(&mut report, "bert mlm", &bert_report.mlm_loss, &bert_report.mlm_acc);
+    curve_rows(
+        &mut report,
+        "turl mlm",
+        &turl_report.mlm_loss,
+        &turl_report.mlm_acc,
+    );
+    curve_rows(
+        &mut report,
+        "turl mer",
+        &turl_report.mer_loss,
+        &turl_report.mer_acc,
+    );
+    curve_rows(
+        &mut report,
+        "bert mlm",
+        &bert_report.mlm_loss,
+        &bert_report.mlm_acc,
+    );
     vec![report]
 }

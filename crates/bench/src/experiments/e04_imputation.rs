@@ -9,9 +9,7 @@ use crate::setup::Setup;
 use ntr::corpus::datasets::ImputationDataset;
 use ntr::corpus::Split;
 use ntr::models::{Turl, VanillaBert};
-use ntr::tasks::imputation::{
-    baseline_mode, evaluate, finetune, CandidatePools, ImputationEval,
-};
+use ntr::tasks::imputation::{baseline_mode, evaluate, finetune, CandidatePools, ImputationEval};
 use ntr::tasks::pretrain::{pretrain_mlm, pretrain_turl, MlmModel};
 use ntr::tasks::TrainConfig;
 
@@ -29,11 +27,7 @@ fn eval_row(report: &mut Report, name: &str, e: &ImputationEval) {
     ]);
 }
 
-fn light_finetune<M: MlmModel>(
-    model: &mut M,
-    ds: &ImputationDataset,
-    setup: &Setup,
-) {
+fn light_finetune<M: MlmModel>(model: &mut M, ds: &ImputationDataset, setup: &Setup) {
     finetune(
         model,
         ds,
@@ -63,7 +57,15 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     let mut report = Report::new(
         "E4 — data imputation (Fig 2d): test accuracy/F1 with failure slices",
-        &["system", "acc", "macro-F1", "text", "numeric", "headered", "headerless"],
+        &[
+            "system",
+            "acc",
+            "macro-F1",
+            "text",
+            "numeric",
+            "headered",
+            "headerless",
+        ],
     );
     report.note(format!(
         "{} examples ({} test); candidates per blank <= 64 (gold included); \
@@ -72,7 +74,11 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         ds.indices(Split::Test).len()
     ));
 
-    eval_row(&mut report, "mode baseline", &baseline_mode(&ds, Split::Test, &pools));
+    eval_row(
+        &mut report,
+        "mode baseline",
+        &baseline_mode(&ds, Split::Test, &pools),
+    );
 
     let mut bert = VanillaBert::new(&cfg);
     let untrained = evaluate(&mut bert, &ds, Split::Test, &pools, &setup.tok, MAX_TOKENS);
@@ -87,7 +93,13 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     eval_row(&mut report, "bert pretrained+ft", &tuned);
 
     let mut turl = Turl::new(&cfg);
-    pretrain_turl(&mut turl, &setup.entity_corpus, &setup.tok, &pre_cfg, MAX_TOKENS);
+    pretrain_turl(
+        &mut turl,
+        &setup.entity_corpus,
+        &setup.tok,
+        &pre_cfg,
+        MAX_TOKENS,
+    );
     pretrain_mlm(&mut turl, &setup.corpus, &setup.tok, &pre_cfg, MAX_TOKENS);
     light_finetune(&mut turl, &ds, setup);
     let turl_eval = evaluate(&mut turl, &ds, Split::Test, &pools, &setup.tok, MAX_TOKENS);

@@ -71,14 +71,56 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     let mut dims = Report::new(
         "E5a — survey dimensions per family (design coordinates)",
-        &["model", "structural embeddings", "attention", "pretraining", "output granularity"],
+        &[
+            "model",
+            "structural embeddings",
+            "attention",
+            "pretraining",
+            "output granularity",
+        ],
     );
-    dims.row(&["bert".into(), "segment only".into(), "full".into(), "MLM".into(), "token/CLS".into()]);
-    dims.row(&["tapas".into(), "row+col+kind".into(), "full".into(), "MLM".into(), "cell scores + CLS".into()]);
-    dims.row(&["tabert".into(), "row+col+kind".into(), "row-wise + vertical".into(), "MLM".into(), "cell/column".into()]);
-    dims.row(&["turl".into(), "row+col+kind".into(), "visibility matrix".into(), "MLM+MER".into(), "cell/entity".into()]);
-    dims.row(&["mate".into(), "row+col+kind".into(), "row/col sparse heads".into(), "MLM".into(), "token/CLS".into()]);
-    dims.row(&["tapex".into(), "row+col+kind".into(), "enc-dec".into(), "neural SQL execution".into(), "generated text".into()]);
+    dims.row(&[
+        "bert".into(),
+        "segment only".into(),
+        "full".into(),
+        "MLM".into(),
+        "token/CLS".into(),
+    ]);
+    dims.row(&[
+        "tapas".into(),
+        "row+col+kind".into(),
+        "full".into(),
+        "MLM".into(),
+        "cell scores + CLS".into(),
+    ]);
+    dims.row(&[
+        "tabert".into(),
+        "row+col+kind".into(),
+        "row-wise + vertical".into(),
+        "MLM".into(),
+        "cell/column".into(),
+    ]);
+    dims.row(&[
+        "turl".into(),
+        "row+col+kind".into(),
+        "visibility matrix".into(),
+        "MLM+MER".into(),
+        "cell/entity".into(),
+    ]);
+    dims.row(&[
+        "mate".into(),
+        "row+col+kind".into(),
+        "row/col sparse heads".into(),
+        "MLM".into(),
+        "token/CLS".into(),
+    ]);
+    dims.row(&[
+        "tapex".into(),
+        "row+col+kind".into(),
+        "enc-dec".into(),
+        "neural SQL execution".into(),
+        "generated text".into(),
+    ]);
 
     let mut measured = Report::new(
         "E5b — measured task accuracy per family (same pretrain+fine-tune budget)",
@@ -117,7 +159,11 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     }
     let nli_base = baseline_lookup(&nli, Split::Test);
     let cta_base = baseline_majority(&cta, Split::Test);
-    measured.row(&["symbolic/majority baseline".into(), f3(nli_base.accuracy), f3(cta_base.accuracy)]);
+    measured.row(&[
+        "symbolic/majority baseline".into(),
+        f3(nli_base.accuracy),
+        f3(cta_base.accuracy),
+    ]);
 
     vec![dims, measured]
 }

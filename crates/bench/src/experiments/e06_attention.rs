@@ -60,7 +60,15 @@ pub fn run(_setup: &Setup) -> Vec<Report> {
     let cols = 8;
     let mut report = Report::new(
         "E6 — dense vs sparse attention scaling (MATE, §2.3)",
-        &["rows", "seq len", "dense pairs", "sparse pairs", "dense µs", "sparse µs", "speedup"],
+        &[
+            "rows",
+            "seq len",
+            "dense pairs",
+            "sparse pairs",
+            "dense µs",
+            "sparse µs",
+            "speedup",
+        ],
     );
     report.note("one attention head, d_head = 16, 8 columns, 1 token/cell; best of 5 runs");
 

@@ -66,8 +66,22 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     for (name, lin) in linearizers {
         let mut model = VanillaBert::new(&cfg);
         pretrain_mlm_with(&mut model, &train_corpus, &setup.tok, &tc, MAX_TOKENS, lin);
-        let row_eval = eval_mlm(&mut model, &held_out, &setup.tok, MAX_TOKENS, &RowMajorLinearizer, 0x7E);
-        let col_eval = eval_mlm(&mut model, &held_out, &setup.tok, MAX_TOKENS, &ColumnMajorLinearizer, 0x7E);
+        let row_eval = eval_mlm(
+            &mut model,
+            &held_out,
+            &setup.tok,
+            MAX_TOKENS,
+            &RowMajorLinearizer,
+            0x7E,
+        );
+        let col_eval = eval_mlm(
+            &mut model,
+            &held_out,
+            &setup.tok,
+            MAX_TOKENS,
+            &ColumnMajorLinearizer,
+            0x7E,
+        );
         report.row(&[name.to_string(), f3(row_eval), f3(col_eval)]);
     }
     vec![report]

@@ -56,7 +56,9 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     let test_idx = ds.indices(Split::Test);
     let random: f64 = test_idx
         .iter()
-        .map(|&i| 1.0 / (ds.examples[i].table.n_rows() * (ds.examples[i].table.n_cols() - 1)) as f64)
+        .map(|&i| {
+            1.0 / (ds.examples[i].table.n_rows() * (ds.examples[i].table.n_cols() - 1)) as f64
+        })
         .sum::<f64>()
         / test_idx.len().max(1) as f64;
 
@@ -71,8 +73,20 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         full.examples.len() - ds.examples.len()
     ));
     report.row(&["random cell (expected)".into(), f3(random), f3(random)]);
-    report.row(&["tapas+pointer untrained".into(), f3(untrained.coord_accuracy), f3(untrained.denotation_accuracy)]);
-    report.row(&["tapas+pointer fine-tuned".into(), f3(tuned.coord_accuracy), f3(tuned.denotation_accuracy)]);
-    report.row(&["lexical baseline".into(), f3(lexical.coord_accuracy), f3(lexical.denotation_accuracy)]);
+    report.row(&[
+        "tapas+pointer untrained".into(),
+        f3(untrained.coord_accuracy),
+        f3(untrained.denotation_accuracy),
+    ]);
+    report.row(&[
+        "tapas+pointer fine-tuned".into(),
+        f3(tuned.coord_accuracy),
+        f3(tuned.denotation_accuracy),
+    ]);
+    report.row(&[
+        "lexical baseline".into(),
+        f3(lexical.coord_accuracy),
+        f3(lexical.denotation_accuracy),
+    ]);
     vec![report]
 }

@@ -61,8 +61,16 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         losses.len(),
         held_out.len()
     ));
-    exec_report.row(&["ntr-sql (exact)".into(), f3(1.0), "ground truth by construction".into()]);
-    exec_report.row(&["tapex (neural)".into(), f3(exec_acc), "greedy decode, token-level match".into()]);
+    exec_report.row(&[
+        "ntr-sql (exact)".into(),
+        f3(1.0),
+        "ground truth by construction".into(),
+    ]);
+    exec_report.row(&[
+        "tapex (neural)".into(),
+        f3(exec_acc),
+        "greedy decode, token-level match".into(),
+    ]);
 
     // Part B: text-to-SQL.
     let mut parser = Tapex::new(&ModelConfig { seed: 0xA04, ..cfg });
@@ -90,7 +98,17 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         ft_losses.first().copied().unwrap_or(0.0),
         ft_losses.last().copied().unwrap_or(0.0)
     ));
-    parse_report.row(&["tapex parser".into(), f3(eval.parse_rate), f3(eval.denotation_accuracy), f3(eval.exact_match)]);
-    parse_report.row(&["first-column baseline".into(), f3(base.parse_rate), f3(base.denotation_accuracy), f3(base.exact_match)]);
+    parse_report.row(&[
+        "tapex parser".into(),
+        f3(eval.parse_rate),
+        f3(eval.denotation_accuracy),
+        f3(eval.exact_match),
+    ]);
+    parse_report.row(&[
+        "first-column baseline".into(),
+        f3(base.parse_rate),
+        f3(base.denotation_accuracy),
+        f3(base.exact_match),
+    ]);
     vec![exec_report, parse_report]
 }

@@ -40,7 +40,11 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     ));
 
     let index = TfIdfIndex::build(&ds);
-    row(&mut report, "tf-idf (lexical)", &index.evaluate(&ds, Split::Test));
+    row(
+        &mut report,
+        "tf-idf (lexical)",
+        &index.evaluate(&ds, Split::Test),
+    );
 
     let mut model = VanillaBert::new(&cfg);
     row(

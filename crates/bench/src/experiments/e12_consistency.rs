@@ -26,7 +26,13 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     let mut report = Report::new(
         "E12 — representation-consistency probes (cosine similarity of [CLS] embeddings)",
-        &["model", "state", "row-perm ↑", "col-perm ↑", "header-strip (lower = headers used)"],
+        &[
+            "model",
+            "state",
+            "row-perm ↑",
+            "col-perm ↑",
+            "header-strip (lower = headers used)",
+        ],
     );
     report.note(format!(
         "{} tables probed; a relation is a set of tuples, so row/column \
@@ -62,7 +68,14 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         ]);
     }
 
-    probe(VanillaBert::new(&cfg), "bert", setup, &opts, &tc, &mut report);
+    probe(
+        VanillaBert::new(&cfg),
+        "bert",
+        setup,
+        &opts,
+        &tc,
+        &mut report,
+    );
     probe(Tapas::new(&cfg), "tapas", setup, &opts, &tc, &mut report);
     probe(Turl::new(&cfg), "turl", setup, &opts, &tc, &mut report);
     probe(Mate::new(&cfg), "mate", setup, &opts, &tc, &mut report);

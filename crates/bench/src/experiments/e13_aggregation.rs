@@ -67,8 +67,23 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         ds.examples.len(),
         tuned.n
     ));
-    report.row(&["tapas untrained".into(), f3(untrained.op_accuracy), f3(untrained.col_accuracy), f3(untrained.denotation_accuracy)]);
-    report.row(&["tapas fine-tuned".into(), f3(tuned.op_accuracy), f3(tuned.col_accuracy), f3(tuned.denotation_accuracy)]);
-    report.row(&["keyword baseline".into(), f3(keyword.op_accuracy), f3(keyword.col_accuracy), f3(keyword.denotation_accuracy)]);
+    report.row(&[
+        "tapas untrained".into(),
+        f3(untrained.op_accuracy),
+        f3(untrained.col_accuracy),
+        f3(untrained.denotation_accuracy),
+    ]);
+    report.row(&[
+        "tapas fine-tuned".into(),
+        f3(tuned.op_accuracy),
+        f3(tuned.col_accuracy),
+        f3(tuned.denotation_accuracy),
+    ]);
+    report.row(&[
+        "keyword baseline".into(),
+        f3(keyword.op_accuracy),
+        f3(keyword.col_accuracy),
+        f3(keyword.denotation_accuracy),
+    ]);
     vec![report]
 }

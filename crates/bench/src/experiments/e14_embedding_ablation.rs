@@ -37,7 +37,12 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     let mut report = Report::new(
         "E14 — structural-embedding ablation (same TAPAS architecture)",
-        &["embeddings", "MLM recovery", "QA coord acc", "QA denotation acc"],
+        &[
+            "embeddings",
+            "MLM recovery",
+            "QA coord acc",
+            "QA denotation acc",
+        ],
     );
     report.note(format!(
         "{} snapshot QA examples; MLM recovery measured on the pretraining corpus",

@@ -85,7 +85,11 @@ fn inspect(rest: &[String]) -> Result<(), String> {
         table.n_rows(),
         table.n_cols(),
         table.null_fraction() * 100.0,
-        if table.is_headerless() { "synthetic" } else { "descriptive" }
+        if table.is_headerless() {
+            "synthetic"
+        } else {
+            "descriptive"
+        }
     );
     println!("\ncolumns:");
     for (i, col) in table.columns().iter().enumerate() {
@@ -118,7 +122,9 @@ fn serialize(rest: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|_| format!("bad --max-tokens {v:?}")))
         .transpose()?
         .unwrap_or(256);
-    let context = flag_value(&flags, "--context").unwrap_or(&table.caption).to_string();
+    let context = flag_value(&flags, "--context")
+        .unwrap_or(&table.caption)
+        .to_string();
 
     let pipeline = Pipeline::builder()
         .vocab_from_tables(std::slice::from_ref(&table))
@@ -137,7 +143,10 @@ fn serialize(rest: &[String]) -> Result<(), String> {
         e.n_rows_encoded(),
         e.truncated_rows()
     );
-    println!("{:>4} {:<14} {:>3} {:>3} {:>4} {:<9}", "pos", "token", "row", "col", "rank", "kind");
+    println!(
+        "{:>4} {:<14} {:>3} {:>3} {:>4} {:<9}",
+        "pos", "token", "row", "col", "rank", "kind"
+    );
     for (i, (&id, m)) in e.ids().iter().zip(e.meta()).enumerate() {
         let kind = match m.kind {
             ntr::table::TokenKind::Special => "special",
@@ -183,7 +192,9 @@ fn encode(rest: &[String]) -> Result<(), String> {
         "mate" => ModelKind::Mate,
         other => return Err(format!("unknown model {other:?}")),
     };
-    let context = flag_value(&flags, "--context").unwrap_or(&table.caption).to_string();
+    let context = flag_value(&flags, "--context")
+        .unwrap_or(&table.caption)
+        .to_string();
     let pipeline = Pipeline::builder()
         .vocab_from_tables(std::slice::from_ref(&table))
         .vocab_from_texts(std::slice::from_ref(&context))

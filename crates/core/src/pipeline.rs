@@ -192,7 +192,10 @@ impl TableEncoding {
 
     /// Cosine similarity between two cells' representations.
     pub fn cell_similarity(&self, a: (usize, usize), b: (usize, usize)) -> Option<f32> {
-        Some(self.cell_embedding(a.0, a.1)?.cosine(&self.cell_embedding(b.0, b.1)?))
+        Some(
+            self.cell_embedding(a.0, a.1)?
+                .cosine(&self.cell_embedding(b.0, b.1)?),
+        )
     }
 }
 

@@ -80,7 +80,9 @@ impl CtaDataset {
 }
 
 fn strip_headers(t: &Table) -> Table {
-    let columns: Vec<Column> = (0..t.n_cols()).map(|i| Column::new(format!("col{i}"))).collect();
+    let columns: Vec<Column> = (0..t.n_cols())
+        .map(|i| Column::new(format!("col{i}")))
+        .collect();
     let rows = t.rows().to_vec();
     Table::new(t.id.clone(), columns, rows)
         .expect("same shape")

@@ -214,19 +214,31 @@ mod tests {
         let ds = dataset();
         let mut checked = 0;
         for ex in ds.examples.iter().filter(|e| !e.label) {
-            let Some(rest) = ex.claim.strip_prefix("the ") else { continue };
-            let Some((attr, tail)) = rest.split_once(" of ") else { continue };
-            let Some((subject, value)) = tail.split_once(" is ") else { continue };
+            let Some(rest) = ex.claim.strip_prefix("the ") else {
+                continue;
+            };
+            let Some((attr, tail)) = rest.split_once(" of ") else {
+                continue;
+            };
+            let Some((subject, value)) = tail.split_once(" is ") else {
+                continue;
+            };
             if value.contains("higher than") {
                 continue;
             }
-            let Some(col) = ex.table.column_index(attr) else { continue };
-            let Some(row) =
-                (0..ex.table.n_rows()).find(|&r| ex.table.cell(r, 0).text() == subject)
+            let Some(col) = ex.table.column_index(attr) else {
+                continue;
+            };
+            let Some(row) = (0..ex.table.n_rows()).find(|&r| ex.table.cell(r, 0).text() == subject)
             else {
                 continue;
             };
-            assert_ne!(ex.table.cell(row, col).text(), value, "claim {:?}", ex.claim);
+            assert_ne!(
+                ex.table.cell(row, col).text(),
+                value,
+                "claim {:?}",
+                ex.claim
+            );
             checked += 1;
         }
         assert!(checked > 0);

@@ -54,7 +54,10 @@ impl QaDataset {
             // be well-posed.
             let unique_subject = |r: usize| {
                 let s = table.cell(r, 0).text();
-                (0..table.n_rows()).filter(|&q| table.cell(q, 0).text() == s).count() == 1
+                (0..table.n_rows())
+                    .filter(|&q| table.cell(q, 0).text() == s)
+                    .count()
+                    == 1
             };
             let mut candidates: Vec<(usize, usize)> = Vec::new();
             for r in 0..table.n_rows() {

@@ -190,8 +190,25 @@ const BASE_GEO: &[(&str, &str, &str, &str)] = &[
 ];
 
 const FIRST_NAMES: &[&str] = &[
-    "Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "Hedy", "Claude", "Radia", "Tim",
-    "Margaret", "John", "Katherine", "Dennis", "Frances", "Ken", "Adele", "Linus", "Annie",
+    "Ada",
+    "Alan",
+    "Grace",
+    "Edsger",
+    "Barbara",
+    "Donald",
+    "Hedy",
+    "Claude",
+    "Radia",
+    "Tim",
+    "Margaret",
+    "John",
+    "Katherine",
+    "Dennis",
+    "Frances",
+    "Ken",
+    "Adele",
+    "Linus",
+    "Annie",
     "Edgar",
 ];
 const LAST_NAMES: &[&str] = &[
@@ -201,8 +218,16 @@ const LAST_NAMES: &[&str] = &[
 ];
 const PROFESSIONS: &[&str] = &["director", "engineer", "writer", "scientist", "producer"];
 const FILM_ADJ: &[&str] = &[
-    "Silent", "Golden", "Hidden", "Broken", "Distant", "Eternal", "Crimson", "Forgotten",
-    "Midnight", "Electric",
+    "Silent",
+    "Golden",
+    "Hidden",
+    "Broken",
+    "Distant",
+    "Eternal",
+    "Crimson",
+    "Forgotten",
+    "Midnight",
+    "Electric",
 ];
 const FILM_NOUN: &[&str] = &[
     "River", "Garden", "Horizon", "Station", "Mirror", "Harbor", "Mountain", "Letter", "Summer",

@@ -336,7 +336,13 @@ fn blueprint<'w>(
             // Procedural adult-income-like rows (Fig. 2d of the paper).
             let seed: u64 = rng.gen();
             let workclasses = ["Private", "State-gov", "Self-emp", "Federal-gov"];
-            let educations = ["HS-grad", "Some-college", "Bachelors", "Assoc-acdm", "Masters"];
+            let educations = [
+                "HS-grad",
+                "Some-college",
+                "Bachelors",
+                "Assoc-acdm",
+                "Masters",
+            ];
             (
                 "Employee census records".to_string(),
                 vec![
@@ -405,7 +411,10 @@ fn blueprint<'w>(
                     ColSpec {
                         name: "price",
                         build: Box::new(move |i| {
-                            Cell::new(format!("{}", (5 + mix(seed, i as u64, 4) % 95) as f64 / 2.0))
+                            Cell::new(format!(
+                                "{}",
+                                (5 + mix(seed, i as u64, 4) % 95) as f64 / 2.0
+                            ))
                         }),
                     },
                     ColSpec {
@@ -425,7 +434,8 @@ fn blueprint<'w>(
 
 /// Cheap deterministic per-(seed,row,col) hash for procedural values.
 fn mix(seed: u64, i: u64, salt: u64) -> u64 {
-    let mut x = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut x =
+        seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -489,7 +499,12 @@ mod tests {
         };
         let c = TableCorpus::generate(&w, &cfg);
         for t in &c.tables {
-            assert!(t.n_rows() >= 1 && t.n_rows() <= 6, "{}: {}", t.id, t.n_rows());
+            assert!(
+                t.n_rows() >= 1 && t.n_rows() <= 6,
+                "{}: {}",
+                t.id,
+                t.n_rows()
+            );
             assert!(t.n_cols() >= 3, "{}: {}", t.id, t.n_cols());
         }
     }

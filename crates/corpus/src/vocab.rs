@@ -9,7 +9,8 @@ use ntr_tokenizer::WordPieceTokenizer;
 
 /// The structural symbols linearizers emit; always included in training
 /// text so they never fall to `[UNK]`.
-const STRUCTURAL: &str = "| : ; , . ? ' - row col is the of what which how many 0 1 2 3 4 5 6 7 8 9";
+const STRUCTURAL: &str =
+    "| : ; , . ? ' - row col is the of what which how many 0 1 2 3 4 5 6 7 8 9";
 
 /// Renders a table (headers, cells, caption) as vocabulary-training text.
 pub fn table_text(t: &ntr_table::Table) -> String {
@@ -94,7 +95,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        let extras: Vec<String> = (0..30).map(|_| "zyzzyva zyzzyva zyzzyva".to_string()).collect();
+        let extras: Vec<String> = (0..30)
+            .map(|_| "zyzzyva zyzzyva zyzzyva".to_string())
+            .collect();
         let tok = train_tokenizer(&corpus, &extras, 3000);
         let ids = tok.encode("zyzzyva");
         assert!(ids.iter().all(|&i| i != SpecialToken::Unk.id()));

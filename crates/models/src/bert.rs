@@ -151,10 +151,7 @@ mod tests {
         let mut a = VanillaBert::new(&cfg);
         let mut buf = Vec::new();
         ntr_nn::serialize::save_to(&mut a, &mut buf).unwrap();
-        let mut b = VanillaBert::new(&ModelConfig {
-            seed: 999,
-            ..cfg
-        });
+        let mut b = VanillaBert::new(&ModelConfig { seed: 999, ..cfg });
         ntr_nn::serialize::load_from(&mut b, &mut buf.as_slice()).unwrap();
         let inp = input_sample();
         assert_eq!(a.encode(&inp, false), b.encode(&inp, false));

@@ -121,11 +121,19 @@ impl TableEmbeddings {
             x.add_assign(&seg.forward(&input.segments));
         }
         if let Some(row) = &mut self.row {
-            let rows: Vec<usize> = input.rows.iter().map(|&r| r.min(self.max_rows - 1)).collect();
+            let rows: Vec<usize> = input
+                .rows
+                .iter()
+                .map(|&r| r.min(self.max_rows - 1))
+                .collect();
             x.add_assign(&row.forward(&rows));
         }
         if let Some(col) = &mut self.col {
-            let cols: Vec<usize> = input.cols.iter().map(|&c| c.min(self.max_cols - 1)).collect();
+            let cols: Vec<usize> = input
+                .cols
+                .iter()
+                .map(|&c| c.min(self.max_cols - 1))
+                .collect();
             x.add_assign(&col.forward(&cols));
         }
         if let Some(kind) = &mut self.kind {
@@ -215,8 +223,16 @@ mod tests {
 
     #[test]
     fn forward_shape_and_determinism() {
-        let mut a = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(1));
-        let mut b = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(1));
+        let mut a = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(1),
+        );
+        let mut b = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(1),
+        );
         let x = a.forward(&input(10), false);
         let y = b.forward(&input(10), false);
         assert_eq!(x.shape(), &[10, 16]);
@@ -225,7 +241,11 @@ mod tests {
 
     #[test]
     fn structural_ids_change_the_embedding() {
-        let mut e = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(2));
+        let mut e = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(2),
+        );
         let base = input(6);
         let mut moved = base.clone();
         moved.rows[3] = (base.rows[3] + 1) % 4;
@@ -237,7 +257,8 @@ mod tests {
 
     #[test]
     fn text_only_ignores_rows_and_cols() {
-        let mut e = TableEmbeddings::new(&cfg(), EmbeddingFlags::text_only(), &mut SeededInit::new(3));
+        let mut e =
+            TableEmbeddings::new(&cfg(), EmbeddingFlags::text_only(), &mut SeededInit::new(3));
         let base = input(6);
         let mut moved = base.clone();
         moved.rows[2] = 0;
@@ -247,7 +268,11 @@ mod tests {
 
     #[test]
     fn out_of_range_ids_clamp_not_panic() {
-        let mut e = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(4));
+        let mut e = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(4),
+        );
         let mut big = input(70); // longer than max_seq=64
         big.rows[0] = 999;
         big.cols[0] = 999;
@@ -258,7 +283,11 @@ mod tests {
 
     #[test]
     fn backward_accumulates_word_grads_per_id() {
-        let mut e = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(5));
+        let mut e = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(5),
+        );
         let inp = input(8);
         let _ = e.forward(&inp, true);
         e.backward(&Tensor::ones(&[8, 16]));
@@ -273,7 +302,11 @@ mod tests {
 
     #[test]
     fn param_names_are_unique() {
-        let mut e = TableEmbeddings::new(&cfg(), EmbeddingFlags::structural(), &mut SeededInit::new(6));
+        let mut e = TableEmbeddings::new(
+            &cfg(),
+            EmbeddingFlags::structural(),
+            &mut SeededInit::new(6),
+        );
         let mut names = Vec::new();
         e.visit_params(&mut |n, _| names.push(n.to_string()));
         let mut dedup = names.clone();

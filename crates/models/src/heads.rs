@@ -35,14 +35,20 @@ impl MlmHead {
 
     /// `[n, d] → [n, vocab]` logits.
     pub fn forward(&mut self, states: &Tensor) -> Tensor {
-        self.decoder
-            .forward(&self.ln.forward(&self.act.forward(&self.transform.forward(states))))
+        self.decoder.forward(
+            &self
+                .ln
+                .forward(&self.act.forward(&self.transform.forward(states))),
+        )
     }
 
     /// Backward; returns `d/d states`.
     pub fn backward(&mut self, dlogits: &Tensor) -> Tensor {
-        self.transform
-            .backward(&self.act.backward(&self.ln.backward(&self.decoder.backward(dlogits))))
+        self.transform.backward(
+            &self
+                .act
+                .backward(&self.ln.backward(&self.decoder.backward(dlogits))),
+        )
     }
 
     /// Rows of the decoder weight, used as output-space embeddings (e.g.
@@ -94,12 +100,14 @@ impl ClassifierHead {
 
     /// `[1, d]` pooled state → `[1, n_classes]` logits.
     pub fn forward(&mut self, pooled: &Tensor) -> Tensor {
-        self.out.forward(&self.act.forward(&self.pooler.forward(pooled)))
+        self.out
+            .forward(&self.act.forward(&self.pooler.forward(pooled)))
     }
 
     /// Backward; returns `d/d pooled`.
     pub fn backward(&mut self, dlogits: &Tensor) -> Tensor {
-        self.pooler.backward(&self.act.backward(&self.out.backward(dlogits)))
+        self.pooler
+            .backward(&self.act.backward(&self.out.backward(dlogits)))
     }
 }
 
@@ -152,16 +160,15 @@ pub fn pool_mean(states: &Tensor, span: &Range<usize>) -> Tensor {
         "pool_mean: bad span {span:?} for {} tokens",
         states.dim(0)
     );
-    states.rows(span.start, span.end).mean_rows().reshape(&[1, states.dim(1)])
+    states
+        .rows(span.start, span.end)
+        .mean_rows()
+        .reshape(&[1, states.dim(1)])
 }
 
 /// Distributes a pooled gradient back over the span (the backward of
 /// [`pool_mean`]): each token receives `d_pooled / span_len`.
-pub fn pool_mean_backward(
-    d_pooled: &Tensor,
-    span: &Range<usize>,
-    seq_len: usize,
-) -> Tensor {
+pub fn pool_mean_backward(d_pooled: &Tensor, span: &Range<usize>, seq_len: usize) -> Tensor {
     let d = d_pooled.numel();
     let mut out = Tensor::zeros(&[seq_len, d]);
     let scale = 1.0 / span.len() as f32;

@@ -32,8 +32,8 @@ mod turl;
 
 pub use bert::VanillaBert;
 pub use config::ModelConfig;
-pub use embeddings::TableEmbeddings;
 pub use embeddings::EmbeddingFlags;
+pub use embeddings::TableEmbeddings;
 pub use heads::{pool_mean, pool_mean_backward, ClassifierHead, MlmHead, TokenScoreHead};
 pub use input::EncoderInput;
 pub use mate::{sparse_attention, sparse_attention_flops, Mate, SparseAxis, SparsePattern};
@@ -44,7 +44,6 @@ pub use turl::Turl;
 
 use ntr_nn::Layer;
 use ntr_tensor::Tensor;
-
 
 /// Common interface of the encoder-style models: turn an [`EncoderInput`]
 /// into per-token hidden states `[seq, d_model]`.

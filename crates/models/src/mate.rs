@@ -51,7 +51,13 @@ impl Mate {
         // Alternate axes so both views exist for any head count (a single
         // head becomes a row head rather than silently dropping the row view).
         let head_axes = (0..cfg.n_heads)
-            .map(|h| if h % 2 == 0 { SparseAxis::Row } else { SparseAxis::Col })
+            .map(|h| {
+                if h % 2 == 0 {
+                    SparseAxis::Row
+                } else {
+                    SparseAxis::Col
+                }
+            })
             .collect();
         Self {
             embeddings: TableEmbeddings::new(cfg, EmbeddingFlags::structural(), &mut init),

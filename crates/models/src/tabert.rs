@@ -95,7 +95,14 @@ impl TaBert {
                 cfg.dropout,
                 &mut init,
             ),
-            vertical: Encoder::new(1, cfg.d_model, cfg.n_heads, cfg.d_ff, cfg.dropout, &mut init),
+            vertical: Encoder::new(
+                1,
+                cfg.d_model,
+                cfg.n_heads,
+                cfg.d_ff,
+                cfg.dropout,
+                &mut init,
+            ),
             cfg: *cfg,
             max_tokens_per_row: cfg.max_seq,
             cache: None,
@@ -125,7 +132,10 @@ impl TaBert {
     ) -> TabertOutput {
         let n_rows = table.n_rows();
         let n_cols = table.n_cols();
-        assert!(n_rows > 0 && n_cols > 0, "TaBert cannot encode an empty table");
+        assert!(
+            n_rows > 0 && n_cols > 0,
+            "TaBert cannot encode an empty table"
+        );
         let d = self.cfg.d_model;
         let opts = LinearizerOptions {
             max_tokens: self.max_tokens_per_row,

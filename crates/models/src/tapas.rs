@@ -81,8 +81,8 @@ impl Tapas {
     ) -> Vec<((usize, usize), f32)> {
         e.cells()
             .map(|(coord, span)| {
-                let mean = span.clone().map(|i| token_scores.at(&[i, 0])).sum::<f32>()
-                    / span.len() as f32;
+                let mean =
+                    span.clone().map(|i| token_scores.at(&[i, 0])).sum::<f32>() / span.len() as f32;
                 (coord, mean)
             })
             .collect()

@@ -82,9 +82,9 @@ impl Tapex {
         dec_input.extend_from_slice(&target_ids[..target_ids.len() - 1]);
         let dec_inp = EncoderInput::from_text_ids(dec_input);
 
-        let states = self
-            .decoder
-            .forward(&self.dec_embeddings.forward(&dec_inp, true), &memory, true);
+        let states =
+            self.decoder
+                .forward(&self.dec_embeddings.forward(&dec_inp, true), &memory, true);
         let logits = self.lm_head.forward(&states);
         let (loss, dlogits) = softmax_cross_entropy(&logits, target_ids, None);
 

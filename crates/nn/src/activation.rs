@@ -30,21 +30,23 @@ impl Gelu {
     /// Applies GELU element-wise; caches the input.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         self.cache_x = Some(x.clone());
-        x.map(gelu)
+        x.par_map(gelu)
     }
 
     /// Forward without caching, for inference paths.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        x.map(gelu)
+        x.par_map(gelu)
     }
 
-    /// Returns `dy ⊙ gelu'(x)`.
+    /// Returns `dy ⊙ gelu'(x)`, consuming the cached input in place.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self
+        let mut x = self
             .cache_x
             .take()
             .expect("Gelu::backward called without a cached forward");
-        dy.mul(&x.map(gelu_grad))
+        x.map_mut(gelu_grad);
+        x.mul_assign(dy);
+        x
     }
 }
 
@@ -58,23 +60,18 @@ impl Relu {
     /// Applies `max(0, x)` element-wise; caches the input.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         self.cache_x = Some(x.clone());
-        x.map(|v| v.max(0.0))
+        x.par_map(|v| v.max(0.0))
     }
 
-    /// Returns `dy ⊙ 1[x > 0]`.
+    /// Returns `dy ⊙ 1[x > 0]`, consuming the cached input in place.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let x = self
+        let mut x = self
             .cache_x
             .take()
             .expect("Relu::backward called without a cached forward");
-        Tensor::from_vec(
-            dy.data()
-                .iter()
-                .zip(x.data())
-                .map(|(&g, &v)| if v > 0.0 { g } else { 0.0 })
-                .collect(),
-            dy.shape(),
-        )
+        x.map_mut(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        x.mul_assign(dy);
+        x
     }
 }
 
@@ -87,18 +84,20 @@ pub struct Tanh {
 impl Tanh {
     /// Applies `tanh` element-wise; caches the output.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = x.map(f32::tanh);
+        let y = x.par_map(f32::tanh);
         self.cache_y = Some(y.clone());
         y
     }
 
-    /// Returns `dy ⊙ (1 − y²)`.
+    /// Returns `dy ⊙ (1 − y²)`, consuming the cached output in place.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        let y = self
+        let mut y = self
             .cache_y
             .take()
             .expect("Tanh::backward called without a cached forward");
-        dy.mul(&y.map(|v| 1.0 - v * v))
+        y.map_mut(|v| 1.0 - v * v);
+        y.mul_assign(dy);
+        y
     }
 }
 

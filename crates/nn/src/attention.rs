@@ -15,7 +15,22 @@
 use crate::init::SeededInit;
 use crate::linear::Linear;
 use crate::{Layer, Param};
-use ntr_tensor::Tensor;
+use ntr_tensor::{par, Tensor};
+
+/// Heads run on separate threads when the per-head score work
+/// (`n_q · n_k · d_head`) reaches this; below it the spawn cost dominates.
+const PAR_MIN_HEAD_WORK: usize = 1 << 15;
+
+/// Thread count for fanning `n_heads` heads of `work` flops each across the
+/// pool. Heads write disjoint column slices and each head's math is identical
+/// to the sequential version, so results don't depend on this choice.
+fn head_threads(n_heads: usize, work: usize) -> usize {
+    if n_heads <= 1 || work < PAR_MIN_HEAD_WORK {
+        1
+    } else {
+        par::max_threads()
+    }
+}
 
 /// Additive attention mask(s), broadcast over heads or specified per head.
 ///
@@ -158,10 +173,26 @@ impl MultiHeadAttention {
         self.forward(xq, xkv, mask, false)
     }
 
-    fn forward(&mut self, xq: &Tensor, xkv: &Tensor, mask: Option<&AttnMask>, self_attn: bool) -> Tensor {
+    fn forward(
+        &mut self,
+        xq: &Tensor,
+        xkv: &Tensor,
+        mask: Option<&AttnMask>,
+        self_attn: bool,
+    ) -> Tensor {
         let d = self.d_model();
-        assert_eq!(xq.dim(1), d, "query input width {} != d_model {d}", xq.dim(1));
-        assert_eq!(xkv.dim(1), d, "key/value input width {} != d_model {d}", xkv.dim(1));
+        assert_eq!(
+            xq.dim(1),
+            d,
+            "query input width {} != d_model {d}",
+            xq.dim(1)
+        );
+        assert_eq!(
+            xkv.dim(1),
+            d,
+            "key/value input width {} != d_model {d}",
+            xkv.dim(1)
+        );
         let (n_q, n_k) = (xq.dim(0), xkv.dim(0));
         if let Some(m) = mask {
             m.check(self.n_heads, n_q, n_k);
@@ -172,10 +203,10 @@ impl MultiHeadAttention {
         let v = self.wv.forward(xkv);
 
         let scale = 1.0 / (self.d_head as f32).sqrt();
-        let mut concat = Tensor::zeros(&[n_q, d]);
-        let mut probs = Vec::with_capacity(self.n_heads);
-        for h in 0..self.n_heads {
-            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+        let dh = self.d_head;
+        let threads = head_threads(self.n_heads, n_q * n_k * dh);
+        let heads = par::map_tasks(self.n_heads, threads, |h| {
+            let (s, e) = (h * dh, (h + 1) * dh);
             let qh = q.cols(s, e);
             let kh = k.cols(s, e);
             let vh = v.cols(s, e);
@@ -185,7 +216,12 @@ impl MultiHeadAttention {
             }
             let p = scores.softmax_rows();
             let oh = p.matmul(&vh);
-            concat.set_cols(s, &oh);
+            (p, oh)
+        });
+        let mut concat = Tensor::zeros(&[n_q, d]);
+        let mut probs = Vec::with_capacity(self.n_heads);
+        for (h, (p, oh)) in heads.into_iter().enumerate() {
+            concat.set_cols(h * dh, &oh);
             probs.push(p);
         }
         self.last_probs = probs.clone();
@@ -229,12 +265,10 @@ impl MultiHeadAttention {
         let scale = 1.0 / (self.d_head as f32).sqrt();
 
         let dconcat = self.wo.backward(dy);
-        let mut dq = Tensor::zeros(&[n_q, d]);
-        let mut dk = Tensor::zeros(&[n_k, d]);
-        let mut dv = Tensor::zeros(&[n_k, d]);
-
-        for h in 0..self.n_heads {
-            let (s, e) = (h * self.d_head, (h + 1) * self.d_head);
+        let dh = self.d_head;
+        let threads = head_threads(self.n_heads, n_q * n_k * dh);
+        let heads = par::map_tasks(self.n_heads, threads, |h| {
+            let (s, e) = (h * dh, (h + 1) * dh);
             let doh = dconcat.cols(s, e);
             let p = &cache.probs[h];
             let vh = cache.v.cols(s, e);
@@ -259,9 +293,15 @@ impl MultiHeadAttention {
 
             let dqh = ds.matmul(&kh).scale(scale);
             let dkh = ds.matmul_tn(&qh).scale(scale);
-            dq.set_cols(s, &dqh);
-            dk.set_cols(s, &dkh);
-            dv.set_cols(s, &dvh);
+            (dqh, dkh, dvh)
+        });
+        let mut dq = Tensor::zeros(&[n_q, d]);
+        let mut dk = Tensor::zeros(&[n_k, d]);
+        let mut dv = Tensor::zeros(&[n_k, d]);
+        for (h, (dqh, dkh, dvh)) in heads.into_iter().enumerate() {
+            dq.set_cols(h * dh, &dqh);
+            dk.set_cols(h * dh, &dkh);
+            dv.set_cols(h * dh, &dvh);
         }
 
         let dxq = self.wq.backward(&dq);
@@ -367,9 +407,7 @@ mod tests {
 
         let mut probe = a.clone();
         let dyc = dy.clone();
-        let num = numeric_grad(&x, 5e-3, |x| {
-            probe.forward_self(x, None).mul(&dyc).sum()
-        });
+        let num = numeric_grad(&x, 5e-3, |x| probe.forward_self(x, None).mul(&dyc).sum());
         assert_close(&dx, &num, 3e-2, "mha dx");
     }
 

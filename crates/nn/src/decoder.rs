@@ -27,7 +27,13 @@ pub struct DecoderLayer {
 
 impl DecoderLayer {
     /// New decoder layer.
-    pub fn new(d_model: usize, n_heads: usize, d_ff: usize, dropout: f32, init: &mut SeededInit) -> Self {
+    pub fn new(
+        d_model: usize,
+        n_heads: usize,
+        d_ff: usize,
+        dropout: f32,
+        init: &mut SeededInit,
+    ) -> Self {
         let seed_base = init.uniform(&[1], 0.0, 1e9).data()[0] as u64;
         Self {
             ln1: LayerNorm::new(d_model),
@@ -46,9 +52,12 @@ impl DecoderLayer {
     /// [s, d]`. A causal mask over `x` is always applied.
     pub fn forward(&mut self, x: &Tensor, memory: &Tensor, train: bool) -> Tensor {
         let causal = AttnMask::causal(x.dim(0));
-        let h1 = self
-            .drop1
-            .forward(&self.self_attn.forward_self(&self.ln1.forward(x), Some(&causal)), train);
+        let h1 = self.drop1.forward(
+            &self
+                .self_attn
+                .forward_self(&self.ln1.forward(x), Some(&causal)),
+            train,
+        );
         let x1 = x.add(&h1);
         let h2 = self.drop2.forward(
             &self
@@ -57,13 +66,17 @@ impl DecoderLayer {
             train,
         );
         let x2 = x1.add(&h2);
-        let h3 = self.drop3.forward(&self.ffn.forward(&self.ln3.forward(&x2)), train);
+        let h3 = self
+            .drop3
+            .forward(&self.ffn.forward(&self.ln3.forward(&x2)), train);
         x2.add(&h3)
     }
 
     /// Backward; returns `(d/d x, d/d memory)`.
     pub fn backward(&mut self, dy: &Tensor) -> (Tensor, Tensor) {
-        let dffn = self.ln3.backward(&self.ffn.backward(&self.drop3.backward(dy)));
+        let dffn = self
+            .ln3
+            .backward(&self.ffn.backward(&self.drop3.backward(dy)));
         let dx2 = dy.add(&dffn);
         let (dq, dmem) = self.cross_attn.backward_cross(&self.drop2.backward(&dx2));
         let dx1 = dx2.add(&self.ln2.backward(&dq));

@@ -34,7 +34,8 @@ impl FeedForward {
 
     /// Backward; returns the input gradient.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
-        self.lin1.backward(&self.act.backward(&self.lin2.backward(dy)))
+        self.lin1
+            .backward(&self.act.backward(&self.lin2.backward(dy)))
     }
 }
 
@@ -68,7 +69,13 @@ pub struct EncoderLayer {
 
 impl EncoderLayer {
     /// New encoder layer.
-    pub fn new(d_model: usize, n_heads: usize, d_ff: usize, dropout: f32, init: &mut SeededInit) -> Self {
+    pub fn new(
+        d_model: usize,
+        n_heads: usize,
+        d_ff: usize,
+        dropout: f32,
+        init: &mut SeededInit,
+    ) -> Self {
         let seed_base = init.uniform(&[1], 0.0, 1e9).data()[0] as u64;
         Self {
             ln1: LayerNorm::new(d_model),
@@ -86,14 +93,18 @@ impl EncoderLayer {
             .drop1
             .forward(&self.attn.forward_self(&self.ln1.forward(x), mask), train);
         let x1 = x.add(&h);
-        let h2 = self.drop2.forward(&self.ffn.forward(&self.ln2.forward(&x1)), train);
+        let h2 = self
+            .drop2
+            .forward(&self.ffn.forward(&self.ln2.forward(&x1)), train);
         x1.add(&h2)
     }
 
     /// Backward pass; returns the input gradient.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
         // Residual 2: dy flows both into the FFN branch and straight through.
-        let dffn = self.ln2.backward(&self.ffn.backward(&self.drop2.backward(dy)));
+        let dffn = self
+            .ln2
+            .backward(&self.ffn.backward(&self.drop2.backward(dy)));
         let dx1 = dy.add(&dffn);
         // Residual 1.
         let dattn = self
@@ -172,7 +183,10 @@ impl Encoder {
 
     /// Per-layer, per-head attention maps from the last forward pass.
     pub fn attention_maps(&self) -> Vec<&[Tensor]> {
-        self.layers.iter().map(|l| l.attention().last_attention()).collect()
+        self.layers
+            .iter()
+            .map(|l| l.attention().last_attention())
+            .collect()
     }
 }
 

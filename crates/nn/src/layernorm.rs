@@ -90,7 +90,11 @@ impl LayerNorm {
             .take()
             .expect("LayerNorm::backward called without a cached forward");
         let (n, d) = (xhat.dim(0), xhat.dim(1));
-        assert_eq!(dy.shape(), xhat.shape(), "LayerNorm::backward shape mismatch");
+        assert_eq!(
+            dy.shape(),
+            xhat.shape(),
+            "LayerNorm::backward shape mismatch"
+        );
 
         // Parameter grads.
         self.gamma.accumulate(&dy.mul(&xhat).sum_rows());
@@ -140,7 +144,12 @@ mod tests {
         let y = ln.forward(&x);
         for r in 0..2 {
             let mean: f32 = y.row(r).iter().sum::<f32>() / 4.0;
-            let var: f32 = y.row(r).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 4.0;
             assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "row {r} var {var}");
         }

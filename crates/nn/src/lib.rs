@@ -111,7 +111,10 @@ pub fn merge_grads(master: &mut dyn Layer, clone: &mut dyn Layer) {
     clone.visit_params(&mut |_, p| grads.push(p.grad.clone()));
     let mut i = 0;
     master.visit_params(&mut |name, p| {
-        assert!(i < grads.len(), "clone/master param count mismatch at {name}");
+        assert!(
+            i < grads.len(),
+            "clone/master param count mismatch at {name}"
+        );
         p.grad.add_assign(&grads[i]);
         i += 1;
     });

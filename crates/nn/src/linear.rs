@@ -101,9 +101,7 @@ mod tests {
         let dx = l.backward(&dy);
         let w = l.w.value.clone();
         let b = l.b.value.clone();
-        let num = numeric_grad(&x, 1e-2, |x| {
-            x.matmul(&w).add_row_broadcast(&b).sum()
-        });
+        let num = numeric_grad(&x, 1e-2, |x| x.matmul(&w).add_row_broadcast(&b).sum());
         assert_close(&dx, &num, 1e-2, "linear dx");
     }
 

@@ -20,9 +20,18 @@ pub fn softmax_cross_entropy(
     targets: &[usize],
     weights: Option<&[f32]>,
 ) -> (f32, Tensor) {
-    assert_eq!(logits.ndim(), 2, "softmax_cross_entropy expects [n, classes]");
+    assert_eq!(
+        logits.ndim(),
+        2,
+        "softmax_cross_entropy expects [n, classes]"
+    );
     let (n, c) = (logits.dim(0), logits.dim(1));
-    assert_eq!(targets.len(), n, "target count {} != rows {n}", targets.len());
+    assert_eq!(
+        targets.len(),
+        n,
+        "target count {} != rows {n}",
+        targets.len()
+    );
     if let Some(w) = weights {
         assert_eq!(w.len(), n, "weight count {} != rows {n}", w.len());
     }
@@ -126,7 +135,9 @@ mod tests {
         let logits = crate::init::SeededInit::new(1).uniform(&[3, 4], -2.0, 2.0);
         let targets = [2usize, 0, 3];
         let (_, d) = softmax_cross_entropy(&logits, &targets, None);
-        let num = numeric_grad(&logits, 1e-2, |l| softmax_cross_entropy(l, &targets, None).0);
+        let num = numeric_grad(&logits, 1e-2, |l| {
+            softmax_cross_entropy(l, &targets, None).0
+        });
         assert_close(&d, &num, 1e-2, "ce");
     }
 
@@ -152,7 +163,10 @@ mod tests {
         let logits = crate::init::SeededInit::new(3).uniform(&[2, 3], -1.0, 1.0);
         let (unweighted, _) = softmax_cross_entropy(&logits, &[0, 1], None);
         let (weighted, _) = softmax_cross_entropy(&logits, &[0, 1], Some(&[2.0, 2.0]));
-        assert!((unweighted - weighted).abs() < 1e-6, "uniform weights cancel");
+        assert!(
+            (unweighted - weighted).abs() < 1e-6,
+            "uniform weights cancel"
+        );
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Optimizers and learning-rate schedules.
 
 use crate::Param;
-use ntr_tensor::Tensor;
+use ntr_tensor::{par, Tensor};
 use std::collections::HashMap;
+
+/// Parameters smaller than this update single-threaded; below it the spawn
+/// cost of `std::thread::scope` outweighs the element-wise work.
+const PAR_MIN_PARAM_ELEMS: usize = 1 << 15;
 
 /// AdamW: Adam with decoupled weight decay and bias correction.
 ///
@@ -96,18 +100,33 @@ impl AdamStep<'_> {
         );
         let bc1 = 1.0 - a.beta1.powi(a.t as i32);
         let bc2 = 1.0 - a.beta2.powi(a.t as i32);
+        let (lr, beta1, beta2, eps, wd) = (a.lr, a.beta1, a.beta2, a.eps, a.weight_decay);
         let n = p.value.numel();
-        for i in 0..n {
-            let g = p.grad.data()[i];
-            let m = &mut entry.m.data_mut()[i];
-            *m = a.beta1 * *m + (1.0 - a.beta1) * g;
-            let v = &mut entry.v.data_mut()[i];
-            *v = a.beta2 * *v + (1.0 - a.beta2) * g * g;
-            let mhat = *m / bc1;
-            let vhat = *v / bc2;
-            let w = &mut p.value.data_mut()[i];
-            *w -= a.lr * (mhat / (vhat.sqrt() + a.eps) + a.weight_decay * *w);
-        }
+        let threads = if n < PAR_MIN_PARAM_ELEMS {
+            1
+        } else {
+            par::max_threads()
+        };
+        // The update is purely element-wise, so any chunking of the four
+        // buffers produces bit-identical results.
+        let Moments { m, v } = entry;
+        par::for_zip3_mut(
+            p.value.data_mut(),
+            m.data_mut(),
+            v.data_mut(),
+            p.grad.data(),
+            threads,
+            |w, m, v, g| {
+                for i in 0..w.len() {
+                    let gi = g[i];
+                    m[i] = beta1 * m[i] + (1.0 - beta1) * gi;
+                    v[i] = beta2 * v[i] + (1.0 - beta2) * gi * gi;
+                    let mhat = m[i] / bc1;
+                    let vhat = v[i] / bc2;
+                    w[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * w[i]);
+                }
+            },
+        );
     }
 }
 
@@ -149,9 +168,7 @@ pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     if total > max_norm && total > 0.0 {
         let scale = max_norm / total;
         for p in params.iter_mut() {
-            for g in p.grad.data_mut() {
-                *g *= scale;
-            }
+            p.grad.map_mut(|g| g * scale);
         }
     }
     total
@@ -237,6 +254,9 @@ mod tests {
         let mut b = Param::new(Tensor::zeros(&[1]));
         b.accumulate(&Tensor::from_vec(vec![0.1], &[1]));
         clip_grad_norm(&mut [&mut b], 1.0);
-        assert!((b.grad.data()[0] - 0.1).abs() < 1e-7, "small grads untouched");
+        assert!(
+            (b.grad.data()[0] - 0.1).abs() < 1e-7,
+            "small grads untouched"
+        );
     }
 }

@@ -1,0 +1,58 @@
+//! End-to-end thread-count invariance: a full attention forward/backward and
+//! an Adam step must produce bit-identical results whatever the pool size,
+//! which is what makes `NTR_THREADS=1` reproduce multithreaded training runs
+//! exactly.
+
+use ntr_nn::init::SeededInit;
+use ntr_nn::optim::Adam;
+use ntr_nn::{MultiHeadAttention, Param};
+use ntr_tensor::{par, Tensor};
+
+fn attention_round_trip(threads: usize) -> (Tensor, Tensor) {
+    par::with_threads(threads, || {
+        let mut attn = MultiHeadAttention::new(64, 4, &mut SeededInit::new(7));
+        let x = SeededInit::new(8).uniform(&[48, 64], -0.5, 0.5);
+        let dy = SeededInit::new(9).uniform(&[48, 64], -1.0, 1.0);
+        let y = attn.forward_self(&x, None);
+        let dx = attn.backward_self(&dy);
+        (y, dx)
+    })
+}
+
+#[test]
+fn attention_is_bit_identical_across_thread_counts() {
+    let (y1, dx1) = attention_round_trip(1);
+    for threads in [2usize, 3, 6] {
+        let (y, dx) = attention_round_trip(threads);
+        assert_eq!(y1.data(), y.data(), "forward differs at threads={threads}");
+        assert_eq!(
+            dx1.data(),
+            dx.data(),
+            "backward differs at threads={threads}"
+        );
+    }
+}
+
+fn adam_round_trip(threads: usize) -> Tensor {
+    par::with_threads(threads, || {
+        // Large enough to cross the optimizer's parallel threshold.
+        let mut p = Param::new(SeededInit::new(10).uniform(&[256, 256], -0.1, 0.1));
+        let g = SeededInit::new(11).uniform(&[256, 256], -1.0, 1.0);
+        let mut adam = Adam::new(1e-3).with_weight_decay(0.01);
+        for _ in 0..3 {
+            p.zero_grad();
+            p.accumulate(&g);
+            adam.begin_step().update(&mut p);
+        }
+        p.value.clone()
+    })
+}
+
+#[test]
+fn adam_updates_are_bit_identical_across_thread_counts() {
+    let w1 = adam_round_trip(1);
+    for threads in [2usize, 5, 8] {
+        let w = adam_round_trip(threads);
+        assert_eq!(w1.data(), w.data(), "weights differ at threads={threads}");
+    }
+}

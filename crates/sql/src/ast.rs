@@ -132,12 +132,7 @@ impl Query {
     }
 
     /// Adds a condition, builder-style.
-    pub fn with_condition(
-        mut self,
-        column: impl Into<String>,
-        op: CmpOp,
-        value: Literal,
-    ) -> Self {
+    pub fn with_condition(mut self, column: impl Into<String>, op: CmpOp, value: Literal) -> Self {
         self.conditions.push(Condition {
             column: column.into(),
             op,
@@ -148,11 +143,7 @@ impl Query {
 }
 
 fn quote_col(name: &str) -> String {
-    if name
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && !name.is_empty()
-    {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.is_empty() {
         name.to_string()
     } else {
         format!("\"{}\"", name.replace('"', "\"\""))
@@ -169,7 +160,13 @@ impl fmt::Display for Query {
         write!(f, "{} FROM t", quote_col(&self.column))?;
         for (i, c) in self.conditions.iter().enumerate() {
             let kw = if i == 0 { " WHERE" } else { " AND" };
-            write!(f, "{kw} {} {} {}", quote_col(&c.column), c.op.symbol(), c.value)?;
+            write!(
+                f,
+                "{kw} {} {} {}",
+                quote_col(&c.column),
+                c.op.symbol(),
+                c.value
+            )?;
         }
         Ok(())
     }
@@ -204,11 +201,7 @@ mod tests {
 
     #[test]
     fn escapes_quotes_in_literals() {
-        let q = Query::select("a").with_condition(
-            "b",
-            CmpOp::Eq,
-            Literal::Text("O'Brien".into()),
-        );
+        let q = Query::select("a").with_condition("b", CmpOp::Eq, Literal::Text("O'Brien".into()));
         assert!(q.to_string().contains("'O''Brien'"));
     }
 }

@@ -149,10 +149,12 @@ pub fn execute(query: &Query, table: &Table) -> Result<Answer, ExecError> {
                 if v.is_null() {
                     continue; // SQL aggregates skip NULLs
                 }
-                let x = v.as_number().ok_or_else(|| ExecError::NonNumericAggregate {
-                    agg,
-                    cell: v.to_string(),
-                })?;
+                let x = v
+                    .as_number()
+                    .ok_or_else(|| ExecError::NonNumericAggregate {
+                        agg,
+                        cell: v.to_string(),
+                    })?;
                 sum += x;
                 n += 1;
             }
@@ -260,9 +262,18 @@ mod tests {
 
     #[test]
     fn min_max_numeric_and_text() {
-        assert_eq!(run("SELECT MIN Population FROM t").denotation(), vec!["25.69"]);
-        assert_eq!(run("SELECT MAX Population FROM t").denotation(), vec!["125.7"]);
-        assert_eq!(run("SELECT MIN Country FROM t").denotation(), vec!["australia"]);
+        assert_eq!(
+            run("SELECT MIN Population FROM t").denotation(),
+            vec!["25.69"]
+        );
+        assert_eq!(
+            run("SELECT MAX Population FROM t").denotation(),
+            vec!["125.7"]
+        );
+        assert_eq!(
+            run("SELECT MIN Country FROM t").denotation(),
+            vec!["australia"]
+        );
         assert_eq!(run("SELECT MAX Country FROM t").denotation(), vec!["japan"]);
     }
 
@@ -316,7 +327,8 @@ mod tests {
 
     #[test]
     fn sum_over_text_is_error() {
-        let err = execute(&parse_query("SELECT SUM Country FROM t").unwrap(), &table()).unwrap_err();
+        let err =
+            execute(&parse_query("SELECT SUM Country FROM t").unwrap(), &table()).unwrap_err();
         assert!(matches!(err, ExecError::NonNumericAggregate { .. }));
     }
 

@@ -117,7 +117,14 @@ impl QueryGenerator {
         let numeric = cell.value.as_number();
         let (op, value) = match numeric {
             Some(x) if self.rng.gen::<f64>() < 0.6 => {
-                let ops = [CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le, CmpOp::Eq, CmpOp::Neq];
+                let ops = [
+                    CmpOp::Gt,
+                    CmpOp::Lt,
+                    CmpOp::Ge,
+                    CmpOp::Le,
+                    CmpOp::Eq,
+                    CmpOp::Neq,
+                ];
                 (
                     ops[self.rng.gen_range(0..ops.len())],
                     Literal::Number(round4(x)),
@@ -191,7 +198,10 @@ mod tests {
         let mut g = QueryGenerator::new(3, GenConfig::default());
         let pairs = g.generate_n(&table(), 100);
         let with_agg = pairs.iter().filter(|(q, _)| q.agg.is_some()).count();
-        let with_cond = pairs.iter().filter(|(q, _)| !q.conditions.is_empty()).count();
+        let with_cond = pairs
+            .iter()
+            .filter(|(q, _)| !q.conditions.is_empty())
+            .count();
         assert!(with_agg > 10 && with_agg < 90, "agg count {with_agg}");
         assert!(with_cond > 20, "cond count {with_cond}");
     }

@@ -293,10 +293,7 @@ mod tests {
         assert_eq!(CellValue::infer("25,690"), CellValue::Int(25690));
         assert_eq!(CellValue::infer("1,234,567"), CellValue::Int(1234567));
         // But a comma-bearing word stays text.
-        assert_eq!(
-            CellValue::infer("a,b"),
-            CellValue::Text("a,b".into())
-        );
+        assert_eq!(CellValue::infer("a,b"), CellValue::Text("a,b".into()));
     }
 
     #[test]
@@ -351,7 +348,10 @@ mod tests {
 
     #[test]
     fn column_type_numeric_mix_is_float() {
-        let cells: Vec<Cell> = ["1", "2.5", "3", "4.1"].iter().map(|&s| Cell::new(s)).collect();
+        let cells: Vec<Cell> = ["1", "2.5", "3", "4.1"]
+            .iter()
+            .map(|&s| Cell::new(s))
+            .collect();
         let refs: Vec<&Cell> = cells.iter().collect();
         assert_eq!(SemanticType::infer_column(&refs), SemanticType::Float);
     }

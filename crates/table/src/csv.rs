@@ -153,10 +153,7 @@ impl Table {
     pub fn from_csv_str(id: &str, input: &str, use_header: bool) -> Result<Table, CsvError> {
         let records = parse_csv(input)?;
         let (columns, data_start): (Vec<Column>, usize) = if use_header {
-            (
-                records[0].iter().map(Column::new).collect(),
-                1,
-            )
+            (records[0].iter().map(Column::new).collect(), 1)
         } else {
             (
                 (0..records[0].len())
@@ -239,7 +236,10 @@ mod tests {
     #[test]
     fn unterminated_quote_is_error() {
         let err = parse_csv("a\n\"oops\n").unwrap_err();
-        assert!(matches!(err, CsvError::UnterminatedQuote { line: 2 }), "{err}");
+        assert!(
+            matches!(err, CsvError::UnterminatedQuote { line: 2 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -288,11 +288,7 @@ mod tests {
 
     #[test]
     fn table_csv_roundtrip() {
-        let t = Table::from_strings(
-            "r",
-            &["a", "b"],
-            &[&["1", "x,y"], &["", "q\"uote"]],
-        );
+        let t = Table::from_strings("r", &["a", "b"], &[&["1", "x,y"], &["", "q\"uote"]]);
         let text = t.to_csv_string();
         let back = Table::from_csv_str("r", &text, true).unwrap();
         assert_eq!(back.n_rows(), 2);

@@ -17,8 +17,8 @@
 use crate::cell::Cell;
 use crate::encoded::{EncodedTable, Segment, TokenKind, TokenMeta};
 use crate::table::Table;
-use std::collections::HashMap as RankMap;
 use ntr_tokenizer::{SpecialToken, WordPieceTokenizer};
+use std::collections::HashMap as RankMap;
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -97,7 +97,8 @@ impl<'a> SeqBuilder<'a> {
 
     fn push_special(&mut self, s: SpecialToken, segment: Segment) {
         self.ids.push(s.id());
-        self.meta.push(TokenMeta::outside(segment, TokenKind::Special));
+        self.meta
+            .push(TokenMeta::outside(segment, TokenKind::Special));
     }
 
     /// Tokenizes `text` and appends it with `template` metadata; returns the
@@ -299,7 +300,13 @@ impl Linearizer for RowMajorLinearizer {
             b.push_context(context);
             b.push_special(SpecialToken::Sep, Segment::Context);
         }
-        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+        b.finish(
+            opts.max_tokens,
+            encoded,
+            table.n_cols(),
+            truncated,
+            self.name(),
+        )
     }
 }
 
@@ -339,7 +346,13 @@ impl Linearizer for TemplateLinearizer {
                 b.push_template(";", r + 1, c + 1);
             }
         });
-        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+        b.finish(
+            opts.max_tokens,
+            encoded,
+            table.n_cols(),
+            truncated,
+            self.name(),
+        )
     }
 }
 
@@ -399,7 +412,13 @@ impl Linearizer for ColumnMajorLinearizer {
             let b = Self::build(table, context, tok, n_rows);
             if b.len() <= opts.max_tokens || n_rows == 0 {
                 let truncated = table.n_rows() - n_rows;
-                return b.finish(opts.max_tokens, n_rows, table.n_cols(), truncated, self.name());
+                return b.finish(
+                    opts.max_tokens,
+                    n_rows,
+                    table.n_cols(),
+                    truncated,
+                    self.name(),
+                );
             }
             n_rows -= 1;
         }
@@ -449,7 +468,13 @@ impl Linearizer for TapexLinearizer {
                 b.push_cell(table.cell(r, c), r, c);
             }
         });
-        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+        b.finish(
+            opts.max_tokens,
+            encoded,
+            table.n_cols(),
+            truncated,
+            self.name(),
+        )
     }
 }
 
@@ -490,7 +515,13 @@ impl Linearizer for TurlLinearizer {
                 b.push_cell(table.cell(r, c), r, c);
             }
         });
-        b.finish(opts.max_tokens, encoded, table.n_cols(), truncated, self.name())
+        b.finish(
+            opts.max_tokens,
+            encoded,
+            table.n_cols(),
+            truncated,
+            self.name(),
+        )
     }
 }
 
@@ -543,9 +574,9 @@ mod tests {
             assert_eq!(e.n_rows_encoded(), 3, "{}", lin.name());
             for r in 0..3 {
                 for c in 0..3 {
-                    let span = e.cell_span(r, c).unwrap_or_else(|| {
-                        panic!("{}: missing cell ({r},{c})", lin.name())
-                    });
+                    let span = e
+                        .cell_span(r, c)
+                        .unwrap_or_else(|| panic!("{}: missing cell ({r},{c})", lin.name()));
                     assert!(!span.is_empty());
                     // Every token in the span carries the right coordinates.
                     for i in span {
@@ -581,12 +612,7 @@ mod tests {
             };
             let e = lin.linearize(&t, &t.caption, &tok, &opts);
             assert!(e.len() <= 30, "{}: {} tokens", lin.name(), e.len());
-            assert_eq!(
-                e.n_rows_encoded() + e.truncated_rows(),
-                3,
-                "{}",
-                lin.name()
-            );
+            assert_eq!(e.n_rows_encoded() + e.truncated_rows(), 3, "{}", lin.name());
             // No partial rows: every encoded row has all its cells.
             for r in 0..e.n_rows_encoded() {
                 for c in 0..3 {
@@ -605,7 +631,8 @@ mod tests {
     fn context_position_after_places_context_at_end() {
         let tok = tokenizer();
         let t = sample();
-        let before = RowMajorLinearizer.linearize(&t, &t.caption, &tok, &LinearizerOptions::default());
+        let before =
+            RowMajorLinearizer.linearize(&t, &t.caption, &tok, &LinearizerOptions::default());
         let after = RowMajorLinearizer.linearize(
             &t,
             &t.caption,
@@ -615,19 +642,21 @@ mod tests {
                 ..Default::default()
             },
         );
-        let ctx_positions =
-            |e: &EncodedTable| -> Vec<usize> {
-                e.meta()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, m)| m.kind == TokenKind::Context)
-                    .map(|(i, _)| i)
-                    .collect()
-            };
+        let ctx_positions = |e: &EncodedTable| -> Vec<usize> {
+            e.meta()
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.kind == TokenKind::Context)
+                .map(|(i, _)| i)
+                .collect()
+        };
         let pb = ctx_positions(&before);
         let pa = ctx_positions(&after);
         assert!(!pb.is_empty() && !pa.is_empty());
-        assert!(pb.iter().max() < pa.iter().min(), "context must move to the end");
+        assert!(
+            pb.iter().max() < pa.iter().min(),
+            "context must move to the end"
+        );
         // Same cells encoded either way.
         assert_eq!(before.n_rows_encoded(), after.n_rows_encoded());
     }

@@ -141,11 +141,7 @@ pub fn mask_entities(
 
     let entity_cells: Vec<((usize, usize), std::ops::Range<usize>, u32)> = encoded
         .cells()
-        .filter_map(|(coord, span)| {
-            encoded.meta()[span.start]
-                .entity
-                .map(|e| (coord, span, e))
-        })
+        .filter_map(|(coord, span)| encoded.meta()[span.start].entity.map(|e| (coord, span, e)))
         .collect();
 
     for (coord, span, entity) in &entity_cells {

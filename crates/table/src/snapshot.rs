@@ -11,7 +11,10 @@ use std::collections::HashSet;
 pub fn row_relevance(table: &Table, row: usize, query: &str) -> f64 {
     let words: Vec<String> = query
         .split_whitespace()
-        .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+        .map(|w| {
+            w.trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase()
+        })
         .filter(|w| !w.is_empty())
         .collect();
     if words.is_empty() {

@@ -258,12 +258,7 @@ impl Table {
         let numeric = self
             .columns
             .iter()
-            .filter(|c| {
-                matches!(
-                    c.sem_type,
-                    SemanticType::Integer | SemanticType::Float
-                )
-            })
+            .filter(|c| matches!(c.sem_type, SemanticType::Integer | SemanticType::Float))
             .count();
         numeric * 2 > self.columns.len().max(1)
     }
@@ -360,7 +355,11 @@ mod tests {
         let mut t = sample();
         assert!(t.push_row(vec![Cell::new("x")]).is_err());
         assert!(t
-            .push_row(vec![Cell::new("Kenya"), Cell::new("Nairobi"), Cell::new("54")])
+            .push_row(vec![
+                Cell::new("Kenya"),
+                Cell::new("Nairobi"),
+                Cell::new("54")
+            ])
             .is_ok());
         assert_eq!(t.n_rows(), 4);
     }
@@ -384,7 +383,11 @@ mod tests {
 
     #[test]
     fn numeric_table_detection() {
-        let t = Table::from_strings("n", &["a", "b", "c"], &[&["1", "2.5", "x"], &["3", "4.5", "y"]]);
+        let t = Table::from_strings(
+            "n",
+            &["a", "b", "c"],
+            &[&["1", "2.5", "x"], &["3", "4.5", "y"]],
+        );
         assert!(t.is_mostly_numeric());
         assert!(!sample().is_mostly_numeric());
     }

@@ -17,7 +17,9 @@ use ntr_nn::loss::softmax_cross_entropy;
 use ntr_nn::{Layer, Linear, Param};
 use ntr_sql::gen::{GenConfig, QueryGenerator};
 use ntr_sql::{execute, Agg, Answer, Query};
-use ntr_table::{EncodedTable, Linearizer, LinearizerOptions, RowMajorLinearizer, Table, TokenKind};
+use ntr_table::{
+    EncodedTable, Linearizer, LinearizerOptions, RowMajorLinearizer, Table, TokenKind,
+};
 use ntr_tensor::Tensor;
 use ntr_tokenizer::WordPieceTokenizer;
 
@@ -139,7 +141,8 @@ impl AggregationQa {
 
 impl Layer for AggregationQa {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
-        self.tapas.visit_params(&mut |n, p| f(&format!("tapas/{n}"), p));
+        self.tapas
+            .visit_params(&mut |n, p| f(&format!("tapas/{n}"), p));
         self.wq.visit_params(&mut |n, p| f(&format!("wq/{n}"), p));
         self.wk.visit_params(&mut |n, p| f(&format!("wk/{n}"), p));
     }
@@ -302,8 +305,14 @@ pub fn evaluate(
         let op = model.tapas.agg_head.forward(&cls).argmax_rows()[0];
         let pooled: Vec<Tensor> = p.col_positions.iter().map(|ps| pool(&states, ps)).collect();
         let q = model.wq.forward_inference(&cls);
-        let k = model.wk.forward_inference(&Tensor::vstack(&pooled.iter().collect::<Vec<_>>()));
-        let col = k.matmul_nt(&q).scale(1.0 / d.sqrt()).transpose().argmax_rows()[0];
+        let k = model
+            .wk
+            .forward_inference(&Tensor::vstack(&pooled.iter().collect::<Vec<_>>()));
+        let col = k
+            .matmul_nt(&q)
+            .scale(1.0 / d.sqrt())
+            .transpose()
+            .argmax_rows()[0];
         op_pred.push(op);
         op_gold.push(ex.op);
         col_pred.push(col);

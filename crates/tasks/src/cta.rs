@@ -35,8 +35,10 @@ impl<M: SequenceEncoder> ColumnAnnotator<M> {
 
 impl<M: SequenceEncoder> Layer for ColumnAnnotator<M> {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
-        self.encoder.visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
-        self.head.visit_params(&mut |n, p| f(&format!("head/{n}"), p));
+        self.encoder
+            .visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
+        self.head
+            .visit_params(&mut |n, p| f(&format!("head/{n}"), p));
     }
 }
 
@@ -220,7 +222,8 @@ mod tests {
     fn column_positions_find_only_that_column() {
         let (ds, tok) = setup();
         let ex = &ds.examples[0];
-        let encoded = RowMajorLinearizer.linearize(&ex.table, "", &tok, &LinearizerOptions::default());
+        let encoded =
+            RowMajorLinearizer.linearize(&ex.table, "", &tok, &LinearizerOptions::default());
         let positions = column_positions(&encoded, ex.col);
         assert!(!positions.is_empty());
         for &p in &positions {
@@ -270,6 +273,9 @@ mod tests {
         // A constant predictor over a ~20-label space is weak; it may even
         // score 0 on a small test split.
         assert!((0.0..0.9).contains(&eval.accuracy), "{eval:?}");
-        assert!(eval.macro_f1 <= eval.accuracy + 1e-9, "majority macro-F1 is weak");
+        assert!(
+            eval.macro_f1 <= eval.accuracy + 1e-9,
+            "majority macro-F1 is weak"
+        );
     }
 }

@@ -399,7 +399,11 @@ mod tests {
         let pools = CandidatePools::build(&ds, Split::Train);
         for ex in &ds.examples {
             let cands = pools.candidates(ex);
-            assert!(cands.contains(&ex.target_text), "gold missing for {:?}", ex.coord);
+            assert!(
+                cands.contains(&ex.target_text),
+                "gold missing for {:?}",
+                ex.coord
+            );
             assert!(cands.len() <= 64);
         }
     }

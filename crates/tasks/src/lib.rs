@@ -31,7 +31,7 @@ pub mod probes;
 pub mod qa;
 pub mod retrieval;
 pub mod text2sql;
-pub mod visualize;
 pub mod trainer;
+pub mod visualize;
 
 pub use trainer::TrainConfig;

@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn rank_of_is_pessimistic_on_ties() {
         assert_eq!(rank_of(&[0.5, 0.9, 0.5], 0), Some(2));
-        assert_eq!(rank_of(&[0.5, 0.9, 0.5], 2), Some(3), "tie at lower index wins");
+        assert_eq!(
+            rank_of(&[0.5, 0.9, 0.5], 2),
+            Some(3),
+            "tie at lower index wins"
+        );
         assert_eq!(rank_of(&[0.1], 0), Some(1));
         assert_eq!(rank_of(&[0.1], 5), None);
         assert_eq!(rank_of(&[f64::NAN, 1.0], 0), None);

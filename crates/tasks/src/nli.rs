@@ -40,8 +40,10 @@ impl<M: SequenceEncoder> FactVerifier<M> {
 
 impl<M: SequenceEncoder> Layer for FactVerifier<M> {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
-        self.encoder.visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
-        self.head.visit_params(&mut |n, p| f(&format!("head/{n}"), p));
+        self.encoder
+            .visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
+        self.head
+            .visit_params(&mut |n, p| f(&format!("head/{n}"), p));
     }
 }
 

@@ -57,7 +57,9 @@ fn permuted_cols(t: &Table, rng: &mut StdRng) -> Table {
 }
 
 fn stripped_headers(t: &Table) -> Table {
-    let columns: Vec<Column> = (0..t.n_cols()).map(|i| Column::new(format!("col{i}"))).collect();
+    let columns: Vec<Column> = (0..t.n_cols())
+        .map(|i| Column::new(format!("col{i}")))
+        .collect();
     Table::new(t.id.clone(), columns, t.rows().to_vec())
         .expect("same shape")
         .with_caption(t.caption.clone())

@@ -82,7 +82,8 @@ impl<M: SequenceEncoder> CellSelector<M> {
 
 impl<M: SequenceEncoder> Layer for CellSelector<M> {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
-        self.encoder.visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
+        self.encoder
+            .visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
         self.wq.visit_params(&mut |n, p| f(&format!("wq/{n}"), p));
         self.wk.visit_params(&mut |n, p| f(&format!("wk/{n}"), p));
     }
@@ -200,7 +201,10 @@ pub fn evaluate<M: SequenceEncoder>(
     for &i in &ds.indices(split) {
         let ex = &ds.examples[i];
         let encoded = encode_qa(ex, tok, opts);
-        if encoded.cell_span(ex.answer_coord.0, ex.answer_coord.1).is_none() {
+        if encoded
+            .cell_span(ex.answer_coord.0, ex.answer_coord.1)
+            .is_none()
+        {
             continue;
         }
         let input = EncoderInput::from_encoded(&encoded);
@@ -208,8 +212,7 @@ pub fn evaluate<M: SequenceEncoder>(
         let scores = model.head_forward_inference(&states);
         let mut best: Option<((usize, usize), f32)> = None;
         for (coord, span) in encoded.cells() {
-            let mean =
-                span.clone().map(|p| scores.at(&[p, 0])).sum::<f32>() / span.len() as f32;
+            let mean = span.clone().map(|p| scores.at(&[p, 0])).sum::<f32>() / span.len() as f32;
             if best.is_none() || mean > best.expect("set").1 {
                 best = Some((coord, mean));
             }

@@ -203,12 +203,7 @@ pub struct TfIdfIndex {
 impl TfIdfIndex {
     /// Indexes the corpus (caption + headers + cell text per table).
     pub fn build(ds: &RetrievalDataset) -> Self {
-        let docs: Vec<Vec<String>> = ds
-            .corpus
-            .tables
-            .iter()
-            .map(tokenize_table)
-            .collect();
+        let docs: Vec<Vec<String>> = ds.corpus.tables.iter().map(tokenize_table).collect();
         let n = docs.len() as f64;
         let mut df: HashMap<String, usize> = HashMap::new();
         for doc in &docs {
@@ -265,7 +260,9 @@ impl TfIdfIndex {
         let mut ranks = Vec::new();
         for &qi in &ds.indices(split) {
             let q = &ds.queries[qi];
-            let scores: Vec<f64> = (0..ds.corpus.len()).map(|t| self.score(&q.text, t)).collect();
+            let scores: Vec<f64> = (0..ds.corpus.len())
+                .map(|t| self.score(&q.text, t))
+                .collect();
             ranks.push(rank_of(&scores, q.positive));
         }
         eval_from_ranks(&ranks)

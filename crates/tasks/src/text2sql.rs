@@ -71,12 +71,7 @@ pub fn finetune(
 /// `'France'` → `' france '`); this undoes exactly those splits.
 pub fn repair_decoded_sql(text: &str) -> String {
     let mut s = text.to_string();
-    for (from, to) in [
-        ("> =", ">="),
-        ("< =", "<="),
-        ("! =", "!="),
-        ("< >", "<>"),
-    ] {
+    for (from, to) in [("> =", ">="), ("< =", "<="), ("! =", "!="), ("< >", "<>")] {
         s = s.replace(from, to);
     }
     // Rejoin decimal numbers: digit ' . ' digit.

@@ -18,7 +18,11 @@ pub fn attention_heatmap(
     max_tokens: usize,
 ) -> String {
     assert_eq!(probs.ndim(), 2, "attention map must be 2-D");
-    let n = probs.dim(0).min(probs.dim(1)).min(encoded.len()).min(max_tokens);
+    let n = probs
+        .dim(0)
+        .min(probs.dim(1))
+        .min(encoded.len())
+        .min(max_tokens);
     let labels: Vec<String> = (0..n)
         .map(|i| {
             let t = tok.vocab().token_of(encoded.ids()[i]);
@@ -42,8 +46,8 @@ pub fn attention_heatmap(
         out.push(' ');
         for j in 0..n {
             let p = probs.at(&[i, j]) / max;
-            let shade = SHADES[((p * (SHADES.len() - 1) as f32).round() as usize)
-                .min(SHADES.len() - 1)];
+            let shade =
+                SHADES[((p * (SHADES.len() - 1) as f32).round() as usize).min(SHADES.len() - 1)];
             out.push(shade);
         }
         out.push('\n');
@@ -123,9 +127,9 @@ mod tests {
     use ntr_tokenizer::train::WordPieceTrainer;
 
     fn setup() -> (EncodedTable, WordPieceTokenizer, Turl) {
-        let tok = WordPieceTokenizer::new(WordPieceTrainer::new(300).train(
-            ["country capital france paris germany berlin | : ;"],
-        ));
+        let tok = WordPieceTokenizer::new(
+            WordPieceTrainer::new(300).train(["country capital france paris germany berlin | : ;"]),
+        );
         let t = Table::from_strings(
             "t",
             &["Country", "Capital"],

@@ -11,10 +11,15 @@
 //! 2. **Predictability** — tensors are always contiguous, row-major `f32`
 //!    buffers. Shape errors are programmer errors and panic with a clear
 //!    message rather than threading `Result` through hot math.
-//! 3. **Sufficient speed** — the models in this workspace are laptop-scale
-//!    (d_model ≤ 256, sequence length ≤ 512). The matmul kernels use loop
-//!    orders that vectorize well; that is all the optimization the workloads
-//!    need, and benchmarks in `ntr-bench` keep us honest.
+//! 3. **Speed without dependencies** — the matmul family is cache-blocked,
+//!    operand-packed, and multithreaded over a [`std::thread::scope`]-based
+//!    pool in [`par`] (no rayon, no BLAS, still no `unsafe`). Parallel
+//!    kernels partition output rows into disjoint chunks whose per-row
+//!    accumulation order never changes, so results are **bit-identical for
+//!    any thread count** (`NTR_THREADS=1` reproduces multithreaded numbers
+//!    exactly). The original simple kernels survive in [`naive`] as the
+//!    property-tested reference and the small-size fast path, and benchmarks
+//!    in `ntr-bench` keep us honest.
 //!
 //! The crate deliberately stops at raw math: neural-network layers, parameter
 //! management and backpropagation live in `ntr-nn`, which composes these
@@ -34,7 +39,9 @@
 //! assert!((probs.at(&[0, 0]) - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod naive;
 mod ops;
+pub mod par;
 mod reduce;
 mod tensor;
 

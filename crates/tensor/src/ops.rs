@@ -4,8 +4,42 @@
 //! exist because hand-derived backward passes in `ntr-nn` need products with
 //! either operand transposed; computing them directly avoids materializing
 //! transposed copies in the training hot path.
+//!
+//! # Kernel structure
+//!
+//! All four variants funnel into one cache-blocked GEMM ([`gemm_into`]) that
+//! computes `C = A · B` with both operands in row-major `[rows, k]` /
+//! `[k, cols]` layout. Transposed operands are packed into that layout once
+//! per call ([`pack_transpose`]), so the innermost loop is always unit-stride
+//! over `B` and `C` regardless of variant. The GEMM tiles the k dimension
+//! into panels that stay L1/L2-resident across row blocks and updates
+//! `MR = 4` output rows per pass through a panel (a register-blocked
+//! extension of the 4-wide unrolled [`dot`] the crate started with).
+//!
+//! Output rows are partitioned across threads via [`crate::par`]; every row's
+//! floating-point accumulation order is the same in the 4-row and tail paths
+//! and independent of the partition, so results are **bit-identical for any
+//! thread count**. Products below [`NAIVE_MAX_FLOPS`] take the original
+//! simple loops in [`crate::naive`] instead — at that size packing and
+//! thread-spawn overhead would cost more than they save.
 
-use crate::Tensor;
+use crate::{par, Tensor};
+
+/// `m·k·n` at or below this uses the [`crate::naive`] kernels (32³).
+const NAIVE_MAX_FLOPS: usize = 32 * 32 * 32;
+/// `m·k·n` below this stays single-threaded even when a pool is available (64³).
+const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+/// Don't give a GEMM worker thread fewer output rows than this.
+const MIN_ROWS_PER_THREAD: usize = 8;
+/// Element-wise ops shorter than this stay single-threaded.
+const PAR_MIN_ELEMS: usize = 1 << 16;
+/// k-panel length: `KC · n` floats of `B` stay cache-hot across row blocks.
+const KC: usize = 256;
+/// Output rows updated per pass through a k-panel (register block height).
+const MR: usize = 4;
+/// Output columns per micro-kernel tile (register block width): the
+/// `MR × NR` accumulator block lives in registers for a whole k-panel.
+const NR: usize = 8;
 
 impl Tensor {
     // ------------------------------------------------------------------
@@ -29,7 +63,7 @@ impl Tensor {
 
     /// Multiplies every element by a scalar.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        self.par_map(|x| x * s)
     }
 
     /// Applies `f` to every element.
@@ -37,20 +71,65 @@ impl Tensor {
         Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.shape())
     }
 
+    /// [`map`](Self::map) that runs chunks on the thread pool for large
+    /// tensors; `f` must be `Sync` so threads can share it.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = self.data();
+        let mut out = vec![0.0f32; src.len()];
+        par::for_chunks(&mut out, 1, elem_threads(src.len()), |start, chunk| {
+            let end = start + chunk.len();
+            for (o, &x) in chunk.iter_mut().zip(&src[start..end]) {
+                *o = f(x);
+            }
+        });
+        Tensor::from_vec(out, self.shape())
+    }
+
+    /// In-place [`map`](Self::map), avoiding the output allocation. Used by
+    /// activation backward passes and other train-loop element-wise work.
+    pub fn map_mut(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        let threads = elem_threads(self.numel());
+        par::for_chunks(self.data_mut(), 1, threads, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x = f(*x);
+            }
+        });
+    }
+
     /// In-place `self += other`.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += b;
-        }
+        let o = other.data();
+        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
+            let end = start + chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
+                *a += b;
+            }
+        });
+    }
+
+    /// In-place Hadamard product `self *= other`.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "mul_assign: shape mismatch");
+        let o = other.data();
+        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
+            let end = start + chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
+                *a *= b;
+            }
+        });
     }
 
     /// In-place `self += s * other`, the AXPY primitive used by optimizers.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
-            *a += s * b;
-        }
+        let o = other.data();
+        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
+            let end = start + chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
+                *a += s * b;
+            }
+        });
     }
 
     /// Adds a 1-D bias of length `cols` to every row of a 2-D tensor.
@@ -65,11 +144,15 @@ impl Tensor {
         );
         let cols = self.dim(1);
         let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(cols) {
-            for (x, &b) in row.iter_mut().zip(bias.data()) {
-                *x += b;
+        let b = bias.data();
+        let threads = elem_threads(out.numel());
+        par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
+            for row in chunk.chunks_mut(cols.max(1)) {
+                for (x, &bv) in row.iter_mut().zip(b) {
+                    *x += bv;
+                }
             }
-        }
+        });
         out
     }
 
@@ -97,78 +180,70 @@ impl Tensor {
 
     /// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
     ///
-    /// Uses the i-k-j loop order so the inner loop walks both `B` and `C`
-    /// contiguously, which LLVM auto-vectorizes.
+    /// Cache-blocked and multithreaded above [`NAIVE_MAX_FLOPS`]; `B` is
+    /// already in the packed `[k, n]` layout the GEMM core consumes, so no
+    /// copy is needed for this variant.
     pub fn matmul(&self, b: &Tensor) -> Tensor {
         let (m, k) = dims2(self, "matmul lhs");
         let (kb, n) = dims2(b, "matmul rhs");
         assert_eq!(k, kb, "matmul: inner dims differ ({k} vs {kb})");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.data();
-        let bd = b.data();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
+        if m * k * n <= NAIVE_MAX_FLOPS {
+            return crate::naive::matmul(self, b);
         }
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(&mut out, self.data(), b.data(), m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` — gradient w.r.t. weights.
+    ///
+    /// `A` is packed to `[m, k]` once so the panel walk is unit-stride.
     pub fn matmul_tn(&self, b: &Tensor) -> Tensor {
         let (k, m) = dims2(self, "matmul_tn lhs");
         let (kb, n) = dims2(b, "matmul_tn rhs");
         assert_eq!(k, kb, "matmul_tn: leading dims differ ({k} vs {kb})");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.data();
-        let bd = b.data();
-        for kk in 0..k {
-            let arow = &a[kk * m..(kk + 1) * m];
-            let brow = &bd[kk * n..(kk + 1) * n];
-            for (i, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let crow = &mut out[i * n..(i + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow) {
-                    *c += av * bv;
-                }
-            }
+        if m * k * n <= NAIVE_MAX_FLOPS {
+            return crate::naive::matmul_tn(self, b);
         }
+        let at = pack_transpose(self.data(), k, m);
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(&mut out, &at, b.data(), m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` — attention scores and
     /// gradient w.r.t. inputs.
+    ///
+    /// `B` is packed to `[k, n]` once so the inner loop streams `B` and `C`
+    /// contiguously instead of striding down `B`'s rows.
     pub fn matmul_nt(&self, b: &Tensor) -> Tensor {
         let (m, k) = dims2(self, "matmul_nt lhs");
         let (n, kb) = dims2(b, "matmul_nt rhs");
         assert_eq!(k, kb, "matmul_nt: inner dims differ ({k} vs {kb})");
-        let mut out = vec![0.0f32; m * n];
-        let a = self.data();
-        let bd = b.data();
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            for j in 0..n {
-                let brow = &bd[j * k..(j + 1) * k];
-                out[i * n + j] = dot(arow, brow);
-            }
+        if m * k * n <= NAIVE_MAX_FLOPS {
+            return crate::naive::matmul_nt(self, b);
         }
+        let bt = pack_transpose(b.data(), n, k);
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(&mut out, self.data(), &bt, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
     /// `C = Aᵀ · Bᵀ` for `A: [k, m]`, `B: [n, k]`. Rarely needed; provided
-    /// for completeness of the backward-pass algebra.
+    /// for completeness of the backward-pass algebra. Both operands are
+    /// packed.
     pub fn matmul_tt(&self, b: &Tensor) -> Tensor {
-        self.transpose().matmul(&b.transpose())
+        let (k, m) = dims2(self, "matmul_tt lhs");
+        let (n, kb) = dims2(b, "matmul_tt rhs");
+        assert_eq!(k, kb, "matmul_tt: inner dims differ ({k} vs {kb})");
+        if m * k * n <= NAIVE_MAX_FLOPS {
+            return crate::naive::matmul_tt(self, b);
+        }
+        let at = pack_transpose(self.data(), k, m);
+        let bt = pack_transpose(b.data(), n, k);
+        let mut out = vec![0.0f32; m * n];
+        gemm_into(&mut out, &at, &bt, m, k, n);
+        Tensor::from_vec(out, &[m, n])
     }
 
     /// Dot product of two 1-D tensors (or any equal-length tensors, flattened).
@@ -184,13 +259,175 @@ impl Tensor {
     }
 }
 
-fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+pub(crate) fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
     assert_eq!(t.ndim(), 2, "{what} must be 2-D, got shape {:?}", t.shape());
     (t.dim(0), t.dim(1))
 }
 
+/// Thread count for a flat element-wise op over `len` floats.
+fn elem_threads(len: usize) -> usize {
+    if len < PAR_MIN_ELEMS {
+        1
+    } else {
+        par::max_threads()
+    }
+}
+
+/// Thread count for an `m·k·n` GEMM with `m` output rows.
+fn gemm_threads(m: usize, k: usize, n: usize) -> usize {
+    if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
+        1
+    } else {
+        par::max_threads().min(m / MIN_ROWS_PER_THREAD).max(1)
+    }
+}
+
+/// Row-major transpose: `src: [rows, cols]` → returned `[cols, rows]`.
+///
+/// Walked in 32×32 blocks so both the strided reads and the strided writes
+/// stay within a few cache lines per block.
+fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    const B: usize = 32;
+    let mut dst = vec![0.0f32; src.len()];
+    for rb in (0..rows).step_by(B) {
+        let rend = (rb + B).min(rows);
+        for cb in (0..cols).step_by(B) {
+            let cend = (cb + B).min(cols);
+            for r in rb..rend {
+                for c in cb..cend {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+    dst
+}
+
+/// `C += A · B` into a zeroed `out`, with `A: [m, k]`, `B: [k, n]` row-major.
+/// Partitions output rows across the pool; each row's accumulation order is
+/// partition-independent, so the result is bit-identical for any thread count.
+fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(out.len(), m * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    par::for_chunks(out, n.max(1), gemm_threads(m, k, n), |r0, chunk| {
+        let rows = chunk.len() / n.max(1);
+        gemm_block(chunk, &a[r0 * k..(r0 + rows) * k], b, k, n);
+    });
+}
+
+/// The serial GEMM core: `out: [rows, n] += a: [rows, k] · b: [k, n]`.
+///
+/// k is blocked into [`KC`]-length panels; for each panel, [`MR`] = 4 output
+/// rows are updated per pass so the panel's `B` rows are reused from cache
+/// four times per load, with 4 independent accumulation streams for the
+/// vectorizer. Tail rows (< MR) use the identical per-row operation order,
+/// which keeps row results bit-identical however rows are grouped.
+fn gemm_block(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    if n == 0 || k == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for kb in (0..k).step_by(KC) {
+        let kc = KC.min(k - kb);
+        let mut i = 0;
+        while i + MR <= rows {
+            let block = &mut out[i * n..(i + MR) * n];
+            let ar = [
+                &a[i * k + kb..i * k + kb + kc],
+                &a[(i + 1) * k + kb..(i + 1) * k + kb + kc],
+                &a[(i + 2) * k + kb..(i + 2) * k + kb + kc],
+                &a[(i + 3) * k + kb..(i + 3) * k + kb + kc],
+            ];
+            let mut jb = 0;
+            while jb + NR <= n {
+                micro_kernel::<NR>(block, ar, b, kb, jb, kc, n);
+                jb += NR;
+            }
+            if jb < n {
+                micro_kernel_tail(block, ar, b, kb, jb, kc, n);
+            }
+            i += MR;
+        }
+        while i < rows {
+            let crow = &mut out[i * n..(i + 1) * n];
+            let arow = &a[i * k + kb..i * k + kb + kc];
+            for (off, &av) in arow.iter().enumerate() {
+                let brow = &b[(kb + off) * n..(kb + off) * n + n];
+                for j in 0..n {
+                    crow[j] += av * brow[j];
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+/// `MR × W` register tile: loads the current partial sums, accumulates one
+/// whole k-panel with k innermost, stores once. Per output element the adds
+/// stay k-sequential, so this is bit-identical to the single-row tail path
+/// (and hence invariant to how rows are partitioned across threads).
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+fn micro_kernel<const W: usize>(
+    block: &mut [f32],
+    ar: [&[f32]; MR],
+    b: &[f32],
+    kb: usize,
+    jb: usize,
+    kc: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; W]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        acc_r.copy_from_slice(&block[r * n + jb..r * n + jb + W]);
+    }
+    for off in 0..kc {
+        let brow = &b[(kb + off) * n + jb..(kb + off) * n + jb + W];
+        for (acc_r, a_r) in acc.iter_mut().zip(&ar) {
+            let x = a_r[off];
+            for (c, &bv) in acc_r.iter_mut().zip(brow) {
+                *c += x * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        block[r * n + jb..r * n + jb + W].copy_from_slice(acc_r);
+    }
+}
+
+/// Column remainder (`n mod NR`) of the `MR`-row block, same accumulation
+/// order as [`micro_kernel`] but with a runtime tile width.
+#[inline]
+fn micro_kernel_tail(
+    block: &mut [f32],
+    ar: [&[f32]; MR],
+    b: &[f32],
+    kb: usize,
+    jb: usize,
+    kc: usize,
+    n: usize,
+) {
+    let nr = n - jb;
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        acc_r[..nr].copy_from_slice(&block[r * n + jb..r * n + jb + nr]);
+    }
+    for off in 0..kc {
+        let brow = &b[(kb + off) * n + jb..(kb + off) * n + jb + nr];
+        for (acc_r, a_r) in acc.iter_mut().zip(&ar) {
+            let x = a_r[off];
+            for (c, &bv) in acc_r[..nr].iter_mut().zip(brow) {
+                *c += x * bv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        block[r * n + jb..r * n + jb + nr].copy_from_slice(&acc_r[..nr]);
+    }
+}
+
+#[inline]
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
     // Manual 4-way unroll: reliable vectorization without unsafe.
     let mut acc = [0.0f32; 4];
     let chunks = a.len() / 4;
@@ -210,7 +447,7 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
 
 #[cfg(test)]
 mod tests {
-    use crate::{allclose, Tensor};
+    use crate::{allclose, par, Tensor};
 
     fn t(data: &[f32], shape: &[usize]) -> Tensor {
         Tensor::from_vec(data.to_vec(), shape)
@@ -236,6 +473,26 @@ mod tests {
     }
 
     #[test]
+    fn map_mut_and_mul_assign_match_out_of_place() {
+        let mut a = t(&[1.0, -2.0, 3.0], &[3]);
+        let expect = a.map(|x| x * x);
+        a.map_mut(|x| x * x);
+        assert_eq!(a, expect);
+        let mut b = t(&[2.0, 3.0, 4.0], &[3]);
+        let expect = b.mul(&a);
+        b.mul_assign(&a);
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn par_map_matches_map() {
+        let a = Tensor::from_fn(&[513], |i| i as f32 - 100.0);
+        par::with_threads(4, || {
+            assert_eq!(a.par_map(|x| x.abs()), a.map(|x| x.abs()));
+        });
+    }
+
+    #[test]
     fn bias_broadcast_adds_per_column() {
         let x = t(&[0.0, 0.0, 1.0, 1.0], &[2, 2]);
         let b = t(&[10.0, 20.0], &[2]);
@@ -256,6 +513,14 @@ mod tests {
         let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
         assert_eq!(a.matmul(&Tensor::eye(2)), a);
         assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn tiled_matmul_identity_is_noop() {
+        // 64×64 exceeds NAIVE_MAX_FLOPS, so this exercises the tiled path.
+        let a = Tensor::from_fn(&[64, 64], |i| (i % 97) as f32 * 0.01 - 1.0);
+        let c = a.matmul(&Tensor::eye(64));
+        assert!(allclose(c.data(), a.data(), 1e-6, 1e-6));
     }
 
     #[test]
@@ -288,5 +553,19 @@ mod tests {
         let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5]);
         let b = t(&[1.0, 1.0, 1.0, 1.0, 1.0], &[5]);
         assert_eq!(a.dot(&b), 15.0);
+    }
+
+    #[test]
+    fn pack_transpose_round_trips() {
+        let rows = 37;
+        let cols = 53;
+        let src: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        let tr = super::pack_transpose(&src, rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(tr[c * rows + r], src[r * cols + c]);
+            }
+        }
+        assert_eq!(super::pack_transpose(&tr, cols, rows), src);
     }
 }

@@ -1,0 +1,277 @@
+//! Dependency-free data parallelism built on `std::thread::scope`.
+//!
+//! Every parallel kernel in this crate partitions its *output* buffer into
+//! disjoint `&mut` chunks along a unit boundary (a matrix row, or a single
+//! element for flat element-wise work) and hands each chunk to one scoped
+//! thread. Because each output unit is computed by exactly one thread using
+//! the same sequential instruction order as the single-threaded kernel, the
+//! results are **bit-identical regardless of thread count** — `NTR_THREADS=1`
+//! reproduces the multi-threaded numbers exactly, and vice versa.
+//!
+//! Thread count resolution, in priority order:
+//! 1. a thread-local override installed by [`with_threads`] (used by tests so
+//!    they can vary parallelism without racing on the process environment),
+//! 2. the `NTR_THREADS` environment variable (read once per process),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! There is no persistent pool: threads are spawned per call via
+//! [`std::thread::scope`], which keeps the module free of `unsafe`, of
+//! global mutable state, and of shutdown ordering concerns. Spawn cost is
+//! a few microseconds per thread, so callers gate parallelism behind a
+//! work-size threshold and fall back to running on the calling thread.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// 0 = no override; otherwise the forced thread count for this thread.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Maximum number of threads a parallel kernel may use right now.
+///
+/// Honors (in order) the [`with_threads`] override, `NTR_THREADS`, and the
+/// machine's available parallelism. Always at least 1.
+pub fn max_threads() -> usize {
+    let forced = OVERRIDE.with(|c| c.get());
+    if forced > 0 {
+        return forced;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("NTR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Runs `f` with [`max_threads`] forced to `n` on the current thread.
+///
+/// The override is thread-local and restored on exit (including unwind), so
+/// concurrent tests can pin different thread counts without touching the
+/// process environment. `n = 0` is treated as "remove the override".
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Splits `data` into up to `threads` contiguous chunks on `unit` boundaries
+/// and runs `f(start_unit_index, chunk)` on each, in parallel.
+///
+/// `unit` is the indivisible span in elements (a row length, or 1 for flat
+/// element-wise work); chunks always hold a whole number of units. With one
+/// thread (or one unit) `f` runs on the calling thread with no spawn at all.
+/// The final chunk also runs on the calling thread, so `threads = 2` spawns
+/// a single worker.
+pub fn for_chunks(
+    data: &mut [f32],
+    unit: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    assert!(unit > 0, "for_chunks: unit must be positive");
+    debug_assert_eq!(
+        data.len() % unit,
+        0,
+        "for_chunks: data not a whole number of units"
+    );
+    let units = data.len() / unit;
+    let t = threads.clamp(1, units.max(1));
+    if t <= 1 {
+        f(0, data);
+        return;
+    }
+    // Near-even split: the first `extra` chunks get one additional unit.
+    let base = units / t;
+    let extra = units % t;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut start = 0usize;
+        for c in 0..t {
+            let take = (base + usize::from(c < extra)) * unit;
+            let (chunk, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let begin = start;
+            start += take / unit;
+            let f = &f;
+            if c + 1 == t {
+                // Last chunk runs here: the calling thread does its share
+                // instead of blocking in `scope` while workers finish.
+                f(begin, chunk);
+            } else {
+                scope.spawn(move || f(begin, chunk));
+            }
+        }
+    });
+}
+
+/// Splits three mutable slices and one shared slice of equal length at
+/// identical element boundaries and runs `f` on each aligned quadruple in
+/// parallel. This is the shape of a fused optimizer update: weights and two
+/// moment buffers mutated element-wise against a shared gradient.
+pub fn for_zip3_mut(
+    w: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    threads: usize,
+    f: impl Fn(&mut [f32], &mut [f32], &mut [f32], &[f32]) + Sync,
+) {
+    let len = w.len();
+    assert!(
+        m.len() == len && v.len() == len && g.len() == len,
+        "for_zip3_mut: slice lengths differ"
+    );
+    let t = threads.clamp(1, len.max(1));
+    if t <= 1 {
+        f(w, m, v, g);
+        return;
+    }
+    let base = len / t;
+    let extra = len % t;
+    std::thread::scope(|scope| {
+        let (mut rw, mut rm, mut rv, mut rg) = (w, m, v, g);
+        for c in 0..t {
+            let take = base + usize::from(c < extra);
+            let (cw, tw) = rw.split_at_mut(take);
+            let (cm, tm) = rm.split_at_mut(take);
+            let (cv, tv) = rv.split_at_mut(take);
+            let (cg, tg) = rg.split_at(take);
+            rw = tw;
+            rm = tm;
+            rv = tv;
+            rg = tg;
+            let f = &f;
+            if c + 1 == t {
+                f(cw, cm, cv, cg);
+            } else {
+                scope.spawn(move || f(cw, cm, cv, cg));
+            }
+        }
+    });
+}
+
+/// Runs `f(0..n)` across up to `threads` scoped threads and returns the
+/// results in index order.
+///
+/// Used for coarse task parallelism (e.g. attention heads). Each worker's
+/// [`max_threads`] is scaled down by the worker count so kernels invoked
+/// inside `f` don't oversubscribe the machine with nested spawns.
+pub fn map_tasks<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let t = threads.clamp(1, n.max(1));
+    if t <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let inner = (max_threads() / t).max(1);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    {
+        let mut rest = &mut out[..];
+        let base = n / t;
+        let extra = n % t;
+        let mut start = 0usize;
+        std::thread::scope(|scope| {
+            for c in 0..t {
+                let take = base + usize::from(c < extra);
+                let (slots, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let begin = start;
+                start += take;
+                let f = &f;
+                let mut run = move || {
+                    with_threads(inner, || {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            *slot = Some(f(begin + off));
+                        }
+                    })
+                };
+                if c + 1 == t {
+                    run();
+                } else {
+                    scope.spawn(run);
+                }
+            }
+        });
+    }
+    out.into_iter()
+        .map(|s| s.expect("map_tasks: worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = max_threads();
+        with_threads(3, || {
+            assert_eq!(max_threads(), 3);
+            with_threads(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 3);
+        });
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn for_chunks_covers_every_unit_once() {
+        for threads in 1..=5 {
+            for units in [1usize, 2, 3, 7, 16] {
+                let unit = 3;
+                let mut data = vec![0.0f32; units * unit];
+                for_chunks(&mut data, unit, threads, |start, chunk| {
+                    for (u, row) in chunk.chunks_mut(unit).enumerate() {
+                        for x in row.iter_mut() {
+                            *x += (start + u) as f32 + 1.0;
+                        }
+                    }
+                });
+                let expect: Vec<f32> = (0..units)
+                    .flat_map(|u| std::iter::repeat_n(u as f32 + 1.0, unit))
+                    .collect();
+                assert_eq!(data, expect, "threads={threads} units={units}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_chunks_handles_more_threads_than_units() {
+        let mut data = vec![0.0f32; 2];
+        for_chunks(&mut data, 1, 64, |start, chunk| {
+            for x in chunk.iter_mut() {
+                *x = start as f32;
+            }
+        });
+        assert_eq!(data, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn map_tasks_preserves_order() {
+        for threads in 1..=6 {
+            let got = map_tasks(11, threads, |i| i * i);
+            let expect: Vec<usize> = (0..11).map(|i| i * i).collect();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_tasks_scales_down_nested_parallelism() {
+        with_threads(4, || {
+            let inner = map_tasks(4, 4, |_| max_threads());
+            assert_eq!(inner, vec![1, 1, 1, 1]);
+        });
+    }
+}

@@ -7,17 +7,36 @@
 //! distribution instead of NaN — a deliberate choice that keeps padded
 //! sequences finite end-to-end.
 
-use crate::Tensor;
+use crate::{par, Tensor};
+
+/// Softmax matrices smaller than this stay single-threaded.
+const PAR_MIN_SOFTMAX_ELEMS: usize = 1 << 14;
+
+/// Thread count for a row-wise reduction over `rows · cols` floats: rows are
+/// independent, so any partition gives bit-identical results.
+fn rowwise_threads(numel: usize) -> usize {
+    if numel < PAR_MIN_SOFTMAX_ELEMS {
+        1
+    } else {
+        par::max_threads()
+    }
+}
 
 impl Tensor {
     /// Row-wise numerically-stable softmax of a 2-D tensor.
+    ///
+    /// Rows are normalized fully in place (no per-row temporaries) and
+    /// partitioned across the thread pool for large matrices.
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "softmax_rows requires a 2-D tensor");
         let cols = self.dim(1);
         let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(cols) {
-            softmax_in_place(row);
-        }
+        let threads = rowwise_threads(out.numel());
+        par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
+            for row in chunk.chunks_mut(cols.max(1)) {
+                softmax_in_place(row);
+            }
+        });
         out
     }
 
@@ -26,19 +45,12 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "log_softmax_rows requires a 2-D tensor");
         let cols = self.dim(1);
         let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(cols) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            if max == f32::NEG_INFINITY {
-                // Fully-masked row: match softmax_rows' uniform convention.
-                let u = -(cols as f32).ln();
-                row.fill(u);
-                continue;
+        let threads = rowwise_threads(out.numel());
+        par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
+            for row in chunk.chunks_mut(cols.max(1)) {
+                log_softmax_in_place(row);
             }
-            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            for x in row.iter_mut() {
-                *x -= lse;
-            }
-        }
+        });
         out
     }
 
@@ -131,6 +143,21 @@ pub(crate) fn softmax_in_place(row: &mut [f32]) {
     }
     for x in row.iter_mut() {
         *x /= sum;
+    }
+}
+
+/// In-place stable log-softmax over one row; fully-masked rows become the log
+/// of the uniform distribution, matching [`softmax_in_place`].
+pub(crate) fn log_softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        let u = -(row.len() as f32).ln();
+        row.fill(u);
+        return;
+    }
+    let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    for x in row.iter_mut() {
+        *x -= lse;
     }
 }
 

@@ -180,23 +180,46 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor is not 2-D or `r` is out of range.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert_eq!(self.ndim(), 2, "row() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "row() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let cols = self.shape[1];
-        assert!(r < self.shape[0], "row {r} out of bounds ({} rows)", self.shape[0]);
+        assert!(
+            r < self.shape[0],
+            "row {r} out of bounds ({} rows)",
+            self.shape[0]
+        );
         &self.data[r * cols..(r + 1) * cols]
     }
 
     /// Mutable row `r` of a 2-D tensor.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert_eq!(self.ndim(), 2, "row_mut() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "row_mut() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let cols = self.shape[1];
-        assert!(r < self.shape[0], "row {r} out of bounds ({} rows)", self.shape[0]);
+        assert!(
+            r < self.shape[0],
+            "row {r} out of bounds ({} rows)",
+            self.shape[0]
+        );
         &mut self.data[r * cols..(r + 1) * cols]
     }
 
     /// Copies rows `[start, end)` of a 2-D tensor into a new tensor.
     pub fn rows(&self, start: usize, end: usize) -> Self {
-        assert_eq!(self.ndim(), 2, "rows() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "rows() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         assert!(
             start <= end && end <= self.shape[0],
             "row range {start}..{end} out of bounds ({} rows)",
@@ -212,7 +235,12 @@ impl Tensor {
     /// Copies columns `[start, end)` of a 2-D tensor into a new tensor —
     /// used to split projection outputs into attention heads.
     pub fn cols(&self, start: usize, end: usize) -> Self {
-        assert_eq!(self.ndim(), 2, "cols() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "cols() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         assert!(
             start <= end && end <= self.shape[1],
             "column range {start}..{end} out of bounds ({} cols)",
@@ -256,7 +284,12 @@ impl Tensor {
 
     /// Transpose of a 2-D tensor (copies).
     pub fn transpose(&self) -> Self {
-        assert_eq!(self.ndim(), 2, "transpose() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "transpose() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         let (r, c) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0; r * c];
         for i in 0..r {

@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn splits_on_whitespace() {
-        assert_eq!(pt("hello  world\tfoo\nbar"), ["hello", "world", "foo", "bar"]);
+        assert_eq!(
+            pt("hello  world\tfoo\nbar"),
+            ["hello", "world", "foo", "bar"]
+        );
     }
 
     #[test]
@@ -103,10 +106,7 @@ mod tests {
             lowercase: true,
             split_digits: true,
         };
-        assert_eq!(
-            pretokenize("25.69", opts),
-            ["2", "5", ".", "6", "9"]
-        );
+        assert_eq!(pretokenize("25.69", opts), ["2", "5", ".", "6", "9"]);
         assert_eq!(pretokenize("a1b", opts), ["a", "1", "b"]);
     }
 

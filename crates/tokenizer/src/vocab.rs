@@ -165,7 +165,10 @@ impl Vocab {
 
     /// Iterates over `(id, token)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
-        self.id_to_token.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+        self.id_to_token
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.as_str()))
     }
 
     /// Writes the vocabulary as one token per line (id = line number).
@@ -186,7 +189,10 @@ impl Vocab {
         }
         let specials: Vec<&str> = SpecialToken::ALL.iter().map(|s| s.text()).collect();
         if lines.len() < specials.len()
-            || lines[..specials.len()].iter().map(String::as_str).ne(specials.iter().copied())
+            || lines[..specials.len()]
+                .iter()
+                .map(String::as_str)
+                .ne(specials.iter().copied())
         {
             return Err(VocabError::MissingSpecials);
         }
@@ -253,7 +259,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.txt");
         std::fs::write(&path, "just\nsome\ntokens\n").unwrap();
-        assert!(matches!(Vocab::load(&path), Err(VocabError::MissingSpecials)));
+        assert!(matches!(
+            Vocab::load(&path),
+            Err(VocabError::MissingSpecials)
+        ));
         let _ = std::fs::remove_file(&path);
     }
 }

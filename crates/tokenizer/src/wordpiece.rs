@@ -76,7 +76,11 @@ impl WordPieceTokenizer {
             let mut found: Option<String> = None;
             while end > start {
                 let core: String = chars[start..end].iter().collect();
-                let candidate = if start == 0 { core } else { format!("##{core}") };
+                let candidate = if start == 0 {
+                    core
+                } else {
+                    format!("##{core}")
+                };
                 if self.vocab.id_of(&candidate).is_some() {
                     found = Some(candidate);
                     break;

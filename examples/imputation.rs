@@ -76,7 +76,10 @@ fn main() {
     // 3. Fine-tune for imputation (the paper's pipeline (2)). With ~100
     //    training cells a small model overfits within a couple of epochs,
     //    so we select the epoch count on the validation split.
-    println!("fine-tuning ({} train examples)...", ds.indices(Split::Train).len());
+    println!(
+        "fine-tuning ({} train examples)...",
+        ds.indices(Split::Train).len()
+    );
     let mut checkpoint = Vec::new();
     ntr::nn::serialize::save_to(&mut model, &mut checkpoint).expect("in-memory save");
     let mut best: Option<(f64, usize, Vec<u8>)> = None;
@@ -112,15 +115,33 @@ fn main() {
     let baseline = baseline_mode(&ds, Split::Test, &pools);
 
     println!("\n                     |  acc  |  f1");
-    println!("  untrained          | {:.3} | {:.3}", untrained.accuracy, untrained.macro_f1);
-    println!("  pretrained only    | {:.3} | {:.3}", pretrained.accuracy, pretrained.macro_f1);
-    println!("  pretrained + tuned | {:.3} | {:.3}", tuned.accuracy, tuned.macro_f1);
-    println!("  mode baseline      | {:.3} | {:.3}", baseline.accuracy, baseline.macro_f1);
+    println!(
+        "  untrained          | {:.3} | {:.3}",
+        untrained.accuracy, untrained.macro_f1
+    );
+    println!(
+        "  pretrained only    | {:.3} | {:.3}",
+        pretrained.accuracy, pretrained.macro_f1
+    );
+    println!(
+        "  pretrained + tuned | {:.3} | {:.3}",
+        tuned.accuracy, tuned.macro_f1
+    );
+    println!(
+        "  mode baseline      | {:.3} | {:.3}",
+        baseline.accuracy, baseline.macro_f1
+    );
 
     // 4. Failure-case analysis (§3.4's closing discussion).
     println!("\nfailure slices (fine-tuned model):");
     println!("  text tables       : acc {:.3}", tuned.text_accuracy);
-    println!("  numeric tables    : acc {:.3}   <- numbers are hard for LMs", tuned.numeric_accuracy);
+    println!(
+        "  numeric tables    : acc {:.3}   <- numbers are hard for LMs",
+        tuned.numeric_accuracy
+    );
     println!("  headered tables   : acc {:.3}", tuned.headered_accuracy);
-    println!("  headerless tables : acc {:.3}   <- headers carry signal", tuned.headerless_accuracy);
+    println!(
+        "  headerless tables : acc {:.3}   <- headers carry signal",
+        tuned.headerless_accuracy
+    );
 }

@@ -89,7 +89,8 @@ fn main() {
     if let Some(span) = e.cell_span(0, 0) {
         let q = span.start;
         let probs = &maps[0][0];
-        let mut top: Vec<(usize, f32)> = (0..probs.dim(1)).map(|j| (j, probs.at(&[q, j]))).collect();
+        let mut top: Vec<(usize, f32)> =
+            (0..probs.dim(1)).map(|j| (j, probs.at(&[q, j]))).collect();
         top.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
         println!("cell (0,0) token attends most to:");
         for (j, p) in top.iter().take(5) {

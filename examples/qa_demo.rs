@@ -94,8 +94,14 @@ fn main() {
     let neural = evaluate(&mut model, &ds, Split::Test, &tok, &opts);
     let lexical = baseline_lexical(&ds, Split::Test);
     println!("\n                | coord acc | denotation acc");
-    println!("  tapas (tuned) |   {:.3}   |     {:.3}", neural.coord_accuracy, neural.denotation_accuracy);
-    println!("  lexical match |   {:.3}   |     {:.3}", lexical.coord_accuracy, lexical.denotation_accuracy);
+    println!(
+        "  tapas (tuned) |   {:.3}   |     {:.3}",
+        neural.coord_accuracy, neural.denotation_accuracy
+    );
+    println!(
+        "  lexical match |   {:.3}   |     {:.3}",
+        lexical.coord_accuracy, lexical.denotation_accuracy
+    );
 
     // 4. Interactive-style demo on a few test questions.
     println!("\ndemo answers:");
@@ -114,7 +120,14 @@ fn main() {
         }
         let (coord, _) = best.expect("cells exist");
         let predicted = ex.table.cell(coord.0, coord.1).text();
-        let mark = if predicted == ex.answer_text { "OK " } else { "MISS" };
-        println!("  [{mark}] Q: {:<46} A: {predicted:<14} (gold: {})", ex.question, ex.answer_text);
+        let mark = if predicted == ex.answer_text {
+            "OK "
+        } else {
+            "MISS"
+        };
+        println!(
+            "  [{mark}] Q: {:<46} A: {predicted:<14} (gold: {})",
+            ex.question, ex.answer_text
+        );
     }
 }

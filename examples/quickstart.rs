@@ -22,7 +22,11 @@ fn main() {
     let table = Table::from_csv_path(Path::new("data/countries.csv"))
         .expect("data/countries.csv should parse")
         .with_caption("Population in Million by Country");
-    println!("Loaded table ({} rows x {} cols):", table.n_rows(), table.n_cols());
+    println!(
+        "Loaded table ({} rows x {} cols):",
+        table.n_rows(),
+        table.n_cols()
+    );
     println!("{table}");
 
     // ------------------------------------------------------------------

@@ -42,7 +42,10 @@ fn main() {
     // 1. Consistency probes per model family (centered cosine).
     // ------------------------------------------------------------------
     let opts = LinearizerOptions::default();
-    println!("consistency probes over {} tables (centered cosine):", corpus.len());
+    println!(
+        "consistency probes over {} tables (centered cosine):",
+        corpus.len()
+    );
     println!("{:<7} | row-perm ↑ | col-perm ↑ | header-strip ↓", "model");
     for kind in ModelKind::ALL {
         let mut model = build_model(kind, &cfg);
@@ -67,7 +70,11 @@ fn main() {
     let input = EncoderInput::from_encoded(&e);
     let states = turl.encode(&input, false);
 
-    println!("table `{}` under the TURL linearizer ({} tokens)\n", t.id, e.len());
+    println!(
+        "table `{}` under the TURL linearizer ({} tokens)\n",
+        t.id,
+        e.len()
+    );
     println!("attention heatmap, layer 0 / head 0 (first 16 tokens):");
     let maps = turl.encoder.attention_maps();
     print!("{}", attention_heatmap(&maps[0][0], &e, &tok, 16));

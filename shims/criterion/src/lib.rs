@@ -1,0 +1,392 @@
+//! Offline drop-in replacement for the subset of `criterion` 0.5 this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace patches
+//! `criterion` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It implements real measurement (calibrated warmup, then a
+//! fixed sample count with per-sample medians) for the API surface the
+//! `ntr-bench` benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! ## `--json` mode
+//!
+//! Beyond upstream's CLI, `--json [PATH]` writes every measurement as a
+//! machine-readable perf baseline:
+//!
+//! ```text
+//! cargo bench -p ntr-bench --bench tensor_ops -- --json
+//! ```
+//!
+//! appends/updates entries in `BENCH_tensor.json` at the workspace root
+//! (or `PATH` if given). Entries are keyed by `(op, shape, threads)` so
+//! successive bench binaries merge into one file, giving later PRs a perf
+//! trajectory to compare against. `threads` is taken from `NTR_THREADS` when
+//! set (the same variable the `ntr-tensor` thread pool honours), otherwise
+//! from `std::thread::available_parallelism`.
+
+use std::fmt::Display;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: a function name, a
+/// parameter, or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter, rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            param: Some(param.to_string()),
+        }
+    }
+
+    /// Parameter-only id, rendered as the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            name: None,
+            param: Some(param.to_string()),
+        }
+    }
+}
+
+/// Runs closures under measurement.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: a calibration pass sizes the batch so one sample takes
+    /// roughly 10 ms, then the median of 15 samples is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count worth ~10ms of work.
+        let mut iters: u64 = 1;
+        let per_sample = Duration::from_millis(10);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample || iters >= 1 << 20 {
+                break;
+            }
+            // Aim directly at the target with headroom, at least doubling.
+            let scale = (per_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).ceil();
+            iters = (iters.saturating_mul(scale as u64)).clamp(iters * 2, 1 << 20);
+        }
+        let mut samples = Vec::with_capacity(15);
+        for _ in 0..15 {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+struct Measurement {
+    /// Group plus function name, e.g. `matmul/nn`.
+    op: String,
+    /// Parameter string, e.g. `256`; empty when the bench has none.
+    shape: String,
+    ns_per_iter: f64,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    json_out: Option<PathBuf>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut json_out = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                let path = match args.peek() {
+                    Some(p) if !p.starts_with('-') => PathBuf::from(args.next().unwrap()),
+                    _ => default_json_path(),
+                };
+                json_out = Some(path);
+            }
+        }
+        Criterion {
+            json_out,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// `BENCH_tensor.json` at the workspace root: the outermost ancestor of the
+/// current directory that contains a `Cargo.toml` (bench binaries run with
+/// the package dir as cwd, so the workspace root is above us).
+fn default_json_path() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut root = cwd.clone();
+    for anc in cwd.ancestors() {
+        if anc.join("Cargo.toml").exists() {
+            root = anc.to_path_buf();
+        }
+    }
+    root.join("BENCH_tensor.json")
+}
+
+fn bench_threads() -> usize {
+    std::env::var("NTR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Measures a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.record(name.to_string(), String::new(), b.ns_per_iter);
+    }
+
+    fn record(&mut self, op: String, shape: String, ns_per_iter: f64) {
+        let label = if shape.is_empty() {
+            op.clone()
+        } else {
+            format!("{op}/{shape}")
+        };
+        println!("{label:<40} {:>14.1} ns/iter", ns_per_iter);
+        self.results.push(Measurement {
+            op,
+            shape,
+            ns_per_iter,
+        });
+    }
+
+    /// Writes/merges results into the JSON baseline when `--json` was given.
+    pub fn finalize(&mut self) {
+        let Some(path) = self.json_out.clone() else {
+            return;
+        };
+        let threads = bench_threads();
+        let mut entries = read_baseline(&path);
+        for m in &self.results {
+            entries.retain(|e| !(e.0 == m.op && e.1 == m.shape && e.2 == threads));
+            entries.push((m.op.clone(), m.shape.clone(), threads, m.ns_per_iter));
+        }
+        entries.sort_by(|a, b| (&a.0, &a.1, a.2).cmp(&(&b.0, &b.1, b.2)));
+        let mut out = String::from("[\n");
+        for (i, (op, shape, threads, ns)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"op\": \"{op}\", \"shape\": \"{shape}\", \"threads\": {threads}, \"ns_per_iter\": {ns:.1}}}{comma}\n"
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("wrote {} ({} entries)", path.display(), entries.len());
+        }
+    }
+}
+
+/// Parses the baseline file this crate itself writes: a JSON array of flat
+/// objects with string and number values. Unknown or malformed entries are
+/// dropped rather than aborting the bench run.
+fn read_baseline(path: &Path) -> Vec<(String, String, usize, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let Some(body) = obj.split('}').next() else {
+            continue;
+        };
+        let field = |key: &str| -> Option<String> {
+            let idx = body.find(&format!("\"{key}\""))?;
+            let rest = &body[idx..];
+            let colon = rest.find(':')?;
+            let val = rest[colon + 1..].trim_start();
+            if let Some(stripped) = val.strip_prefix('"') {
+                Some(stripped.split('"').next()?.to_string())
+            } else {
+                Some(
+                    val.split([',', '\n'])
+                        .next()?
+                        .trim()
+                        .to_string(),
+                )
+            }
+        };
+        let (Some(op), Some(shape), Some(threads), Some(ns)) = (
+            field("op"),
+            field("shape"),
+            field("threads"),
+            field("ns_per_iter"),
+        ) else {
+            continue;
+        };
+        let (Ok(threads), Ok(ns)) = (threads.parse::<usize>(), ns.parse::<f64>()) else {
+            continue;
+        };
+        out.push((op, shape, threads, ns));
+    }
+    out
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; sampling here is fixed-size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measures `f` with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        let op = match &id.name {
+            Some(n) => format!("{}/{n}", self.name),
+            None => self.name.clone(),
+        };
+        self.criterion
+            .record(op, id.param.clone().unwrap_or_default(), b.ns_per_iter);
+    }
+
+    /// Measures a named function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        let op = format!("{}/{name}", self.name);
+        self.criterion.record(op, String::new(), b.ns_per_iter);
+    }
+
+    /// Ends the group (upstream reports summaries here; measurement already
+    /// happened per-bench, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_positive() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box((0..100).sum::<u64>()));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_ids_render_both_forms() {
+        let full = BenchmarkId::new("nn", 256);
+        assert_eq!(full.name.as_deref(), Some("nn"));
+        assert_eq!(full.param.as_deref(), Some("256"));
+        let param_only = BenchmarkId::from_parameter("bert");
+        assert!(param_only.name.is_none());
+        assert_eq!(param_only.param.as_deref(), Some("bert"));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_writer_format() {
+        let dir = std::env::temp_dir().join(format!("crit_shim_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let mut c = Criterion {
+            json_out: Some(path.clone()),
+            results: vec![
+                Measurement {
+                    op: "matmul/nn".into(),
+                    shape: "256".into(),
+                    ns_per_iter: 1234.5,
+                },
+                Measurement {
+                    op: "softmax_rows".into(),
+                    shape: "64".into(),
+                    ns_per_iter: 77.0,
+                },
+            ],
+        };
+        c.finalize();
+        let entries = read_baseline(&path);
+        assert_eq!(entries.len(), 2);
+        assert!(entries
+            .iter()
+            .any(|e| e.0 == "matmul/nn" && e.1 == "256" && (e.3 - 1234.5).abs() < 0.2));
+
+        // A second run with an updated number replaces the matching entry.
+        let mut c2 = Criterion {
+            json_out: Some(path.clone()),
+            results: vec![Measurement {
+                op: "matmul/nn".into(),
+                shape: "256".into(),
+                ns_per_iter: 999.0,
+            }],
+        };
+        c2.finalize();
+        let entries = read_baseline(&path);
+        assert_eq!(entries.len(), 2, "merge must not duplicate");
+        assert!(entries
+            .iter()
+            .any(|e| e.0 == "matmul/nn" && (e.3 - 999.0).abs() < 0.2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

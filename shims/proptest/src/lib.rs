@@ -1,0 +1,769 @@
+//! Offline drop-in replacement for the subset of `proptest` 1.x this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace patches
+//! `proptest` to this crate (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). Provided surface:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! * strategies: numeric ranges, tuples, [`Just`], `&str` regexes,
+//!   [`collection::vec`], [`string::string_regex`], [`prop_oneof!`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: generation is **deterministic** (the RNG is
+//! seeded from the test function's name, so failures reproduce exactly in CI
+//! and locally) and there is **no shrinking** — a failing case reports the
+//! case number and assertion message instead of a minimized input.
+
+pub mod test_runner {
+    //! Test-runner configuration and error types.
+
+    /// Error raised by `prop_assert!`-style macros inside a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A test-case failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Smaller than upstream's 256: these tests run in CI on every
+            // push, and the workspace's properties are numeric kernels where
+            // 64 diverse cases already cover the edge shapes.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded constructor (xoshiro256++ via SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream there is no `ValueTree`/shrinking layer: a strategy just
+/// produces values directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among equally-weighted boxed alternatives — the engine
+/// behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].gen_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// String literals act as regex strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        string::compile_regex(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .gen_string(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident $i:tt),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Sizes accepted by [`vec`]: an exact length or a range of lengths.
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty vec size range");
+            lo + rng.below((hi - lo) as u64 + 1) as usize
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Generates vectors of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-shaped string strategies.
+    //!
+    //! Supports the pattern subset the workspace uses: sequences of literal
+    //! characters and character classes (`[a-z0-9 .,]`, including `X-Y`
+    //! ranges) with `{n}` / `{m,n}` / `?` / `+` / `*` quantifiers, plus one
+    //! level of literal alternation groups (`(foo|bar|baz)`).
+
+    use super::{Strategy, TestRng};
+
+    /// A compiled pattern usable as a [`Strategy`] producing `String`s.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Quantified>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Alternation(Vec<String>),
+    }
+
+    /// Compilation error with a human-readable message.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Compiles `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        compile_regex(pattern)
+    }
+
+    pub(crate) fn compile_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| Error("unterminated character class".into()))?
+                        + i;
+                    let class = parse_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    Atom::Class(class)
+                }
+                '(' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ')')
+                        .ok_or_else(|| Error("unterminated group".into()))?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    if body.contains(['[', '(', '{']) {
+                        return Err(Error(format!("unsupported nested group: ({body})")));
+                    }
+                    i = close + 1;
+                    Atom::Alternation(body.split('|').map(str::to_string).collect())
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    i += 2;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = parse_quantifier(&chars, &mut i)?;
+            atoms.push(Quantified { atom, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn parse_class(body: &[char]) -> Result<Vec<(char, char)>, Error> {
+        if body.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            // `X-Y` is a range unless the `-` is first or last in the class.
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                if body[i] > body[i + 2] {
+                    return Err(Error(format!("inverted range {}-{}", body[i], body[i + 2])));
+                }
+                ranges.push((body[i], body[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((body[i], body[i]));
+                i += 1;
+            }
+        }
+        Ok(ranges)
+    }
+
+    fn parse_quantifier(chars: &[char], i: &mut usize) -> Result<(usize, usize), Error> {
+        match chars.get(*i) {
+            Some('{') => {
+                let close = chars[*i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| Error("unterminated quantifier".into()))?
+                    + *i;
+                let body: String = chars[*i + 1..close].iter().collect();
+                *i = close + 1;
+                let parse =
+                    |s: &str| s.parse::<usize>().map_err(|_| Error(format!("bad bound {s}")));
+                match body.split_once(',') {
+                    Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+                    None => {
+                        let n = parse(&body)?;
+                        Ok((n, n))
+                    }
+                }
+            }
+            Some('?') => {
+                *i += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *i += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *i += 1;
+                Ok((1, 8))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    impl RegexGeneratorStrategy {
+        pub(crate) fn gen_string(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for q in &self.atoms {
+                let reps = q.min + rng.below((q.max - q.min) as u64 + 1) as usize;
+                for _ in 0..reps {
+                    match &q.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let total: u64 =
+                                ranges.iter().map(|&(a, b)| b as u64 - a as u64 + 1).sum();
+                            let mut pick = rng.below(total);
+                            for &(a, b) in ranges {
+                                let span = b as u64 - a as u64 + 1;
+                                if pick < span {
+                                    out.push(char::from_u32(a as u32 + pick as u32).unwrap());
+                                    break;
+                                }
+                                pick -= span;
+                            }
+                        }
+                        Atom::Alternation(alts) => {
+                            out.push_str(&alts[rng.below(alts.len() as u64) as usize]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            self.gen_string(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        Strategy,
+    };
+}
+
+/// Seeds the per-test RNG from the test's fully-qualified name so runs are
+/// reproducible everywhere. Public for use by the [`proptest!`] expansion.
+pub fn seed_for(test_name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Defines property tests. Mirrors upstream `proptest!` syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn prop(x in 0u64..10, v in proptest::collection::vec(0i32..5, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ (<$crate::test_runner::Config as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::TestRng::seed_from_u64($crate::seed_for(test_name, case));
+                    $(let $arg = $crate::Strategy::gen_value(&($strat), &mut rng);)*
+                    let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest case {case}/{} failed for {test_name}: {e}",
+                            cfg.cases
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let (a, b) = (0usize..7, -3i64..3).gen_value(&mut rng);
+            assert!(a < 7);
+            assert!((-3..3).contains(&b));
+            let f = (-1.0f32..1.0).gen_value(&mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let i = (1usize..=4).gen_value(&mut rng);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_lengths() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let exact = crate::collection::vec(0u32..10, 3usize).gen_value(&mut rng);
+            assert_eq!(exact.len(), 3);
+            let ranged = crate::collection::vec(0u32..10, 1..6).gen_value(&mut rng);
+            assert!((1..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = crate::string::string_regex("[a-z]{1,8}").expect("regex");
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((1..=8).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let printable = crate::string::string_regex("[ -~]{0,12}").expect("regex");
+        for _ in 0..200 {
+            let v = printable.gen_value(&mut rng);
+            assert!(v.len() <= 12);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)));
+        }
+        let alts = crate::string::string_regex("(fox|quick|brown|the)").expect("regex");
+        for _ in 0..50 {
+            let v = alts.gen_value(&mut rng);
+            assert!(["fox", "quick", "brown", "the"].contains(&v.as_str()));
+        }
+        let mixed = crate::string::string_regex("[a-z0-9 .,|:;]{0,40}").expect("regex");
+        for _ in 0..100 {
+            assert!(mixed.gen_value(&mut rng).len() <= 40);
+        }
+    }
+
+    #[test]
+    fn str_literals_are_strategies() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let v = "(a|bb)".gen_value(&mut rng);
+        assert!(v == "a" || v == "bb");
+    }
+
+    #[test]
+    fn oneof_and_just_and_maps_compose() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let strat = prop_oneof![
+            (0i64..100).prop_map(|n| n.to_string()),
+            Just(String::from("fixed")),
+        ];
+        let mut saw_fixed = false;
+        let mut saw_number = false;
+        for _ in 0..200 {
+            let v = strat.gen_value(&mut rng);
+            if v == "fixed" {
+                saw_fixed = true;
+            } else {
+                assert!(v.parse::<i64>().is_ok());
+                saw_number = true;
+            }
+        }
+        assert!(saw_fixed && saw_number);
+    }
+
+    #[test]
+    fn flat_map_feeds_dependent_strategies() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..10, n));
+        for _ in 0..100 {
+            let v = strat.gen_value(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..50, v in crate::collection::vec(0u32..5, 0..4)) {
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(v.len(), v.iter().count());
+            prop_assert_ne!(x, 50);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_is_accepted(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = crate::string::string_regex("[a-z]{4}").expect("regex");
+        let a = s.gen_value(&mut TestRng::seed_from_u64(9));
+        let b = s.gen_value(&mut TestRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -52,10 +52,7 @@ fn mlm_pretraining_improves_heldout_recovery() {
     };
     let (train, held): (Vec<_>, Vec<_>) = {
         let mid = corpus.tables.len() - 4;
-        (
-            corpus.tables[..mid].to_vec(),
-            corpus.tables[mid..].to_vec(),
-        )
+        (corpus.tables[..mid].to_vec(), corpus.tables[mid..].to_vec())
     };
     let train_corpus = TableCorpus {
         tables: train,
@@ -113,12 +110,10 @@ fn turl_joint_pretrain_then_imputation_beats_untrained() {
     let pools = ntr::tasks::imputation::CandidatePools::build(&ds, Split::Train);
 
     let mut model = Turl::new(&cfg);
-    let before =
-        ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
+    let before = ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
     ntr::tasks::pretrain::pretrain_turl(&mut model, &corpus, &tok, &quick(16, 3e-3), 96);
     ntr::tasks::imputation::finetune(&mut model, &ds, &tok, &quick(2, 5e-4), 96);
-    let after =
-        ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
+    let after = ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
     assert!(
         after.accuracy > before.accuracy,
         "pretrain+finetune must beat untrained: {:.3} -> {:.3}",
@@ -148,8 +143,7 @@ fn nli_training_fits_above_chance_with_structural_model() {
         max_tokens: 96,
         ..Default::default()
     };
-    let mut model =
-        ntr::tasks::nli::FactVerifier::new(ntr::models::Tapas::new(&cfg), 0xE33);
+    let mut model = ntr::tasks::nli::FactVerifier::new(ntr::models::Tapas::new(&cfg), 0xE33);
     ntr::tasks::nli::finetune(&mut model, &ds, &tok, &quick(16, 3e-3), &opts);
     let eval = ntr::tasks::nli::evaluate(&mut model, &ds, Split::Train, &tok, &opts);
     assert!(eval.n > 10);
@@ -179,6 +173,9 @@ fn consistency_probes_distinguish_perturbation_kinds() {
         report.header_similarity,
     ] {
         assert!((-1.0..=1.0).contains(&v), "{report:?}");
-        assert!(v < 0.999_999, "centered cosine should not saturate: {report:?}");
+        assert!(
+            v < 0.999_999,
+            "centered cosine should not saturate: {report:?}"
+        );
     }
 }

@@ -36,9 +36,9 @@ fn csv_to_embeddings_for_every_family() {
         // All three data rows and columns reachable.
         for r in 0..3 {
             for c in 0..3 {
-                let cell = enc.cell_embedding(r, c).unwrap_or_else(|| {
-                    panic!("{}: missing cell ({r},{c})", kind.name())
-                });
+                let cell = enc
+                    .cell_embedding(r, c)
+                    .unwrap_or_else(|| panic!("{}: missing cell ({r},{c})", kind.name()));
                 assert!(cell.data().iter().all(|x| x.is_finite()));
             }
         }

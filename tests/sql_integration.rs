@@ -83,7 +83,11 @@ fn aggregate_identities_hold_on_numeric_columns() {
                     !table.cell(r, c).is_null()
                 })
                 .count() as f64;
-            assert!((sum - avg * n).abs() < 1e-6 * sum.abs().max(1.0), "{}", table.id);
+            assert!(
+                (sum - avg * n).abs() < 1e-6 * sum.abs().max(1.0),
+                "{}",
+                table.id
+            );
             assert!(min <= avg + 1e-9 && avg <= max + 1e-9, "{}", table.id);
             checked += 1;
         }
@@ -109,7 +113,8 @@ fn world_facts_are_queryable() {
     );
     let mut checked = 0;
     for table in &corpus.tables {
-        let (Some(_), Some(cap_col)) = (table.column_index("Country"), table.column_index("Capital"))
+        let (Some(_), Some(cap_col)) =
+            (table.column_index("Country"), table.column_index("Capital"))
         else {
             continue;
         };
