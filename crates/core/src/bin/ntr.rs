@@ -9,14 +9,18 @@
 //! ntr encode    data/countries.csv --model tapas --context "population by country"
 //! ```
 
+use ntr::corpus::tables::{TableCorpus, TableKind};
+use ntr::models::{Mate, ModelConfig, Tapas, Turl, VanillaBert};
 use ntr::pipeline::Pipeline;
 use ntr::sql::{execute, parse_query};
 use ntr::table::{
     ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
     TapexLinearizer, TemplateLinearizer, TurlLinearizer,
 };
+use ntr::tasks::pretrain::{pretrain_mlm_resumable, MlmModel};
+use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
 use ntr::zoo::{build_model, ModelKind};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,8 +42,15 @@ const USAGE: &str = "usage:
                             [--max-tokens N] [--context TEXT] [--no-header]
   ntr query     <table.csv> <SQL> [--no-header]
   ntr encode    <table.csv> [--model bert|tapas|turl|mate] [--context TEXT] [--no-header]
+  ntr pretrain  <table.csv> [--model bert|tapas|turl|mate] [--epochs N] [--batch-size N]
+                            [--max-tokens N] [--seed N] [--save PATH]
+                            [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+                            [--halt-after N] [--no-header]
 
-  --no-header: treat the first CSV record as data and use synthetic col0..N names";
+  --no-header: treat the first CSV record as data and use synthetic col0..N names
+  pretrain: MLM-pretrain on the CSV; --checkpoint-every writes a crash-safe full
+  training checkpoint (weights + optimizer + cursor) every N steps; --resume
+  continues a run bit-identically from such a checkpoint";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -48,6 +59,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serialize" => serialize(rest),
         "query" => query(rest),
         "encode" => encode(rest),
+        "pretrain" => pretrain(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -180,6 +192,148 @@ fn query(rest: &[String]) -> Result<(), String> {
         println!("{v}");
     }
     eprintln!("({} value(s))", ans.values.len());
+    Ok(())
+}
+
+fn parsed_flag<T: std::str::FromStr>(
+    flags: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag_value(flags, name) {
+        Some(v) => v.parse().map_err(|_| format!("bad {name} {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn pretrain(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    let kind = match flag_value(&flags, "--model").unwrap_or("tapas") {
+        "bert" => ModelKind::Bert,
+        "tapas" => ModelKind::Tapas,
+        "turl" => ModelKind::Turl,
+        "mate" => ModelKind::Mate,
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    let cfg = TrainConfig {
+        epochs: parsed_flag(&flags, "--epochs", 3)?,
+        batch_size: parsed_flag(&flags, "--batch-size", 4)?,
+        seed: parsed_flag(&flags, "--seed", TrainConfig::default().seed)?,
+        ..TrainConfig::default()
+    };
+    let max_tokens: usize = parsed_flag(&flags, "--max-tokens", 128)?;
+    let every: u64 = parsed_flag(&flags, "--checkpoint-every", 1)?;
+    let topts = TrainerOptions {
+        checkpoint: flag_value(&flags, "--checkpoint").map(|p| (PathBuf::from(p), every)),
+        resume: flag_value(&flags, "--resume").map(PathBuf::from),
+        halt_after: flag_value(&flags, "--halt-after")
+            .map(|v| v.parse().map_err(|_| format!("bad --halt-after {v:?}")))
+            .transpose()?,
+    };
+
+    // Split the table's rows into per-row shards so one CSV yields a small
+    // corpus of training examples rather than a single one.
+    let mut tables = Vec::new();
+    for r in 0..table.n_rows().max(1) {
+        if table.n_rows() > 1 {
+            let hi = (r + 2).min(table.n_rows());
+            let idx: Vec<usize> = (r..hi).collect();
+            tables.push(table.select_rows(&idx));
+        } else {
+            tables.push(table.clone());
+        }
+    }
+    let kinds = vec![TableKind::Employees; tables.len()];
+    let corpus = TableCorpus { tables, kinds };
+
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(&corpus.tables)
+        .build();
+    let tok = pipeline.tokenizer();
+    let model_cfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        n_entities: 1,
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+
+    fn run_mlm<M: MlmModel>(
+        mut model: M,
+        corpus: &TableCorpus,
+        tok: &ntr::tokenizer::WordPieceTokenizer,
+        cfg: &TrainConfig,
+        max_tokens: usize,
+        topts: &TrainerOptions,
+        save: Option<&str>,
+    ) -> Result<(usize, f32, f32), String> {
+        let report = pretrain_mlm_resumable(
+            &mut model,
+            corpus,
+            tok,
+            cfg,
+            max_tokens,
+            &RowMajorLinearizer,
+            topts,
+        )
+        .map_err(|e| e.to_string())?;
+        if let Some(path) = save {
+            ntr::nn::serialize::save(&mut model, Path::new(path)).map_err(|e| e.to_string())?;
+        }
+        let n = report.mlm_loss.len();
+        let first = report.mlm_loss.first().copied().unwrap_or(0.0);
+        let last = report.mlm_loss.last().copied().unwrap_or(0.0);
+        Ok((n, first, last))
+    }
+
+    let save = flag_value(&flags, "--save");
+    let (steps, first, last) = match kind {
+        ModelKind::Bert => run_mlm(
+            VanillaBert::new(&model_cfg),
+            &corpus,
+            tok,
+            &cfg,
+            max_tokens,
+            &topts,
+            save,
+        )?,
+        ModelKind::Tapas => run_mlm(
+            Tapas::new(&model_cfg),
+            &corpus,
+            tok,
+            &cfg,
+            max_tokens,
+            &topts,
+            save,
+        )?,
+        ModelKind::Turl => run_mlm(
+            Turl::new(&model_cfg),
+            &corpus,
+            tok,
+            &cfg,
+            max_tokens,
+            &topts,
+            save,
+        )?,
+        ModelKind::Mate => run_mlm(
+            Mate::new(&model_cfg),
+            &corpus,
+            tok,
+            &cfg,
+            max_tokens,
+            &topts,
+            save,
+        )?,
+    };
+    println!(
+        "model {} | {} optimizer step(s) this run | mlm loss {first:.4} -> {last:.4}",
+        kind.name(),
+        steps
+    );
+    if let Some((path, every)) = &topts.checkpoint {
+        println!("checkpointing to {} every {every} step(s)", path.display());
+    }
+    if let Some(path) = &topts.resume {
+        println!("resumed from {}", path.display());
+    }
     Ok(())
 }
 

@@ -3,11 +3,14 @@
 //! column, table).
 
 use ntr_models::{EncoderInput, ModelConfig, SequenceEncoder};
+use ntr_nn::serialize::{self as checkpoint, CheckpointError};
+use ntr_nn::Layer;
 use ntr_table::{
     EncodedTable, Linearizer, LinearizerOptions, RowMajorLinearizer, Table, TokenKind,
 };
 use ntr_tensor::Tensor;
 use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
+use std::path::Path;
 
 /// A configured encode pipeline (the paper's "Input Processing" module
 /// plus model invocation).
@@ -123,6 +126,19 @@ impl Pipeline {
     pub fn serialize(&self, table: &Table, context: &str) -> EncodedTable {
         self.linearizer
             .linearize(table, context, &self.tokenizer, &self.opts)
+    }
+
+    /// Saves a model's weights to `path` crash-safely: the `NTRW` v2 file
+    /// is written to a temp sibling, `fsync`ed, and atomically renamed, so
+    /// an interrupted save never leaves a corrupt checkpoint behind.
+    pub fn save_model(&self, model: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+        checkpoint::save(model, path)
+    }
+
+    /// Loads a checkpoint (`NTRW` v1 or v2) into a model, strict on
+    /// parameter names and shapes.
+    pub fn load_model(&self, model: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+        checkpoint::load(model, path)
     }
 
     /// Full encode: serialize, run the model, package the representations.
@@ -252,6 +268,33 @@ mod tests {
         let e = p.serialize(&sample(), "ctx");
         assert!(e.len() <= 40);
         assert_eq!(e.linearizer(), "column-major");
+    }
+
+    #[test]
+    fn save_and_load_model_roundtrip_through_pipeline() {
+        let p = pipeline();
+        let t = sample();
+        let dir = std::env::temp_dir().join("ntr_pipeline_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tapas.ntrw");
+        let mut a = build_model(ModelKind::Tapas, &p.default_config());
+        p.save_model(a.as_mut(), &path).unwrap();
+        // A differently-seeded model starts from different weights; loading
+        // must overwrite all of them.
+        let other_cfg = ModelConfig {
+            seed: 0xDEAD,
+            ..p.default_config()
+        };
+        let mut b = build_model(ModelKind::Tapas, &other_cfg);
+        p.load_model(b.as_mut(), &path).unwrap();
+        let ea = p.encode(a.as_mut(), &t, &t.caption);
+        let eb = p.encode(b.as_mut(), &t, &t.caption);
+        assert_eq!(
+            ea.states.data(),
+            eb.states.data(),
+            "loaded model must encode bit-identically"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -80,6 +80,11 @@ impl Layer for VanillaBert {
             .visit_params(&mut |n, p| f(&format!("encoder/{n}"), p));
         self.mlm.visit_params(&mut |n, p| f(&format!("mlm/{n}"), p));
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        ntr_nn::visit_rng_child(&mut self.embeddings, "embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.encoder, "encoder", f);
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,10 @@ impl Layer for TableEmbeddings {
         }
         visit(&mut self.ln, "ln", f);
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        self.dropout.visit_rng("dropout", f);
+    }
 }
 
 fn visit(child: &mut dyn Layer, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {

@@ -283,6 +283,12 @@ impl Layer for TaBert {
         self.vertical
             .visit_params(&mut |n, p| f(&format!("vertical/{n}"), p));
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        ntr_nn::visit_rng_child(&mut self.embeddings, "embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.row_encoder, "row_encoder", f);
+        ntr_nn::visit_rng_child(&mut self.vertical, "vertical", f);
+    }
 }
 
 #[cfg(test)]

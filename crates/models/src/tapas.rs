@@ -121,6 +121,11 @@ impl Layer for Tapas {
             .visit_params(&mut |n, p| f(&format!("agg_head/{n}"), p));
         self.mlm.visit_params(&mut |n, p| f(&format!("mlm/{n}"), p));
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        ntr_nn::visit_rng_child(&mut self.embeddings, "embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.encoder, "encoder", f);
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,13 @@ impl Layer for Tapex {
         self.lm_head
             .visit_params(&mut |n, p| f(&format!("lm_head/{n}"), p));
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        ntr_nn::visit_rng_child(&mut self.embeddings, "embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.encoder, "encoder", f);
+        ntr_nn::visit_rng_child(&mut self.dec_embeddings, "dec_embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.decoder, "decoder", f);
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,11 @@ impl Layer for Turl {
         self.mlm.visit_params(&mut |n, p| f(&format!("mlm/{n}"), p));
         self.mer.visit_params(&mut |n, p| f(&format!("mer/{n}"), p));
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        ntr_nn::visit_rng_child(&mut self.embeddings, "embeddings", f);
+        ntr_nn::visit_rng_child(&mut self.encoder, "encoder", f);
+    }
 }
 
 #[cfg(test)]

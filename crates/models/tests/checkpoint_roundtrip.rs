@@ -1,0 +1,113 @@
+//! Every model family round-trips through an `NTRW` checkpoint exactly:
+//! capture → serialize → parse → apply into a differently-initialized
+//! instance → identical state dict, bit for bit.
+
+use ntr_models::{Mate, ModelConfig, TaBert, Tapas, Tapex, Turl, VanillaBert};
+use ntr_nn::serialize::{parse_checkpoint, write_checkpoint_to, TrainCheckpoint};
+use ntr_nn::Layer;
+
+fn cfg(seed: u64) -> ModelConfig {
+    ModelConfig {
+        n_entities: 7, // exercises TURL's MER head
+        seed,
+        ..ModelConfig::tiny(300)
+    }
+}
+
+/// Bit patterns of every parameter, keyed by name.
+fn state_bits(model: &mut dyn Layer) -> Vec<(String, Vec<usize>, Vec<u32>)> {
+    TrainCheckpoint::capture(model)
+        .params
+        .into_iter()
+        .map(|(n, t)| {
+            let shape = t.shape().to_vec();
+            let bits = t.data().iter().map(|v| v.to_bits()).collect();
+            (n, shape, bits)
+        })
+        .collect()
+}
+
+fn roundtrip(name: &str, a: &mut dyn Layer, b: &mut dyn Layer) {
+    let before = state_bits(a);
+    assert!(!before.is_empty(), "{name}: model exposes no parameters");
+    assert_ne!(
+        before,
+        state_bits(b),
+        "{name}: differently-seeded models must start from different weights"
+    );
+    let ckpt = TrainCheckpoint::capture(a);
+    let mut buf = Vec::new();
+    write_checkpoint_to(&ckpt, &mut buf).unwrap();
+    let parsed = parse_checkpoint(&buf).unwrap();
+    parsed.apply_params(b).unwrap();
+    assert_eq!(
+        before,
+        state_bits(b),
+        "{name}: state dict differs after checkpoint round trip"
+    );
+}
+
+#[test]
+fn vanilla_bert_roundtrips() {
+    let mut a = VanillaBert::new(&cfg(1));
+    let mut b = VanillaBert::new(&cfg(0xDEAD));
+    roundtrip("VanillaBert", &mut a, &mut b);
+}
+
+#[test]
+fn tapas_roundtrips() {
+    let mut a = Tapas::new(&cfg(1));
+    let mut b = Tapas::new(&cfg(0xDEAD));
+    roundtrip("Tapas", &mut a, &mut b);
+}
+
+#[test]
+fn turl_roundtrips() {
+    let mut a = Turl::new(&cfg(1));
+    let mut b = Turl::new(&cfg(0xDEAD));
+    roundtrip("Turl", &mut a, &mut b);
+}
+
+#[test]
+fn mate_roundtrips() {
+    let mut a = Mate::new(&cfg(1));
+    let mut b = Mate::new(&cfg(0xDEAD));
+    roundtrip("Mate", &mut a, &mut b);
+}
+
+#[test]
+fn tabert_roundtrips() {
+    let mut a = TaBert::new(&cfg(1));
+    let mut b = TaBert::new(&cfg(0xDEAD));
+    roundtrip("TaBert", &mut a, &mut b);
+}
+
+#[test]
+fn tapex_roundtrips() {
+    let mut a = Tapex::new(&cfg(1));
+    let mut b = Tapex::new(&cfg(0xDEAD));
+    roundtrip("Tapex", &mut a, &mut b);
+}
+
+/// Loading a Tapas checkpoint into a TURL model must fail loudly (different
+/// parameter sets), not partially apply.
+#[test]
+fn cross_family_load_is_a_mismatch() {
+    let mut tapas = Tapas::new(&cfg(1));
+    let ckpt = TrainCheckpoint::capture(&mut tapas);
+    let mut buf = Vec::new();
+    write_checkpoint_to(&ckpt, &mut buf).unwrap();
+    let parsed = parse_checkpoint(&buf).unwrap();
+    let mut turl = Turl::new(&cfg(2));
+    let before = state_bits(&mut turl);
+    let err = parsed.apply_params(&mut turl).unwrap_err();
+    assert!(
+        matches!(err, ntr_nn::serialize::CheckpointError::Mismatch(_)),
+        "{err}"
+    );
+    assert_eq!(
+        before,
+        state_bits(&mut turl),
+        "a failed load must not partially mutate the model"
+    );
+}

@@ -96,6 +96,12 @@ impl Layer for DecoderLayer {
         visit_child(&mut self.ln3, "ln3", f);
         visit_child(&mut self.ffn, "ffn", f);
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        self.drop1.visit_rng("drop1", f);
+        self.drop2.visit_rng("drop2", f);
+        self.drop3.visit_rng("drop3", f);
+    }
 }
 
 /// A stack of [`DecoderLayer`]s with a final LayerNorm.
@@ -150,6 +156,12 @@ impl Decoder {
 }
 
 impl Layer for Decoder {
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            crate::visit_rng_child(layer, &format!("layer{i}"), f);
+        }
+    }
+
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
         for (i, layer) in self.layers.iter_mut().enumerate() {
             visit_child(layer, &format!("layer{i}"), f);

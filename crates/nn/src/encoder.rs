@@ -126,6 +126,11 @@ impl Layer for EncoderLayer {
         visit_child(&mut self.ln2, "ln2", f);
         visit_child(&mut self.ffn, "ffn", f);
     }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        self.drop1.visit_rng("drop1", f);
+        self.drop2.visit_rng("drop2", f);
+    }
 }
 
 /// A stack of [`EncoderLayer`]s with a final LayerNorm (pre-LN convention).
@@ -196,6 +201,12 @@ impl Layer for Encoder {
             visit_child(layer, &format!("layer{i}"), f);
         }
         visit_child(&mut self.final_ln, "final_ln", f);
+    }
+
+    fn visit_rng_state(&mut self, f: &mut dyn FnMut(&str, &mut [u64; 4])) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            crate::visit_rng_child(layer, &format!("layer{i}"), f);
+        }
     }
 }
 

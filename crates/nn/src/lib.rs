@@ -92,6 +92,27 @@ pub trait Layer {
         self.visit_params(&mut |_, p| n += p.value.numel());
         n
     }
+
+    /// Calls `f` once per internal RNG (dropout mask sources), in a
+    /// deterministic order, with a `/`-separated path like
+    /// [`Layer::visit_params`] uses. The visitor receives the raw state
+    /// words and may mutate them, which is how checkpoints capture *and*
+    /// restore the exact mask stream across a kill/resume boundary.
+    ///
+    /// Layers without stochastic state inherit this no-op default;
+    /// composite layers must forward to children that override it.
+    fn visit_rng_state(&mut self, _f: &mut dyn FnMut(&str, &mut [u64; 4])) {}
+}
+
+/// Prefixes a child layer's RNG-state paths with `prefix/` — the
+/// [`visit_rng_state`](Layer::visit_rng_state) counterpart of the name
+/// prefixing every composite layer does in `visit_params`.
+pub fn visit_rng_child(
+    child: &mut dyn Layer,
+    prefix: &str,
+    f: &mut dyn FnMut(&str, &mut [u64; 4]),
+) {
+    child.visit_rng_state(&mut |name, s| f(&format!("{prefix}/{name}"), s));
 }
 
 /// Adds a clone's accumulated gradients into the master's parameters.

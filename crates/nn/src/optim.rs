@@ -71,6 +71,55 @@ impl Adam {
         self.t
     }
 
+    /// Overrides the completed-step counter (checkpoint resume). Bias
+    /// correction depends on `t`, so resuming must restore it exactly.
+    pub fn set_steps(&mut self, t: u64) {
+        self.t = t;
+    }
+
+    /// Overrides β₁/β₂/ε (checkpoint resume).
+    pub fn with_betas(mut self, beta1: f32, beta2: f32, eps: f32) -> Self {
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self.eps = eps;
+        self
+    }
+
+    /// First-moment decay β₁.
+    pub fn beta1(&self) -> f32 {
+        self.beta1
+    }
+
+    /// Second-moment decay β₂.
+    pub fn beta2(&self) -> f32 {
+        self.beta2
+    }
+
+    /// Denominator stabilizer ε.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// Decoupled weight-decay coefficient.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+
+    /// The moment pair for a parameter id, if that parameter has been
+    /// updated at least once.
+    pub fn moments_of(&self, id: u64) -> Option<(&Tensor, &Tensor)> {
+        self.state.get(&id).map(|s| (&s.m, &s.v))
+    }
+
+    /// Installs a moment pair for a parameter id (checkpoint resume).
+    ///
+    /// # Panics
+    /// Panics if `m` and `v` disagree on shape.
+    pub fn set_moments(&mut self, id: u64, m: Tensor, v: Tensor) {
+        assert_eq!(m.shape(), v.shape(), "Adam moment shape mismatch");
+        self.state.insert(id, Moments { m, v });
+    }
+
     /// Begins one optimizer step: advances the timestep and returns a guard
     /// whose [`AdamStep::update`] applies the update to each parameter.
     pub fn begin_step(&mut self) -> AdamStep<'_> {

@@ -1,0 +1,204 @@
+//! Property tests for the `NTRW` v2 checkpoint format: arbitrary parameter
+//! maps and optimizer states must survive a save → parse round trip
+//! **exactly** (f32 bit patterns, shapes, names), including the edge cases
+//! a hand-written test suite forgets — empty tensors, one-element tensors,
+//! names longer than a u16.
+
+use ntr_nn::optim::WarmupLinearSchedule;
+use ntr_nn::serialize::{
+    parse_checkpoint, write_checkpoint_to, TrainCheckpoint, TrainCursor, TrainState,
+};
+use ntr_tensor::Tensor;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Deterministic pseudo-random f32 with interesting bit patterns: normals,
+/// subnormals, zeros, and exact negatives.
+fn f32_from(seed: u64, i: usize) -> f32 {
+    let x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    match x % 7 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::from_bits((x as u32) & 0x007F_FFFF), // subnormal
+        3 => -(x as u32 as f32) / 1e3,
+        _ => f32::from_bits((x as u32) & 0x7F7F_FFFF).min(f32::MAX), // finite
+    }
+}
+
+fn tensor_from(seed: u64, shape: &[usize]) -> Tensor {
+    let numel: usize = shape.iter().product();
+    Tensor::from_vec((0..numel).map(|i| f32_from(seed, i)).collect(), shape)
+}
+
+fn name_from(seed: u64, len: usize) -> String {
+    (0..len)
+        .map(|i| {
+            let c = (seed.wrapping_add(i as u64).wrapping_mul(31)) % 26;
+            (b'a' + c as u8) as char
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary parameter maps (arbitrary shapes, including empty and
+    /// 1-element tensors, and arbitrary name lengths) round-trip exactly.
+    #[test]
+    fn params_roundtrip_exactly(
+        seed in 0u64..10_000,
+        n_params in 0usize..6,
+        rows in 0usize..5,
+        cols in 0usize..5,
+        name_len in 1usize..24,
+    ) {
+        let mut params = BTreeMap::new();
+        for k in 0..n_params {
+            let name = format!("{}{k}", name_from(seed ^ k as u64, name_len));
+            let shape: Vec<usize> = match k % 3 {
+                0 => vec![rows, cols],
+                1 => vec![rows],
+                _ => vec![rows * cols],
+            };
+            params.insert(name, tensor_from(seed ^ (k as u64) << 8, &shape));
+        }
+        let ckpt = TrainCheckpoint { params, state: None };
+        let mut buf = Vec::new();
+        write_checkpoint_to(&ckpt, &mut buf).unwrap();
+        let parsed = parse_checkpoint(&buf).unwrap();
+        prop_assert_eq!(parsed.params.len(), ckpt.params.len());
+        for (name, t) in &ckpt.params {
+            let p = &parsed.params[name];
+            prop_assert_eq!(p.shape(), t.shape());
+            prop_assert_eq!(bits(p), bits(t));
+        }
+        prop_assert!(parsed.state.is_none());
+    }
+
+    /// Full training state (moments, schedule, cursor, RNG streams)
+    /// round-trips exactly, bit for bit.
+    #[test]
+    fn train_state_roundtrips_exactly(
+        seed in 0u64..10_000,
+        n_params in 1usize..4,
+        dim in 1usize..6,
+        steps in 0u64..1_000_000,
+        epoch in 0u64..50,
+        example in 0u64..10_000,
+    ) {
+        let mut params = BTreeMap::new();
+        let mut moments = BTreeMap::new();
+        for k in 0..n_params {
+            let name = format!("p{k}");
+            params.insert(name.clone(), tensor_from(seed ^ k as u64, &[dim]));
+            moments.insert(
+                name,
+                (
+                    tensor_from(seed ^ 0x1111 ^ k as u64, &[dim]),
+                    tensor_from(seed ^ 0x2222 ^ k as u64, &[dim]),
+                ),
+            );
+        }
+        let mut rngs = BTreeMap::new();
+        rngs.insert(
+            "enc/drop0".to_string(),
+            [seed, seed ^ 1, seed ^ 2, seed | 1],
+        );
+        let state = TrainState {
+            steps,
+            lr: f32_from(seed, 0).abs().min(1.0),
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            moments,
+            schedule: WarmupLinearSchedule {
+                peak_lr: 3e-3,
+                warmup: steps / 10 + 1,
+                total: steps + 1,
+            },
+            cursor: TrainCursor { epoch, example, seed },
+            rngs,
+        };
+        let ckpt = TrainCheckpoint { params, state: Some(state) };
+        let mut buf = Vec::new();
+        write_checkpoint_to(&ckpt, &mut buf).unwrap();
+        let parsed = parse_checkpoint(&buf).unwrap();
+        let got = parsed.state.as_ref().unwrap();
+        let want = ckpt.state.as_ref().unwrap();
+        prop_assert_eq!(got.steps, want.steps);
+        prop_assert_eq!(got.lr.to_bits(), want.lr.to_bits());
+        prop_assert_eq!(got.beta1.to_bits(), want.beta1.to_bits());
+        prop_assert_eq!(got.beta2.to_bits(), want.beta2.to_bits());
+        prop_assert_eq!(got.eps.to_bits(), want.eps.to_bits());
+        prop_assert_eq!(got.weight_decay.to_bits(), want.weight_decay.to_bits());
+        prop_assert_eq!(got.schedule.warmup, want.schedule.warmup);
+        prop_assert_eq!(got.schedule.total, want.schedule.total);
+        prop_assert_eq!(got.cursor, want.cursor);
+        prop_assert_eq!(&got.rngs, &want.rngs);
+        prop_assert_eq!(got.moments.len(), want.moments.len());
+        for (name, (m, v)) in &want.moments {
+            let (gm, gv) = &got.moments[name];
+            prop_assert_eq!(bits(gm), bits(m));
+            prop_assert_eq!(bits(gv), bits(v));
+        }
+    }
+}
+
+/// Parameter names longer than a u16 (65 535 bytes) must round-trip —
+/// the format uses u32 lengths and the parser clamps against remaining
+/// bytes rather than a fixed cap.
+#[test]
+fn names_longer_than_u16_roundtrip() {
+    let long_name = name_from(7, 70_000);
+    assert!(long_name.len() > u16::MAX as usize);
+    let mut params = BTreeMap::new();
+    params.insert(long_name.clone(), tensor_from(1, &[3]));
+    params.insert(String::new(), tensor_from(2, &[1])); // empty name too
+    let ckpt = TrainCheckpoint {
+        params,
+        state: None,
+    };
+    let mut buf = Vec::new();
+    write_checkpoint_to(&ckpt, &mut buf).unwrap();
+    let parsed = parse_checkpoint(&buf).unwrap();
+    assert_eq!(
+        bits(&parsed.params[&long_name]),
+        bits(&ckpt.params[&long_name])
+    );
+    assert!(parsed.params.contains_key(""));
+}
+
+/// NaN payloads and infinities are preserved bit-exactly (a resumed run
+/// must see exactly the floats the crashed run had, pathological or not).
+#[test]
+fn nan_and_inf_bit_patterns_survive() {
+    let weird = Tensor::from_vec(
+        vec![
+            f32::NAN,
+            f32::from_bits(0x7FC0_1234), // NaN with payload
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MIN_POSITIVE / 2.0, // subnormal
+            -0.0,
+        ],
+        &[6],
+    );
+    let mut params = BTreeMap::new();
+    params.insert("weird".to_string(), weird.clone());
+    let ckpt = TrainCheckpoint {
+        params,
+        state: None,
+    };
+    let mut buf = Vec::new();
+    write_checkpoint_to(&ckpt, &mut buf).unwrap();
+    let parsed = parse_checkpoint(&buf).unwrap();
+    assert_eq!(bits(&parsed.params["weird"]), bits(&weird));
+}

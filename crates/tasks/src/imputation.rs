@@ -19,11 +19,12 @@
 
 use crate::metrics::{accuracy, macro_f1};
 use crate::pretrain::MlmModel;
-use crate::trainer::{epoch_order, ScheduledOptimizer, TrainConfig};
+use crate::trainer::{TrainConfig, TrainerOptions};
 use ntr_corpus::datasets::{ImputationDataset, ImputationExample};
 use ntr_corpus::Split;
 use ntr_models::EncoderInput;
 use ntr_nn::loss::{softmax_cross_entropy, IGNORE_INDEX};
+use ntr_nn::serialize::CheckpointError;
 use ntr_table::{Linearizer, LinearizerOptions, RowMajorLinearizer};
 use ntr_tokenizer::{SpecialToken, WordPieceTokenizer};
 use std::collections::{BTreeMap, BTreeSet};
@@ -172,6 +173,21 @@ pub fn finetune<M: MlmModel>(
     cfg: &TrainConfig,
     max_tokens: usize,
 ) {
+    let _ = finetune_resumable(model, ds, tok, cfg, max_tokens, &TrainerOptions::default())
+        .expect("no checkpointing configured, so training cannot fail");
+}
+
+/// Fine-tuning with checkpoint/resume support. Returns the mean training
+/// loss per optimizer step this invocation ran (for resume-equivalence
+/// verification).
+pub fn finetune_resumable<M: MlmModel>(
+    model: &mut M,
+    ds: &ImputationDataset,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+) -> Result<Vec<f32>, CheckpointError> {
     let train_idx = ds.indices(Split::Train);
     let prepared: Vec<(EncoderInput, Vec<usize>, Vec<usize>)> = train_idx
         .iter()
@@ -182,31 +198,27 @@ pub fn finetune<M: MlmModel>(
             Some((input, positions, targets))
         })
         .collect();
-    let steps = (prepared.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
-    let mut opt = ScheduledOptimizer::new(cfg, steps);
-    let mut in_batch = 0;
-    for epoch in 0..cfg.epochs {
-        for &i in &epoch_order(prepared.len(), epoch, cfg.seed) {
-            let (input, positions, slot_targets) = &prepared[i];
+    let mut trainer = topts.build(model, cfg, prepared.len())?;
+    let mut losses = Vec::new();
+    while let Some(batch) = trainer.next_batch() {
+        let mut batch_loss = 0.0;
+        for item in &batch {
+            let (input, positions, slot_targets) = &prepared[item.index];
             let states = model.encode(input, true);
             let logits = model.mlm_head().forward(&states);
             let mut targets = vec![IGNORE_INDEX; input.len()];
             for (k, &pos) in positions.iter().enumerate() {
                 targets[pos] = slot_targets[k];
             }
-            let (_, dlogits) = softmax_cross_entropy(&logits, &targets, None);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &targets, None);
             let dstates = model.mlm_head().backward(&dlogits);
             model.backward(&dstates);
-            in_batch += 1;
-            if in_batch == cfg.batch_size {
-                opt.step(model);
-                in_batch = 0;
-            }
+            batch_loss += loss;
         }
+        trainer.step(model)?;
+        losses.push(batch_loss / batch.len() as f32);
     }
-    if in_batch > 0 {
-        opt.step(model);
-    }
+    Ok(losses)
 }
 
 /// Imputation evaluation results, with the §3.4 failure-case slices.

@@ -2,13 +2,14 @@
 //! modeling, TURL's joint MLM + masked entity recovery, and TAPEX's
 //! neural-SQL-executor objective.
 
-use crate::trainer::{epoch_order, ScheduledOptimizer, TrainConfig};
+use crate::trainer::{TrainConfig, TrainerOptions};
 use ntr_corpus::tables::TableCorpus;
 use ntr_models::{
     pool_mean, pool_mean_backward, EncoderInput, Mate, MlmHead, SequenceEncoder, Tapas, Tapex,
     Turl, VanillaBert,
 };
 use ntr_nn::loss::softmax_cross_entropy;
+use ntr_nn::serialize::CheckpointError;
 use ntr_sql::gen::{GenConfig, QueryGenerator};
 use ntr_table::masking::{mask_entities, mask_mlm, MaskedExample, MlmConfig};
 use ntr_table::{
@@ -84,6 +85,30 @@ pub fn pretrain_mlm_with<M: MlmModel>(
     max_tokens: usize,
     linearizer: &dyn Linearizer,
 ) -> PretrainReport {
+    pretrain_mlm_resumable(
+        model,
+        corpus,
+        tok,
+        cfg,
+        max_tokens,
+        linearizer,
+        &TrainerOptions::default(),
+    )
+    .expect("no checkpointing configured, so training cannot fail")
+}
+
+/// MLM pretraining with checkpoint/resume support. The report covers only
+/// the steps this invocation ran (a resumed run reports the post-resume
+/// suffix, bit-identical to the same steps of an uninterrupted run).
+pub fn pretrain_mlm_resumable<M: MlmModel>(
+    model: &mut M,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    linearizer: &dyn Linearizer,
+    topts: &TrainerOptions,
+) -> Result<PretrainReport, CheckpointError> {
     let opts = LinearizerOptions {
         max_tokens,
         ..Default::default()
@@ -95,21 +120,19 @@ pub fn pretrain_mlm_with<M: MlmModel>(
         .map(|t| linearizer.linearize(t, &t.caption, tok, &opts))
         .collect();
 
-    let steps = (corpus.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
-    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut trainer = topts.build(model, cfg, encoded.len())?;
     let mut report = PretrainReport::default();
-    let mut batch_loss = 0.0;
-    let mut batch_hits = 0usize;
-    let mut batch_masked = 0usize;
-    let mut in_batch = 0usize;
-
-    for epoch in 0..cfg.epochs {
-        for (step_idx, &i) in epoch_order(encoded.len(), epoch, cfg.seed)
-            .iter()
-            .enumerate()
-        {
-            let e = &encoded[i];
-            let masked = mask_mlm(e, &mlm_cfg, cfg.seed ^ ((epoch * 31 + step_idx) as u64));
+    while let Some(batch) = trainer.next_batch() {
+        let mut batch_loss = 0.0;
+        let mut batch_hits = 0usize;
+        let mut batch_masked = 0usize;
+        for item in &batch {
+            let e = &encoded[item.index];
+            let masked = mask_mlm(
+                e,
+                &mlm_cfg,
+                trainer.seed() ^ ((item.epoch * 31 + item.pos) as u64),
+            );
             let input = EncoderInput::from_masked(e, &masked);
             let states = model.encode(&input, true);
             let logits = model.mlm_head().forward(&states);
@@ -126,28 +149,14 @@ pub fn pretrain_mlm_with<M: MlmModel>(
             let dstates = model.mlm_head().backward(&dlogits);
             model.backward(&dstates);
             batch_loss += loss;
-            in_batch += 1;
-            if in_batch == cfg.batch_size {
-                opt.step(model);
-                report.mlm_loss.push(batch_loss / in_batch as f32);
-                report
-                    .mlm_acc
-                    .push(batch_hits as f32 / batch_masked.max(1) as f32);
-                batch_loss = 0.0;
-                batch_hits = 0;
-                batch_masked = 0;
-                in_batch = 0;
-            }
         }
-    }
-    if in_batch > 0 {
-        opt.step(model);
-        report.mlm_loss.push(batch_loss / in_batch as f32);
+        trainer.step(model)?;
+        report.mlm_loss.push(batch_loss / batch.len() as f32);
         report
             .mlm_acc
             .push(batch_hits as f32 / batch_masked.max(1) as f32);
     }
-    report
+    Ok(report)
 }
 
 /// TURL joint pretraining: MER masks whole entity cells, MLM masks
@@ -159,6 +168,26 @@ pub fn pretrain_turl(
     cfg: &TrainConfig,
     max_tokens: usize,
 ) -> PretrainReport {
+    pretrain_turl_resumable(
+        model,
+        corpus,
+        tok,
+        cfg,
+        max_tokens,
+        &TrainerOptions::default(),
+    )
+    .expect("no checkpointing configured, so training cannot fail")
+}
+
+/// TURL joint pretraining with checkpoint/resume support.
+pub fn pretrain_turl_resumable(
+    model: &mut Turl,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+) -> Result<PretrainReport, CheckpointError> {
     let opts = LinearizerOptions {
         max_tokens,
         ..Default::default()
@@ -170,20 +199,14 @@ pub fn pretrain_turl(
         .map(|t| TurlLinearizer.linearize(t, &t.caption, tok, &opts))
         .collect();
 
-    let steps = (corpus.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
-    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut trainer = topts.build(model, cfg, encoded.len())?;
     let mut report = PretrainReport::default();
-    let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
-    let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) = (0usize, 0usize, 0usize, 0usize);
-    let mut in_batch = 0usize;
-
-    for epoch in 0..cfg.epochs {
-        for (step_idx, &i) in epoch_order(encoded.len(), epoch, cfg.seed)
-            .iter()
-            .enumerate()
-        {
-            let e = &encoded[i];
-            let seed = cfg.seed ^ ((epoch * 131 + step_idx) as u64);
+    while let Some(batch) = trainer.next_batch() {
+        let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
+        let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) = (0usize, 0usize, 0usize, 0usize);
+        for item in &batch {
+            let e = &encoded[item.index];
+            let seed = trainer.seed() ^ ((item.epoch * 131 + item.pos) as u64);
             // 1. MER corruption (whole entity cells → [MASK]).
             let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
             // 2. MLM corruption on top, skipping positions MER already took.
@@ -253,31 +276,14 @@ pub fn pretrain_turl(
             model.backward(&dstates);
             bl_mlm += mlm_loss;
             bl_mer += mer_loss;
-            in_batch += 1;
-            if in_batch == cfg.batch_size {
-                opt.step(model);
-                report.mlm_loss.push(bl_mlm / in_batch as f32);
-                report.mer_loss.push(bl_mer / in_batch as f32);
-                report.mlm_acc.push(hits_mlm as f32 / n_mlm.max(1) as f32);
-                report.mer_acc.push(hits_mer as f32 / n_mer.max(1) as f32);
-                bl_mlm = 0.0;
-                bl_mer = 0.0;
-                hits_mlm = 0;
-                n_mlm = 0;
-                hits_mer = 0;
-                n_mer = 0;
-                in_batch = 0;
-            }
         }
-    }
-    if in_batch > 0 {
-        opt.step(model);
-        report.mlm_loss.push(bl_mlm / in_batch as f32);
-        report.mer_loss.push(bl_mer / in_batch as f32);
+        trainer.step(model)?;
+        report.mlm_loss.push(bl_mlm / batch.len() as f32);
+        report.mer_loss.push(bl_mer / batch.len() as f32);
         report.mlm_acc.push(hits_mlm as f32 / n_mlm.max(1) as f32);
         report.mer_acc.push(hits_mer as f32 / n_mer.max(1) as f32);
     }
-    report
+    Ok(report)
 }
 
 /// Builds the TAPEX encoder input for `(sql, table)` and the target ids
@@ -311,6 +317,28 @@ pub fn pretrain_tapex(
     queries_per_table: usize,
     max_tokens: usize,
 ) -> Vec<f32> {
+    pretrain_tapex_resumable(
+        model,
+        corpus,
+        tok,
+        cfg,
+        queries_per_table,
+        max_tokens,
+        &TrainerOptions::default(),
+    )
+    .expect("no checkpointing configured, so training cannot fail")
+}
+
+/// TAPEX pretraining with checkpoint/resume support.
+pub fn pretrain_tapex_resumable(
+    model: &mut Tapex,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    queries_per_table: usize,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+) -> Result<Vec<f32>, CheckpointError> {
     // Materialize (input, target) pairs once.
     let mut pairs = Vec::new();
     for (ti, table) in corpus.tables.iter().enumerate() {
@@ -319,29 +347,18 @@ pub fn pretrain_tapex(
             pairs.push(tapex_example(table, &sql, &answer, tok, max_tokens));
         }
     }
-    let steps = (pairs.len() * cfg.epochs).div_ceil(cfg.batch_size) as u64;
-    let mut opt = ScheduledOptimizer::new(cfg, steps);
+    let mut trainer = topts.build(model, cfg, pairs.len())?;
     let mut losses = Vec::new();
-    let mut batch_loss = 0.0;
-    let mut in_batch = 0;
-    for epoch in 0..cfg.epochs {
-        for &i in &epoch_order(pairs.len(), epoch, cfg.seed) {
-            let (input, target) = &pairs[i];
+    while let Some(batch) = trainer.next_batch() {
+        let mut batch_loss = 0.0;
+        for item in &batch {
+            let (input, target) = &pairs[item.index];
             batch_loss += model.train_step(input, target);
-            in_batch += 1;
-            if in_batch == cfg.batch_size {
-                opt.step(model);
-                losses.push(batch_loss / in_batch as f32);
-                batch_loss = 0.0;
-                in_batch = 0;
-            }
         }
+        trainer.step(model)?;
+        losses.push(batch_loss / batch.len() as f32);
     }
-    if in_batch > 0 {
-        opt.step(model);
-        losses.push(batch_loss / in_batch as f32);
-    }
-    losses
+    Ok(losses)
 }
 
 /// Held-out MLM evaluation: masks each table once (seeded) and measures

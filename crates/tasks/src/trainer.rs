@@ -1,7 +1,15 @@
-//! Shared training-loop configuration and the optimizer-step helper.
+//! Shared training-loop machinery: configuration, the scheduled optimizer,
+//! and the resumable [`Trainer`] that owns the example stream and can
+//! checkpoint / resume a run **bit-identically** — training 2N steps
+//! straight and training N, crashing, and resuming for N more produce the
+//! same parameters, optimizer moments, and loss trace.
 
 use ntr_nn::optim::{Adam, WarmupLinearSchedule};
+use ntr_nn::serialize::{
+    load_checkpoint, save_checkpoint, CheckpointError, TrainCheckpoint, TrainCursor,
+};
 use ntr_nn::Layer;
+use std::path::{Path, PathBuf};
 
 /// Hyperparameters for a fine-tuning run.
 #[derive(Debug, Clone, Copy)]
@@ -31,6 +39,7 @@ impl Default for TrainConfig {
 }
 
 /// Drives Adam with a warmup-linear schedule over a known number of steps.
+#[derive(Debug)]
 pub struct ScheduledOptimizer {
     adam: Adam,
     schedule: WarmupLinearSchedule,
@@ -50,6 +59,12 @@ impl ScheduledOptimizer {
         }
     }
 
+    /// Rebuilds an optimizer from checkpointed parts (resume path): the
+    /// saved schedule is authoritative, not one recomputed from config.
+    pub fn from_parts(adam: Adam, schedule: WarmupLinearSchedule) -> Self {
+        Self { adam, schedule }
+    }
+
     /// Applies one optimizer step to `model`'s accumulated gradients and
     /// zeroes them.
     pub fn step(&mut self, model: &mut dyn Layer) {
@@ -64,6 +79,16 @@ impl ScheduledOptimizer {
     pub fn steps(&self) -> u64 {
         self.adam.steps()
     }
+
+    /// The underlying Adam state (for checkpoint capture).
+    pub fn adam(&self) -> &Adam {
+        &self.adam
+    }
+
+    /// The learning-rate schedule (for checkpoint capture).
+    pub fn schedule(&self) -> &WarmupLinearSchedule {
+        &self.schedule
+    }
 }
 
 /// Deterministically shuffles indices for one epoch.
@@ -74,6 +99,221 @@ pub fn epoch_order(n: usize, epoch: usize, seed: u64) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut rng);
     idx
+}
+
+/// One example drawn from the training stream: which epoch it belongs to,
+/// its position within that epoch's shuffled order (the per-example masking
+/// seeds are functions of these two), and the dataset index to train on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchItem {
+    /// Epoch this example belongs to.
+    pub epoch: usize,
+    /// Position within the epoch's shuffled order.
+    pub pos: usize,
+    /// Dataset index of the example.
+    pub index: usize,
+}
+
+/// Checkpoint/resume knobs for a training run, shared by every driver
+/// (`pretrain_*`, `finetune`) and the CLI.
+#[derive(Debug, Clone, Default)]
+pub struct TrainerOptions {
+    /// Write a checkpoint to this path every `.1` optimizer steps.
+    pub checkpoint: Option<(PathBuf, u64)>,
+    /// Resume from this checkpoint instead of starting fresh.
+    pub resume: Option<PathBuf>,
+    /// Stop issuing batches once this many optimizer steps have completed
+    /// (crash simulation in tests; partial-run support in the CLI).
+    pub halt_after: Option<u64>,
+}
+
+impl TrainerOptions {
+    /// Builds the trainer for a run over `n_examples` examples: fresh from
+    /// `cfg`, or resumed from [`TrainerOptions::resume`] (which also loads
+    /// weights, optimizer moments, and RNG streams into `model`).
+    pub fn build(
+        &self,
+        model: &mut dyn Layer,
+        cfg: &TrainConfig,
+        n_examples: usize,
+    ) -> Result<Trainer, CheckpointError> {
+        let mut t = match &self.resume {
+            Some(path) => Trainer::resume(model, cfg, n_examples, path)?,
+            None => Trainer::new(cfg, n_examples),
+        };
+        if let Some((path, every)) = &self.checkpoint {
+            t = t.with_checkpointing(path.clone(), *every);
+        }
+        if let Some(h) = self.halt_after {
+            t = t.with_halt_after(h);
+        }
+        Ok(t)
+    }
+}
+
+/// Owns a training run's example stream and optimizer.
+///
+/// The stream is the concatenation of each epoch's [`epoch_order`] shuffle,
+/// chunked into batches of `batch_size` that **span epoch boundaries**, with
+/// a final partial batch — exactly the iteration order the drivers used
+/// before checkpointing existed, so resumed runs retrace the original
+/// stream. Checkpoints are only taken at optimizer-step boundaries; the
+/// saved cursor names the next unprocessed example.
+#[derive(Debug)]
+pub struct Trainer {
+    opt: ScheduledOptimizer,
+    n_examples: usize,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+    epoch: usize,
+    pos: usize,
+    order: Vec<usize>,
+    checkpoint: Option<(PathBuf, u64)>,
+    halt_after: Option<u64>,
+}
+
+impl Trainer {
+    /// A fresh run over `n_examples` examples under `cfg`.
+    pub fn new(cfg: &TrainConfig, n_examples: usize) -> Self {
+        let total = (n_examples * cfg.epochs).div_ceil(cfg.batch_size.max(1)) as u64;
+        Self {
+            opt: ScheduledOptimizer::new(cfg, total),
+            n_examples,
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size.max(1),
+            seed: cfg.seed,
+            epoch: 0,
+            pos: 0,
+            order: epoch_order(n_examples, 0, cfg.seed),
+            checkpoint: None,
+            halt_after: None,
+        }
+    }
+
+    /// Resumes a run from `path`: restores `model`'s weights, moments, and
+    /// dropout RNG streams, and places the cursor at the first unprocessed
+    /// example. The checkpoint's schedule is authoritative; its seed must
+    /// match `cfg.seed` (a mismatch would silently retrace a *different*
+    /// example stream, so it is an error).
+    pub fn resume(
+        model: &mut dyn Layer,
+        cfg: &TrainConfig,
+        n_examples: usize,
+        path: &Path,
+    ) -> Result<Self, CheckpointError> {
+        let ckpt = load_checkpoint(path)?;
+        let Some((adam, schedule, cursor)) = ckpt.apply_train(model)? else {
+            return Err(CheckpointError::Mismatch(
+                "checkpoint holds no training state to resume from (weights-only or v1 file)"
+                    .into(),
+            ));
+        };
+        if cursor.seed != cfg.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint seed {:#x} != configured seed {:#x}: resuming would retrace a different example stream",
+                cursor.seed, cfg.seed
+            )));
+        }
+        let mut t = Self::new(cfg, n_examples);
+        t.opt = ScheduledOptimizer::from_parts(adam, schedule);
+        t.epoch = cursor.epoch as usize;
+        t.pos = cursor.example as usize;
+        t.order = if t.epoch < t.epochs {
+            epoch_order(n_examples, t.epoch, cfg.seed)
+        } else {
+            Vec::new()
+        };
+        Ok(t)
+    }
+
+    /// Enables checkpointing to `path` every `every` optimizer steps.
+    pub fn with_checkpointing(mut self, path: PathBuf, every: u64) -> Self {
+        self.checkpoint = Some((path, every.max(1)));
+        self
+    }
+
+    /// Stops issuing batches once `steps` optimizer steps have completed.
+    pub fn with_halt_after(mut self, steps: u64) -> Self {
+        self.halt_after = Some(steps);
+        self
+    }
+
+    /// The run's shuffling/masking seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Completed optimizer steps.
+    pub fn steps(&self) -> u64 {
+        self.opt.steps()
+    }
+
+    /// The next batch of examples, or `None` when the stream is exhausted
+    /// (or a halt point was reached).
+    pub fn next_batch(&mut self) -> Option<Vec<BatchItem>> {
+        if let Some(h) = self.halt_after {
+            if self.opt.steps() >= h {
+                return None;
+            }
+        }
+        let mut batch = Vec::with_capacity(self.batch_size);
+        while batch.len() < self.batch_size && self.epoch < self.epochs {
+            if self.pos >= self.order.len() {
+                self.epoch += 1;
+                self.pos = 0;
+                if self.epoch < self.epochs {
+                    self.order = epoch_order(self.n_examples, self.epoch, self.seed);
+                }
+                continue;
+            }
+            batch.push(BatchItem {
+                epoch: self.epoch,
+                pos: self.pos,
+                index: self.order[self.pos],
+            });
+            self.pos += 1;
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+
+    /// Applies one optimizer step to `model`'s accumulated gradients, then
+    /// writes a checkpoint if one is due. Only fails if a due checkpoint
+    /// cannot be written.
+    pub fn step(&mut self, model: &mut dyn Layer) -> Result<(), CheckpointError> {
+        self.opt.step(model);
+        if let Some((path, every)) = self.checkpoint.clone() {
+            if self.opt.steps().is_multiple_of(every) {
+                self.save_state(model, &path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The resume point a checkpoint taken now would carry.
+    pub fn cursor(&self) -> TrainCursor {
+        TrainCursor {
+            epoch: self.epoch as u64,
+            example: self.pos as u64,
+            seed: self.seed,
+        }
+    }
+
+    /// Writes a full training checkpoint (weights + moments + schedule +
+    /// cursor + RNG streams) to `path`, crash-safely.
+    pub fn save_state(&self, model: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+        let ckpt = TrainCheckpoint::capture_train(
+            model,
+            self.opt.adam(),
+            self.opt.schedule(),
+            self.cursor(),
+        );
+        save_checkpoint(&ckpt, path)
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +346,140 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());
         assert_ne!(epoch_order(10, 1, 1), a, "epochs reshuffle");
+    }
+
+    /// Drains a trainer's stream into (epoch, pos, index) triples.
+    fn drain(t: &mut Trainer) -> Vec<Vec<BatchItem>> {
+        let mut out = Vec::new();
+        while let Some(b) = t.next_batch() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn batches_span_epochs_and_flush_the_tail() {
+        // 5 examples × 3 epochs = 15 items in batches of 4 → 3 full + 1 of 3.
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            seed: 7,
+            ..TrainConfig::default()
+        };
+        let mut t = Trainer::new(&cfg, 5);
+        let batches = drain(&mut t);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[3].len(), 3);
+        // The flattened stream is the concatenation of per-epoch shuffles.
+        let flat: Vec<usize> = batches.iter().flatten().map(|i| i.index).collect();
+        let expected: Vec<usize> = (0..3).flat_map(|e| epoch_order(5, e, 7)).collect();
+        assert_eq!(flat, expected);
+        // Batch 1 crosses the epoch-0/epoch-1 boundary (5 = 4 + 1).
+        assert_eq!(batches[1][0].epoch, 0);
+        assert_eq!(batches[1][1].epoch, 1);
+        assert_eq!(batches[1][1].pos, 0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let mut t = Trainer::new(&TrainConfig::default(), 0);
+        assert!(t.next_batch().is_none());
+    }
+
+    #[test]
+    fn halt_stops_the_stream_at_a_step_boundary() {
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 2,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let mut model = Linear::new(2, 2, &mut SeededInit::new(2));
+        let mut t = Trainer::new(&cfg, 4).with_halt_after(3);
+        let mut steps = 0;
+        while let Some(_b) = t.next_batch() {
+            let _ = model.forward(&Tensor::ones(&[1, 2]));
+            let _ = model.backward(&Tensor::ones(&[1, 2]));
+            t.step(&mut model).unwrap();
+            steps += 1;
+        }
+        assert_eq!(steps, 3, "halt_after(3) must stop after 3 steps");
+        assert_eq!(t.steps(), 3);
+    }
+
+    #[test]
+    fn resume_continues_the_exact_example_stream() {
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            seed: 11,
+            ..TrainConfig::default()
+        };
+        let dir = std::env::temp_dir().join("ntr_trainer_resume_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ntrw");
+
+        // Reference: drain the full stream in one go.
+        let mut full_model = Linear::new(2, 2, &mut SeededInit::new(3));
+        let mut full = Trainer::new(&cfg, 5);
+        let mut full_items = Vec::new();
+        while let Some(b) = full.next_batch() {
+            let _ = full_model.forward(&Tensor::ones(&[1, 2]));
+            let _ = full_model.backward(&Tensor::ones(&[1, 2]));
+            full.step(&mut full_model).unwrap();
+            full_items.extend(b);
+        }
+
+        // Crashed run: halt after 2 steps, checkpointing every step.
+        let mut model = Linear::new(2, 2, &mut SeededInit::new(3));
+        let mut first = Trainer::new(&cfg, 5)
+            .with_checkpointing(path.clone(), 1)
+            .with_halt_after(2);
+        let mut items = Vec::new();
+        while let Some(b) = first.next_batch() {
+            let _ = model.forward(&Tensor::ones(&[1, 2]));
+            let _ = model.backward(&Tensor::ones(&[1, 2]));
+            first.step(&mut model).unwrap();
+            items.extend(b);
+        }
+
+        // Resume into a *fresh* model and finish the stream.
+        let mut resumed_model = Linear::new(2, 2, &mut SeededInit::new(999));
+        let mut resumed = Trainer::resume(&mut resumed_model, &cfg, 5, &path).unwrap();
+        assert_eq!(resumed.steps(), 2);
+        while let Some(b) = resumed.next_batch() {
+            let _ = resumed_model.forward(&Tensor::ones(&[1, 2]));
+            let _ = resumed_model.backward(&Tensor::ones(&[1, 2]));
+            resumed.step(&mut resumed_model).unwrap();
+            items.extend(b);
+        }
+        assert_eq!(items, full_items, "resume must retrace the same stream");
+        assert_eq!(
+            full_model.w.value.data(),
+            resumed_model.w.value.data(),
+            "weights must be bit-identical"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_seed_mismatch() {
+        let cfg = TrainConfig {
+            seed: 1,
+            ..TrainConfig::default()
+        };
+        let dir = std::env::temp_dir().join("ntr_trainer_seed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ntrw");
+        let mut model = Linear::new(2, 2, &mut SeededInit::new(4));
+        let t = Trainer::new(&cfg, 3);
+        t.save_state(&mut model, &path).unwrap();
+        let bad_cfg = TrainConfig {
+            seed: 2,
+            ..TrainConfig::default()
+        };
+        let err = Trainer::resume(&mut model, &bad_cfg, 3, &path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 }

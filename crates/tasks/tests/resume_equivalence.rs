@@ -1,0 +1,226 @@
+//! The headline checkpointing guarantee, end to end: training 2N steps
+//! straight versus training N steps, "crashing", and resuming for N more
+//! must produce **bit-identical** parameters, optimizer moments, and loss
+//! traces — for TURL pretraining and imputation fine-tuning, with dropout
+//! active so the checkpointed RNG streams are load-bearing.
+//!
+//! These tests are run under `NTR_THREADS=1` and `NTR_THREADS=4` in CI; the
+//! guarantee must hold regardless of the thread count.
+
+use ntr_corpus::datasets::ImputationDataset;
+use ntr_corpus::tables::{CorpusConfig, TableCorpus};
+use ntr_corpus::{World, WorldConfig};
+use ntr_models::{ModelConfig, Turl, VanillaBert};
+use ntr_nn::serialize::TrainCheckpoint;
+use ntr_nn::Layer;
+use ntr_tasks::imputation::finetune_resumable;
+use ntr_tasks::pretrain::pretrain_turl_resumable;
+use ntr_tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr_tokenizer::WordPieceTokenizer;
+use std::path::PathBuf;
+
+fn small_world() -> (World, TableCorpus, WordPieceTokenizer) {
+    let w = World::generate(WorldConfig {
+        n_countries: 8,
+        n_people: 10,
+        n_films: 8,
+        n_clubs: 6,
+        seed: 5,
+    });
+    let corpus = TableCorpus::generate_entity_only(
+        &w,
+        &CorpusConfig {
+            n_tables: 8,
+            min_rows: 3,
+            max_rows: 5,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 6,
+        },
+    );
+    let tok = ntr_corpus::vocab::train_tokenizer(&corpus, &[], 1200);
+    (w, corpus, tok)
+}
+
+fn ckpt_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ntr_resume_equivalence");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Bit patterns of every parameter, keyed by name.
+fn param_bits(model: &mut dyn Layer) -> Vec<(String, Vec<u32>)> {
+    TrainCheckpoint::capture(model)
+        .params
+        .into_iter()
+        .map(|(n, t)| (n, t.data().iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn turl_pretraining_resume_is_bit_identical() {
+    let (w, corpus, tok) = small_world();
+    let mcfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        n_entities: w.n_entities(),
+        dropout: 0.1, // dropout ON: the RNG streams must survive the resume
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+    let tcfg = TrainConfig {
+        epochs: 2,
+        lr: 3e-3,
+        batch_size: 4,
+        warmup_frac: 0.1,
+        seed: 42,
+    };
+    let path = ckpt_path("turl.ntrw");
+
+    // Reference: one uninterrupted run.
+    let mut straight = Turl::new(&mcfg);
+    let full = pretrain_turl_resumable(
+        &mut straight,
+        &corpus,
+        &tok,
+        &tcfg,
+        64,
+        &TrainerOptions::default(),
+    )
+    .unwrap();
+    assert!(full.mlm_loss.len() >= 4, "need ≥4 steps to halt mid-run");
+    let halt_at = (full.mlm_loss.len() / 2) as u64;
+
+    // "Crashed" run: checkpoint every step, stop halfway.
+    let mut crashed = Turl::new(&mcfg);
+    let head = pretrain_turl_resumable(
+        &mut crashed,
+        &corpus,
+        &tok,
+        &tcfg,
+        64,
+        &TrainerOptions {
+            checkpoint: Some((path.clone(), 1)),
+            resume: None,
+            halt_after: Some(halt_at),
+        },
+    )
+    .unwrap();
+    assert_eq!(head.mlm_loss.len() as u64, halt_at);
+
+    // Resume into a *differently initialized* model: every weight, moment,
+    // and RNG stream must come from the checkpoint, not the constructor.
+    let mut resumed = Turl::new(&ModelConfig {
+        seed: 0xDEAD,
+        ..mcfg
+    });
+    let tail = pretrain_turl_resumable(
+        &mut resumed,
+        &corpus,
+        &tok,
+        &tcfg,
+        64,
+        &TrainerOptions {
+            checkpoint: None,
+            resume: Some(path.clone()),
+            halt_after: None,
+        },
+    )
+    .unwrap();
+
+    // Loss traces: head ++ tail == full, bit for bit, on both objectives.
+    let stitched_mlm: Vec<u32> = bits(&head.mlm_loss)
+        .into_iter()
+        .chain(bits(&tail.mlm_loss))
+        .collect();
+    assert_eq!(stitched_mlm, bits(&full.mlm_loss), "MLM loss trace differs");
+    let stitched_mer: Vec<u32> = bits(&head.mer_loss)
+        .into_iter()
+        .chain(bits(&tail.mer_loss))
+        .collect();
+    assert_eq!(stitched_mer, bits(&full.mer_loss), "MER loss trace differs");
+
+    // Final parameters bit-identical.
+    assert_eq!(
+        param_bits(&mut straight),
+        param_bits(&mut resumed),
+        "final parameters differ after resume"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn imputation_finetune_resume_is_bit_identical() {
+    let (_, corpus, tok) = small_world();
+    let ds = ImputationDataset::build(&corpus, 2, 4);
+    let mcfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        dropout: 0.1,
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+    let tcfg = TrainConfig {
+        epochs: 2,
+        lr: 3e-3,
+        batch_size: 4,
+        warmup_frac: 0.1,
+        seed: 9,
+    };
+    let path = ckpt_path("imputation.ntrw");
+
+    let mut straight = VanillaBert::new(&mcfg);
+    let full = finetune_resumable(
+        &mut straight,
+        &ds,
+        &tok,
+        &tcfg,
+        96,
+        &TrainerOptions::default(),
+    )
+    .unwrap();
+    assert!(full.len() >= 4, "need ≥4 steps to halt mid-run");
+    let halt_at = (full.len() / 2) as u64;
+
+    let mut crashed = VanillaBert::new(&mcfg);
+    let head = finetune_resumable(
+        &mut crashed,
+        &ds,
+        &tok,
+        &tcfg,
+        96,
+        &TrainerOptions {
+            checkpoint: Some((path.clone(), 1)),
+            resume: None,
+            halt_after: Some(halt_at),
+        },
+    )
+    .unwrap();
+
+    let mut resumed = VanillaBert::new(&ModelConfig {
+        seed: 0xDEAD,
+        ..mcfg
+    });
+    let tail = finetune_resumable(
+        &mut resumed,
+        &ds,
+        &tok,
+        &tcfg,
+        96,
+        &TrainerOptions {
+            checkpoint: None,
+            resume: Some(path.clone()),
+            halt_after: None,
+        },
+    )
+    .unwrap();
+
+    let stitched: Vec<u32> = bits(&head).into_iter().chain(bits(&tail)).collect();
+    assert_eq!(stitched, bits(&full), "fine-tuning loss trace differs");
+    assert_eq!(
+        param_bits(&mut straight),
+        param_bits(&mut resumed),
+        "final parameters differ after resume"
+    );
+    let _ = std::fs::remove_file(&path);
+}

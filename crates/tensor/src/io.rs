@@ -1,0 +1,316 @@
+//! Binary-I/O building blocks for checkpoint files: CRC-32 integrity
+//! hashing and bounds-checked little-endian readers/writers.
+//!
+//! These live in `ntr-tensor` (the workspace's dependency root) so every
+//! crate that serializes tensors — `ntr-nn`'s checkpoint format first of
+//! all — shares one audited implementation. Nothing here allocates
+//! proportionally to *declared* sizes: readers hand out slices of the
+//! underlying buffer and let callers validate lengths before they allocate,
+//! which is what makes hostile headers harmless.
+
+use std::io::{self, Write};
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+///
+/// Detects all single-bit and all burst errors up to 32 bits, which is the
+/// property the checkpoint fault-injection suite leans on: any flipped bit
+/// in a section or in the file image fails its checksum.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// A [`Write`] adapter that feeds every written byte through a [`Crc32`]
+/// and counts bytes, so a writer can emit a trailing checksum over exactly
+/// what reached the stream.
+pub struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+    written: u64,
+}
+
+impl<W: Write> CrcWriter<W> {
+    /// Wraps `inner`.
+    pub fn new(inner: W) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+            written: 0,
+        }
+    }
+
+    /// Checksum of all bytes written so far.
+    pub fn crc(&self) -> u32 {
+        self.crc.finish()
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The inner writer (e.g. to append bytes excluded from the checksum).
+    pub fn inner_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+impl<W: Write> Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.crc.update(&buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Error from [`ByteReader`]: a read past the end of the buffer. Carries
+/// enough context for a useful "truncated file" message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortRead {
+    /// Bytes the caller asked for.
+    pub needed: usize,
+    /// Bytes actually remaining.
+    pub remaining: usize,
+}
+
+impl std::fmt::Display for ShortRead {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated input: needed {} byte(s), {} remaining",
+            self.needed, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for ShortRead {}
+
+/// Bounds-checked little-endian cursor over an in-memory buffer.
+///
+/// Every accessor returns [`ShortRead`] instead of panicking or allocating
+/// when the buffer is shorter than a declared length, so parsers built on
+/// it degrade to clean format errors on truncated or hostile input.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether the cursor consumed the whole buffer.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes as a slice without copying.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ShortRead> {
+        if n > self.remaining() {
+            return Err(ShortRead {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ShortRead> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ShortRead> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Next little-endian `f32` (bit-exact, NaNs preserved).
+    pub fn f32(&mut self) -> Result<f32, ShortRead> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Next `n` little-endian `f32`s. The length is validated against the
+    /// remaining buffer *before* the vector is allocated, so a hostile
+    /// length can not trigger a huge allocation.
+    pub fn f32s(&mut self, n: usize) -> Result<Vec<f32>, ShortRead> {
+        let needed = n.checked_mul(4).ok_or(ShortRead {
+            needed: usize::MAX,
+            remaining: self.remaining(),
+        })?;
+        let bytes = self.take(needed)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_incremental_equals_oneshot() {
+        let mut h = Crc32::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finish(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let base = b"the quick brown fox".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut corrupt = base.clone();
+                corrupt[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc_writer_tracks_bytes_and_crc() {
+        let mut w = CrcWriter::new(Vec::new());
+        w.write_all(b"123456789").unwrap();
+        assert_eq!(w.written(), 9);
+        assert_eq!(w.crc(), 0xCBF4_3926);
+        assert_eq!(w.into_inner(), b"123456789");
+    }
+
+    #[test]
+    fn byte_reader_reads_and_bounds_checks() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+        buf.extend_from_slice(&1.5f32.to_le_bytes());
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u64().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert!(r.is_empty());
+        let err = r.u32().unwrap_err();
+        assert_eq!(err.needed, 4);
+        assert_eq!(err.remaining, 0);
+    }
+
+    #[test]
+    fn byte_reader_rejects_hostile_lengths_without_allocating() {
+        let buf = [0u8; 8];
+        let mut r = ByteReader::new(&buf);
+        // A declared length of u32::MAX f32s would be a 16 GiB allocation if
+        // trusted; the reader refuses before allocating.
+        assert!(r.f32s(u32::MAX as usize).is_err());
+        // Overflow-safe even at usize::MAX.
+        assert!(r.clone().f32s(usize::MAX).is_err());
+        assert_eq!(r.remaining(), 8, "failed read consumes nothing");
+    }
+
+    #[test]
+    fn f32_bits_roundtrip_including_nan() {
+        let vals = [0.0f32, -0.0, 1.0, f32::NAN, f32::INFINITY, f32::MIN];
+        let mut buf = Vec::new();
+        for v in vals {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut r = ByteReader::new(&buf);
+        for v in vals {
+            assert_eq!(r.f32().unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -167,6 +167,22 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// Snapshot of the generator's internal state (the four xoshiro256++
+        /// words). Together with [`StdRng::set_state`] this lets training
+        /// checkpoints capture and restore the exact position in a mask
+        /// stream — an extension over upstream `rand`, which is fine because
+        /// this shim *is* the workspace's `rand`.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Restores a state captured by [`StdRng::state`].
+        pub fn set_state(&mut self, s: [u64; 4]) {
+            self.s = s;
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;

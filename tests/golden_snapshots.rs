@@ -1,0 +1,208 @@
+//! Golden-snapshot tests: the tokenizer, every serialization strategy, and
+//! each model family's first forward pass are pinned against checked-in
+//! fixtures under `tests/golden/`. Any unintended change to tokenization,
+//! linearization, initialization, or kernel numerics shows up as a diff
+//! here — including ones that would silently invalidate old checkpoints.
+//!
+//! To bless new goldens after an *intentional* change:
+//!
+//! ```text
+//! NTR_BLESS=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! then commit the updated files.
+
+use ntr::pipeline::Pipeline;
+use ntr_models::{EncoderInput, Mate, ModelConfig, SequenceEncoder, Tapas, Turl, VanillaBert};
+use ntr_table::{
+    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
+    TapexLinearizer, TemplateLinearizer, TurlLinearizer,
+};
+use ntr_tensor::io::crc32;
+use ntr_tensor::Tensor;
+use ntr_tokenizer::SpecialToken;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compares `actual` against the checked-in golden, or rewrites the golden
+/// when `NTR_BLESS` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("NTR_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun `NTR_BLESS=1 cargo test --test golden_snapshots` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; if the change is intentional, re-bless with \
+         `NTR_BLESS=1 cargo test --test golden_snapshots` and commit the diff"
+    );
+}
+
+/// The fixed table every snapshot derives from.
+fn sample() -> Table {
+    Table::from_strings(
+        "countries",
+        &["Country", "Capital", "Population"],
+        &[
+            &["France", "Paris", "67.8"],
+            &["Australia", "Canberra", "25.69"],
+            &["Japan", "Tokyo", "124.5"],
+        ],
+    )
+    .with_caption("Population in Million by Country")
+}
+
+fn pipeline() -> Pipeline {
+    Pipeline::builder()
+        .vocab_from_tables(&[sample()])
+        .vocab_size(600)
+        .build()
+}
+
+#[test]
+fn tokenizer_output_is_pinned() {
+    let p = pipeline();
+    let tok = p.tokenizer();
+    let inputs = [
+        "France Paris 67.8",
+        "Population in Million by Country",
+        "what is the capital of australia ?",
+        "unseenwordpiece 12345",
+    ];
+    let mut out = String::new();
+    for text in inputs {
+        let ids = tok.encode(text);
+        let id_list = ids
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        writeln!(out, "{text} => [{id_list}] => {}", tok.decode(&ids)).unwrap();
+    }
+    check("tokenizer.txt", &out);
+}
+
+#[test]
+fn every_serialization_strategy_is_pinned() {
+    let p = pipeline();
+    let tok = p.tokenizer();
+    let t = sample();
+    let opts = LinearizerOptions::default();
+    let linearizers: [&dyn Linearizer; 5] = [
+        &RowMajorLinearizer,
+        &ColumnMajorLinearizer,
+        &TemplateLinearizer,
+        &TapexLinearizer,
+        &TurlLinearizer,
+    ];
+    let mut out = String::new();
+    for lin in linearizers {
+        let e = lin.linearize(&t, &t.caption, tok, &opts);
+        writeln!(out, "== {} ==", e.linearizer()).unwrap();
+        writeln!(out, "text: {}", tok.decode(e.ids())).unwrap();
+        let fmt = |xs: &[usize]| {
+            xs.iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(out, "ids:  {}", fmt(e.ids())).unwrap();
+        writeln!(out, "rows: {}", fmt(&e.row_ids())).unwrap();
+        writeln!(out, "cols: {}", fmt(&e.col_ids())).unwrap();
+    }
+    check("linearizers.txt", &out);
+}
+
+/// Shape, CRC-32 of the little-endian f32 bit pattern, and the first 8
+/// values (as hex bit patterns) of a logits tensor — enough to pin the
+/// numerics exactly without checking in megabytes.
+fn logits_fingerprint(name: &str, logits: &Tensor) -> String {
+    let mut bytes = Vec::with_capacity(logits.data().len() * 4);
+    for v in logits.data() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let head = logits
+        .data()
+        .iter()
+        .take(8)
+        .map(|v| format!("{:08x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "{name}: shape={:?} crc32={:08x} head=[{head}]\n",
+        logits.shape(),
+        crc32(&bytes)
+    )
+}
+
+#[test]
+fn first_forward_pass_logits_are_pinned() {
+    let p = pipeline();
+    let tok = p.tokenizer();
+    let t = sample();
+    let e = RowMajorLinearizer.linearize(&t, &t.caption, tok, &LinearizerOptions::default());
+    let input = EncoderInput::from_encoded(&e);
+    let cfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        n_entities: 8,
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+    let mut out = String::new();
+
+    let mut bert = VanillaBert::new(&cfg);
+    let states = bert.encode(&input, false);
+    out.push_str(&logits_fingerprint("bert/mlm", &bert.mlm.forward(&states)));
+
+    let mut tapas = Tapas::new(&cfg);
+    let states = tapas.encode(&input, false);
+    out.push_str(&logits_fingerprint(
+        "tapas/mlm",
+        &tapas.mlm.forward(&states),
+    ));
+
+    let mut turl = Turl::new(&cfg);
+    let states = turl.encode(&input, false);
+    out.push_str(&logits_fingerprint("turl/mlm", &turl.mlm.forward(&states)));
+
+    let mut mate = Mate::new(&cfg);
+    let states = mate.encode(&input, false);
+    out.push_str(&logits_fingerprint("mate/mlm", &mate.mlm.forward(&states)));
+
+    // TAPEX: encode the (query, table) pair, then take the lm-head logits
+    // of the first decoder step (input = [BOS]).
+    let mut tapex = ntr_models::Tapex::new(&cfg);
+    let te = TapexLinearizer.linearize(
+        &t,
+        "select Capital from countries",
+        tok,
+        &LinearizerOptions::default(),
+    );
+    let tinput = EncoderInput::from_encoded(&te);
+    let memory = tapex
+        .encoder
+        .forward(&tapex.embeddings.forward(&tinput, false), None, false);
+    let dec_inp = EncoderInput::from_text_ids(vec![SpecialToken::Bos.id()]);
+    let states = tapex.decoder.forward(
+        &tapex.dec_embeddings.forward(&dec_inp, false),
+        &memory,
+        false,
+    );
+    out.push_str(&logits_fingerprint(
+        "tapex/lm_head",
+        &tapex.lm_head.forward(&states),
+    ));
+
+    check("logits.txt", &out);
+}
