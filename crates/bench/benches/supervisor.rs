@@ -1,0 +1,127 @@
+//! Overhead of the self-healing training supervisor on a healthy run.
+//!
+//! Three arms over an identical short MLM pretraining run:
+//!
+//! - `baseline`  — `pretrain_mlm_resumable`, the PR-2 loop.
+//! - `disabled`  — `pretrain_mlm_supervised` with `SupervisorConfig::default()`
+//!   (every feature off; must be the literal baseline loop).
+//! - `armed`     — clipping + rollback + spike detection on, but no faults,
+//!   so the supervisor does its per-step anomaly checks and snapshot
+//!   captures without ever triggering.
+//!
+//! Target: `disabled` within noise of `baseline`, `armed` < 2% over it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::vocab::train_tokenizer;
+use ntr::corpus::{World, WorldConfig};
+use ntr::models::{ModelConfig, VanillaBert};
+use ntr::table::RowMajorLinearizer;
+use ntr::tasks::pretrain::{pretrain_mlm_resumable, pretrain_mlm_supervised};
+use ntr::tasks::supervisor::SupervisorConfig;
+use ntr::tasks::trainer::TrainerOptions;
+use ntr::tasks::TrainConfig;
+use std::hint::black_box;
+
+fn bench_supervisor(c: &mut Criterion) {
+    let world = World::generate(WorldConfig {
+        n_countries: 8,
+        n_people: 10,
+        n_films: 8,
+        n_clubs: 6,
+        seed: 5,
+    });
+    let corpus = TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: 6,
+            min_rows: 3,
+            max_rows: 5,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 6,
+        },
+    );
+    let tok = train_tokenizer(&corpus, &[], 1200);
+    let mcfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+    let cfg = TrainConfig {
+        epochs: 2,
+        lr: 3e-3,
+        batch_size: 4,
+        warmup_frac: 0.1,
+        seed: 11,
+    };
+    let topts = TrainerOptions::default();
+    let armed = SupervisorConfig {
+        clip_norm: Some(1.0),
+        rollback: true,
+        max_retries: 3,
+        spike_factor: 4.0,
+        ema_alpha: 0.1,
+        lr_backoff: 0.5,
+        faults: None,
+    };
+
+    let mut group = c.benchmark_group("supervised_mlm_run");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("baseline"), &(), |b, _| {
+        b.iter(|| {
+            let mut model = VanillaBert::new(&mcfg);
+            black_box(
+                pretrain_mlm_resumable(
+                    &mut model,
+                    &corpus,
+                    &tok,
+                    &cfg,
+                    64,
+                    &RowMajorLinearizer,
+                    &topts,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("disabled"), &(), |b, _| {
+        b.iter(|| {
+            let mut model = VanillaBert::new(&mcfg);
+            black_box(
+                pretrain_mlm_supervised(
+                    &mut model,
+                    &corpus,
+                    &tok,
+                    &cfg,
+                    64,
+                    &RowMajorLinearizer,
+                    &topts,
+                    &SupervisorConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("armed"), &(), |b, _| {
+        b.iter(|| {
+            let mut model = VanillaBert::new(&mcfg);
+            black_box(
+                pretrain_mlm_supervised(
+                    &mut model,
+                    &corpus,
+                    &tok,
+                    &cfg,
+                    64,
+                    &RowMajorLinearizer,
+                    &topts,
+                    &armed,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_supervisor);
+criterion_main!(benches);

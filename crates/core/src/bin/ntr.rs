@@ -17,8 +17,10 @@ use ntr::table::{
     ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
     TapexLinearizer, TemplateLinearizer, TurlLinearizer,
 };
-use ntr::tasks::pretrain::{pretrain_mlm_resumable, MlmModel};
+use ntr::tasks::pretrain::{pretrain_mlm_supervised, MlmModel};
+use ntr::tasks::supervisor::SupervisorConfig;
 use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr::tensor::faults::FaultPlan;
 use ntr::zoo::{build_model, ModelKind};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -46,11 +48,19 @@ const USAGE: &str = "usage:
                             [--max-tokens N] [--seed N] [--save PATH]
                             [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
                             [--halt-after N] [--no-header]
+                            [--clip-norm F] [--rollback] [--max-retries N] [--faults SPEC]
 
   --no-header: treat the first CSV record as data and use synthetic col0..N names
   pretrain: MLM-pretrain on the CSV; --checkpoint-every writes a crash-safe full
   training checkpoint (weights + optimizer + cursor) every N steps; --resume
-  continues a run bit-identically from such a checkpoint";
+  continues a run bit-identically from such a checkpoint.
+  Self-healing supervisor: --clip-norm clips the global gradient norm;
+  --rollback restores the last good checkpoint on NaN/Inf/loss-spike anomalies,
+  skips the offending batch, and retries (at most --max-retries times, default 3)
+  before aborting with a typed error; --faults injects deterministic failures
+  for drills, e.g. 'nan@120,panic@300,crash@450,corrupt-ckpt@500' (the
+  NTR_FAULTS env var is the fallback). All supervisor features default to off,
+  leaving training bit-identical to previous releases";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -230,6 +240,21 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             .map(|v| v.parse().map_err(|_| format!("bad --halt-after {v:?}")))
             .transpose()?,
     };
+    let faults = match flag_value(&flags, "--faults") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?),
+        None => FaultPlan::from_env().map_err(|e| format!("bad NTR_FAULTS: {e}"))?,
+    };
+    let scfg = SupervisorConfig {
+        clip_norm: flag_value(&flags, "--clip-norm")
+            .map(|v| v.parse().map_err(|_| format!("bad --clip-norm {v:?}")))
+            .transpose()?,
+        rollback: flags.iter().any(|f| f == "--rollback"),
+        max_retries: parsed_flag(&flags, "--max-retries", 3)?,
+        spike_factor: 4.0,
+        ema_alpha: 0.1,
+        lr_backoff: 0.5,
+        faults,
+    };
 
     // Split the table's rows into per-row shards so one CSV yields a small
     // corpus of training examples rather than a single one.
@@ -256,6 +281,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
         ..ModelConfig::tiny(tok.vocab_size())
     };
 
+    #[allow(clippy::too_many_arguments)]
     fn run_mlm<M: MlmModel>(
         mut model: M,
         corpus: &TableCorpus,
@@ -263,9 +289,10 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
         cfg: &TrainConfig,
         max_tokens: usize,
         topts: &TrainerOptions,
+        scfg: &SupervisorConfig,
         save: Option<&str>,
     ) -> Result<(usize, f32, f32), String> {
-        let report = pretrain_mlm_resumable(
+        let report = pretrain_mlm_supervised(
             &mut model,
             corpus,
             tok,
@@ -273,6 +300,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             max_tokens,
             &RowMajorLinearizer,
             topts,
+            scfg,
         )
         .map_err(|e| e.to_string())?;
         if let Some(path) = save {
@@ -293,6 +321,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             &cfg,
             max_tokens,
             &topts,
+            &scfg,
             save,
         )?,
         ModelKind::Tapas => run_mlm(
@@ -302,6 +331,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             &cfg,
             max_tokens,
             &topts,
+            &scfg,
             save,
         )?,
         ModelKind::Turl => run_mlm(
@@ -311,6 +341,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             &cfg,
             max_tokens,
             &topts,
+            &scfg,
             save,
         )?,
         ModelKind::Mate => run_mlm(
@@ -320,6 +351,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             &cfg,
             max_tokens,
             &topts,
+            &scfg,
             save,
         )?,
     };
@@ -333,6 +365,18 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
     }
     if let Some(path) = &topts.resume {
         println!("resumed from {}", path.display());
+    }
+    if scfg.enabled() {
+        println!(
+            "supervisor: clip-norm {} | rollback {} | max-retries {} | faults {}",
+            scfg.clip_norm.map_or("off".to_string(), |c| format!("{c}")),
+            if scfg.rollback { "on" } else { "off" },
+            scfg.max_retries,
+            scfg.faults.as_ref().map_or("none".to_string(), |p| format!(
+                "{} armed",
+                p.faults().len()
+            )),
+        );
     }
     Ok(())
 }

@@ -38,6 +38,48 @@ impl Default for CorpusConfig {
     }
 }
 
+impl CorpusConfig {
+    /// Validates the knobs, returning a typed error for every combination
+    /// that would previously panic deep inside generation (inverted row
+    /// ranges, probabilities outside `[0, 1]`).
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        if self.min_rows > self.max_rows {
+            return Err(CorpusError::InvalidConfig(format!(
+                "min_rows {} > max_rows {}",
+                self.min_rows, self.max_rows
+            )));
+        }
+        for (name, p) in [
+            ("null_prob", self.null_prob),
+            ("headerless_prob", self.headerless_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CorpusError::InvalidConfig(format!(
+                    "{name} {p} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed corpus-generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorpusError {
+    /// The [`CorpusConfig`] is internally inconsistent.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::InvalidConfig(what) => write!(f, "invalid corpus config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
 /// What kind of world slice a table shows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableKind {
@@ -83,7 +125,17 @@ pub struct TableCorpus {
 
 impl TableCorpus {
     /// Generates a mixed corpus over all [`TableKind`]s.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`CorpusConfig`]; use
+    /// [`TableCorpus::try_generate`] for a typed error instead.
     pub fn generate(world: &World, cfg: &CorpusConfig) -> TableCorpus {
+        Self::try_generate(world, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generates a mixed corpus, validating the config first.
+    pub fn try_generate(world: &World, cfg: &CorpusConfig) -> Result<TableCorpus, CorpusError> {
+        cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut tables = Vec::with_capacity(cfg.n_tables);
         let mut kinds = Vec::with_capacity(cfg.n_tables);
@@ -93,11 +145,24 @@ impl TableCorpus {
             tables.push(t);
             kinds.push(kind);
         }
-        TableCorpus { tables, kinds }
+        Ok(TableCorpus { tables, kinds })
     }
 
     /// Generates a corpus of only entity-bearing kinds (for MER pretraining).
+    ///
+    /// # Panics
+    /// Panics on an invalid [`CorpusConfig`]; use
+    /// [`TableCorpus::try_generate_entity_only`] for a typed error instead.
     pub fn generate_entity_only(world: &World, cfg: &CorpusConfig) -> TableCorpus {
+        Self::try_generate_entity_only(world, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Generates an entity-only corpus, validating the config first.
+    pub fn try_generate_entity_only(
+        world: &World,
+        cfg: &CorpusConfig,
+    ) -> Result<TableCorpus, CorpusError> {
+        cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let entity_kinds: Vec<TableKind> = TableKind::ALL
             .into_iter()
@@ -110,7 +175,7 @@ impl TableCorpus {
             tables.push(generate_table(world, kind, i, cfg, &mut rng));
             kinds.push(kind);
         }
-        TableCorpus { tables, kinds }
+        Ok(TableCorpus { tables, kinds })
     }
 
     /// Number of tables.
@@ -462,6 +527,36 @@ mod tests {
         for (ta, tb) in a.tables.iter().zip(&b.tables) {
             assert_eq!(ta, tb);
         }
+    }
+
+    #[test]
+    fn invalid_configs_yield_typed_errors_not_panics() {
+        let w = world();
+        let inverted = CorpusConfig {
+            min_rows: 9,
+            max_rows: 3,
+            ..Default::default()
+        };
+        let err = TableCorpus::try_generate(&w, &inverted).unwrap_err();
+        assert!(matches!(err, CorpusError::InvalidConfig(_)));
+        assert!(err.to_string().contains("min_rows"), "{err}");
+        let bad_prob = CorpusConfig {
+            null_prob: 1.5,
+            ..Default::default()
+        };
+        assert!(TableCorpus::try_generate_entity_only(&w, &bad_prob).is_err());
+        let nan_prob = CorpusConfig {
+            headerless_prob: f64::NAN,
+            ..Default::default()
+        };
+        assert!(TableCorpus::try_generate(&w, &nan_prob).is_err());
+        // The happy path is unchanged.
+        assert_eq!(
+            TableCorpus::try_generate(&w, &CorpusConfig::default())
+                .unwrap()
+                .len(),
+            CorpusConfig::default().n_tables
+        );
     }
 
     #[test]

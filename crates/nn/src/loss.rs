@@ -7,6 +7,25 @@ use ntr_tensor::Tensor;
 /// convention used for unmasked tokens in MLM-style objectives.
 pub const IGNORE_INDEX: usize = usize::MAX;
 
+/// True when every element is finite (no NaN, no ±Inf). The training
+/// supervisor's first line of anomaly detection on losses and gradients.
+pub fn all_finite(xs: &[f32]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
+/// Returns `loss` when it is finite, otherwise a description of what went
+/// non-finite — a typed check for training loops that must never silently
+/// propagate NaN into optimizer state.
+pub fn check_finite_loss(loss: f32) -> Result<f32, String> {
+    if loss.is_finite() {
+        Ok(loss)
+    } else if loss.is_nan() {
+        Err("loss is NaN".to_string())
+    } else {
+        Err(format!("loss is {loss}"))
+    }
+}
+
 /// Softmax cross-entropy over rows of `logits: [n, classes]`.
 ///
 /// `targets[i]` is the class index for row `i`, or [`IGNORE_INDEX`] to skip
@@ -205,5 +224,16 @@ mod tests {
         let (_, d) = mse(&pred, &target);
         let num = numeric_grad(&pred, 1e-3, |p| mse(p, &target).0);
         assert_close(&d, &num, 1e-2, "mse");
+    }
+
+    #[test]
+    fn finite_checks_catch_nan_and_inf() {
+        assert!(all_finite(&[0.0, -1.0, 1e30]));
+        assert!(!all_finite(&[0.0, f32::NAN]));
+        assert!(!all_finite(&[f32::INFINITY]));
+        assert!(all_finite(&[]));
+        assert_eq!(check_finite_loss(2.5), Ok(2.5));
+        assert_eq!(check_finite_loss(f32::NAN), Err("loss is NaN".into()));
+        assert_eq!(check_finite_loss(f32::INFINITY), Err("loss is inf".into()));
     }
 }

@@ -208,6 +208,31 @@ impl WarmupLinearSchedule {
 
 /// Global-norm gradient clipping: scales every gradient so the concatenated
 /// gradient vector has norm at most `max_norm`. Returns the pre-clip norm.
+/// Global L2 norm over **all** of `model`'s gradients, without modifying
+/// them. Returns NaN/Inf when any gradient is non-finite — the signal the
+/// training supervisor uses for anomaly detection.
+pub fn global_grad_norm(model: &mut dyn crate::Layer) -> f32 {
+    let mut total = 0.0f32;
+    model.visit_params(&mut |_, p| {
+        total += p.grad.data().iter().map(|&g| g * g).sum::<f32>();
+    });
+    total.sqrt()
+}
+
+/// [`clip_grad_norm`] over a whole [`crate::Layer`]: measures the global
+/// gradient norm across every parameter and, when it exceeds `max_norm`,
+/// scales all gradients down to it. Returns the **pre-clip** norm. A
+/// non-finite norm clips nothing (scaling NaN stays NaN); callers must
+/// treat it as an anomaly instead.
+pub fn clip_global_grad_norm(model: &mut dyn crate::Layer, max_norm: f32) -> f32 {
+    let total = global_grad_norm(model);
+    if total.is_finite() && total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        model.visit_params(&mut |_, p| p.grad.map_mut(|g| g * scale));
+    }
+    total
+}
+
 pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     let total: f32 = params
         .iter()
@@ -306,6 +331,42 @@ mod tests {
         assert!(
             (b.grad.data()[0] - 0.1).abs() < 1e-7,
             "small grads untouched"
+        );
+    }
+
+    #[test]
+    fn global_clip_covers_every_parameter() {
+        let mut lin = crate::Linear::new(2, 2, &mut crate::init::SeededInit::new(7));
+        lin.w
+            .accumulate(&Tensor::from_vec(vec![3.0, 0.0, 0.0, 0.0], &[2, 2]));
+        lin.b.accumulate(&Tensor::from_vec(vec![0.0, 4.0], &[2]));
+        let norm = clip_global_grad_norm(&mut lin, 1.0);
+        assert!((norm - 5.0).abs() < 1e-6, "norm spans both params: {norm}");
+        let clipped = global_grad_norm(&mut lin);
+        assert!(
+            (clipped - 1.0).abs() < 1e-5,
+            "clipped to max_norm: {clipped}"
+        );
+
+        // Under the threshold nothing moves.
+        let before = lin.w.grad.clone();
+        let n2 = clip_global_grad_norm(&mut lin, 10.0);
+        assert!((n2 - 1.0).abs() < 1e-5);
+        assert_eq!(lin.w.grad, before);
+    }
+
+    #[test]
+    fn global_norm_reports_nonfinite_without_clipping() {
+        let mut lin = crate::Linear::new(2, 2, &mut crate::init::SeededInit::new(8));
+        lin.w
+            .accumulate(&Tensor::from_vec(vec![f32::NAN, 0.0, 0.0, 0.0], &[2, 2]));
+        lin.b.accumulate(&Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let norm = clip_global_grad_norm(&mut lin, 0.5);
+        assert!(norm.is_nan(), "NaN grads must surface in the norm");
+        assert_eq!(
+            lin.b.grad.data(),
+            &[1.0, 2.0],
+            "no clipping applied on a non-finite norm"
         );
     }
 }

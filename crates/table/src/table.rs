@@ -36,6 +36,17 @@ pub enum TableError {
     },
     /// Referenced column does not exist.
     NoSuchColumn(String),
+    /// A row or column index is out of range — the typed alternative the
+    /// `try_*` accessors return instead of a slice-index panic on
+    /// malformed or truncated input.
+    OutOfBounds {
+        /// What was indexed ("row" or "column").
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Valid length on that axis.
+        len: usize,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -47,6 +58,9 @@ impl fmt::Display for TableError {
                 expected,
             } => write!(f, "row {row} has {found} cells, expected {expected}"),
             TableError::NoSuchColumn(c) => write!(f, "no such column: {c:?}"),
+            TableError::OutOfBounds { axis, index, len } => {
+                write!(f, "{axis} index {index} out of range for {len} {axis}(s)")
+            }
         }
     }
 }
@@ -135,6 +149,18 @@ impl Table {
         &self.rows[r]
     }
 
+    /// Row `r` as a cell slice, with a typed error when out of range.
+    pub fn try_row(&self, r: usize) -> Result<&[Cell], TableError> {
+        self.rows
+            .get(r)
+            .map(Vec::as_slice)
+            .ok_or(TableError::OutOfBounds {
+                axis: "row",
+                index: r,
+                len: self.rows.len(),
+            })
+    }
+
     /// All rows.
     pub fn rows(&self) -> &[Vec<Cell>] {
         &self.rows
@@ -153,6 +179,35 @@ impl Table {
         &mut self.rows[row][col]
     }
 
+    /// Cell at `(row, col)`, with a typed error when either index is out
+    /// of range.
+    pub fn try_cell(&self, row: usize, col: usize) -> Result<&Cell, TableError> {
+        self.try_row(row)?.get(col).ok_or(TableError::OutOfBounds {
+            axis: "column",
+            index: col,
+            len: self.columns.len(),
+        })
+    }
+
+    /// Mutable cell at `(row, col)`, with a typed error when either index
+    /// is out of range.
+    pub fn try_cell_mut(&mut self, row: usize, col: usize) -> Result<&mut Cell, TableError> {
+        let (n_rows, n_cols) = (self.rows.len(), self.columns.len());
+        self.rows
+            .get_mut(row)
+            .ok_or(TableError::OutOfBounds {
+                axis: "row",
+                index: row,
+                len: n_rows,
+            })?
+            .get_mut(col)
+            .ok_or(TableError::OutOfBounds {
+                axis: "column",
+                index: col,
+                len: n_cols,
+            })
+    }
+
     /// Index of the column named `name` (exact match, then
     /// case-insensitive).
     pub fn column_index(&self, name: &str) -> Option<usize> {
@@ -169,6 +224,18 @@ impl Table {
     /// All cells of column `col`.
     pub fn column_cells(&self, col: usize) -> Vec<&Cell> {
         self.rows.iter().map(|r| &r[col]).collect()
+    }
+
+    /// All cells of column `col`, with a typed error when out of range.
+    pub fn try_column_cells(&self, col: usize) -> Result<Vec<&Cell>, TableError> {
+        if col >= self.columns.len() {
+            return Err(TableError::OutOfBounds {
+                axis: "column",
+                index: col,
+                len: self.columns.len(),
+            });
+        }
+        Ok(self.column_cells(col))
     }
 
     /// Re-infers every column's semantic type from its current cells.
@@ -209,6 +276,32 @@ impl Table {
             columns,
             rows,
         }
+    }
+
+    /// Like [`Table::select_rows`], with a typed error on any
+    /// out-of-range index instead of a panic.
+    pub fn try_select_rows(&self, indices: &[usize]) -> Result<Table, TableError> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows.len()) {
+            return Err(TableError::OutOfBounds {
+                axis: "row",
+                index: bad,
+                len: self.rows.len(),
+            });
+        }
+        Ok(self.select_rows(indices))
+    }
+
+    /// Like [`Table::select_columns`], with a typed error on any
+    /// out-of-range index instead of a panic.
+    pub fn try_select_columns(&self, indices: &[usize]) -> Result<Table, TableError> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.columns.len()) {
+            return Err(TableError::OutOfBounds {
+                axis: "column",
+                index: bad,
+                len: self.columns.len(),
+            });
+        }
+        Ok(self.select_columns(indices))
     }
 
     /// Appends a row.
@@ -397,5 +490,39 @@ mod tests {
         let s = sample().to_string();
         assert!(s.contains("# Population in Million by Country"));
         assert!(s.contains("| France | Paris | 67.8 |"));
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors_not_panics() {
+        let mut t = sample();
+        let (rows, cols) = (t.n_rows(), t.n_cols());
+        assert!(t.try_row(0).is_ok());
+        assert_eq!(
+            t.try_row(rows),
+            Err(TableError::OutOfBounds {
+                axis: "row",
+                index: rows,
+                len: rows
+            })
+        );
+        assert_eq!(t.try_cell(0, 0).unwrap(), t.cell(0, 0));
+        assert!(matches!(
+            t.try_cell(0, cols),
+            Err(TableError::OutOfBounds { axis: "column", .. })
+        ));
+        assert!(matches!(
+            t.try_cell(rows, 0),
+            Err(TableError::OutOfBounds { axis: "row", .. })
+        ));
+        assert!(t.try_cell_mut(0, 0).is_ok());
+        assert!(t.try_cell_mut(rows, 0).is_err());
+        assert_eq!(t.try_column_cells(0).unwrap().len(), rows);
+        assert!(t.try_column_cells(cols).is_err());
+        assert!(t.try_select_rows(&[0, rows]).is_err());
+        assert_eq!(t.try_select_rows(&[0]).unwrap().n_rows(), 1);
+        assert!(t.try_select_columns(&[cols]).is_err());
+        assert_eq!(t.try_select_columns(&[1, 0]).unwrap().n_cols(), 2);
+        let msg = t.try_row(rows).unwrap_err().to_string();
+        assert!(msg.contains("out of range"), "{msg}");
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::metrics::{accuracy, macro_f1};
 use crate::pretrain::MlmModel;
+use crate::supervisor::{run_supervised, SupervisorConfig, TrainError};
 use crate::trainer::{TrainConfig, TrainerOptions};
 use ntr_corpus::datasets::{ImputationDataset, ImputationExample};
 use ntr_corpus::Split;
@@ -188,6 +189,29 @@ pub fn finetune_resumable<M: MlmModel>(
     max_tokens: usize,
     topts: &TrainerOptions,
 ) -> Result<Vec<f32>, CheckpointError> {
+    finetune_supervised(
+        model,
+        ds,
+        tok,
+        cfg,
+        max_tokens,
+        topts,
+        &SupervisorConfig::default(),
+    )
+    .map_err(TrainError::into_checkpoint_error)
+}
+
+/// Fine-tuning under the self-healing supervisor: gradient clipping,
+/// anomaly detection, rollback/retry, and fault drills per `scfg`.
+pub fn finetune_supervised<M: MlmModel>(
+    model: &mut M,
+    ds: &ImputationDataset,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+    scfg: &SupervisorConfig,
+) -> Result<Vec<f32>, TrainError> {
     let train_idx = ds.indices(Split::Train);
     let prepared: Vec<(EncoderInput, Vec<usize>, Vec<usize>)> = train_idx
         .iter()
@@ -198,27 +222,31 @@ pub fn finetune_resumable<M: MlmModel>(
             Some((input, positions, targets))
         })
         .collect();
-    let mut trainer = topts.build(model, cfg, prepared.len())?;
-    let mut losses = Vec::new();
-    while let Some(batch) = trainer.next_batch() {
-        let mut batch_loss = 0.0;
-        for item in &batch {
-            let (input, positions, slot_targets) = &prepared[item.index];
-            let states = model.encode(input, true);
-            let logits = model.mlm_head().forward(&states);
-            let mut targets = vec![IGNORE_INDEX; input.len()];
-            for (k, &pos) in positions.iter().enumerate() {
-                targets[pos] = slot_targets[k];
+    run_supervised(
+        model,
+        cfg,
+        prepared.len(),
+        topts,
+        scfg,
+        |loss: &f32| *loss,
+        |model, batch| {
+            let mut batch_loss = 0.0;
+            for item in batch {
+                let (input, positions, slot_targets) = &prepared[item.index];
+                let states = model.encode(input, true);
+                let logits = model.mlm_head().forward(&states);
+                let mut targets = vec![IGNORE_INDEX; input.len()];
+                for (k, &pos) in positions.iter().enumerate() {
+                    targets[pos] = slot_targets[k];
+                }
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &targets, None);
+                let dstates = model.mlm_head().backward(&dlogits);
+                model.backward(&dstates);
+                batch_loss += loss;
             }
-            let (loss, dlogits) = softmax_cross_entropy(&logits, &targets, None);
-            let dstates = model.mlm_head().backward(&dlogits);
-            model.backward(&dstates);
-            batch_loss += loss;
-        }
-        trainer.step(model)?;
-        losses.push(batch_loss / batch.len() as f32);
-    }
-    Ok(losses)
+            batch_loss / batch.len() as f32
+        },
+    )
 }
 
 /// Imputation evaluation results, with the §3.4 failure-case slices.

@@ -14,6 +14,9 @@
 //! * [`cta`] — column type annotation (metadata prediction);
 //! * [`linking`] — entity linking with TURL entity embeddings;
 //! * [`text2sql`] — seq2seq semantic parsing evaluated by denotation;
+//! * [`supervisor`] — the self-healing training supervisor: anomaly
+//!   detection, checkpoint rollback, retry with LR backoff, and
+//!   deterministic fault drills;
 //! * [`probes`] — §2.4's "consistency of the data representation" tests
 //!   (row/column-order invariance, header sensitivity);
 //! * [`aggqa`] — TAPAS-style aggregation prediction (operator + column);
@@ -30,6 +33,7 @@ pub mod pretrain;
 pub mod probes;
 pub mod qa;
 pub mod retrieval;
+pub mod supervisor;
 pub mod text2sql;
 pub mod trainer;
 pub mod visualize;

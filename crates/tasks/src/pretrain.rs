@@ -2,6 +2,7 @@
 //! modeling, TURL's joint MLM + masked entity recovery, and TAPEX's
 //! neural-SQL-executor objective.
 
+use crate::supervisor::{run_supervised, SupervisorConfig, TrainError};
 use crate::trainer::{TrainConfig, TrainerOptions};
 use ntr_corpus::tables::TableCorpus;
 use ntr_models::{
@@ -109,6 +110,34 @@ pub fn pretrain_mlm_resumable<M: MlmModel>(
     linearizer: &dyn Linearizer,
     topts: &TrainerOptions,
 ) -> Result<PretrainReport, CheckpointError> {
+    pretrain_mlm_supervised(
+        model,
+        corpus,
+        tok,
+        cfg,
+        max_tokens,
+        linearizer,
+        topts,
+        &SupervisorConfig::default(),
+    )
+    .map_err(TrainError::into_checkpoint_error)
+}
+
+/// MLM pretraining under the self-healing supervisor: gradient clipping,
+/// anomaly detection, rollback/retry, and fault drills per `scfg`. With
+/// [`SupervisorConfig::default`] this is bit-identical to
+/// [`pretrain_mlm_resumable`].
+#[allow(clippy::too_many_arguments)]
+pub fn pretrain_mlm_supervised<M: MlmModel>(
+    model: &mut M,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    linearizer: &dyn Linearizer,
+    topts: &TrainerOptions,
+    scfg: &SupervisorConfig,
+) -> Result<PretrainReport, TrainError> {
     let opts = LinearizerOptions {
         max_tokens,
         ..Default::default()
@@ -120,41 +149,48 @@ pub fn pretrain_mlm_resumable<M: MlmModel>(
         .map(|t| linearizer.linearize(t, &t.caption, tok, &opts))
         .collect();
 
-    let mut trainer = topts.build(model, cfg, encoded.len())?;
-    let mut report = PretrainReport::default();
-    while let Some(batch) = trainer.next_batch() {
-        let mut batch_loss = 0.0;
-        let mut batch_hits = 0usize;
-        let mut batch_masked = 0usize;
-        for item in &batch {
-            let e = &encoded[item.index];
-            let masked = mask_mlm(
-                e,
-                &mlm_cfg,
-                trainer.seed() ^ ((item.epoch * 31 + item.pos) as u64),
-            );
-            let input = EncoderInput::from_masked(e, &masked);
-            let states = model.encode(&input, true);
-            let logits = model.mlm_head().forward(&states);
-            let (loss, dlogits) = softmax_cross_entropy(&logits, &masked.targets, None);
-            let preds = logits.argmax_rows();
-            for (pos, &t) in masked.targets.iter().enumerate() {
-                if t != MaskedExample::IGNORE {
-                    batch_masked += 1;
-                    if preds[pos] == t {
-                        batch_hits += 1;
+    let seed = cfg.seed;
+    let steps = run_supervised(
+        model,
+        cfg,
+        encoded.len(),
+        topts,
+        scfg,
+        |r: &(f32, f32)| r.0,
+        |model, batch| {
+            let mut batch_loss = 0.0;
+            let mut batch_hits = 0usize;
+            let mut batch_masked = 0usize;
+            for item in batch {
+                let e = &encoded[item.index];
+                let masked = mask_mlm(e, &mlm_cfg, seed ^ ((item.epoch * 31 + item.pos) as u64));
+                let input = EncoderInput::from_masked(e, &masked);
+                let states = model.encode(&input, true);
+                let logits = model.mlm_head().forward(&states);
+                let (loss, dlogits) = softmax_cross_entropy(&logits, &masked.targets, None);
+                let preds = logits.argmax_rows();
+                for (pos, &t) in masked.targets.iter().enumerate() {
+                    if t != MaskedExample::IGNORE {
+                        batch_masked += 1;
+                        if preds[pos] == t {
+                            batch_hits += 1;
+                        }
                     }
                 }
+                let dstates = model.mlm_head().backward(&dlogits);
+                model.backward(&dstates);
+                batch_loss += loss;
             }
-            let dstates = model.mlm_head().backward(&dlogits);
-            model.backward(&dstates);
-            batch_loss += loss;
-        }
-        trainer.step(model)?;
-        report.mlm_loss.push(batch_loss / batch.len() as f32);
-        report
-            .mlm_acc
-            .push(batch_hits as f32 / batch_masked.max(1) as f32);
+            (
+                batch_loss / batch.len() as f32,
+                batch_hits as f32 / batch_masked.max(1) as f32,
+            )
+        },
+    )?;
+    let mut report = PretrainReport::default();
+    for (loss, acc) in steps {
+        report.mlm_loss.push(loss);
+        report.mlm_acc.push(acc);
     }
     Ok(report)
 }
@@ -188,6 +224,29 @@ pub fn pretrain_turl_resumable(
     max_tokens: usize,
     topts: &TrainerOptions,
 ) -> Result<PretrainReport, CheckpointError> {
+    pretrain_turl_supervised(
+        model,
+        corpus,
+        tok,
+        cfg,
+        max_tokens,
+        topts,
+        &SupervisorConfig::default(),
+    )
+    .map_err(TrainError::into_checkpoint_error)
+}
+
+/// TURL joint pretraining under the self-healing supervisor. The anomaly
+/// detector watches the combined MLM + MER loss.
+pub fn pretrain_turl_supervised(
+    model: &mut Turl,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+    scfg: &SupervisorConfig,
+) -> Result<PretrainReport, TrainError> {
     let opts = LinearizerOptions {
         max_tokens,
         ..Default::default()
@@ -199,89 +258,105 @@ pub fn pretrain_turl_resumable(
         .map(|t| TurlLinearizer.linearize(t, &t.caption, tok, &opts))
         .collect();
 
-    let mut trainer = topts.build(model, cfg, encoded.len())?;
+    let base_seed = cfg.seed;
+    let steps = run_supervised(
+        model,
+        cfg,
+        encoded.len(),
+        topts,
+        scfg,
+        |r: &(f32, f32, f32, f32)| r.0 + r.1,
+        |model, batch| {
+            let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
+            let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) =
+                (0usize, 0usize, 0usize, 0usize);
+            for item in batch {
+                let e = &encoded[item.index];
+                let seed = base_seed ^ ((item.epoch * 131 + item.pos) as u64);
+                // 1. MER corruption (whole entity cells → [MASK]).
+                let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
+                // 2. MLM corruption on top, skipping positions MER already took.
+                let mlm = mask_mlm(e, &mlm_cfg, seed ^ 0xA5A5);
+                let mut input_ids = mer_ids;
+                let mut mlm_targets = mlm.targets.clone();
+                let mer_positions: std::collections::HashSet<usize> = masked_entities
+                    .iter()
+                    .flat_map(|m| m.positions.iter().copied())
+                    .collect();
+                for (pos, id) in input_ids.iter_mut().enumerate() {
+                    if mer_positions.contains(&pos) {
+                        mlm_targets[pos] = MaskedExample::IGNORE;
+                    } else if mlm.targets[pos] != MaskedExample::IGNORE {
+                        *id = mlm.input_ids[pos];
+                    }
+                }
+                let input = EncoderInput::from_encoded_with_ids(e, input_ids);
+                let states = model.encode(&input, true);
+                let seq_len = states.dim(0);
+                let d = states.dim(1);
+
+                // MLM objective.
+                let logits = model.mlm.forward(&states);
+                let (mlm_loss, dlogits) = softmax_cross_entropy(&logits, &mlm_targets, None);
+                let preds = logits.argmax_rows();
+                for (pos, &t) in mlm_targets.iter().enumerate() {
+                    if t != MaskedExample::IGNORE {
+                        n_mlm += 1;
+                        if preds[pos] == t {
+                            hits_mlm += 1;
+                        }
+                    }
+                }
+                let mut dstates = model.mlm.backward(&dlogits);
+
+                // MER objective: pool each masked cell, classify over entities.
+                let mut mer_loss = 0.0;
+                if !masked_entities.is_empty() {
+                    let mut pooled = Tensor::zeros(&[masked_entities.len(), d]);
+                    for (k, m) in masked_entities.iter().enumerate() {
+                        let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                        pooled
+                            .row_mut(k)
+                            .copy_from_slice(pool_mean(&states, &span).data());
+                    }
+                    let mer_logits = model.mer.forward(&pooled);
+                    let targets: Vec<usize> =
+                        masked_entities.iter().map(|m| m.entity as usize).collect();
+                    let (loss, dmer_logits) = softmax_cross_entropy(&mer_logits, &targets, None);
+                    mer_loss = loss;
+                    let mer_preds = mer_logits.argmax_rows();
+                    for (k, &t) in targets.iter().enumerate() {
+                        n_mer += 1;
+                        if mer_preds[k] == t {
+                            hits_mer += 1;
+                        }
+                    }
+                    let d_pooled = model.mer.backward(&dmer_logits);
+                    for (k, m) in masked_entities.iter().enumerate() {
+                        let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                        let dp = d_pooled.rows(k, k + 1);
+                        dstates.add_assign(&pool_mean_backward(&dp, &span, seq_len));
+                    }
+                }
+
+                model.backward(&dstates);
+                bl_mlm += mlm_loss;
+                bl_mer += mer_loss;
+            }
+            (
+                bl_mlm / batch.len() as f32,
+                bl_mer / batch.len() as f32,
+                hits_mlm as f32 / n_mlm.max(1) as f32,
+                hits_mer as f32 / n_mer.max(1) as f32,
+            )
+        },
+    )?;
     let mut report = PretrainReport::default();
-    while let Some(batch) = trainer.next_batch() {
-        let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
-        let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) = (0usize, 0usize, 0usize, 0usize);
-        for item in &batch {
-            let e = &encoded[item.index];
-            let seed = trainer.seed() ^ ((item.epoch * 131 + item.pos) as u64);
-            // 1. MER corruption (whole entity cells → [MASK]).
-            let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
-            // 2. MLM corruption on top, skipping positions MER already took.
-            let mlm = mask_mlm(e, &mlm_cfg, seed ^ 0xA5A5);
-            let mut input_ids = mer_ids;
-            let mut mlm_targets = mlm.targets.clone();
-            let mer_positions: std::collections::HashSet<usize> = masked_entities
-                .iter()
-                .flat_map(|m| m.positions.iter().copied())
-                .collect();
-            for (pos, id) in input_ids.iter_mut().enumerate() {
-                if mer_positions.contains(&pos) {
-                    mlm_targets[pos] = MaskedExample::IGNORE;
-                } else if mlm.targets[pos] != MaskedExample::IGNORE {
-                    *id = mlm.input_ids[pos];
-                }
-            }
-            let input = EncoderInput::from_encoded_with_ids(e, input_ids);
-            let states = model.encode(&input, true);
-            let seq_len = states.dim(0);
-            let d = states.dim(1);
-
-            // MLM objective.
-            let logits = model.mlm.forward(&states);
-            let (mlm_loss, dlogits) = softmax_cross_entropy(&logits, &mlm_targets, None);
-            let preds = logits.argmax_rows();
-            for (pos, &t) in mlm_targets.iter().enumerate() {
-                if t != MaskedExample::IGNORE {
-                    n_mlm += 1;
-                    if preds[pos] == t {
-                        hits_mlm += 1;
-                    }
-                }
-            }
-            let mut dstates = model.mlm.backward(&dlogits);
-
-            // MER objective: pool each masked cell, classify over entities.
-            let mut mer_loss = 0.0;
-            if !masked_entities.is_empty() {
-                let mut pooled = Tensor::zeros(&[masked_entities.len(), d]);
-                for (k, m) in masked_entities.iter().enumerate() {
-                    let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
-                    pooled
-                        .row_mut(k)
-                        .copy_from_slice(pool_mean(&states, &span).data());
-                }
-                let mer_logits = model.mer.forward(&pooled);
-                let targets: Vec<usize> =
-                    masked_entities.iter().map(|m| m.entity as usize).collect();
-                let (loss, dmer_logits) = softmax_cross_entropy(&mer_logits, &targets, None);
-                mer_loss = loss;
-                let mer_preds = mer_logits.argmax_rows();
-                for (k, &t) in targets.iter().enumerate() {
-                    n_mer += 1;
-                    if mer_preds[k] == t {
-                        hits_mer += 1;
-                    }
-                }
-                let d_pooled = model.mer.backward(&dmer_logits);
-                for (k, m) in masked_entities.iter().enumerate() {
-                    let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
-                    let dp = d_pooled.rows(k, k + 1);
-                    dstates.add_assign(&pool_mean_backward(&dp, &span, seq_len));
-                }
-            }
-
-            model.backward(&dstates);
-            bl_mlm += mlm_loss;
-            bl_mer += mer_loss;
-        }
-        trainer.step(model)?;
-        report.mlm_loss.push(bl_mlm / batch.len() as f32);
-        report.mer_loss.push(bl_mer / batch.len() as f32);
-        report.mlm_acc.push(hits_mlm as f32 / n_mlm.max(1) as f32);
-        report.mer_acc.push(hits_mer as f32 / n_mer.max(1) as f32);
+    for (mlm_loss, mer_loss, mlm_acc, mer_acc) in steps {
+        report.mlm_loss.push(mlm_loss);
+        report.mer_loss.push(mer_loss);
+        report.mlm_acc.push(mlm_acc);
+        report.mer_acc.push(mer_acc);
     }
     Ok(report)
 }
@@ -339,6 +414,31 @@ pub fn pretrain_tapex_resumable(
     max_tokens: usize,
     topts: &TrainerOptions,
 ) -> Result<Vec<f32>, CheckpointError> {
+    pretrain_tapex_supervised(
+        model,
+        corpus,
+        tok,
+        cfg,
+        queries_per_table,
+        max_tokens,
+        topts,
+        &SupervisorConfig::default(),
+    )
+    .map_err(TrainError::into_checkpoint_error)
+}
+
+/// TAPEX pretraining under the self-healing supervisor.
+#[allow(clippy::too_many_arguments)]
+pub fn pretrain_tapex_supervised(
+    model: &mut Tapex,
+    corpus: &TableCorpus,
+    tok: &WordPieceTokenizer,
+    cfg: &TrainConfig,
+    queries_per_table: usize,
+    max_tokens: usize,
+    topts: &TrainerOptions,
+    scfg: &SupervisorConfig,
+) -> Result<Vec<f32>, TrainError> {
     // Materialize (input, target) pairs once.
     let mut pairs = Vec::new();
     for (ti, table) in corpus.tables.iter().enumerate() {
@@ -347,18 +447,22 @@ pub fn pretrain_tapex_resumable(
             pairs.push(tapex_example(table, &sql, &answer, tok, max_tokens));
         }
     }
-    let mut trainer = topts.build(model, cfg, pairs.len())?;
-    let mut losses = Vec::new();
-    while let Some(batch) = trainer.next_batch() {
-        let mut batch_loss = 0.0;
-        for item in &batch {
-            let (input, target) = &pairs[item.index];
-            batch_loss += model.train_step(input, target);
-        }
-        trainer.step(model)?;
-        losses.push(batch_loss / batch.len() as f32);
-    }
-    Ok(losses)
+    run_supervised(
+        model,
+        cfg,
+        pairs.len(),
+        topts,
+        scfg,
+        |loss: &f32| *loss,
+        |model, batch| {
+            let mut batch_loss = 0.0;
+            for item in batch {
+                let (input, target) = &pairs[item.index];
+                batch_loss += model.train_step(input, target);
+            }
+            batch_loss / batch.len() as f32
+        },
+    )
 }
 
 /// Held-out MLM evaluation: masks each table once (seeded) and measures

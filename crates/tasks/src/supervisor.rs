@@ -1,0 +1,408 @@
+//! The self-healing training supervisor: a state machine wrapped around
+//! [`Trainer`](crate::trainer::Trainer) that keeps long pretraining runs
+//! alive through NaN batches,
+//! diverging losses, panicking pool workers, simulated hard kills, and
+//! corrupted checkpoints.
+//!
+//! ## State machine
+//!
+//! ```text
+//!            batch ok                    anomaly detected
+//!   healthy ─────────▶ healthy   healthy ────────────────▶ anomaly
+//!                                                             │
+//!                         rollback enabled, retries left      │ rollback off
+//!                anomaly ────────────────────────────────┐    ▼
+//!                                                        │  abort
+//!                retry ◀─────── rollback ◀───────────────┘  (typed error)
+//!                  │    restore last good snapshot,
+//!                  │    skip offending batch, back off LR
+//!                  │
+//!                  └── retries exhausted ──▶ abort (typed error)
+//! ```
+//!
+//! Per step the supervisor (when any feature is enabled) runs the step body
+//! under [`std::panic::catch_unwind`], applies global-norm gradient
+//! clipping, and checks three anomaly signals: non-finite loss, non-finite
+//! global gradient norm, and an EMA loss-spike (`loss > spike_factor ×
+//! EMA`). On an anomaly it restores the last good checkpoint (an in-memory
+//! [`ntr_nn::serialize::TrainCheckpoint`], bit-identical to what
+//! [`Trainer::save_state`](crate::trainer::Trainer::save_state) writes),
+//! deterministically **skips the offending batch window**
+//! (identified by the epoch/position of its first example, so a replay
+//! makes the identical decision), scales the next retry's learning rate by
+//! `lr_backoff` per attempt, and aborts with a typed [`TrainError`] — never
+//! a panic — once `max_retries` rollbacks have been spent.
+//!
+//! ## Fault drills
+//!
+//! A [`FaultPlan`] (e.g. `NTR_FAULTS=nan@120,panic@300,crash@450`) makes
+//! the supervisor inject its own failures at exact optimizer steps: NaN
+//! gradients, a panic inside a real pool worker, a simulated hard kill
+//! (in-memory state wiped; recovery only through the on-disk checkpoint,
+//! falling back to the run's initial state when the disk copy is corrupt),
+//! and single-bit checkpoint corruption. Step numbers count completed
+//! optimizer steps at injection time, so `nan@0` poisons the first batch.
+//!
+//! ## No-op guarantee
+//!
+//! With every feature disabled ([`SupervisorConfig::default`]) the
+//! supervisor runs the exact pre-supervisor training loop — no
+//! `catch_unwind`, no norm computation, no snapshots — so loss traces and
+//! final parameters are **bit-identical** to the unsupervised baseline.
+
+use crate::trainer::{BatchItem, TrainConfig, TrainerOptions};
+use ntr_nn::optim::{clip_global_grad_norm, global_grad_norm};
+use ntr_nn::serialize::{load_checkpoint, CheckpointError};
+use ntr_nn::Layer;
+use ntr_tensor::faults::{self, FaultKind, FaultPlan};
+use ntr_tensor::par;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Slack added to the EMA spike threshold so near-zero losses don't trip
+/// it on ratio noise.
+const SPIKE_EPS: f32 = 1e-6;
+
+/// Supervisor knobs. The default disables every feature, making
+/// [`run_supervised`] bit-identical to the plain training loop.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Clip the global gradient norm to this value each step.
+    pub clip_norm: Option<f32>,
+    /// Roll back to the last good checkpoint on an anomaly (instead of
+    /// aborting immediately with a typed error).
+    pub rollback: bool,
+    /// Rollbacks allowed per run before aborting.
+    pub max_retries: u32,
+    /// A step's loss counts as a spike when it exceeds `spike_factor ×`
+    /// the EMA of past losses (0 disables spike detection).
+    pub spike_factor: f32,
+    /// EMA smoothing for the spike detector (weight of the newest loss).
+    pub ema_alpha: f32,
+    /// LR multiplier applied per retry attempt (reset after a good step).
+    pub lr_backoff: f32,
+    /// Deterministic fault injection schedule (drills only).
+    pub faults: Option<FaultPlan>,
+}
+
+impl SupervisorConfig {
+    /// Robustness defaults: clipping at norm 1, rollback with 3 retries,
+    /// 4× EMA spike detection, halved LR per retry.
+    pub fn resilient() -> Self {
+        Self {
+            clip_norm: Some(1.0),
+            rollback: true,
+            max_retries: 3,
+            spike_factor: 4.0,
+            ema_alpha: 0.1,
+            lr_backoff: 0.5,
+            faults: None,
+        }
+    }
+
+    /// True when any supervision feature is on (the disabled path is the
+    /// bit-identical baseline loop).
+    pub fn enabled(&self) -> bool {
+        self.clip_norm.is_some() || self.rollback || self.faults.is_some()
+    }
+}
+
+/// Typed training failure — the supervisor's contract is that training
+/// never panics and never aborts the process.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Checkpoint I/O or format failure (writing a due checkpoint, or
+    /// restoring one during recovery).
+    Checkpoint(CheckpointError),
+    /// An anomaly was detected and rollback is disabled.
+    Anomaly {
+        /// Completed optimizer steps when the anomaly was detected.
+        step: u64,
+        /// What was detected.
+        anomaly: String,
+    },
+    /// Every allowed rollback was spent and the anomaly persisted.
+    RetriesExhausted {
+        /// Completed optimizer steps when the final anomaly was detected.
+        step: u64,
+        /// Rollbacks spent.
+        attempts: u32,
+        /// The final anomaly.
+        last_anomaly: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Anomaly { step, anomaly } => {
+                write!(
+                    f,
+                    "training anomaly at step {step}: {anomaly} (rollback disabled)"
+                )
+            }
+            TrainError::RetriesExhausted {
+                step,
+                attempts,
+                last_anomaly,
+            } => write!(
+                f,
+                "training aborted at step {step} after {attempts} rollback(s): {last_anomaly}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+impl TrainError {
+    /// Collapses back to [`CheckpointError`] for the legacy `*_resumable`
+    /// entry points, whose supervisor is disabled and can therefore only
+    /// fail on checkpoint I/O.
+    pub(crate) fn into_checkpoint_error(self) -> CheckpointError {
+        match self {
+            TrainError::Checkpoint(e) => e,
+            other => CheckpointError::Mismatch(other.to_string()),
+        }
+    }
+}
+
+/// Stringifies a caught panic payload.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Poisons `model`'s first parameter gradient with NaN (the `nan@N` fault).
+fn poison_grads(model: &mut dyn Layer) {
+    let mut done = false;
+    model.visit_params(&mut |_, p| {
+        if !done {
+            p.grad.map_mut(|g| g + f32::NAN);
+            done = true;
+        }
+    });
+}
+
+/// Recomputes the loss EMA from a replayed prefix of step results.
+fn ema_of<R>(out: &[R], alpha: f32, loss_of: &impl Fn(&R) -> f32) -> Option<f32> {
+    let mut ema = None;
+    for r in out {
+        let loss = loss_of(r);
+        ema = Some(match ema {
+            None => loss,
+            Some(e) => alpha * loss + (1.0 - alpha) * e,
+        });
+    }
+    ema
+}
+
+/// Runs a full training loop under the supervisor. Every driver
+/// (`pretrain_*`, imputation fine-tuning) funnels through here.
+///
+/// `step_fn` is the driver's batch body — forward, loss, backward,
+/// gradient accumulation — returning its per-step record; `loss_of`
+/// extracts the scalar loss the anomaly detector watches. The optimizer
+/// step, clipping, checkpointing, anomaly handling, and fault injection
+/// all belong to the supervisor.
+///
+/// Returns one record per completed optimizer step (skipped batch windows
+/// contribute none), or a typed [`TrainError`]. Never panics on worker
+/// failures: panics raised inside `step_fn` are caught and handled as
+/// anomalies.
+pub fn run_supervised<M: Layer, R>(
+    model: &mut M,
+    cfg: &TrainConfig,
+    n_examples: usize,
+    topts: &TrainerOptions,
+    scfg: &SupervisorConfig,
+    loss_of: impl Fn(&R) -> f32,
+    mut step_fn: impl FnMut(&mut M, &[BatchItem]) -> R,
+) -> Result<Vec<R>, TrainError> {
+    let mut trainer = topts.build(model, cfg, n_examples)?;
+    let mut out: Vec<R> = Vec::new();
+
+    if !scfg.enabled() {
+        // Bit-identical baseline: the exact pre-supervisor loop.
+        while let Some(batch) = trainer.next_batch() {
+            let r = step_fn(model, &batch);
+            trainer.step(model)?;
+            out.push(r);
+        }
+        return Ok(out);
+    }
+
+    let mut plan = scfg.faults.clone().unwrap_or_default();
+    let has_crash = plan.faults().iter().any(|f| f.kind == FaultKind::Crash);
+    let snapshots = scfg.rollback || has_crash;
+    // The run's starting state: what a fresh process would deterministically
+    // reconstruct. The fallback when a crash finds no usable disk checkpoint,
+    // and the first "last good" snapshot.
+    let initial = snapshots.then(|| trainer.capture(model));
+    let mut last_good = initial.clone();
+    let base_steps = trainer.steps();
+    let mut skip: HashSet<(usize, usize)> = HashSet::new();
+    let mut ema: Option<f32> = None;
+    let mut retries_used: u32 = 0;
+    let mut lr_scale = 1.0f32;
+
+    while let Some(batch) = trainer.next_batch() {
+        // A batch window blamed for an earlier anomaly is skipped without
+        // an optimizer step; the window is identified by its first
+        // example, which is a pure function of (epoch, pos, seed).
+        if skip.contains(&(batch[0].epoch, batch[0].pos)) {
+            continue;
+        }
+        let step = trainer.steps();
+
+        if plan.take(FaultKind::Crash, step) {
+            // Simulated hard kill: in-memory state (snapshots, EMA, LR
+            // backoff) is gone. A restarted process recovers from the
+            // on-disk checkpoint; with none (or a corrupt one) it starts
+            // over from the initial state.
+            let disk = trainer
+                .checkpoint_path()
+                .map(|p| p.to_path_buf())
+                .and_then(|p| load_checkpoint(&p).ok());
+            let restored = match disk {
+                Some(ckpt) => trainer.restore(model, &ckpt).is_ok(),
+                None => false,
+            };
+            if !restored {
+                let initial = initial.as_ref().expect("crash fault implies snapshots");
+                trainer.restore(model, initial)?;
+            }
+            model.zero_grad();
+            out.truncate(trainer.steps().saturating_sub(base_steps) as usize);
+            ema = ema_of(&out, scfg.ema_alpha, &loss_of);
+            lr_scale = 1.0;
+            trainer.set_lr_scale(1.0);
+            last_good = Some(trainer.capture(model));
+            continue;
+        }
+
+        let result: Result<R, String> = if plan.take(FaultKind::WorkerPanic, step) {
+            // Drive the injected panic through a real pool dispatch so the
+            // drill exercises genuine worker panic isolation.
+            faults::arm_worker_panic();
+            let mut scratch = vec![0.0f32; 64];
+            let dispatch = par::try_for_chunks(&mut scratch, 1, par::max_threads(), |_, _| {});
+            faults::disarm_worker_panic();
+            match dispatch {
+                Err(p) => Err(p.to_string()),
+                Ok(()) => Err("injected worker panic".to_string()),
+            }
+        } else {
+            catch_unwind(AssertUnwindSafe(|| step_fn(model, &batch)))
+                .map_err(|payload| format!("worker panic: {}", payload_message(payload)))
+        };
+
+        let anomaly: Option<String> = match &result {
+            Err(msg) => Some(msg.clone()),
+            Ok(r) => {
+                if plan.take(FaultKind::Nan, step) {
+                    poison_grads(model);
+                }
+                let grad_norm = match scfg.clip_norm {
+                    Some(max) => clip_global_grad_norm(model, max),
+                    None => global_grad_norm(model),
+                };
+                let loss = loss_of(r);
+                if !loss.is_finite() {
+                    Some(format!("non-finite loss ({loss})"))
+                } else if !grad_norm.is_finite() {
+                    Some(format!("non-finite global gradient norm ({grad_norm})"))
+                } else if scfg.spike_factor > 0.0
+                    && ema.is_some_and(|e| loss > scfg.spike_factor * e + SPIKE_EPS)
+                {
+                    Some(format!(
+                        "loss spike: {loss} > {} x EMA {}",
+                        scfg.spike_factor,
+                        ema.unwrap_or(0.0)
+                    ))
+                } else {
+                    None
+                }
+            }
+        };
+
+        match anomaly {
+            None => {
+                let r = match result {
+                    Ok(r) => r,
+                    Err(_) => unreachable!("anomaly is None only for Ok results"),
+                };
+                trainer.step(model)?;
+                if plan.take(FaultKind::CorruptCkpt, trainer.steps()) {
+                    if let Some(path) = trainer.checkpoint_path() {
+                        if path.exists() {
+                            let _ = faults::corrupt_file(path);
+                        }
+                    }
+                }
+                let loss = loss_of(&r);
+                ema = Some(match ema {
+                    None => loss,
+                    Some(e) => scfg.ema_alpha * loss + (1.0 - scfg.ema_alpha) * e,
+                });
+                out.push(r);
+                if lr_scale != 1.0 {
+                    // The backoff covered the retry window; later steps run
+                    // at the scheduled LR again.
+                    lr_scale = 1.0;
+                    trainer.set_lr_scale(1.0);
+                }
+                if let Some(snap) = &mut last_good {
+                    *snap = trainer.capture(model);
+                }
+            }
+            Some(what) => {
+                // Grads may hold partial/poisoned accumulation; they are
+                // never part of a checkpoint, so clear them explicitly.
+                model.zero_grad();
+                if !scfg.rollback {
+                    return Err(TrainError::Anomaly {
+                        step,
+                        anomaly: what,
+                    });
+                }
+                if retries_used >= scfg.max_retries {
+                    return Err(TrainError::RetriesExhausted {
+                        step,
+                        attempts: retries_used,
+                        last_anomaly: what,
+                    });
+                }
+                retries_used += 1;
+                let snap = last_good.as_ref().expect("rollback implies snapshots");
+                trainer.restore(model, snap)?;
+                model.zero_grad();
+                lr_scale *= scfg.lr_backoff;
+                trainer.set_lr_scale(lr_scale);
+                out.truncate(trainer.steps().saturating_sub(base_steps) as usize);
+                ema = ema_of(&out, scfg.ema_alpha, &loss_of);
+                skip.insert((batch[0].epoch, batch[0].pos));
+            }
+        }
+    }
+    Ok(out)
+}

@@ -43,6 +43,9 @@ impl Default for TrainConfig {
 pub struct ScheduledOptimizer {
     adam: Adam,
     schedule: WarmupLinearSchedule,
+    /// Transient multiplier on the scheduled LR — the supervisor's retry
+    /// backoff. Not checkpointed: a restored run starts back at 1.0.
+    lr_scale: f32,
 }
 
 impl ScheduledOptimizer {
@@ -56,20 +59,37 @@ impl ScheduledOptimizer {
                 warmup: warmup.max(1),
                 total: total_steps.max(1),
             },
+            lr_scale: 1.0,
         }
     }
 
     /// Rebuilds an optimizer from checkpointed parts (resume path): the
     /// saved schedule is authoritative, not one recomputed from config.
     pub fn from_parts(adam: Adam, schedule: WarmupLinearSchedule) -> Self {
-        Self { adam, schedule }
+        Self {
+            adam,
+            schedule,
+            lr_scale: 1.0,
+        }
+    }
+
+    /// Sets the transient LR multiplier (1.0 = scheduled LR unchanged).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.lr_scale = scale;
     }
 
     /// Applies one optimizer step to `model`'s accumulated gradients and
     /// zeroes them.
     pub fn step(&mut self, model: &mut dyn Layer) {
         let t = self.adam.steps();
-        self.adam.set_lr(self.schedule.lr_at(t));
+        let lr = self.schedule.lr_at(t);
+        // Skip the multiply at scale 1.0 so the default path sets the
+        // schedule's LR bit-for-bit.
+        self.adam.set_lr(if self.lr_scale == 1.0 {
+            lr
+        } else {
+            lr * self.lr_scale
+        });
         let mut guard = self.adam.begin_step();
         model.visit_params(&mut |_, p| guard.update(p));
         model.zero_grad();
@@ -242,6 +262,58 @@ impl Trainer {
     /// The run's shuffling/masking seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The on-disk checkpoint path, when checkpointing is enabled.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint.as_ref().map(|(p, _)| p.as_path())
+    }
+
+    /// Sets the transient LR backoff multiplier (see
+    /// [`ScheduledOptimizer::set_lr_scale`]).
+    pub fn set_lr_scale(&mut self, scale: f32) {
+        self.opt.set_lr_scale(scale);
+    }
+
+    /// Captures the full training state as an **in-memory** checkpoint —
+    /// what [`Trainer::save_state`] would write, without touching disk. The
+    /// supervisor keeps one of these per good step for cheap rollback.
+    pub fn capture(&self, model: &mut dyn Layer) -> TrainCheckpoint {
+        TrainCheckpoint::capture_train(model, self.opt.adam(), self.opt.schedule(), self.cursor())
+    }
+
+    /// Restores model weights, optimizer moments, RNG streams, and the
+    /// stream cursor from a checkpoint (in-memory or loaded from disk),
+    /// leaving the trainer exactly where it was when the checkpoint was
+    /// captured. The LR backoff multiplier resets to 1.0. Fails on a
+    /// weights-only checkpoint or a seed mismatch (either would silently
+    /// retrace a different example stream).
+    pub fn restore(
+        &mut self,
+        model: &mut dyn Layer,
+        ckpt: &TrainCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        let Some((adam, schedule, cursor)) = ckpt.apply_train(model)? else {
+            return Err(CheckpointError::Mismatch(
+                "checkpoint holds no training state to restore from (weights-only or v1 file)"
+                    .into(),
+            ));
+        };
+        if cursor.seed != self.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint seed {:#x} != trainer seed {:#x}: restoring would retrace a different example stream",
+                cursor.seed, self.seed
+            )));
+        }
+        self.opt = ScheduledOptimizer::from_parts(adam, schedule);
+        self.epoch = cursor.epoch as usize;
+        self.pos = cursor.example as usize;
+        self.order = if self.epoch < self.epochs {
+            epoch_order(self.n_examples, self.epoch, self.seed)
+        } else {
+            Vec::new()
+        };
+        Ok(())
     }
 
     /// Completed optimizer steps.
@@ -460,6 +532,50 @@ mod tests {
             "weights must be bit-identical"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capture_restore_replays_bit_identically() {
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 2,
+            seed: 21,
+            ..TrainConfig::default()
+        };
+        let mut model = Linear::new(2, 2, &mut SeededInit::new(5));
+        let mut t = Trainer::new(&cfg, 4);
+        let train_step = |model: &mut Linear, t: &mut Trainer| {
+            let b = t.next_batch().expect("stream not exhausted");
+            let _ = model.forward(&Tensor::ones(&[1, 2]));
+            let _ = model.backward(&Tensor::ones(&[1, 2]));
+            t.step(model).unwrap();
+            b
+        };
+        train_step(&mut model, &mut t);
+        train_step(&mut model, &mut t);
+        let snap = t.capture(&mut model);
+
+        // Continue two more steps, recording the stream and weights.
+        let b3 = train_step(&mut model, &mut t);
+        let b4 = train_step(&mut model, &mut t);
+        let w_after = model.w.value.clone();
+
+        // Roll back and replay: same batches, same bits.
+        t.restore(&mut model, &snap).unwrap();
+        assert_eq!(t.steps(), 2);
+        assert_eq!(train_step(&mut model, &mut t), b3);
+        assert_eq!(train_step(&mut model, &mut t), b4);
+        assert_eq!(model.w.value.data(), w_after.data());
+    }
+
+    #[test]
+    fn restore_rejects_weights_only_checkpoints() {
+        let cfg = TrainConfig::default();
+        let mut model = Linear::new(2, 2, &mut SeededInit::new(6));
+        let mut t = Trainer::new(&cfg, 3);
+        let ckpt = ntr_nn::serialize::TrainCheckpoint::capture(&mut model);
+        let err = t.restore(&mut model, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Deterministic fault injection for robustness drills.
+//!
+//! The training supervisor in `ntr-tasks` is tested against *injected*
+//! failures rather than waiting for real ones. A [`FaultPlan`] names which
+//! fault fires at which optimizer step, parsed from a spec string such as
+//!
+//! ```text
+//! nan@120,panic@300,crash@450,corrupt-ckpt
+//! ```
+//!
+//! (the `NTR_FAULTS` environment variable and the `ntr pretrain --faults`
+//! flag both use this grammar). Every fault is **one-shot**: once consumed
+//! by [`FaultPlan::take`] it never fires again, so a supervisor that rolls
+//! back and replays the surrounding steps does not re-trip the same fault.
+//! A fault with no explicit `@step` fires at the first opportunity.
+//!
+//! The fault classes:
+//!
+//! * `nan@N` — poison the gradients of step `N` with a NaN payload;
+//! * `panic@N` — panic inside a thread-pool worker during step `N`
+//!   (armed here, fired by the workers in [`crate::par`]);
+//! * `crash@N` — simulate a hard kill immediately before step `N` (the
+//!   supervisor wipes its in-memory state and restarts from disk);
+//! * `corrupt-ckpt@N` — flip one bit of the on-disk checkpoint written at
+//!   step `N` ([`corrupt_file`]), so a later `crash` exercises the
+//!   corrupt-checkpoint fallback path.
+//!
+//! Only the *schedule* lives here; what each fault means is defined by the
+//! component that consumes it. This module is deliberately free of any
+//! training-loop knowledge so `ntr-tensor::par` can participate without a
+//! dependency cycle.
+
+/// The injectable failure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// NaN payload in a step's gradients.
+    Nan,
+    /// Panic inside a thread-pool worker.
+    WorkerPanic,
+    /// Simulated hard kill (process death + restart).
+    Crash,
+    /// Single-bit corruption of the on-disk checkpoint.
+    CorruptCkpt,
+}
+
+impl FaultKind {
+    /// The spec-string name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Nan => "nan",
+            FaultKind::WorkerPanic => "panic",
+            FaultKind::Crash => "crash",
+            FaultKind::CorruptCkpt => "corrupt-ckpt",
+        }
+    }
+}
+
+/// One scheduled fault: a kind, the step it arms at, and whether it has
+/// already fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What fails.
+    pub kind: FaultKind,
+    /// First optimizer step at which the fault may fire (0 = first
+    /// opportunity).
+    pub step: u64,
+    fired: bool,
+}
+
+/// A deterministic schedule of one-shot faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Parses a spec string: comma-separated `kind[@step]` entries, e.g.
+    /// `nan@120,panic@300,crash@450,corrupt-ckpt`. Whitespace around
+    /// entries is ignored; an empty spec yields an empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, step) = match entry.split_once('@') {
+                Some((name, step)) => {
+                    let step: u64 = step
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad fault step in {entry:?}"))?;
+                    (name.trim(), step)
+                }
+                None => (entry, 0),
+            };
+            let kind = match name {
+                "nan" => FaultKind::Nan,
+                "panic" => FaultKind::WorkerPanic,
+                "crash" => FaultKind::Crash,
+                "corrupt-ckpt" => FaultKind::CorruptCkpt,
+                other => {
+                    return Err(format!(
+                        "unknown fault {other:?} (expected nan|panic|crash|corrupt-ckpt)"
+                    ))
+                }
+            };
+            faults.push(Fault {
+                kind,
+                step,
+                fired: false,
+            });
+        }
+        Ok(Self { faults })
+    }
+
+    /// Parses the `NTR_FAULTS` environment variable, if set. An unset or
+    /// empty variable yields `None`; a malformed one is an error (silently
+    /// dropping a drill would make a failing drill look like a pass).
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var("NTR_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// True when no (unfired) faults remain.
+    pub fn is_empty(&self) -> bool {
+        self.faults.iter().all(|f| f.fired)
+    }
+
+    /// The scheduled faults (fired ones included).
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Consumes the first unfired fault of `kind` whose arm step is at or
+    /// before `step`. Returns whether one fired.
+    pub fn take(&mut self, kind: FaultKind, step: u64) -> bool {
+        for f in &mut self.faults {
+            if !f.fired && f.kind == kind && f.step <= step {
+                f.fired = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+thread_local! {
+    /// Set when a worker-panic fault is armed **on this thread**. The next
+    /// pool dispatch issued from this thread consumes it and panics inside
+    /// one of its workers. Thread-local (rather than a process global) so
+    /// concurrently running tests cannot trip each other's faults.
+    static WORKER_PANIC_ARMED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Message carried by an injected worker panic (stable for assertions).
+pub const INJECTED_PANIC_MSG: &str = "ntr-faults: injected worker panic";
+
+/// Arms the calling thread's next thread-pool dispatch to panic inside one
+/// of its workers.
+pub fn arm_worker_panic() {
+    WORKER_PANIC_ARMED.with(|c| c.set(true));
+}
+
+/// Clears any armed worker panic on this thread; returns whether one was
+/// still pending (i.e. never consumed by a dispatch).
+pub fn disarm_worker_panic() -> bool {
+    WORKER_PANIC_ARMED.with(|c| c.replace(false))
+}
+
+/// Called by [`crate::par`] at dispatch entry: consumes the calling
+/// thread's armed fault, if any. The dispatch then designates one worker to
+/// panic with [`INJECTED_PANIC_MSG`].
+pub fn take_armed_worker_panic() -> bool {
+    WORKER_PANIC_ARMED.with(|c| c.get()) && WORKER_PANIC_ARMED.with(|c| c.replace(false))
+}
+
+/// Flips one bit in the middle of the file at `path` — the same corruption
+/// the NTRW fault-injection sweep applies, packaged for live drills. The
+/// file's CRCs guarantee a subsequent load fails with a typed error.
+pub fn corrupt_file(path: &std::path::Path) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        bytes.push(0xFF);
+    } else {
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+    }
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan = FaultPlan::parse("nan@120, panic@300,crash@450,corrupt-ckpt").unwrap();
+        let kinds: Vec<_> = plan.faults().iter().map(|f| (f.kind, f.step)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (FaultKind::Nan, 120),
+                (FaultKind::WorkerPanic, 300),
+                (FaultKind::Crash, 450),
+                (FaultKind::CorruptCkpt, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("explode@3").is_err());
+        assert!(FaultPlan::parse("nan@abc").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn take_is_one_shot_and_step_gated() {
+        let mut plan = FaultPlan::parse("nan@5").unwrap();
+        assert!(!plan.take(FaultKind::Nan, 4), "not armed before step 5");
+        assert!(plan.take(FaultKind::Nan, 5));
+        assert!(!plan.take(FaultKind::Nan, 5), "one-shot");
+        assert!(!plan.take(FaultKind::Nan, 6), "stays consumed");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn take_matches_kind() {
+        let mut plan = FaultPlan::parse("nan@1,crash@1").unwrap();
+        assert!(!plan.take(FaultKind::WorkerPanic, 10));
+        assert!(plan.take(FaultKind::Crash, 1));
+        assert!(plan.take(FaultKind::Nan, 1));
+    }
+
+    #[test]
+    fn arm_take_disarm_are_thread_local_and_one_shot() {
+        assert!(!disarm_worker_panic());
+        arm_worker_panic();
+        assert!(take_armed_worker_panic());
+        assert!(!take_armed_worker_panic(), "consumed by first dispatch");
+        arm_worker_panic();
+        assert!(disarm_worker_panic());
+        assert!(!disarm_worker_panic());
+        // Arming here is invisible to other threads.
+        arm_worker_panic();
+        let other = std::thread::spawn(take_armed_worker_panic);
+        assert!(!other.join().unwrap());
+        assert!(disarm_worker_panic());
+    }
+
+    #[test]
+    fn corrupt_file_flips_one_bit() {
+        let dir = std::env::temp_dir().join("ntr_faults_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5]).unwrap();
+        corrupt_file(&path).unwrap();
+        let got = std::fs::read(&path).unwrap();
+        assert_eq!(got, vec![1, 2, 3 ^ 1, 4, 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

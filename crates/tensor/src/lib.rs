@@ -39,6 +39,7 @@
 //! assert!((probs.at(&[0, 0]) - 1.0).abs() < 1e-6);
 //! ```
 
+pub mod faults;
 pub mod io;
 pub mod naive;
 mod ops;

@@ -19,8 +19,23 @@
 //! global mutable state, and of shutdown ordering concerns. Spawn cost is
 //! a few microseconds per thread, so callers gate parallelism behind a
 //! work-size threshold and fall back to running on the calling thread.
+//!
+//! ## Panic isolation
+//!
+//! A panicking worker must not abort the process or poison later
+//! dispatches. Each kernel has a `try_` variant ([`try_for_chunks`],
+//! [`try_for_zip3_mut`], [`try_map_tasks`]) that catches worker panics:
+//! every spawned handle is joined explicitly (so the scope always drains
+//! deterministically — no worker is left running, no scope re-panic), the
+//! calling thread's own chunk runs under [`std::panic::catch_unwind`], and
+//! the caller receives `Err(`[`PoolPanic`]`)` naming the lowest-index
+//! panicking worker. Because dispatches spawn fresh scoped threads, the
+//! "pool" is trivially reusable after an error. The infallible variants
+//! delegate to the `try_` forms and re-raise the panic on the calling
+//! thread, preserving their original contract.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
@@ -68,6 +83,54 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// A worker panic captured by a `try_` dispatch: the lowest-index panicking
+/// worker and its panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPanic {
+    /// Index of the panicking worker within the dispatch (the calling
+    /// thread's own chunk counts as the last worker).
+    pub worker: usize,
+    /// The panic payload, stringified (`"<non-string panic payload>"` when
+    /// it was neither `&str` nor `String`).
+    pub message: String,
+}
+
+impl std::fmt::Display for PoolPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for PoolPanic {}
+
+/// Stringifies a caught panic payload.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic payload>".to_string(),
+        },
+    }
+}
+
+/// Runs `f` on the calling thread, converting a panic into a [`PoolPanic`]
+/// attributed to `worker`.
+fn run_caught(worker: usize, f: impl FnOnce()) -> Result<(), PoolPanic> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|p| PoolPanic {
+        worker,
+        message: payload_message(p),
+    })
+}
+
+/// Fires an injected fault (see [`crate::faults::arm_worker_panic`]) when
+/// this worker was designated to take it.
+fn maybe_inject(designated: bool) {
+    if designated {
+        panic!("{}", crate::faults::INJECTED_PANIC_MSG);
+    }
+}
+
 /// Splits `data` into up to `threads` contiguous chunks on `unit` boundaries
 /// and runs `f(start_unit_index, chunk)` on each, in parallel.
 ///
@@ -76,30 +139,52 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// thread (or one unit) `f` runs on the calling thread with no spawn at all.
 /// The final chunk also runs on the calling thread, so `threads = 2` spawns
 /// a single worker.
+///
+/// Panics on the calling thread when a worker panicked; see
+/// [`try_for_chunks`] for the non-panicking form.
 pub fn for_chunks(
     data: &mut [f32],
     unit: usize,
     threads: usize,
     f: impl Fn(usize, &mut [f32]) + Sync,
 ) {
+    if let Err(p) = try_for_chunks(data, unit, threads, f) {
+        panic!("{}", p.message);
+    }
+}
+
+/// [`for_chunks`] with panic isolation: a panicking worker is caught, every
+/// other worker runs to completion and is joined (deterministic drain), and
+/// the first panic by worker index is returned as `Err`.
+pub fn try_for_chunks(
+    data: &mut [f32],
+    unit: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) -> Result<(), PoolPanic> {
     assert!(unit > 0, "for_chunks: unit must be positive");
     debug_assert_eq!(
         data.len() % unit,
         0,
         "for_chunks: data not a whole number of units"
     );
+    let inject = crate::faults::take_armed_worker_panic();
     let units = data.len() / unit;
     let t = threads.clamp(1, units.max(1));
     if t <= 1 {
-        f(0, data);
-        return;
+        return run_caught(0, || {
+            maybe_inject(inject);
+            f(0, data)
+        });
     }
     // Near-even split: the first `extra` chunks get one additional unit.
     let base = units / t;
     let extra = units % t;
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t - 1);
         let mut rest = data;
         let mut start = 0usize;
+        let mut mine = Ok(());
         for c in 0..t {
             let take = (base + usize::from(c < extra)) * unit;
             let (chunk, tail) = rest.split_at_mut(take);
@@ -110,18 +195,44 @@ pub fn for_chunks(
             if c + 1 == t {
                 // Last chunk runs here: the calling thread does its share
                 // instead of blocking in `scope` while workers finish.
-                f(begin, chunk);
+                mine = run_caught(c, || f(begin, chunk));
             } else {
-                scope.spawn(move || f(begin, chunk));
+                // Worker 0 (a genuinely spawned thread) takes any injected
+                // fault.
+                let designated = inject && c == 0;
+                handles.push(scope.spawn(move || {
+                    maybe_inject(designated);
+                    f(begin, chunk)
+                }));
             }
         }
-    });
+        // Join every handle explicitly: the scope never re-panics, and all
+        // workers drain before we return. First panic by worker index wins.
+        let mut first: Option<PoolPanic> = None;
+        for (c, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                if first.is_none() {
+                    first = Some(PoolPanic {
+                        worker: c,
+                        message: payload_message(payload),
+                    });
+                }
+            }
+        }
+        match (first, mine) {
+            (Some(p), _) => Err(p),
+            (None, mine) => mine,
+        }
+    })
 }
 
 /// Splits three mutable slices and one shared slice of equal length at
 /// identical element boundaries and runs `f` on each aligned quadruple in
 /// parallel. This is the shape of a fused optimizer update: weights and two
 /// moment buffers mutated element-wise against a shared gradient.
+///
+/// Panics on the calling thread when a worker panicked; see
+/// [`try_for_zip3_mut`] for the non-panicking form.
 pub fn for_zip3_mut(
     w: &mut [f32],
     m: &mut [f32],
@@ -130,20 +241,39 @@ pub fn for_zip3_mut(
     threads: usize,
     f: impl Fn(&mut [f32], &mut [f32], &mut [f32], &[f32]) + Sync,
 ) {
+    if let Err(p) = try_for_zip3_mut(w, m, v, g, threads, f) {
+        panic!("{}", p.message);
+    }
+}
+
+/// [`for_zip3_mut`] with panic isolation (see [`try_for_chunks`]).
+pub fn try_for_zip3_mut(
+    w: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    g: &[f32],
+    threads: usize,
+    f: impl Fn(&mut [f32], &mut [f32], &mut [f32], &[f32]) + Sync,
+) -> Result<(), PoolPanic> {
     let len = w.len();
     assert!(
         m.len() == len && v.len() == len && g.len() == len,
         "for_zip3_mut: slice lengths differ"
     );
+    let inject = crate::faults::take_armed_worker_panic();
     let t = threads.clamp(1, len.max(1));
     if t <= 1 {
-        f(w, m, v, g);
-        return;
+        return run_caught(0, || {
+            maybe_inject(inject);
+            f(w, m, v, g)
+        });
     }
     let base = len / t;
     let extra = len % t;
     std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(t - 1);
         let (mut rw, mut rm, mut rv, mut rg) = (w, m, v, g);
+        let mut mine = Ok(());
         for c in 0..t {
             let take = base + usize::from(c < extra);
             let (cw, tw) = rw.split_at_mut(take);
@@ -156,12 +286,31 @@ pub fn for_zip3_mut(
             rg = tg;
             let f = &f;
             if c + 1 == t {
-                f(cw, cm, cv, cg);
+                mine = run_caught(c, || f(cw, cm, cv, cg));
             } else {
-                scope.spawn(move || f(cw, cm, cv, cg));
+                let designated = inject && c == 0;
+                handles.push(scope.spawn(move || {
+                    maybe_inject(designated);
+                    f(cw, cm, cv, cg)
+                }));
             }
         }
-    });
+        let mut first: Option<PoolPanic> = None;
+        for (c, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                if first.is_none() {
+                    first = Some(PoolPanic {
+                        worker: c,
+                        message: payload_message(payload),
+                    });
+                }
+            }
+        }
+        match (first, mine) {
+            (Some(p), _) => Err(p),
+            (None, mine) => mine,
+        }
+    })
 }
 
 /// Runs `f(0..n)` across up to `threads` scoped threads and returns the
@@ -171,19 +320,39 @@ pub fn for_zip3_mut(
 /// [`max_threads`] is scaled down by the worker count so kernels invoked
 /// inside `f` don't oversubscribe the machine with nested spawns.
 pub fn map_tasks<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    match try_map_tasks(n, threads, f) {
+        Ok(out) => out,
+        Err(p) => panic!("{}", p.message),
+    }
+}
+
+/// [`map_tasks`] with panic isolation (see [`try_for_chunks`]).
+pub fn try_map_tasks<T: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Result<Vec<T>, PoolPanic> {
+    let inject = crate::faults::take_armed_worker_panic();
     let t = threads.clamp(1, n.max(1));
     if t <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        run_caught(0, || {
+            maybe_inject(inject);
+            out.extend((0..n).map(&f));
+        })?;
+        return Ok(out);
     }
     let inner = (max_threads() / t).max(1);
     let mut out: Vec<Option<T>> = Vec::new();
     out.resize_with(n, || None);
-    {
+    let result = {
         let mut rest = &mut out[..];
         let base = n / t;
         let extra = n % t;
         let mut start = 0usize;
         std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(t - 1);
+            let mut mine = Ok(());
             for c in 0..t {
                 let take = base + usize::from(c < extra);
                 let (slots, tail) = rest.split_at_mut(take);
@@ -191,7 +360,9 @@ pub fn map_tasks<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Syn
                 let begin = start;
                 start += take;
                 let f = &f;
-                let mut run = move || {
+                let designated = inject && c == 0;
+                let run = move || {
+                    maybe_inject(designated);
                     with_threads(inner, || {
                         for (off, slot) in slots.iter_mut().enumerate() {
                             *slot = Some(f(begin + off));
@@ -199,16 +370,33 @@ pub fn map_tasks<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Syn
                     })
                 };
                 if c + 1 == t {
-                    run();
+                    mine = run_caught(c, run);
                 } else {
-                    scope.spawn(run);
+                    handles.push(scope.spawn(run));
                 }
             }
-        });
-    }
-    out.into_iter()
+            let mut first: Option<PoolPanic> = None;
+            for (c, h) in handles.into_iter().enumerate() {
+                if let Err(payload) = h.join() {
+                    if first.is_none() {
+                        first = Some(PoolPanic {
+                            worker: c,
+                            message: payload_message(payload),
+                        });
+                    }
+                }
+            }
+            match (first, mine) {
+                (Some(p), _) => Err(p),
+                (None, mine) => mine,
+            }
+        })
+    };
+    result?;
+    Ok(out
+        .into_iter()
         .map(|s| s.expect("map_tasks: worker filled every slot"))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -1,0 +1,163 @@
+//! Panic-isolation contract of the `par` dispatchers: a panicking worker
+//! surfaces as a typed `Err` on the calling thread, every other worker
+//! drains (its output is complete), and the pool is immediately reusable —
+//! under any thread count, including the `NTR_THREADS=4` CI leg.
+
+use ntr_tensor::{faults, par};
+
+/// A chunk worker that panics on the chunk containing unit `poison`.
+fn poison_chunk(poison: usize) -> impl Fn(usize, &mut [f32]) + Sync {
+    move |start, chunk| {
+        for (u, x) in chunk.iter_mut().enumerate() {
+            if start + u == poison {
+                panic!("poisoned unit {}", start + u);
+            }
+            *x = (start + u) as f32;
+        }
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_err_and_pool_is_reusable() {
+    for threads in [1usize, 2, 4, 8] {
+        par::with_threads(threads, || {
+            let mut data = vec![0.0f32; 32];
+            let err = par::try_for_chunks(&mut data, 1, threads, poison_chunk(17)).unwrap_err();
+            assert!(
+                err.message.contains("poisoned unit 17"),
+                "threads={threads}: {err}"
+            );
+
+            // The pool is reusable: the very next dispatch succeeds and
+            // produces complete, correct output.
+            let mut data = vec![0.0f32; 32];
+            par::try_for_chunks(&mut data, 1, threads, |start, chunk| {
+                for (u, x) in chunk.iter_mut().enumerate() {
+                    *x = (start + u) as f32;
+                }
+            })
+            .unwrap();
+            let expect: Vec<f32> = (0..32).map(|i| i as f32).collect();
+            assert_eq!(data, expect, "threads={threads}");
+        });
+    }
+}
+
+#[test]
+fn first_panicking_worker_by_index_wins() {
+    // Both worker 0's and the calling thread's chunks panic; the reported
+    // worker must deterministically be the lowest index.
+    par::with_threads(4, || {
+        let mut data = vec![0.0f32; 16];
+        let err = par::try_for_chunks(&mut data, 1, 4, |_, _| panic!("boom")).unwrap_err();
+        assert_eq!(err.worker, 0);
+        assert_eq!(err.message, "boom");
+    });
+}
+
+#[test]
+fn surviving_workers_drain_deterministically() {
+    // Only unit 0 panics; every other unit must still be written exactly
+    // once before try_for_chunks returns.
+    for threads in [2usize, 4] {
+        par::with_threads(threads, || {
+            let mut data = vec![-1.0f32; 24];
+            let err = par::try_for_chunks(&mut data, 1, threads, poison_chunk(0)).unwrap_err();
+            assert!(err.message.contains("poisoned unit 0"));
+            // Units owned by the panicking worker (its chunk) may be
+            // partial, but every other worker's chunk is complete.
+            let chunk = 24 / threads + usize::from(24 % threads > 0);
+            for (i, &x) in data.iter().enumerate().skip(chunk) {
+                assert_eq!(x, i as f32, "threads={threads} unit {i} not drained");
+            }
+        });
+    }
+}
+
+#[test]
+fn try_zip3_catches_and_recovers() {
+    let n = 64;
+    let (mut w, mut m, mut v) = (vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]);
+    let g = vec![2.0f32; n];
+    par::with_threads(4, || {
+        let err = par::try_for_zip3_mut(&mut w, &mut m, &mut v, &g, 4, |_, _, _, _| panic!("zip"))
+            .unwrap_err();
+        assert_eq!(err.message, "zip");
+        par::try_for_zip3_mut(&mut w, &mut m, &mut v, &g, 4, |w, _, _, g| {
+            for (x, y) in w.iter_mut().zip(g) {
+                *x = *y;
+            }
+        })
+        .unwrap();
+    });
+    assert_eq!(w, g);
+}
+
+#[test]
+fn try_map_tasks_catches_and_recovers() {
+    par::with_threads(4, || {
+        let err = par::try_map_tasks(8, 4, |i| {
+            if i == 3 {
+                panic!("task 3");
+            }
+            i * 2
+        })
+        .unwrap_err();
+        assert!(err.message.contains("task 3"));
+        let ok = par::try_map_tasks(8, 4, |i| i * 2).unwrap();
+        assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    });
+}
+
+#[test]
+fn infallible_wrappers_still_panic_on_worker_panic() {
+    let caught = std::panic::catch_unwind(|| {
+        let mut data = vec![0.0f32; 8];
+        par::with_threads(4, || {
+            par::for_chunks(&mut data, 1, 4, |_, _| panic!("wrapped"));
+        });
+    });
+    let payload = caught.unwrap_err();
+    let msg = payload.downcast_ref::<String>().expect("string payload");
+    assert_eq!(msg, "wrapped");
+}
+
+#[test]
+fn armed_fault_panics_inside_a_spawned_worker_once() {
+    par::with_threads(4, || {
+        faults::arm_worker_panic();
+        let mut data = vec![0.0f32; 64];
+        let err = par::try_for_chunks(&mut data, 1, 4, |start, chunk| {
+            for (u, x) in chunk.iter_mut().enumerate() {
+                *x = (start + u) as f32;
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.worker, 0, "worker 0 takes the injected fault");
+        assert_eq!(err.message, faults::INJECTED_PANIC_MSG);
+        assert!(
+            !faults::disarm_worker_panic(),
+            "the dispatch consumed the fault"
+        );
+
+        // One-shot: the next dispatch is clean.
+        let mut data = vec![0.0f32; 64];
+        par::try_for_chunks(&mut data, 1, 4, |start, chunk| {
+            for (u, x) in chunk.iter_mut().enumerate() {
+                *x = (start + u) as f32;
+            }
+        })
+        .unwrap();
+        assert_eq!(data[63], 63.0);
+    });
+}
+
+#[test]
+fn armed_fault_fires_even_single_threaded() {
+    par::with_threads(1, || {
+        faults::arm_worker_panic();
+        let mut data = vec![0.0f32; 4];
+        let err = par::try_for_chunks(&mut data, 1, 1, |_, _| {}).unwrap_err();
+        assert_eq!(err.message, faults::INJECTED_PANIC_MSG);
+    });
+}

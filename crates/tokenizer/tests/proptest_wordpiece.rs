@@ -1,0 +1,84 @@
+//! Fuzz suite for the WordPiece tokenizer: arbitrary strings — non-ASCII,
+//! empty, pathologically long, control characters, lone surrogate-adjacent
+//! code points — must never panic the encoder, every produced id must be
+//! in vocabulary bounds, and decoding in-bounds ids must round-trip
+//! without panicking.
+
+use ntr_tokenizer::train::WordPieceTrainer;
+use ntr_tokenizer::WordPieceTokenizer;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn tok() -> &'static WordPieceTokenizer {
+    static TOK: OnceLock<WordPieceTokenizer> = OnceLock::new();
+    TOK.get_or_init(|| {
+        let docs = [
+            "the quick brown fox jumps over the lazy dog",
+            "population capital country continent language 1 2 3 4 5",
+            "über naïve café façade übel — em-dash ₣ ¥ €",
+            "tables rows columns cells headers values numbers text",
+        ];
+        let vocab = WordPieceTrainer::new(400).train(docs.iter().copied());
+        WordPieceTokenizer::new(vocab)
+    })
+}
+
+/// Arbitrary Unicode strings, including astral-plane and control chars
+/// (surrogate gap code points are skipped by `char::from_u32`).
+fn unicode_string(max_chars: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..=0x10FFFF, 0..=max_chars)
+        .prop_map(|cps| cps.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #[test]
+    fn encode_never_panics_and_ids_stay_in_bounds(s in unicode_string(200)) {
+        let t = tok();
+        let ids = t.encode(&s);
+        prop_assert!(ids.iter().all(|&id| id < t.vocab_size()));
+    }
+
+    #[test]
+    fn encode_pieces_matches_encode_length(s in unicode_string(80)) {
+        let t = tok();
+        prop_assert_eq!(t.encode(&s).len(), t.encode_pieces(&s).len());
+    }
+
+    #[test]
+    fn decode_of_in_bounds_ids_never_panics(ids in proptest::collection::vec(0usize..400, 0..=64)) {
+        let t = tok();
+        let vocab_size = t.vocab_size();
+        let clamped: Vec<usize> = ids.into_iter().map(|i| i % vocab_size).collect();
+        let _ = t.decode(&clamped);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_stays_in_vocab(s in unicode_string(120)) {
+        let t = tok();
+        let ids = t.encode(&s);
+        // Round-trip: decoding what encode produced and re-encoding must
+        // stay within vocabulary bounds and never panic.
+        let text = t.decode(&ids);
+        let again = t.encode(&text);
+        prop_assert!(again.iter().all(|&id| id < t.vocab_size()));
+    }
+}
+
+#[test]
+fn encode_survives_pathological_inputs() {
+    let t = tok();
+    // Empty, whitespace-only, and a single word far longer than u16::MAX
+    // bytes (stress for any length arithmetic in the matcher).
+    for s in [
+        String::new(),
+        " \t\n\r ".to_string(),
+        "a".repeat(70_000),
+        "é".repeat(70_000),
+        format!("prefix {} suffix", "𝔘𝔫𝔦𝔠𝔬𝔡𝔢".repeat(9_000)),
+        "\u{0}\u{1}\u{2}".to_string(),
+    ] {
+        let ids = t.encode(&s);
+        assert!(ids.iter().all(|&id| id < t.vocab_size()));
+        let _ = t.decode(&ids);
+    }
+}

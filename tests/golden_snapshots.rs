@@ -206,3 +206,87 @@ fn first_forward_pass_logits_are_pinned() {
 
     check("logits.txt", &out);
 }
+
+/// Short MLM training run used by the supervisor no-op golden: the sample
+/// table sharded into overlapping 2-row slices so a few optimizer steps
+/// exist.
+fn mlm_noop_trace(scfg: &ntr::tasks::supervisor::SupervisorConfig) -> (Vec<f32>, String) {
+    let p = pipeline();
+    let tok = p.tokenizer();
+    let t = sample();
+    let tables: Vec<Table> = (0..t.n_rows())
+        .map(|r| t.select_rows(&[r, (r + 1) % t.n_rows()]))
+        .collect();
+    let corpus = ntr::corpus::tables::TableCorpus {
+        kinds: vec![ntr::corpus::tables::TableKind::Employees; tables.len()],
+        tables,
+    };
+    let cfg = ntr::tasks::TrainConfig {
+        epochs: 4,
+        lr: 3e-3,
+        batch_size: 2,
+        warmup_frac: 0.1,
+        seed: 17,
+    };
+    let mut model = VanillaBert::new(&ModelConfig {
+        vocab_size: tok.vocab_size(),
+        ..ModelConfig::tiny(tok.vocab_size())
+    });
+    let report = ntr::tasks::pretrain::pretrain_mlm_supervised(
+        &mut model,
+        &corpus,
+        tok,
+        &cfg,
+        64,
+        &RowMajorLinearizer,
+        &ntr::tasks::trainer::TrainerOptions::default(),
+        scfg,
+    )
+    .expect("no faults configured");
+
+    let mut params = Vec::new();
+    for v in ntr::nn::serialize::TrainCheckpoint::capture(&mut model)
+        .params
+        .values()
+    {
+        for x in v.data() {
+            params.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    let mut out = String::new();
+    for (i, l) in report.mlm_loss.iter().enumerate() {
+        writeln!(out, "step {i}: loss_bits={:08x}", l.to_bits()).unwrap();
+    }
+    writeln!(out, "params_crc32={:08x}", crc32(&params)).unwrap();
+    (report.mlm_loss, out)
+}
+
+#[test]
+fn supervised_noop_training_trace_is_pinned() {
+    // With every supervisor feature disabled, the short MLM run's loss
+    // trace and final parameters are pinned bit-exactly — the supervisor
+    // must be a true no-op against the pre-supervisor baseline.
+    let (disabled_losses, fingerprint) =
+        mlm_noop_trace(&ntr::tasks::supervisor::SupervisorConfig::default());
+    check("mlm_noop.txt", &fingerprint);
+
+    // And a rollback-armed supervisor that never fires (no faults, huge
+    // clip threshold, spike detection off) must also reproduce the same
+    // loss trace: supervision only changes runs that actually go wrong.
+    let quiet = ntr::tasks::supervisor::SupervisorConfig {
+        clip_norm: Some(f32::INFINITY),
+        rollback: true,
+        max_retries: 3,
+        spike_factor: 0.0,
+        ema_alpha: 0.1,
+        lr_backoff: 0.5,
+        faults: None,
+    };
+    let (quiet_losses, _) = mlm_noop_trace(&quiet);
+    let bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&disabled_losses),
+        bits(&quiet_losses),
+        "an armed-but-idle supervisor must not perturb training"
+    );
+}
