@@ -8,8 +8,14 @@
 //! - `armed`     — clipping + rollback + spike detection on, but no faults,
 //!   so the supervisor does its per-step anomaly checks and snapshot
 //!   captures without ever triggering.
+//! - `armed_cadence8` — same, but rollback snapshots are captured every 8th
+//!   good step (`snapshot_every: 8`) instead of after every step; measures
+//!   the win from the cadence-snapshot fix.
+//! - `armed_traced` — `armed` plus live JSONL tracing and a metrics
+//!   registry; measures full observability overhead.
 //!
-//! Target: `disabled` within noise of `baseline`, `armed` < 2% over it.
+//! Targets: `disabled` within noise of `baseline`, `armed` < 2% over it,
+//! `armed_traced` ≤ 5% over `armed`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntr::corpus::tables::{CorpusConfig, TableCorpus};
@@ -62,7 +68,21 @@ fn bench_supervisor(c: &mut Criterion) {
         spike_factor: 4.0,
         ema_alpha: 0.1,
         lr_backoff: 0.5,
+        snapshot_every: 1,
         faults: None,
+    };
+    let armed_cadence8 = SupervisorConfig {
+        snapshot_every: 8,
+        ..armed.clone()
+    };
+    let obs_dir = std::env::temp_dir().join("ntr_bench_supervisor");
+    std::fs::create_dir_all(&obs_dir).unwrap();
+    let traced_topts = TrainerOptions {
+        obs: ntr::obs::ObsOptions {
+            trace: Some(obs_dir.join("bench_trace.jsonl")),
+            metrics: Some(obs_dir.join("bench_metrics.json")),
+        },
+        ..Default::default()
     };
 
     let mut group = c.benchmark_group("supervised_mlm_run");
@@ -114,6 +134,46 @@ fn bench_supervisor(c: &mut Criterion) {
                     64,
                     &RowMajorLinearizer,
                     &topts,
+                    &armed,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("armed_cadence8"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let mut model = VanillaBert::new(&mcfg);
+                black_box(
+                    pretrain_mlm_supervised(
+                        &mut model,
+                        &corpus,
+                        &tok,
+                        &cfg,
+                        64,
+                        &RowMajorLinearizer,
+                        &topts,
+                        &armed_cadence8,
+                    )
+                    .unwrap(),
+                )
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("armed_traced"), &(), |b, _| {
+        b.iter(|| {
+            let mut model = VanillaBert::new(&mcfg);
+            black_box(
+                pretrain_mlm_supervised(
+                    &mut model,
+                    &corpus,
+                    &tok,
+                    &cfg,
+                    64,
+                    &RowMajorLinearizer,
+                    &traced_topts,
                     &armed,
                 )
                 .unwrap(),

@@ -7,10 +7,14 @@
 //! ntr serialize data/countries.csv --strategy tapex --max-tokens 64
 //! ntr query     data/countries.csv "SELECT Capital FROM t WHERE Country = 'France'"
 //! ntr encode    data/countries.csv --model tapas --context "population by country"
+//! ntr pretrain  data/countries.csv --trace run.jsonl --metrics metrics.json
+//! ntr trace summarize run.jsonl
 //! ```
 
 use ntr::corpus::tables::{TableCorpus, TableKind};
 use ntr::models::{Mate, ModelConfig, Tapas, Turl, VanillaBert};
+use ntr::obs::trace::{parse_line, schema};
+use ntr::obs::ObsOptions;
 use ntr::pipeline::Pipeline;
 use ntr::sql::{execute, parse_query};
 use ntr::table::{
@@ -49,6 +53,9 @@ const USAGE: &str = "usage:
                             [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
                             [--halt-after N] [--no-header]
                             [--clip-norm F] [--rollback] [--max-retries N] [--faults SPEC]
+                            [--snapshot-every N] [--trace PATH] [--metrics PATH]
+  ntr trace summarize <trace.jsonl>
+  ntr trace validate  <trace.jsonl>
 
   --no-header: treat the first CSV record as data and use synthetic col0..N names
   pretrain: MLM-pretrain on the CSV; --checkpoint-every writes a crash-safe full
@@ -60,7 +67,14 @@ const USAGE: &str = "usage:
   before aborting with a typed error; --faults injects deterministic failures
   for drills, e.g. 'nan@120,panic@300,crash@450,corrupt-ckpt@500' (the
   NTR_FAULTS env var is the fallback). All supervisor features default to off,
-  leaving training bit-identical to previous releases";
+  leaving training bit-identical to previous releases.
+  Observability: --trace appends one JSONL event per step / anomaly / rollback /
+  checkpoint to PATH; --metrics writes a counter+histogram snapshot (JSON) at
+  run end; --snapshot-every N deep-snapshots the model for rollback only every
+  N good steps (default 1 = every step). Both sinks default to off and are
+  bit-identical no-ops when unset.
+  trace summarize: per-event table plus loss-curve stats from a trace file.
+  trace validate: checks every line against the v1 trace schema";
 
 fn run(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("missing subcommand")?;
@@ -70,6 +84,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(rest),
         "encode" => encode(rest),
         "pretrain" => pretrain(rest),
+        "trace" => trace_cmd(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -239,6 +254,10 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
         halt_after: flag_value(&flags, "--halt-after")
             .map(|v| v.parse().map_err(|_| format!("bad --halt-after {v:?}")))
             .transpose()?,
+        obs: ObsOptions {
+            trace: flag_value(&flags, "--trace").map(PathBuf::from),
+            metrics: flag_value(&flags, "--metrics").map(PathBuf::from),
+        },
     };
     let faults = match flag_value(&flags, "--faults") {
         Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?),
@@ -253,6 +272,7 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
         spike_factor: 4.0,
         ema_alpha: 0.1,
         lr_backoff: 0.5,
+        snapshot_every: parsed_flag(&flags, "--snapshot-every", 1)?,
         faults,
     };
 
@@ -377,6 +397,140 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
                 p.faults().len()
             )),
         );
+    }
+    Ok(())
+}
+
+fn trace_cmd(rest: &[String]) -> Result<(), String> {
+    let (verb, rest) = rest
+        .split_first()
+        .ok_or("missing trace verb (summarize|validate)")?;
+    if !matches!(verb.as_str(), "summarize" | "validate") {
+        return Err(format!("unknown trace verb {verb:?}"));
+    }
+    let path = rest.first().ok_or("missing <trace.jsonl>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match verb.as_str() {
+        "validate" => {
+            let n = schema::validate_trace(&text)?;
+            println!("{path}: {n} event(s), all valid against trace schema v1");
+            Ok(())
+        }
+        _ => summarize_trace(path, &text),
+    }
+}
+
+/// Prints a per-event-kind table and loss-curve stats for a JSONL trace.
+fn summarize_trace(path: &str, text: &str) -> Result<(), String> {
+    // Per-event-kind tallies, in schema order so the table is stable.
+    let kinds: Vec<&str> = schema::EVENTS.iter().map(|e| e.name).collect();
+    let mut counts = vec![0u64; kinds.len()];
+    let mut first_ms = vec![None::<u64>; kinds.len()];
+    let mut last_ms = vec![0u64; kinds.len()];
+    let mut losses: Vec<f64> = Vec::new();
+    let mut anomalies: Vec<(String, u64)> = Vec::new();
+    let mut retries = 0u64;
+    let mut ckpt_bytes = 0u64;
+    let mut tokens = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        let get = |k: &str| {
+            fields
+                .iter()
+                .find(|(name, _)| name == k)
+                .map(|(_, raw)| raw.as_str())
+        };
+        let ev = get("ev").ok_or_else(|| format!("{path}:{}: missing ev", i + 1))?;
+        let ev = ev.trim_matches('"').to_string();
+        let slot = kinds
+            .iter()
+            .position(|k| *k == ev)
+            .ok_or_else(|| format!("{path}:{}: unknown event {ev:?}", i + 1))?;
+        counts[slot] += 1;
+        if let Some(ms) = get("wall_ms").and_then(|v| v.parse::<u64>().ok()) {
+            first_ms[slot].get_or_insert(ms);
+            last_ms[slot] = last_ms[slot].max(ms);
+        }
+        match ev.as_str() {
+            "step" => {
+                if let Some(l) = get("loss").and_then(|v| v.parse::<f64>().ok()) {
+                    losses.push(l);
+                }
+                tokens += get("tokens")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+            }
+            "anomaly" => {
+                let kind = get("kind").unwrap_or("\"?\"").trim_matches('"').to_string();
+                match anomalies.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => anomalies.push((kind, 1)),
+                }
+            }
+            "rollback" => retries += 1,
+            "ckpt_save" => {
+                ckpt_bytes += get("bytes")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+
+    println!("{path}: {} event(s)\n", counts.iter().sum::<u64>());
+    println!(
+        "{:<16} {:>7} {:>10} {:>10}",
+        "event", "count", "first_ms", "last_ms"
+    );
+    for (i, kind) in kinds.iter().enumerate() {
+        if counts[i] == 0 {
+            continue;
+        }
+        println!(
+            "{kind:<16} {:>7} {:>10} {:>10}",
+            counts[i],
+            first_ms[i].unwrap_or(0),
+            last_ms[i]
+        );
+    }
+    if !losses.is_empty() {
+        let n = losses.len() as f64;
+        let mean = losses.iter().sum::<f64>() / n;
+        let min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "\nloss curve over {} step(s): first {:.4} | last {:.4} | min {:.4} | max {:.4} | mean {:.4}",
+            losses.len(),
+            losses[0],
+            losses[losses.len() - 1],
+            min,
+            max,
+            mean
+        );
+    }
+    if tokens > 0 {
+        println!("tokens processed: {tokens}");
+    }
+    if retries > 0 || !anomalies.is_empty() {
+        let kinds_str = anomalies
+            .iter()
+            .map(|(k, n)| format!("{k} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "supervisor: {retries} rollback(s) | anomalies: {}",
+            if kinds_str.is_empty() {
+                "none".to_string()
+            } else {
+                kinds_str
+            }
+        );
+    }
+    if ckpt_bytes > 0 {
+        println!("checkpoints written: {ckpt_bytes} byte(s) total");
     }
     Ok(())
 }

@@ -50,6 +50,7 @@ pub mod zoo;
 pub use ntr_corpus as corpus;
 pub use ntr_models as models;
 pub use ntr_nn as nn;
+pub use ntr_obs as obs;
 pub use ntr_sql as sql;
 pub use ntr_table as table;
 pub use ntr_tasks as tasks;

@@ -400,28 +400,57 @@ pub fn write_checkpoint_to(
     Ok(())
 }
 
+/// What a crash-safe checkpoint save cost, for observability: the file
+/// size and the time spent in the durability syscalls (file fsync, rename,
+/// directory fsync). Returned by value so this crate stays free of any
+/// observability dependency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaveStats {
+    /// Bytes written to the checkpoint file.
+    pub bytes: u64,
+    /// Wall time of the fsync/rename/dir-fsync tail, in milliseconds.
+    pub fsync_ms: u64,
+}
+
 /// Saves a checkpoint to `path` crash-safely: the bytes go to a sibling
 /// temp file which is flushed, `fsync`ed, and atomically renamed over
 /// `path` (the containing directory is then `fsync`ed so the rename itself
 /// survives power loss). A crash at any point leaves either the previous
 /// checkpoint or the new one — never a partial file under `path`.
 pub fn save_checkpoint(ckpt: &TrainCheckpoint, path: &Path) -> Result<(), CheckpointError> {
+    save_checkpoint_stats(ckpt, path).map(|_| ())
+}
+
+/// [`save_checkpoint`] reporting the written size and fsync cost.
+pub fn save_checkpoint_stats(
+    ckpt: &TrainCheckpoint,
+    path: &Path,
+) -> Result<SaveStats, CheckpointError> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    let result = (|| -> Result<(), CheckpointError> {
+    let result = (|| -> Result<SaveStats, CheckpointError> {
         let file = std::fs::File::create(&tmp)?;
         let mut bw = io::BufWriter::new(file);
         write_checkpoint_to(ckpt, &mut bw)?;
         bw.flush()?;
+        let bytes = bw.get_ref().metadata()?.len();
+        let sync_start = std::time::Instant::now();
         bw.get_ref().sync_all()?;
         std::fs::rename(&tmp, path)?;
-        Ok(())
+        Ok(SaveStats {
+            bytes,
+            fsync_ms: sync_start.elapsed().as_millis() as u64,
+        })
     })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-        return result;
-    }
+    let mut stats = match result {
+        Ok(stats) => stats,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    let dir_sync_start = std::time::Instant::now();
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             if let Ok(d) = std::fs::File::open(dir) {
@@ -429,7 +458,8 @@ pub fn save_checkpoint(ckpt: &TrainCheckpoint, path: &Path) -> Result<(), Checkp
             }
         }
     }
-    Ok(())
+    stats.fsync_ms += dir_sync_start.elapsed().as_millis() as u64;
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,125 @@
+//! Global thread-pool utilization counters.
+//!
+//! `ntr-tensor::par` reports into these from every dispatch when armed.
+//! They are process-global statics rather than part of a registry handle
+//! because the pool entry points are free functions with no place to
+//! thread a handle through — and because the whole point is one relaxed
+//! boolean load on the hot path when observability is off.
+//!
+//! Counters are cumulative since the last [`reset`]; `Obs::open` resets
+//! and arms them so a run's metrics snapshot covers that run alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Maximum workers tracked per-slot; dispatches wider than this fold the
+/// excess into the last slot (the pool clamps to core count, far below).
+pub const MAX_TRACKED_WORKERS: usize = 64;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static PANIC_ISOLATIONS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: [AtomicU64; MAX_TRACKED_WORKERS] =
+    [const { AtomicU64::new(0) }; MAX_TRACKED_WORKERS];
+
+/// Arms or disarms collection. Off (the default) the pool's only cost is
+/// one relaxed load per dispatch.
+pub fn set_enabled(on: bool) {
+    ARMED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is armed.
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter (does not change armed state).
+pub fn reset() {
+    DISPATCHES.store(0, Ordering::Relaxed);
+    TASKS.store(0, Ordering::Relaxed);
+    PANIC_ISOLATIONS.store(0, Ordering::Relaxed);
+    for b in &BUSY_NS {
+        b.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Records one pool dispatch that fanned out to `tasks` parallel tasks.
+pub fn record_dispatch(tasks: u64) {
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(tasks, Ordering::Relaxed);
+}
+
+/// Records `ns` nanoseconds of busy time for worker slot `worker`.
+pub fn record_busy(worker: usize, ns: u64) {
+    BUSY_NS[worker.min(MAX_TRACKED_WORKERS - 1)].fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Records one worker panic that the pool isolated into a typed error.
+pub fn record_panic_isolated() {
+    PANIC_ISOLATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the pool counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Pool dispatches recorded.
+    pub dispatches: u64,
+    /// Parallel tasks fanned out across all dispatches.
+    pub tasks: u64,
+    /// Worker panics isolated into typed errors.
+    pub panic_isolations: u64,
+    /// Cumulative busy nanoseconds per worker slot.
+    pub busy_ns: Vec<u64>,
+}
+
+/// Reads every counter.
+pub fn snapshot() -> PoolSnapshot {
+    PoolSnapshot {
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        panic_isolations: PANIC_ISOLATIONS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // Serialize against any other test touching the globals.
+        reset();
+        record_dispatch(4);
+        record_dispatch(2);
+        record_busy(0, 100);
+        record_busy(1, 50);
+        record_busy(usize::MAX, 7); // clamps to last slot
+        record_panic_isolated();
+        let s = snapshot();
+        assert_eq!(s.dispatches, 2);
+        assert_eq!(s.tasks, 6);
+        assert_eq!(s.panic_isolations, 1);
+        assert_eq!(s.busy_ns[0], 100);
+        assert_eq!(s.busy_ns[1], 50);
+        assert_eq!(s.busy_ns[MAX_TRACKED_WORKERS - 1], 7);
+        reset();
+        assert_eq!(
+            snapshot(),
+            PoolSnapshot {
+                busy_ns: vec![0; MAX_TRACKED_WORKERS],
+                ..PoolSnapshot::default()
+            }
+        );
+    }
+
+    #[test]
+    fn arming_is_togglable() {
+        let was = enabled();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(was);
+    }
+}

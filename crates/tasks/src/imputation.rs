@@ -229,10 +229,11 @@ pub fn finetune_supervised<M: MlmModel>(
         topts,
         scfg,
         |loss: &f32| *loss,
-        |model, batch| {
+        |model, batch, obs| {
             let mut batch_loss = 0.0;
             for item in batch {
                 let (input, positions, slot_targets) = &prepared[item.index];
+                obs.count_tokens(input.len() as u64);
                 let states = model.encode(input, true);
                 let logits = model.mlm_head().forward(&states);
                 let mut targets = vec![IGNORE_INDEX; input.len()];

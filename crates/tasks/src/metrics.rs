@@ -1,13 +1,77 @@
 //! Evaluation metrics shared by every task.
+//!
+//! The classification metrics come in two forms: `try_*` variants that
+//! return a typed [`MetricsError`] on mismatched input lengths, and the
+//! original infallible names, which **saturate** instead of panicking —
+//! they score the common prefix and record a `warn/metric_len_mismatch`
+//! counter in `ntr-obs` (the no-panic policy: an eval harness bug must
+//! not kill a training run that already paid for its steps).
 
-/// Fraction of correct predictions. Returns 0.0 on empty input.
+/// Typed failure from an evaluation metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// Prediction and gold slices have different lengths.
+    LengthMismatch {
+        /// Which metric was called.
+        metric: &'static str,
+        /// Predictions supplied.
+        pred: usize,
+        /// Golds supplied.
+        gold: usize,
+    },
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { metric, pred, gold } => write!(
+                f,
+                "{metric}: length mismatch ({pred} predictions vs {gold} golds)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Checks pred/gold lengths for `metric`.
+fn check_lengths(metric: &'static str, pred: usize, gold: usize) -> Result<(), MetricsError> {
+    if pred == gold {
+        Ok(())
+    } else {
+        Err(MetricsError::LengthMismatch { metric, pred, gold })
+    }
+}
+
+/// On a length mismatch, records the traced warning and returns the
+/// common-prefix length both slices can be scored over.
+fn saturate(pred: usize, gold: usize) -> usize {
+    if pred != gold {
+        ntr_obs::warnings::metric_len_mismatch();
+    }
+    pred.min(gold)
+}
+
+/// Fraction of correct predictions. Returns 0.0 on empty input. Mismatched
+/// lengths saturate to the common prefix (see [`try_accuracy`] for the
+/// typed-error form).
 pub fn accuracy<T: PartialEq>(pred: &[T], gold: &[T]) -> f64 {
-    assert_eq!(pred.len(), gold.len(), "accuracy: length mismatch");
-    if pred.is_empty() {
+    let n = saturate(pred.len(), gold.len());
+    if n == 0 {
         return 0.0;
     }
-    let hits = pred.iter().zip(gold).filter(|(p, g)| p == g).count();
-    hits as f64 / pred.len() as f64
+    let hits = pred[..n]
+        .iter()
+        .zip(&gold[..n])
+        .filter(|(p, g)| p == g)
+        .count();
+    hits as f64 / n as f64
+}
+
+/// [`accuracy`] with a typed error on mismatched input lengths.
+pub fn try_accuracy<T: PartialEq>(pred: &[T], gold: &[T]) -> Result<f64, MetricsError> {
+    check_lengths("accuracy", pred.len(), gold.len())?;
+    Ok(accuracy(pred, gold))
 }
 
 /// Binary precision / recall / F1 for boolean predictions.
@@ -21,9 +85,11 @@ pub struct Prf {
     pub f1: f64,
 }
 
-/// Binary P/R/F1, treating `true` as the positive class.
+/// Binary P/R/F1, treating `true` as the positive class. Mismatched
+/// lengths saturate to the common prefix (see [`try_binary_prf`]).
 pub fn binary_prf(pred: &[bool], gold: &[bool]) -> Prf {
-    assert_eq!(pred.len(), gold.len(), "binary_prf: length mismatch");
+    let n = saturate(pred.len(), gold.len());
+    let (pred, gold) = (&pred[..n], &gold[..n]);
     let tp = pred.iter().zip(gold).filter(|(&p, &g)| p && g).count() as f64;
     let fp = pred.iter().zip(gold).filter(|(&p, &g)| p && !g).count() as f64;
     let fn_ = pred.iter().zip(gold).filter(|(&p, &g)| !p && g).count() as f64;
@@ -41,11 +107,19 @@ pub fn binary_prf(pred: &[bool], gold: &[bool]) -> Prf {
     }
 }
 
+/// [`binary_prf`] with a typed error on mismatched input lengths.
+pub fn try_binary_prf(pred: &[bool], gold: &[bool]) -> Result<Prf, MetricsError> {
+    check_lengths("binary_prf", pred.len(), gold.len())?;
+    Ok(binary_prf(pred, gold))
+}
+
 /// Macro-averaged F1 over `n_classes` classes: per-class one-vs-rest F1,
 /// averaged with equal class weight (classes absent from gold and pred
-/// contribute 0, matching scikit-learn's default).
+/// contribute 0, matching scikit-learn's default). Mismatched lengths
+/// saturate to the common prefix (see [`try_macro_f1`]).
 pub fn macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> f64 {
-    assert_eq!(pred.len(), gold.len(), "macro_f1: length mismatch");
+    let n = saturate(pred.len(), gold.len());
+    let (pred, gold) = (&pred[..n], &gold[..n]);
     if n_classes == 0 {
         return 0.0;
     }
@@ -66,6 +140,12 @@ pub fn macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> f64 {
     } else {
         total / counted as f64
     }
+}
+
+/// [`macro_f1`] with a typed error on mismatched input lengths.
+pub fn try_macro_f1(pred: &[usize], gold: &[usize], n_classes: usize) -> Result<f64, MetricsError> {
+    check_lengths("macro_f1", pred.len(), gold.len())?;
+    Ok(macro_f1(pred, gold, n_classes))
 }
 
 /// Mean reciprocal rank: for each query, `ranks[i]` is the 1-based rank of
@@ -135,6 +215,36 @@ mod tests {
     fn accuracy_basics() {
         assert_eq!(accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
         assert_eq!(accuracy::<usize>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_saturate_instead_of_panicking() {
+        let before = ntr_obs::warnings::metric_len_mismatches();
+        // Scores the common prefix [1, 2] vs [1, 9].
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 9]), 0.5);
+        assert_eq!(binary_prf(&[true], &[true, false]).f1, 1.0);
+        assert_eq!(macro_f1(&[0, 0], &[0], 2), 1.0);
+        assert!(
+            ntr_obs::warnings::metric_len_mismatches() >= before + 3,
+            "each saturation must record a warning"
+        );
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert_eq!(try_accuracy(&[1, 2], &[1, 2]), Ok(1.0));
+        assert_eq!(
+            try_accuracy(&[1, 2, 3], &[1, 9]),
+            Err(MetricsError::LengthMismatch {
+                metric: "accuracy",
+                pred: 3,
+                gold: 2
+            })
+        );
+        assert!(try_binary_prf(&[true], &[true, false]).is_err());
+        assert!(try_macro_f1(&[0], &[0, 1], 2).is_err());
+        let msg = try_macro_f1(&[0], &[0, 1], 2).unwrap_err().to_string();
+        assert!(msg.contains("macro_f1") && msg.contains("1 predictions vs 2 golds"));
     }
 
     #[test]

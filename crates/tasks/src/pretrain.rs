@@ -157,12 +157,13 @@ pub fn pretrain_mlm_supervised<M: MlmModel>(
         topts,
         scfg,
         |r: &(f32, f32)| r.0,
-        |model, batch| {
+        |model, batch, obs| {
             let mut batch_loss = 0.0;
             let mut batch_hits = 0usize;
             let mut batch_masked = 0usize;
             for item in batch {
                 let e = &encoded[item.index];
+                obs.count_tokens(e.ids().len() as u64);
                 let masked = mask_mlm(e, &mlm_cfg, seed ^ ((item.epoch * 31 + item.pos) as u64));
                 let input = EncoderInput::from_masked(e, &masked);
                 let states = model.encode(&input, true);
@@ -266,12 +267,13 @@ pub fn pretrain_turl_supervised(
         topts,
         scfg,
         |r: &(f32, f32, f32, f32)| r.0 + r.1,
-        |model, batch| {
+        |model, batch, obs| {
             let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
             let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) =
                 (0usize, 0usize, 0usize, 0usize);
             for item in batch {
                 let e = &encoded[item.index];
+                obs.count_tokens(e.ids().len() as u64);
                 let seed = base_seed ^ ((item.epoch * 131 + item.pos) as u64);
                 // 1. MER corruption (whole entity cells → [MASK]).
                 let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
@@ -454,10 +456,11 @@ pub fn pretrain_tapex_supervised(
         topts,
         scfg,
         |loss: &f32| *loss,
-        |model, batch| {
+        |model, batch, obs| {
             let mut batch_loss = 0.0;
             for item in batch {
                 let (input, target) = &pairs[item.index];
+                obs.count_tokens((input.len() + target.len()) as u64);
                 batch_loss += model.train_step(input, target);
             }
             batch_loss / batch.len() as f32

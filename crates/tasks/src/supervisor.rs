@@ -50,10 +50,11 @@
 //! `catch_unwind`, no norm computation, no snapshots — so loss traces and
 //! final parameters are **bit-identical** to the unsupervised baseline.
 
-use crate::trainer::{BatchItem, TrainConfig, TrainerOptions};
+use crate::trainer::{BatchItem, TrainConfig, Trainer, TrainerOptions};
 use ntr_nn::optim::{clip_global_grad_norm, global_grad_norm};
-use ntr_nn::serialize::{load_checkpoint, CheckpointError};
+use ntr_nn::serialize::{load_checkpoint, CheckpointError, TrainCheckpoint};
 use ntr_nn::Layer;
+use ntr_obs::Obs;
 use ntr_tensor::faults::{self, FaultKind, FaultPlan};
 use ntr_tensor::par;
 use std::collections::HashSet;
@@ -81,13 +82,20 @@ pub struct SupervisorConfig {
     pub ema_alpha: f32,
     /// LR multiplier applied per retry attempt (reset after a good step).
     pub lr_backoff: f32,
+    /// Capture the in-memory rollback snapshot every this many optimizer
+    /// steps (keyed to the absolute step count, so a replay makes the
+    /// identical capture decisions). `0` and `1` both mean every step —
+    /// the original semantics; larger values trade deeper rollbacks (the
+    /// intermediate steps replay deterministically) for not deep-copying
+    /// the whole model + optimizer state on every single step.
+    pub snapshot_every: u32,
     /// Deterministic fault injection schedule (drills only).
     pub faults: Option<FaultPlan>,
 }
 
 impl SupervisorConfig {
     /// Robustness defaults: clipping at norm 1, rollback with 3 retries,
-    /// 4× EMA spike detection, halved LR per retry.
+    /// 4× EMA spike detection, halved LR per retry, per-step snapshots.
     pub fn resilient() -> Self {
         Self {
             clip_norm: Some(1.0),
@@ -96,6 +104,7 @@ impl SupervisorConfig {
             spike_factor: 4.0,
             ema_alpha: 0.1,
             lr_backoff: 0.5,
+            snapshot_every: 1,
             faults: None,
         }
     }
@@ -203,7 +212,10 @@ fn poison_grads(model: &mut dyn Layer) {
     });
 }
 
-/// Recomputes the loss EMA from a replayed prefix of step results.
+/// Recomputes the loss EMA from a replayed prefix of step results. Only
+/// the crash-recovery path needs this full rescan (a "restarted process"
+/// has no in-memory EMA to restore); ordinary rollbacks restore the EMA
+/// saved alongside the snapshot in O(1).
 fn ema_of<R>(out: &[R], alpha: f32, loss_of: &impl Fn(&R) -> f32) -> Option<f32> {
     let mut ema = None;
     for r in out {
@@ -216,14 +228,67 @@ fn ema_of<R>(out: &[R], alpha: f32, loss_of: &impl Fn(&R) -> f32) -> Option<f32>
     ema
 }
 
+/// The supervisor's last-good rollback state: the model/optimizer/cursor
+/// snapshot plus the loss EMA at capture time, so a rollback restores the
+/// anomaly detector without rescanning the step history.
+#[derive(Clone)]
+struct GoodState {
+    ckpt: TrainCheckpoint,
+    ema: Option<f32>,
+}
+
+/// Emits one `step` trace event + step counters. `step` is the completed
+/// optimizer-step count *after* this step. All non-timing fields are pure
+/// functions of the run's inputs; `step_ms`/`tokens_per_sec` are wall
+/// clock and excluded from the determinism guarantee.
+fn emit_step(
+    obs: &Obs,
+    step: u64,
+    batch: &[BatchItem],
+    loss: f32,
+    lr_scale: f32,
+    grad_norm: Option<f32>,
+    started: Option<std::time::Instant>,
+) {
+    let tokens = obs.take_step_tokens();
+    obs.inc("train/steps");
+    obs.add("train/examples", batch.len() as u64);
+    let Some(e) = obs.event("step") else { return };
+    let mut e = e
+        .u64("step", step)
+        .u64("epoch", batch[0].epoch as u64)
+        .u64("pos", batch[0].pos as u64)
+        .u64("batch", batch.len() as u64)
+        .f32("loss", loss)
+        .f32("lr_scale", lr_scale);
+    if let Some(g) = grad_norm {
+        e = e.f32("grad_norm", g);
+    }
+    if tokens > 0 {
+        e = e.u64("tokens", tokens);
+    }
+    if let Some(t0) = started {
+        let elapsed = t0.elapsed();
+        e = e.u64("step_ms", elapsed.as_millis() as u64);
+        obs.observe("train/step_ns", elapsed.as_nanos() as u64);
+        if tokens > 0 && elapsed.as_secs_f64() > 0.0 {
+            e = e.f64("tokens_per_sec", tokens as f64 / elapsed.as_secs_f64());
+        }
+    }
+    e.finish();
+}
+
 /// Runs a full training loop under the supervisor. Every driver
 /// (`pretrain_*`, imputation fine-tuning) funnels through here.
 ///
 /// `step_fn` is the driver's batch body — forward, loss, backward,
 /// gradient accumulation — returning its per-step record; `loss_of`
-/// extracts the scalar loss the anomaly detector watches. The optimizer
-/// step, clipping, checkpointing, anomaly handling, and fault injection
-/// all belong to the supervisor.
+/// extracts the scalar loss the anomaly detector watches. The `Obs`
+/// handle passed to `step_fn` is the run's observability sink (a no-op
+/// unless `topts.obs` configured one): drivers report per-example token
+/// counts into it. The optimizer step, clipping, checkpointing, anomaly
+/// handling, fault injection, and event tracing all belong to the
+/// supervisor.
 ///
 /// Returns one record per completed optimizer step (skipped batch windows
 /// contribute none), or a typed [`TrainError`]. Never panics on worker
@@ -236,16 +301,68 @@ pub fn run_supervised<M: Layer, R>(
     topts: &TrainerOptions,
     scfg: &SupervisorConfig,
     loss_of: impl Fn(&R) -> f32,
-    mut step_fn: impl FnMut(&mut M, &[BatchItem]) -> R,
+    mut step_fn: impl FnMut(&mut M, &[BatchItem], &Obs) -> R,
 ) -> Result<Vec<R>, TrainError> {
     let mut trainer = topts.build(model, cfg, n_examples)?;
+    let obs = trainer.obs().clone();
+    if let Some(e) = obs.event("run_start") {
+        e.u64("step", trainer.steps())
+            .u64("n_examples", n_examples as u64)
+            .u64("batch_size", cfg.batch_size as u64)
+            .u64("epochs", cfg.epochs as u64)
+            .u64("seed", cfg.seed)
+            .finish();
+    }
+    let mut retries_used: u32 = 0;
+    let result = supervise_loop(
+        model,
+        &mut trainer,
+        scfg,
+        &loss_of,
+        &mut step_fn,
+        &obs,
+        &mut retries_used,
+    );
+    if let Some(e) = obs.event("run_end") {
+        let e = e
+            .u64("steps", trainer.steps())
+            .u64("retries", retries_used as u64);
+        match &result {
+            Ok(_) => e.str("outcome", "ok").finish(),
+            Err(err) => e
+                .str("outcome", "error")
+                .str("error", &err.to_string())
+                .finish(),
+        }
+    }
+    let _ = obs.write_metrics();
+    result
+}
+
+/// The supervisor loop body, split out so [`run_supervised`] can emit
+/// `run_end` + flush metrics on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn supervise_loop<M: Layer, R>(
+    model: &mut M,
+    trainer: &mut Trainer,
+    scfg: &SupervisorConfig,
+    loss_of: &impl Fn(&R) -> f32,
+    step_fn: &mut impl FnMut(&mut M, &[BatchItem], &Obs) -> R,
+    obs: &Obs,
+    retries_used: &mut u32,
+) -> Result<Vec<R>, TrainError> {
     let mut out: Vec<R> = Vec::new();
 
     if !scfg.enabled() {
-        // Bit-identical baseline: the exact pre-supervisor loop.
+        // Bit-identical baseline: the exact pre-supervisor loop, plus
+        // (only when armed) step tracing that reads but never perturbs it.
         while let Some(batch) = trainer.next_batch() {
-            let r = step_fn(model, &batch);
+            let t0 = obs.now();
+            let r = step_fn(model, &batch, obs);
             trainer.step(model)?;
+            if obs.enabled() {
+                emit_step(obs, trainer.steps(), &batch, loss_of(&r), 1.0, None, t0);
+            }
             out.push(r);
         }
         return Ok(out);
@@ -254,15 +371,16 @@ pub fn run_supervised<M: Layer, R>(
     let mut plan = scfg.faults.clone().unwrap_or_default();
     let has_crash = plan.faults().iter().any(|f| f.kind == FaultKind::Crash);
     let snapshots = scfg.rollback || has_crash;
+    let cadence = scfg.snapshot_every.max(1) as u64;
     // The run's starting state: what a fresh process would deterministically
     // reconstruct. The fallback when a crash finds no usable disk checkpoint,
     // and the first "last good" snapshot.
     let initial = snapshots.then(|| trainer.capture(model));
-    let mut last_good = initial.clone();
+    let mut last_good: Option<GoodState> =
+        initial.clone().map(|ckpt| GoodState { ckpt, ema: None });
     let base_steps = trainer.steps();
     let mut skip: HashSet<(usize, usize)> = HashSet::new();
     let mut ema: Option<f32> = None;
-    let mut retries_used: u32 = 0;
     let mut lr_scale = 1.0f32;
 
     while let Some(batch) = trainer.next_batch() {
@@ -293,13 +411,28 @@ pub fn run_supervised<M: Layer, R>(
             }
             model.zero_grad();
             out.truncate(trainer.steps().saturating_sub(base_steps) as usize);
-            ema = ema_of(&out, scfg.ema_alpha, &loss_of);
+            // A "restarted process" has no in-memory EMA; rebuild it from
+            // the surviving step records (this is the one path that still
+            // rescans — crashes are rare, retries are not).
+            ema = ema_of(&out, scfg.ema_alpha, loss_of);
             lr_scale = 1.0;
             trainer.set_lr_scale(1.0);
-            last_good = Some(trainer.capture(model));
+            last_good = Some(GoodState {
+                ckpt: trainer.capture(model),
+                ema,
+            });
+            let _ = obs.take_step_tokens();
+            if let Some(e) = obs.event("crash_recovery") {
+                e.u64("step", step)
+                    .u64("to_step", trainer.steps())
+                    .str("source", if restored { "disk" } else { "initial" })
+                    .finish();
+            }
+            obs.inc("supervisor/crash_recoveries");
             continue;
         }
 
+        let t0 = obs.now();
         let result: Result<R, String> = if plan.take(FaultKind::WorkerPanic, step) {
             // Drive the injected panic through a real pool dispatch so the
             // drill exercises genuine worker panic isolation.
@@ -312,12 +445,13 @@ pub fn run_supervised<M: Layer, R>(
                 Ok(()) => Err("injected worker panic".to_string()),
             }
         } else {
-            catch_unwind(AssertUnwindSafe(|| step_fn(model, &batch)))
+            catch_unwind(AssertUnwindSafe(|| step_fn(model, &batch, obs)))
                 .map_err(|payload| format!("worker panic: {}", payload_message(payload)))
         };
 
-        let anomaly: Option<String> = match &result {
-            Err(msg) => Some(msg.clone()),
+        let mut step_grad_norm: Option<f32> = None;
+        let anomaly: Option<(&'static str, String)> = match &result {
+            Err(msg) => Some(("panic", msg.clone())),
             Ok(r) => {
                 if plan.take(FaultKind::Nan, step) {
                     poison_grads(model);
@@ -326,18 +460,25 @@ pub fn run_supervised<M: Layer, R>(
                     Some(max) => clip_global_grad_norm(model, max),
                     None => global_grad_norm(model),
                 };
+                step_grad_norm = Some(grad_norm);
                 let loss = loss_of(r);
                 if !loss.is_finite() {
-                    Some(format!("non-finite loss ({loss})"))
+                    Some(("nan-loss", format!("non-finite loss ({loss})")))
                 } else if !grad_norm.is_finite() {
-                    Some(format!("non-finite global gradient norm ({grad_norm})"))
+                    Some((
+                        "nan-grad-norm",
+                        format!("non-finite global gradient norm ({grad_norm})"),
+                    ))
                 } else if scfg.spike_factor > 0.0
                     && ema.is_some_and(|e| loss > scfg.spike_factor * e + SPIKE_EPS)
                 {
-                    Some(format!(
-                        "loss spike: {loss} > {} x EMA {}",
-                        scfg.spike_factor,
-                        ema.unwrap_or(0.0)
+                    Some((
+                        "loss-spike",
+                        format!(
+                            "loss spike: {loss} > {} x EMA {}",
+                            scfg.spike_factor,
+                            ema.unwrap_or(0.0)
+                        ),
                     ))
                 } else {
                     None
@@ -364,6 +505,17 @@ pub fn run_supervised<M: Layer, R>(
                     None => loss,
                     Some(e) => scfg.ema_alpha * loss + (1.0 - scfg.ema_alpha) * e,
                 });
+                if obs.enabled() {
+                    emit_step(
+                        obs,
+                        trainer.steps(),
+                        &batch,
+                        loss,
+                        lr_scale,
+                        step_grad_norm,
+                        t0,
+                    );
+                }
                 out.push(r);
                 if lr_scale != 1.0 {
                     // The backoff covered the retry window; later steps run
@@ -371,36 +523,66 @@ pub fn run_supervised<M: Layer, R>(
                     lr_scale = 1.0;
                     trainer.set_lr_scale(1.0);
                 }
-                if let Some(snap) = &mut last_good {
-                    *snap = trainer.capture(model);
+                if let Some(state) = &mut last_good {
+                    // Cadence snapshots: capture on absolute-step
+                    // boundaries, so a rollback-and-replay makes the
+                    // identical capture decisions it made the first time.
+                    if trainer.steps().is_multiple_of(cadence) {
+                        state.ckpt = trainer.capture(model);
+                        state.ema = ema;
+                    }
                 }
             }
-            Some(what) => {
+            Some((kind, what)) => {
                 // Grads may hold partial/poisoned accumulation; they are
                 // never part of a checkpoint, so clear them explicitly.
                 model.zero_grad();
+                let _ = obs.take_step_tokens();
+                if let Some(e) = obs.event("anomaly") {
+                    e.u64("step", step)
+                        .u64("epoch", batch[0].epoch as u64)
+                        .u64("pos", batch[0].pos as u64)
+                        .str("kind", kind)
+                        .str("detail", &what)
+                        .finish();
+                }
+                obs.inc("supervisor/anomalies");
+                obs.inc(&format!("supervisor/anomaly/{kind}"));
                 if !scfg.rollback {
                     return Err(TrainError::Anomaly {
                         step,
                         anomaly: what,
                     });
                 }
-                if retries_used >= scfg.max_retries {
+                if *retries_used >= scfg.max_retries {
                     return Err(TrainError::RetriesExhausted {
                         step,
-                        attempts: retries_used,
+                        attempts: *retries_used,
                         last_anomaly: what,
                     });
                 }
-                retries_used += 1;
-                let snap = last_good.as_ref().expect("rollback implies snapshots");
-                trainer.restore(model, snap)?;
+                *retries_used += 1;
+                let state = last_good.as_ref().expect("rollback implies snapshots");
+                trainer.restore(model, &state.ckpt)?;
                 model.zero_grad();
                 lr_scale *= scfg.lr_backoff;
                 trainer.set_lr_scale(lr_scale);
                 out.truncate(trainer.steps().saturating_sub(base_steps) as usize);
-                ema = ema_of(&out, scfg.ema_alpha, &loss_of);
+                // O(1) detector restore: the EMA saved with the snapshot
+                // matches the truncated step prefix exactly; replayed
+                // steps then re-advance it deterministically.
+                ema = state.ema;
                 skip.insert((batch[0].epoch, batch[0].pos));
+                if let Some(e) = obs.event("rollback") {
+                    e.u64("step", step)
+                        .u64("to_step", trainer.steps())
+                        .u64("retry", *retries_used as u64)
+                        .f32("lr_scale", lr_scale)
+                        .u64("skip_epoch", batch[0].epoch as u64)
+                        .u64("skip_pos", batch[0].pos as u64)
+                        .finish();
+                }
+                obs.inc("supervisor/rollbacks");
             }
         }
     }

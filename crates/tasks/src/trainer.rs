@@ -6,9 +6,11 @@
 
 use ntr_nn::optim::{Adam, WarmupLinearSchedule};
 use ntr_nn::serialize::{
-    load_checkpoint, save_checkpoint, CheckpointError, TrainCheckpoint, TrainCursor,
+    load_checkpoint, save_checkpoint_stats, CheckpointError, SaveStats, TrainCheckpoint,
+    TrainCursor,
 };
 use ntr_nn::Layer;
+use ntr_obs::{Obs, ObsOptions};
 use std::path::{Path, PathBuf};
 
 /// Hyperparameters for a fine-tuning run.
@@ -145,6 +147,9 @@ pub struct TrainerOptions {
     /// Stop issuing batches once this many optimizer steps have completed
     /// (crash simulation in tests; partial-run support in the CLI).
     pub halt_after: Option<u64>,
+    /// Observability sinks for the run (trace / metrics paths); the default
+    /// is fully disabled.
+    pub obs: ObsOptions,
 }
 
 impl TrainerOptions {
@@ -157,8 +162,19 @@ impl TrainerOptions {
         cfg: &TrainConfig,
         n_examples: usize,
     ) -> Result<Trainer, CheckpointError> {
+        let obs = Obs::open(&self.obs)?;
         let mut t = match &self.resume {
-            Some(path) => Trainer::resume(model, cfg, n_examples, path)?,
+            Some(path) => {
+                let t = Trainer::resume(model, cfg, n_examples, path)?;
+                if let Some(e) = obs.event("ckpt_load") {
+                    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    e.u64("step", t.steps())
+                        .u64("bytes", bytes)
+                        .str("source", "resume")
+                        .finish();
+                }
+                t
+            }
             None => Trainer::new(cfg, n_examples),
         };
         if let Some((path, every)) = &self.checkpoint {
@@ -167,6 +183,7 @@ impl TrainerOptions {
         if let Some(h) = self.halt_after {
             t = t.with_halt_after(h);
         }
+        t.obs = obs;
         Ok(t)
     }
 }
@@ -191,6 +208,7 @@ pub struct Trainer {
     order: Vec<usize>,
     checkpoint: Option<(PathBuf, u64)>,
     halt_after: Option<u64>,
+    obs: Obs,
 }
 
 impl Trainer {
@@ -208,6 +226,7 @@ impl Trainer {
             order: epoch_order(n_examples, 0, cfg.seed),
             checkpoint: None,
             halt_after: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -262,6 +281,12 @@ impl Trainer {
     /// The run's shuffling/masking seed.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The run's observability handle (a no-op sink unless
+    /// [`TrainerOptions::obs`] configured one).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The on-disk checkpoint path, when checkpointing is enabled.
@@ -360,7 +385,15 @@ impl Trainer {
         self.opt.step(model);
         if let Some((path, every)) = self.checkpoint.clone() {
             if self.opt.steps().is_multiple_of(every) {
-                self.save_state(model, &path)?;
+                let stats = self.save_state(model, &path)?;
+                if let Some(e) = self.obs.event("ckpt_save") {
+                    e.u64("step", self.opt.steps())
+                        .u64("bytes", stats.bytes)
+                        .u64("fsync_ms", stats.fsync_ms)
+                        .finish();
+                }
+                self.obs.inc("ckpt/saves");
+                self.obs.add("ckpt/bytes", stats.bytes);
             }
         }
         Ok(())
@@ -376,15 +409,20 @@ impl Trainer {
     }
 
     /// Writes a full training checkpoint (weights + moments + schedule +
-    /// cursor + RNG streams) to `path`, crash-safely.
-    pub fn save_state(&self, model: &mut dyn Layer, path: &Path) -> Result<(), CheckpointError> {
+    /// cursor + RNG streams) to `path`, crash-safely. Returns the written
+    /// size and fsync cost for observability.
+    pub fn save_state(
+        &self,
+        model: &mut dyn Layer,
+        path: &Path,
+    ) -> Result<SaveStats, CheckpointError> {
         let ckpt = TrainCheckpoint::capture_train(
             model,
             self.opt.adam(),
             self.opt.schedule(),
             self.cursor(),
         );
-        save_checkpoint(&ckpt, path)
+        save_checkpoint_stats(&ckpt, path)
     }
 }
 

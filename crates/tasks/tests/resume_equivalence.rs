@@ -105,6 +105,7 @@ fn turl_pretraining_resume_is_bit_identical() {
             checkpoint: Some((path.clone(), 1)),
             resume: None,
             halt_after: Some(halt_at),
+            obs: Default::default(),
         },
     )
     .unwrap();
@@ -126,6 +127,7 @@ fn turl_pretraining_resume_is_bit_identical() {
             checkpoint: None,
             resume: Some(path.clone()),
             halt_after: None,
+            obs: Default::default(),
         },
     )
     .unwrap();
@@ -193,6 +195,7 @@ fn imputation_finetune_resume_is_bit_identical() {
             checkpoint: Some((path.clone(), 1)),
             resume: None,
             halt_after: Some(halt_at),
+            obs: Default::default(),
         },
     )
     .unwrap();
@@ -211,6 +214,7 @@ fn imputation_finetune_resume_is_bit_identical() {
             checkpoint: None,
             resume: Some(path.clone()),
             halt_after: None,
+            obs: Default::default(),
         },
     )
     .unwrap();

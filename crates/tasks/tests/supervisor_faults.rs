@@ -70,6 +70,7 @@ fn healing(plan: &str, max_retries: u32) -> SupervisorConfig {
         spike_factor: 0.0, // drills target injected faults, not EMA noise
         ema_alpha: 0.1,
         lr_backoff: 0.5,
+        snapshot_every: 1,
         faults: Some(FaultPlan::parse(plan).unwrap()),
     }
 }
@@ -181,6 +182,7 @@ fn crash_fault_resumes_from_disk_and_stays_bit_identical() {
             checkpoint: Some((path.clone(), 1)),
             resume: None,
             halt_after: None,
+            obs: Default::default(),
         },
         &healing("crash@3", 0),
     )
@@ -205,6 +207,7 @@ fn corrupt_ckpt_fault_leaves_a_detectably_broken_file() {
             checkpoint: Some((path.clone(), 2)),
             resume: None,
             halt_after: Some(2),
+            obs: Default::default(),
         },
         &healing("corrupt-ckpt@2", 0),
     )
@@ -249,6 +252,7 @@ fn crash_with_corrupt_checkpoint_falls_back_to_initial_state() {
             checkpoint: Some((path.clone(), 3)),
             resume: None,
             halt_after: None,
+            obs: Default::default(),
         },
         &healing("corrupt-ckpt@3,crash@4", 0),
     )
@@ -337,7 +341,7 @@ fn loss_spike_is_rolled_back_and_skipped() {
         &TrainerOptions::default(),
         &scfg,
         |l: &f32| *l,
-        |_, batch| {
+        |_, batch, _obs| {
             if batch[0].epoch == 0 && batch[0].pos == 2 {
                 50.0
             } else {
@@ -378,6 +382,7 @@ fn env_fault_plan_drill_survives_any_schedule() {
             checkpoint: Some((path.clone(), 2)),
             resume: None,
             halt_after: None,
+            obs: Default::default(),
         },
         &scfg,
     )

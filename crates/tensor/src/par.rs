@@ -131,6 +131,29 @@ fn maybe_inject(designated: bool) {
     }
 }
 
+/// Runs a worker body, attributing its wall time to `worker` in the global
+/// pool counters when observability is armed. With `armed = false` (the
+/// default) this is a direct call — no clock, no atomics.
+#[inline]
+fn timed(armed: bool, worker: usize, body: impl FnOnce()) {
+    if armed {
+        let t0 = std::time::Instant::now();
+        body();
+        ntr_obs::pool::record_busy(worker, t0.elapsed().as_nanos() as u64);
+    } else {
+        body();
+    }
+}
+
+/// Feeds a finished dispatch's outcome into the pool counters (panic
+/// isolations) when armed.
+#[inline]
+fn note_outcome<T>(armed: bool, r: &Result<T, PoolPanic>) {
+    if armed && r.is_err() {
+        ntr_obs::pool::record_panic_isolated();
+    }
+}
+
 /// Splits `data` into up to `threads` contiguous chunks on `unit` boundaries
 /// and runs `f(start_unit_index, chunk)` on each, in parallel.
 ///
@@ -169,13 +192,19 @@ pub fn try_for_chunks(
         "for_chunks: data not a whole number of units"
     );
     let inject = crate::faults::take_armed_worker_panic();
+    let armed = ntr_obs::pool::enabled();
     let units = data.len() / unit;
     let t = threads.clamp(1, units.max(1));
+    if armed {
+        ntr_obs::pool::record_dispatch(t as u64);
+    }
     if t <= 1 {
-        return run_caught(0, || {
+        let r = run_caught(0, || {
             maybe_inject(inject);
-            f(0, data)
+            timed(armed, 0, || f(0, data))
         });
+        note_outcome(armed, &r);
+        return r;
     }
     // Near-even split: the first `extra` chunks get one additional unit.
     let base = units / t;
@@ -195,14 +224,14 @@ pub fn try_for_chunks(
             if c + 1 == t {
                 // Last chunk runs here: the calling thread does its share
                 // instead of blocking in `scope` while workers finish.
-                mine = run_caught(c, || f(begin, chunk));
+                mine = run_caught(c, || timed(armed, c, || f(begin, chunk)));
             } else {
                 // Worker 0 (a genuinely spawned thread) takes any injected
                 // fault.
                 let designated = inject && c == 0;
                 handles.push(scope.spawn(move || {
                     maybe_inject(designated);
-                    f(begin, chunk)
+                    timed(armed, c, || f(begin, chunk))
                 }));
             }
         }
@@ -219,10 +248,12 @@ pub fn try_for_chunks(
                 }
             }
         }
-        match (first, mine) {
+        let r = match (first, mine) {
             (Some(p), _) => Err(p),
             (None, mine) => mine,
-        }
+        };
+        note_outcome(armed, &r);
+        r
     })
 }
 
@@ -261,12 +292,18 @@ pub fn try_for_zip3_mut(
         "for_zip3_mut: slice lengths differ"
     );
     let inject = crate::faults::take_armed_worker_panic();
+    let armed = ntr_obs::pool::enabled();
     let t = threads.clamp(1, len.max(1));
+    if armed {
+        ntr_obs::pool::record_dispatch(t as u64);
+    }
     if t <= 1 {
-        return run_caught(0, || {
+        let r = run_caught(0, || {
             maybe_inject(inject);
-            f(w, m, v, g)
+            timed(armed, 0, || f(w, m, v, g))
         });
+        note_outcome(armed, &r);
+        return r;
     }
     let base = len / t;
     let extra = len % t;
@@ -286,12 +323,12 @@ pub fn try_for_zip3_mut(
             rg = tg;
             let f = &f;
             if c + 1 == t {
-                mine = run_caught(c, || f(cw, cm, cv, cg));
+                mine = run_caught(c, || timed(armed, c, || f(cw, cm, cv, cg)));
             } else {
                 let designated = inject && c == 0;
                 handles.push(scope.spawn(move || {
                     maybe_inject(designated);
-                    f(cw, cm, cv, cg)
+                    timed(armed, c, || f(cw, cm, cv, cg))
                 }));
             }
         }
@@ -306,10 +343,12 @@ pub fn try_for_zip3_mut(
                 }
             }
         }
-        match (first, mine) {
+        let r = match (first, mine) {
             (Some(p), _) => Err(p),
             (None, mine) => mine,
-        }
+        };
+        note_outcome(armed, &r);
+        r
     })
 }
 
@@ -333,14 +372,23 @@ pub fn try_map_tasks<T: Send>(
     f: impl Fn(usize) -> T + Sync,
 ) -> Result<Vec<T>, PoolPanic> {
     let inject = crate::faults::take_armed_worker_panic();
+    let armed = ntr_obs::pool::enabled();
     let t = threads.clamp(1, n.max(1));
     if t <= 1 || n <= 1 {
+        if armed {
+            ntr_obs::pool::record_dispatch(1);
+        }
         let mut out = Vec::with_capacity(n);
-        run_caught(0, || {
+        let r = run_caught(0, || {
             maybe_inject(inject);
-            out.extend((0..n).map(&f));
-        })?;
+            timed(armed, 0, || out.extend((0..n).map(&f)));
+        });
+        note_outcome(armed, &r);
+        r?;
         return Ok(out);
+    }
+    if armed {
+        ntr_obs::pool::record_dispatch(t as u64);
     }
     let inner = (max_threads() / t).max(1);
     let mut out: Vec<Option<T>> = Vec::new();
@@ -363,10 +411,12 @@ pub fn try_map_tasks<T: Send>(
                 let designated = inject && c == 0;
                 let run = move || {
                     maybe_inject(designated);
-                    with_threads(inner, || {
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            *slot = Some(f(begin + off));
-                        }
+                    timed(armed, c, || {
+                        with_threads(inner, || {
+                            for (off, slot) in slots.iter_mut().enumerate() {
+                                *slot = Some(f(begin + off));
+                            }
+                        })
                     })
                 };
                 if c + 1 == t {
@@ -392,6 +442,7 @@ pub fn try_map_tasks<T: Send>(
             }
         })
     };
+    note_outcome(armed, &result);
     result?;
     Ok(out
         .into_iter()
@@ -453,6 +504,24 @@ mod tests {
             let expect: Vec<usize> = (0..11).map(|i| i * i).collect();
             assert_eq!(got, expect, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pool_counters_record_when_armed() {
+        ntr_obs::pool::reset();
+        ntr_obs::pool::set_enabled(true);
+        let mut data = vec![0.0f32; 8];
+        for_chunks(&mut data, 1, 4, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1.0;
+            }
+        });
+        ntr_obs::pool::set_enabled(false);
+        // Other tests may run concurrently and add their own dispatches, so
+        // assert lower bounds only.
+        let s = ntr_obs::pool::snapshot();
+        assert!(s.dispatches >= 1, "dispatch not recorded: {s:?}");
+        assert!(s.tasks >= 4, "fan-out not recorded: {s:?}");
     }
 
     #[test]

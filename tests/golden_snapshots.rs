@@ -211,6 +211,13 @@ fn first_forward_pass_logits_are_pinned() {
 /// table sharded into overlapping 2-row slices so a few optimizer steps
 /// exist.
 fn mlm_noop_trace(scfg: &ntr::tasks::supervisor::SupervisorConfig) -> (Vec<f32>, String) {
+    mlm_noop_trace_with(scfg, &ntr::tasks::trainer::TrainerOptions::default())
+}
+
+fn mlm_noop_trace_with(
+    scfg: &ntr::tasks::supervisor::SupervisorConfig,
+    topts: &ntr::tasks::trainer::TrainerOptions,
+) -> (Vec<f32>, String) {
     let p = pipeline();
     let tok = p.tokenizer();
     let t = sample();
@@ -239,7 +246,7 @@ fn mlm_noop_trace(scfg: &ntr::tasks::supervisor::SupervisorConfig) -> (Vec<f32>,
         &cfg,
         64,
         &RowMajorLinearizer,
-        &ntr::tasks::trainer::TrainerOptions::default(),
+        topts,
         scfg,
     )
     .expect("no faults configured");
@@ -280,6 +287,7 @@ fn supervised_noop_training_trace_is_pinned() {
         spike_factor: 0.0,
         ema_alpha: 0.1,
         lr_backoff: 0.5,
+        snapshot_every: 1,
         faults: None,
     };
     let (quiet_losses, _) = mlm_noop_trace(&quiet);
@@ -289,4 +297,36 @@ fn supervised_noop_training_trace_is_pinned() {
         bits(&quiet_losses),
         "an armed-but-idle supervisor must not perturb training"
     );
+
+    // Armed observability (trace + metrics sinks active) must observe the
+    // run without perturbing it: same loss bits and parameter fingerprint
+    // as the sink-free baseline above.
+    let dir = std::env::temp_dir().join("ntr_golden_obs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let topts = ntr::tasks::trainer::TrainerOptions {
+        obs: ntr::obs::ObsOptions {
+            trace: Some(dir.join("noop_trace.jsonl")),
+            metrics: Some(dir.join("noop_metrics.json")),
+        },
+        ..Default::default()
+    };
+    let (traced_losses, traced_fingerprint) = mlm_noop_trace_with(&quiet, &topts);
+    assert_eq!(
+        bits(&disabled_losses),
+        bits(&traced_losses),
+        "armed tracing must not perturb training"
+    );
+    check("mlm_noop.txt", &traced_fingerprint);
+    // And the trace it wrote must be schema-valid.
+    let text = std::fs::read_to_string(dir.join("noop_trace.jsonl")).unwrap();
+    ntr::obs::trace::schema::validate_trace(&text).unwrap();
+    assert!(dir.join("noop_metrics.json").exists());
+}
+
+#[test]
+fn trace_schema_is_pinned() {
+    // The JSONL trace schema is a stability contract: adding, removing, or
+    // reordering fields must show up as a golden diff and a DESIGN.md §7
+    // update, never as a silent change.
+    check("trace_schema.txt", &ntr::obs::trace::schema::render());
 }

@@ -1,0 +1,137 @@
+//! Trace determinism: the JSONL event trace produced by a supervised
+//! training run — including anomaly, rollback, and checkpoint events from a
+//! deterministic fault drill — must be byte-identical across thread counts
+//! once wall-clock fields (`*_ms`, `*_per_sec`) are stripped. Everything
+//! else in a trace line is derived from the deterministic training state,
+//! so any diff here is a real reproducibility regression, not noise.
+
+use ntr::corpus::tables::{TableCorpus, TableKind};
+use ntr::models::{ModelConfig, VanillaBert};
+use ntr::obs::trace::{schema, strip_timings};
+
+/// Strips the wall-clock fields from every line of a JSONL trace.
+fn strip_all(trace: &str) -> String {
+    trace
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| strip_timings(l).expect("trace line must parse"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+use ntr::obs::ObsOptions;
+use ntr::pipeline::Pipeline;
+use ntr::table::{RowMajorLinearizer, Table};
+use ntr::tasks::pretrain::pretrain_mlm_supervised;
+use ntr::tasks::supervisor::SupervisorConfig;
+use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr::tensor::faults::FaultPlan;
+use ntr::tensor::par::with_threads;
+use std::path::PathBuf;
+
+fn sample() -> Table {
+    Table::from_strings(
+        "countries",
+        &["Country", "Capital", "Population"],
+        &[
+            &["France", "Paris", "67.8"],
+            &["Australia", "Canberra", "25.69"],
+            &["Japan", "Tokyo", "124.5"],
+        ],
+    )
+    .with_caption("Population in Million by Country")
+}
+
+/// One faulted MLM pretrain run with tracing armed; returns the raw trace.
+fn traced_run(tag: &str) -> String {
+    let dir = std::env::temp_dir().join("ntr_trace_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace: PathBuf = dir.join(format!("{tag}.jsonl"));
+    let _ = std::fs::remove_file(&trace);
+
+    let t = sample();
+    let tables: Vec<Table> = (0..t.n_rows())
+        .map(|r| t.select_rows(&[r, (r + 1) % t.n_rows()]))
+        .collect();
+    let corpus = TableCorpus {
+        kinds: vec![TableKind::Employees; tables.len()],
+        tables,
+    };
+    let p = Pipeline::builder()
+        .vocab_from_tables(&corpus.tables)
+        .vocab_size(600)
+        .build();
+    let tok = p.tokenizer();
+    let mut model = VanillaBert::new(&ModelConfig {
+        vocab_size: tok.vocab_size(),
+        ..ModelConfig::tiny(tok.vocab_size())
+    });
+    let cfg = TrainConfig {
+        epochs: 4,
+        lr: 3e-3,
+        batch_size: 2,
+        warmup_frac: 0.1,
+        seed: 17,
+    };
+    let topts = TrainerOptions {
+        obs: ObsOptions {
+            trace: Some(trace.clone()),
+            metrics: None,
+        },
+        ..Default::default()
+    };
+    // nan@2 forces one anomaly + rollback mid-run; snapshot_every: 2 also
+    // exercises the cadence-snapshot replay path.
+    let scfg = SupervisorConfig {
+        rollback: true,
+        max_retries: 3,
+        snapshot_every: 2,
+        faults: Some(FaultPlan::parse("nan@2").unwrap()),
+        ..SupervisorConfig::default()
+    };
+    pretrain_mlm_supervised(
+        &mut model,
+        &corpus,
+        tok,
+        &cfg,
+        64,
+        &RowMajorLinearizer,
+        &topts,
+        &scfg,
+    )
+    .expect("rollback absorbs the injected NaN");
+    std::fs::read_to_string(&trace).unwrap()
+}
+
+#[test]
+fn trace_is_byte_identical_across_thread_counts() {
+    let t1 = with_threads(1, || traced_run("threads1"));
+    let t4 = with_threads(4, || traced_run("threads4"));
+
+    // Both traces are schema-valid and actually exercised the fault path.
+    let n1 = schema::validate_trace(&t1).unwrap();
+    assert!(n1 > 0, "trace must contain events");
+    schema::validate_trace(&t4).unwrap();
+    assert!(t1.contains("\"ev\": \"anomaly\""), "nan@2 must fire");
+    assert!(t1.contains("\"ev\": \"rollback\""));
+
+    // Byte-identical after stripping wall-clock fields.
+    let s1 = strip_all(&t1);
+    let s4 = strip_all(&t4);
+    assert_eq!(
+        s1, s4,
+        "stripped traces must not depend on the worker thread count"
+    );
+
+    // And stripping only removed timing keys, not events.
+    assert_eq!(t1.lines().count(), s1.lines().count());
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Same thread count, two runs: identical modulo timings. This pins the
+    // trace content (losses, grad norms, rollback targets) as a pure
+    // function of the training configuration.
+    let a = with_threads(2, || traced_run("repeat_a"));
+    let b = with_threads(2, || traced_run("repeat_b"));
+    assert_eq!(strip_timings(&a), strip_timings(&b));
+}
