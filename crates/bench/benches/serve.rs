@@ -1,0 +1,159 @@
+//! Throughput of the batched embedding service under single-request vs.
+//! concurrent load — the standard dynamic-batching tradeoff curve.
+//!
+//! Three arms (cache disabled, so every request pays a real forward):
+//!
+//! - `serve/single` — the production config (`max_batch = 8`,
+//!   `max_wait = 2ms`, 4 workers) with **one request in flight**: a lone
+//!   request cannot fill the batch, so it pays the full coalescing
+//!   deadline before its flush. One iter = one request; `1/ns` is the
+//!   closed-loop single-client throughput.
+//! - `serve/batch8` — the same service with **8 requests in flight**: the
+//!   batch fills instantly and flushes without waiting, spreading work
+//!   over the replicas. One iter = 8 requests, so per-request cost is
+//!   `ns / 8` and the acceptance ratio is
+//!   `ns(single) / (ns(batch8) / 8) >= 3`.
+//! - `serve/nobatch` — `max_batch = 1`, one worker: batching disabled
+//!   entirely. The single-request *latency* floor, for reference; the
+//!   `single` arm shows what that latency costs once a coalescing server
+//!   is in front of it, and `batch8` shows the deadline being amortized
+//!   away under load.
+//!
+//! Run `cargo bench -p ntr-bench --bench serve -- --json BENCH_serve.json`
+//! to regenerate the perf baseline CI uploads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::models::ModelConfig;
+use ntr::table::{LinearizerOptions, Table};
+use ntr::zoo::ModelKind;
+use ntr::Pipeline;
+use ntr_serve::{EmbeddingService, ServeConfig, ServeRequest};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fixture() -> (Vec<Table>, Pipeline, ModelConfig) {
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: 8,
+            min_rows: 4,
+            max_rows: 6,
+            null_prob: 0.0,
+            headerless_prob: 0.0,
+            seed: 11,
+        },
+    );
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(&corpus.tables)
+        .vocab_size(1500)
+        .options(LinearizerOptions {
+            max_tokens: 64,
+            ..Default::default()
+        })
+        .build()
+        .expect("vocab is non-empty");
+    let cfg = ModelConfig {
+        vocab_size: pipeline.tokenizer().vocab_size(),
+        d_model: 32,
+        n_heads: 2,
+        n_layers: 1,
+        d_ff: 64,
+        max_seq: 64,
+        dropout: 0.0,
+        ..ModelConfig::default()
+    };
+    (corpus.tables, pipeline, cfg)
+}
+
+fn requests(tables: &[Table]) -> Vec<ServeRequest> {
+    tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ServeRequest {
+            kind: ModelKind::Bert,
+            table: t.clone(),
+            context: format!("request {i}"),
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let (tables, _, _) = fixture();
+    let reqs = requests(&tables);
+    let mut group = c.benchmark_group("serve");
+
+    // Production config, two load patterns.
+    {
+        let (_, pipeline, cfg) = fixture();
+        let service = EmbeddingService::start(
+            pipeline,
+            ServeConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+                n_workers: 4,
+                cache_bytes: 0,
+                model_config: Some(cfg),
+            },
+            ntr_obs::Obs::disabled(),
+        );
+        let handle = service.handle();
+
+        // One request in flight: pays the coalescing deadline alone.
+        let mut i = 0usize;
+        group.bench_function("single", |b| {
+            b.iter(|| {
+                let req = reqs[i % reqs.len()].clone();
+                i += 1;
+                black_box(handle.submit(req).recv().unwrap().unwrap())
+            })
+        });
+
+        // Eight requests in flight: the batch fills and flushes at once.
+        group.bench_function("batch8", |b| {
+            b.iter(|| {
+                let rxs: Vec<_> = reqs.iter().map(|r| handle.submit(r.clone())).collect();
+                for rx in rxs {
+                    black_box(rx.recv().unwrap().unwrap());
+                }
+            })
+        });
+
+        drop(handle);
+        service.shutdown();
+    }
+
+    // Batching disabled: the raw single-request latency floor.
+    {
+        let (_, pipeline, cfg) = fixture();
+        let service = EmbeddingService::start(
+            pipeline,
+            ServeConfig {
+                max_batch: 1,
+                max_wait: Duration::from_millis(2),
+                n_workers: 1,
+                cache_bytes: 0,
+                model_config: Some(cfg),
+            },
+            ntr_obs::Obs::disabled(),
+        );
+        let handle = service.handle();
+        let mut i = 0usize;
+        group.bench_function("nobatch", |b| {
+            b.iter(|| {
+                let req = reqs[i % reqs.len()].clone();
+                i += 1;
+                black_box(handle.submit(req).recv().unwrap().unwrap())
+            })
+        });
+        drop(handle);
+        service.shutdown();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

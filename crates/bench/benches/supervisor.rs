@@ -23,10 +23,11 @@ use ntr::corpus::vocab::train_tokenizer;
 use ntr::corpus::{World, WorldConfig};
 use ntr::models::{ModelConfig, VanillaBert};
 use ntr::table::RowMajorLinearizer;
-use ntr::tasks::pretrain::{pretrain_mlm_resumable, pretrain_mlm_supervised};
 use ntr::tasks::supervisor::SupervisorConfig;
+use ntr::tasks::supervisor::TrainError;
 use ntr::tasks::trainer::TrainerOptions;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 use std::hint::black_box;
 
 fn bench_supervisor(c: &mut Criterion) {
@@ -91,16 +92,13 @@ fn bench_supervisor(c: &mut Criterion) {
         b.iter(|| {
             let mut model = VanillaBert::new(&mcfg);
             black_box(
-                pretrain_mlm_resumable(
-                    &mut model,
-                    &corpus,
-                    &tok,
-                    &cfg,
-                    64,
-                    &RowMajorLinearizer,
-                    &topts,
-                )
-                .unwrap(),
+                TrainRun::new(cfg)
+                    .max_tokens(64)
+                    .linearizer(&RowMajorLinearizer)
+                    .trainer(&topts)
+                    .mlm(&mut model, &corpus, &tok)
+                    .map_err(TrainError::into_checkpoint_error)
+                    .unwrap(),
             )
         })
     });
@@ -108,17 +106,13 @@ fn bench_supervisor(c: &mut Criterion) {
         b.iter(|| {
             let mut model = VanillaBert::new(&mcfg);
             black_box(
-                pretrain_mlm_supervised(
-                    &mut model,
-                    &corpus,
-                    &tok,
-                    &cfg,
-                    64,
-                    &RowMajorLinearizer,
-                    &topts,
-                    &SupervisorConfig::default(),
-                )
-                .unwrap(),
+                TrainRun::new(cfg)
+                    .max_tokens(64)
+                    .linearizer(&RowMajorLinearizer)
+                    .trainer(&topts)
+                    .supervisor(&SupervisorConfig::default())
+                    .mlm(&mut model, &corpus, &tok)
+                    .unwrap(),
             )
         })
     });
@@ -126,17 +120,13 @@ fn bench_supervisor(c: &mut Criterion) {
         b.iter(|| {
             let mut model = VanillaBert::new(&mcfg);
             black_box(
-                pretrain_mlm_supervised(
-                    &mut model,
-                    &corpus,
-                    &tok,
-                    &cfg,
-                    64,
-                    &RowMajorLinearizer,
-                    &topts,
-                    &armed,
-                )
-                .unwrap(),
+                TrainRun::new(cfg)
+                    .max_tokens(64)
+                    .linearizer(&RowMajorLinearizer)
+                    .trainer(&topts)
+                    .supervisor(&armed)
+                    .mlm(&mut model, &corpus, &tok)
+                    .unwrap(),
             )
         })
     });
@@ -147,17 +137,13 @@ fn bench_supervisor(c: &mut Criterion) {
             b.iter(|| {
                 let mut model = VanillaBert::new(&mcfg);
                 black_box(
-                    pretrain_mlm_supervised(
-                        &mut model,
-                        &corpus,
-                        &tok,
-                        &cfg,
-                        64,
-                        &RowMajorLinearizer,
-                        &topts,
-                        &armed_cadence8,
-                    )
-                    .unwrap(),
+                    TrainRun::new(cfg)
+                        .max_tokens(64)
+                        .linearizer(&RowMajorLinearizer)
+                        .trainer(&topts)
+                        .supervisor(&armed_cadence8)
+                        .mlm(&mut model, &corpus, &tok)
+                        .unwrap(),
                 )
             })
         },
@@ -166,17 +152,13 @@ fn bench_supervisor(c: &mut Criterion) {
         b.iter(|| {
             let mut model = VanillaBert::new(&mcfg);
             black_box(
-                pretrain_mlm_supervised(
-                    &mut model,
-                    &corpus,
-                    &tok,
-                    &cfg,
-                    64,
-                    &RowMajorLinearizer,
-                    &traced_topts,
-                    &armed,
-                )
-                .unwrap(),
+                TrainRun::new(cfg)
+                    .max_tokens(64)
+                    .linearizer(&RowMajorLinearizer)
+                    .trainer(&traced_topts)
+                    .supervisor(&armed)
+                    .mlm(&mut model, &corpus, &tok)
+                    .unwrap(),
             )
         })
     });

@@ -22,10 +22,10 @@ use ntr::corpus::{World, WorldConfig};
 use ntr::models::{ModelConfig, VanillaBert};
 use ntr::obs::ObsOptions;
 use ntr::table::RowMajorLinearizer;
-use ntr::tasks::pretrain::pretrain_mlm_supervised;
 use ntr::tasks::supervisor::SupervisorConfig;
 use ntr::tasks::trainer::TrainerOptions;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -166,23 +166,19 @@ fn main() {
     // itself does not carry token totals; the metrics registry does).
     let tokens = {
         let mut model = VanillaBert::new(&mcfg);
-        pretrain_mlm_supervised(
-            &mut model,
-            &corpus,
-            &tok,
-            &cfg,
-            64,
-            &RowMajorLinearizer,
-            &TrainerOptions {
+        TrainRun::new(cfg)
+            .max_tokens(64)
+            .linearizer(&RowMajorLinearizer)
+            .trainer(&TrainerOptions {
                 obs: ObsOptions {
                     trace: None,
                     metrics: Some(obs_dir.join("metrics.json")),
                 },
                 ..Default::default()
-            },
-            &SupervisorConfig::default(),
-        )
-        .expect("calibration run");
+            })
+            .supervisor(&SupervisorConfig::default())
+            .mlm(&mut model, &corpus, &tok)
+            .expect("calibration run");
         let snap = std::fs::read_to_string(obs_dir.join("metrics.json")).unwrap_or_default();
         counter_value(&snap, "train/tokens")
     };
@@ -201,17 +197,13 @@ fn main() {
         for (i, arm) in arms.iter().enumerate() {
             let mut model = VanillaBert::new(&mcfg);
             let t0 = Instant::now();
-            let report = pretrain_mlm_supervised(
-                &mut model,
-                &corpus,
-                &tok,
-                &cfg,
-                64,
-                &RowMajorLinearizer,
-                &arm.topts,
-                &arm.scfg,
-            )
-            .expect("healthy run");
+            let report = TrainRun::new(cfg)
+                .max_tokens(64)
+                .linearizer(&RowMajorLinearizer)
+                .trainer(&arm.topts)
+                .supervisor(&arm.scfg)
+                .mlm(&mut model, &corpus, &tok)
+                .expect("healthy run");
             let dt = t0.elapsed().as_nanos();
             black_box(&report);
             if rep == 0 {

@@ -7,8 +7,9 @@
 use crate::report::{f3, Report};
 use crate::setup::Setup;
 use ntr::models::{Turl, VanillaBert};
-use ntr::tasks::pretrain::{pretrain_mlm, pretrain_turl, PretrainReport};
+use ntr::tasks::pretrain::PretrainReport;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn quartiles(xs: &[f32]) -> [f32; 4] {
     if xs.is_empty() {
@@ -46,11 +47,16 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     };
 
     let mut turl = Turl::new(&cfg);
-    let turl_report: PretrainReport =
-        pretrain_turl(&mut turl, &setup.entity_corpus, &setup.tok, &tc, 192);
+    let turl_report: PretrainReport = TrainRun::new(tc)
+        .max_tokens(192)
+        .turl(&mut turl, &setup.entity_corpus, &setup.tok)
+        .expect("infallible: no checkpointing configured");
 
     let mut bert = VanillaBert::new(&cfg);
-    let bert_report = pretrain_mlm(&mut bert, &setup.entity_corpus, &setup.tok, &tc, 192);
+    let bert_report = TrainRun::new(tc)
+        .max_tokens(192)
+        .mlm(&mut bert, &setup.entity_corpus, &setup.tok)
+        .expect("infallible: no checkpointing configured");
 
     let mut report = Report::new(
         "E3 — pretraining trajectories (Fig 2c): loss/accuracy by training quartile",

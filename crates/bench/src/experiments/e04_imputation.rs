@@ -10,8 +10,9 @@ use ntr::corpus::datasets::ImputationDataset;
 use ntr::corpus::Split;
 use ntr::models::{Turl, VanillaBert};
 use ntr::tasks::imputation::{baseline_mode, evaluate, finetune, CandidatePools, ImputationEval};
-use ntr::tasks::pretrain::{pretrain_mlm, pretrain_turl, MlmModel};
+use ntr::tasks::pretrain::MlmModel;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 const MAX_TOKENS: usize = 192;
 
@@ -84,7 +85,10 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     let untrained = evaluate(&mut bert, &ds, Split::Test, &pools, &setup.tok, MAX_TOKENS);
     eval_row(&mut report, "bert untrained", &untrained);
 
-    pretrain_mlm(&mut bert, &setup.corpus, &setup.tok, &pre_cfg, MAX_TOKENS);
+    TrainRun::new(pre_cfg)
+        .max_tokens(MAX_TOKENS)
+        .mlm(&mut bert, &setup.corpus, &setup.tok)
+        .expect("infallible: no checkpointing configured");
     let pretrained = evaluate(&mut bert, &ds, Split::Test, &pools, &setup.tok, MAX_TOKENS);
     eval_row(&mut report, "bert pretrained", &pretrained);
 
@@ -93,14 +97,14 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     eval_row(&mut report, "bert pretrained+ft", &tuned);
 
     let mut turl = Turl::new(&cfg);
-    pretrain_turl(
-        &mut turl,
-        &setup.entity_corpus,
-        &setup.tok,
-        &pre_cfg,
-        MAX_TOKENS,
-    );
-    pretrain_mlm(&mut turl, &setup.corpus, &setup.tok, &pre_cfg, MAX_TOKENS);
+    TrainRun::new(pre_cfg)
+        .max_tokens(MAX_TOKENS)
+        .turl(&mut turl, &setup.entity_corpus, &setup.tok)
+        .expect("infallible: no checkpointing configured");
+    TrainRun::new(pre_cfg)
+        .max_tokens(MAX_TOKENS)
+        .mlm(&mut turl, &setup.corpus, &setup.tok)
+        .expect("infallible: no checkpointing configured");
     light_finetune(&mut turl, &ds, setup);
     let turl_eval = evaluate(&mut turl, &ds, Split::Test, &pools, &setup.tok, MAX_TOKENS);
     eval_row(&mut report, "turl pretrained+ft", &turl_eval);

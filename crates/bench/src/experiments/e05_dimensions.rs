@@ -13,25 +13,23 @@ use ntr::models::{Mate, SequenceEncoder, Tapas, Turl, VanillaBert};
 use ntr::table::LinearizerOptions;
 use ntr::tasks::cta::{baseline_majority, ColumnAnnotator};
 use ntr::tasks::nli::{baseline_lookup, FactVerifier};
-use ntr::tasks::pretrain::{pretrain_mlm, MlmModel};
+use ntr::tasks::pretrain::MlmModel;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 const MAX_TOKENS: usize = 192;
 
 fn pretrain<M: MlmModel>(model: &mut M, setup: &Setup) {
-    pretrain_mlm(
-        model,
-        &setup.corpus,
-        &setup.tok,
-        &TrainConfig {
-            epochs: setup.epochs(4, 15),
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 0x55A,
-        },
-        MAX_TOKENS,
-    );
+    TrainRun::new(TrainConfig {
+        epochs: setup.epochs(4, 15),
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 0x55A,
+    })
+    .max_tokens(MAX_TOKENS)
+    .mlm(model, &setup.corpus, &setup.tok)
+    .expect("infallible: no checkpointing configured");
 }
 
 fn measure<M: SequenceEncoder + 'static>(

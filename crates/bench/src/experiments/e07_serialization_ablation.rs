@@ -11,8 +11,9 @@ use ntr::corpus::split_three;
 use ntr::corpus::Split;
 use ntr::models::VanillaBert;
 use ntr::table::{ColumnMajorLinearizer, Linearizer, RowMajorLinearizer};
-use ntr::tasks::pretrain::{eval_mlm, pretrain_mlm_with};
+use ntr::tasks::pretrain::eval_mlm;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 const MAX_TOKENS: usize = 192;
 
@@ -65,7 +66,11 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     ];
     for (name, lin) in linearizers {
         let mut model = VanillaBert::new(&cfg);
-        pretrain_mlm_with(&mut model, &train_corpus, &setup.tok, &tc, MAX_TOKENS, lin);
+        TrainRun::new(tc)
+            .max_tokens(MAX_TOKENS)
+            .linearizer(lin)
+            .mlm(&mut model, &train_corpus, &setup.tok)
+            .expect("infallible: no checkpointing configured");
         let row_eval = eval_mlm(
             &mut model,
             &held_out,

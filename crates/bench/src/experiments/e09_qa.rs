@@ -7,9 +7,9 @@ use ntr::corpus::datasets::QaDataset;
 use ntr::corpus::Split;
 use ntr::models::Tapas;
 use ntr::table::LinearizerOptions;
-use ntr::tasks::pretrain::pretrain_mlm;
 use ntr::tasks::qa::{baseline_lexical, evaluate, finetune, snapshot_dataset, CellSelector};
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 pub fn run(setup: &Setup) -> Vec<Report> {
     let cfg = setup.model_config();
@@ -21,19 +21,16 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     };
 
     let mut encoder = Tapas::new(&cfg);
-    pretrain_mlm(
-        &mut encoder,
-        &setup.corpus,
-        &setup.tok,
-        &TrainConfig {
-            epochs: setup.epochs(4, 10),
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 0x9A2,
-        },
-        160,
-    );
+    TrainRun::new(TrainConfig {
+        epochs: setup.epochs(4, 10),
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 0x9A2,
+    })
+    .max_tokens(160)
+    .mlm(&mut encoder, &setup.corpus, &setup.tok)
+    .expect("infallible: no checkpointing configured");
     let mut model = CellSelector::new(encoder, 0x9A3);
     let untrained = evaluate(&mut model, &ds, Split::Test, &setup.tok, &opts);
     finetune(

@@ -11,9 +11,10 @@ use ntr::corpus::datasets::Text2SqlDataset;
 use ntr::corpus::Split;
 use ntr::models::{ModelConfig, Tapex};
 use ntr::sql::gen::{GenConfig, QueryGenerator};
-use ntr::tasks::pretrain::{eval_tapex_execution, pretrain_tapex};
+use ntr::tasks::pretrain::eval_tapex_execution;
 use ntr::tasks::text2sql::{baseline_first_column, evaluate, finetune};
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 const MAX_TOKENS: usize = 160;
 
@@ -40,7 +41,11 @@ pub fn run(setup: &Setup) -> Vec<Report> {
 
     // Part A: neural SQL execution.
     let mut executor = Tapex::new(&cfg);
-    let losses = pretrain_tapex(&mut executor, &setup.corpus, &tok, &tc, 3, MAX_TOKENS);
+    let losses = TrainRun::new(tc)
+        .queries_per_table(3)
+        .max_tokens(MAX_TOKENS)
+        .tapex(&mut executor, &setup.corpus, &tok)
+        .expect("infallible: no checkpointing configured");
     let mut held_out = Vec::new();
     for table in setup.corpus.tables.iter().take(16) {
         let mut g = QueryGenerator::new(0xA03, GenConfig::default());

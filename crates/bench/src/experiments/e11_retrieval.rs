@@ -7,9 +7,9 @@ use ntr::corpus::datasets::RetrievalDataset;
 use ntr::corpus::Split;
 use ntr::models::VanillaBert;
 use ntr::table::LinearizerOptions;
-use ntr::tasks::pretrain::pretrain_mlm;
 use ntr::tasks::retrieval::{evaluate_dense, finetune_contrastive, RetrievalEval, TfIdfIndex};
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn row(report: &mut Report, name: &str, e: &RetrievalEval) {
     report.row(&[
@@ -53,19 +53,16 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         &evaluate_dense(&mut model, &ds, Split::Test, &setup.tok, &opts),
     );
 
-    pretrain_mlm(
-        &mut model,
-        &setup.corpus,
-        &setup.tok,
-        &TrainConfig {
-            epochs: setup.epochs(4, 12),
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 0xB02,
-        },
-        160,
-    );
+    TrainRun::new(TrainConfig {
+        epochs: setup.epochs(4, 12),
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 0xB02,
+    })
+    .max_tokens(160)
+    .mlm(&mut model, &setup.corpus, &setup.tok)
+    .expect("infallible: no checkpointing configured");
     row(
         &mut report,
         "dense MLM-pretrained",

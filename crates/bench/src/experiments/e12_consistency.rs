@@ -6,9 +6,10 @@ use crate::report::{f3, Report};
 use crate::setup::Setup;
 use ntr::models::{Mate, Tapas, Turl, VanillaBert};
 use ntr::table::LinearizerOptions;
-use ntr::tasks::pretrain::{pretrain_mlm, MlmModel};
+use ntr::tasks::pretrain::MlmModel;
 use ntr::tasks::probes::consistency;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 pub fn run(setup: &Setup) -> Vec<Report> {
     let cfg = setup.model_config();
@@ -57,7 +58,10 @@ pub fn run(setup: &Setup) -> Vec<Report> {
             f3(before.col_order_invariance),
             f3(before.header_similarity),
         ]);
-        pretrain_mlm(&mut model, &setup.corpus, &setup.tok, tc, 192);
+        TrainRun::new(*tc)
+            .max_tokens(192)
+            .mlm(&mut model, &setup.corpus, &setup.tok)
+            .expect("infallible: no checkpointing configured");
         let after = consistency(&mut model, &setup.corpus, &setup.tok, opts, 0xC02);
         report.row(&[
             name.to_string(),

@@ -9,8 +9,8 @@ use ntr::corpus::Split;
 use ntr::models::Tapas;
 use ntr::table::LinearizerOptions;
 use ntr::tasks::aggqa::{baseline_keyword, evaluate, finetune, AggQaDataset, AggregationQa};
-use ntr::tasks::pretrain::pretrain_mlm;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 pub fn run(setup: &Setup) -> Vec<Report> {
     let ds = AggQaDataset::build(&setup.corpus, 5, 0xD01);
@@ -26,19 +26,16 @@ pub fn run(setup: &Setup) -> Vec<Report> {
     };
 
     let mut encoder = Tapas::new(&cfg);
-    pretrain_mlm(
-        &mut encoder,
-        &setup.corpus,
-        &tok,
-        &TrainConfig {
-            epochs: setup.epochs(4, 10),
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 0xD02,
-        },
-        160,
-    );
+    TrainRun::new(TrainConfig {
+        epochs: setup.epochs(4, 10),
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 0xD02,
+    })
+    .max_tokens(160)
+    .mlm(&mut encoder, &setup.corpus, &tok)
+    .expect("infallible: no checkpointing configured");
     let mut model = AggregationQa::new(encoder, 0xD03);
     let untrained = evaluate(&mut model, &ds, Split::Test, &tok, &opts);
     finetune(

@@ -9,9 +9,10 @@ use ntr::corpus::datasets::QaDataset;
 use ntr::corpus::Split;
 use ntr::models::{EmbeddingFlags, Tapas};
 use ntr::table::{LinearizerOptions, RowMajorLinearizer};
-use ntr::tasks::pretrain::{eval_mlm, pretrain_mlm};
+use ntr::tasks::pretrain::eval_mlm;
 use ntr::tasks::qa::{evaluate, finetune, snapshot_dataset, CellSelector};
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 pub fn run(setup: &Setup) -> Vec<Report> {
     let cfg = setup.model_config();
@@ -54,7 +55,10 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         ("+row +col +kind (TAPAS)", EmbeddingFlags::structural()),
     ] {
         let mut encoder = Tapas::with_embeddings(&cfg, flags);
-        pretrain_mlm(&mut encoder, &setup.corpus, &setup.tok, &pre, 160);
+        TrainRun::new(pre)
+            .max_tokens(160)
+            .mlm(&mut encoder, &setup.corpus, &setup.tok)
+            .expect("infallible: no checkpointing configured");
         let mlm = eval_mlm(
             &mut encoder,
             &setup.corpus.tables,

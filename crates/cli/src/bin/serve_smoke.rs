@@ -1,0 +1,235 @@
+//! `serve_smoke` — concurrent smoke-test client for `ntr serve`.
+//!
+//! ```text
+//! serve_smoke 127.0.0.1:7878 50 data/countries.csv
+//! ```
+//!
+//! Opens several connections, fires `n` encode requests at the server
+//! (half of them duplicates, to exercise the embedding cache), validates
+//! every response line (ok flag, embedding length, finite floats, and
+//! bit-identical embeddings for duplicated requests), then sends the
+//! shutdown command. Exits non-zero on any failure, so CI can gate on it.
+
+use ntr::table::Table;
+use ntr_serve::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_smoke: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+/// One request line over a row window of `table`; the window and context
+/// both derive from `variant` (not `id`), so two requests with the same
+/// variant have identical content and must collide in the cache.
+fn request_line(id: u64, table: &Table, model: &str, variant: u64) -> String {
+    let n_rows = table.n_rows().max(1);
+    let start = (variant as usize) % n_rows;
+    let end = (start + 2).min(table.n_rows());
+    let rows: Vec<usize> = (start..end).collect();
+    let window = table.select_rows(&rows);
+    let mut line = String::new();
+    line.push_str(&format!("{{\"id\": {id}, \"model\": "));
+    json::write_str(&mut line, model);
+    line.push_str(", \"context\": ");
+    json::write_str(&mut line, &format!("what is in window {variant}"));
+    line.push_str(", \"columns\": [");
+    for (i, col) in window.columns().iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        json::write_str(&mut line, &col.name);
+    }
+    line.push_str("], \"rows\": [");
+    for r in 0..window.n_rows() {
+        if r > 0 {
+            line.push_str(", ");
+        }
+        line.push('[');
+        for c in 0..window.n_cols() {
+            if c > 0 {
+                line.push_str(", ");
+            }
+            json::write_str(&mut line, window.cell(r, c).text());
+        }
+        line.push(']');
+    }
+    line.push_str("]}");
+    line
+}
+
+/// Sends `line`, reads one response line, validates it, and returns the
+/// embedding plus the `cached` flag.
+fn roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &str,
+    id: u64,
+) -> Result<(Vec<f64>, bool), String> {
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut resp = String::new();
+    reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+    let doc = json::parse(resp.trim()).map_err(|e| format!("bad response JSON: {e}"))?;
+    if doc.get("id").and_then(Json::as_u64) != Some(id) {
+        return Err(format!("response id mismatch: {resp}"));
+    }
+    if doc.get("ok") != Some(&Json::Bool(true)) {
+        return Err(format!("request {id} failed: {resp}"));
+    }
+    let d_model = doc
+        .get("d_model")
+        .and_then(Json::as_u64)
+        .ok_or("missing d_model")?;
+    let emb: Vec<f64> = doc
+        .get("embedding")
+        .and_then(Json::as_arr)
+        .ok_or("missing embedding")?
+        .iter()
+        .map(|v| v.as_f64().ok_or("non-numeric embedding entry"))
+        .collect::<Result<_, _>>()?;
+    if emb.len() != d_model as usize || emb.is_empty() {
+        return Err(format!(
+            "request {id}: embedding length {} != d_model {d_model}",
+            emb.len()
+        ));
+    }
+    if emb.iter().any(|v| !v.is_finite()) {
+        return Err(format!("request {id}: non-finite embedding values"));
+    }
+    let cached = doc.get("cached") == Some(&Json::Bool(true));
+    Ok((emb, cached))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let [addr, n, csv] = args else {
+        return Err("usage: serve_smoke <addr> <n_requests> <table.csv>".into());
+    };
+    let n: u64 = n.parse().map_err(|_| format!("bad n_requests {n:?}"))?;
+    let table = Table::from_csv_path(Path::new(csv)).map_err(|e| e.to_string())?;
+    let models = ["bert", "tapas", "turl", "mate"];
+    let n_conns = 8.min(n.max(1)) as usize;
+
+    // Each connection thread sends its slice of the ids. Every second
+    // request on a connection repeats the *previous* request's content
+    // (same window, same context, same model) — by then the first
+    // response has arrived, so the entry is in the cache and the server
+    // must answer `cached: true` with a bit-identical embedding. Variants
+    // are globally unique ids, so connections never collide with each
+    // other and the expectation is deterministic.
+    let results: Vec<Result<(u64, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_conns)
+            .map(|conn| {
+                let table = &table;
+                let addr = addr.as_str();
+                scope.spawn(move || -> Result<(u64, u64), String> {
+                    let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+                    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                    let mut writer = stream;
+                    let mut sent = 0u64;
+                    let mut cache_hits = 0u64;
+                    let mut prev: Option<(u64, Vec<f64>)> = None;
+                    let my_ids: Vec<u64> = (conn as u64..n).step_by(n_conns).collect();
+                    for (k, &id) in my_ids.iter().enumerate() {
+                        let duplicate = k % 2 == 1;
+                        let variant = if duplicate { my_ids[k - 1] } else { id };
+                        let model = models[variant as usize % models.len()];
+                        let line = request_line(id, table, model, variant);
+                        let (emb, cached) = roundtrip(&mut reader, &mut writer, &line, id)?;
+                        if cached {
+                            cache_hits += 1;
+                        }
+                        if duplicate {
+                            let (base_variant, base) =
+                                prev.as_ref().expect("duplicate follows an original");
+                            if *base_variant != variant || *base != emb {
+                                return Err(format!(
+                                    "request {id}: duplicate content produced a \
+                                     different embedding"
+                                ));
+                            }
+                            if !cached {
+                                return Err(format!(
+                                    "request {id}: expected a cache hit for repeated content"
+                                ));
+                            }
+                        } else {
+                            prev = Some((variant, emb));
+                        }
+                        sent += 1;
+                    }
+                    Ok((sent, cache_hits))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+
+    let mut total = 0u64;
+    let mut hits = 0u64;
+    for r in results {
+        let (sent, cache_hits) = r?;
+        total += sent;
+        hits += cache_hits;
+    }
+
+    // A malformed request must come back as a structured error, not a
+    // dropped connection.
+    {
+        let stream = TcpStream::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        writer
+            .write_all(b"{\"id\": 999999, \"model\": \"gpt\", \"columns\": [], \"rows\": []}\n")
+            .map_err(|e| e.to_string())?;
+        let mut resp = String::new();
+        reader.read_line(&mut resp).map_err(|e| e.to_string())?;
+        let doc = json::parse(resp.trim()).map_err(|e| e.to_string())?;
+        let kind = doc
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        if doc.get("ok") != Some(&Json::Bool(false)) || kind != Some("BadModelChoice") {
+            return Err(format!("expected BadModelChoice error, got: {resp}"));
+        }
+    }
+
+    // Graceful shutdown.
+    {
+        let stream = TcpStream::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        writer
+            .write_all(b"{\"cmd\": \"shutdown\"}\n")
+            .map_err(|e| e.to_string())?;
+        let mut ack = String::new();
+        reader.read_line(&mut ack).map_err(|e| e.to_string())?;
+        if !ack.contains("shutdown") {
+            return Err(format!("expected shutdown ack, got: {ack}"));
+        }
+    }
+
+    Ok(format!(
+        "serve_smoke: {total}/{n} request(s) ok over {n_conns} connection(s), \
+         {hits} cache hit(s), errors surfaced as typed responses, shutdown acked"
+    ))
+}

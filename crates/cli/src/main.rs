@@ -8,6 +8,7 @@
 //! ntr query     data/countries.csv "SELECT Capital FROM t WHERE Country = 'France'"
 //! ntr encode    data/countries.csv --model tapas --context "population by country"
 //! ntr pretrain  data/countries.csv --trace run.jsonl --metrics metrics.json
+//! ntr serve     data/countries.csv --port 7878 --max-batch 8 --max-wait-ms 2
 //! ntr trace summarize run.jsonl
 //! ```
 
@@ -17,13 +18,11 @@ use ntr::obs::trace::{parse_line, schema};
 use ntr::obs::ObsOptions;
 use ntr::pipeline::Pipeline;
 use ntr::sql::{execute, parse_query};
-use ntr::table::{
-    ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
-    TapexLinearizer, TemplateLinearizer, TurlLinearizer,
-};
-use ntr::tasks::pretrain::{pretrain_mlm_supervised, MlmModel};
+use ntr::table::{LinearizerKind, LinearizerOptions, Table};
+use ntr::tasks::pretrain::MlmModel;
 use ntr::tasks::supervisor::SupervisorConfig;
 use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr::tasks::TrainRun;
 use ntr::tensor::faults::FaultPlan;
 use ntr::zoo::{build_model, ModelKind};
 use std::path::{Path, PathBuf};
@@ -54,6 +53,9 @@ const USAGE: &str = "usage:
                             [--halt-after N] [--no-header]
                             [--clip-norm F] [--rollback] [--max-retries N] [--faults SPEC]
                             [--snapshot-every N] [--trace PATH] [--metrics PATH]
+  ntr serve     <vocab.csv> [--port N] [--max-batch N] [--max-wait-ms N]
+                            [--cache-mb N] [--workers N] [--trace PATH]
+                            [--metrics PATH] [--no-header]
   ntr trace summarize <trace.jsonl>
   ntr trace validate  <trace.jsonl>
 
@@ -73,6 +75,14 @@ const USAGE: &str = "usage:
   run end; --snapshot-every N deep-snapshots the model for rollback only every
   N good steps (default 1 = every step). Both sinks default to off and are
   bit-identical no-ops when unset.
+  serve: newline-delimited-JSON embedding server over TCP on 127.0.0.1. The
+  CSV trains the vocabulary; clients send
+  {\"id\":1,\"model\":\"tapas\",\"context\":\"...\",\"columns\":[...],\"rows\":[[...]]}
+  per line and get the table embedding (or a typed error) back; requests are
+  micro-batched (--max-batch, --max-wait-ms) across --workers model replicas
+  with an LRU embedding cache of --cache-mb megabytes (0 disables). Batching
+  is bit-identical to sequential encoding. {\"cmd\":\"shutdown\"} drains and
+  exits; --port 0 picks an ephemeral port (printed on startup).
   trace summarize: per-event table plus loss-curve stats from a trace file.
   trace validate: checks every line against the v1 trace schema";
 
@@ -84,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(rest),
         "encode" => encode(rest),
         "pretrain" => pretrain(rest),
+        "serve" => serve(rest),
         "trace" => trace_cmd(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -147,14 +158,8 @@ fn inspect(rest: &[String]) -> Result<(), String> {
 fn serialize(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
     let strategy = flag_value(&flags, "--strategy").unwrap_or("row-major");
-    let lin: Box<dyn Linearizer + Send + Sync> = match strategy {
-        "row-major" => Box::new(RowMajorLinearizer),
-        "template" => Box::new(TemplateLinearizer),
-        "column-major" => Box::new(ColumnMajorLinearizer),
-        "tapex" => Box::new(TapexLinearizer),
-        "turl" => Box::new(TurlLinearizer),
-        other => return Err(format!("unknown strategy {other:?}")),
-    };
+    let lin =
+        LinearizerKind::parse(strategy).ok_or_else(|| format!("unknown strategy {strategy:?}"))?;
     let max_tokens: usize = flag_value(&flags, "--max-tokens")
         .map(|v| v.parse().map_err(|_| format!("bad --max-tokens {v:?}")))
         .transpose()?
@@ -171,7 +176,8 @@ fn serialize(rest: &[String]) -> Result<(), String> {
             max_tokens,
             ..Default::default()
         })
-        .build();
+        .build()
+        .map_err(|e| e.to_string())?;
     let e = pipeline.serialize(&table, &context);
     println!(
         "strategy {} | {} tokens | {} rows encoded | {} rows truncated\n",
@@ -233,13 +239,8 @@ fn parsed_flag<T: std::str::FromStr>(
 
 fn pretrain(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
-    let kind = match flag_value(&flags, "--model").unwrap_or("tapas") {
-        "bert" => ModelKind::Bert,
-        "tapas" => ModelKind::Tapas,
-        "turl" => ModelKind::Turl,
-        "mate" => ModelKind::Mate,
-        other => return Err(format!("unknown model {other:?}")),
-    };
+    let name = flag_value(&flags, "--model").unwrap_or("tapas");
+    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?;
     let cfg = TrainConfig {
         epochs: parsed_flag(&flags, "--epochs", 3)?,
         batch_size: parsed_flag(&flags, "--batch-size", 4)?,
@@ -293,7 +294,8 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
 
     let pipeline = Pipeline::builder()
         .vocab_from_tables(&corpus.tables)
-        .build();
+        .build()
+        .map_err(|e| e.to_string())?;
     let tok = pipeline.tokenizer();
     let model_cfg = ModelConfig {
         vocab_size: tok.vocab_size(),
@@ -312,17 +314,12 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
         scfg: &SupervisorConfig,
         save: Option<&str>,
     ) -> Result<(usize, f32, f32), String> {
-        let report = pretrain_mlm_supervised(
-            &mut model,
-            corpus,
-            tok,
-            cfg,
-            max_tokens,
-            &RowMajorLinearizer,
-            topts,
-            scfg,
-        )
-        .map_err(|e| e.to_string())?;
+        let report = TrainRun::new(*cfg)
+            .max_tokens(max_tokens)
+            .trainer(topts)
+            .supervisor(scfg)
+            .mlm(&mut model, corpus, tok)
+            .map_err(|e| e.to_string())?;
         if let Some(path) = save {
             ntr::nn::serialize::save(&mut model, Path::new(path)).map_err(|e| e.to_string())?;
         }
@@ -398,6 +395,51 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
             )),
         );
     }
+    Ok(())
+}
+
+fn serve(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    let port: u16 = parsed_flag(&flags, "--port", 7878)?;
+    let cfg = ntr_serve::ServeConfig {
+        max_batch: parsed_flag(&flags, "--max-batch", 8)?,
+        max_wait: std::time::Duration::from_millis(parsed_flag(&flags, "--max-wait-ms", 2)?),
+        n_workers: parsed_flag(&flags, "--workers", 0).map(|w: usize| {
+            if w == 0 {
+                ntr::tensor::par::max_threads()
+            } else {
+                w
+            }
+        })?,
+        cache_bytes: parsed_flag(&flags, "--cache-mb", 32usize)? << 20,
+        model_config: None,
+    };
+    let obs = ntr::obs::Obs::open(&ObsOptions {
+        trace: flag_value(&flags, "--trace").map(PathBuf::from),
+        metrics: flag_value(&flags, "--metrics").map(PathBuf::from),
+    })
+    .map_err(|e| e.to_string())?;
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(std::slice::from_ref(&table))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let server = ntr_serve::Server::start(pipeline, cfg, port, obs).map_err(|e| e.to_string())?;
+    // Scripts scrape this line for the (possibly ephemeral) port.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let stats = server.wait();
+    println!(
+        "served {} request(s) in {} batch(es) | {} error(s) | cache {} hit(s) / {} miss(es) / {} eviction(s) | p50 {} ms | p99 {} ms",
+        stats.requests,
+        stats.batches,
+        stats.errors,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.p50_ms,
+        stats.p99_ms
+    );
     Ok(())
 }
 
@@ -537,20 +579,16 @@ fn summarize_trace(path: &str, text: &str) -> Result<(), String> {
 
 fn encode(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
-    let kind = match flag_value(&flags, "--model").unwrap_or("tapas") {
-        "bert" => ModelKind::Bert,
-        "tapas" => ModelKind::Tapas,
-        "turl" => ModelKind::Turl,
-        "mate" => ModelKind::Mate,
-        other => return Err(format!("unknown model {other:?}")),
-    };
+    let name = flag_value(&flags, "--model").unwrap_or("tapas");
+    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?;
     let context = flag_value(&flags, "--context")
         .unwrap_or(&table.caption)
         .to_string();
     let pipeline = Pipeline::builder()
         .vocab_from_tables(std::slice::from_ref(&table))
         .vocab_from_texts(std::slice::from_ref(&context))
-        .build();
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut model = build_model(kind, &pipeline.default_config());
     let enc = pipeline.encode(model.as_mut(), &table, &context);
     println!(

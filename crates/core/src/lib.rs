@@ -31,7 +31,7 @@
 //! .with_caption("Population in Million by Country");
 //!
 //! // 2. Build a pipeline (tokenizer + linearizer) over a corpus sample.
-//! let pipeline = Pipeline::builder().vocab_from_tables(&[table.clone()]).build();
+//! let pipeline = Pipeline::builder().vocab_from_tables(&[table.clone()]).build().unwrap();
 //!
 //! // 3. Load a model off the shelf and encode the table.
 //! let mut model = build_model(ModelKind::Tapas, &pipeline.default_config());
@@ -57,5 +57,5 @@ pub use ntr_tasks as tasks;
 pub use ntr_tensor as tensor;
 pub use ntr_tokenizer as tokenizer;
 
-pub use pipeline::{Pipeline, PipelineBuilder, TableEncoding};
+pub use pipeline::{EncodeError, EncodeRequest, Pipeline, PipelineBuilder, TableEncoding};
 pub use zoo::{build_model, ModelKind};

@@ -5,14 +5,89 @@
 use ntr_models::{EncoderInput, ModelConfig, SequenceEncoder};
 use ntr_nn::serialize::{self as checkpoint, CheckpointError};
 use ntr_nn::Layer;
-use ntr_table::{
-    EncodedTable, Linearizer, LinearizerOptions, RowMajorLinearizer, Table, TokenKind,
-};
+use ntr_table::{EncodedTable, Linearizer, LinearizerKind, LinearizerOptions, Table, TokenKind};
 use ntr_tasks::supervisor::{SupervisorConfig, TrainError};
 use ntr_tasks::trainer::TrainerOptions;
+use ntr_tasks::TrainRun;
 use ntr_tensor::Tensor;
 use ntr_tokenizer::{train::WordPieceTrainer, WordPieceTokenizer};
 use std::path::Path;
+
+/// Typed failure of pipeline construction or encoding — the error surface
+/// the serving layer turns into structured error responses instead of
+/// panics or dropped connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The tokenizer cannot produce usable ids (e.g. its vocabulary is
+    /// empty apart from the special tokens, so every input collapses to
+    /// `[UNK]`).
+    TokenizeFailed {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The table cannot fit the token budget: not even one data row
+    /// survives truncation.
+    TableTooLarge {
+        /// The offending table's id.
+        table_id: String,
+        /// The budget that was exceeded.
+        max_tokens: usize,
+    },
+    /// The requested model cannot serve this pipeline's requests: unknown
+    /// family name, or an embedding table smaller than the tokenizer's
+    /// vocabulary (ids would be out of range).
+    BadModelChoice {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::TokenizeFailed { detail } => write!(f, "tokenize failed: {detail}"),
+            EncodeError::TableTooLarge {
+                table_id,
+                max_tokens,
+            } => write!(
+                f,
+                "table {table_id:?} too large: no data row fits the {max_tokens}-token budget"
+            ),
+            EncodeError::BadModelChoice { detail } => write!(f, "bad model choice: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+impl EncodeError {
+    /// Stable machine-readable kind name (the server's `error.kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EncodeError::TokenizeFailed { .. } => "TokenizeFailed",
+            EncodeError::TableTooLarge { .. } => "TableTooLarge",
+            EncodeError::BadModelChoice { .. } => "BadModelChoice",
+        }
+    }
+}
+
+/// One unit of encode work: a table plus its natural-language context —
+/// the element type of the batch-first [`Pipeline::encode_batch`] API.
+#[derive(Debug, Clone)]
+pub struct EncodeRequest {
+    /// The table to encode.
+    pub table: Table,
+    /// Caption / question / claim accompanying it (may be empty).
+    pub context: String,
+}
+
+impl EncodeRequest {
+    /// A request carrying the table's own caption as context.
+    pub fn captioned(table: Table) -> Self {
+        let context = table.caption.clone();
+        Self { table, context }
+    }
+}
 
 /// A configured encode pipeline (the paper's "Input Processing" module
 /// plus model invocation).
@@ -26,7 +101,7 @@ pub struct Pipeline {
 pub struct PipelineBuilder {
     vocab_docs: Vec<String>,
     vocab_size: usize,
-    linearizer: Box<dyn Linearizer + Send + Sync>,
+    linearizer: LinearizerKind,
     opts: LinearizerOptions,
 }
 
@@ -35,7 +110,7 @@ impl Default for PipelineBuilder {
         Self {
             vocab_docs: Vec::new(),
             vocab_size: 2000,
-            linearizer: Box::new(RowMajorLinearizer),
+            linearizer: LinearizerKind::RowMajor,
             opts: LinearizerOptions::default(),
         }
     }
@@ -61,11 +136,13 @@ impl PipelineBuilder {
         self
     }
 
-    /// Uses an already-trained tokenizer instead of training one.
+    /// Uses an already-trained tokenizer instead of training one. The
+    /// tokenizer is taken as-is (even with an empty vocabulary), so this
+    /// path cannot fail.
     pub fn build_with_tokenizer(self, tokenizer: WordPieceTokenizer) -> Pipeline {
         Pipeline {
             tokenizer,
-            linearizer: self.linearizer,
+            linearizer: self.linearizer.into_boxed(),
             opts: self.opts,
         }
     }
@@ -76,9 +153,11 @@ impl PipelineBuilder {
         self
     }
 
-    /// Overrides the serialization strategy (default row-major).
-    pub fn linearizer(mut self, lin: Box<dyn Linearizer + Send + Sync>) -> Self {
-        self.linearizer = lin;
+    /// Overrides the serialization strategy (default
+    /// [`LinearizerKind::RowMajor`]); out-of-tree strategies go through
+    /// [`LinearizerKind::Custom`].
+    pub fn linearizer(mut self, kind: LinearizerKind) -> Self {
+        self.linearizer = kind;
         self
     }
 
@@ -89,14 +168,26 @@ impl PipelineBuilder {
     }
 
     /// Trains the vocabulary and finalizes the pipeline.
-    pub fn build(self) -> Pipeline {
+    ///
+    /// Fails with [`EncodeError::TokenizeFailed`] when vocabulary training
+    /// produced nothing beyond the special tokens (no
+    /// `vocab_from_tables`/`vocab_from_texts` input) — historically this
+    /// silently built a pipeline that tokenized everything to `[UNK]`.
+    pub fn build(self) -> Result<Pipeline, EncodeError> {
         let vocab = WordPieceTrainer::new(self.vocab_size)
             .train(self.vocab_docs.iter().map(String::as_str));
-        Pipeline {
-            tokenizer: WordPieceTokenizer::new(vocab),
-            linearizer: self.linearizer,
-            opts: self.opts,
+        if vocab.is_empty() {
+            return Err(EncodeError::TokenizeFailed {
+                detail: "trained vocabulary is empty (no vocab_from_tables/vocab_from_texts \
+                         input); every token would map to [UNK]"
+                    .to_string(),
+            });
         }
+        Ok(Pipeline {
+            tokenizer: WordPieceTokenizer::new(vocab),
+            linearizer: self.linearizer.into_boxed(),
+            opts: self.opts,
+        })
     }
 }
 
@@ -116,6 +207,12 @@ impl Pipeline {
         &self.opts
     }
 
+    /// The serialization strategy in use (its [`Linearizer::name`] is part
+    /// of the serving layer's cache key).
+    pub fn linearizer(&self) -> &(dyn Linearizer + Send + Sync) {
+        self.linearizer.as_ref()
+    }
+
     /// A model config matched to this pipeline's vocabulary.
     pub fn default_config(&self) -> ModelConfig {
         ModelConfig {
@@ -124,10 +221,100 @@ impl Pipeline {
         }
     }
 
-    /// Serializes (without encoding) — the §3.2 inspection step.
+    /// Serializes (without encoding) — the §3.2 inspection step. Never
+    /// fails: a table that overflows the budget is truncated (possibly to
+    /// its header skeleton). See [`Pipeline::try_serialize`] for the
+    /// validating variant.
     pub fn serialize(&self, table: &Table, context: &str) -> EncodedTable {
         self.linearizer
             .linearize(table, context, &self.tokenizer, &self.opts)
+    }
+
+    /// Serializes with validation: fails with
+    /// [`EncodeError::TokenizeFailed`] on an empty vocabulary (only
+    /// reachable through [`PipelineBuilder::build_with_tokenizer`]) and
+    /// with [`EncodeError::TableTooLarge`] when the table has data rows
+    /// but not one of them fits the token budget.
+    pub fn try_serialize(&self, table: &Table, context: &str) -> Result<EncodedTable, EncodeError> {
+        if self.tokenizer.vocab().is_empty() {
+            return Err(EncodeError::TokenizeFailed {
+                detail: "tokenizer vocabulary is empty; every token would map to [UNK]".to_string(),
+            });
+        }
+        let encoded = self.serialize(table, context);
+        if table.n_rows() > 0 && encoded.n_rows_encoded() == 0 {
+            return Err(EncodeError::TableTooLarge {
+                table_id: table.id.clone(),
+                max_tokens: self.opts.max_tokens,
+            });
+        }
+        Ok(encoded)
+    }
+
+    /// Checks that `model` can embed every id this pipeline's tokenizer
+    /// produces. The serving layer runs this once per model instead of
+    /// letting an oversized id panic inside the embedding lookup.
+    pub fn check_model(&self, model: &dyn SequenceEncoder) -> Result<(), EncodeError> {
+        let need = self.tokenizer.vocab_size();
+        let have = model.vocab_size();
+        if need > have {
+            return Err(EncodeError::BadModelChoice {
+                detail: format!(
+                    "model embeds {have} ids but the tokenizer produces up to {need}; \
+                     build the model from this pipeline's default_config()"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the model over an already-serialized table and packages the
+    /// representations — the single compute core shared by
+    /// [`Pipeline::encode`] and [`Pipeline::encode_batch`], which is what
+    /// makes their outputs bit-identical.
+    pub fn encode_serialized(
+        &self,
+        model: &mut dyn SequenceEncoder,
+        encoded: EncodedTable,
+    ) -> TableEncoding {
+        let input = EncoderInput::from_encoded(&encoded);
+        let states = model.encode(&input, false);
+        TableEncoding { encoded, states }
+    }
+
+    /// Validating single encode: [`Pipeline::try_serialize`] +
+    /// [`Pipeline::check_model`] + the shared compute core.
+    pub fn try_encode(
+        &self,
+        model: &mut dyn SequenceEncoder,
+        table: &Table,
+        context: &str,
+    ) -> Result<TableEncoding, EncodeError> {
+        self.check_model(model)?;
+        let encoded = self.try_serialize(table, context)?;
+        Ok(self.encode_serialized(model, encoded))
+    }
+
+    /// Batch-first encode: validates the model once, then encodes every
+    /// request in order through the same compute core as
+    /// [`Pipeline::encode`], so the outputs are bit-identical to `reqs`
+    /// encoded one at a time. Fails on the first invalid request.
+    ///
+    /// Sequence-encoder models carry per-call state (`&mut self`), so a
+    /// single model instance processes the batch serially; concurrent
+    /// batched serving over model replicas is `ntr-serve`'s job.
+    pub fn encode_batch(
+        &self,
+        model: &mut dyn SequenceEncoder,
+        reqs: &[EncodeRequest],
+    ) -> Result<Vec<TableEncoding>, EncodeError> {
+        self.check_model(model)?;
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let encoded = self.try_serialize(&req.table, &req.context)?;
+            out.push(self.encode_serialized(model, encoded));
+        }
+        Ok(out)
     }
 
     /// Saves a model's weights to `path` crash-safely: the `NTRW` v2 file
@@ -160,19 +347,20 @@ impl Pipeline {
             tables: tables.to_vec(),
             kinds: vec![ntr_corpus::tables::TableKind::Employees; tables.len()],
         };
-        ntr_tasks::pretrain::pretrain_mlm_supervised(
-            model,
-            &corpus,
-            &self.tokenizer,
-            cfg,
-            self.opts.max_tokens,
-            self.linearizer.as_ref(),
-            topts,
-            scfg,
-        )
+        TrainRun::new(*cfg)
+            .max_tokens(self.opts.max_tokens)
+            .linearizer(self.linearizer.as_ref())
+            .trainer(topts)
+            .supervisor(scfg)
+            .mlm(model, &corpus, &self.tokenizer)
     }
 
     /// Full encode: serialize, run the model, package the representations.
+    ///
+    /// The legacy infallible wrapper around the [`Pipeline::encode_batch`]
+    /// compute core: it skips the validation (so degenerate inputs encode
+    /// to whatever survives truncation, exactly as before this API
+    /// existed) but runs the identical serialization and model invocation.
     pub fn encode(
         &self,
         model: &mut dyn SequenceEncoder,
@@ -180,9 +368,7 @@ impl Pipeline {
         context: &str,
     ) -> TableEncoding {
         let encoded = self.serialize(table, context);
-        let input = EncoderInput::from_encoded(&encoded);
-        let states = model.encode(&input, false);
-        TableEncoding { encoded, states }
+        self.encode_serialized(model, encoded)
     }
 
     /// As [`Pipeline::encode`], but records inference metrics into `obs`:
@@ -270,7 +456,7 @@ impl TableEncoding {
 mod tests {
     use super::*;
     use crate::zoo::{build_model, ModelKind};
-    use ntr_table::{ColumnMajorLinearizer, ContextPosition};
+    use ntr_table::ContextPosition;
 
     fn sample() -> Table {
         Table::from_strings(
@@ -289,6 +475,7 @@ mod tests {
             .vocab_from_tables(&[sample()])
             .vocab_size(600)
             .build()
+            .unwrap()
     }
 
     #[test]
@@ -310,12 +497,13 @@ mod tests {
         let p = Pipeline::builder()
             .vocab_from_tables(&[sample()])
             .vocab_size(500)
-            .linearizer(Box::new(ColumnMajorLinearizer))
+            .linearizer(LinearizerKind::ColumnMajor)
             .options(LinearizerOptions {
                 max_tokens: 40,
                 context_position: ContextPosition::Before,
             })
-            .build();
+            .build()
+            .unwrap();
         let e = p.serialize(&sample(), "ctx");
         assert!(e.len() <= 40);
         assert_eq!(e.linearizer(), "column-major");

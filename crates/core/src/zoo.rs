@@ -28,6 +28,12 @@ impl ModelKind {
         ModelKind::Mate,
     ];
 
+    /// Inverse of [`ModelKind::name`]: resolves a registry kind from its
+    /// stable name (CLI flags, wire requests).
+    pub fn parse(name: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Stable name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -44,7 +50,7 @@ impl ModelKind {
 /// For [`ModelKind::Turl`] with `cfg.n_entities == 0`, a minimal entity
 /// vocabulary of 1 is substituted so the model is constructible for tasks
 /// that never touch the MER head.
-pub fn build_model(kind: ModelKind, cfg: &ModelConfig) -> Box<dyn SequenceEncoder> {
+pub fn build_model(kind: ModelKind, cfg: &ModelConfig) -> Box<dyn SequenceEncoder + Send> {
     match kind {
         ModelKind::Bert => Box::new(VanillaBert::new(cfg)),
         ModelKind::Tapas => Box::new(Tapas::new(cfg)),

@@ -57,6 +57,10 @@ impl SequenceEncoder for VanillaBert {
         self.cfg.d_model
     }
 
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
     fn encode(&mut self, input: &EncoderInput, train: bool) -> Tensor {
         let x = self.embeddings.forward(input, train);
         self.encoder.forward(&x, None, train)

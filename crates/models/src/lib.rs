@@ -55,6 +55,12 @@ pub trait SequenceEncoder: Layer {
     /// Model width.
     fn d_model(&self) -> usize;
 
+    /// WordPiece vocabulary size the embedding table was built for. Input
+    /// ids must be `< vocab_size()`; callers (e.g. the serving pipeline)
+    /// check this up front so a tokenizer/model mismatch surfaces as a
+    /// typed error instead of an embedding-lookup panic.
+    fn vocab_size(&self) -> usize;
+
     /// Encodes an input into hidden states.
     fn encode(&mut self, input: &EncoderInput, train: bool) -> Tensor;
 

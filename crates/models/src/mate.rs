@@ -125,6 +125,10 @@ impl SequenceEncoder for Mate {
         self.cfg.d_model
     }
 
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
     fn encode(&mut self, input: &EncoderInput, train: bool) -> Tensor {
         let mask = self.head_masks(input);
         let x = self.embeddings.forward(input, train);

@@ -104,6 +104,10 @@ impl SequenceEncoder for Turl {
         self.cfg.d_model
     }
 
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
     fn encode(&mut self, input: &EncoderInput, train: bool) -> Tensor {
         let mask = Self::visibility_mask(input);
         let x = self.embeddings.forward(input, train);

@@ -333,6 +333,33 @@ pub mod schema {
                 opt("error", Str),
             ],
         },
+        Event {
+            name: "serve_start",
+            fields: &[
+                req("port", U64),
+                req("workers", U64),
+                req("max_batch", U64),
+                req("max_wait", U64),
+                req("cache_bytes", U64),
+            ],
+        },
+        Event {
+            name: "serve_batch",
+            fields: &[req("size", U64), req("queued", U64), opt("encode_ms", U64)],
+        },
+        Event {
+            name: "serve_end",
+            fields: &[
+                req("requests", U64),
+                req("batches", U64),
+                req("hits", U64),
+                req("misses", U64),
+                req("evictions", U64),
+                opt("errors", U64),
+                opt("p50_ms", U64),
+                opt("p99_ms", U64),
+            ],
+        },
     ];
 
     fn type_of_raw(raw: &str) -> Result<FieldType, String> {

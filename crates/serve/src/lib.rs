@@ -1,0 +1,36 @@
+//! # ntr-serve
+//!
+//! The batched embedding service: the deployment-facing layer over the
+//! `ntr` pipeline and model zoo. Concurrent clients submit encode
+//! requests (table + context + model choice); a dynamic micro-batcher
+//! coalesces them (flush on `max_batch` or a `max_wait` deadline), a
+//! worker pool of deterministic model replicas encodes each batch, and a
+//! content-hash keyed LRU cache short-circuits repeated tables. Results
+//! are **bit-identical** to sequential [`ntr::Pipeline::encode`] calls at
+//! any batch size and worker count — batching changes throughput, never
+//! output.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`cache`] — content-addressed LRU over [`ntr::TableEncoding`]s;
+//! * [`service`] — [`service::EmbeddingService`]: queue, micro-batcher,
+//!   worker pool, per-request response channels;
+//! * [`json`] / [`wire`] — std-only JSON and the NDJSON wire protocol
+//!   with typed error responses;
+//! * [`server`] — [`server::Server`]: TCP accept loop, per-connection
+//!   threads, graceful shutdown, `ntr-obs` events and metrics.
+//!
+//! Everything is std-only: no async runtime, no serde — `std::net` +
+//! `std::sync::mpsc` + the workspace's own thread pool.
+
+pub mod cache;
+pub mod json;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use cache::{content_key, CacheStats, EmbeddingCache};
+pub use server::Server;
+pub use service::{
+    EmbeddingService, ServeConfig, ServeHandle, ServeReply, ServeRequest, ServeResponse, ServeStats,
+};

@@ -1,0 +1,219 @@
+//! TCP front-end for the embedding service: newline-delimited JSON, one
+//! thread per connection, graceful drain on shutdown.
+//!
+//! Each connection is handled sequentially (request, response, request,
+//! …); concurrency comes from multiple connections, whose requests the
+//! micro-batcher coalesces. A `{"cmd": "shutdown"}` line (or
+//! [`Server::stop`]) stops the accept loop; [`Server::wait`] then joins
+//! every connection, drains the service, emits the `serve_end` trace
+//! event, and writes the metrics snapshot.
+
+use crate::service::{EmbeddingService, ServeConfig, ServeHandle, ServeStats};
+use crate::wire::{self, WireRequest};
+use ntr::Pipeline;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running NDJSON-over-TCP embedding server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    service: Option<EmbeddingService>,
+    obs: ntr_obs::Obs,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` (0 picks an ephemeral port), starts the
+    /// service and the accept loop, and emits the `serve_start` event.
+    pub fn start(
+        pipeline: Pipeline,
+        cfg: ServeConfig,
+        port: u16,
+        obs: ntr_obs::Obs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        if let Some(ev) = obs.event("serve_start") {
+            ev.u64("port", u64::from(addr.port()))
+                .u64("workers", cfg.n_workers.max(1) as u64)
+                .u64("max_batch", cfg.max_batch as u64)
+                .u64("max_wait", cfg.max_wait.as_millis() as u64)
+                .u64("cache_bytes", cfg.cache_bytes as u64)
+                .finish();
+        }
+        let service = EmbeddingService::start(pipeline, cfg, obs.clone());
+        let handle = service.handle();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ntr-serve-accept".into())
+                .spawn(move || accept_loop(&listener, addr, &handle, &stop))
+                .expect("spawn accept thread")
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            service: Some(service),
+            obs,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop accepting; `wait` completes the drain.
+    pub fn stop(&self) {
+        request_stop(&self.stop, self.addr);
+    }
+
+    /// Blocks until the accept loop exits (client shutdown command or
+    /// [`Server::stop`]), then drains the service and reports final
+    /// counters via `serve_end` and the metrics snapshot.
+    pub fn wait(mut self) -> ServeStats {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let stats = self
+            .service
+            .take()
+            .expect("wait consumes the service exactly once")
+            .shutdown();
+        let obs = &self.obs;
+        if let Some(ev) = obs.event("serve_end") {
+            ev.u64("requests", stats.requests)
+                .u64("batches", stats.batches)
+                .u64("hits", stats.cache.hits)
+                .u64("misses", stats.cache.misses)
+                .u64("evictions", stats.cache.evictions)
+                .u64("errors", stats.errors)
+                .u64("p50_ms", stats.p50_ms)
+                .u64("p99_ms", stats.p99_ms)
+                .finish();
+        }
+        obs.add("serve/requests", stats.requests);
+        obs.add("serve/batches", stats.batches);
+        obs.add("serve/errors", stats.errors);
+        obs.add("serve/cache_hits", stats.cache.hits);
+        obs.add("serve/cache_misses", stats.cache.misses);
+        obs.add("serve/cache_evictions", stats.cache.evictions);
+        let _ = obs.write_metrics();
+        stats
+    }
+}
+
+/// Flips the stop flag and self-connects to unblock the blocking
+/// `accept` call.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    handle: &ServeHandle,
+    stop: &Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            break; // the self-connect that woke us up
+        }
+        let handle = handle.clone();
+        let stop = Arc::clone(stop);
+        connections.push(
+            std::thread::Builder::new()
+                .name("ntr-serve-conn".into())
+                .spawn(move || {
+                    let _ = connection(stream, &handle, &stop, addr);
+                })
+                .expect("spawn connection thread"),
+        );
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+fn connection(
+    stream: TcpStream,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    // Poll the stop flag between reads so an idle connection cannot stall
+    // the drain forever.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && !serve_line(trimmed, handle, stop, addr, &mut writer)? {
+                    return Ok(());
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // `read_line` keeps any partial line in `line`; just poll.
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one request line; returns `false` when the connection should
+/// close (shutdown command).
+fn serve_line(
+    line: &str,
+    handle: &ServeHandle,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+    writer: &mut BufWriter<TcpStream>,
+) -> std::io::Result<bool> {
+    let response = match wire::parse_request(line) {
+        Ok(WireRequest::Shutdown) => {
+            request_stop(stop, addr);
+            writer.write_all(b"{\"ok\": true, \"cmd\": \"shutdown\"}\n")?;
+            writer.flush()?;
+            return Ok(false);
+        }
+        Ok(WireRequest::Encode { id, req }) => match handle.submit(req).recv() {
+            Ok(Ok(reply)) => wire::ok_response(id, &reply.encoding, reply.cached),
+            Ok(Err(e)) => wire::encode_err_response(id, &e),
+            // The service is gone (shutdown raced this request).
+            Err(_) => wire::encode_err_response(
+                id,
+                &ntr::EncodeError::BadModelChoice {
+                    detail: "service shutting down".into(),
+                },
+            ),
+        },
+        Err(e) => wire::err_response(&e),
+    };
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    Ok(true)
+}

@@ -1,0 +1,405 @@
+//! The batched embedding service: a dynamic micro-batcher in front of a
+//! worker pool of model replicas.
+//!
+//! # Batching
+//!
+//! Requests arrive one at a time through [`ServeHandle::submit`] and land
+//! in a queue. A dedicated batcher thread sleeps until the first request
+//! of a batch arrives, then keeps collecting until either `max_batch`
+//! requests are queued or `max_wait` has elapsed since the first arrival
+//! — the classic dynamic-batching policy: zero added latency under low
+//! load, full batches under high load.
+//!
+//! # Bit-identity
+//!
+//! The models are stateful `&mut` encoders with no batch dimension, so
+//! "batched forward" here means: distribute the batch over `n_workers`
+//! model *replicas* and encode each request as a single sequence through
+//! [`Pipeline::encode_serialized`] — the exact compute core behind the
+//! sequential [`Pipeline::encode`]. Replicas are built lazily from the
+//! same config (same seed ⇒ identical weights), and inference consumes no
+//! RNG state, so every request's output is bit-identical to what a
+//! sequential `encode` call would produce, at any batch size and worker
+//! count. Requests are length-bucketed (longest-first greedy assignment)
+//! so workers finish at roughly the same time.
+//!
+//! # Caching
+//!
+//! Before queueing, each request is looked up in a content-hash keyed LRU
+//! cache ([`crate::cache`]); hits are answered immediately without
+//! touching the batcher.
+
+use crate::cache::{content_key, CacheStats, EmbeddingCache};
+use ntr::{build_model, EncodeError, ModelKind, Pipeline, TableEncoding};
+use ntr_models::{ModelConfig, SequenceEncoder};
+use ntr_table::{EncodedTable, Table};
+use ntr_tensor::par;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`EmbeddingService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a partial batch this long after its first request arrived.
+    pub max_wait: Duration,
+    /// Number of model replicas encoding concurrently.
+    pub n_workers: usize,
+    /// Embedding-cache capacity in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Model configuration for the replicas; `None` uses the pipeline's
+    /// [`Pipeline::default_config`]. All replicas share one config (and
+    /// therefore one set of weights per family).
+    pub model_config: Option<ModelConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            n_workers: par::max_threads(),
+            cache_bytes: 32 << 20,
+            model_config: None,
+        }
+    }
+}
+
+/// One encode request: which model family, over which table, with which
+/// natural-language context.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Model family to encode with.
+    pub kind: ModelKind,
+    /// The table.
+    pub table: Table,
+    /// Caption / question / claim (may be empty).
+    pub context: String,
+}
+
+/// A successful encode result.
+#[derive(Clone)]
+pub struct ServeReply {
+    /// The encoding (shared with the cache).
+    pub encoding: Arc<TableEncoding>,
+    /// Whether it was answered from the cache.
+    pub cached: bool,
+}
+
+/// What comes back on a request's response channel.
+pub type ServeResponse = Result<ServeReply, EncodeError>;
+
+struct Job {
+    kind: ModelKind,
+    key: u64,
+    table: Table,
+    context: String,
+    submitted: Instant,
+    resp: mpsc::Sender<ServeResponse>,
+}
+
+/// Point-in-time service counters (reported in the `serve_end` trace
+/// event and the metrics snapshot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Requests submitted (including cache hits and failures).
+    pub requests: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Requests answered with an [`EncodeError`].
+    pub errors: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Median request latency (submit → response), milliseconds.
+    pub p50_ms: u64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: u64,
+}
+
+struct Shared {
+    pipeline: Pipeline,
+    cfg: ServeConfig,
+    model_cfg: ModelConfig,
+    cache: Mutex<EmbeddingCache>,
+    replicas: Vec<Mutex<HashMap<ModelKind, Box<dyn SequenceEncoder + Send>>>>,
+    obs: ntr_obs::Obs,
+    queue_depth: AtomicUsize,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn answer(&self, job_resp: &mpsc::Sender<ServeResponse>, submitted: Instant, r: ServeResponse) {
+        if r.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = submitted.elapsed().as_micros() as u64;
+        self.latencies_us.lock().unwrap().push(us);
+        self.obs.observe("serve/latency_us", us);
+        let _ = job_resp.send(r); // receiver may have given up; that's fine
+    }
+
+    fn stats(&self) -> ServeStats {
+        let mut lat = self.latencies_us.lock().unwrap().clone();
+        lat.sort_unstable();
+        let pct = |p: usize| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                lat[(lat.len() - 1) * p / 100].div_ceil(1000)
+            }
+        };
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: self.cache.lock().unwrap().stats(),
+            p50_ms: pct(50),
+            p99_ms: pct(99),
+        }
+    }
+}
+
+/// Cloneable submission handle; the server hands one to every connection
+/// thread.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: mpsc::Sender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submits one request. The encoding (or typed error) arrives on the
+    /// returned channel; cache hits are answered before this returns.
+    pub fn submit(&self, req: ServeRequest) -> mpsc::Receiver<ServeResponse> {
+        let submitted = Instant::now();
+        let shared = &self.shared;
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let (resp_tx, resp_rx) = mpsc::channel();
+        let key = content_key(
+            req.kind,
+            shared.pipeline.linearizer().name(),
+            shared.pipeline.options(),
+            &req.table,
+            &req.context,
+        );
+        if let Some(hit) = shared.cache.lock().unwrap().get(key) {
+            shared.answer(
+                &resp_tx,
+                submitted,
+                Ok(ServeReply {
+                    encoding: hit,
+                    cached: true,
+                }),
+            );
+            return resp_rx;
+        }
+        shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let job = Job {
+            kind: req.kind,
+            key,
+            table: req.table,
+            context: req.context,
+            submitted,
+            resp: resp_tx,
+        };
+        // The batcher only exits after every sender is gone, so this
+        // cannot fail while a handle exists.
+        self.tx.send(job).expect("batcher thread alive");
+        resp_rx
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+}
+
+/// The running service: batcher thread + worker pool + cache.
+pub struct EmbeddingService {
+    handle: ServeHandle,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl EmbeddingService {
+    /// Starts the batcher thread. `obs` receives `serve_batch` events and
+    /// the serve metrics; pass [`ntr_obs::Obs::disabled`] to opt out.
+    pub fn start(pipeline: Pipeline, cfg: ServeConfig, obs: ntr_obs::Obs) -> Self {
+        let model_cfg = cfg
+            .model_config
+            .unwrap_or_else(|| pipeline.default_config());
+        let n_workers = cfg.n_workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(EmbeddingCache::new(cfg.cache_bytes)),
+            replicas: (0..n_workers).map(|_| Mutex::new(HashMap::new())).collect(),
+            pipeline,
+            cfg,
+            model_cfg,
+            obs,
+            queue_depth: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = mpsc::channel::<Job>();
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("ntr-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared, &rx))
+                .expect("spawn batcher thread")
+        };
+        EmbeddingService {
+            handle: ServeHandle { tx, shared },
+            batcher: Some(batcher),
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServeStats {
+        self.handle.shared.stats()
+    }
+
+    /// Graceful shutdown: drains every queued request through the normal
+    /// batch path, joins the batcher, and returns the final counters.
+    ///
+    /// The batcher exits once every [`ServeHandle`] clone is gone, so drop
+    /// outstanding handles (join connection threads) before calling this.
+    pub fn shutdown(self) -> ServeStats {
+        let EmbeddingService { handle, batcher } = self;
+        let ServeHandle { tx, shared } = handle;
+        drop(tx);
+        if let Some(batcher) = batcher {
+            let _ = batcher.join();
+        }
+        shared.stats()
+    }
+}
+
+fn batcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>) {
+    let max_batch = shared.cfg.max_batch.max(1);
+    loop {
+        // Block until a batch begins (or every handle is gone).
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let deadline = first.submitted + shared.cfg.max_wait;
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                // On disconnect the queue is already fully drained into
+                // `batch`; flush it, then exit via the recv above.
+                Err(_) => break,
+            }
+        }
+        shared.queue_depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        flush(shared, batch);
+    }
+}
+
+/// Encodes one batch across the worker replicas and answers every request.
+fn flush(shared: &Shared, batch: Vec<Job>) {
+    let t0 = Instant::now();
+    let size = batch.len() as u64;
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+
+    // Serialize on the batcher thread; invalid requests are answered
+    // immediately and never reach a worker.
+    let mut jobs: Vec<(Job, EncodedTable)> = Vec::with_capacity(batch.len());
+    for job in batch {
+        match shared.pipeline.try_serialize(&job.table, &job.context) {
+            Ok(encoded) => jobs.push((job, encoded)),
+            Err(e) => shared.answer(&job.resp, job.submitted, Err(e)),
+        }
+    }
+    if jobs.is_empty() {
+        return;
+    }
+
+    // Length-balanced buckets: longest sequences first, each assigned to
+    // the currently lightest worker, so replicas finish together.
+    let n_buckets = shared.replicas.len().min(jobs.len());
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].1.len()), i));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_buckets];
+    let mut loads = vec![0usize; n_buckets];
+    for i in order {
+        let lightest = (0..n_buckets).min_by_key(|&b| (loads[b], b)).unwrap();
+        loads[lightest] += jobs[i].1.len();
+        buckets[lightest].push(i);
+    }
+
+    // Encode every bucket concurrently, one model replica per bucket.
+    // Each request runs through `encode_serialized` — the same compute
+    // core as sequential `Pipeline::encode` — on a replica whose weights
+    // are bit-identical by construction (same config, same seed).
+    let slots: Vec<Mutex<Vec<(Job, EncodedTable)>>> = {
+        let mut jobs: Vec<Option<(Job, EncodedTable)>> = jobs.into_iter().map(Some).collect();
+        buckets
+            .iter()
+            .map(|bucket| {
+                Mutex::new(
+                    bucket
+                        .iter()
+                        .map(|&i| jobs[i].take().expect("each job in exactly one bucket"))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+    let done: Vec<Vec<(Job, Arc<TableEncoding>)>> = par::map_tasks(n_buckets, n_buckets, |b| {
+        let work = std::mem::take(&mut *slots[b].lock().unwrap());
+        let mut replica = shared.replicas[b].lock().unwrap();
+        let mut out = Vec::with_capacity(work.len());
+        for (job, encoded) in work {
+            let model = replica
+                .entry(job.kind)
+                .or_insert_with(|| build_model(job.kind, &shared.model_cfg));
+            let enc = Arc::new(shared.pipeline.encode_serialized(model.as_mut(), encoded));
+            out.push((job, enc));
+        }
+        out
+    });
+
+    for (job, enc) in done.into_iter().flatten() {
+        shared
+            .cache
+            .lock()
+            .unwrap()
+            .insert(job.key, Arc::clone(&enc));
+        shared.answer(
+            &job.resp,
+            job.submitted,
+            Ok(ServeReply {
+                encoding: enc,
+                cached: false,
+            }),
+        );
+    }
+
+    shared.obs.observe("serve/batch_size", size);
+    if let Some(ev) = shared.obs.event("serve_batch") {
+        ev.u64("size", size)
+            .u64("queued", shared.queue_depth.load(Ordering::Relaxed) as u64)
+            .u64("encode_ms", t0.elapsed().as_millis() as u64)
+            .finish();
+    }
+}

@@ -1,0 +1,269 @@
+//! The NDJSON wire protocol: one JSON document per line, both ways.
+//!
+//! Request:
+//! ```json
+//! {"id": 1, "model": "tapas", "context": "population by country",
+//!  "columns": ["country", "population"], "rows": [["france", "67.8"]]}
+//! ```
+//! Control: `{"cmd": "shutdown"}` asks the server to drain and exit.
+//!
+//! Success response (`embedding` is the table-level `[CLS]` vector):
+//! ```json
+//! {"id": 1, "ok": true, "cached": false, "seq_len": 24, "d_model": 64,
+//!  "embedding": [0.12, -0.5, ...]}
+//! ```
+//! Error response (`error.kind` is [`EncodeError::kind`] or
+//! `"BadRequest"` for malformed input):
+//! ```json
+//! {"id": 1, "ok": false, "error": {"kind": "TableTooLarge", "message": "..."}}
+//! ```
+
+use crate::json::{self, Json};
+use crate::service::ServeRequest;
+use ntr::{EncodeError, ModelKind, TableEncoding};
+use ntr_table::Table;
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// An encode request to forward to the service.
+    Encode {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+        /// What to encode.
+        req: ServeRequest,
+    },
+    /// Graceful-shutdown control message.
+    Shutdown,
+}
+
+/// A request that could not be turned into work; becomes an `ok: false`
+/// response line.
+#[derive(Debug, Clone)]
+pub struct WireError {
+    /// Correlation id, when it could at least be parsed.
+    pub id: Option<u64>,
+    /// Stable error kind (`EncodeError::kind` or `"BadRequest"`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+fn bad(id: Option<u64>, message: impl Into<String>) -> WireError {
+    WireError {
+        id,
+        kind: "BadRequest",
+        message: message.into(),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
+    let doc = json::parse(line).map_err(|e| bad(None, format!("malformed JSON: {e}")))?;
+    if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "shutdown" => Ok(WireRequest::Shutdown),
+            other => Err(bad(None, format!("unknown cmd {other:?}"))),
+        };
+    }
+    let id = doc.get("id").and_then(Json::as_u64);
+    let Some(id) = id else {
+        return Err(bad(None, "missing or non-integer \"id\""));
+    };
+    let model_name = doc
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(Some(id), "missing \"model\""))?;
+    let kind = ModelKind::parse(model_name).ok_or(WireError {
+        id: Some(id),
+        kind: "BadModelChoice",
+        message: format!("unknown model {model_name:?}; expected one of bert, tapas, turl, mate"),
+    })?;
+    let context = doc
+        .get("context")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let columns: Vec<String> = doc
+        .get("columns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(Some(id), "missing \"columns\" array"))?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad(Some(id), "non-string column name"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for row in doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(Some(id), "missing \"rows\" array"))?
+    {
+        let cells = row
+            .as_arr()
+            .ok_or_else(|| bad(Some(id), "row is not an array"))?;
+        if cells.len() != columns.len() {
+            return Err(bad(
+                Some(id),
+                format!(
+                    "row has {} cells but there are {} columns",
+                    cells.len(),
+                    columns.len()
+                ),
+            ));
+        }
+        rows.push(
+            cells
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| bad(Some(id), "non-string cell"))
+                })
+                .collect::<Result<_, _>>()?,
+        );
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let row_refs: Vec<Vec<&str>> = rows
+        .iter()
+        .map(|r| r.iter().map(String::as_str).collect())
+        .collect();
+    let row_slices: Vec<&[&str]> = row_refs.iter().map(Vec::as_slice).collect();
+    // The wire protocol has no table-id field, and the id is part of the
+    // cache key — a constant here lets identical content from different
+    // requests (and different connections) share one cache entry.
+    let table = Table::from_strings("wire", &col_refs, &row_slices);
+    Ok(WireRequest::Encode {
+        id,
+        req: ServeRequest {
+            kind,
+            table,
+            context,
+        },
+    })
+}
+
+/// Renders a success response line (no trailing newline).
+pub fn ok_response(id: u64, enc: &TableEncoding, cached: bool) -> String {
+    let emb = enc.table_embedding();
+    let mut out = String::with_capacity(32 + emb.data().len() * 12);
+    out.push_str(&format!(
+        "{{\"id\": {id}, \"ok\": true, \"cached\": {cached}, \"seq_len\": {}, \"d_model\": {}, \"embedding\": [",
+        enc.encoded.len(),
+        emb.data().len(),
+    ));
+    for (i, v) in emb.data().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        // Rust's shortest-round-trip float formatting: parses back to the
+        // identical f32 bit pattern.
+        out.push_str(&format!("{v}"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an error response line from a service-level [`EncodeError`].
+pub fn encode_err_response(id: u64, e: &EncodeError) -> String {
+    err_response(&WireError {
+        id: Some(id),
+        kind: e.kind(),
+        message: e.to_string(),
+    })
+}
+
+/// Renders an error response line.
+pub fn err_response(e: &WireError) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\": ");
+    match e.id {
+        Some(id) => out.push_str(&id.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"ok\": false, \"error\": {\"kind\": ");
+    json::write_str(&mut out, e.kind);
+    out.push_str(", \"message\": ");
+    json::write_str(&mut out, &e.message);
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_encode_request() {
+        let line = r#"{"id": 7, "model": "tapas", "context": "pop",
+                       "columns": ["a", "b"], "rows": [["1", "2"], ["3", "4"]]}"#;
+        let WireRequest::Encode { id, req } = parse_request(line).unwrap() else {
+            panic!("expected encode");
+        };
+        assert_eq!(id, 7);
+        assert_eq!(req.kind, ModelKind::Tapas);
+        assert_eq!(req.context, "pop");
+        assert_eq!(req.table.n_rows(), 2);
+        assert_eq!(req.table.n_cols(), 2);
+        assert_eq!(req.table.cell(1, 0).raw, "3");
+    }
+
+    #[test]
+    fn parses_shutdown() {
+        assert!(matches!(
+            parse_request(r#"{"cmd": "shutdown"}"#).unwrap(),
+            WireRequest::Shutdown
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        // (line, expected kind, expect id echoed)
+        let cases = [
+            ("not json", "BadRequest", false),
+            (
+                r#"{"model": "bert", "columns": [], "rows": []}"#,
+                "BadRequest",
+                false,
+            ),
+            (
+                r#"{"id": 1, "columns": [], "rows": []}"#,
+                "BadRequest",
+                true,
+            ),
+            (
+                r#"{"id": 2, "model": "gpt", "columns": [], "rows": []}"#,
+                "BadModelChoice",
+                true,
+            ),
+            (
+                r#"{"id": 3, "model": "bert", "columns": ["a"], "rows": [["1", "2"]]}"#,
+                "BadRequest",
+                true,
+            ),
+        ];
+        for (line, kind, has_id) in cases {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.kind, kind, "{line}");
+            assert_eq!(e.id.is_some(), has_id, "{line}");
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let line = err_response(&WireError {
+            id: Some(4),
+            kind: "TableTooLarge",
+            message: "no data row fits".into(),
+        });
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&crate::json::Json::Bool(false)));
+        let err = doc.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("TableTooLarge")
+        );
+    }
+}

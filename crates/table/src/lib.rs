@@ -34,7 +34,7 @@ pub use cell::{Cell, CellValue, SemanticType};
 pub use csv::{parse_csv, write_csv, CsvError};
 pub use encoded::{EncodedTable, Segment, TokenKind, TokenMeta};
 pub use linearize::{
-    ColumnMajorLinearizer, ContextPosition, Linearizer, LinearizerOptions, RowMajorLinearizer,
-    TapexLinearizer, TemplateLinearizer, TurlLinearizer,
+    ColumnMajorLinearizer, ContextPosition, Linearizer, LinearizerKind, LinearizerOptions,
+    RowMajorLinearizer, TapexLinearizer, TemplateLinearizer, TurlLinearizer,
 };
 pub use table::{Column, Table, TableError};

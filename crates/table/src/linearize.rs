@@ -66,6 +66,68 @@ pub trait Linearizer {
     ) -> EncodedTable;
 }
 
+/// The serialization strategies by name — the closed set a builder or CLI
+/// can select from — with [`LinearizerKind::Custom`] as the escape hatch
+/// for out-of-tree [`Linearizer`] implementations.
+#[derive(Default)]
+pub enum LinearizerKind {
+    /// [`RowMajorLinearizer`] (the default).
+    #[default]
+    RowMajor,
+    /// [`ColumnMajorLinearizer`].
+    ColumnMajor,
+    /// [`TemplateLinearizer`].
+    Template,
+    /// [`TapexLinearizer`].
+    Tapex,
+    /// [`TurlLinearizer`].
+    Turl,
+    /// Any other strategy.
+    Custom(Box<dyn Linearizer + Send + Sync>),
+}
+
+impl LinearizerKind {
+    /// The names [`LinearizerKind::parse`] accepts, in display order.
+    pub const NAMES: [&'static str; 5] = ["row-major", "column-major", "template", "tapex", "turl"];
+
+    /// Resolves a strategy name (as printed by [`Linearizer::name`]).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "row-major" => Some(Self::RowMajor),
+            "column-major" => Some(Self::ColumnMajor),
+            "template" => Some(Self::Template),
+            "tapex" => Some(Self::Tapex),
+            "turl" => Some(Self::Turl),
+            _ => None,
+        }
+    }
+
+    /// Converts the kind into its boxed strategy.
+    pub fn into_boxed(self) -> Box<dyn Linearizer + Send + Sync> {
+        match self {
+            Self::RowMajor => Box::new(RowMajorLinearizer),
+            Self::ColumnMajor => Box::new(ColumnMajorLinearizer),
+            Self::Template => Box::new(TemplateLinearizer),
+            Self::Tapex => Box::new(TapexLinearizer),
+            Self::Turl => Box::new(TurlLinearizer),
+            Self::Custom(b) => b,
+        }
+    }
+}
+
+impl std::fmt::Debug for LinearizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RowMajor => f.write_str("RowMajor"),
+            Self::ColumnMajor => f.write_str("ColumnMajor"),
+            Self::Template => f.write_str("Template"),
+            Self::Tapex => f.write_str("Tapex"),
+            Self::Turl => f.write_str("Turl"),
+            Self::Custom(b) => write!(f, "Custom({:?})", b.name()),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Shared sequence builder
 // ---------------------------------------------------------------------
@@ -226,14 +288,17 @@ fn fill_rows(
 fn numeric_ranks(table: &Table) -> RankMap<(usize, usize), usize> {
     let mut ranks = RankMap::new();
     for c in 0..table.n_cols() {
+        // Non-finite values (a NaN/inf cell) get no rank rather than
+        // poisoning the sort.
         let mut vals: Vec<(usize, f64)> = (0..table.n_rows())
             .filter_map(|r| table.cell(r, c).value.as_number().map(|v| (r, v)))
+            .filter(|(_, v)| v.is_finite())
             .collect();
         // Only rank columns that are predominantly numeric.
         if vals.len() * 2 <= table.n_rows() || vals.is_empty() {
             continue;
         }
-        vals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        vals.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         for (rank, (r, _)) in vals.into_iter().enumerate() {
             ranks.insert((r, c), rank + 1);
         }

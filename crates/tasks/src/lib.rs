@@ -38,4 +38,5 @@ pub mod text2sql;
 pub mod trainer;
 pub mod visualize;
 
+pub use pretrain::TrainRun;
 pub use trainer::TrainConfig;

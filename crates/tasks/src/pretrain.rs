@@ -64,8 +64,162 @@ pub struct PretrainReport {
     pub mer_acc: Vec<f32>,
 }
 
+/// One configured pretraining run: the single entry point behind which the
+/// historical `pretrain_{mlm,turl,tapex}` / `*_resumable` / `*_supervised`
+/// function families are consolidated.
+///
+/// Every optional concern — serialization strategy, checkpoint/resume,
+/// the self-healing supervisor, observability (carried inside
+/// [`TrainerOptions`]) — is a builder field with the same default the old
+/// base functions hard-coded, so
+///
+/// ```ignore
+/// TrainRun::new(cfg).max_tokens(96).mlm(&mut model, &corpus, &tok)?
+/// ```
+///
+/// is bit-identical to the old `pretrain_mlm(&mut model, &corpus, &tok,
+/// &cfg, 96)`. The terminal methods ([`TrainRun::mlm`],
+/// [`TrainRun::turl`], [`TrainRun::tapex`]) take `&self`, so one
+/// configured run can train several models under identical settings.
+pub struct TrainRun<'a> {
+    cfg: TrainConfig,
+    max_tokens: usize,
+    linearizer: &'a dyn Linearizer,
+    topts: TrainerOptions,
+    scfg: SupervisorConfig,
+    queries_per_table: usize,
+}
+
+impl Default for TrainRun<'static> {
+    fn default() -> Self {
+        Self::new(TrainConfig::default())
+    }
+}
+
+impl<'a> TrainRun<'a> {
+    /// A run with `cfg` hyperparameters and every optional feature off:
+    /// row-major serialization, 128-token budget, no checkpointing, no
+    /// supervision, no observability, 2 SQL queries per table (TAPEX).
+    pub fn new(cfg: TrainConfig) -> Self {
+        Self {
+            cfg,
+            max_tokens: 128,
+            linearizer: &RowMajorLinearizer,
+            topts: TrainerOptions::default(),
+            scfg: SupervisorConfig::default(),
+            queries_per_table: 2,
+        }
+    }
+
+    /// Token budget for table serialization (default 128).
+    pub fn max_tokens(mut self, n: usize) -> Self {
+        self.max_tokens = n;
+        self
+    }
+
+    /// Serialization strategy for [`TrainRun::mlm`] (default row-major).
+    /// [`TrainRun::turl`] and [`TrainRun::tapex`] ignore it: those
+    /// objectives are defined on their own linearizations.
+    pub fn linearizer(mut self, lin: &'a dyn Linearizer) -> Self {
+        self.linearizer = lin;
+        self
+    }
+
+    /// Checkpoint/resume/halt/observability knobs (default all off).
+    pub fn trainer(mut self, topts: &TrainerOptions) -> Self {
+        self.topts = topts.clone();
+        self
+    }
+
+    /// Self-healing supervisor knobs (default all off — bit-identical to
+    /// the unsupervised loop).
+    pub fn supervisor(mut self, scfg: &SupervisorConfig) -> Self {
+        self.scfg = scfg.clone();
+        self
+    }
+
+    /// Generated SQL queries per corpus table for [`TrainRun::tapex`]
+    /// (default 2).
+    pub fn queries_per_table(mut self, n: usize) -> Self {
+        self.queries_per_table = n;
+        self
+    }
+
+    /// The run's hyperparameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// MLM pretraining of `model` over `corpus`.
+    pub fn mlm<M: MlmModel>(
+        &self,
+        model: &mut M,
+        corpus: &TableCorpus,
+        tok: &WordPieceTokenizer,
+    ) -> Result<PretrainReport, TrainError> {
+        let opts = LinearizerOptions {
+            max_tokens: self.max_tokens,
+            ..Default::default()
+        };
+        let mlm_cfg = MlmConfig::bert(tok.vocab_size());
+        let encoded: Vec<_> = corpus
+            .tables
+            .iter()
+            .map(|t| self.linearizer.linearize(t, &t.caption, tok, &opts))
+            .collect();
+
+        let seed = self.cfg.seed;
+        let steps = run_supervised(
+            model,
+            &self.cfg,
+            encoded.len(),
+            &self.topts,
+            &self.scfg,
+            |r: &(f32, f32)| r.0,
+            |model, batch, obs| {
+                let mut batch_loss = 0.0;
+                let mut batch_hits = 0usize;
+                let mut batch_masked = 0usize;
+                for item in batch {
+                    let e = &encoded[item.index];
+                    obs.count_tokens(e.ids().len() as u64);
+                    let masked =
+                        mask_mlm(e, &mlm_cfg, seed ^ ((item.epoch * 31 + item.pos) as u64));
+                    let input = EncoderInput::from_masked(e, &masked);
+                    let states = model.encode(&input, true);
+                    let logits = model.mlm_head().forward(&states);
+                    let (loss, dlogits) = softmax_cross_entropy(&logits, &masked.targets, None);
+                    let preds = logits.argmax_rows();
+                    for (pos, &t) in masked.targets.iter().enumerate() {
+                        if t != MaskedExample::IGNORE {
+                            batch_masked += 1;
+                            if preds[pos] == t {
+                                batch_hits += 1;
+                            }
+                        }
+                    }
+                    let dstates = model.mlm_head().backward(&dlogits);
+                    model.backward(&dstates);
+                    batch_loss += loss;
+                }
+                (
+                    batch_loss / batch.len() as f32,
+                    batch_hits as f32 / batch_masked.max(1) as f32,
+                )
+            },
+        )?;
+        let mut report = PretrainReport::default();
+        for (loss, acc) in steps {
+            report.mlm_loss.push(loss);
+            report.mlm_acc.push(acc);
+        }
+        Ok(report)
+    }
+}
+
 /// MLM pretraining over a corpus for any [`MlmModel`] (row-major
-/// serialization; see [`pretrain_mlm_with`] to vary the linearizer).
+/// serialization).
+#[deprecated(note = "use `TrainRun::new(*cfg).max_tokens(n).mlm(..)`")]
 pub fn pretrain_mlm<M: MlmModel>(
     model: &mut M,
     corpus: &TableCorpus,
@@ -73,11 +227,14 @@ pub fn pretrain_mlm<M: MlmModel>(
     cfg: &TrainConfig,
     max_tokens: usize,
 ) -> PretrainReport {
-    pretrain_mlm_with(model, corpus, tok, cfg, max_tokens, &RowMajorLinearizer)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .mlm(model, corpus, tok)
+        .expect("no checkpointing configured, so training cannot fail")
 }
 
-/// MLM pretraining with an explicit serialization strategy — the hook the
-/// E7 row-vs-column ablation uses.
+/// MLM pretraining with an explicit serialization strategy.
+#[deprecated(note = "use `TrainRun::new(*cfg).linearizer(lin).mlm(..)`")]
 pub fn pretrain_mlm_with<M: MlmModel>(
     model: &mut M,
     corpus: &TableCorpus,
@@ -86,21 +243,15 @@ pub fn pretrain_mlm_with<M: MlmModel>(
     max_tokens: usize,
     linearizer: &dyn Linearizer,
 ) -> PretrainReport {
-    pretrain_mlm_resumable(
-        model,
-        corpus,
-        tok,
-        cfg,
-        max_tokens,
-        linearizer,
-        &TrainerOptions::default(),
-    )
-    .expect("no checkpointing configured, so training cannot fail")
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .linearizer(linearizer)
+        .mlm(model, corpus, tok)
+        .expect("no checkpointing configured, so training cannot fail")
 }
 
-/// MLM pretraining with checkpoint/resume support. The report covers only
-/// the steps this invocation ran (a resumed run reports the post-resume
-/// suffix, bit-identical to the same steps of an uninterrupted run).
+/// MLM pretraining with checkpoint/resume support.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).mlm(..)`")]
 pub fn pretrain_mlm_resumable<M: MlmModel>(
     model: &mut M,
     corpus: &TableCorpus,
@@ -110,23 +261,16 @@ pub fn pretrain_mlm_resumable<M: MlmModel>(
     linearizer: &dyn Linearizer,
     topts: &TrainerOptions,
 ) -> Result<PretrainReport, CheckpointError> {
-    pretrain_mlm_supervised(
-        model,
-        corpus,
-        tok,
-        cfg,
-        max_tokens,
-        linearizer,
-        topts,
-        &SupervisorConfig::default(),
-    )
-    .map_err(TrainError::into_checkpoint_error)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .linearizer(linearizer)
+        .trainer(topts)
+        .mlm(model, corpus, tok)
+        .map_err(TrainError::into_checkpoint_error)
 }
 
-/// MLM pretraining under the self-healing supervisor: gradient clipping,
-/// anomaly detection, rollback/retry, and fault drills per `scfg`. With
-/// [`SupervisorConfig::default`] this is bit-identical to
-/// [`pretrain_mlm_resumable`].
+/// MLM pretraining under the self-healing supervisor.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).supervisor(scfg).mlm(..)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn pretrain_mlm_supervised<M: MlmModel>(
     model: &mut M,
@@ -138,66 +282,144 @@ pub fn pretrain_mlm_supervised<M: MlmModel>(
     topts: &TrainerOptions,
     scfg: &SupervisorConfig,
 ) -> Result<PretrainReport, TrainError> {
-    let opts = LinearizerOptions {
-        max_tokens,
-        ..Default::default()
-    };
-    let mlm_cfg = MlmConfig::bert(tok.vocab_size());
-    let encoded: Vec<_> = corpus
-        .tables
-        .iter()
-        .map(|t| linearizer.linearize(t, &t.caption, tok, &opts))
-        .collect();
-
-    let seed = cfg.seed;
-    let steps = run_supervised(
-        model,
-        cfg,
-        encoded.len(),
-        topts,
-        scfg,
-        |r: &(f32, f32)| r.0,
-        |model, batch, obs| {
-            let mut batch_loss = 0.0;
-            let mut batch_hits = 0usize;
-            let mut batch_masked = 0usize;
-            for item in batch {
-                let e = &encoded[item.index];
-                obs.count_tokens(e.ids().len() as u64);
-                let masked = mask_mlm(e, &mlm_cfg, seed ^ ((item.epoch * 31 + item.pos) as u64));
-                let input = EncoderInput::from_masked(e, &masked);
-                let states = model.encode(&input, true);
-                let logits = model.mlm_head().forward(&states);
-                let (loss, dlogits) = softmax_cross_entropy(&logits, &masked.targets, None);
-                let preds = logits.argmax_rows();
-                for (pos, &t) in masked.targets.iter().enumerate() {
-                    if t != MaskedExample::IGNORE {
-                        batch_masked += 1;
-                        if preds[pos] == t {
-                            batch_hits += 1;
-                        }
-                    }
-                }
-                let dstates = model.mlm_head().backward(&dlogits);
-                model.backward(&dstates);
-                batch_loss += loss;
-            }
-            (
-                batch_loss / batch.len() as f32,
-                batch_hits as f32 / batch_masked.max(1) as f32,
-            )
-        },
-    )?;
-    let mut report = PretrainReport::default();
-    for (loss, acc) in steps {
-        report.mlm_loss.push(loss);
-        report.mlm_acc.push(acc);
-    }
-    Ok(report)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .linearizer(linearizer)
+        .trainer(topts)
+        .supervisor(scfg)
+        .mlm(model, corpus, tok)
 }
 
-/// TURL joint pretraining: MER masks whole entity cells, MLM masks
-/// remaining tokens; both objectives backpropagate through one encoding.
+impl TrainRun<'_> {
+    /// TURL joint pretraining: MER masks whole entity cells, MLM masks
+    /// remaining tokens; both objectives backpropagate through one
+    /// encoding. Always uses the TURL linearization; the anomaly detector
+    /// watches the combined MLM + MER loss.
+    pub fn turl(
+        &self,
+        model: &mut Turl,
+        corpus: &TableCorpus,
+        tok: &WordPieceTokenizer,
+    ) -> Result<PretrainReport, TrainError> {
+        let opts = LinearizerOptions {
+            max_tokens: self.max_tokens,
+            ..Default::default()
+        };
+        let mlm_cfg = MlmConfig::bert(tok.vocab_size());
+        let encoded: Vec<_> = corpus
+            .tables
+            .iter()
+            .map(|t| TurlLinearizer.linearize(t, &t.caption, tok, &opts))
+            .collect();
+
+        let base_seed = self.cfg.seed;
+        let steps = run_supervised(
+            model,
+            &self.cfg,
+            encoded.len(),
+            &self.topts,
+            &self.scfg,
+            |r: &(f32, f32, f32, f32)| r.0 + r.1,
+            |model, batch, obs| {
+                let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
+                let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) =
+                    (0usize, 0usize, 0usize, 0usize);
+                for item in batch {
+                    let e = &encoded[item.index];
+                    obs.count_tokens(e.ids().len() as u64);
+                    let seed = base_seed ^ ((item.epoch * 131 + item.pos) as u64);
+                    // 1. MER corruption (whole entity cells → [MASK]).
+                    let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
+                    // 2. MLM corruption on top, skipping positions MER already took.
+                    let mlm = mask_mlm(e, &mlm_cfg, seed ^ 0xA5A5);
+                    let mut input_ids = mer_ids;
+                    let mut mlm_targets = mlm.targets.clone();
+                    let mer_positions: std::collections::HashSet<usize> = masked_entities
+                        .iter()
+                        .flat_map(|m| m.positions.iter().copied())
+                        .collect();
+                    for (pos, id) in input_ids.iter_mut().enumerate() {
+                        if mer_positions.contains(&pos) {
+                            mlm_targets[pos] = MaskedExample::IGNORE;
+                        } else if mlm.targets[pos] != MaskedExample::IGNORE {
+                            *id = mlm.input_ids[pos];
+                        }
+                    }
+                    let input = EncoderInput::from_encoded_with_ids(e, input_ids);
+                    let states = model.encode(&input, true);
+                    let seq_len = states.dim(0);
+                    let d = states.dim(1);
+
+                    // MLM objective.
+                    let logits = model.mlm.forward(&states);
+                    let (mlm_loss, dlogits) = softmax_cross_entropy(&logits, &mlm_targets, None);
+                    let preds = logits.argmax_rows();
+                    for (pos, &t) in mlm_targets.iter().enumerate() {
+                        if t != MaskedExample::IGNORE {
+                            n_mlm += 1;
+                            if preds[pos] == t {
+                                hits_mlm += 1;
+                            }
+                        }
+                    }
+                    let mut dstates = model.mlm.backward(&dlogits);
+
+                    // MER objective: pool each masked cell, classify over entities.
+                    let mut mer_loss = 0.0;
+                    if !masked_entities.is_empty() {
+                        let mut pooled = Tensor::zeros(&[masked_entities.len(), d]);
+                        for (k, m) in masked_entities.iter().enumerate() {
+                            let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                            pooled
+                                .row_mut(k)
+                                .copy_from_slice(pool_mean(&states, &span).data());
+                        }
+                        let mer_logits = model.mer.forward(&pooled);
+                        let targets: Vec<usize> =
+                            masked_entities.iter().map(|m| m.entity as usize).collect();
+                        let (loss, dmer_logits) =
+                            softmax_cross_entropy(&mer_logits, &targets, None);
+                        mer_loss = loss;
+                        let mer_preds = mer_logits.argmax_rows();
+                        for (k, &t) in targets.iter().enumerate() {
+                            n_mer += 1;
+                            if mer_preds[k] == t {
+                                hits_mer += 1;
+                            }
+                        }
+                        let d_pooled = model.mer.backward(&dmer_logits);
+                        for (k, m) in masked_entities.iter().enumerate() {
+                            let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
+                            let dp = d_pooled.rows(k, k + 1);
+                            dstates.add_assign(&pool_mean_backward(&dp, &span, seq_len));
+                        }
+                    }
+
+                    model.backward(&dstates);
+                    bl_mlm += mlm_loss;
+                    bl_mer += mer_loss;
+                }
+                (
+                    bl_mlm / batch.len() as f32,
+                    bl_mer / batch.len() as f32,
+                    hits_mlm as f32 / n_mlm.max(1) as f32,
+                    hits_mer as f32 / n_mer.max(1) as f32,
+                )
+            },
+        )?;
+        let mut report = PretrainReport::default();
+        for (mlm_loss, mer_loss, mlm_acc, mer_acc) in steps {
+            report.mlm_loss.push(mlm_loss);
+            report.mer_loss.push(mer_loss);
+            report.mlm_acc.push(mlm_acc);
+            report.mer_acc.push(mer_acc);
+        }
+        Ok(report)
+    }
+}
+
+/// TURL joint pretraining (MLM + masked entity recovery).
+#[deprecated(note = "use `TrainRun::new(*cfg).max_tokens(n).turl(..)`")]
 pub fn pretrain_turl(
     model: &mut Turl,
     corpus: &TableCorpus,
@@ -205,18 +427,14 @@ pub fn pretrain_turl(
     cfg: &TrainConfig,
     max_tokens: usize,
 ) -> PretrainReport {
-    pretrain_turl_resumable(
-        model,
-        corpus,
-        tok,
-        cfg,
-        max_tokens,
-        &TrainerOptions::default(),
-    )
-    .expect("no checkpointing configured, so training cannot fail")
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .turl(model, corpus, tok)
+        .expect("no checkpointing configured, so training cannot fail")
 }
 
 /// TURL joint pretraining with checkpoint/resume support.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).turl(..)`")]
 pub fn pretrain_turl_resumable(
     model: &mut Turl,
     corpus: &TableCorpus,
@@ -225,20 +443,15 @@ pub fn pretrain_turl_resumable(
     max_tokens: usize,
     topts: &TrainerOptions,
 ) -> Result<PretrainReport, CheckpointError> {
-    pretrain_turl_supervised(
-        model,
-        corpus,
-        tok,
-        cfg,
-        max_tokens,
-        topts,
-        &SupervisorConfig::default(),
-    )
-    .map_err(TrainError::into_checkpoint_error)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .trainer(topts)
+        .turl(model, corpus, tok)
+        .map_err(TrainError::into_checkpoint_error)
 }
 
-/// TURL joint pretraining under the self-healing supervisor. The anomaly
-/// detector watches the combined MLM + MER loss.
+/// TURL joint pretraining under the self-healing supervisor.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).supervisor(scfg).turl(..)`")]
 pub fn pretrain_turl_supervised(
     model: &mut Turl,
     corpus: &TableCorpus,
@@ -248,119 +461,11 @@ pub fn pretrain_turl_supervised(
     topts: &TrainerOptions,
     scfg: &SupervisorConfig,
 ) -> Result<PretrainReport, TrainError> {
-    let opts = LinearizerOptions {
-        max_tokens,
-        ..Default::default()
-    };
-    let mlm_cfg = MlmConfig::bert(tok.vocab_size());
-    let encoded: Vec<_> = corpus
-        .tables
-        .iter()
-        .map(|t| TurlLinearizer.linearize(t, &t.caption, tok, &opts))
-        .collect();
-
-    let base_seed = cfg.seed;
-    let steps = run_supervised(
-        model,
-        cfg,
-        encoded.len(),
-        topts,
-        scfg,
-        |r: &(f32, f32, f32, f32)| r.0 + r.1,
-        |model, batch, obs| {
-            let (mut bl_mlm, mut bl_mer) = (0.0f32, 0.0f32);
-            let (mut hits_mlm, mut n_mlm, mut hits_mer, mut n_mer) =
-                (0usize, 0usize, 0usize, 0usize);
-            for item in batch {
-                let e = &encoded[item.index];
-                obs.count_tokens(e.ids().len() as u64);
-                let seed = base_seed ^ ((item.epoch * 131 + item.pos) as u64);
-                // 1. MER corruption (whole entity cells → [MASK]).
-                let (mer_ids, masked_entities) = mask_entities(e, 0.3, seed);
-                // 2. MLM corruption on top, skipping positions MER already took.
-                let mlm = mask_mlm(e, &mlm_cfg, seed ^ 0xA5A5);
-                let mut input_ids = mer_ids;
-                let mut mlm_targets = mlm.targets.clone();
-                let mer_positions: std::collections::HashSet<usize> = masked_entities
-                    .iter()
-                    .flat_map(|m| m.positions.iter().copied())
-                    .collect();
-                for (pos, id) in input_ids.iter_mut().enumerate() {
-                    if mer_positions.contains(&pos) {
-                        mlm_targets[pos] = MaskedExample::IGNORE;
-                    } else if mlm.targets[pos] != MaskedExample::IGNORE {
-                        *id = mlm.input_ids[pos];
-                    }
-                }
-                let input = EncoderInput::from_encoded_with_ids(e, input_ids);
-                let states = model.encode(&input, true);
-                let seq_len = states.dim(0);
-                let d = states.dim(1);
-
-                // MLM objective.
-                let logits = model.mlm.forward(&states);
-                let (mlm_loss, dlogits) = softmax_cross_entropy(&logits, &mlm_targets, None);
-                let preds = logits.argmax_rows();
-                for (pos, &t) in mlm_targets.iter().enumerate() {
-                    if t != MaskedExample::IGNORE {
-                        n_mlm += 1;
-                        if preds[pos] == t {
-                            hits_mlm += 1;
-                        }
-                    }
-                }
-                let mut dstates = model.mlm.backward(&dlogits);
-
-                // MER objective: pool each masked cell, classify over entities.
-                let mut mer_loss = 0.0;
-                if !masked_entities.is_empty() {
-                    let mut pooled = Tensor::zeros(&[masked_entities.len(), d]);
-                    for (k, m) in masked_entities.iter().enumerate() {
-                        let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
-                        pooled
-                            .row_mut(k)
-                            .copy_from_slice(pool_mean(&states, &span).data());
-                    }
-                    let mer_logits = model.mer.forward(&pooled);
-                    let targets: Vec<usize> =
-                        masked_entities.iter().map(|m| m.entity as usize).collect();
-                    let (loss, dmer_logits) = softmax_cross_entropy(&mer_logits, &targets, None);
-                    mer_loss = loss;
-                    let mer_preds = mer_logits.argmax_rows();
-                    for (k, &t) in targets.iter().enumerate() {
-                        n_mer += 1;
-                        if mer_preds[k] == t {
-                            hits_mer += 1;
-                        }
-                    }
-                    let d_pooled = model.mer.backward(&dmer_logits);
-                    for (k, m) in masked_entities.iter().enumerate() {
-                        let span = m.positions[0]..m.positions[m.positions.len() - 1] + 1;
-                        let dp = d_pooled.rows(k, k + 1);
-                        dstates.add_assign(&pool_mean_backward(&dp, &span, seq_len));
-                    }
-                }
-
-                model.backward(&dstates);
-                bl_mlm += mlm_loss;
-                bl_mer += mer_loss;
-            }
-            (
-                bl_mlm / batch.len() as f32,
-                bl_mer / batch.len() as f32,
-                hits_mlm as f32 / n_mlm.max(1) as f32,
-                hits_mer as f32 / n_mer.max(1) as f32,
-            )
-        },
-    )?;
-    let mut report = PretrainReport::default();
-    for (mlm_loss, mer_loss, mlm_acc, mer_acc) in steps {
-        report.mlm_loss.push(mlm_loss);
-        report.mer_loss.push(mer_loss);
-        report.mlm_acc.push(mlm_acc);
-        report.mer_acc.push(mer_acc);
-    }
-    Ok(report)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .trainer(topts)
+        .supervisor(scfg)
+        .turl(model, corpus, tok)
 }
 
 /// Builds the TAPEX encoder input for `(sql, table)` and the target ids
@@ -384,8 +489,47 @@ pub fn tapex_example(
     (input, target)
 }
 
-/// TAPEX pretraining: teach the encoder–decoder to *execute* generated SQL
-/// over corpus tables. Returns per-step losses.
+impl TrainRun<'_> {
+    /// TAPEX pretraining: teach the encoder–decoder to *execute*
+    /// [`TrainRun::queries_per_table`] generated SQL queries over each
+    /// corpus table (always the TAPEX linearization). Returns per-step
+    /// losses.
+    pub fn tapex(
+        &self,
+        model: &mut Tapex,
+        corpus: &TableCorpus,
+        tok: &WordPieceTokenizer,
+    ) -> Result<Vec<f32>, TrainError> {
+        // Materialize (input, target) pairs once.
+        let mut pairs = Vec::new();
+        for (ti, table) in corpus.tables.iter().enumerate() {
+            let mut gen = QueryGenerator::new(self.cfg.seed ^ (ti as u64), GenConfig::default());
+            for (sql, answer) in gen.generate_n(table, self.queries_per_table) {
+                pairs.push(tapex_example(table, &sql, &answer, tok, self.max_tokens));
+            }
+        }
+        run_supervised(
+            model,
+            &self.cfg,
+            pairs.len(),
+            &self.topts,
+            &self.scfg,
+            |loss: &f32| *loss,
+            |model, batch, obs| {
+                let mut batch_loss = 0.0;
+                for item in batch {
+                    let (input, target) = &pairs[item.index];
+                    obs.count_tokens((input.len() + target.len()) as u64);
+                    batch_loss += model.train_step(input, target);
+                }
+                batch_loss / batch.len() as f32
+            },
+        )
+    }
+}
+
+/// TAPEX pretraining over generated SQL.
+#[deprecated(note = "use `TrainRun::new(*cfg).queries_per_table(q).tapex(..)`")]
 pub fn pretrain_tapex(
     model: &mut Tapex,
     corpus: &TableCorpus,
@@ -394,19 +538,15 @@ pub fn pretrain_tapex(
     queries_per_table: usize,
     max_tokens: usize,
 ) -> Vec<f32> {
-    pretrain_tapex_resumable(
-        model,
-        corpus,
-        tok,
-        cfg,
-        queries_per_table,
-        max_tokens,
-        &TrainerOptions::default(),
-    )
-    .expect("no checkpointing configured, so training cannot fail")
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .queries_per_table(queries_per_table)
+        .tapex(model, corpus, tok)
+        .expect("no checkpointing configured, so training cannot fail")
 }
 
 /// TAPEX pretraining with checkpoint/resume support.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).tapex(..)`")]
 pub fn pretrain_tapex_resumable(
     model: &mut Tapex,
     corpus: &TableCorpus,
@@ -416,20 +556,16 @@ pub fn pretrain_tapex_resumable(
     max_tokens: usize,
     topts: &TrainerOptions,
 ) -> Result<Vec<f32>, CheckpointError> {
-    pretrain_tapex_supervised(
-        model,
-        corpus,
-        tok,
-        cfg,
-        queries_per_table,
-        max_tokens,
-        topts,
-        &SupervisorConfig::default(),
-    )
-    .map_err(TrainError::into_checkpoint_error)
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .queries_per_table(queries_per_table)
+        .trainer(topts)
+        .tapex(model, corpus, tok)
+        .map_err(TrainError::into_checkpoint_error)
 }
 
 /// TAPEX pretraining under the self-healing supervisor.
+#[deprecated(note = "use `TrainRun::new(*cfg).trainer(topts).supervisor(scfg).tapex(..)`")]
 #[allow(clippy::too_many_arguments)]
 pub fn pretrain_tapex_supervised(
     model: &mut Tapex,
@@ -441,31 +577,12 @@ pub fn pretrain_tapex_supervised(
     topts: &TrainerOptions,
     scfg: &SupervisorConfig,
 ) -> Result<Vec<f32>, TrainError> {
-    // Materialize (input, target) pairs once.
-    let mut pairs = Vec::new();
-    for (ti, table) in corpus.tables.iter().enumerate() {
-        let mut gen = QueryGenerator::new(cfg.seed ^ (ti as u64), GenConfig::default());
-        for (sql, answer) in gen.generate_n(table, queries_per_table) {
-            pairs.push(tapex_example(table, &sql, &answer, tok, max_tokens));
-        }
-    }
-    run_supervised(
-        model,
-        cfg,
-        pairs.len(),
-        topts,
-        scfg,
-        |loss: &f32| *loss,
-        |model, batch, obs| {
-            let mut batch_loss = 0.0;
-            for item in batch {
-                let (input, target) = &pairs[item.index];
-                obs.count_tokens((input.len() + target.len()) as u64);
-                batch_loss += model.train_step(input, target);
-            }
-            batch_loss / batch.len() as f32
-        },
-    )
+    TrainRun::new(*cfg)
+        .max_tokens(max_tokens)
+        .queries_per_table(queries_per_table)
+        .trainer(topts)
+        .supervisor(scfg)
+        .tapex(model, corpus, tok)
 }
 
 /// Held-out MLM evaluation: masks each table once (seeded) and measures
@@ -578,7 +695,10 @@ mod tests {
             ..ModelConfig::tiny(tok.vocab_size())
         };
         let mut model = VanillaBert::new(&cfg);
-        let report = pretrain_mlm(&mut model, &corpus, &tok, &quick_cfg(), 96);
+        let report = TrainRun::new(quick_cfg())
+            .max_tokens(96)
+            .mlm(&mut model, &corpus, &tok)
+            .unwrap();
         assert!(report.mlm_loss.len() >= 6);
         let first = report.mlm_loss[..2].iter().sum::<f32>() / 2.0;
         let n = report.mlm_loss.len();
@@ -602,7 +722,10 @@ mod tests {
             epochs: 24,
             ..quick_cfg()
         };
-        let report = pretrain_turl(&mut model, &corpus, &tok, &tc, 96);
+        let report = TrainRun::new(tc)
+            .max_tokens(96)
+            .turl(&mut model, &corpus, &tok)
+            .unwrap();
         assert!(!report.mer_loss.is_empty());
         let first = report.mer_loss[..2].iter().sum::<f32>() / 2.0;
         let n = report.mer_loss.len();
@@ -625,7 +748,11 @@ mod tests {
             ..ModelConfig::tiny(tok.vocab_size())
         };
         let mut model = Tapex::new(&cfg);
-        let losses = pretrain_tapex(&mut model, &small, &tok, &quick_cfg(), 2, 96);
+        let losses = TrainRun::new(quick_cfg())
+            .max_tokens(96)
+            .queries_per_table(2)
+            .tapex(&mut model, &small, &tok)
+            .unwrap();
         assert!(losses.len() >= 3);
         assert!(
             losses.last().unwrap() < &losses[0],

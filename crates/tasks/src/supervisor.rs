@@ -182,7 +182,7 @@ impl TrainError {
     /// Collapses back to [`CheckpointError`] for the legacy `*_resumable`
     /// entry points, whose supervisor is disabled and can therefore only
     /// fail on checkpoint I/O.
-    pub(crate) fn into_checkpoint_error(self) -> CheckpointError {
+    pub fn into_checkpoint_error(self) -> CheckpointError {
         match self {
             TrainError::Checkpoint(e) => e,
             other => CheckpointError::Mismatch(other.to_string()),

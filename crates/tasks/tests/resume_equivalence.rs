@@ -14,8 +14,9 @@ use ntr_models::{ModelConfig, Turl, VanillaBert};
 use ntr_nn::serialize::TrainCheckpoint;
 use ntr_nn::Layer;
 use ntr_tasks::imputation::finetune_resumable;
-use ntr_tasks::pretrain::pretrain_turl_resumable;
+use ntr_tasks::supervisor::TrainError;
 use ntr_tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr_tasks::TrainRun;
 use ntr_tokenizer::WordPieceTokenizer;
 use std::path::PathBuf;
 
@@ -81,34 +82,28 @@ fn turl_pretraining_resume_is_bit_identical() {
 
     // Reference: one uninterrupted run.
     let mut straight = Turl::new(&mcfg);
-    let full = pretrain_turl_resumable(
-        &mut straight,
-        &corpus,
-        &tok,
-        &tcfg,
-        64,
-        &TrainerOptions::default(),
-    )
-    .unwrap();
+    let full = TrainRun::new(tcfg)
+        .max_tokens(64)
+        .trainer(&TrainerOptions::default())
+        .turl(&mut straight, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
     assert!(full.mlm_loss.len() >= 4, "need ≥4 steps to halt mid-run");
     let halt_at = (full.mlm_loss.len() / 2) as u64;
 
     // "Crashed" run: checkpoint every step, stop halfway.
     let mut crashed = Turl::new(&mcfg);
-    let head = pretrain_turl_resumable(
-        &mut crashed,
-        &corpus,
-        &tok,
-        &tcfg,
-        64,
-        &TrainerOptions {
+    let head = TrainRun::new(tcfg)
+        .max_tokens(64)
+        .trainer(&TrainerOptions {
             checkpoint: Some((path.clone(), 1)),
             resume: None,
             halt_after: Some(halt_at),
             obs: Default::default(),
-        },
-    )
-    .unwrap();
+        })
+        .turl(&mut crashed, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
     assert_eq!(head.mlm_loss.len() as u64, halt_at);
 
     // Resume into a *differently initialized* model: every weight, moment,
@@ -117,20 +112,17 @@ fn turl_pretraining_resume_is_bit_identical() {
         seed: 0xDEAD,
         ..mcfg
     });
-    let tail = pretrain_turl_resumable(
-        &mut resumed,
-        &corpus,
-        &tok,
-        &tcfg,
-        64,
-        &TrainerOptions {
+    let tail = TrainRun::new(tcfg)
+        .max_tokens(64)
+        .trainer(&TrainerOptions {
             checkpoint: None,
             resume: Some(path.clone()),
             halt_after: None,
             obs: Default::default(),
-        },
-    )
-    .unwrap();
+        })
+        .turl(&mut resumed, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
 
     // Loss traces: head ++ tail == full, bit for bit, on both objectives.
     let stitched_mlm: Vec<u32> = bits(&head.mlm_loss)

@@ -12,9 +12,9 @@ use ntr_nn::init::SeededInit;
 use ntr_nn::serialize::load_checkpoint;
 use ntr_nn::Linear;
 use ntr_table::RowMajorLinearizer;
-use ntr_tasks::pretrain::{pretrain_mlm_resumable, pretrain_mlm_supervised};
 use ntr_tasks::supervisor::{run_supervised, SupervisorConfig, TrainError};
 use ntr_tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr_tasks::TrainRun;
 use ntr_tensor::faults::FaultPlan;
 use ntr_tensor::par;
 use ntr_tokenizer::WordPieceTokenizer;
@@ -89,30 +89,23 @@ fn bits(xs: &[f32]) -> Vec<u32> {
 fn nan_fault_rolls_back_and_skips_the_poisoned_batch() {
     let (corpus, tok) = small_world();
     let mut baseline = tiny_model(&tok);
-    let reference = pretrain_mlm_resumable(
-        &mut baseline,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-    )
-    .unwrap();
+    let reference = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .mlm(&mut baseline, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
     assert!(reference.mlm_loss.len() >= 4);
 
     let mut model = tiny_model(&tok);
-    let report = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-        &healing("nan@2", 3),
-    )
-    .unwrap();
+    let report = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .supervisor(&healing("nan@2", 3))
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap();
 
     // One batch window was skipped; every surviving loss is finite, and the
     // pre-fault prefix is bit-identical to the unsupervised baseline.
@@ -131,17 +124,13 @@ fn worker_panic_fault_recovers_under_four_threads() {
     for threads in [1usize, 4] {
         par::with_threads(threads, || {
             let mut model = tiny_model(&tok);
-            let report = pretrain_mlm_supervised(
-                &mut model,
-                &corpus,
-                &tok,
-                &drill_cfg(),
-                48,
-                &RowMajorLinearizer,
-                &TrainerOptions::default(),
-                &healing("panic@1", 3),
-            )
-            .unwrap();
+            let report = TrainRun::new(drill_cfg())
+                .max_tokens(48)
+                .linearizer(&RowMajorLinearizer)
+                .trainer(&TrainerOptions::default())
+                .supervisor(&healing("panic@1", 3))
+                .mlm(&mut model, &corpus, &tok)
+                .unwrap();
             assert!(
                 report.mlm_loss.iter().all(|l| l.is_finite()),
                 "threads={threads}"
@@ -155,38 +144,31 @@ fn worker_panic_fault_recovers_under_four_threads() {
 fn crash_fault_resumes_from_disk_and_stays_bit_identical() {
     let (corpus, tok) = small_world();
     let mut baseline = tiny_model(&tok);
-    let reference = pretrain_mlm_resumable(
-        &mut baseline,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-    )
-    .unwrap();
+    let reference = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .mlm(&mut baseline, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
 
     // Checkpoint every step: the simulated kill at step 3 restores the
     // exact pre-kill state, so the full loss trace matches the
     // uninterrupted run bit for bit.
     let path = ckpt_path("crash_drill.ntrw");
     let mut model = tiny_model(&tok);
-    let report = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions {
+    let report = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions {
             checkpoint: Some((path.clone(), 1)),
             resume: None,
             halt_after: None,
             obs: Default::default(),
-        },
-        &healing("crash@3", 0),
-    )
-    .unwrap();
+        })
+        .supervisor(&healing("crash@3", 0))
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap();
     assert_eq!(bits(&report.mlm_loss), bits(&reference.mlm_loss));
     let _ = std::fs::remove_file(&path);
 }
@@ -196,22 +178,18 @@ fn corrupt_ckpt_fault_leaves_a_detectably_broken_file() {
     let (corpus, tok) = small_world();
     let path = ckpt_path("corrupt_drill.ntrw");
     let mut model = tiny_model(&tok);
-    pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions {
+    TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions {
             checkpoint: Some((path.clone(), 2)),
             resume: None,
             halt_after: Some(2),
             obs: Default::default(),
-        },
-        &healing("corrupt-ckpt@2", 0),
-    )
-    .unwrap();
+        })
+        .supervisor(&healing("corrupt-ckpt@2", 0))
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap();
     // The checkpoint written at step 2 was bit-flipped; the CRC-checked
     // loader must reject it with a typed error, not garbage weights.
     assert!(path.exists());
@@ -223,16 +201,13 @@ fn corrupt_ckpt_fault_leaves_a_detectably_broken_file() {
 fn crash_with_corrupt_checkpoint_falls_back_to_initial_state() {
     let (corpus, tok) = small_world();
     let mut baseline = tiny_model(&tok);
-    let reference = pretrain_mlm_resumable(
-        &mut baseline,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-    )
-    .unwrap();
+    let reference = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .mlm(&mut baseline, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
     assert!(reference.mlm_loss.len() >= 6);
 
     // The step-3 checkpoint is corrupted, then the kill hits at step 4
@@ -241,22 +216,18 @@ fn crash_with_corrupt_checkpoint_falls_back_to_initial_state() {
     // still bit-identical to the uninterrupted run.
     let path = ckpt_path("corrupt_crash_drill.ntrw");
     let mut model = tiny_model(&tok);
-    let report = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions {
+    let report = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions {
             checkpoint: Some((path.clone(), 3)),
             resume: None,
             halt_after: None,
             obs: Default::default(),
-        },
-        &healing("corrupt-ckpt@3,crash@4", 0),
-    )
-    .unwrap();
+        })
+        .supervisor(&healing("corrupt-ckpt@3,crash@4", 0))
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap();
     assert_eq!(bits(&report.mlm_loss), bits(&reference.mlm_loss));
     let _ = std::fs::remove_file(&path);
 }
@@ -267,17 +238,13 @@ fn exhausted_retries_abort_with_a_typed_error() {
     let mut model = tiny_model(&tok);
     // Four NaN faults all due from step 1 on; two retries allowed. The
     // third anomaly must abort with RetriesExhausted — not a panic.
-    let err = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-        &healing("nan@1,nan@1,nan@1,nan@1", 2),
-    )
-    .unwrap_err();
+    let err = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .supervisor(&healing("nan@1,nan@1,nan@1,nan@1", 2))
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap_err();
     match err {
         TrainError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 2),
         other => panic!("expected RetriesExhausted, got: {other}"),
@@ -288,22 +255,18 @@ fn exhausted_retries_abort_with_a_typed_error() {
 fn anomaly_without_rollback_is_a_typed_error() {
     let (corpus, tok) = small_world();
     let mut model = tiny_model(&tok);
-    let err = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-        &SupervisorConfig {
+    let err = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .supervisor(&SupervisorConfig {
             clip_norm: Some(1.0),
             rollback: false,
             faults: Some(FaultPlan::parse("nan@0").unwrap()),
             ..SupervisorConfig::default()
-        },
-    )
-    .unwrap_err();
+        })
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap_err();
     match err {
         TrainError::Anomaly { step, ref anomaly } => {
             assert_eq!(step, 0);
@@ -371,22 +334,18 @@ fn env_fault_plan_drill_survives_any_schedule() {
         faults: Some(plan),
         ..SupervisorConfig::resilient()
     };
-    let report = pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions {
+    let report = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions {
             checkpoint: Some((path.clone(), 2)),
             resume: None,
             halt_after: None,
             obs: Default::default(),
-        },
-        &scfg,
-    )
-    .unwrap();
+        })
+        .supervisor(&scfg)
+        .mlm(&mut model, &corpus, &tok)
+        .unwrap();
     assert!(!report.mlm_loss.is_empty());
     assert!(report.mlm_loss.iter().all(|l| l.is_finite()));
     let _ = std::fs::remove_file(&path);
@@ -396,28 +355,21 @@ fn env_fault_plan_drill_survives_any_schedule() {
 fn disabled_supervisor_is_bit_identical_to_resumable() {
     let (corpus, tok) = small_world();
     let mut a = tiny_model(&tok);
-    let ra = pretrain_mlm_resumable(
-        &mut a,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-    )
-    .unwrap();
+    let ra = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .mlm(&mut a, &corpus, &tok)
+        .map_err(TrainError::into_checkpoint_error)
+        .unwrap();
     let mut b = tiny_model(&tok);
-    let rb = pretrain_mlm_supervised(
-        &mut b,
-        &corpus,
-        &tok,
-        &drill_cfg(),
-        48,
-        &RowMajorLinearizer,
-        &TrainerOptions::default(),
-        &SupervisorConfig::default(),
-    )
-    .unwrap();
+    let rb = TrainRun::new(drill_cfg())
+        .max_tokens(48)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&TrainerOptions::default())
+        .supervisor(&SupervisorConfig::default())
+        .mlm(&mut b, &corpus, &tok)
+        .unwrap();
     assert_eq!(bits(&ra.mlm_loss), bits(&rb.mlm_loss));
     assert_eq!(bits(&ra.mlm_acc), bits(&rb.mlm_acc));
 }

@@ -11,8 +11,8 @@ use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{Split, World, WorldConfig};
 use ntr::models::{ModelConfig, VanillaBert};
 use ntr::tasks::imputation::{baseline_mode, evaluate, finetune, CandidatePools};
-use ntr::tasks::pretrain::pretrain_mlm;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn main() {
     // 1. Corpus: entity tables plus GitTables-style typed tables, with a
@@ -53,19 +53,16 @@ fn main() {
 
     // 2. Pretrain with MLM over the corpus (the paper's pipeline (1)).
     println!("pretraining (MLM over the corpus)...");
-    let report = pretrain_mlm(
-        &mut model,
-        &corpus,
-        &tok,
-        &TrainConfig {
-            epochs: 40,
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 7,
-        },
-        192,
-    );
+    let report = TrainRun::new(TrainConfig {
+        epochs: 40,
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 7,
+    })
+    .max_tokens(192)
+    .mlm(&mut model, &corpus, &tok)
+    .expect("infallible: no checkpointing configured");
     println!(
         "  mlm loss {:.3} -> {:.3}",
         report.mlm_loss.first().copied().unwrap_or(0.0),

@@ -9,8 +9,8 @@ use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{World, WorldConfig};
 use ntr::models::{EncoderInput, ModelConfig, SequenceEncoder, Turl};
 use ntr::table::{Linearizer, LinearizerOptions, TurlLinearizer};
-use ntr::tasks::pretrain::pretrain_turl;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn main() {
     // 1. A synthetic world and an entity-table corpus (WikiTables stand-in).
@@ -54,7 +54,10 @@ fn main() {
         seed: 12,
     };
     println!("\npretraining TURL (MLM + MER)...");
-    let report = pretrain_turl(&mut model, &corpus, &tok, &train_cfg, 160);
+    let report = TrainRun::new(train_cfg)
+        .max_tokens(160)
+        .turl(&mut model, &corpus, &tok)
+        .expect("infallible: no checkpointing configured");
 
     println!("\n step | mlm loss | mlm acc | mer loss | mer acc");
     let n = report.mlm_loss.len();

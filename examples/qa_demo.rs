@@ -10,11 +10,11 @@ use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{Split, World, WorldConfig};
 use ntr::models::{EncoderInput, ModelConfig, SequenceEncoder, Tapas};
 use ntr::table::LinearizerOptions;
-use ntr::tasks::pretrain::pretrain_mlm;
 use ntr::tasks::qa::{
     baseline_lexical, encode_qa, evaluate, finetune, snapshot_dataset, CellSelector,
 };
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn main() {
     // 1. Dataset of (table, question, answer-cell) triples.
@@ -61,19 +61,16 @@ fn main() {
     // then fine-tune the cell-selection head — pipeline (2).
     let mut encoder = Tapas::new(&cfg);
     println!("pretraining encoder (MLM)...");
-    pretrain_mlm(
-        &mut encoder,
-        &corpus,
-        &tok,
-        &TrainConfig {
-            epochs: 10,
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 30,
-        },
-        192,
-    );
+    TrainRun::new(TrainConfig {
+        epochs: 10,
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 30,
+    })
+    .max_tokens(192)
+    .mlm(&mut encoder, &corpus, &tok)
+    .expect("infallible: no checkpointing configured");
     let mut model = CellSelector::new(encoder, 33);
     println!("fine-tuning cell selection...");
     finetune(

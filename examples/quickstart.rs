@@ -36,7 +36,8 @@ fn main() {
     let pipeline = Pipeline::builder()
         .vocab_from_tables(std::slice::from_ref(&table))
         .vocab_size(1200)
-        .build();
+        .build()
+        .expect("vocab trained from tables is non-empty");
     let tok = pipeline.tokenizer();
     let opts = LinearizerOptions::default();
 

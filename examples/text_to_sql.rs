@@ -13,9 +13,10 @@ use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{Split, World, WorldConfig};
 use ntr::models::{ModelConfig, Tapex};
 use ntr::sql::gen::{GenConfig, QueryGenerator};
-use ntr::tasks::pretrain::{eval_tapex_execution, pretrain_tapex};
+use ntr::tasks::pretrain::eval_tapex_execution;
 use ntr::tasks::text2sql::{baseline_first_column, evaluate, finetune};
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 
 fn main() {
     let world = World::generate(WorldConfig::default());
@@ -53,20 +54,17 @@ fn main() {
     // ------------------------------------------------------------------
     println!("Part A — pretraining a neural SQL executor (TAPEX objective)");
     let mut executor = Tapex::new(&cfg);
-    let losses = pretrain_tapex(
-        &mut executor,
-        &corpus,
-        &tok,
-        &TrainConfig {
-            epochs: 12,
-            lr: 3e-3,
-            batch_size: 8,
-            warmup_frac: 0.1,
-            seed: 53,
-        },
-        3,
-        160,
-    );
+    let losses = TrainRun::new(TrainConfig {
+        epochs: 12,
+        lr: 3e-3,
+        batch_size: 8,
+        warmup_frac: 0.1,
+        seed: 53,
+    })
+    .queries_per_table(3)
+    .max_tokens(160)
+    .tapex(&mut executor, &corpus, &tok)
+    .expect("infallible: no checkpointing configured");
     println!(
         "  loss: {:.3} -> {:.3} over {} steps",
         losses.first().copied().unwrap_or(0.0),

@@ -1,0 +1,216 @@
+//! Compatibility contract for the deprecated training entry points: every
+//! old `pretrain_*` function must remain a pure delegate to [`TrainRun`]
+//! — same losses, bit for bit — and the wrapper outputs themselves are
+//! pinned as a golden fingerprint so a behavior change in *either* layer
+//! shows up as a diff here.
+//!
+//! To bless after an intentional change:
+//!
+//! ```text
+//! NTR_BLESS=1 cargo test --test deprecated_compat
+//! ```
+#![allow(deprecated)]
+
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::models::{ModelConfig, Tapex, Turl, VanillaBert};
+use ntr::tasks::pretrain::{pretrain_mlm, pretrain_mlm_with, pretrain_tapex, pretrain_turl};
+use ntr::tasks::{TrainConfig, TrainRun};
+use ntr_table::ColumnMajorLinearizer;
+use ntr_tensor::io::crc32;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("NTR_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun `NTR_BLESS=1 cargo test --test deprecated_compat` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden {name} drifted; if intentional, re-bless with \
+         `NTR_BLESS=1 cargo test --test deprecated_compat` and commit the diff"
+    );
+}
+
+struct Fixture {
+    world: World,
+    corpus: TableCorpus,
+    entity_corpus: TableCorpus,
+    tok: ntr::tokenizer::WordPieceTokenizer,
+}
+
+fn fixture() -> Fixture {
+    let world = World::generate(WorldConfig {
+        n_countries: 8,
+        n_people: 8,
+        n_films: 6,
+        n_clubs: 4,
+        seed: 0xD5A,
+    });
+    let ccfg = CorpusConfig {
+        n_tables: 6,
+        min_rows: 2,
+        max_rows: 4,
+        null_prob: 0.0,
+        headerless_prob: 0.0,
+        seed: 0xD5B,
+    };
+    let corpus = TableCorpus::generate(&world, &ccfg);
+    let entity_corpus = TableCorpus::generate_entity_only(&world, &ccfg);
+    let tok = ntr::corpus::vocab::train_tokenizer(&corpus, &[], 900);
+    Fixture {
+        world,
+        corpus,
+        entity_corpus,
+        tok,
+    }
+}
+
+fn tcfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        lr: 2e-3,
+        batch_size: 4,
+        warmup_frac: 0.1,
+        seed: 0xD5C,
+    }
+}
+
+/// `name: n=<steps> crc32=<loss bit stream> head=[first 4 loss bits]`
+fn fingerprint(name: &str, losses: &[f32]) -> String {
+    let mut bytes = Vec::with_capacity(losses.len() * 4);
+    for v in losses {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let head = losses
+        .iter()
+        .take(4)
+        .map(|v| format!("{:08x}", v.to_bits()))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!(
+        "{name}: n={} crc32={:08x} head=[{head}]\n",
+        losses.len(),
+        crc32(&bytes)
+    )
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn deprecated_wrappers_match_trainrun_bit_exactly() {
+    let f = fixture();
+    let cfg = tcfg();
+    let mcfg = ModelConfig {
+        vocab_size: f.tok.vocab_size(),
+        ..ModelConfig::tiny(f.tok.vocab_size())
+    };
+    let mut out = String::new();
+
+    // MLM, default (row-major) serialization.
+    let mut old = VanillaBert::new(&mcfg);
+    let old_report = pretrain_mlm(&mut old, &f.corpus, &f.tok, &cfg, 64);
+    let mut new = VanillaBert::new(&mcfg);
+    let new_report = TrainRun::new(cfg)
+        .max_tokens(64)
+        .mlm(&mut new, &f.corpus, &f.tok)
+        .expect("no checkpointing configured");
+    assert_eq!(
+        bits(&old_report.mlm_loss),
+        bits(&new_report.mlm_loss),
+        "pretrain_mlm must delegate to TrainRun bit-exactly"
+    );
+    out.push_str(&fingerprint("pretrain_mlm", &old_report.mlm_loss));
+
+    // MLM with an explicit linearizer.
+    let mut old = VanillaBert::new(&mcfg);
+    let old_report = pretrain_mlm_with(
+        &mut old,
+        &f.corpus,
+        &f.tok,
+        &cfg,
+        64,
+        &ColumnMajorLinearizer,
+    );
+    let mut new = VanillaBert::new(&mcfg);
+    let new_report = TrainRun::new(cfg)
+        .max_tokens(64)
+        .linearizer(&ColumnMajorLinearizer)
+        .mlm(&mut new, &f.corpus, &f.tok)
+        .expect("no checkpointing configured");
+    assert_eq!(bits(&old_report.mlm_loss), bits(&new_report.mlm_loss));
+    out.push_str(&fingerprint(
+        "pretrain_mlm_with/column_major",
+        &old_report.mlm_loss,
+    ));
+
+    // TURL joint pretraining (entity-annotated corpus).
+    let tcfg_model = ModelConfig {
+        n_entities: f.world.n_entities(),
+        ..mcfg
+    };
+    let mut old = Turl::new(&tcfg_model);
+    let old_report = pretrain_turl(&mut old, &f.entity_corpus, &f.tok, &cfg, 64);
+    let mut new = Turl::new(&tcfg_model);
+    let new_report = TrainRun::new(cfg)
+        .max_tokens(64)
+        .turl(&mut new, &f.entity_corpus, &f.tok)
+        .expect("no checkpointing configured");
+    assert_eq!(bits(&old_report.mlm_loss), bits(&new_report.mlm_loss));
+    assert_eq!(bits(&old_report.mer_loss), bits(&new_report.mer_loss));
+    out.push_str(&fingerprint("pretrain_turl/mlm", &old_report.mlm_loss));
+    out.push_str(&fingerprint("pretrain_turl/mer", &old_report.mer_loss));
+
+    // TAPEX SQL-execution pretraining.
+    let mut old = Tapex::new(&mcfg);
+    let old_losses = pretrain_tapex(&mut old, &f.corpus, &f.tok, &cfg, 2, 64);
+    let mut new = Tapex::new(&mcfg);
+    let new_losses = TrainRun::new(cfg)
+        .max_tokens(64)
+        .queries_per_table(2)
+        .tapex(&mut new, &f.corpus, &f.tok)
+        .expect("no checkpointing configured");
+    assert_eq!(bits(&old_losses), bits(&new_losses));
+    out.push_str(&fingerprint("pretrain_tapex", &old_losses));
+
+    check("deprecated_wrappers.txt", &out);
+}
+
+/// The kept single-request wrappers delegate to the validating path:
+/// `encode` == `try_encode` bit for bit.
+#[test]
+fn encode_wrapper_matches_try_encode() {
+    let f = fixture();
+    let p = ntr::Pipeline::builder()
+        .vocab_from_tables(&f.corpus.tables)
+        .vocab_size(900)
+        .build()
+        .expect("vocab is non-empty");
+    let mcfg = ModelConfig {
+        vocab_size: p.tokenizer().vocab_size(),
+        ..ModelConfig::tiny(p.tokenizer().vocab_size())
+    };
+    let t = &f.corpus.tables[0];
+    let mut a = ntr::build_model(ntr::ModelKind::Bert, &mcfg);
+    let via_encode = p.encode(a.as_mut(), t, "ctx");
+    let mut b = ntr::build_model(ntr::ModelKind::Bert, &mcfg);
+    let via_try = p.try_encode(b.as_mut(), t, "ctx").expect("valid request");
+    assert_eq!(
+        bits(via_encode.states.data()),
+        bits(via_try.states.data()),
+        "encode must stay a thin wrapper over the validating path"
+    );
+}

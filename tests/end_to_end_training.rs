@@ -8,6 +8,7 @@ use ntr::corpus::{Split, World, WorldConfig};
 use ntr::models::{ModelConfig, Turl, VanillaBert};
 use ntr::table::LinearizerOptions;
 use ntr::tasks::TrainConfig;
+use ntr::tasks::TrainRun;
 use ntr::tokenizer::WordPieceTokenizer;
 
 fn small_world() -> (World, TableCorpus, WordPieceTokenizer) {
@@ -63,7 +64,10 @@ fn mlm_pretraining_improves_heldout_recovery() {
     let train_tables = train_corpus.tables.clone();
     let before_train = ntr::tasks::pretrain::eval_mlm(&mut model, &train_tables, &tok, 96, &lin, 1);
     let before_held = ntr::tasks::pretrain::eval_mlm(&mut model, &held, &tok, 96, &lin, 1);
-    ntr::tasks::pretrain::pretrain_mlm(&mut model, &train_corpus, &tok, &quick(20, 3e-3), 96);
+    TrainRun::new(quick(20, 3e-3))
+        .max_tokens(96)
+        .mlm(&mut model, &train_corpus, &tok)
+        .expect("infallible: no checkpointing configured");
     let after_train = ntr::tasks::pretrain::eval_mlm(&mut model, &train_tables, &tok, 96, &lin, 1);
     let after_held = ntr::tasks::pretrain::eval_mlm(&mut model, &held, &tok, 96, &lin, 1);
     // The tiny test model must learn its pretraining corpus; held-out
@@ -111,7 +115,10 @@ fn turl_joint_pretrain_then_imputation_beats_untrained() {
 
     let mut model = Turl::new(&cfg);
     let before = ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
-    ntr::tasks::pretrain::pretrain_turl(&mut model, &corpus, &tok, &quick(16, 3e-3), 96);
+    TrainRun::new(quick(16, 3e-3))
+        .max_tokens(96)
+        .turl(&mut model, &corpus, &tok)
+        .expect("infallible: no checkpointing configured");
     ntr::tasks::imputation::finetune(&mut model, &ds, &tok, &quick(2, 5e-4), 96);
     let after = ntr::tasks::imputation::evaluate(&mut model, &ds, Split::Train, &pools, &tok, 96);
     assert!(

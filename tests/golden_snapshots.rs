@@ -13,6 +13,7 @@
 //! then commit the updated files.
 
 use ntr::pipeline::Pipeline;
+use ntr::tasks::TrainRun;
 use ntr_models::{EncoderInput, Mate, ModelConfig, SequenceEncoder, Tapas, Turl, VanillaBert};
 use ntr_table::{
     ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
@@ -69,6 +70,7 @@ fn pipeline() -> Pipeline {
         .vocab_from_tables(&[sample()])
         .vocab_size(600)
         .build()
+        .expect("vocab is non-empty")
 }
 
 #[test]
@@ -239,17 +241,13 @@ fn mlm_noop_trace_with(
         vocab_size: tok.vocab_size(),
         ..ModelConfig::tiny(tok.vocab_size())
     });
-    let report = ntr::tasks::pretrain::pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        tok,
-        &cfg,
-        64,
-        &RowMajorLinearizer,
-        topts,
-        scfg,
-    )
-    .expect("no faults configured");
+    let report = TrainRun::new(cfg)
+        .max_tokens(64)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(topts)
+        .supervisor(scfg)
+        .mlm(&mut model, &corpus, tok)
+        .expect("no faults configured");
 
     let mut params = Vec::new();
     for v in ntr::nn::serialize::TrainCheckpoint::capture(&mut model)

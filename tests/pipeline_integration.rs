@@ -14,6 +14,7 @@ fn pipeline_for(table: &Table) -> Pipeline {
         .vocab_from_tables(std::slice::from_ref(table))
         .vocab_size(800)
         .build()
+        .expect("vocab is non-empty")
 }
 
 #[test]

@@ -21,9 +21,9 @@ fn strip_all(trace: &str) -> String {
 use ntr::obs::ObsOptions;
 use ntr::pipeline::Pipeline;
 use ntr::table::{RowMajorLinearizer, Table};
-use ntr::tasks::pretrain::pretrain_mlm_supervised;
 use ntr::tasks::supervisor::SupervisorConfig;
 use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
+use ntr::tasks::TrainRun;
 use ntr::tensor::faults::FaultPlan;
 use ntr::tensor::par::with_threads;
 use std::path::PathBuf;
@@ -59,7 +59,8 @@ fn traced_run(tag: &str) -> String {
     let p = Pipeline::builder()
         .vocab_from_tables(&corpus.tables)
         .vocab_size(600)
-        .build();
+        .build()
+        .expect("vocab is non-empty");
     let tok = p.tokenizer();
     let mut model = VanillaBert::new(&ModelConfig {
         vocab_size: tok.vocab_size(),
@@ -88,17 +89,13 @@ fn traced_run(tag: &str) -> String {
         faults: Some(FaultPlan::parse("nan@2").unwrap()),
         ..SupervisorConfig::default()
     };
-    pretrain_mlm_supervised(
-        &mut model,
-        &corpus,
-        tok,
-        &cfg,
-        64,
-        &RowMajorLinearizer,
-        &topts,
-        &scfg,
-    )
-    .expect("rollback absorbs the injected NaN");
+    TrainRun::new(cfg)
+        .max_tokens(64)
+        .linearizer(&RowMajorLinearizer)
+        .trainer(&topts)
+        .supervisor(&scfg)
+        .mlm(&mut model, &corpus, tok)
+        .expect("rollback absorbs the injected NaN");
     std::fs::read_to_string(&trace).unwrap()
 }
 
