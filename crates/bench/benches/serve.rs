@@ -1,23 +1,30 @@
-//! Throughput of the batched embedding service under single-request vs.
-//! concurrent load — the standard dynamic-batching tradeoff curve.
+//! Throughput of the batched embedding service across the full
+//! dynamic-batching matrix, plus a cache arm.
 //!
-//! Three arms (cache disabled, so every request pays a real forward):
+//! The matrix arms are `in-flight {1, 8} × max_batch {1, 8}`, all with
+//! 4 workers and the cache disabled so every request pays a real forward
+//! pass (the two knobs under test are load and coalescing, not caching):
 //!
-//! - `serve/single` — the production config (`max_batch = 8`,
-//!   `max_wait = 2ms`, 4 workers) with **one request in flight**: a lone
-//!   request cannot fill the batch, so it pays the full coalescing
-//!   deadline before its flush. One iter = one request; `1/ns` is the
-//!   closed-loop single-client throughput.
-//! - `serve/batch8` — the same service with **8 requests in flight**: the
-//!   batch fills instantly and flushes without waiting, spreading work
-//!   over the replicas. One iter = 8 requests, so per-request cost is
-//!   `ns / 8` and the acceptance ratio is
-//!   `ns(single) / (ns(batch8) / 8) >= 3`.
-//! - `serve/nobatch` — `max_batch = 1`, one worker: batching disabled
-//!   entirely. The single-request *latency* floor, for reference; the
-//!   `single` arm shows what that latency costs once a coalescing server
-//!   is in front of it, and `batch8` shows the deadline being amortized
-//!   away under load.
+//! - `serve/inflight1_mb1` — no batching, no concurrency: the raw
+//!   single-request latency floor.
+//! - `serve/inflight1_mb8` — the production coalescing config with one
+//!   request in flight: a lone request cannot fill the batch, so it pays
+//!   the full `max_wait` deadline before its flush.
+//! - `serve/inflight8_mb1` — concurrent load with batching disabled:
+//!   requests spread over the workers but each is encoded alone.
+//! - `serve/inflight8_mb8` — concurrent load with coalescing: the batch
+//!   fills instantly and flushes without waiting. One iter = 8 requests,
+//!   so per-request cost is `ns / 8` and the amortization ratio is
+//!   `ns(inflight1_mb8) / (ns(inflight8_mb8) / 8)`.
+//!
+//! `serve/cached` re-runs the `inflight1_mb8` shape with the content-hash
+//! LRU enabled: after the first pass over the table set every request is a
+//! hit, so this arm tracks the cache short-circuit path.
+//!
+//! Every arm is annotated with `requests_per_iter` and the service's
+//! cumulative `cache_hits` / `cache_misses` counters at the end of the
+//! arm, so `BENCH_serve.json` records the cache behaviour alongside the
+//! timing and stays comparable across PRs.
 //!
 //! Run `cargo bench -p ntr-bench --bench serve -- --json BENCH_serve.json`
 //! to regenerate the perf baseline CI uploads.
@@ -80,77 +87,79 @@ fn requests(tables: &[Table]) -> Vec<ServeRequest> {
         .collect()
 }
 
+fn start_service(max_batch: usize, cache_bytes: usize) -> EmbeddingService {
+    let (_, pipeline, cfg) = fixture();
+    EmbeddingService::start(
+        pipeline,
+        ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            n_workers: 4,
+            cache_bytes,
+            model_config: Some(cfg),
+        },
+        ntr_obs::Obs::disabled(),
+    )
+}
+
+/// Runs one matrix arm against a fresh service and annotates the recorded
+/// measurement with the arm's request fan-out and cache counters.
+fn run_arm(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    reqs: &[ServeRequest],
+    name: &str,
+    in_flight: usize,
+    max_batch: usize,
+    cache_bytes: usize,
+) {
+    let service = start_service(max_batch, cache_bytes);
+    let handle = service.handle();
+    let mut i = 0usize;
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            if in_flight <= 1 {
+                let req = reqs[i % reqs.len()].clone();
+                i += 1;
+                black_box(handle.submit(req).recv().unwrap().unwrap());
+            } else {
+                let rxs: Vec<_> = reqs
+                    .iter()
+                    .cycle()
+                    .skip(i % reqs.len())
+                    .take(in_flight)
+                    .map(|r| handle.submit(r.clone()))
+                    .collect();
+                i += in_flight;
+                for rx in rxs {
+                    black_box(rx.recv().unwrap().unwrap());
+                }
+            }
+        })
+    });
+    let stats = service.stats();
+    group
+        .annotate("requests_per_iter", in_flight)
+        .annotate("cache_hits", stats.cache.hits)
+        .annotate("cache_misses", stats.cache.misses);
+    drop(handle);
+    service.shutdown();
+}
+
 fn bench_serve(c: &mut Criterion) {
     let (tables, _, _) = fixture();
     let reqs = requests(&tables);
     let mut group = c.benchmark_group("serve");
 
-    // Production config, two load patterns.
-    {
-        let (_, pipeline, cfg) = fixture();
-        let service = EmbeddingService::start(
-            pipeline,
-            ServeConfig {
-                max_batch: 8,
-                max_wait: Duration::from_millis(2),
-                n_workers: 4,
-                cache_bytes: 0,
-                model_config: Some(cfg),
-            },
-            ntr_obs::Obs::disabled(),
-        );
-        let handle = service.handle();
+    // The load × coalescing matrix, cache off: every request pays a real
+    // forward pass.
+    run_arm(&mut group, &reqs, "inflight1_mb1", 1, 1, 0);
+    run_arm(&mut group, &reqs, "inflight1_mb8", 1, 8, 0);
+    run_arm(&mut group, &reqs, "inflight8_mb1", 8, 1, 0);
+    run_arm(&mut group, &reqs, "inflight8_mb8", 8, 8, 0);
 
-        // One request in flight: pays the coalescing deadline alone.
-        let mut i = 0usize;
-        group.bench_function("single", |b| {
-            b.iter(|| {
-                let req = reqs[i % reqs.len()].clone();
-                i += 1;
-                black_box(handle.submit(req).recv().unwrap().unwrap())
-            })
-        });
-
-        // Eight requests in flight: the batch fills and flushes at once.
-        group.bench_function("batch8", |b| {
-            b.iter(|| {
-                let rxs: Vec<_> = reqs.iter().map(|r| handle.submit(r.clone())).collect();
-                for rx in rxs {
-                    black_box(rx.recv().unwrap().unwrap());
-                }
-            })
-        });
-
-        drop(handle);
-        service.shutdown();
-    }
-
-    // Batching disabled: the raw single-request latency floor.
-    {
-        let (_, pipeline, cfg) = fixture();
-        let service = EmbeddingService::start(
-            pipeline,
-            ServeConfig {
-                max_batch: 1,
-                max_wait: Duration::from_millis(2),
-                n_workers: 1,
-                cache_bytes: 0,
-                model_config: Some(cfg),
-            },
-            ntr_obs::Obs::disabled(),
-        );
-        let handle = service.handle();
-        let mut i = 0usize;
-        group.bench_function("nobatch", |b| {
-            b.iter(|| {
-                let req = reqs[i % reqs.len()].clone();
-                i += 1;
-                black_box(handle.submit(req).recv().unwrap().unwrap())
-            })
-        });
-        drop(handle);
-        service.shutdown();
-    }
+    // Cache arm: same shape as inflight1_mb8 but with the LRU enabled; the
+    // 8-table working set fits, so steady state is all hits.
+    run_arm(&mut group, &reqs, "cached", 1, 8, 32 << 20);
 
     group.finish();
 }

@@ -1,0 +1,145 @@
+//! Thread-scaling and SIMD regression gate over `BENCH_tensor.json`.
+//!
+//! Fails (exit 1) when the baseline shows multithreading *losing*: for
+//! each gated op, the 4-thread measurement must not exceed the 1-thread
+//! measurement by more than a tolerance factor, checked independently for
+//! the scalar and (when present) SIMD arms. On multi-core hosts this gate
+//! demands a genuine win ratio; on single-core CI runners wall-clock
+//! parity is the physical ceiling, so the default tolerance only forbids
+//! paying dispatch overhead for negative return (the PR-1 failure mode:
+//! matmul/nn@64 was 4× *slower* at 4 threads).
+//!
+//! When the baseline contains SIMD-on entries, the gate additionally
+//! requires SIMD to beat scalar single-threaded on the two headline
+//! kernels (matmul@256, add_assign@1M).
+//!
+//! ```text
+//! cargo bench -p ntr-bench --features simd --bench tensor_ops -- --json
+//! cargo run -p ntr-bench --bin benchgate            # reads ./BENCH_tensor.json
+//! cargo run -p ntr-bench --bin benchgate -- path/to/BENCH_tensor.json
+//! ```
+//!
+//! `NTR_BENCH_TOLERANCE` overrides the scaling tolerance factor
+//! (default 1.20: up to 20% dispatch/contention overhead at 4 threads is
+//! tolerated on a timesliced single-core runner, anything beyond fails —
+//! the PR-1 regressions this gate exists for were 1.1×–4.1×).
+
+use criterion::{read_baseline_entries, Entry};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// `(op, shape)` pairs gated on 4-thread vs 1-thread scaling.
+const SCALING_GATES: &[(&str, &str)] = &[
+    ("matmul/nn", "256"),
+    ("matmul/nt", "256"),
+    ("matmul/tn", "256"),
+    ("matmul/nn", "64"),
+    ("elementwise/axpy", "1048576"),
+    ("elementwise/add_assign", "1048576"),
+    ("elementwise/par_map", "1048576"),
+    ("softmax_rows", "256"),
+    ("layernorm", "256x64"),
+];
+
+/// `(op, shape)` pairs where SIMD-on must beat scalar at 1 thread.
+const SIMD_GATES: &[(&str, &str)] = &[("matmul/nn", "256"), ("elementwise/add_assign", "1048576")];
+
+fn find(entries: &[Entry], op: &str, shape: &str, threads: usize, simd: bool) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.op == op && e.shape == shape && e.threads == threads && e.simd == simd)
+        .map(|e| e.ns_per_iter)
+}
+
+fn tolerance() -> f64 {
+    std::env::var("NTR_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|&t| t >= 1.0)
+        .unwrap_or(1.2)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_tensor.json"));
+    let entries = read_baseline_entries(&path);
+    if entries.is_empty() {
+        eprintln!("benchgate: no entries in {}", path.display());
+        return ExitCode::FAILURE;
+    }
+    let tol = tolerance();
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+
+    for &(op, shape) in SCALING_GATES {
+        for simd in [false, true] {
+            let arm = if simd { "simd" } else { "scalar" };
+            let (Some(t1), Some(t4)) = (
+                find(&entries, op, shape, 1, simd),
+                find(&entries, op, shape, 4, simd),
+            ) else {
+                // SIMD arms are absent on scalar-only baselines; a missing
+                // *scalar* arm for a gated op means the sweep didn't run.
+                if !simd {
+                    eprintln!("benchgate: MISSING {op}/{shape} [{arm}] at threads 1 and 4");
+                    failures += 1;
+                }
+                continue;
+            };
+            checks += 1;
+            let ratio = t4 / t1;
+            if ratio > tol {
+                eprintln!(
+                    "benchgate: FAIL {op}/{shape} [{arm}]: 4-thread {t4:.0} ns vs 1-thread \
+                     {t1:.0} ns (x{ratio:.2} > x{tol:.2}) — threads make this op slower"
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "benchgate: ok   {op}/{shape} [{arm}]: 4t/1t = x{ratio:.2} (limit x{tol:.2})"
+                );
+            }
+        }
+    }
+
+    let have_simd = entries.iter().any(|e| e.simd);
+    if have_simd {
+        for &(op, shape) in SIMD_GATES {
+            let (Some(scalar), Some(simd)) = (
+                find(&entries, op, shape, 1, false),
+                find(&entries, op, shape, 1, true),
+            ) else {
+                eprintln!("benchgate: MISSING simd-vs-scalar pair for {op}/{shape} at 1 thread");
+                failures += 1;
+                continue;
+            };
+            checks += 1;
+            // 5% headroom: memory-bound kernels (add_assign streams 12 B
+            // per lane-op) win by single-digit percents, within run noise.
+            if simd > scalar * 1.05 {
+                eprintln!(
+                    "benchgate: FAIL {op}/{shape}: simd {simd:.0} ns > scalar {scalar:.0} ns \
+                     at 1 thread — SIMD must win single-threaded"
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "benchgate: ok   {op}/{shape}: simd/scalar = x{:.2} at 1 thread",
+                    simd / scalar
+                );
+            }
+        }
+    } else {
+        println!("benchgate: baseline has no SIMD arms; skipping SIMD-vs-scalar checks");
+    }
+
+    if failures > 0 {
+        eprintln!("benchgate: {failures} failure(s) across {checks} check(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("benchgate: all {checks} checks passed");
+        ExitCode::SUCCESS
+    }
+}

@@ -15,21 +15,14 @@
 use crate::init::SeededInit;
 use crate::linear::Linear;
 use crate::{Layer, Param};
-use ntr_tensor::{par, Tensor};
-
-/// Heads run on separate threads when the per-head score work
-/// (`n_q · n_k · d_head`) reaches this; below it the spawn cost dominates.
-const PAR_MIN_HEAD_WORK: usize = 1 << 15;
+use ntr_tensor::{grain, par, Tensor};
 
 /// Thread count for fanning `n_heads` heads of `work` flops each across the
-/// pool. Heads write disjoint column slices and each head's math is identical
-/// to the sequential version, so results don't depend on this choice.
+/// pool, decided by the grain cost model on the total score work. Heads
+/// write disjoint column slices and each head's math is identical to the
+/// sequential version, so results don't depend on this choice.
 fn head_threads(n_heads: usize, work: usize) -> usize {
-    if n_heads <= 1 || work < PAR_MIN_HEAD_WORK {
-        1
-    } else {
-        par::max_threads()
-    }
+    grain::threads_for_units(grain::Work::Madds(work.saturating_mul(n_heads)), n_heads, 1)
 }
 
 /// Additive attention mask(s), broadcast over heads or specified per head.

@@ -1,7 +1,7 @@
 //! Layer normalization over the feature dimension, with learned scale/shift.
 
 use crate::{Layer, Param};
-use ntr_tensor::Tensor;
+use ntr_tensor::{simd, Tensor};
 
 /// LayerNorm: per-row normalization of a `[n, d]` tensor followed by a
 /// learned affine transform `γ·x̂ + β`.
@@ -60,22 +60,20 @@ impl LayerNorm {
         let mut xhat = Tensor::zeros(&[n, d]);
         let mut out = Tensor::zeros(&[n, d]);
         let mut inv_std = Vec::with_capacity(n);
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        // SIMD captured once for the whole call; the scalar fallbacks of
+        // these helpers replicate the original loops' operation order, so
+        // default builds stay bit-identical to the pre-SIMD kernel.
+        let on = simd::active();
         for r in 0..n {
             let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let mean = simd::sum(on, row) / d as f32;
+            let var = simd::sq_dev_sum(on, row, mean) / d as f32;
             let istd = 1.0 / (var + self.eps).sqrt();
             inv_std.push(istd);
-            let xh = xhat.row_mut(r);
-            for (i, &v) in row.iter().enumerate() {
-                xh[i] = (v - mean) * istd;
-            }
-            let o = out.row_mut(r);
-            let gamma = self.gamma.value.data();
-            let beta = self.beta.value.data();
-            for (i, oi) in o.iter_mut().enumerate() {
-                *oi = gamma[i] * xh[i] + beta[i];
-            }
+            simd::shift_scale(on, xhat.row_mut(r), row, mean, istd);
+            simd::affine(on, out.row_mut(r), xhat.row(r), gamma, beta);
         }
         (out, xhat, inv_std)
     }
@@ -100,25 +98,20 @@ impl LayerNorm {
         self.gamma.accumulate(&dy.mul(&xhat).sum_rows());
         self.beta.accumulate(&dy.sum_rows());
 
-        // Input grad.
+        // Input grad. (Same SIMD policy as `compute`: scalar fallbacks are
+        // the original loops, the fused pass included.)
         let mut dx = Tensor::zeros(&[n, d]);
         let gamma = self.gamma.value.data();
+        let on = simd::active();
+        let mut dyh = vec![0.0f32; d];
         for (r, &istd) in inv_std.iter().enumerate().take(n) {
             let dyr = dy.row(r);
             let xhr = xhat.row(r);
-            let dyh: Vec<f32> = dyr.iter().zip(gamma).map(|(&dy, &g)| dy * g).collect();
-            let mut mean_dyh = 0.0;
-            let mut mean_dyh_xh = 0.0;
-            for i in 0..d {
-                mean_dyh += dyh[i];
-                mean_dyh_xh += dyh[i] * xhr[i];
-            }
-            mean_dyh /= d as f32;
-            mean_dyh_xh /= d as f32;
-            let dxr = dx.row_mut(r);
-            for i in 0..d {
-                dxr[i] = istd * (dyh[i] - mean_dyh - xhr[i] * mean_dyh_xh);
-            }
+            simd::mul_into(on, &mut dyh, dyr, gamma);
+            let (sum_dyh, dot_dyh_xh) = simd::sum_and_dot(on, &dyh, xhr);
+            let mean_dyh = sum_dyh / d as f32;
+            let mean_dyh_xh = dot_dyh_xh / d as f32;
+            simd::ln_dx_row(on, dx.row_mut(r), &dyh, xhr, istd, mean_dyh, mean_dyh_xh);
         }
         dx
     }

@@ -1,12 +1,8 @@
 //! Optimizers and learning-rate schedules.
 
 use crate::Param;
-use ntr_tensor::{par, Tensor};
+use ntr_tensor::{grain, par, Tensor};
 use std::collections::HashMap;
-
-/// Parameters smaller than this update single-threaded; below it the spawn
-/// cost of `std::thread::scope` outweighs the element-wise work.
-const PAR_MIN_PARAM_ELEMS: usize = 1 << 15;
 
 /// AdamW: Adam with decoupled weight decay and bias correction.
 ///
@@ -151,11 +147,9 @@ impl AdamStep<'_> {
         let bc2 = 1.0 - a.beta2.powi(a.t as i32);
         let (lr, beta1, beta2, eps, wd) = (a.lr, a.beta1, a.beta2, a.eps, a.weight_decay);
         let n = p.value.numel();
-        let threads = if n < PAR_MIN_PARAM_ELEMS {
-            1
-        } else {
-            par::max_threads()
-        };
+        // Priced as transcendental work: the per-element sqrt + divides
+        // dominate, not the four-buffer memory traffic.
+        let threads = grain::threads_for(grain::Work::Transcendental(n));
         // The update is purely element-wise, so any chunking of the four
         // buffers produces bit-identical results.
         let Moments { m, v } = entry;

@@ -7,17 +7,25 @@
 //!
 //! 1. **Correctness** — every numerical kernel here is exercised by
 //!    finite-difference gradient checks in `ntr-nn`, so the math must be
-//!    boring and auditable. No `unsafe`, no clever layout tricks.
+//!    boring and auditable. `unsafe` is confined to two audited leaf
+//!    modules: the pointer smuggling inside the worker pool dispatchers
+//!    ([`par`]/`workpool`) and the `core::arch` intrinsics in [`simd`].
 //! 2. **Predictability** — tensors are always contiguous, row-major `f32`
 //!    buffers. Shape errors are programmer errors and panic with a clear
 //!    message rather than threading `Result` through hot math.
 //! 3. **Speed without dependencies** — the matmul family is cache-blocked,
-//!    operand-packed, and multithreaded over a [`std::thread::scope`]-based
-//!    pool in [`par`] (no rayon, no BLAS, still no `unsafe`). Parallel
-//!    kernels partition output rows into disjoint chunks whose per-row
+//!    operand-packed, and multithreaded over a persistent pool of parked
+//!    workers in [`par`] (no rayon, no BLAS). The [`grain`] cost model
+//!    refuses to fan work out unless every chunk amortizes a dispatch, so
+//!    adding threads never makes a kernel slower. Parallel kernels
+//!    partition output rows into disjoint chunks whose per-row
 //!    accumulation order never changes, so results are **bit-identical for
 //!    any thread count** (`NTR_THREADS=1` reproduces multithreaded numbers
-//!    exactly). The original simple kernels survive in [`naive`] as the
+//!    exactly). With `--features simd` the hot loops switch to explicit
+//!    AVX2/FMA micro-kernels ([`simd`]; element-wise kernels stay
+//!    bit-identical to scalar, reductions and the FMA GEMM are
+//!    tolerance-bounded — and still bit-identical across thread counts).
+//!    The original simple kernels survive in [`naive`] as the
 //!    property-tested reference and the small-size fast path, and benchmarks
 //!    in `ntr-bench` keep us honest.
 //!
@@ -40,12 +48,15 @@
 //! ```
 
 pub mod faults;
+pub mod grain;
 pub mod io;
 pub mod naive;
 mod ops;
 pub mod par;
 mod reduce;
+pub mod simd;
 mod tensor;
+mod workpool;
 
 pub use tensor::Tensor;
 

@@ -19,20 +19,25 @@
 //! Output rows are partitioned across threads via [`crate::par`]; every row's
 //! floating-point accumulation order is the same in the 4-row and tail paths
 //! and independent of the partition, so results are **bit-identical for any
-//! thread count**. Products below [`NAIVE_MAX_FLOPS`] take the original
-//! simple loops in [`crate::naive`] instead — at that size packing and
-//! thread-spawn overhead would cost more than they save.
+//! thread count**. How wide to partition is decided by the [`crate::grain`]
+//! cost model (serial below the grain threshold, capped fan-out above it).
+//! Products below [`NAIVE_MAX_FLOPS`] take the original simple loops in
+//! [`crate::naive`] instead — at that size packing overhead would cost more
+//! than it saves.
+//!
+//! With the `simd` feature active ([`crate::simd::active`], captured once
+//! per kernel call), the element-wise kernels and the GEMM core dispatch to
+//! explicit AVX2/FMA micro-kernels. Element-wise SIMD is bit-identical to
+//! scalar; the FMA GEMM is tolerance-bounded against scalar but still
+//! bit-identical across thread counts (per-element accumulation stays
+//! k-sequential under any partition).
 
-use crate::{par, Tensor};
+use crate::{grain, par, simd, Tensor};
 
 /// `m·k·n` at or below this uses the [`crate::naive`] kernels (32³).
 const NAIVE_MAX_FLOPS: usize = 32 * 32 * 32;
-/// `m·k·n` below this stays single-threaded even when a pool is available (64³).
-const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 /// Don't give a GEMM worker thread fewer output rows than this.
 const MIN_ROWS_PER_THREAD: usize = 8;
-/// Element-wise ops shorter than this stay single-threaded.
-const PAR_MIN_ELEMS: usize = 1 << 16;
 /// k-panel length: `KC · n` floats of `B` stay cache-hot across row blocks.
 const KC: usize = 256;
 /// Output rows updated per pass through a k-panel (register block height).
@@ -76,7 +81,7 @@ impl Tensor {
     pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let src = self.data();
         let mut out = vec![0.0f32; src.len()];
-        par::for_chunks(&mut out, 1, elem_threads(src.len()), |start, chunk| {
+        par::for_chunks(&mut out, 1, elem_threads(src.len(), 8), |start, chunk| {
             let end = start + chunk.len();
             for (o, &x) in chunk.iter_mut().zip(&src[start..end]) {
                 *o = f(x);
@@ -88,7 +93,7 @@ impl Tensor {
     /// In-place [`map`](Self::map), avoiding the output allocation. Used by
     /// activation backward passes and other train-loop element-wise work.
     pub fn map_mut(&mut self, f: impl Fn(f32) -> f32 + Sync) {
-        let threads = elem_threads(self.numel());
+        let threads = elem_threads(self.numel(), 8);
         par::for_chunks(self.data_mut(), 1, threads, |_, chunk| {
             for x in chunk.iter_mut() {
                 *x = f(*x);
@@ -100,36 +105,48 @@ impl Tensor {
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
         let o = other.data();
-        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
-            let end = start + chunk.len();
-            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
-                *a += b;
-            }
-        });
+        let on = simd::active();
+        par::for_chunks(
+            self.data_mut(),
+            1,
+            elem_threads(o.len(), 12),
+            |start, chunk| {
+                let end = start + chunk.len();
+                simd::add_assign(on, chunk, &o[start..end]);
+            },
+        );
     }
 
     /// In-place Hadamard product `self *= other`.
     pub fn mul_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "mul_assign: shape mismatch");
         let o = other.data();
-        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
-            let end = start + chunk.len();
-            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
-                *a *= b;
-            }
-        });
+        let on = simd::active();
+        par::for_chunks(
+            self.data_mut(),
+            1,
+            elem_threads(o.len(), 12),
+            |start, chunk| {
+                let end = start + chunk.len();
+                simd::mul_assign(on, chunk, &o[start..end]);
+            },
+        );
     }
 
     /// In-place `self += s * other`, the AXPY primitive used by optimizers.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
         let o = other.data();
-        par::for_chunks(self.data_mut(), 1, elem_threads(o.len()), |start, chunk| {
-            let end = start + chunk.len();
-            for (a, &b) in chunk.iter_mut().zip(&o[start..end]) {
-                *a += s * b;
-            }
-        });
+        let on = simd::active();
+        par::for_chunks(
+            self.data_mut(),
+            1,
+            elem_threads(o.len(), 12),
+            |start, chunk| {
+                let end = start + chunk.len();
+                simd::axpy(on, chunk, s, &o[start..end]);
+            },
+        );
     }
 
     /// Adds a 1-D bias of length `cols` to every row of a 2-D tensor.
@@ -145,7 +162,7 @@ impl Tensor {
         let cols = self.dim(1);
         let mut out = self.clone();
         let b = bias.data();
-        let threads = elem_threads(out.numel());
+        let threads = elem_threads(out.numel(), 12);
         par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
             for row in chunk.chunks_mut(cols.max(1)) {
                 for (x, &bv) in row.iter_mut().zip(b) {
@@ -264,22 +281,17 @@ pub(crate) fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
     (t.dim(0), t.dim(1))
 }
 
-/// Thread count for a flat element-wise op over `len` floats.
-fn elem_threads(len: usize) -> usize {
-    if len < PAR_MIN_ELEMS {
-        1
-    } else {
-        par::max_threads()
-    }
+/// Thread count for a flat element-wise op over `len` floats touching
+/// `bytes_per_elem` bytes of memory per element (reads + writes).
+fn elem_threads(len: usize, bytes_per_elem: usize) -> usize {
+    grain::threads_for(grain::Work::StreamBytes(len.saturating_mul(bytes_per_elem)))
 }
 
-/// Thread count for an `m·k·n` GEMM with `m` output rows.
+/// Thread count for an `m·k·n` GEMM with `m` output rows: grain-capped
+/// fan-out, never fewer than [`MIN_ROWS_PER_THREAD`] rows per worker.
 fn gemm_threads(m: usize, k: usize, n: usize) -> usize {
-    if m.saturating_mul(k).saturating_mul(n) < PAR_MIN_FLOPS {
-        1
-    } else {
-        par::max_threads().min(m / MIN_ROWS_PER_THREAD).max(1)
-    }
+    let madds = m.saturating_mul(k).saturating_mul(n);
+    grain::threads_for_units(grain::Work::Madds(madds), m, MIN_ROWS_PER_THREAD)
 }
 
 /// Row-major transpose: `src: [rows, cols]` → returned `[cols, rows]`.
@@ -310,9 +322,17 @@ fn gemm_into(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize
     debug_assert_eq!(out.len(), m * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    // Captured on the calling thread: the per-thread SIMD veto must govern
+    // the chunks that pool workers run on its behalf.
+    let on = simd::active() && simd::has_gemm();
     par::for_chunks(out, n.max(1), gemm_threads(m, k, n), |r0, chunk| {
         let rows = chunk.len() / n.max(1);
-        gemm_block(chunk, &a[r0 * k..(r0 + rows) * k], b, k, n);
+        let a_rows = &a[r0 * k..(r0 + rows) * k];
+        if on {
+            simd::gemm_block(chunk, a_rows, b, k, n);
+        } else {
+            gemm_block(chunk, a_rows, b, k, n);
+        }
     });
 }
 
@@ -428,21 +448,9 @@ fn micro_kernel_tail(
 
 #[inline]
 pub(crate) fn dot(a: &[f32], b: &[f32]) -> f32 {
-    // Manual 4-way unroll: reliable vectorization without unsafe.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
-    }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
-    }
-    s
+    // Scalar path is the crate's original 4-way unroll (in `simd`);
+    // AVX2/FMA when active.
+    simd::dot(simd::active(), a, b)
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
-//! Dependency-free data parallelism built on `std::thread::scope`.
+//! Dependency-free data parallelism on a persistent worker pool.
 //!
 //! Every parallel kernel in this crate partitions its *output* buffer into
 //! disjoint `&mut` chunks along a unit boundary (a matrix row, or a single
-//! element for flat element-wise work) and hands each chunk to one scoped
-//! thread. Because each output unit is computed by exactly one thread using
+//! element for flat element-wise work) and hands each chunk to one pool
+//! worker. Because each output unit is computed by exactly one thread using
 //! the same sequential instruction order as the single-threaded kernel, the
 //! results are **bit-identical regardless of thread count** — `NTR_THREADS=1`
 //! reproduces the multi-threaded numbers exactly, and vice versa.
@@ -14,29 +14,34 @@
 //! 2. the `NTR_THREADS` environment variable (read once per process),
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! There is no persistent pool: threads are spawned per call via
-//! [`std::thread::scope`], which keeps the module free of `unsafe`, of
-//! global mutable state, and of shutdown ordering concerns. Spawn cost is
-//! a few microseconds per thread, so callers gate parallelism behind a
-//! work-size threshold and fall back to running on the calling thread.
+//! Workers are spawned lazily on first parallel dispatch and then *parked*
+//! (condvar wait) between dispatches — see [`crate::workpool`]. PR 1 spawned
+//! fresh threads per call via [`std::thread::scope`]; measured at ~25µs per
+//! spawned thread, that overhead inverted the speedup on every kernel under
+//! a few hundred microseconds (`BENCH_tensor.json`, PR 1: matmul@64 went
+//! 24.6µs → 100.7µs at 4 threads). Waking a parked worker costs ~1–2µs, two
+//! orders of magnitude less, so callers can afford much finer grains — the
+//! thresholds themselves live in [`crate::grain`].
 //!
 //! ## Panic isolation
 //!
 //! A panicking worker must not abort the process or poison later
 //! dispatches. Each kernel has a `try_` variant ([`try_for_chunks`],
 //! [`try_for_zip3_mut`], [`try_map_tasks`]) that catches worker panics:
-//! every spawned handle is joined explicitly (so the scope always drains
-//! deterministically — no worker is left running, no scope re-panic), the
-//! calling thread's own chunk runs under [`std::panic::catch_unwind`], and
-//! the caller receives `Err(`[`PoolPanic`]`)` naming the lowest-index
-//! panicking worker. Because dispatches spawn fresh scoped threads, the
-//! "pool" is trivially reusable after an error. The infallible variants
+//! the dispatch always drains deterministically (every chunk finishes or
+//! unwinds before the call returns; the pool workers themselves survive),
+//! the calling thread's own chunk runs under [`std::panic::catch_unwind`],
+//! and the caller receives `Err(`[`PoolPanic`]`)` naming the lowest-index
+//! panicking worker. A panic is caught in the worker's run loop, so the
+//! pool is immediately reusable after an error. The infallible variants
 //! delegate to the `try_` forms and re-raise the panic on the calling
 //! thread, preserving their original contract.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
+
+use crate::workpool;
 
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
@@ -104,7 +109,7 @@ impl std::fmt::Display for PoolPanic {
 impl std::error::Error for PoolPanic {}
 
 /// Stringifies a caught panic payload.
-fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     match payload.downcast::<String>() {
         Ok(s) => *s,
         Err(p) => match p.downcast::<&'static str>() {
@@ -154,14 +159,86 @@ fn note_outcome<T>(armed: bool, r: &Result<T, PoolPanic>) {
     }
 }
 
+/// The single-chunk path shared by every dispatcher: chunk 0 runs on the
+/// calling thread (taking any injected fault) with no pool interaction.
+fn dispatch_single(inject: bool, armed: bool, body: impl FnOnce()) -> Result<(), PoolPanic> {
+    if armed {
+        ntr_obs::pool::record_dispatch(1);
+    }
+    let r = run_caught(0, || {
+        maybe_inject(inject);
+        timed(armed, 0, body)
+    });
+    note_outcome(armed, &r);
+    r
+}
+
+/// The fan-out path shared by every dispatcher: chunks `0..t-1` go to pool
+/// workers, chunk `t-1` runs on the calling thread, and chunk 0 takes any
+/// injected fault (it always executes on a genuinely separate pool thread
+/// here). Returns after every chunk finished — the deterministic drain.
+fn dispatch_multi(
+    t: usize,
+    inject: bool,
+    armed: bool,
+    body: &(dyn Fn(usize) + Sync),
+) -> Result<(), PoolPanic> {
+    debug_assert!(t >= 2);
+    if armed {
+        ntr_obs::pool::record_dispatch(t as u64);
+    }
+    // Pool workers inherit the dispatcher's per-thread SIMD veto: kernels
+    // invoked *inside* a chunk (map_tasks bodies) re-read `simd::active()`
+    // on the worker thread, so a `force_scalar` scope on the caller must
+    // extend to them.
+    let veto = crate::simd::vetoed();
+    let task = |c: usize| {
+        maybe_inject(inject && c == 0);
+        if veto {
+            crate::simd::force_scalar(|| timed(armed, c, || body(c)));
+        } else {
+            timed(armed, c, || body(c));
+        }
+    };
+    let r = match workpool::run(t, &task) {
+        Some((worker, message)) => Err(PoolPanic { worker, message }),
+        None => Ok(()),
+    };
+    note_outcome(armed, &r);
+    r
+}
+
+/// A raw mutable base pointer smuggled into chunk closures. Chunks are
+/// disjoint by construction, so concurrent writes never alias; the pool's
+/// completion latch keeps the pointee alive for the whole dispatch.
+#[derive(Clone, Copy)]
+struct MutPtr(*mut f32);
+unsafe impl Send for MutPtr {}
+unsafe impl Sync for MutPtr {}
+
+/// Shared (read-only) counterpart of [`MutPtr`].
+#[derive(Clone, Copy)]
+struct ConstPtr(*const f32);
+unsafe impl Send for ConstPtr {}
+unsafe impl Sync for ConstPtr {}
+
+/// Near-even partition of `units` units into `t` chunks: chunk `c` starts
+/// at unit `c·base + min(c, extra)` and spans `base + (c < extra)` units.
+#[inline]
+fn chunk_bounds(units: usize, t: usize, c: usize) -> (usize, usize) {
+    let base = units / t;
+    let extra = units % t;
+    (c * base + c.min(extra), base + usize::from(c < extra))
+}
+
 /// Splits `data` into up to `threads` contiguous chunks on `unit` boundaries
 /// and runs `f(start_unit_index, chunk)` on each, in parallel.
 ///
 /// `unit` is the indivisible span in elements (a row length, or 1 for flat
 /// element-wise work); chunks always hold a whole number of units. With one
-/// thread (or one unit) `f` runs on the calling thread with no spawn at all.
-/// The final chunk also runs on the calling thread, so `threads = 2` spawns
-/// a single worker.
+/// thread (or one unit) `f` runs on the calling thread with no dispatch at
+/// all. The final chunk also runs on the calling thread, so `threads = 2`
+/// occupies a single pool worker.
 ///
 /// Panics on the calling thread when a worker panicked; see
 /// [`try_for_chunks`] for the non-panicking form.
@@ -177,8 +254,8 @@ pub fn for_chunks(
 }
 
 /// [`for_chunks`] with panic isolation: a panicking worker is caught, every
-/// other worker runs to completion and is joined (deterministic drain), and
-/// the first panic by worker index is returned as `Err`.
+/// other worker runs to completion (deterministic drain), and the first
+/// panic by worker index is returned as `Err`.
 pub fn try_for_chunks(
     data: &mut [f32],
     unit: usize,
@@ -195,66 +272,24 @@ pub fn try_for_chunks(
     let armed = ntr_obs::pool::enabled();
     let units = data.len() / unit;
     let t = threads.clamp(1, units.max(1));
-    if armed {
-        ntr_obs::pool::record_dispatch(t as u64);
-    }
     if t <= 1 {
-        let r = run_caught(0, || {
-            maybe_inject(inject);
-            timed(armed, 0, || f(0, data))
-        });
-        note_outcome(armed, &r);
-        return r;
+        return dispatch_single(inject, armed, || f(0, data));
     }
-    // Near-even split: the first `extra` chunks get one additional unit.
-    let base = units / t;
-    let extra = units % t;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(t - 1);
-        let mut rest = data;
-        let mut start = 0usize;
-        let mut mine = Ok(());
-        for c in 0..t {
-            let take = (base + usize::from(c < extra)) * unit;
-            let (chunk, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let begin = start;
-            start += take / unit;
-            let f = &f;
-            if c + 1 == t {
-                // Last chunk runs here: the calling thread does its share
-                // instead of blocking in `scope` while workers finish.
-                mine = run_caught(c, || timed(armed, c, || f(begin, chunk)));
-            } else {
-                // Worker 0 (a genuinely spawned thread) takes any injected
-                // fault.
-                let designated = inject && c == 0;
-                handles.push(scope.spawn(move || {
-                    maybe_inject(designated);
-                    timed(armed, c, || f(begin, chunk))
-                }));
-            }
-        }
-        // Join every handle explicitly: the scope never re-panics, and all
-        // workers drain before we return. First panic by worker index wins.
-        let mut first: Option<PoolPanic> = None;
-        for (c, h) in handles.into_iter().enumerate() {
-            if let Err(payload) = h.join() {
-                if first.is_none() {
-                    first = Some(PoolPanic {
-                        worker: c,
-                        message: payload_message(payload),
-                    });
-                }
-            }
-        }
-        let r = match (first, mine) {
-            (Some(p), _) => Err(p),
-            (None, mine) => mine,
+    let base = MutPtr(data.as_mut_ptr());
+    let body = |c: usize| {
+        // Capture the wrapper, not its raw-pointer field (edition-2021
+        // disjoint capture would otherwise grab the non-Sync `*mut`).
+        #[allow(clippy::redundant_locals)]
+        let base = base;
+        let (start_unit, n_units) = chunk_bounds(units, t, c);
+        // SAFETY: chunks are disjoint unit ranges of `data`, which outlives
+        // the dispatch (see `dispatch_multi`).
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.0.add(start_unit * unit), n_units * unit)
         };
-        note_outcome(armed, &r);
-        r
-    })
+        f(start_unit, chunk);
+    };
+    dispatch_multi(t, inject, armed, &body)
 }
 
 /// Splits three mutable slices and one shared slice of equal length at
@@ -294,70 +329,38 @@ pub fn try_for_zip3_mut(
     let inject = crate::faults::take_armed_worker_panic();
     let armed = ntr_obs::pool::enabled();
     let t = threads.clamp(1, len.max(1));
-    if armed {
-        ntr_obs::pool::record_dispatch(t as u64);
-    }
     if t <= 1 {
-        let r = run_caught(0, || {
-            maybe_inject(inject);
-            timed(armed, 0, || f(w, m, v, g))
-        });
-        note_outcome(armed, &r);
-        return r;
+        return dispatch_single(inject, armed, || f(w, m, v, g));
     }
-    let base = len / t;
-    let extra = len % t;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(t - 1);
-        let (mut rw, mut rm, mut rv, mut rg) = (w, m, v, g);
-        let mut mine = Ok(());
-        for c in 0..t {
-            let take = base + usize::from(c < extra);
-            let (cw, tw) = rw.split_at_mut(take);
-            let (cm, tm) = rm.split_at_mut(take);
-            let (cv, tv) = rv.split_at_mut(take);
-            let (cg, tg) = rg.split_at(take);
-            rw = tw;
-            rm = tm;
-            rv = tv;
-            rg = tg;
-            let f = &f;
-            if c + 1 == t {
-                mine = run_caught(c, || timed(armed, c, || f(cw, cm, cv, cg)));
-            } else {
-                let designated = inject && c == 0;
-                handles.push(scope.spawn(move || {
-                    maybe_inject(designated);
-                    timed(armed, c, || f(cw, cm, cv, cg))
-                }));
-            }
+    let (pw, pm, pv) = (
+        MutPtr(w.as_mut_ptr()),
+        MutPtr(m.as_mut_ptr()),
+        MutPtr(v.as_mut_ptr()),
+    );
+    let pg = ConstPtr(g.as_ptr());
+    let body = |c: usize| {
+        // See `try_for_chunks`: keep the wrappers, not their fields.
+        let (pw, pm, pv, pg) = (pw, pm, pv, pg);
+        let (start, n) = chunk_bounds(len, t, c);
+        // SAFETY: disjoint element ranges of four live, equal-length slices.
+        unsafe {
+            f(
+                std::slice::from_raw_parts_mut(pw.0.add(start), n),
+                std::slice::from_raw_parts_mut(pm.0.add(start), n),
+                std::slice::from_raw_parts_mut(pv.0.add(start), n),
+                std::slice::from_raw_parts(pg.0.add(start), n),
+            )
         }
-        let mut first: Option<PoolPanic> = None;
-        for (c, h) in handles.into_iter().enumerate() {
-            if let Err(payload) = h.join() {
-                if first.is_none() {
-                    first = Some(PoolPanic {
-                        worker: c,
-                        message: payload_message(payload),
-                    });
-                }
-            }
-        }
-        let r = match (first, mine) {
-            (Some(p), _) => Err(p),
-            (None, mine) => mine,
-        };
-        note_outcome(armed, &r);
-        r
-    })
+    };
+    dispatch_multi(t, inject, armed, &body)
 }
 
-/// Runs `f(0..n)` across up to `threads` scoped threads and returns the
+/// Runs `f(0..n)` across up to `threads` pool workers and returns the
 /// results in index order.
 ///
 /// Used for coarse task parallelism (e.g. attention heads). Each worker's
 /// [`max_threads`] is scaled down by the worker count so kernels invoked
-/// inside `f` don't oversubscribe the machine with nested spawns.
+/// inside `f` don't oversubscribe the machine with nested dispatches.
 pub fn map_tasks<T: Send>(n: usize, threads: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     match try_map_tasks(n, threads, f) {
         Ok(out) => out,
@@ -375,75 +378,39 @@ pub fn try_map_tasks<T: Send>(
     let armed = ntr_obs::pool::enabled();
     let t = threads.clamp(1, n.max(1));
     if t <= 1 || n <= 1 {
-        if armed {
-            ntr_obs::pool::record_dispatch(1);
-        }
         let mut out = Vec::with_capacity(n);
-        let r = run_caught(0, || {
-            maybe_inject(inject);
-            timed(armed, 0, || out.extend((0..n).map(&f)));
-        });
-        note_outcome(armed, &r);
-        r?;
+        dispatch_single(inject, armed, || out.extend((0..n).map(&f)))?;
         return Ok(out);
-    }
-    if armed {
-        ntr_obs::pool::record_dispatch(t as u64);
     }
     let inner = (max_threads() / t).max(1);
     let mut out: Vec<Option<T>> = Vec::new();
     out.resize_with(n, || None);
-    let result = {
-        let mut rest = &mut out[..];
-        let base = n / t;
-        let extra = n % t;
-        let mut start = 0usize;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(t - 1);
-            let mut mine = Ok(());
-            for c in 0..t {
-                let take = base + usize::from(c < extra);
-                let (slots, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let begin = start;
-                start += take;
-                let f = &f;
-                let designated = inject && c == 0;
-                let run = move || {
-                    maybe_inject(designated);
-                    timed(armed, c, || {
-                        with_threads(inner, || {
-                            for (off, slot) in slots.iter_mut().enumerate() {
-                                *slot = Some(f(begin + off));
-                            }
-                        })
-                    })
-                };
-                if c + 1 == t {
-                    mine = run_caught(c, run);
-                } else {
-                    handles.push(scope.spawn(run));
-                }
-            }
-            let mut first: Option<PoolPanic> = None;
-            for (c, h) in handles.into_iter().enumerate() {
-                if let Err(payload) = h.join() {
-                    if first.is_none() {
-                        first = Some(PoolPanic {
-                            worker: c,
-                            message: payload_message(payload),
-                        });
-                    }
-                }
-            }
-            match (first, mine) {
-                (Some(p), _) => Err(p),
-                (None, mine) => mine,
+    struct SlotPtr<T>(*mut Option<T>);
+    impl<T> Clone for SlotPtr<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for SlotPtr<T> {}
+    unsafe impl<T: Send> Send for SlotPtr<T> {}
+    unsafe impl<T: Send> Sync for SlotPtr<T> {}
+    let slots = SlotPtr(out.as_mut_ptr());
+    let body = |c: usize| {
+        // Capture the wrapper, not its raw-pointer field (edition-2021
+        // disjoint capture would otherwise grab the non-Sync `*mut`).
+        #[allow(clippy::redundant_locals)]
+        let slots = slots;
+        let (start, take) = chunk_bounds(n, t, c);
+        with_threads(inner, || {
+            for off in 0..take {
+                let value = f(start + off);
+                // SAFETY: slot ranges are disjoint per chunk and `out`
+                // outlives the dispatch.
+                unsafe { *slots.0.add(start + off) = Some(value) };
             }
         })
     };
-    note_outcome(armed, &result);
-    result?;
+    dispatch_multi(t, inject, armed, &body)?;
     Ok(out
         .into_iter()
         .map(|s| s.expect("map_tasks: worker filled every slot"))
@@ -530,5 +497,19 @@ mod tests {
             let inner = map_tasks(4, 4, |_| max_threads());
             assert_eq!(inner, vec![1, 1, 1, 1]);
         });
+    }
+
+    #[test]
+    fn repeated_dispatches_reuse_the_pool_bit_identically() {
+        let reference: Vec<f32> = (0..1024).map(|i| (i as f32).sin()).collect();
+        for round in 0..10 {
+            let mut data = vec![0.0f32; 1024];
+            for_chunks(&mut data, 1, 4, |start, chunk| {
+                for (u, x) in chunk.iter_mut().enumerate() {
+                    *x = ((start + u) as f32).sin();
+                }
+            });
+            assert_eq!(data, reference, "round {round}");
+        }
     }
 }

@@ -7,19 +7,14 @@
 //! distribution instead of NaN — a deliberate choice that keeps padded
 //! sequences finite end-to-end.
 
-use crate::{par, Tensor};
-
-/// Softmax matrices smaller than this stay single-threaded.
-const PAR_MIN_SOFTMAX_ELEMS: usize = 1 << 14;
+use crate::{grain, par, simd, Tensor};
 
 /// Thread count for a row-wise reduction over `rows · cols` floats: rows are
-/// independent, so any partition gives bit-identical results.
-fn rowwise_threads(numel: usize) -> usize {
-    if numel < PAR_MIN_SOFTMAX_ELEMS {
-        1
-    } else {
-        par::max_threads()
-    }
+/// independent, so any partition gives bit-identical results. The grain model
+/// prices each element at a transcendental (`exp` dominates the softmax
+/// family) and never fans out wider than the row count.
+fn rowwise_threads(rows: usize, numel: usize) -> usize {
+    grain::threads_for_units(grain::Work::Transcendental(numel), rows, 1)
 }
 
 impl Tensor {
@@ -31,10 +26,11 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "softmax_rows requires a 2-D tensor");
         let cols = self.dim(1);
         let mut out = self.clone();
-        let threads = rowwise_threads(out.numel());
+        let threads = rowwise_threads(self.dim(0), out.numel());
+        let on = simd::active();
         par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
             for row in chunk.chunks_mut(cols.max(1)) {
-                softmax_in_place(row);
+                softmax_in_place_with(on, row);
             }
         });
         out
@@ -45,10 +41,11 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "log_softmax_rows requires a 2-D tensor");
         let cols = self.dim(1);
         let mut out = self.clone();
-        let threads = rowwise_threads(out.numel());
+        let threads = rowwise_threads(self.dim(0), out.numel());
+        let on = simd::active();
         par::for_chunks(out.data_mut(), cols.max(1), threads, |_, chunk| {
             for row in chunk.chunks_mut(cols.max(1)) {
-                log_softmax_in_place(row);
+                log_softmax_in_place_with(on, row);
             }
         });
         out
@@ -78,7 +75,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        simd::sum(simd::active(), self.data())
     }
 
     /// Mean of all elements. Returns 0.0 for an empty tensor.
@@ -96,17 +93,18 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "sum_rows requires a 2-D tensor");
         let cols = self.dim(1);
         let mut out = vec![0.0f32; cols];
-        for row in self.data().chunks(cols) {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += x;
-            }
+        let on = simd::active();
+        // Row-by-row accumulation in row order: the SIMD add is the same
+        // single rounding per element, so this stays bit-identical.
+        for row in self.data().chunks(cols.max(1)) {
+            simd::add_assign(on, &mut out, row);
         }
         Tensor::from_vec(out, &[cols])
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm(&self) -> f32 {
-        self.data().iter().map(|&x| x * x).sum::<f32>().sqrt()
+        simd::sum_sq(simd::active(), self.data()).sqrt()
     }
 
     /// Cosine similarity between two tensors of equal element count.
@@ -146,6 +144,27 @@ pub(crate) fn softmax_in_place(row: &mut [f32]) {
     }
 }
 
+/// [`softmax_in_place`] with SIMD max/sum/divide passes when `on`. The
+/// `exp` itself stays scalar (no dependency-free vector exp); the SIMD
+/// variant's reassociated sum makes it tolerance-bounded against scalar,
+/// but still bit-identical across thread counts (rows are independent).
+pub(crate) fn softmax_in_place_with(on: bool, row: &mut [f32]) {
+    if !on {
+        return softmax_in_place(row);
+    }
+    let max = simd::max(true, row);
+    if max == f32::NEG_INFINITY {
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+        return;
+    }
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    let sum = simd::sum(true, row);
+    simd::div_assign_scalar(true, row, sum);
+}
+
 /// In-place stable log-softmax over one row; fully-masked rows become the log
 /// of the uniform distribution, matching [`softmax_in_place`].
 pub(crate) fn log_softmax_in_place(row: &mut [f32]) {
@@ -159,6 +178,22 @@ pub(crate) fn log_softmax_in_place(row: &mut [f32]) {
     for x in row.iter_mut() {
         *x -= lse;
     }
+}
+
+/// [`log_softmax_in_place`] with SIMD max and shift passes when `on` (the
+/// exp/log-sum stays scalar — it is one sequential pass either way).
+pub(crate) fn log_softmax_in_place_with(on: bool, row: &mut [f32]) {
+    if !on {
+        return log_softmax_in_place(row);
+    }
+    let max = simd::max(true, row);
+    if max == f32::NEG_INFINITY {
+        let u = -(row.len() as f32).ln();
+        row.fill(u);
+        return;
+    }
+    let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    simd::sub_assign_scalar(true, row, lse);
 }
 
 #[cfg(test)]

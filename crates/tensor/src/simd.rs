@@ -1,0 +1,968 @@
+//! Explicit SIMD micro-kernels (`core::arch`) behind the `simd` feature.
+//!
+//! Compiled out entirely unless the crate is built with
+//! `--features simd`. At runtime the accelerated paths additionally
+//! require CPU support (AVX2 + FMA on x86_64, checked once; NEON on
+//! aarch64 is baseline) and can be vetoed by `NTR_SIMD=0` or, per thread,
+//! by [`force_scalar`]. Every public helper here takes an explicit `on:
+//! bool` — callers capture [`active`] **once per kernel invocation** and
+//! pass it down, so the thread-local veto taken on the dispatching thread
+//! propagates correctly into pool-worker chunk closures.
+//!
+//! ## Determinism policy
+//!
+//! Helpers fall into two classes, and every scalar fallback replicates the
+//! exact operation order of the pre-SIMD code so that default builds and
+//! `NTR_SIMD=0` runs stay bit-identical to the PR-1 kernels:
+//!
+//! * **Bit-identical** — element-wise maps with one independent output per
+//!   input lane (`add_assign`, `mul_assign`, `axpy`, `shift_scale`,
+//!   `affine`, `div_assign_scalar`, `sub_assign_scalar`, row-`max`):
+//!   vector lanes perform the same single rounding as the scalar loop, so
+//!   SIMD on/off produces the same bits. (`axpy` and `affine` deliberately
+//!   use separate multiply + add, not FMA, to preserve this.)
+//! * **Tolerance-bounded** — reductions and the GEMM micro-kernel (`sum`,
+//!   `sum_sq`, `sq_dev_sum`, `sum_and_dot`, `dot`, [`gemm_block`]): lane
+//!   accumulators reassociate the sum, and the GEMM uses FMA (one rounding
+//!   where the scalar path has two). Results differ from scalar in the
+//!   last ulps; the `simd_equivalence` proptest suite bounds the error.
+//!   Within one build+flag configuration they remain bit-identical across
+//!   thread counts, because each output element's operation sequence
+//!   depends only on shapes, never on the partition.
+//!
+//! Golden tests that pin scalar fingerprints wrap themselves in
+//! [`force_scalar`]; that is the documented determinism boundary.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-local scalar veto depth (tests, golden fingerprints).
+    static FORCE_SCALAR: Cell<u32> = const { Cell::new(0) };
+}
+
+/// True when the crate was built with the `simd` feature.
+#[inline]
+pub fn compiled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Whether the accelerated paths may run on this thread right now:
+/// compiled in, CPU-supported, not vetoed by `NTR_SIMD=0`/`off`, and not
+/// inside a [`force_scalar`] scope. Capture once per kernel call and pass
+/// the result into chunk closures.
+#[inline]
+pub fn active() -> bool {
+    supported() && env_enabled() && FORCE_SCALAR.with(|c| c.get()) == 0
+}
+
+/// True when the current thread is inside a [`force_scalar`] scope.
+/// Dispatchers capture this so pool workers inherit the veto.
+#[inline]
+pub(crate) fn vetoed() -> bool {
+    FORCE_SCALAR.with(|c| c.get()) > 0
+}
+
+/// Runs `f` with [`active`] forced to `false` on the current thread
+/// (restored on exit, including unwind; nests). Used by tests comparing
+/// SIMD against scalar in one process and by golden tests pinning scalar
+/// fingerprints.
+pub fn force_scalar<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SCALAR.with(|c| c.set(c.get() - 1));
+        }
+    }
+    FORCE_SCALAR.with(|c| c.set(c.get() + 1));
+    let _restore = Restore;
+    f()
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline]
+fn supported() -> bool {
+    static SUPPORTED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SUPPORTED.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline]
+fn supported() -> bool {
+    true // NEON is baseline for aarch64.
+}
+
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[inline]
+fn supported() -> bool {
+    false
+}
+
+#[inline]
+fn env_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("NTR_SIMD").as_deref().map(str::trim),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Bit-identical element-wise kernels
+// ---------------------------------------------------------------------
+
+/// `a[i] += b[i]`.
+#[inline]
+pub fn add_assign(on: bool, a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::add_assign(a, b) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if on {
+        return unsafe { neon::add_assign(a, b) };
+    }
+    let _ = on;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a[i] *= b[i]`.
+#[inline]
+pub fn mul_assign(on: bool, a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::mul_assign(a, b) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if on {
+        return unsafe { neon::mul_assign(a, b) };
+    }
+    let _ = on;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x *= y;
+    }
+}
+
+/// `a[i] += s·b[i]` (separate multiply + add — bit-identical to scalar).
+#[inline]
+pub fn axpy(on: bool, a: &mut [f32], s: f32, b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::axpy(a, s, b) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if on {
+        return unsafe { neon::axpy(a, s, b) };
+    }
+    let _ = on;
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// `dst[i] = (src[i] - sub) · scale` — the layernorm normalize pass.
+#[inline]
+pub fn shift_scale(on: bool, dst: &mut [f32], src: &[f32], sub: f32, scale: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::shift_scale(dst, src, sub, scale) };
+    }
+    let _ = on;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = (v - sub) * scale;
+    }
+}
+
+/// `out[i] = g[i]·x[i] + b[i]` — the layernorm affine pass (separate
+/// multiply + add — bit-identical to scalar).
+#[inline]
+pub fn affine(on: bool, out: &mut [f32], x: &[f32], g: &[f32], b: &[f32]) {
+    debug_assert!(out.len() == x.len() && x.len() == g.len() && g.len() == b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::affine(out, x, g, b) };
+    }
+    let _ = on;
+    for i in 0..out.len() {
+        out[i] = g[i] * x[i] + b[i];
+    }
+}
+
+/// `dst[i] = a[i]·b[i]`.
+#[inline]
+pub fn mul_into(on: bool, dst: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert!(dst.len() == a.len() && a.len() == b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::mul_into(dst, a, b) };
+    }
+    let _ = on;
+    for i in 0..dst.len() {
+        dst[i] = a[i] * b[i];
+    }
+}
+
+/// `x[i] /= d` — the softmax normalize pass.
+#[inline]
+pub fn div_assign_scalar(on: bool, xs: &mut [f32], d: f32) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::div_assign_scalar(xs, d) };
+    }
+    let _ = on;
+    for x in xs.iter_mut() {
+        *x /= d;
+    }
+}
+
+/// `x[i] -= s` — the log-softmax shift pass.
+#[inline]
+pub fn sub_assign_scalar(on: bool, xs: &mut [f32], s: f32) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::sub_assign_scalar(xs, s) };
+    }
+    let _ = on;
+    for x in xs.iter_mut() {
+        *x -= s;
+    }
+}
+
+/// `dst[i] = s·(dyh[i] - m1 - xh[i]·m2)` — the layernorm input-gradient
+/// row (same op order as the scalar loop).
+#[inline]
+pub fn ln_dx_row(on: bool, dst: &mut [f32], dyh: &[f32], xh: &[f32], s: f32, m1: f32, m2: f32) {
+    debug_assert!(dst.len() == dyh.len() && dyh.len() == xh.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::ln_dx_row(dst, dyh, xh, s, m1, m2) };
+    }
+    let _ = on;
+    for i in 0..dst.len() {
+        dst[i] = s * (dyh[i] - m1 - xh[i] * m2);
+    }
+}
+
+/// Row maximum with `f32::max` NaN-skipping semantics (NaN inputs never
+/// become the result unless every input is NaN-free… i.e. never).
+/// Returns `-inf` for an empty slice. Bit-identical to the scalar fold.
+#[inline]
+pub fn max(on: bool, xs: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::max(xs) };
+    }
+    let _ = on;
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+// ---------------------------------------------------------------------
+// Tolerance-bounded reductions
+// ---------------------------------------------------------------------
+
+/// Sequential-order sum (scalar) / 4-lane-vector reassociated sum (SIMD).
+#[inline]
+pub fn sum(on: bool, xs: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::sum(xs) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if on {
+        return unsafe { neon::sum(xs) };
+    }
+    let _ = on;
+    xs.iter().sum()
+}
+
+/// `Σ x[i]²` (scalar fallback is the sequential `map(x·x).sum()` order).
+#[inline]
+pub fn sum_sq(on: bool, xs: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::sum_sq(xs) };
+    }
+    let _ = on;
+    xs.iter().map(|&x| x * x).sum()
+}
+
+/// `Σ (x[i] - mean)²` — the layernorm variance numerator.
+#[inline]
+pub fn sq_dev_sum(on: bool, xs: &[f32], mean: f32) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::sq_dev_sum(xs, mean) };
+    }
+    let _ = on;
+    xs.iter().map(|&v| (v - mean) * (v - mean)).sum()
+}
+
+/// `(Σ a[i], Σ a[i]·b[i])` in one pass — the layernorm backward row
+/// moments (scalar fallback replicates the original fused loop exactly).
+#[inline]
+pub fn sum_and_dot(on: bool, a: &[f32], b: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::sum_and_dot(a, b) };
+    }
+    let _ = on;
+    let (mut s, mut d) = (0.0f32, 0.0f32);
+    for i in 0..a.len() {
+        s += a[i];
+        d += a[i] * b[i];
+    }
+    (s, d)
+}
+
+/// Dot product. The scalar fallback is the crate's original manually
+/// 4-way-unrolled loop; the SIMD path uses 8-lane FMA.
+#[inline]
+pub fn dot(on: bool, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::dot(a, b) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if on {
+        return unsafe { neon::dot(a, b) };
+    }
+    let _ = on;
+    scalar_dot(a, b)
+}
+
+/// The original 4-accumulator unrolled dot: reliable autovectorization
+/// without `unsafe`, and the pinned scalar reference order.
+pub(crate) fn scalar_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+// ---------------------------------------------------------------------
+// GEMM micro-kernel
+// ---------------------------------------------------------------------
+
+/// Whether [`gemm_block`] has an accelerated implementation for this
+/// build/arch (the aarch64 port covers element-wise kernels only).
+#[inline]
+pub fn has_gemm() -> bool {
+    cfg!(all(feature = "simd", target_arch = "x86_64"))
+}
+
+/// FMA-accelerated GEMM core: `out: [rows, n] += a: [rows, k] · b: [k, n]`,
+/// k blocked into `KC` panels, `MR = 4` rows per pass, 16/8-wide column
+/// tiles with an `f32::mul_add` column tail. Every output element is
+/// accumulated k-sequentially with fused multiply-adds, so results are
+/// invariant to row partitioning and tile placement (bit-identical for any
+/// thread count) while differing from the unfused scalar path in the last
+/// ulps.
+///
+/// Caller must have verified [`active`]`()` (which implies CPU support).
+pub fn gemm_block(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        unsafe { avx::gemm_block(out, a, b, k, n) }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        let _ = (out, a, b, k, n);
+        unreachable!("simd::gemm_block called without an accelerated implementation");
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    //! AVX2/FMA implementations. All `unsafe fn`s here require AVX2 (+FMA
+    //! for `dot`/`gemm_block`), guaranteed by `supported()` before any
+    //! call; slices are read/written only in-bounds.
+
+    use core::arch::x86_64::*;
+
+    /// k-panel length, matching the scalar GEMM's cache blocking.
+    const KC: usize = 256;
+
+    #[inline]
+    unsafe fn hsum(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let q = _mm_add_ps(lo, hi);
+        let d = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(d, _mm_shuffle_ps(d, d, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            _mm256_storeu_ps(a.as_mut_ptr().add(i), _mm256_add_ps(x, y));
+            i += 8;
+        }
+        while i < n {
+            a[i] += b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_assign(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            _mm256_storeu_ps(a.as_mut_ptr().add(i), _mm256_mul_ps(x, y));
+            i += 8;
+        }
+        while i < n {
+            a[i] *= b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(a: &mut [f32], s: f32, b: &[f32]) {
+        let n = a.len();
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            // mul then add (not FMA): same two roundings as the scalar path.
+            let r = _mm256_add_ps(x, _mm256_mul_ps(sv, y));
+            _mm256_storeu_ps(a.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            a[i] += s * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn shift_scale(dst: &mut [f32], src: &[f32], sub: f32, scale: f32) {
+        let n = dst.len();
+        let sv = _mm256_set1_ps(sub);
+        let cv = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(src.as_ptr().add(i));
+            let r = _mm256_mul_ps(_mm256_sub_ps(x, sv), cv);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            dst[i] = (src[i] - sub) * scale;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn affine(out: &mut [f32], x: &[f32], g: &[f32], b: &[f32]) {
+        let n = out.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(i));
+            let gv = _mm256_loadu_ps(g.as_ptr().add(i));
+            let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+            let r = _mm256_add_ps(_mm256_mul_ps(gv, xv), bv);
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            out[i] = g[i] * x[i] + b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_into(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(x, y));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn div_assign_scalar(xs: &mut [f32], d: f32) {
+        let n = xs.len();
+        let dv = _mm256_set1_ps(d);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            _mm256_storeu_ps(xs.as_mut_ptr().add(i), _mm256_div_ps(x, dv));
+            i += 8;
+        }
+        while i < n {
+            xs[i] /= d;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_assign_scalar(xs: &mut [f32], s: f32) {
+        let n = xs.len();
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+            _mm256_storeu_ps(xs.as_mut_ptr().add(i), _mm256_sub_ps(x, sv));
+            i += 8;
+        }
+        while i < n {
+            xs[i] -= s;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn ln_dx_row(dst: &mut [f32], dyh: &[f32], xh: &[f32], s: f32, m1: f32, m2: f32) {
+        let n = dst.len();
+        let sv = _mm256_set1_ps(s);
+        let m1v = _mm256_set1_ps(m1);
+        let m2v = _mm256_set1_ps(m2);
+        let mut i = 0;
+        while i + 8 <= n {
+            let dy = _mm256_loadu_ps(dyh.as_ptr().add(i));
+            let xv = _mm256_loadu_ps(xh.as_ptr().add(i));
+            // s·(dyh − m1 − xh·m2), multiplies unfused to mirror scalar.
+            let inner = _mm256_sub_ps(_mm256_sub_ps(dy, m1v), _mm256_mul_ps(xv, m2v));
+            _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_mul_ps(sv, inner));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = s * (dyh[i] - m1 - xh[i] * m2);
+            i += 1;
+        }
+    }
+
+    /// `f32::max`-fold semantics: a lane only replaces the accumulator on
+    /// a strict ordered greater-than, so NaN never enters the result.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut acc = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 8 {
+            let mut accv = _mm256_set1_ps(f32::NEG_INFINITY);
+            while i + 8 <= n {
+                let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+                let gt = _mm256_cmp_ps(x, accv, _CMP_GT_OQ);
+                accv = _mm256_blendv_ps(accv, x, gt);
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), accv);
+            for l in lanes {
+                acc = acc.max(l);
+            }
+        }
+        while i < n {
+            acc = acc.max(xs[i]);
+            i += 1;
+        }
+        acc
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 32 {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            while i + 32 <= n {
+                for (l, a) in acc.iter_mut().enumerate() {
+                    *a = _mm256_add_ps(*a, _mm256_loadu_ps(xs.as_ptr().add(i + 8 * l)));
+                }
+                i += 32;
+            }
+            let v = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+            total = hsum(v);
+        }
+        while i < n {
+            total += xs[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sum_sq(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 8 {
+            let mut acc = _mm256_setzero_ps();
+            while i + 8 <= n {
+                let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+                acc = _mm256_fmadd_ps(x, x, acc);
+                i += 8;
+            }
+            total = hsum(acc);
+        }
+        while i < n {
+            total += xs[i] * xs[i];
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sq_dev_sum(xs: &[f32], mean: f32) -> f32 {
+        let n = xs.len();
+        let mv = _mm256_set1_ps(mean);
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 8 {
+            let mut acc = _mm256_setzero_ps();
+            while i + 8 <= n {
+                let d = _mm256_sub_ps(_mm256_loadu_ps(xs.as_ptr().add(i)), mv);
+                acc = _mm256_fmadd_ps(d, d, acc);
+                i += 8;
+            }
+            total = hsum(acc);
+        }
+        while i < n {
+            let d = xs[i] - mean;
+            total += d * d;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sum_and_dot(a: &[f32], b: &[f32]) -> (f32, f32) {
+        let n = a.len();
+        let mut i = 0;
+        let (mut s, mut d) = (0.0f32, 0.0f32);
+        if n >= 8 {
+            let mut sv = _mm256_setzero_ps();
+            let mut dv = _mm256_setzero_ps();
+            while i + 8 <= n {
+                let av = _mm256_loadu_ps(a.as_ptr().add(i));
+                let bv = _mm256_loadu_ps(b.as_ptr().add(i));
+                sv = _mm256_add_ps(sv, av);
+                dv = _mm256_fmadd_ps(av, bv, dv);
+                i += 8;
+            }
+            s = hsum(sv);
+            d = hsum(dv);
+        }
+        while i < n {
+            s += a[i];
+            d += a[i] * b[i];
+            i += 1;
+        }
+        (s, d)
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 16 {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            while i + 16 <= n {
+                let a0 = _mm256_loadu_ps(a.as_ptr().add(i));
+                let b0 = _mm256_loadu_ps(b.as_ptr().add(i));
+                let a1 = _mm256_loadu_ps(a.as_ptr().add(i + 8));
+                let b1 = _mm256_loadu_ps(b.as_ptr().add(i + 8));
+                acc0 = _mm256_fmadd_ps(a0, b0, acc0);
+                acc1 = _mm256_fmadd_ps(a1, b1, acc1);
+                i += 16;
+            }
+            total = hsum(_mm256_add_ps(acc0, acc1));
+        }
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+
+    /// See [`super::gemm_block`]. `out: [rows, n]`, `a: [rows, k]`,
+    /// `b: [k, n]`, all row-major and dense.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn gemm_block(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+        if n == 0 || k == 0 {
+            return;
+        }
+        let rows = out.len() / n;
+        let op = out.as_mut_ptr();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            let mut i = 0;
+            // 4-row register blocks.
+            while i + 4 <= rows {
+                gemm_rows::<4>(op, ap, bp, i, kb, kc, k, n);
+                i += 4;
+            }
+            // Row tail: identical per-element FMA order, one row at a time.
+            while i < rows {
+                gemm_rows::<1>(op, ap, bp, i, kb, kc, k, n);
+                i += 1;
+            }
+        }
+    }
+
+    /// One `R`-row pass over a k-panel: 16-wide, then 8-wide, then scalar
+    /// `mul_add` column tiles. Each output element sees one fused
+    /// multiply-add per k step, in k order, regardless of tile width.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    unsafe fn gemm_rows<const R: usize>(
+        op: *mut f32,
+        ap: *const f32,
+        bp: *const f32,
+        i: usize,
+        kb: usize,
+        kc: usize,
+        k: usize,
+        n: usize,
+    ) {
+        let mut jb = 0;
+        while jb + 16 <= n {
+            let mut acc0 = [_mm256_setzero_ps(); R];
+            let mut acc1 = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc0[r] = _mm256_loadu_ps(op.add((i + r) * n + jb));
+                acc1[r] = _mm256_loadu_ps(op.add((i + r) * n + jb + 8));
+            }
+            for off in 0..kc {
+                let brow = bp.add((kb + off) * n + jb);
+                let b0 = _mm256_loadu_ps(brow);
+                let b1 = _mm256_loadu_ps(brow.add(8));
+                for r in 0..R {
+                    let av = _mm256_set1_ps(*ap.add((i + r) * k + kb + off));
+                    acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+                    acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(op.add((i + r) * n + jb), acc0[r]);
+                _mm256_storeu_ps(op.add((i + r) * n + jb + 8), acc1[r]);
+            }
+            jb += 16;
+        }
+        while jb + 8 <= n {
+            let mut acc = [_mm256_setzero_ps(); R];
+            for r in 0..R {
+                acc[r] = _mm256_loadu_ps(op.add((i + r) * n + jb));
+            }
+            for off in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add((kb + off) * n + jb));
+                for r in 0..R {
+                    let av = _mm256_set1_ps(*ap.add((i + r) * k + kb + off));
+                    acc[r] = _mm256_fmadd_ps(av, b0, acc[r]);
+                }
+            }
+            for r in 0..R {
+                _mm256_storeu_ps(op.add((i + r) * n + jb), acc[r]);
+            }
+            jb += 8;
+        }
+        while jb < n {
+            for r in 0..R {
+                let mut acc = *op.add((i + r) * n + jb);
+                for off in 0..kc {
+                    let av = *ap.add((i + r) * k + kb + off);
+                    let bv = *bp.add((kb + off) * n + jb);
+                    acc = av.mul_add(bv, acc);
+                }
+                *op.add((i + r) * n + jb) = acc;
+            }
+            jb += 1;
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod neon {
+    //! NEON port of the element-wise basics (the GEMM micro-kernel falls
+    //! back to scalar on aarch64 — see [`super::has_gemm`]).
+
+    use core::arch::aarch64::*;
+
+    pub unsafe fn add_assign(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = vld1q_f32(a.as_ptr().add(i));
+            let y = vld1q_f32(b.as_ptr().add(i));
+            vst1q_f32(a.as_mut_ptr().add(i), vaddq_f32(x, y));
+            i += 4;
+        }
+        while i < n {
+            a[i] += b[i];
+            i += 1;
+        }
+    }
+
+    pub unsafe fn mul_assign(a: &mut [f32], b: &[f32]) {
+        let n = a.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = vld1q_f32(a.as_ptr().add(i));
+            let y = vld1q_f32(b.as_ptr().add(i));
+            vst1q_f32(a.as_mut_ptr().add(i), vmulq_f32(x, y));
+            i += 4;
+        }
+        while i < n {
+            a[i] *= b[i];
+            i += 1;
+        }
+    }
+
+    pub unsafe fn axpy(a: &mut [f32], s: f32, b: &[f32]) {
+        let n = a.len();
+        let sv = vdupq_n_f32(s);
+        let mut i = 0;
+        while i + 4 <= n {
+            let x = vld1q_f32(a.as_ptr().add(i));
+            let y = vld1q_f32(b.as_ptr().add(i));
+            // Unfused mul + add to stay bit-identical with scalar.
+            vst1q_f32(a.as_mut_ptr().add(i), vaddq_f32(x, vmulq_f32(sv, y)));
+            i += 4;
+        }
+        while i < n {
+            a[i] += s * b[i];
+            i += 1;
+        }
+    }
+
+    pub unsafe fn sum(xs: &[f32]) -> f32 {
+        let n = xs.len();
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 4 {
+            let mut acc = vdupq_n_f32(0.0);
+            while i + 4 <= n {
+                acc = vaddq_f32(acc, vld1q_f32(xs.as_ptr().add(i)));
+                i += 4;
+            }
+            total = vaddvq_f32(acc);
+        }
+        while i < n {
+            total += xs[i];
+            i += 1;
+        }
+        total
+    }
+
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let mut i = 0;
+        let mut total = 0.0f32;
+        if n >= 4 {
+            let mut acc = vdupq_n_f32(0.0);
+            while i + 4 <= n {
+                acc = vfmaq_f32(
+                    acc,
+                    vld1q_f32(a.as_ptr().add(i)),
+                    vld1q_f32(b.as_ptr().add(i)),
+                );
+                i += 4;
+            }
+            total = vaddvq_f32(acc);
+        }
+        while i < n {
+            total += a[i] * b[i];
+            i += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_nests_and_restores() {
+        let outer = active();
+        force_scalar(|| {
+            assert!(!active());
+            force_scalar(|| assert!(!active()));
+            assert!(!active());
+        });
+        assert_eq!(active(), outer);
+    }
+
+    #[test]
+    fn scalar_fallbacks_match_reference_loops() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.3 - 4.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        let mut x = a.clone();
+        add_assign(false, &mut x, &b);
+        for i in 0..a.len() {
+            assert_eq!(x[i], a[i] + b[i]);
+        }
+        assert_eq!(sum(false, &a), a.iter().sum::<f32>());
+        assert_eq!(dot(false, &a, &b), scalar_dot(&a, &b));
+        assert_eq!(
+            max(false, &a),
+            a.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        );
+        assert_eq!(max(false, &[]), f32::NEG_INFINITY);
+    }
+
+    // The on/off equivalence of every kernel (including NaN/Inf payloads
+    // and non-multiple-of-lane lengths) is covered by the
+    // `simd_equivalence` proptest suite in `tests/`.
+    #[test]
+    fn simd_elementwise_bit_identical_when_available() {
+        if !active() {
+            return; // scalar build or vetoed — nothing to compare.
+        }
+        let a: Vec<f32> = (0..1031).map(|i| (i as f32).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..1031).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        axpy(true, &mut fast, 0.37, &b);
+        axpy(false, &mut slow, 0.37, &b);
+        assert_eq!(fast, slow, "axpy must be bit-identical");
+        assert_eq!(max(true, &a), max(false, &a));
+        let (rs, rd) = sum_and_dot(true, &a, &b);
+        let (ss, sd) = sum_and_dot(false, &a, &b);
+        assert!((rs - ss).abs() <= 1e-3 + ss.abs() * 1e-5);
+        assert!((rd - sd).abs() <= 1e-3 + sd.abs() * 1e-5);
+    }
+}

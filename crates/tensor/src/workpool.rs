@@ -1,0 +1,334 @@
+//! The persistent worker pool behind [`crate::par`].
+//!
+//! PR 1's dispatchers spawned fresh threads per call via
+//! [`std::thread::scope`]; at ~25µs per spawn that overhead swamped every
+//! kernel below a few hundred microseconds and made `NTR_THREADS=4` *lose*
+//! to 1 thread on the benchmark hot paths. This module replaces the
+//! per-call spawn with a process-wide pool of parked workers:
+//!
+//! * **Lazy spawn, park forever.** Workers are spawned on first demand and
+//!   grow up to [`MAX_WORKERS`]; when idle they block in a condvar wait
+//!   (zero CPU). There is no explicit shutdown — workers are detached and
+//!   die with the process, which is safe because they hold no resources
+//!   beyond their stacks and never touch caller memory outside a dispatch.
+//! * **Shared injector queue.** A dispatch enqueues one [`Job`] per chunk
+//!   and wakes the pool; any worker may execute any job. Because every
+//!   chunk writes a disjoint region and its arithmetic is
+//!   partition-independent, *which* OS thread runs a chunk is
+//!   unobservable in the results — so work stealing across concurrent
+//!   dispatches (tests, the serve workers) is free.
+//! * **Completion latch per dispatch.** The caller runs the last chunk
+//!   itself, then blocks on the dispatch's latch until every enqueued job
+//!   has finished (deterministic drain: no job of this dispatch is still
+//!   running when the dispatcher returns).
+//! * **Panic isolation.** A job body that panics is caught *in the
+//!   worker's run loop*; the payload is stringified into the latch and the
+//!   worker survives to serve the next job, so the pool never needs
+//!   rebuilding after a fault. The lowest chunk index wins when several
+//!   chunks panic, matching the scoped-thread contract.
+//! * **No nested blocking.** A dispatch issued *from inside* a pool worker
+//!   (possible only if a kernel closure itself calls a parallel kernel
+//!   with an explicit thread count — the `par::max_threads` plumbing
+//!   already scales nested parallelism to 1) runs all chunks inline on
+//!   that worker instead of enqueuing, which keeps the identical chunk
+//!   partition (bit-identical results, same obs counters) and makes
+//!   worker-waits-for-worker deadlock impossible.
+//!
+//! ## Safety
+//!
+//! This is the one module in the crate that uses `unsafe`. A [`Job`]
+//! carries a type-erased pointer to the dispatcher's stack-allocated chunk
+//! closure. The lifetime argument is the completion latch: the dispatcher
+//! does not return (and therefore the closure and the buffers it borrows
+//! do not move or die) until `remaining == 0`, and a worker decrements
+//! `remaining` only *after* its last use of the pointer. Chunk
+//! disjointness is the caller's obligation, exactly as it was with scoped
+//! threads.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool size. Dispatches wider than this still complete — the
+/// excess chunks queue behind the first `MAX_WORKERS` — they just share
+/// workers. Matches `ntr_obs::pool::MAX_TRACKED_WORKERS` so busy-time
+/// attribution never folds slots.
+pub(crate) const MAX_WORKERS: usize = 64;
+
+/// A chunk closure, type-erased. The pointee lives on the dispatcher's
+/// stack and is guaranteed valid until the dispatch latch releases.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync (shared-called from many threads) and the
+// latch protocol bounds its lifetime; see module docs.
+unsafe impl Send for TaskPtr {}
+
+/// One unit of queued work: run chunk `chunk` of the dispatch owning
+/// `latch`.
+struct Job {
+    task: TaskPtr,
+    chunk: usize,
+    latch: *const Latch,
+}
+
+// SAFETY: `latch` outlives the job by the same argument as `TaskPtr`.
+unsafe impl Send for Job {}
+
+/// Per-dispatch completion state: outstanding enqueued jobs plus the
+/// lowest-index panic observed so far.
+struct Latch {
+    state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    /// `(chunk index, stringified payload)` of the lowest-index panicking
+    /// enqueued chunk.
+    panic: Option<(usize, String)>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks one job finished, recording its panic (if any) when it beats
+    /// the current lowest chunk index.
+    fn complete(&self, chunk: usize, panic: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(msg) = panic {
+            match &st.panic {
+                Some((prev, _)) if *prev <= chunk => {}
+                _ => st.panic = Some((chunk, msg)),
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until every enqueued job completed; returns the winning
+    /// panic, if any.
+    fn wait(&self) -> Option<(usize, String)> {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.panic.clone()
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    spawned: usize,
+    idle: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on threads owned by the pool; nested dispatches from such a
+    /// thread run inline instead of enqueuing (see module docs).
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+            idle: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+/// True when the current thread is a pool worker.
+pub(crate) fn on_worker_thread() -> bool {
+    IS_POOL_WORKER.with(|c| c.get())
+}
+
+/// The detached worker run loop: pop a job (parking when the queue is
+/// empty), run it under `catch_unwind`, report into its latch, repeat
+/// forever.
+fn worker_loop() {
+    IS_POOL_WORKER.with(|c| c.set(true));
+    let pool = pool();
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                st.idle += 1;
+                st = pool.cv.wait(st).unwrap();
+                st.idle -= 1;
+            }
+        };
+        let task = job.task;
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)(job.chunk) }));
+        let panic = result.err().map(crate::par::payload_message);
+        // SAFETY: the dispatcher is still blocked in `Latch::wait` (or its
+        // own chunk) until this `complete` lands, so the latch is alive.
+        unsafe { (*job.latch).complete(job.chunk, panic) };
+    }
+}
+
+/// Ensures at least `want` workers exist (capped at [`MAX_WORKERS`]) and
+/// wakes the pool. Called with jobs already enqueued.
+fn ensure_workers_and_wake(want: usize) {
+    let pool = pool();
+    let mut st = pool.state.lock().unwrap();
+    let target = want.min(MAX_WORKERS);
+    while st.spawned < target {
+        std::thread::Builder::new()
+            .name(format!("ntr-pool-{}", st.spawned))
+            .spawn(worker_loop)
+            .expect("ntr-tensor: failed to spawn pool worker");
+        st.spawned += 1;
+    }
+    drop(st);
+    pool.cv.notify_all();
+}
+
+/// Runs `task(0..chunks)` across the pool: chunks `0..chunks-1` are
+/// enqueued for the workers, the final chunk runs on the calling thread,
+/// and the call returns only when every chunk has finished. Returns the
+/// lowest-index panic, with the caller's own chunk counting as the
+/// highest index.
+///
+/// Must be called with `chunks >= 2`; single-chunk dispatches are the
+/// caller's fast path and never reach the queue.
+pub(crate) fn run(chunks: usize, task: &(dyn Fn(usize) + Sync)) -> Option<(usize, String)> {
+    debug_assert!(chunks >= 2, "workpool::run wants a real fan-out");
+    if on_worker_thread() {
+        // Nested dispatch: run every chunk inline, in index order, catching
+        // each panic so surviving chunks still drain (identical partition,
+        // identical results, no risk of worker-waits-for-worker deadlock).
+        let mut first: Option<(usize, String)> = None;
+        for c in 0..chunks {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| task(c))) {
+                if first.is_none() {
+                    first = Some((c, crate::par::payload_message(p)));
+                }
+            }
+        }
+        return first;
+    }
+    let latch = Latch::new(chunks - 1);
+    // SAFETY: erase the borrow's lifetime so the fat pointer fits the
+    // queue's 'static trait-object type. `run` does not return until the
+    // latch drains, so no job outlives the real borrow (module docs).
+    let task_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+    {
+        let pool = pool();
+        let mut st = pool.state.lock().unwrap();
+        for c in 0..chunks - 1 {
+            st.queue.push_back(Job {
+                task: TaskPtr(task_static as *const _),
+                chunk: c,
+                latch: &latch as *const _,
+            });
+        }
+    }
+    ensure_workers_and_wake(chunks - 1);
+    // The calling thread takes the last chunk instead of blocking idle.
+    let mine = catch_unwind(AssertUnwindSafe(|| task(chunks - 1)))
+        .err()
+        .map(|p| (chunks - 1, crate::par::payload_message(p)));
+    // Deterministic drain: every enqueued chunk completes before we return.
+    let worker_panic = latch.wait();
+    match (worker_panic, mine) {
+        (Some(p), _) => Some(p),
+        (None, mine) => mine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_every_chunk_exactly_once() {
+        for chunks in 2..=12 {
+            let hits: Vec<AtomicUsize> = (0..chunks).map(|_| AtomicUsize::new(0)).collect();
+            let r = run(chunks, &|c| {
+                hits[c].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(r.is_none());
+            for (c, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "chunk {c} of {chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowest_chunk_index_panic_wins() {
+        let r = run(4, &|c| {
+            if c != 2 {
+                panic!("chunk {c}");
+            }
+        });
+        let (chunk, msg) = r.expect("panic must surface");
+        assert_eq!(chunk, 0);
+        assert_eq!(msg, "chunk 0");
+    }
+
+    #[test]
+    fn pool_survives_panics_and_reuses_workers() {
+        for round in 0..20 {
+            let r = run(4, &|c| {
+                if c == 1 {
+                    panic!("round {round}");
+                }
+            });
+            assert_eq!(r.unwrap().0, 1);
+            let r = run(4, &|_| {});
+            assert!(r.is_none(), "round {round}: pool poisoned");
+        }
+    }
+
+    #[test]
+    fn wide_dispatch_beyond_worker_cap_completes() {
+        let n = MAX_WORKERS + 30;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let r = run(n, &|c| {
+            hits[c].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(r.is_none());
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn nested_dispatch_from_worker_runs_inline() {
+        let r = run(2, &|outer| {
+            if outer == 0 {
+                // This chunk runs on a pool worker; the nested dispatch
+                // must complete inline without deadlocking.
+                let inner_hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+                let nested = run(3, &|c| {
+                    inner_hits[c].fetch_add(1, Ordering::SeqCst);
+                });
+                assert!(nested.is_none());
+                assert!(inner_hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+            }
+        });
+        assert!(r.is_none());
+    }
+}

@@ -1,0 +1,153 @@
+//! Determinism contract of the persistent worker pool: results are
+//! bit-identical across repeated dispatches (workers are reused, not
+//! respawned), across any thread count, after a worker panic, and through
+//! nested `map_tasks` dispatches (which run inline on pool workers).
+//!
+//! These tests exercise the *pool*, not the kernels: the SIMD/scalar split
+//! has its own suite (`simd_equivalence.rs`). Scalar-path bit-invariance
+//! across thread counts is pinned here via `force_scalar` so the test means
+//! the same thing on default and `--features simd` builds.
+
+use ntr_tensor::{faults, par, simd, Tensor};
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn mat(n: usize, salt: usize) -> Tensor {
+    Tensor::from_fn(&[n, n], |i| ((i * 29 + salt) % 113) as f32 * 0.02 - 1.1)
+}
+
+#[test]
+fn repeated_dispatches_are_bit_identical() {
+    // 64×64 clears the naive-GEMM threshold and (on multi-core hosts) the
+    // grain gate, so the pool is actually re-entered each iteration.
+    let a = mat(64, 7);
+    let b = mat(64, 31);
+    let first = par::with_threads(4, || a.matmul(&b));
+    for _ in 0..50 {
+        let again = par::with_threads(4, || a.matmul(&b));
+        assert_eq!(bits(first.data()), bits(again.data()));
+    }
+}
+
+#[test]
+fn scalar_path_is_bit_identical_across_thread_counts() {
+    let a = mat(96, 3);
+    let b = mat(96, 17);
+    let reference = simd::force_scalar(|| par::with_threads(1, || a.matmul(&b)));
+    for t in [2, 3, 4, 5, 8] {
+        let got = simd::force_scalar(|| par::with_threads(t, || a.matmul(&b)));
+        assert_eq!(
+            bits(reference.data()),
+            bits(got.data()),
+            "threads={t} drifted from single-threaded scalar bits"
+        );
+    }
+}
+
+#[test]
+fn elementwise_chunking_is_bit_identical_across_thread_counts() {
+    // for_chunks partitions at unit boundaries; pure element-wise work must
+    // not depend on where those boundaries fall.
+    let src: Vec<f32> = (0..10_007).map(|i| (i % 251) as f32 * 0.01 - 1.2).collect();
+    let run = |t: usize| {
+        let mut v = src.clone();
+        par::with_threads(t, || {
+            par::for_chunks(&mut v, 1, t.max(1), |_, chunk| {
+                for x in chunk {
+                    *x = x.mul_add(1.25, -0.5);
+                }
+            });
+        });
+        v
+    };
+    let reference = run(1);
+    for t in [2, 4, 7, 8] {
+        assert_eq!(bits(&reference), bits(&run(t)), "threads={t}");
+    }
+}
+
+#[test]
+fn results_stay_bit_identical_after_a_worker_panic() {
+    let a = mat(64, 11);
+    let b = mat(64, 43);
+    let before = par::with_threads(4, || a.matmul(&b));
+
+    // Closure panic inside a multi-threaded dispatch: the worker is caught,
+    // the pool survives.
+    let err = par::with_threads(4, || {
+        let mut data = vec![0.0f32; 64];
+        par::try_for_chunks(&mut data, 1, 4, |start, _| {
+            if start == 0 {
+                panic!("poison");
+            }
+        })
+        .unwrap_err()
+    });
+    assert!(err.message.contains("poison"));
+
+    // Injected fault through the faults module, same contract.
+    let err = par::with_threads(4, || {
+        faults::arm_worker_panic();
+        let mut data = vec![0.0f32; 64];
+        par::try_for_chunks(&mut data, 1, 4, |_, _| {}).unwrap_err()
+    });
+    assert_eq!(err.message, faults::INJECTED_PANIC_MSG);
+
+    let after = par::with_threads(4, || a.matmul(&b));
+    assert_eq!(
+        bits(before.data()),
+        bits(after.data()),
+        "pool state leaked across a panic"
+    );
+}
+
+#[test]
+fn nested_map_tasks_dispatches_are_deterministic() {
+    // Outer map_tasks lands on pool workers; the inner matmul dispatch then
+    // runs inline on that worker (nested dispatches don't re-enter the
+    // queue). Results must match the flat single-threaded computation.
+    let a = mat(48, 5);
+    let b = mat(48, 23);
+    let flat: Vec<Tensor> = (0..4)
+        .map(|_| par::with_threads(1, || a.matmul(&b)))
+        .collect();
+    for t in [2, 4] {
+        let nested = par::with_threads(t, || par::map_tasks(4, t, |_| a.matmul(&b)));
+        assert_eq!(nested.len(), 4);
+        for (f, n) in flat.iter().zip(&nested) {
+            // Scalar GEMM and SIMD GEMM are each k-sequential per element,
+            // so inline-nested execution cannot change the bits.
+            assert_eq!(bits(f.data()), bits(n.data()), "threads={t}");
+        }
+    }
+}
+
+#[test]
+fn zip3_dispatch_is_bit_identical_across_thread_counts() {
+    let n = 4_099; // prime-ish: uneven chunk remainders on every count
+    let g: Vec<f32> = (0..n).map(|i| (i % 97) as f32 * 0.03 - 1.4).collect();
+    let run = |t: usize| {
+        let mut w = vec![0.1f32; n];
+        let mut m = vec![0.2f32; n];
+        let mut v = vec![0.3f32; n];
+        par::with_threads(t, || {
+            par::for_zip3_mut(&mut w, &mut m, &mut v, &g, t.max(1), |w, m, v, g| {
+                for i in 0..w.len() {
+                    m[i] = m[i].mul_add(0.9, g[i] * 0.1);
+                    v[i] = v[i].mul_add(0.99, g[i] * g[i] * 0.01);
+                    w[i] -= 0.01 * m[i] / (v[i].sqrt() + 1e-8);
+                }
+            });
+        });
+        (w, m, v)
+    };
+    let (rw, rm, rv) = run(1);
+    for t in [2, 4, 8] {
+        let (w, m, v) = run(t);
+        assert_eq!(bits(&rw), bits(&w), "w threads={t}");
+        assert_eq!(bits(&rm), bits(&m), "m threads={t}");
+        assert_eq!(bits(&rv), bits(&v), "v threads={t}");
+    }
+}

@@ -1,0 +1,246 @@
+//! SIMD-vs-scalar equivalence over adversarial shapes.
+//!
+//! Two contracts, matching the determinism policy in `ntr_tensor::simd`
+//! (DESIGN.md §9):
+//!
+//! * **Bit-identical class** — element-wise kernels (`add_assign`,
+//!   `mul_assign`, `axpy`, `shift_scale`, `affine`, `mul_into`,
+//!   `div_assign_scalar`, `sub_assign_scalar`, `ln_dx_row`, row `max`)
+//!   must produce the *same bits* with SIMD on and off, for any length
+//!   (empty, 1-element, every non-multiple-of-lane remainder) and any
+//!   payload including NaN and ±Inf.
+//! * **Tolerance class** — reductions (`sum`, `sum_sq`, `sq_dev_sum`,
+//!   `sum_and_dot`, `dot`) and the FMA GEMM reassociate or fuse, so they
+//!   are bounded against scalar instead; and the SIMD GEMM must itself be
+//!   **bit-identical across thread counts** (partition-independent
+//!   accumulation), exactly like the scalar path.
+//!
+//! On builds without `--features simd` (or on CPUs without AVX2/FMA)
+//! `simd::active()` is false and every comparison degenerates to
+//! scalar-vs-scalar — the suite stays green and meaningless rather than
+//! flaky. The CI `--features simd` leg is where it bites.
+
+use ntr_tensor::{allclose, par, simd, Tensor};
+use proptest::prelude::*;
+
+/// Lengths straddling every lane boundary of the 8-wide (and 16-wide GEMM
+/// tile) kernels, plus empty and 1-element.
+fn len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        2usize..20,
+        30usize..35,
+        100usize..135
+    ]
+}
+
+/// A payload vector of `n` floats where some elements may be NaN or ±Inf.
+fn payload(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (0u8..11, -100.0f32..100.0).prop_map(|(k, v)| match k {
+            8 => f32::NAN,
+            9 => f32::INFINITY,
+            10 => f32::NEG_INFINITY,
+            _ => v,
+        }),
+        n,
+    )
+}
+
+fn pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    len().prop_flat_map(|n| (payload(n), payload(n)))
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// `a ≈ b` treating equal-position non-finites as agreement.
+fn close_or_same_nonfinite(a: f32, b: f32, tol: f32) -> bool {
+    if !a.is_finite() || !b.is_finite() {
+        return a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan());
+    }
+    (a - b).abs() <= tol + b.abs() * 1e-4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn elementwise_kernels_are_bit_identical((a, b) in pair()) {
+        let on = simd::active();
+        let s = 0.37f32;
+
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        simd::add_assign(on, &mut fast, &b);
+        simd::add_assign(false, &mut slow, &b);
+        prop_assert_eq!(bits(&fast), bits(&slow), "add_assign");
+
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        simd::mul_assign(on, &mut fast, &b);
+        simd::mul_assign(false, &mut slow, &b);
+        prop_assert_eq!(bits(&fast), bits(&slow), "mul_assign");
+
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        simd::axpy(on, &mut fast, s, &b);
+        simd::axpy(false, &mut slow, s, &b);
+        prop_assert_eq!(bits(&fast), bits(&slow), "axpy");
+
+        let mut fast = vec![0.0; a.len()];
+        let mut slow = vec![0.0; a.len()];
+        simd::shift_scale(on, &mut fast, &a, 0.25, 1.75);
+        simd::shift_scale(false, &mut slow, &a, 0.25, 1.75);
+        prop_assert_eq!(bits(&fast), bits(&slow), "shift_scale");
+
+        let mut fast = vec![0.0; a.len()];
+        let mut slow = vec![0.0; a.len()];
+        simd::mul_into(on, &mut fast, &a, &b);
+        simd::mul_into(false, &mut slow, &a, &b);
+        prop_assert_eq!(bits(&fast), bits(&slow), "mul_into");
+
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        simd::div_assign_scalar(on, &mut fast, 3.0);
+        simd::div_assign_scalar(false, &mut slow, 3.0);
+        prop_assert_eq!(bits(&fast), bits(&slow), "div_assign_scalar");
+
+        let mut fast = a.clone();
+        let mut slow = a.clone();
+        simd::sub_assign_scalar(on, &mut fast, -1.5);
+        simd::sub_assign_scalar(false, &mut slow, -1.5);
+        prop_assert_eq!(bits(&fast), bits(&slow), "sub_assign_scalar");
+    }
+
+    #[test]
+    fn affine_and_ln_dx_are_bit_identical((x, g) in pair()) {
+        let on = simd::active();
+        let b: Vec<f32> = x.iter().map(|v| v * 0.5 - 1.0).collect();
+
+        let mut fast = vec![0.0; x.len()];
+        let mut slow = vec![0.0; x.len()];
+        simd::affine(on, &mut fast, &x, &g, &b);
+        simd::affine(false, &mut slow, &x, &g, &b);
+        prop_assert_eq!(bits(&fast), bits(&slow), "affine");
+
+        let mut fast = vec![0.0; x.len()];
+        let mut slow = vec![0.0; x.len()];
+        simd::ln_dx_row(on, &mut fast, &x, &g, 0.9, 0.1, -0.2);
+        simd::ln_dx_row(false, &mut slow, &x, &g, 0.9, 0.1, -0.2);
+        prop_assert_eq!(bits(&fast), bits(&slow), "ln_dx_row");
+    }
+
+    #[test]
+    fn row_max_is_bit_identical_with_nan_skipping(xs in len().prop_flat_map(payload)) {
+        let on = simd::active();
+        let fast = simd::max(on, &xs);
+        let slow = simd::max(false, &xs);
+        prop_assert_eq!(fast.to_bits(), slow.to_bits());
+        // f32::max semantics: NaN never wins, empty slices yield -inf.
+        if !xs.is_empty() && xs.iter().any(|x| !x.is_nan()) {
+            prop_assert!(!fast.is_nan());
+        }
+    }
+
+    #[test]
+    fn reductions_are_tolerance_bounded((a, b) in pair()) {
+        // Restrict to finite payloads: non-finite sums legitimately differ
+        // in *which* non-finite they produce depending on association.
+        let a: Vec<f32> = a.iter().map(|x| if x.is_finite() { *x } else { 1.0 }).collect();
+        let b: Vec<f32> = b.iter().map(|x| if x.is_finite() { *x } else { -1.0 }).collect();
+        let on = simd::active();
+        let tol = 1e-2 * (a.len().max(1) as f32);
+
+        prop_assert!(close_or_same_nonfinite(simd::sum(on, &a), simd::sum(false, &a), tol));
+        prop_assert!(close_or_same_nonfinite(simd::sum_sq(on, &a), simd::sum_sq(false, &a), tol * 100.0));
+        prop_assert!(close_or_same_nonfinite(
+            simd::sq_dev_sum(on, &a, 0.5),
+            simd::sq_dev_sum(false, &a, 0.5),
+            tol * 100.0
+        ));
+        prop_assert!(close_or_same_nonfinite(simd::dot(on, &a, &b), simd::dot(false, &a, &b), tol * 100.0));
+        let (fs, fd) = simd::sum_and_dot(on, &a, &b);
+        let (ss, sd) = simd::sum_and_dot(false, &a, &b);
+        prop_assert!(close_or_same_nonfinite(fs, ss, tol));
+        prop_assert!(close_or_same_nonfinite(fd, sd, tol * 100.0));
+    }
+}
+
+/// `(m, k, n)` spanning the naive threshold, the MR=4/NR=8/16 tile edges,
+/// and degenerate dims.
+fn gemm_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    let d = || prop_oneof![1usize..6, 7usize..10, 15usize..18, 31usize..34, 63usize..66];
+    (d(), d(), d())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn simd_matmul_is_tolerance_bounded_against_scalar((m, k, n) in gemm_dims()) {
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 37 + 11) % 97) as f32 * 0.03 - 1.4);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 53 + 29) % 89) as f32 * 0.04 - 1.7);
+        let fast = a.matmul(&b);
+        let slow = simd::force_scalar(|| a.matmul(&b));
+        prop_assert!(
+            allclose(fast.data(), slow.data(), 1e-4, 1e-4),
+            "m={m} k={k} n={n}"
+        );
+    }
+
+    #[test]
+    fn simd_matmul_is_bit_identical_across_thread_counts((m, k, n) in gemm_dims()) {
+        // Applies to the SIMD path *and* the scalar path: accumulation is
+        // k-sequential per output element under any row partition.
+        let a = Tensor::from_fn(&[m, k], |i| ((i * 13 + 7) % 101) as f32 * 0.02 - 1.0);
+        let b = Tensor::from_fn(&[k, n], |i| ((i * 31 + 3) % 103) as f32 * 0.02 - 1.0);
+        let t1 = par::with_threads(1, || a.matmul(&b));
+        let t4 = par::with_threads(4, || a.matmul(&b));
+        let t7 = par::with_threads(7, || a.matmul(&b));
+        prop_assert_eq!(bits(t1.data()), bits(t4.data()));
+        prop_assert_eq!(bits(t1.data()), bits(t7.data()));
+    }
+}
+
+#[test]
+fn softmax_simd_is_tolerance_bounded_and_mask_safe() {
+    let mut v: Vec<f32> = (0..1000)
+        .map(|i| ((i * 17) % 301) as f32 * 0.05 - 7.0)
+        .collect();
+    // One fully-masked row and a NaN-free partially-masked row.
+    for x in v.iter_mut().take(100) {
+        *x = f32::NEG_INFINITY;
+    }
+    let t = Tensor::from_vec(v, &[10, 100]);
+    let fast = t.softmax_rows();
+    let slow = simd::force_scalar(|| t.softmax_rows());
+    assert!(allclose(fast.data(), slow.data(), 1e-5, 1e-6));
+    // Fully-masked row stays uniform under SIMD.
+    for &x in &fast.data()[..100] {
+        assert_eq!(x, 0.01);
+    }
+    let fast_ls = t.log_softmax_rows();
+    let slow_ls = simd::force_scalar(|| t.log_softmax_rows());
+    assert!(allclose(fast_ls.data(), slow_ls.data(), 1e-4, 1e-5));
+}
+
+#[test]
+fn force_scalar_propagates_into_pool_workers() {
+    // Kernels invoked *inside* a map_tasks body re-read `simd::active()`
+    // on the pool worker; the dispatcher's veto must reach them. With the
+    // veto inherited, both halves are scalar and therefore bit-identical
+    // even on a simd build.
+    let a = Tensor::from_fn(&[48, 48], |i| (i % 19) as f32 * 0.1 - 0.9);
+    let b = Tensor::from_fn(&[48, 48], |i| (i % 23) as f32 * 0.1 - 1.1);
+    let direct = simd::force_scalar(|| a.matmul(&b));
+    let via_pool = simd::force_scalar(|| {
+        par::with_threads(4, || {
+            let mut out = par::map_tasks(4, 4, |_| a.matmul(&b));
+            out.pop().unwrap()
+        })
+    });
+    assert_eq!(bits(direct.data()), bits(via_pool.data()));
+}

@@ -19,11 +19,20 @@
 //! ```
 //!
 //! appends/updates entries in `BENCH_tensor.json` at the workspace root
-//! (or `PATH` if given). Entries are keyed by `(op, shape, threads)` so
-//! successive bench binaries merge into one file, giving later PRs a perf
-//! trajectory to compare against. `threads` is taken from `NTR_THREADS` when
-//! set (the same variable the `ntr-tensor` thread pool honours), otherwise
-//! from `std::thread::available_parallelism`.
+//! (or `PATH` if given). Entries are keyed by `(op, shape, threads, simd)`
+//! so successive bench binaries merge into one file, giving later PRs a
+//! perf trajectory to compare against. As in upstream criterion, a
+//! positional argument acts as a substring filter (`-- elementwise --json`
+//! re-measures one group and merges it into the existing baseline).
+//!
+//! Beyond upstream, sweep-style benches can stamp each measurement
+//! explicitly: [`Criterion::set_threads`] / [`BenchmarkGroup::set_threads`]
+//! override the recorded thread count (otherwise `NTR_THREADS`, falling
+//! back to `available_parallelism`), [`set_simd`](Criterion::set_simd)
+//! stamps the `simd: "on"|"off"` field (legacy baselines without the field
+//! parse as `"off"`), and [`annotate`](Criterion::annotate) attaches extra
+//! key/value fields (e.g. serve cache hit/miss counters) to the most recent
+//! measurement.
 
 use std::fmt::Display;
 use std::path::{Path, PathBuf};
@@ -93,25 +102,51 @@ impl Bencher {
     }
 }
 
-/// One recorded measurement.
+/// One baseline entry: the merge key `(op, shape, threads, simd)` plus the
+/// measurement and any annotations. Public so perf gates (`benchgate`) can
+/// read baselines through [`read_baseline_entries`] instead of re-parsing.
 #[derive(Debug, Clone)]
-struct Measurement {
+pub struct Entry {
     /// Group plus function name, e.g. `matmul/nn`.
-    op: String,
+    pub op: String,
     /// Parameter string, e.g. `256`; empty when the bench has none.
-    shape: String,
-    ns_per_iter: f64,
+    pub shape: String,
+    /// Thread count the measurement ran under.
+    pub threads: usize,
+    /// Whether SIMD micro-kernels were active for this measurement.
+    pub simd: bool,
+    pub ns_per_iter: f64,
+    /// Extra fields attached via `annotate` (value is raw JSON: numbers
+    /// unquoted, everything else quoted).
+    pub extra: Vec<(String, String)>,
+}
+
+impl Entry {
+    fn key(&self) -> (&str, &str, usize, bool) {
+        (&self.op, &self.shape, self.threads, self.simd)
+    }
 }
 
 /// The top-level benchmark driver.
 pub struct Criterion {
     json_out: Option<PathBuf>,
-    results: Vec<Measurement>,
+    results: Vec<Entry>,
+    /// Thread count stamped on subsequent measurements; `None` = derive from
+    /// the environment at record time.
+    cur_threads: Option<usize>,
+    /// SIMD flag stamped on subsequent measurements.
+    cur_simd: bool,
+    /// Substring filter from the first positional CLI arg (as in upstream
+    /// criterion): benchmarks whose `group/name/param` label doesn't
+    /// contain it are skipped entirely. Lets a single group be re-measured
+    /// and merged into an existing baseline without re-running the sweep.
+    filter: Option<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         let mut json_out = None;
+        let mut filter = None;
         let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             if a == "--json" {
@@ -120,11 +155,16 @@ impl Default for Criterion {
                     _ => default_json_path(),
                 };
                 json_out = Some(path);
+            } else if !a.starts_with('-') && filter.is_none() {
+                filter = Some(a);
             }
         }
         Criterion {
             json_out,
             results: Vec::new(),
+            cur_threads: None,
+            cur_simd: false,
+            filter,
         }
     }
 }
@@ -164,24 +204,68 @@ impl Criterion {
         }
     }
 
+    /// Stamps subsequent measurements with an explicit thread count instead
+    /// of deriving it from `NTR_THREADS` / `available_parallelism`. Sweep
+    /// benches that vary `par::with_threads` inside one process use this so
+    /// each arm lands under its own key.
+    pub fn set_threads(&mut self, n: usize) {
+        self.cur_threads = Some(n);
+    }
+
+    /// Stamps subsequent measurements as SIMD-on or SIMD-off.
+    pub fn set_simd(&mut self, on: bool) {
+        self.cur_simd = on;
+    }
+
+    /// Attaches an extra field to the most recently recorded measurement
+    /// (e.g. cache hit counters for a serve arm). Values that parse as f64
+    /// are written as JSON numbers, everything else as strings.
+    pub fn annotate(&mut self, key: &str, value: impl Display) {
+        let Some(last) = self.results.last_mut() else {
+            eprintln!("warning: annotate(\"{key}\") before any measurement; ignored");
+            return;
+        };
+        let raw = value.to_string();
+        let json = if raw.parse::<f64>().is_ok() {
+            raw
+        } else {
+            format!("\"{raw}\"")
+        };
+        last.extra.retain(|(k, _)| k != key);
+        last.extra.push((key.to_string(), json));
+    }
+
     /// Measures a standalone function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.matches(name) {
+            return;
+        }
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
         self.record(name.to_string(), String::new(), b.ns_per_iter);
     }
 
+    fn matches(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
     fn record(&mut self, op: String, shape: String, ns_per_iter: f64) {
+        let threads = self.cur_threads.unwrap_or_else(bench_threads);
+        let simd = self.cur_simd;
         let label = if shape.is_empty() {
             op.clone()
         } else {
             format!("{op}/{shape}")
         };
-        println!("{label:<40} {:>14.1} ns/iter", ns_per_iter);
-        self.results.push(Measurement {
+        let tag = if simd { " simd" } else { "" };
+        println!("{label:<40} t={threads}{tag:<5} {:>14.1} ns/iter", ns_per_iter);
+        self.results.push(Entry {
             op,
             shape,
+            threads,
+            simd,
             ns_per_iter,
+            extra: Vec::new(),
         });
     }
 
@@ -190,19 +274,27 @@ impl Criterion {
         let Some(path) = self.json_out.clone() else {
             return;
         };
-        let threads = bench_threads();
-        let mut entries = read_baseline(&path);
+        let mut entries = read_baseline_entries(&path);
         for m in &self.results {
-            entries.retain(|e| !(e.0 == m.op && e.1 == m.shape && e.2 == threads));
-            entries.push((m.op.clone(), m.shape.clone(), threads, m.ns_per_iter));
+            entries.retain(|e| e.key() != m.key());
+            entries.push(m.clone());
         }
-        entries.sort_by(|a, b| (&a.0, &a.1, a.2).cmp(&(&b.0, &b.1, b.2)));
+        entries.sort_by(|a, b| {
+            (&a.op, &a.shape, a.threads, a.simd).cmp(&(&b.op, &b.shape, b.threads, b.simd))
+        });
         let mut out = String::from("[\n");
-        for (i, (op, shape, threads, ns)) in entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             let comma = if i + 1 == entries.len() { "" } else { "," };
-            out.push_str(&format!(
-                "  {{\"op\": \"{op}\", \"shape\": \"{shape}\", \"threads\": {threads}, \"ns_per_iter\": {ns:.1}}}{comma}\n"
-            ));
+            let simd = if e.simd { "on" } else { "off" };
+            let mut line = format!(
+                "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"simd\": \"{simd}\", \"ns_per_iter\": {:.1}",
+                e.op, e.shape, e.threads, e.ns_per_iter
+            );
+            for (k, v) in &e.extra {
+                line.push_str(&format!(", \"{k}\": {v}"));
+            }
+            line.push_str(&format!("}}{comma}\n"));
+            out.push_str(&line);
         }
         out.push_str("]\n");
         if let Err(e) = std::fs::write(&path, out) {
@@ -213,10 +305,11 @@ impl Criterion {
     }
 }
 
-/// Parses the baseline file this crate itself writes: a JSON array of flat
-/// objects with string and number values. Unknown or malformed entries are
-/// dropped rather than aborting the bench run.
-fn read_baseline(path: &Path) -> Vec<(String, String, usize, f64)> {
+/// Parses a baseline file this crate itself writes: a JSON array of flat
+/// objects with string and number values. Entries missing the `simd` field
+/// (written before the field existed) parse as SIMD-off. Unknown or
+/// malformed entries are dropped rather than aborting the bench run.
+pub fn read_baseline_entries(path: &Path) -> Vec<Entry> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
@@ -225,34 +318,47 @@ fn read_baseline(path: &Path) -> Vec<(String, String, usize, f64)> {
         let Some(body) = obj.split('}').next() else {
             continue;
         };
-        let field = |key: &str| -> Option<String> {
-            let idx = body.find(&format!("\"{key}\""))?;
-            let rest = &body[idx..];
-            let colon = rest.find(':')?;
-            let val = rest[colon + 1..].trim_start();
-            if let Some(stripped) = val.strip_prefix('"') {
-                Some(stripped.split('"').next()?.to_string())
-            } else {
-                Some(
-                    val.split([',', '\n'])
-                        .next()?
-                        .trim()
-                        .to_string(),
-                )
+        // Flat `"key": value` pairs; no value in this format contains a
+        // comma or colon, so simple splitting is exact.
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for pair in body.split(',') {
+            let Some((k, v)) = pair.split_once(':') else {
+                continue;
+            };
+            let k = k.trim().trim_matches('"');
+            let v = v.trim();
+            if !k.is_empty() {
+                fields.push((k.to_string(), v.to_string()));
             }
+        }
+        let get = |key: &str| -> Option<String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.trim_matches('"').to_string())
         };
-        let (Some(op), Some(shape), Some(threads), Some(ns)) = (
-            field("op"),
-            field("shape"),
-            field("threads"),
-            field("ns_per_iter"),
-        ) else {
+        let (Some(op), Some(shape), Some(threads), Some(ns)) =
+            (get("op"), get("shape"), get("threads"), get("ns_per_iter"))
+        else {
             continue;
         };
         let (Ok(threads), Ok(ns)) = (threads.parse::<usize>(), ns.parse::<f64>()) else {
             continue;
         };
-        out.push((op, shape, threads, ns));
+        let simd = get("simd").as_deref() == Some("on");
+        let known = ["op", "shape", "threads", "simd", "ns_per_iter"];
+        let extra = fields
+            .into_iter()
+            .filter(|(k, _)| !known.contains(&k.as_str()))
+            .collect();
+        out.push(Entry {
+            op,
+            shape,
+            threads,
+            simd,
+            ns_per_iter: ns,
+            extra,
+        });
     }
     out
 }
@@ -269,6 +375,27 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Per-group override of the recorded thread count; see
+    /// [`Criterion::set_threads`]. Applies to this and later measurements
+    /// until changed again.
+    pub fn set_threads(&mut self, n: usize) -> &mut Self {
+        self.criterion.set_threads(n);
+        self
+    }
+
+    /// Per-group SIMD stamp; see [`Criterion::set_simd`].
+    pub fn set_simd(&mut self, on: bool) -> &mut Self {
+        self.criterion.set_simd(on);
+        self
+    }
+
+    /// Attaches an extra field to the most recent measurement; see
+    /// [`Criterion::annotate`].
+    pub fn annotate(&mut self, key: &str, value: impl Display) -> &mut Self {
+        self.criterion.annotate(key, value);
+        self
+    }
+
     /// Measures `f` with an input value.
     pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
         &mut self,
@@ -276,21 +403,27 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) {
-        let mut b = Bencher { ns_per_iter: 0.0 };
-        f(&mut b, input);
         let op = match &id.name {
             Some(n) => format!("{}/{n}", self.name),
             None => self.name.clone(),
         };
-        self.criterion
-            .record(op, id.param.clone().unwrap_or_default(), b.ns_per_iter);
+        let shape = id.param.clone().unwrap_or_default();
+        if !self.criterion.matches(&format!("{op}/{shape}")) {
+            return;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.criterion.record(op, shape, b.ns_per_iter);
     }
 
     /// Measures a named function within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let op = format!("{}/{name}", self.name);
+        if !self.criterion.matches(&op) {
+            return;
+        }
         let mut b = Bencher { ns_per_iter: 0.0 };
         f(&mut b);
-        let op = format!("{}/{name}", self.name);
         self.criterion.record(op, String::new(), b.ns_per_iter);
     }
 
@@ -328,6 +461,17 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn entry(op: &str, shape: &str, threads: usize, simd: bool, ns: f64) -> Entry {
+        Entry {
+            op: op.into(),
+            shape: shape.into(),
+            threads,
+            simd,
+            ns_per_iter: ns,
+            extra: Vec::new(),
+        }
+    }
+
     #[test]
     fn bencher_measures_something_positive() {
         let mut b = Bencher { ns_per_iter: 0.0 };
@@ -353,40 +497,74 @@ mod tests {
         let mut c = Criterion {
             json_out: Some(path.clone()),
             results: vec![
-                Measurement {
-                    op: "matmul/nn".into(),
-                    shape: "256".into(),
-                    ns_per_iter: 1234.5,
-                },
-                Measurement {
-                    op: "softmax_rows".into(),
-                    shape: "64".into(),
-                    ns_per_iter: 77.0,
-                },
+                entry("matmul/nn", "256", 4, false, 1234.5),
+                entry("softmax_rows", "64", 4, true, 77.0),
             ],
+            cur_threads: None,
+            cur_simd: false,
+            filter: None,
         };
+        c.annotate("cache_hits", 12);
+        c.annotate("mode", "lru");
         c.finalize();
-        let entries = read_baseline(&path);
+        let entries = read_baseline_entries(&path);
         assert_eq!(entries.len(), 2);
         assert!(entries
             .iter()
-            .any(|e| e.0 == "matmul/nn" && e.1 == "256" && (e.3 - 1234.5).abs() < 0.2));
+            .any(|e| e.op == "matmul/nn" && e.shape == "256" && !e.simd
+                && (e.ns_per_iter - 1234.5).abs() < 0.2));
+        let annotated = entries.iter().find(|e| e.op == "softmax_rows").unwrap();
+        assert!(annotated.simd);
+        assert!(annotated
+            .extra
+            .iter()
+            .any(|(k, v)| k == "cache_hits" && v == "12"));
+        assert!(annotated
+            .extra
+            .iter()
+            .any(|(k, v)| k == "mode" && v == "\"lru\""));
 
-        // A second run with an updated number replaces the matching entry.
+        // A second run with an updated number replaces the matching entry —
+        // same op/shape/threads but different simd flag is a distinct key.
         let mut c2 = Criterion {
             json_out: Some(path.clone()),
-            results: vec![Measurement {
-                op: "matmul/nn".into(),
-                shape: "256".into(),
-                ns_per_iter: 999.0,
-            }],
+            results: vec![
+                entry("matmul/nn", "256", 4, false, 999.0),
+                entry("matmul/nn", "256", 4, true, 500.0),
+            ],
+            cur_threads: None,
+            cur_simd: false,
+            filter: None,
         };
         c2.finalize();
-        let entries = read_baseline(&path);
-        assert_eq!(entries.len(), 2, "merge must not duplicate");
+        let entries = read_baseline_entries(&path);
+        assert_eq!(entries.len(), 3, "merge must not duplicate");
         assert!(entries
             .iter()
-            .any(|e| e.0 == "matmul/nn" && (e.3 - 999.0).abs() < 0.2));
+            .any(|e| e.op == "matmul/nn" && !e.simd && (e.ns_per_iter - 999.0).abs() < 0.2));
+        assert!(entries
+            .iter()
+            .any(|e| e.op == "matmul/nn" && e.simd && (e.ns_per_iter - 500.0).abs() < 0.2));
+        // Annotations on retained entries survive the merge.
+        let kept = entries.iter().find(|e| e.op == "softmax_rows").unwrap();
+        assert!(kept.extra.iter().any(|(k, _)| k == "cache_hits"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_baselines_without_simd_field_parse_as_off() {
+        let dir = std::env::temp_dir().join(format!("crit_shim_legacy_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(
+            &path,
+            "[\n  {\"op\": \"matmul/nn\", \"shape\": \"256\", \"threads\": 4, \"ns_per_iter\": 42.0}\n]\n",
+        )
+        .unwrap();
+        let entries = read_baseline_entries(&path);
+        assert_eq!(entries.len(), 1);
+        assert!(!entries[0].simd);
+        assert_eq!(entries[0].threads, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

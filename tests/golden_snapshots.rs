@@ -151,6 +151,13 @@ fn logits_fingerprint(name: &str, logits: &Tensor) -> String {
 
 #[test]
 fn first_forward_pass_logits_are_pinned() {
+    // Golden float fingerprints pin the *scalar* kernels; force the
+    // scalar path so `--features simd` builds check the same reference
+    // (DESIGN.md §9, determinism boundary).
+    ntr_tensor::simd::force_scalar(first_forward_pass_logits_are_pinned_impl)
+}
+
+fn first_forward_pass_logits_are_pinned_impl() {
     let p = pipeline();
     let tok = p.tokenizer();
     let t = sample();
@@ -268,6 +275,11 @@ fn mlm_noop_trace_with(
 
 #[test]
 fn supervised_noop_training_trace_is_pinned() {
+    // Pins scalar-kernel bits; see first_forward_pass_logits_are_pinned.
+    ntr_tensor::simd::force_scalar(supervised_noop_training_trace_is_pinned_impl)
+}
+
+fn supervised_noop_training_trace_is_pinned_impl() {
     // With every supervisor feature disabled, the short MLM run's loss
     // trace and final parameters are pinned bit-exactly — the supervisor
     // must be a true no-op against the pre-supervisor baseline.
