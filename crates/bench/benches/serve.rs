@@ -96,6 +96,7 @@ fn start_service(max_batch: usize, cache_bytes: usize) -> EmbeddingService {
             max_wait: Duration::from_millis(2),
             n_workers: 4,
             cache_bytes,
+            queue_cap: 0, // unbounded: the bench drives load, never sheds
             model_config: Some(cfg),
         },
         ntr_obs::Obs::disabled(),

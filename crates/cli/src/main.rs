@@ -54,8 +54,9 @@ const USAGE: &str = "usage:
                             [--clip-norm F] [--rollback] [--max-retries N] [--faults SPEC]
                             [--snapshot-every N] [--trace PATH] [--metrics PATH]
   ntr serve     <vocab.csv> [--port N] [--max-batch N] [--max-wait-ms N]
-                            [--cache-mb N] [--workers N] [--trace PATH]
-                            [--metrics PATH] [--no-header]
+                            [--cache-mb N] [--workers N] [--queue-cap N]
+                            [--max-conns N] [--idle-timeout-ms N]
+                            [--trace PATH] [--metrics PATH] [--no-header]
   ntr trace summarize <trace.jsonl>
   ntr trace validate  <trace.jsonl>
 
@@ -83,6 +84,13 @@ const USAGE: &str = "usage:
   with an LRU embedding cache of --cache-mb megabytes (0 disables). Batching
   is bit-identical to sequential encoding. {\"cmd\":\"shutdown\"} drains and
   exits; --port 0 picks an ephemeral port (printed on startup).
+  All connections share one event-loop thread (no thread per connection):
+  --max-conns caps concurrent connections (excess get a typed Overloaded line),
+  --queue-cap bounds the submit queue ahead of the micro-batcher (0 = unbounded;
+  requests past the cap are shed with {\"error\":{\"kind\":\"Overloaded\"}}), and
+  --idle-timeout-ms closes connections that make no progress (or never read
+  their responses) for that long. Oversized request lines (>1 MiB) are
+  discarded with a LineTooLong error without buffering.
   trace summarize: per-event table plus loss-curve stats from a trace file.
   trace validate: checks every line against the v1 trace schema";
 
@@ -412,7 +420,17 @@ fn serve(rest: &[String]) -> Result<(), String> {
             }
         })?,
         cache_bytes: parsed_flag(&flags, "--cache-mb", 32usize)? << 20,
+        queue_cap: parsed_flag(&flags, "--queue-cap", 256usize)?,
         model_config: None,
+    };
+    let server_cfg = ntr_serve::ServerConfig {
+        max_conns: parsed_flag(&flags, "--max-conns", 1024usize)?,
+        idle_timeout: std::time::Duration::from_millis(parsed_flag(
+            &flags,
+            "--idle-timeout-ms",
+            30_000u64,
+        )?),
+        ..Default::default()
     };
     let obs = ntr::obs::Obs::open(&ObsOptions {
         trace: flag_value(&flags, "--trace").map(PathBuf::from),
@@ -423,22 +441,35 @@ fn serve(rest: &[String]) -> Result<(), String> {
         .vocab_from_tables(std::slice::from_ref(&table))
         .build()
         .map_err(|e| e.to_string())?;
-    let server = ntr_serve::Server::start(pipeline, cfg, port, obs).map_err(|e| e.to_string())?;
+    let server = ntr_serve::Server::start_with(pipeline, cfg, server_cfg, port, obs)
+        .map_err(|e| e.to_string())?;
     // Scripts scrape this line for the (possibly ephemeral) port.
     println!("listening on {}", server.addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     let stats = server.wait();
+    let svc = stats.service;
     println!(
-        "served {} request(s) in {} batch(es) | {} error(s) | cache {} hit(s) / {} miss(es) / {} eviction(s) | p50 {} ms | p99 {} ms",
-        stats.requests,
-        stats.batches,
-        stats.errors,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.evictions,
-        stats.p50_ms,
-        stats.p99_ms
+        "served {} request(s) in {} batch(es) | {} error(s) | {} shed | cache {} hit(s) / {} miss(es) / {} eviction(s) | p50 {} ms | p99 {} ms",
+        svc.requests,
+        svc.batches,
+        svc.errors,
+        svc.shed,
+        svc.cache.hits,
+        svc.cache.misses,
+        svc.cache.evictions,
+        svc.p50_ms,
+        svc.p99_ms
+    );
+    let ev = stats.event_loop;
+    println!(
+        "connections: {} accepted | {} rejected | {} accept error(s) | {} idle close(s) | {} slow close(s) | {} oversized line(s)",
+        ev.conns_accepted,
+        ev.conns_rejected,
+        ev.accept_errors,
+        ev.idle_closes,
+        ev.slow_closes,
+        ev.oversized_lines
     );
     Ok(())
 }

@@ -40,6 +40,16 @@ pub enum EncodeError {
         /// What went wrong.
         detail: String,
     },
+    /// The serving layer shed this request before it reached the
+    /// micro-batcher: the bounded submit queue was full (admission
+    /// control under overload). The request did no work; retrying after
+    /// backoff is safe.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        queue_cap: usize,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -54,6 +64,13 @@ impl std::fmt::Display for EncodeError {
                 "table {table_id:?} too large: no data row fits the {max_tokens}-token budget"
             ),
             EncodeError::BadModelChoice { detail } => write!(f, "bad model choice: {detail}"),
+            EncodeError::Overloaded {
+                queue_depth,
+                queue_cap,
+            } => write!(
+                f,
+                "server overloaded: submit queue full ({queue_depth}/{queue_cap}); retry after backoff"
+            ),
         }
     }
 }
@@ -67,6 +84,7 @@ impl EncodeError {
             EncodeError::TokenizeFailed { .. } => "TokenizeFailed",
             EncodeError::TableTooLarge { .. } => "TableTooLarge",
             EncodeError::BadModelChoice { .. } => "BadModelChoice",
+            EncodeError::Overloaded { .. } => "Overloaded",
         }
     }
 }

@@ -341,6 +341,8 @@ pub mod schema {
                 req("max_batch", U64),
                 req("max_wait", U64),
                 req("cache_bytes", U64),
+                opt("queue_cap", U64),
+                opt("max_conns", U64),
             ],
         },
         Event {
@@ -356,6 +358,9 @@ pub mod schema {
                 req("misses", U64),
                 req("evictions", U64),
                 opt("errors", U64),
+                opt("shed", U64),
+                opt("accept_errors", U64),
+                opt("timeouts", U64),
                 opt("p50_ms", U64),
                 opt("p99_ms", U64),
             ],

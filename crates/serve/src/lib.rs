@@ -13,24 +13,35 @@
 //! Layers, bottom to top:
 //!
 //! * [`cache`] — content-addressed LRU over [`ntr::TableEncoding`]s;
-//! * [`service`] — [`service::EmbeddingService`]: queue, micro-batcher,
-//!   worker pool, per-request response channels;
-//! * [`json`] / [`wire`] — std-only JSON and the NDJSON wire protocol
-//!   with typed error responses;
-//! * [`server`] — [`server::Server`]: TCP accept loop, per-connection
-//!   threads, graceful shutdown, `ntr-obs` events and metrics.
+//! * [`service`] — [`service::EmbeddingService`]: bounded submit queue
+//!   with typed `Overloaded` load shedding, micro-batcher, worker pool,
+//!   completion callbacks;
+//! * [`json`] / [`wire`] — std-only JSON (depth-bounded recursive
+//!   descent) and the NDJSON wire protocol with typed error responses;
+//! * [`poller`] — dependency-free readiness polling (`epoll` on linux,
+//!   `poll(2)` elsewhere) plus a cross-thread [`poller::Waker`];
+//! * [`conn`] — per-connection read/write state machine: partial-read
+//!   framing, bounded buffers, idle / slow-consumer timeouts;
+//! * [`server`] — [`server::Server`]: a single event-loop thread serving
+//!   every connection with backpressure, fairness caps, load shedding,
+//!   graceful drain, and `ntr-obs` events and metrics.
 //!
-//! Everything is std-only: no async runtime, no serde — `std::net` +
-//! `std::sync::mpsc` + the workspace's own thread pool.
+//! Everything is std-only: no async runtime, no serde, no libc crate —
+//! `std::net` + `std::sync::mpsc` + the workspace's own thread pool, with
+//! the two readiness syscalls declared directly.
 
 pub mod cache;
+pub mod conn;
 pub mod json;
+pub mod poller;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use cache::{content_key, CacheStats, EmbeddingCache};
-pub use server::Server;
+pub use conn::{CloseReason, ConnLimits};
+pub use server::{LoopStats, Server, ServerConfig, ServerStats};
 pub use service::{
-    EmbeddingService, ServeConfig, ServeHandle, ServeReply, ServeRequest, ServeResponse, ServeStats,
+    Admission, Completion, EmbeddingService, ServeConfig, ServeHandle, ServeReply, ServeRequest,
+    ServeResponse, ServeStats,
 };

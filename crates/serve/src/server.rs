@@ -1,42 +1,149 @@
-//! TCP front-end for the embedding service: newline-delimited JSON, one
-//! thread per connection, graceful drain on shutdown.
+//! Event-loop TCP front-end for the embedding service: one
+//! readiness-driven thread handles every connection — no
+//! thread-per-connection, no blocking accept.
 //!
-//! Each connection is handled sequentially (request, response, request,
-//! …); concurrency comes from multiple connections, whose requests the
-//! micro-batcher coalesces. A `{"cmd": "shutdown"}` line (or
-//! [`Server::stop`]) stops the accept loop; [`Server::wait`] then joins
-//! every connection, drains the service, emits the `serve_end` trace
-//! event, and writes the metrics snapshot.
+//! # Architecture
+//!
+//! ```text
+//!            accept (nonblocking; EMFILE/ECONNABORTED → count + backoff)
+//!               │
+//!   ┌───────────▼────────────────────────────────────────────┐
+//!   │ event loop (crate::poller: epoll / poll, 1 thread)     │
+//!   │  per-connection state machines (crate::conn):          │
+//!   │    partial-read NDJSON framing · bounded write buffers │
+//!   │    in-flight caps · idle / slow-consumer timeouts      │
+//!   └───────────┬───────────────────────────────▲────────────┘
+//!     admission │ try_submit                    │ completions + waker
+//!   ┌───────────▼────────────┐      ┌───────────┴────────────┐
+//!   │ bounded submit queue   │      │ worker replicas render │
+//!   │ (queue_cap, typed      │ ───► │ the response line and  │
+//!   │  Overloaded shed)      │      │ wake the loop          │
+//!   └────────────────────────┘      └────────────────────────┘
+//! ```
+//!
+//! Backpressure tiers, outermost first: (1) `max_conns` — excess
+//! connections get one typed `Overloaded` line and a close; (2) the
+//! per-connection in-flight cap and write-buffer bound — the loop stops
+//! *reading* from a connection that has `max_inflight_per_conn` requests
+//! pending or `max_write_buf` unread response bytes, so one greedy or
+//! unreading client cannot starve the rest; (3) `queue_cap` — admission
+//! control in front of the micro-batcher sheds with
+//! [`ntr::EncodeError::Overloaded`] *before* any serialization work.
+//!
+//! A `{"cmd": "shutdown"}` line (or [`Server::stop`]) starts a graceful
+//! drain: the listener stops accepting, in-flight requests finish and
+//! their responses flush (bounded by [`ServerConfig::drain_timeout`]),
+//! then [`Server::wait`] reports final counters via the `serve_end`
+//! event and the metrics snapshot.
 
+use crate::conn::{CloseReason, Conn, ConnLimits, Frame};
+use crate::poller::{Event, Interest, Poller, WakeReceiver, Waker};
 use crate::service::{EmbeddingService, ServeConfig, ServeHandle, ServeStats};
 use crate::wire::{self, WireRequest};
 use ntr::Pipeline;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Network-layer knobs of the event-loop server (the service-layer knobs
+/// live in [`ServeConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent-connection cap; connection `max_conns + 1` is answered
+    /// with one typed `Overloaded` line and closed.
+    pub max_conns: usize,
+    /// Longest accepted request line; longer lines get a `LineTooLong`
+    /// error and are discarded without buffering.
+    pub max_line_bytes: usize,
+    /// Per-connection in-flight request cap (fairness: reading from a
+    /// connection pauses while it has this many responses pending).
+    pub max_inflight_per_conn: usize,
+    /// Per-connection response-buffer bound; reading pauses above it.
+    pub max_write_buf: usize,
+    /// Connections with no read/write progress for this long are closed.
+    pub idle_timeout: Duration,
+    /// Hard bound on the graceful drain after shutdown.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_conns: 1024,
+            max_line_bytes: 1 << 20,
+            max_inflight_per_conn: 32,
+            max_write_buf: 1 << 20,
+            idle_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Event-loop counters, reported next to the service's [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopStats {
+    /// Connections accepted.
+    pub conns_accepted: u64,
+    /// Connections rejected at the `max_conns` limit.
+    pub conns_rejected: u64,
+    /// Transient accept errors (EMFILE, ECONNABORTED, …) absorbed with
+    /// backoff instead of killing the accept path.
+    pub accept_errors: u64,
+    /// Connections closed for idling past `idle_timeout`.
+    pub idle_closes: u64,
+    /// Connections closed for not reading their responses.
+    pub slow_closes: u64,
+    /// Request lines rejected for exceeding `max_line_bytes`.
+    pub oversized_lines: u64,
+}
+
+/// Final counters from [`Server::wait`]: the service's plus the loop's.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Micro-batcher / cache / latency counters.
+    pub service: ServeStats,
+    /// Event-loop counters.
+    pub event_loop: LoopStats,
+}
 
 /// A running NDJSON-over-TCP embedding server.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    waker: Waker,
+    event_loop: Option<JoinHandle<LoopStats>>,
     service: Option<EmbeddingService>,
     obs: ntr_obs::Obs,
 }
 
 impl Server {
-    /// Binds `127.0.0.1:port` (0 picks an ephemeral port), starts the
-    /// service and the accept loop, and emits the `serve_start` event.
+    /// Binds `127.0.0.1:port` (0 picks an ephemeral port) with default
+    /// [`ServerConfig`] knobs, starts the service and the event loop, and
+    /// emits the `serve_start` event.
     pub fn start(
         pipeline: Pipeline,
         cfg: ServeConfig,
         port: u16,
         obs: ntr_obs::Obs,
-    ) -> std::io::Result<Server> {
+    ) -> io::Result<Server> {
+        Server::start_with(pipeline, cfg, ServerConfig::default(), port, obs)
+    }
+
+    /// [`Server::start`] with explicit network-layer knobs.
+    pub fn start_with(
+        pipeline: Pipeline,
+        cfg: ServeConfig,
+        server_cfg: ServerConfig,
+        port: u16,
+        obs: ntr_obs::Obs,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         if let Some(ev) = obs.event("serve_start") {
             ev.u64("port", u64::from(addr.port()))
@@ -44,22 +151,31 @@ impl Server {
                 .u64("max_batch", cfg.max_batch as u64)
                 .u64("max_wait", cfg.max_wait.as_millis() as u64)
                 .u64("cache_bytes", cfg.cache_bytes as u64)
+                .u64("queue_cap", cfg.queue_cap as u64)
+                .u64("max_conns", server_cfg.max_conns as u64)
                 .finish();
         }
         let service = EmbeddingService::start(pipeline, cfg, obs.clone());
-        let handle = service.handle();
         let stop = Arc::new(AtomicBool::new(false));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("ntr-serve-accept".into())
-                .spawn(move || accept_loop(&listener, addr, &handle, &stop))
-                .expect("spawn accept thread")
-        };
+        let (waker, wake_rx) = crate::poller::waker()?;
+        let ev_loop = EventLoop::new(
+            listener,
+            service.handle(),
+            server_cfg,
+            waker.clone(),
+            wake_rx,
+            Arc::clone(&stop),
+            obs.clone(),
+        )?;
+        let event_loop = std::thread::Builder::new()
+            .name("ntr-serve-loop".into())
+            .spawn(move || ev_loop.run())
+            .expect("spawn event-loop thread");
         Ok(Server {
             addr,
             stop,
-            accept: Some(accept),
+            waker,
+            event_loop: Some(event_loop),
             service: Some(service),
             obs,
         })
@@ -70,150 +186,529 @@ impl Server {
         self.addr
     }
 
-    /// Asks the server to stop accepting; `wait` completes the drain.
+    /// Asks the server to drain and stop; `wait` completes the drain.
     pub fn stop(&self) {
-        request_stop(&self.stop, self.addr);
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
     }
 
-    /// Blocks until the accept loop exits (client shutdown command or
+    /// Blocks until the event loop exits (client shutdown command or
     /// [`Server::stop`]), then drains the service and reports final
     /// counters via `serve_end` and the metrics snapshot.
-    pub fn wait(mut self) -> ServeStats {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let stats = self
+    pub fn wait(mut self) -> ServerStats {
+        let event_loop = self
+            .event_loop
+            .take()
+            .and_then(|t| t.join().ok())
+            .unwrap_or_default();
+        let service = self
             .service
             .take()
             .expect("wait consumes the service exactly once")
             .shutdown();
         let obs = &self.obs;
         if let Some(ev) = obs.event("serve_end") {
-            ev.u64("requests", stats.requests)
-                .u64("batches", stats.batches)
-                .u64("hits", stats.cache.hits)
-                .u64("misses", stats.cache.misses)
-                .u64("evictions", stats.cache.evictions)
-                .u64("errors", stats.errors)
-                .u64("p50_ms", stats.p50_ms)
-                .u64("p99_ms", stats.p99_ms)
+            ev.u64("requests", service.requests)
+                .u64("batches", service.batches)
+                .u64("hits", service.cache.hits)
+                .u64("misses", service.cache.misses)
+                .u64("evictions", service.cache.evictions)
+                .u64("errors", service.errors)
+                .u64("shed", service.shed)
+                .u64("accept_errors", event_loop.accept_errors)
+                .u64("timeouts", event_loop.idle_closes + event_loop.slow_closes)
+                .u64("p50_ms", service.p50_ms)
+                .u64("p99_ms", service.p99_ms)
                 .finish();
         }
-        obs.add("serve/requests", stats.requests);
-        obs.add("serve/batches", stats.batches);
-        obs.add("serve/errors", stats.errors);
-        obs.add("serve/cache_hits", stats.cache.hits);
-        obs.add("serve/cache_misses", stats.cache.misses);
-        obs.add("serve/cache_evictions", stats.cache.evictions);
+        obs.add("serve/requests", service.requests);
+        obs.add("serve/batches", service.batches);
+        obs.add("serve/errors", service.errors);
+        obs.add("serve/cache_hits", service.cache.hits);
+        obs.add("serve/cache_misses", service.cache.misses);
+        obs.add("serve/cache_evictions", service.cache.evictions);
         let _ = obs.write_metrics();
-        stats
+        ServerStats {
+            service,
+            event_loop,
+        }
     }
 }
 
-/// Flips the stop flag and self-connects to unblock the blocking
-/// `accept` call.
-fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
-    stop.store(true, Ordering::SeqCst);
-    let _ = TcpStream::connect(addr);
+/// A response line rendered off-loop, addressed to a connection slot.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    line: String,
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    addr: SocketAddr,
-    handle: &ServeHandle,
-    stop: &Arc<AtomicBool>,
-) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::SeqCst) {
-        let Ok((stream, _)) = listener.accept() else {
-            continue;
-        };
-        if stop.load(Ordering::SeqCst) {
-            break; // the self-connect that woke us up
+/// One slab entry: the connection plus its registration bookkeeping.
+struct Slot {
+    conn: Conn,
+    /// Guards stale completions after the slot is recycled.
+    gen: u64,
+    /// Interest currently registered with the poller.
+    registered: Interest,
+}
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// Accepts at most this many connections per readiness tick so a connect
+/// storm cannot starve established connections.
+const ACCEPT_BURST: usize = 64;
+
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_millis(200);
+
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    listener_registered: bool,
+    handle: ServeHandle,
+    cfg: ServerConfig,
+    limits: ConnLimits,
+    /// Shared with [`Server::stop`] and with every in-flight completion.
+    waker: Waker,
+    wake_rx: WakeReceiver,
+    stop: Arc<AtomicBool>,
+    obs: ntr_obs::Obs,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    active: usize,
+    gen_counter: u64,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    /// Set while recovering from a transient accept error.
+    accept_resume_at: Option<Instant>,
+    accept_backoff: Duration,
+    /// Set when a drain began (shutdown command or `Server::stop`).
+    draining_since: Option<Instant>,
+    stats: LoopStats,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        listener: TcpListener,
+        handle: ServeHandle,
+        cfg: ServerConfig,
+        waker: Waker,
+        wake_rx: WakeReceiver,
+        stop: Arc<AtomicBool>,
+        obs: ntr_obs::Obs,
+    ) -> io::Result<EventLoop> {
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.fd(), TOKEN_WAKER, Interest::READ)?;
+        Ok(EventLoop {
+            limits: ConnLimits {
+                max_line_bytes: cfg.max_line_bytes,
+                max_inflight: cfg.max_inflight_per_conn.max(1),
+                max_write_buf: cfg.max_write_buf,
+                idle_timeout: cfg.idle_timeout,
+            },
+            poller,
+            listener,
+            listener_registered: true,
+            handle,
+            cfg,
+            waker,
+            wake_rx,
+            stop,
+            obs,
+            slots: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            gen_counter: 0,
+            completions: Arc::new(Mutex::new(VecDeque::new())),
+            accept_resume_at: None,
+            accept_backoff: ACCEPT_BACKOFF_MIN,
+            draining_since: None,
+            stats: LoopStats::default(),
+        })
+    }
+
+    fn run(mut self) -> LoopStats {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let now = Instant::now();
+            if self.stop.load(Ordering::SeqCst) && self.draining_since.is_none() {
+                self.begin_drain(now);
+            }
+            if self.drained(now) {
+                break;
+            }
+            let timeout = self.next_timeout(now);
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            let now = Instant::now();
+            let mut accept_ready = false;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    t => self.handle_conn_event(t - TOKEN_BASE, ev, now),
+                }
+            }
+            self.drain_completions(now);
+            if accept_ready || self.accept_resume_due(now) {
+                self.accept_burst(now);
+            }
+            self.check_timeouts(now);
         }
-        let handle = handle.clone();
-        let stop = Arc::clone(stop);
-        connections.push(
-            std::thread::Builder::new()
-                .name("ntr-serve-conn".into())
-                .spawn(move || {
-                    let _ = connection(stream, &handle, &stop, addr);
-                })
-                .expect("spawn connection thread"),
+        self.stats
+    }
+
+    /// True when the accept-backoff pause expired; re-registers the
+    /// listener with the poller on resume.
+    fn accept_resume_due(&mut self, now: Instant) -> bool {
+        match self.accept_resume_at {
+            Some(at) if now >= at => {
+                self.accept_resume_at = None;
+                if !self.listener_registered && self.draining_since.is_none() {
+                    self.listener_registered = self
+                        .poller
+                        .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+                        .is_ok();
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn begin_drain(&mut self, now: Instant) {
+        self.draining_since = Some(now);
+        if self.listener_registered {
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            self.listener_registered = false;
+        }
+        for i in 0..self.slots.len() {
+            let quiescent = match &mut self.slots[i] {
+                Some(slot) => {
+                    slot.conn.draining = true;
+                    slot.conn.quiescent()
+                }
+                None => continue,
+            };
+            if quiescent {
+                self.close(i);
+            } else {
+                self.refresh(i);
+            }
+        }
+    }
+
+    /// Drain completes when every connection closed, or the hard
+    /// `drain_timeout` expires (remaining connections are cut).
+    fn drained(&mut self, now: Instant) -> bool {
+        let Some(since) = self.draining_since else {
+            return false;
+        };
+        if self.active == 0 {
+            return true;
+        }
+        if now.duration_since(since) >= self.cfg.drain_timeout {
+            for i in 0..self.slots.len() {
+                if self.slots[i].is_some() {
+                    self.close(i);
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Next poll deadline: the earliest of accept-backoff resume, drain
+    /// deadline, and per-connection idle deadlines.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut deadline: Option<Instant> = None;
+        let mut consider = |d: Instant| match deadline {
+            Some(cur) if cur <= d => {}
+            _ => deadline = Some(d),
+        };
+        if let Some(at) = self.accept_resume_at {
+            consider(at);
+        }
+        if let Some(since) = self.draining_since {
+            consider(since + self.cfg.drain_timeout);
+        }
+        for slot in self.slots.iter().flatten() {
+            consider(slot.conn.last_progress + self.limits.idle_timeout);
+        }
+        deadline.map(|d| d.saturating_duration_since(now))
+    }
+
+    fn accept_burst(&mut self, now: Instant) {
+        if self.draining_since.is_some() || self.accept_resume_at.is_some() {
+            return;
+        }
+        for _ in 0..ACCEPT_BURST {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    if self.active >= self.cfg.max_conns {
+                        // Typed rejection: one Overloaded line, then close
+                        // (dropping the stream). Best-effort write — a
+                        // fresh socket's send buffer always has room for
+                        // one short line.
+                        self.stats.conns_rejected += 1;
+                        self.obs.inc("serve/conns_rejected");
+                        let _ = stream.set_nonblocking(true);
+                        let line = wire::conn_limit_response(self.cfg.max_conns);
+                        let _ = (&stream).write_all(line.as_bytes());
+                        let _ = (&stream).write_all(b"\n");
+                        continue;
+                    }
+                    let Ok(conn) = Conn::new(stream, now) else {
+                        continue;
+                    };
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.slots.push(None);
+                        self.slots.len() - 1
+                    });
+                    let interest = conn.interest(&self.limits);
+                    if self
+                        .poller
+                        .register(conn.stream.as_raw_fd(), TOKEN_BASE + slot, interest)
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.gen_counter += 1;
+                    self.slots[slot] = Some(Slot {
+                        conn,
+                        gen: self.gen_counter,
+                        registered: interest,
+                    });
+                    self.active += 1;
+                    self.stats.conns_accepted += 1;
+                    self.obs.inc("serve/conns_accepted");
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => {
+                    // Transient by policy: EMFILE/ENFILE, ECONNABORTED,
+                    // EINTR, … — an accept error must never stop the
+                    // server. Count it, back off exponentially, retry.
+                    self.stats.accept_errors += 1;
+                    self.obs.inc("serve/accept_errors");
+                    if self.listener_registered {
+                        let _ = self.poller.deregister(self.listener.as_raw_fd());
+                        self.listener_registered = false;
+                    }
+                    self.accept_resume_at = Some(now + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn handle_conn_event(&mut self, slot: usize, ev: Event, now: Instant) {
+        if self.slots.get(slot).is_none_or(Option::is_none) {
+            return; // already closed earlier this tick
+        }
+        if ev.hangup && !ev.readable {
+            self.close(slot);
+            return;
+        }
+        if ev.writable {
+            let flushed = self.slots[slot].as_mut().unwrap().conn.flush(now);
+            if flushed.is_err() {
+                self.close(slot);
+                return;
+            }
+        }
+        if ev.readable {
+            let filled = self.slots[slot]
+                .as_mut()
+                .unwrap()
+                .conn
+                .fill(&self.limits, now);
+            if filled.is_err() {
+                self.close(slot);
+                return;
+            }
+            self.process_frames(slot, now);
+        }
+        self.finish_or_refresh(slot, now);
+    }
+
+    /// Parses and dispatches frames from `slot`'s read buffer, bounded by
+    /// the per-connection in-flight cap.
+    fn process_frames(&mut self, slot: usize, now: Instant) {
+        loop {
+            let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
+            if s.conn.inflight >= self.limits.max_inflight {
+                return;
+            }
+            let Some(frame) = s.conn.next_frame(&self.limits) else {
+                return;
+            };
+            match frame {
+                Frame::Oversized { buffered } => {
+                    self.stats.oversized_lines += 1;
+                    self.obs.inc("serve/oversized_lines");
+                    let line = wire::line_too_long_response(buffered, self.limits.max_line_bytes);
+                    self.queue_line(slot, &line);
+                }
+                Frame::Line(bytes) => {
+                    if bytes.iter().all(|b| b.is_ascii_whitespace()) {
+                        continue;
+                    }
+                    let Ok(text) = std::str::from_utf8(&bytes) else {
+                        let line = wire::err_response(&wire::WireError {
+                            id: None,
+                            kind: "BadRequest",
+                            message: "request line is not valid UTF-8".into(),
+                        });
+                        self.queue_line(slot, &line);
+                        continue;
+                    };
+                    match wire::parse_request(text.trim()) {
+                        Ok(WireRequest::Shutdown) => {
+                            self.queue_line(slot, "{\"ok\": true, \"cmd\": \"shutdown\"}");
+                            self.stop.store(true, Ordering::SeqCst);
+                            self.begin_drain(now);
+                            return;
+                        }
+                        Ok(WireRequest::Encode { id, req }) => {
+                            self.submit(slot, id, req);
+                        }
+                        Err(e) => {
+                            let line = wire::err_response(&e);
+                            self.queue_line(slot, &line);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hands one request to the service; the completion renders the
+    /// response line off-loop (worker thread, or inline for cache hits
+    /// and sheds) and wakes the poller.
+    fn submit(&mut self, slot: usize, id: u64, req: crate::service::ServeRequest) {
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        s.conn.inflight += 1;
+        let gen = s.gen;
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        self.handle.try_submit(
+            req,
+            Box::new(move |resp| {
+                let line = match resp {
+                    Ok(reply) => wire::ok_response(id, &reply.encoding, reply.cached),
+                    Err(e) => wire::encode_err_response(id, &e),
+                };
+                completions
+                    .lock()
+                    .unwrap()
+                    .push_back(Completion { slot, gen, line });
+                waker.wake();
+            }),
         );
     }
-    for conn in connections {
-        let _ = conn.join();
-    }
-}
 
-fn connection(
-    stream: TcpStream,
-    handle: &ServeHandle,
-    stop: &AtomicBool,
-    addr: SocketAddr,
-) -> std::io::Result<()> {
-    // Poll the stop flag between reads so an idle connection cannot stall
-    // the drain forever.
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() && !serve_line(trimmed, handle, stop, addr, &mut writer)? {
-                    return Ok(());
-                }
-                line.clear();
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
+    /// Queues a response line plus its newline.
+    fn queue_line(&mut self, slot: usize, line: &str) {
+        if let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) {
+            s.conn.queue_write(line.as_bytes());
+            s.conn.queue_write(b"\n");
+        }
+    }
+
+    fn drain_completions(&mut self, now: Instant) {
+        loop {
+            let completion = self.completions.lock().unwrap().pop_front();
+            let Some(c) = completion else { break };
             {
-                // `read_line` keeps any partial line in `line`; just poll.
-                if stop.load(Ordering::SeqCst) {
-                    return Ok(());
+                let Some(s) = self.slots.get_mut(c.slot).and_then(Option::as_mut) else {
+                    continue; // connection closed while the request ran
+                };
+                if s.gen != c.gen {
+                    continue; // slot was recycled
                 }
+                s.conn.inflight -= 1;
+                s.conn.queue_write(c.line.as_bytes());
+                s.conn.queue_write(b"\n");
             }
-            Err(e) => return Err(e),
+            // A freed in-flight slot may unblock buffered frames.
+            self.process_frames(c.slot, now);
+            self.finish_or_refresh(c.slot, now);
         }
     }
-}
 
-/// Handles one request line; returns `false` when the connection should
-/// close (shutdown command).
-fn serve_line(
-    line: &str,
-    handle: &ServeHandle,
-    stop: &AtomicBool,
-    addr: SocketAddr,
-    writer: &mut BufWriter<TcpStream>,
-) -> std::io::Result<bool> {
-    let response = match wire::parse_request(line) {
-        Ok(WireRequest::Shutdown) => {
-            request_stop(stop, addr);
-            writer.write_all(b"{\"ok\": true, \"cmd\": \"shutdown\"}\n")?;
-            writer.flush()?;
-            return Ok(false);
+    /// Flushes, closes if terminal, else re-arms poller interest.
+    fn finish_or_refresh(&mut self, slot: usize, now: Instant) {
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let flushed = match s.conn.flush(now) {
+            Ok(f) => f,
+            Err(_) => {
+                self.close(slot);
+                return;
+            }
+        };
+        let s = self.slots[slot].as_ref().unwrap();
+        let done = (flushed && s.conn.close_after_flush)
+            || (s.conn.peer_closed && s.conn.quiescent() && !s.conn.has_buffered_input())
+            || (s.conn.draining && s.conn.quiescent());
+        if done {
+            self.close(slot);
+        } else {
+            self.refresh(slot);
         }
-        Ok(WireRequest::Encode { id, req }) => match handle.submit(req).recv() {
-            Ok(Ok(reply)) => wire::ok_response(id, &reply.encoding, reply.cached),
-            Ok(Err(e)) => wire::encode_err_response(id, &e),
-            // The service is gone (shutdown raced this request).
-            Err(_) => wire::encode_err_response(
-                id,
-                &ntr::EncodeError::BadModelChoice {
-                    detail: "service shutting down".into(),
-                },
-            ),
-        },
-        Err(e) => wire::err_response(&e),
-    };
-    writer.write_all(response.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
-    Ok(true)
+    }
+
+    /// Re-arms poller interest when it changed since registration.
+    fn refresh(&mut self, slot: usize) {
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let want = s.conn.interest(&self.limits);
+        if want != s.registered
+            && self
+                .poller
+                .modify(s.conn.stream.as_raw_fd(), TOKEN_BASE + slot, want)
+                .is_ok()
+        {
+            s.registered = want;
+        }
+    }
+
+    fn check_timeouts(&mut self, now: Instant) {
+        for i in 0..self.slots.len() {
+            let reason = match &self.slots[i] {
+                Some(s) => s.conn.timed_out(&self.limits, now),
+                None => None,
+            };
+            let Some(reason) = reason else { continue };
+            if reason == CloseReason::SlowConsumer {
+                self.stats.slow_closes += 1;
+                self.obs.inc("serve/closed_slow");
+            } else {
+                self.stats.idle_closes += 1;
+                self.obs.inc("serve/closed_idle");
+            }
+            self.close(i);
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(s) = self.slots[slot].take() {
+            let _ = self.poller.deregister(s.conn.stream.as_raw_fd());
+            self.active -= 1;
+            self.free.push(slot);
+        }
+    }
 }

@@ -51,6 +51,11 @@ pub struct ServeConfig {
     pub n_workers: usize,
     /// Embedding-cache capacity in bytes (0 disables caching).
     pub cache_bytes: usize,
+    /// Admission-controlled submit-queue bound: [`ServeHandle::try_submit`]
+    /// sheds with a typed [`EncodeError::Overloaded`] once this many
+    /// requests are queued ahead of the micro-batcher (0 = unbounded).
+    /// Cache hits are always admitted — they never occupy the queue.
+    pub queue_cap: usize,
     /// Model configuration for the replicas; `None` uses the pipeline's
     /// [`Pipeline::default_config`]. All replicas share one config (and
     /// therefore one set of weights per family).
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(2),
             n_workers: par::max_threads(),
             cache_bytes: 32 << 20,
+            queue_cap: 256,
             model_config: None,
         }
     }
@@ -93,13 +99,31 @@ pub struct ServeReply {
 /// What comes back on a request's response channel.
 pub type ServeResponse = Result<ServeReply, EncodeError>;
 
+/// How a response is delivered: invoked exactly once, possibly from a
+/// worker thread. The event-loop server hands in a closure that queues
+/// the rendered line and wakes the poller; [`ServeHandle::submit`] wraps
+/// a channel sender for blocking callers.
+pub type Completion = Box<dyn FnOnce(ServeResponse) + Send>;
+
+/// Where [`ServeHandle::try_submit`] routed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Answered synchronously from the embedding cache.
+    CacheHit,
+    /// Accepted into the submit queue ahead of the micro-batcher.
+    Queued,
+    /// Shed with a typed [`EncodeError::Overloaded`] (already delivered
+    /// through the completion) because the queue was at capacity.
+    Shed,
+}
+
 struct Job {
     kind: ModelKind,
     key: u64,
     table: Table,
     context: String,
     submitted: Instant,
-    resp: mpsc::Sender<ServeResponse>,
+    complete: Completion,
 }
 
 /// Point-in-time service counters (reported in the `serve_end` trace
@@ -112,9 +136,13 @@ pub struct ServeStats {
     pub batches: u64,
     /// Requests answered with an [`EncodeError`].
     pub errors: u64,
+    /// Requests shed at admission with [`EncodeError::Overloaded`]
+    /// (monotonic; also counted in `errors`).
+    pub shed: u64,
     /// Cache counters.
     pub cache: CacheStats,
-    /// Median request latency (submit → response), milliseconds.
+    /// Median request latency (submit → response), milliseconds. Shed
+    /// requests are excluded — they do no work and would skew the SLO.
     pub p50_ms: u64,
     /// 99th-percentile request latency, milliseconds.
     pub p99_ms: u64,
@@ -131,18 +159,19 @@ struct Shared {
     requests: AtomicU64,
     batches: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
 }
 
 impl Shared {
-    fn answer(&self, job_resp: &mpsc::Sender<ServeResponse>, submitted: Instant, r: ServeResponse) {
+    fn answer(&self, complete: Completion, submitted: Instant, r: ServeResponse) {
         if r.is_err() {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
         let us = submitted.elapsed().as_micros() as u64;
         self.latencies_us.lock().unwrap().push(us);
         self.obs.observe("serve/latency_us", us);
-        let _ = job_resp.send(r); // receiver may have given up; that's fine
+        complete(r);
     }
 
     fn stats(&self) -> ServeStats {
@@ -159,6 +188,7 @@ impl Shared {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             cache: self.cache.lock().unwrap().stats(),
             p50_ms: pct(50),
             p99_ms: pct(99),
@@ -175,13 +205,36 @@ pub struct ServeHandle {
 }
 
 impl ServeHandle {
-    /// Submits one request. The encoding (or typed error) arrives on the
-    /// returned channel; cache hits are answered before this returns.
+    /// Submits one request with no admission control (in-process callers
+    /// that want every request encoded eventually). The encoding (or
+    /// typed error) arrives on the returned channel; cache hits are
+    /// answered before this returns.
     pub fn submit(&self, req: ServeRequest) -> mpsc::Receiver<ServeResponse> {
+        let (resp_tx, resp_rx) = mpsc::channel();
+        self.submit_inner(
+            req,
+            Box::new(move |r| {
+                let _ = resp_tx.send(r); // receiver may have given up
+            }),
+            false,
+        );
+        resp_rx
+    }
+
+    /// Admission-controlled submission — the server front door. The
+    /// completion is invoked exactly once, possibly before this returns
+    /// (cache hit, invalid request, or shed) and possibly from a worker
+    /// thread. When the submit queue holds `queue_cap` requests the
+    /// request is rejected *before* the batcher with a typed
+    /// [`EncodeError::Overloaded`] and [`Admission::Shed`] is returned.
+    pub fn try_submit(&self, req: ServeRequest, complete: Completion) -> Admission {
+        self.submit_inner(req, complete, true)
+    }
+
+    fn submit_inner(&self, req: ServeRequest, complete: Completion, bounded: bool) -> Admission {
         let submitted = Instant::now();
         let shared = &self.shared;
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        let (resp_tx, resp_rx) = mpsc::channel();
         let key = content_key(
             req.kind,
             shared.pipeline.linearizer().name(),
@@ -191,28 +244,56 @@ impl ServeHandle {
         );
         if let Some(hit) = shared.cache.lock().unwrap().get(key) {
             shared.answer(
-                &resp_tx,
+                complete,
                 submitted,
                 Ok(ServeReply {
                     encoding: hit,
                     cached: true,
                 }),
             );
-            return resp_rx;
+            return Admission::CacheHit;
+        }
+        // Admission control happens here — in front of the micro-batcher,
+        // so a saturated service rejects in O(1) instead of queueing work
+        // it will answer too late.
+        let depth = shared.queue_depth.load(Ordering::Relaxed);
+        let cap = shared.cfg.queue_cap;
+        if bounded && cap > 0 && depth >= cap {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.obs.inc("serve/shed");
+            // Shed latencies are ~0 and would skew the SLO percentiles;
+            // deliver without recording.
+            complete(Err(EncodeError::Overloaded {
+                queue_depth: depth,
+                queue_cap: cap,
+            }));
+            return Admission::Shed;
         }
         shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+        shared.obs.observe("serve/queue_depth", depth as u64 + 1);
         let job = Job {
             kind: req.kind,
             key,
             table: req.table,
             context: req.context,
             submitted,
-            resp: resp_tx,
+            complete,
         };
         // The batcher only exits after every sender is gone, so this
         // cannot fail while a handle exists.
         self.tx.send(job).expect("batcher thread alive");
-        resp_rx
+        Admission::Queued
+    }
+
+    /// Requests currently queued ahead of the micro-batcher.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// The configured admission bound (0 = unbounded).
+    pub fn queue_cap(&self) -> usize {
+        self.shared.cfg.queue_cap
     }
 
     /// Current counters.
@@ -246,6 +327,7 @@ impl EmbeddingService {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
         });
         let (tx, rx) = mpsc::channel::<Job>();
@@ -327,7 +409,7 @@ fn flush(shared: &Shared, batch: Vec<Job>) {
     for job in batch {
         match shared.pipeline.try_serialize(&job.table, &job.context) {
             Ok(encoded) => jobs.push((job, encoded)),
-            Err(e) => shared.answer(&job.resp, job.submitted, Err(e)),
+            Err(e) => shared.answer(job.complete, job.submitted, Err(e)),
         }
     }
     if jobs.is_empty() {
@@ -386,7 +468,7 @@ fn flush(shared: &Shared, batch: Vec<Job>) {
             .unwrap()
             .insert(job.key, Arc::clone(&enc));
         shared.answer(
-            &job.resp,
+            job.complete,
             job.submitted,
             Ok(ServeReply {
                 encoding: enc,

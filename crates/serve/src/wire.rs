@@ -166,6 +166,30 @@ pub fn ok_response(id: u64, enc: &TableEncoding, cached: bool) -> String {
     out
 }
 
+/// Renders the typed rejection for a line that exceeded the server's
+/// `max_line_bytes` (the line is discarded unbuffered, so no id could be
+/// parsed; the connection stays open).
+pub fn line_too_long_response(buffered: usize, max_line_bytes: usize) -> String {
+    err_response(&WireError {
+        id: None,
+        kind: "LineTooLong",
+        message: format!(
+            "request line exceeded {max_line_bytes} bytes (got at least {buffered}); \
+             the line was discarded"
+        ),
+    })
+}
+
+/// Renders the connection-level rejection sent (then followed by close)
+/// when the server is at its `max_conns` limit.
+pub fn conn_limit_response(max_conns: usize) -> String {
+    err_response(&WireError {
+        id: None,
+        kind: "Overloaded",
+        message: format!("connection limit reached ({max_conns}); retry after backoff"),
+    })
+}
+
 /// Renders an error response line from a service-level [`EncodeError`].
 pub fn encode_err_response(id: u64, e: &EncodeError) -> String {
     err_response(&WireError {

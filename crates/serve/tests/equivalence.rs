@@ -147,6 +147,7 @@ proptest! {
                 max_wait: Duration::from_millis(1),
                 n_workers,
                 cache_bytes: 0, // cache off: every request must hit the batch path
+                queue_cap: 0,
                 model_config: Some(cfg),
             },
             ntr_obs::Obs::disabled(),
@@ -190,6 +191,7 @@ fn cache_returns_identical_encoding() {
             max_wait: Duration::from_millis(1),
             n_workers: 2,
             cache_bytes: 32 << 20,
+            queue_cap: 0,
             model_config: Some(cfg),
         },
         ntr_obs::Obs::disabled(),
@@ -254,6 +256,7 @@ fn errors_are_typed_and_isolated() {
             max_wait: Duration::from_millis(1),
             n_workers: 2,
             cache_bytes: 0,
+            queue_cap: 0,
             model_config: Some(cfg),
         },
         ntr_obs::Obs::disabled(),

@@ -34,6 +34,7 @@ fn start_server() -> Server {
         max_wait: Duration::from_millis(1),
         n_workers: 2,
         cache_bytes: 32 << 20,
+        queue_cap: 256,
         model_config: Some(ntr_models::ModelConfig::tiny(
             pipeline.tokenizer().vocab_size(),
         )),
@@ -119,9 +120,12 @@ fn wire_protocol_end_to_end() {
     drop(conn);
     drop(conn2);
     let stats = server.wait();
-    assert_eq!(stats.requests, 2); // the bad-model and parse errors never reach the service
-    assert_eq!(stats.cache.hits, 1);
-    assert_eq!(stats.errors, 0);
+    let svc = stats.service;
+    assert_eq!(svc.requests, 2); // the bad-model and parse errors never reach the service
+    assert_eq!(svc.cache.hits, 1);
+    assert_eq!(svc.errors, 0);
+    assert_eq!(stats.event_loop.conns_accepted, 2);
+    assert_eq!(stats.event_loop.accept_errors, 0);
 }
 
 #[test]
@@ -129,5 +133,5 @@ fn stop_unblocks_wait_without_clients() {
     let server = start_server();
     server.stop();
     let stats = server.wait();
-    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.service.requests, 0);
 }
