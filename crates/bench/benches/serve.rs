@@ -79,11 +79,7 @@ fn requests(tables: &[Table]) -> Vec<ServeRequest> {
     tables
         .iter()
         .enumerate()
-        .map(|(i, t)| ServeRequest {
-            kind: ModelKind::Bert,
-            table: t.clone(),
-            context: format!("request {i}"),
-        })
+        .map(|(i, t)| ServeRequest::new(ModelKind::Bert, t.clone(), format!("request {i}")))
         .collect()
 }
 
@@ -98,9 +94,11 @@ fn start_service(max_batch: usize, cache_bytes: usize) -> EmbeddingService {
             cache_bytes,
             queue_cap: 0, // unbounded: the bench drives load, never sheds
             model_config: Some(cfg),
+            ..ServeConfig::default()
         },
         ntr_obs::Obs::disabled(),
     )
+    .expect("spawn service")
 }
 
 /// Runs one matrix arm against a fresh service and annotates the recorded

@@ -21,21 +21,38 @@
 //!
 //! ```text
 //! loadgen [--conns 64,256,1024] [--requests 32] [--queue-cap 4096]
-//!         [--json BENCH_serve.json] [--gate]
+//!         [--fault SPEC] [--timeout-ms N] [--json BENCH_serve.json] [--gate]
 //! ```
 //!
 //! `--gate` turns the run into a CI check: below-capacity load must shed
 //! nothing, drop no connection, and keep p99 under a generous
 //! single-core-friendly ceiling (`NTR_LOADGEN_MAX_P99_MS`, default 2000).
+//! Every wave is closed-loop, so "zero hung requests" is checked
+//! structurally: a wave only ends when every connection has collected its
+//! full response quota (typed errors count — they are responses).
+//!
+//! `--fault SPEC` injects deterministic serve faults (`serve-panic@N`,
+//! `serve-slow@N`, `@N` counting flushes — the `NTR_FAULTS` grammar); the
+//! per-wave rows then record `deadline_exceeded` / `internal` counts so
+//! the perf baseline captures robustness overhead, and the gate requires
+//! the post-recovery `{"cmd":"health"}` state to be `ok`. `--timeout-ms`
+//! stamps every request with a wire-level `timeout_ms` budget.
+//!
+//! Server-side latency accounting is a fixed 32-bucket log2 histogram, so
+//! its memory is O(1) in the number of requests — a soak at any wave count
+//! cannot grow it (the old per-request `Vec<u64>` leaked under sustained
+//! load).
 
 use criterion::{read_baseline_entries, Entry};
 use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{World, WorldConfig};
 use ntr::models::ModelConfig;
 use ntr::table::LinearizerOptions;
+use ntr::tensor::faults::FaultPlan;
 use ntr::Pipeline;
 use ntr_serve::poller::{Interest, Poller};
 use ntr_serve::{ServeConfig, Server, ServerConfig};
+use std::io::BufRead;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -44,15 +61,19 @@ use std::time::{Duration, Instant};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--conns LIST] [--requests N] [--queue-cap N] \
-         [--json PATH] [--gate]\n\n\
+         [--fault SPEC] [--timeout-ms N] [--json PATH] [--gate]\n\n\
          --conns LIST   comma-separated wave sizes (default 64,256,1024)\n\
          --requests N   responses each connection collects (default 32)\n\
          --queue-cap N  server admission queue capacity (default 4096)\n\
+         --fault SPEC   inject serve faults, e.g. serve-panic@50,serve-slow@120\n\
+         --timeout-ms N stamp every request with a timeout_ms budget (0 = none)\n\
          --json PATH    merge rows into this baseline (default BENCH_serve.json)\n\
-         --gate         enforce SLOs: zero shed, zero drops, p99 ceiling\n\
+         --gate         enforce SLOs: zero shed, zero drops, p99 ceiling,\n\
+                        and health \"ok\" after a faulted run\n\
          \n\
          env: NTR_LOADGEN_MAX_P99_MS (gate ceiling, default 2000)\n\
-              NTR_LOADGEN_TIMEOUT_S  (per-wave wall clock, default 120)"
+              NTR_LOADGEN_TIMEOUT_S  (per-wave wall clock, default 120)\n\
+              NTR_FAULTS             (fault spec fallback when --fault is absent)"
     );
     std::process::exit(2)
 }
@@ -61,6 +82,8 @@ struct Args {
     conns: Vec<usize>,
     requests: usize,
     queue_cap: usize,
+    fault: Option<FaultPlan>,
+    timeout_ms: u64,
     json: PathBuf,
     gate: bool,
 }
@@ -70,6 +93,8 @@ fn parse_args() -> Args {
         conns: vec![64, 256, 1024],
         requests: 32,
         queue_cap: 4096,
+        fault: None,
+        timeout_ms: 0,
         json: PathBuf::from("BENCH_serve.json"),
         gate: false,
     };
@@ -88,11 +113,26 @@ fn parse_args() -> Args {
             }
             "--requests" => args.requests = val().parse().unwrap_or_else(|_| usage()),
             "--queue-cap" => args.queue_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--fault" => {
+                args.fault = Some(FaultPlan::parse(&val()).unwrap_or_else(|e| {
+                    eprintln!("bad --fault: {e}");
+                    usage()
+                }))
+            }
+            "--timeout-ms" => args.timeout_ms = val().parse().unwrap_or_else(|_| usage()),
             "--json" => args.json = PathBuf::from(val()),
             "--gate" => args.gate = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
+    }
+    // `NTR_FAULTS` works here the same way it does for `ntr serve`:
+    // an explicit `--fault` wins, the env is the fallback.
+    if args.fault.is_none() {
+        args.fault = FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("bad NTR_FAULTS: {e}");
+            usage()
+        });
     }
     args
 }
@@ -107,7 +147,7 @@ fn env_u64(key: &str, default: u64) -> u64 {
 /// Pre-renders a pool of distinct request lines from a small generated
 /// corpus. Distinct contexts give distinct cache keys, so the pool sets
 /// the cache working set; it fits, and steady state is all hits.
-fn request_pool() -> (Vec<Vec<u8>>, Pipeline, ModelConfig) {
+fn request_pool(timeout_ms: u64) -> (Vec<Vec<u8>>, Pipeline, ModelConfig) {
     let world = World::generate(WorldConfig::default());
     let corpus = TableCorpus::generate(
         &world,
@@ -145,6 +185,7 @@ fn request_pool() -> (Vec<Vec<u8>>, Pipeline, ModelConfig) {
         line.push_str(&format!(
             "{{\"id\": {i}, \"model\": \"bert\", \"context\": \"load {i}\", \"columns\": ["
         ));
+        // (timeout_ms rendered below, before closing the object)
         for (c, col) in t.columns().iter().enumerate() {
             if c > 0 {
                 line.push_str(", ");
@@ -165,7 +206,11 @@ fn request_pool() -> (Vec<Vec<u8>>, Pipeline, ModelConfig) {
             }
             line.push(']');
         }
-        line.push_str("]}\n");
+        if timeout_ms > 0 {
+            line.push_str(&format!("], \"timeout_ms\": {timeout_ms}}}\n"));
+        } else {
+            line.push_str("]}\n");
+        }
         pool.push(line.into_bytes());
     }
     (pool, pipeline, cfg)
@@ -191,6 +236,9 @@ struct Client {
 struct WaveResult {
     responses: u64,
     shed: u64,
+    deadline_exceeded: u64,
+    internal: u64,
+    degraded: u64,
     dropped: u64,
     elapsed: Duration,
     /// Sorted response latencies, microseconds.
@@ -242,6 +290,9 @@ fn run_wave(
     let mut result = WaveResult {
         responses: 0,
         shed: 0,
+        deadline_exceeded: 0,
+        internal: 0,
+        degraded: 0,
         dropped: 0,
         elapsed: Duration::ZERO,
         latencies_us: Vec::with_capacity(n_conns * requests),
@@ -362,9 +413,16 @@ fn read_responses(
         let us = c.sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
         result.latencies_us.push(us);
         result.responses += 1;
-        // Cheap classification: shed responses carry the Overloaded kind.
+        // Cheap classification by error kind: these strings only appear
+        // inside the typed "error": {"kind": ...} object.
         if line.windows(12).any(|w| w == b"\"Overloaded\"") {
             result.shed += 1;
+        } else if line.windows(18).any(|w| w == b"\"DeadlineExceeded\"") {
+            result.deadline_exceeded += 1;
+        } else if line.windows(10).any(|w| w == b"\"Internal\"") {
+            result.internal += 1;
+        } else if line.windows(10).any(|w| w == b"\"Degraded\"") {
+            result.degraded += 1;
         }
         c.remaining -= 1;
         if c.remaining == 0 {
@@ -409,13 +467,36 @@ fn write_baseline(path: &PathBuf, rows: Vec<Entry>) {
     }
 }
 
+/// One blocking health round-trip; returns the reported state (or a
+/// describable failure string, which the gate will reject).
+fn query_health(addr: std::net::SocketAddr) -> String {
+    let probe = || -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.write_all(b"{\"cmd\": \"health\"}\n")?;
+        let mut line = String::new();
+        std::io::BufReader::new(stream).read_line(&mut line)?;
+        // The state field is a flat string; slice it out without a JSON
+        // dependency: "state": "<value>".
+        let state = line
+            .split("\"state\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or("unparseable")
+            .to_string();
+        Ok(state)
+    };
+    probe().unwrap_or_else(|e| format!("unreachable ({e})"))
+}
+
 fn main() {
     let args = parse_args();
     let max_wave = args.conns.iter().copied().max().unwrap_or(64);
     let deadline = Duration::from_secs(env_u64("NTR_LOADGEN_TIMEOUT_S", 120));
     let p99_ceiling_ms = env_u64("NTR_LOADGEN_MAX_P99_MS", 2000);
 
-    let (pool, pipeline, model_cfg) = request_pool();
+    let (pool, pipeline, model_cfg) = request_pool(args.timeout_ms);
+    let faulted = args.fault.is_some();
     let server = Server::start_with(
         pipeline,
         ServeConfig {
@@ -425,6 +506,8 @@ fn main() {
             cache_bytes: 64 << 20,
             queue_cap: args.queue_cap,
             model_config: Some(model_cfg),
+            faults: args.fault.clone(),
+            ..ServeConfig::default()
         },
         ServerConfig {
             max_conns: max_wave + 64,
@@ -457,8 +540,16 @@ fn main() {
         let rps = wave.responses as f64 / wave.elapsed.as_secs_f64().max(1e-9);
         println!(
             "serve/loadgen/{n_conns:<5} {:>8} resp  p50 {:>8}us  p99 {:>8}us  \
-             {:>9.0} rps  shed {}  dropped {}",
-            wave.responses, p50, p99, rps, wave.shed, wave.dropped
+             {:>9.0} rps  shed {}  deadline {}  internal {}  degraded {}  dropped {}",
+            wave.responses,
+            p50,
+            p99,
+            rps,
+            wave.shed,
+            wave.deadline_exceeded,
+            wave.internal,
+            wave.degraded,
+            wave.dropped
         );
         if args.gate {
             let expected = (n_conns * args.requests) as u64;
@@ -499,16 +590,37 @@ fn main() {
                 ("rps".to_string(), format!("{rps:.0}")),
                 ("requests".to_string(), wave.responses.to_string()),
                 ("shed".to_string(), wave.shed.to_string()),
+                (
+                    "deadline_exceeded".to_string(),
+                    wave.deadline_exceeded.to_string(),
+                ),
+                ("internal".to_string(), wave.internal.to_string()),
             ],
         });
+    }
+
+    // After the waves (and any injected faults), the service must be
+    // healthy again: probe the health verb over a fresh connection before
+    // shutting down.
+    let health_state = query_health(addr);
+    println!("health after run: {health_state}");
+    if args.gate && faulted && health_state != "ok" {
+        gate_failures.push(format!(
+            "health state {health_state:?} after faulted run (expected \"ok\")"
+        ));
     }
 
     server.stop();
     let stats = server.wait();
     println!(
-        "server: {} requests, {} shed, {} accepted, {} rejected, {} accept errors",
+        "server: {} requests, {} shed, {} deadline, {} internal, {} restarts, \
+         {} quarantined, {} accepted, {} rejected, {} accept errors",
         stats.service.requests,
         stats.service.shed,
+        stats.service.deadline_exceeded,
+        stats.service.internal,
+        stats.service.restarts,
+        stats.service.quarantined,
         stats.event_loop.conns_accepted,
         stats.event_loop.conns_rejected,
         stats.event_loop.accept_errors

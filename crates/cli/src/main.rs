@@ -56,6 +56,7 @@ const USAGE: &str = "usage:
   ntr serve     <vocab.csv> [--port N] [--max-batch N] [--max-wait-ms N]
                             [--cache-mb N] [--workers N] [--queue-cap N]
                             [--max-conns N] [--idle-timeout-ms N]
+                            [--request-timeout-ms N] [--faults SPEC]
                             [--trace PATH] [--metrics PATH] [--no-header]
   ntr trace summarize <trace.jsonl>
   ntr trace validate  <trace.jsonl>
@@ -91,6 +92,18 @@ const USAGE: &str = "usage:
   --idle-timeout-ms closes connections that make no progress (or never read
   their responses) for that long. Oversized request lines (>1 MiB) are
   discarded with a LineTooLong error without buffering.
+  Self-healing serve: panics in the flush path are isolated — every affected
+  request gets a typed Internal error, the faulty replica is quarantined and
+  rebuilt bit-identically, and the batcher restarts with bounded backoff.
+  --request-timeout-ms sets a default per-request deadline (0 = none; a
+  request's own \"timeout_ms\" field overrides it) answered with
+  DeadlineExceeded when missed; clustered internal faults flip the service
+  into cache-only degraded mode (misses get a typed Degraded error) until a
+  half-open probe batch succeeds. {\"cmd\":\"health\"} reports
+  state (ok|degraded|draining), queue depth, restart/quarantine counts, and
+  per-replica status. --faults injects deterministic serve drills,
+  e.g. 'serve-panic@50,serve-slow@120' (@N counts flushes; NTR_FAULTS env
+  var is the fallback).
   trace summarize: per-event table plus loss-curve stats from a trace file.
   trace validate: checks every line against the v1 trace schema";
 
@@ -409,6 +422,14 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
 fn serve(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
     let port: u16 = parsed_flag(&flags, "--port", 7878)?;
+    // Same grammar and env fallback as `pretrain --faults`; the serve
+    // faults are `serve-panic@N` / `serve-slow@N` with `@N` counting
+    // flushes.
+    let faults = match flag_value(&flags, "--faults") {
+        Some(spec) => Some(FaultPlan::parse(spec).map_err(|e| format!("bad --faults: {e}"))?),
+        None => FaultPlan::from_env().map_err(|e| format!("bad NTR_FAULTS: {e}"))?,
+    };
+    let timeout_ms: u64 = parsed_flag(&flags, "--request-timeout-ms", 0u64)?;
     let cfg = ntr_serve::ServeConfig {
         max_batch: parsed_flag(&flags, "--max-batch", 8)?,
         max_wait: std::time::Duration::from_millis(parsed_flag(&flags, "--max-wait-ms", 2)?),
@@ -422,6 +443,9 @@ fn serve(rest: &[String]) -> Result<(), String> {
         cache_bytes: parsed_flag(&flags, "--cache-mb", 32usize)? << 20,
         queue_cap: parsed_flag(&flags, "--queue-cap", 256usize)?,
         model_config: None,
+        default_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        faults,
+        ..Default::default()
     };
     let server_cfg = ntr_serve::ServerConfig {
         max_conns: parsed_flag(&flags, "--max-conns", 1024usize)?,
@@ -461,6 +485,19 @@ fn serve(rest: &[String]) -> Result<(), String> {
         svc.p50_ms,
         svc.p99_ms
     );
+    if svc.internal + svc.restarts + svc.quarantined + svc.deadline_exceeded + svc.degraded_rejects
+        > 0
+    {
+        println!(
+            "self-healing: {} internal error(s) | {} batcher restart(s) | {} quarantine(s) | {} deadline(s) exceeded | {} degraded reject(s) / {} probe(s)",
+            svc.internal,
+            svc.restarts,
+            svc.quarantined,
+            svc.deadline_exceeded,
+            svc.degraded_rejects,
+            svc.degraded_probes
+        );
+    }
     let ev = stats.event_loop;
     println!(
         "connections: {} accepted | {} rejected | {} accept error(s) | {} idle close(s) | {} slow close(s) | {} oversized line(s)",

@@ -50,6 +50,28 @@ pub enum EncodeError {
         /// The configured queue capacity.
         queue_cap: usize,
     },
+    /// An internal fault (a panic in the batcher or a worker replica)
+    /// was isolated while this request was in flight. The request may
+    /// or may not have done work; the service itself recovered
+    /// (quarantined the replica, restarted the batcher) and retrying is
+    /// safe.
+    Internal {
+        /// What faulted (panic payload or supervision context).
+        detail: String,
+    },
+    /// The request's deadline elapsed before a result could be
+    /// delivered — at admission, while queued, or after the batch ran
+    /// but too late. No partial result is returned.
+    DeadlineExceeded {
+        /// The deadline budget that was exceeded, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The service is in cache-only degraded mode (circuit breaker open
+    /// after repeated internal faults): cache hits are still served,
+    /// but this request missed and was rejected without queueing.
+    /// Retrying after backoff is safe; the breaker probes itself back
+    /// to healthy.
+    Degraded,
 }
 
 impl std::fmt::Display for EncodeError {
@@ -71,6 +93,17 @@ impl std::fmt::Display for EncodeError {
                 f,
                 "server overloaded: submit queue full ({queue_depth}/{queue_cap}); retry after backoff"
             ),
+            EncodeError::Internal { detail } => {
+                write!(f, "internal serve fault (isolated): {detail}")
+            }
+            EncodeError::DeadlineExceeded { timeout_ms } => write!(
+                f,
+                "deadline exceeded: request missed its {timeout_ms}ms budget"
+            ),
+            EncodeError::Degraded => write!(
+                f,
+                "service degraded: cache-only mode while recovering from internal faults; retry after backoff"
+            ),
         }
     }
 }
@@ -85,6 +118,9 @@ impl EncodeError {
             EncodeError::TableTooLarge { .. } => "TableTooLarge",
             EncodeError::BadModelChoice { .. } => "BadModelChoice",
             EncodeError::Overloaded { .. } => "Overloaded",
+            EncodeError::Internal { .. } => "Internal",
+            EncodeError::DeadlineExceeded { .. } => "DeadlineExceeded",
+            EncodeError::Degraded => "Degraded",
         }
     }
 }

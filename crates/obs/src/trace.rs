@@ -350,6 +350,24 @@ pub mod schema {
             fields: &[req("size", U64), req("queued", U64), opt("encode_ms", U64)],
         },
         Event {
+            name: "serve_fault",
+            fields: &[
+                req("kind", Str),
+                req("flush", U64),
+                opt("replica", U64),
+                opt("detail", Str),
+            ],
+        },
+        Event {
+            name: "serve_recover",
+            fields: &[
+                req("kind", Str),
+                req("flush", U64),
+                opt("restarts", U64),
+                opt("rebuilds", U64),
+            ],
+        },
+        Event {
             name: "serve_end",
             fields: &[
                 req("requests", U64),
@@ -363,6 +381,11 @@ pub mod schema {
                 opt("timeouts", U64),
                 opt("p50_ms", U64),
                 opt("p99_ms", U64),
+                opt("deadline_exceeded", U64),
+                opt("internal", U64),
+                opt("restarts", U64),
+                opt("quarantined", U64),
+                opt("degraded", U64),
             ],
         },
     ];

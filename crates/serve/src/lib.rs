@@ -15,7 +15,10 @@
 //! * [`cache`] — content-addressed LRU over [`ntr::TableEncoding`]s;
 //! * [`service`] — [`service::EmbeddingService`]: bounded submit queue
 //!   with typed `Overloaded` load shedding, micro-batcher, worker pool,
-//!   completion callbacks;
+//!   completion callbacks — plus the self-healing core: panic isolation
+//!   with exactly-once typed responses, supervised batcher restarts,
+//!   replica quarantine/rebuild, request deadlines, and a cache-only
+//!   degraded mode behind a circuit breaker;
 //! * [`json`] / [`wire`] — std-only JSON (depth-bounded recursive
 //!   descent) and the NDJSON wire protocol with typed error responses;
 //! * [`poller`] — dependency-free readiness polling (`epoll` on linux,
@@ -42,6 +45,6 @@ pub use cache::{content_key, CacheStats, EmbeddingCache};
 pub use conn::{CloseReason, ConnLimits};
 pub use server::{LoopStats, Server, ServerConfig, ServerStats};
 pub use service::{
-    Admission, Completion, EmbeddingService, ServeConfig, ServeHandle, ServeReply, ServeRequest,
-    ServeResponse, ServeStats,
+    Admission, Completion, EmbeddingService, HealthReport, ReplicaStatus, ServeConfig, ServeHandle,
+    ServeReply, ServeRequest, ServeResponse, ServeStats, INJECTED_FLUSH_PANIC_MSG,
 };

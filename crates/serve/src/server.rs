@@ -155,7 +155,7 @@ impl Server {
                 .u64("max_conns", server_cfg.max_conns as u64)
                 .finish();
         }
-        let service = EmbeddingService::start(pipeline, cfg, obs.clone());
+        let service = EmbeddingService::start(pipeline, cfg, obs.clone())?;
         let stop = Arc::new(AtomicBool::new(false));
         let (waker, wake_rx) = crate::poller::waker()?;
         let ev_loop = EventLoop::new(
@@ -169,8 +169,7 @@ impl Server {
         )?;
         let event_loop = std::thread::Builder::new()
             .name("ntr-serve-loop".into())
-            .spawn(move || ev_loop.run())
-            .expect("spawn event-loop thread");
+            .spawn(move || ev_loop.run())?;
         Ok(Server {
             addr,
             stop,
@@ -219,6 +218,11 @@ impl Server {
                 .u64("timeouts", event_loop.idle_closes + event_loop.slow_closes)
                 .u64("p50_ms", service.p50_ms)
                 .u64("p99_ms", service.p99_ms)
+                .u64("deadline_exceeded", service.deadline_exceeded)
+                .u64("internal", service.internal)
+                .u64("restarts", service.restarts)
+                .u64("quarantined", service.quarantined)
+                .u64("degraded", service.degraded_rejects)
                 .finish();
         }
         obs.add("serve/requests", service.requests);
@@ -578,6 +582,19 @@ impl EventLoop {
                             self.begin_drain(now);
                             return;
                         }
+                        Ok(WireRequest::Health) => {
+                            // Answered inline on the loop thread: health
+                            // must work even when the batcher is degraded
+                            // or its queue is full.
+                            let h = self.handle.health();
+                            let state = if self.draining_since.is_some() {
+                                "draining"
+                            } else {
+                                h.state
+                            };
+                            let line = wire::health_response(state, &h);
+                            self.queue_line(slot, &line);
+                        }
                         Ok(WireRequest::Encode { id, req }) => {
                             self.submit(slot, id, req);
                         }
@@ -609,10 +626,7 @@ impl EventLoop {
                     Ok(reply) => wire::ok_response(id, &reply.encoding, reply.cached),
                     Err(e) => wire::encode_err_response(id, &e),
                 };
-                completions
-                    .lock()
-                    .unwrap()
-                    .push_back(Completion { slot, gen, line });
+                crate::service::lock_clean(&completions).push_back(Completion { slot, gen, line });
                 waker.wake();
             }),
         );
@@ -628,7 +642,7 @@ impl EventLoop {
 
     fn drain_completions(&mut self, now: Instant) {
         loop {
-            let completion = self.completions.lock().unwrap().pop_front();
+            let completion = crate::service::lock_clean(&self.completions).pop_front();
             let Some(c) = completion else { break };
             {
                 let Some(s) = self.slots.get_mut(c.slot).and_then(Option::as_mut) else {

@@ -1,5 +1,5 @@
 //! The batched embedding service: a dynamic micro-batcher in front of a
-//! worker pool of model replicas.
+//! worker pool of model replicas, with a self-healing core.
 //!
 //! # Batching
 //!
@@ -23,6 +23,47 @@
 //! count. Requests are length-bucketed (longest-first greedy assignment)
 //! so workers finish at roughly the same time.
 //!
+//! # Self-healing
+//!
+//! Internal faults are isolated, typed, and recovered from — a panic
+//! anywhere in the flush path can never drop a response or kill the
+//! service:
+//!
+//! * **Flight board.** Before any work runs, every request's completion
+//!   moves onto a per-flush board. The success path takes a completion
+//!   off the board when it answers; after a caught panic, whatever is
+//!   still on the board is answered with [`EncodeError::Internal`].
+//!   Exactly one response per request, no matter where the panic fired.
+//! * **Replica quarantine.** A replica whose bucket panics is
+//!   quarantined: its models are dropped and rebuilt lazily from the
+//!   shared seeded [`ModelConfig`], so the rebuilt replica is
+//!   bit-identical to the pre-fault one by construction. After
+//!   `max_rebuilds` *consecutive* failures the replica is retired and
+//!   load respreads over the survivors (the last active replica is never
+//!   retired).
+//! * **Batcher supervision.** The batcher loop runs under `catch_unwind`
+//!   with bounded restarts and exponential backoff; past the budget it
+//!   stops batching and answers everything with a typed
+//!   [`EncodeError::Internal`] instead of hanging clients.
+//!   [`ServeHandle::submit`]/[`ServeHandle::try_submit`] never panic on a
+//!   dead batcher — the completion still fires.
+//! * **Deadlines.** A request may carry a deadline (wire `timeout_ms`,
+//!   or [`ServeConfig::default_timeout`]), enforced at admission, before
+//!   encode (in-queue expiry), and after the batch runs — always as a
+//!   typed [`EncodeError::DeadlineExceeded`].
+//! * **Degraded mode.** A circuit breaker over recent flush outcomes
+//!   flips the service into cache-only mode when internal faults
+//!   cluster: hits are still served, misses are rejected with
+//!   [`EncodeError::Degraded`], and every `probe_every`-th miss is
+//!   admitted as a half-open probe — one clean flush closes the breaker.
+//! * **Poison recovery.** Every mutex in this module is taken through
+//!   [`lock_clean`], so a panic while holding a lock never cascades into
+//!   `PoisonError` unwraps elsewhere.
+//!
+//! Deterministic drills for all of this are injected through the
+//! `NTR_FAULTS` grammar (`serve-panic@N`, `serve-slow@N` — see
+//! [`ntr_tensor::faults`]), where `@N` counts flushes.
+//!
 //! # Caching
 //!
 //! Before queueing, each request is looked up in a content-hash keyed LRU
@@ -32,16 +73,35 @@
 use crate::cache::{content_key, CacheStats, EmbeddingCache};
 use ntr::{build_model, EncodeError, ModelKind, Pipeline, TableEncoding};
 use ntr_models::{ModelConfig, SequenceEncoder};
+use ntr_obs::metrics::Histogram;
 use ntr_table::{EncodedTable, Table};
+use ntr_tensor::faults::{FaultKind, FaultPlan};
 use ntr_tensor::par;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Locks a mutex, recovering from poisoning: a panic that died while
+/// holding the lock (already isolated by the flush path) must not turn
+/// every later `lock().unwrap()` into a second panic. The protected
+/// state is either a cache (rebuildable), a counter, or replica models
+/// that the quarantine path drops anyway.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Message carried by an injected `serve-panic@N` flush fault (stable
+/// for assertions in chaos drills).
+pub const INJECTED_FLUSH_PANIC_MSG: &str = "ntr-faults: injected serve flush panic";
+
+/// How long an injected `serve-slow@N` fault stalls its flush.
+pub const INJECTED_SLOW_FLUSH: Duration = Duration::from_millis(60);
+
 /// Tuning knobs for [`EmbeddingService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Flush a batch as soon as it holds this many requests.
     pub max_batch: usize,
@@ -60,6 +120,29 @@ pub struct ServeConfig {
     /// [`Pipeline::default_config`]. All replicas share one config (and
     /// therefore one set of weights per family).
     pub model_config: Option<ModelConfig>,
+    /// Deadline applied to requests that carry none of their own
+    /// (`None` = no default deadline).
+    pub default_timeout: Option<Duration>,
+    /// Consecutive flush panics a replica survives (each one quarantines
+    /// and rebuilds it) before it is retired and load respreads. The
+    /// last active replica is never retired.
+    pub max_rebuilds: u32,
+    /// Batcher-loop panics the supervisor absorbs (restart + backoff)
+    /// before giving up and answering every request with a typed
+    /// [`EncodeError::Internal`].
+    pub max_batcher_restarts: u32,
+    /// Circuit breaker: flush outcomes remembered.
+    pub breaker_window: usize,
+    /// Circuit breaker: faulted flushes within the window that flip the
+    /// service into cache-only degraded mode.
+    pub breaker_threshold: usize,
+    /// In degraded mode, every `probe_every`-th cache miss is admitted
+    /// as a half-open probe instead of rejected; one clean probe flush
+    /// closes the breaker.
+    pub probe_every: usize,
+    /// Deterministic fault schedule for chaos drills (`serve-panic@N`,
+    /// `serve-slow@N`; `@N` counts flushes).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -71,12 +154,19 @@ impl Default for ServeConfig {
             cache_bytes: 32 << 20,
             queue_cap: 256,
             model_config: None,
+            default_timeout: None,
+            max_rebuilds: 3,
+            max_batcher_restarts: 5,
+            breaker_window: 16,
+            breaker_threshold: 3,
+            probe_every: 8,
+            faults: None,
         }
     }
 }
 
 /// One encode request: which model family, over which table, with which
-/// natural-language context.
+/// natural-language context, optionally bounded by a deadline.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
     /// Model family to encode with.
@@ -85,6 +175,21 @@ pub struct ServeRequest {
     pub table: Table,
     /// Caption / question / claim (may be empty).
     pub context: String,
+    /// Per-request deadline budget (overrides
+    /// [`ServeConfig::default_timeout`]; `None` inherits it).
+    pub timeout: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A request with no per-request deadline.
+    pub fn new(kind: ModelKind, table: Table, context: impl Into<String>) -> Self {
+        ServeRequest {
+            kind,
+            table,
+            context: context.into(),
+            timeout: None,
+        }
+    }
 }
 
 /// A successful encode result.
@@ -94,6 +199,17 @@ pub struct ServeReply {
     pub encoding: Arc<TableEncoding>,
     /// Whether it was answered from the cache.
     pub cached: bool,
+}
+
+// Compact by hand: a `TableEncoding` holds full per-token tensors, which
+// derived Debug would dump wholesale into assertion messages.
+impl std::fmt::Debug for ServeReply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeReply")
+            .field("cached", &self.cached)
+            .field("seq_len", &self.encoding.encoded.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// What comes back on a request's response channel.
@@ -115,6 +231,12 @@ pub enum Admission {
     /// Shed with a typed [`EncodeError::Overloaded`] (already delivered
     /// through the completion) because the queue was at capacity.
     Shed,
+    /// Rejected with another typed error (already delivered through the
+    /// completion): [`EncodeError::Degraded`] in cache-only mode,
+    /// [`EncodeError::DeadlineExceeded`] for an already-expired budget,
+    /// or [`EncodeError::Internal`] when the batcher's restart budget is
+    /// exhausted.
+    Rejected,
 }
 
 struct Job {
@@ -123,6 +245,18 @@ struct Job {
     table: Table,
     context: String,
     submitted: Instant,
+    /// Absolute deadline plus the budget (ms) for the error message.
+    deadline: Option<(Instant, u64)>,
+    complete: Completion,
+}
+
+/// One entry on a flush's flight board: everything needed to answer the
+/// request, kept apart from the encode work so a panic can never drop
+/// it.
+struct InFlight {
+    key: u64,
+    submitted: Instant,
+    deadline: Option<(Instant, u64)>,
     complete: Completion,
 }
 
@@ -139,13 +273,86 @@ pub struct ServeStats {
     /// Requests shed at admission with [`EncodeError::Overloaded`]
     /// (monotonic; also counted in `errors`).
     pub shed: u64,
+    /// Requests answered with [`EncodeError::DeadlineExceeded`] (also
+    /// counted in `errors`).
+    pub deadline_exceeded: u64,
+    /// Requests answered with [`EncodeError::Internal`] after an
+    /// isolated panic (also counted in `errors`).
+    pub internal: u64,
+    /// Batcher-loop supervision restarts.
+    pub restarts: u64,
+    /// Replica quarantine events (each one dropped and rebuilt a
+    /// replica's models).
+    pub quarantined: u64,
+    /// Cache misses rejected with [`EncodeError::Degraded`] while the
+    /// breaker was open (also counted in `errors`).
+    pub degraded_rejects: u64,
+    /// Half-open probes admitted while the breaker was open.
+    pub degraded_probes: u64,
     /// Cache counters.
     pub cache: CacheStats,
-    /// Median request latency (submit → response), milliseconds. Shed
+    /// Median request latency (submit → response), milliseconds,
+    /// derived from the 32-bucket log2 latency histogram (reported as
+    /// the matched bucket's upper edge). Shed and degraded-rejected
     /// requests are excluded — they do no work and would skew the SLO.
     pub p50_ms: u64,
-    /// 99th-percentile request latency, milliseconds.
+    /// 99th-percentile request latency, milliseconds (same derivation).
     pub p99_ms: u64,
+}
+
+/// One replica's health, as reported by the `health` wire verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// Times this replica was quarantined and rebuilt.
+    pub rebuilds: u64,
+    /// Retired after `max_rebuilds` consecutive failures; no longer
+    /// assigned buckets.
+    pub retired: bool,
+}
+
+/// Service self-assessment for the `{"cmd": "health"}` wire verb.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// `"ok"` or `"degraded"` (the server layer upgrades this to
+    /// `"draining"` during shutdown).
+    pub state: &'static str,
+    /// Requests queued ahead of the micro-batcher.
+    pub queue_depth: usize,
+    /// Configured admission bound (0 = unbounded).
+    pub queue_cap: usize,
+    /// Batcher supervision restarts so far.
+    pub restarts: u64,
+    /// Replica quarantine events so far.
+    pub quarantined: u64,
+    /// Deadline-exceeded responses so far.
+    pub deadline_exceeded: u64,
+    /// Per-replica status, in worker order.
+    pub replicas: Vec<ReplicaStatus>,
+}
+
+#[derive(Default)]
+struct ReplicaHealth {
+    consecutive_failures: u32,
+    rebuilds: u64,
+    retired: bool,
+}
+
+struct Replica {
+    models: Mutex<HashMap<ModelKind, Box<dyn SequenceEncoder + Send>>>,
+    health: Mutex<ReplicaHealth>,
+}
+
+/// Count-based circuit breaker over recent flush outcomes. Deterministic
+/// by construction: state changes only on flush completions and
+/// admission decisions, never on wall-clock time.
+#[derive(Default)]
+struct Breaker {
+    /// Recent flush outcomes, newest last (`true` = internal fault).
+    window: VecDeque<bool>,
+    /// Open = cache-only degraded mode.
+    open: bool,
+    /// Misses rejected since the last half-open probe.
+    rejected_since_probe: usize,
 }
 
 struct Shared {
@@ -153,46 +360,178 @@ struct Shared {
     cfg: ServeConfig,
     model_cfg: ModelConfig,
     cache: Mutex<EmbeddingCache>,
-    replicas: Vec<Mutex<HashMap<ModelKind, Box<dyn SequenceEncoder + Send>>>>,
+    replicas: Vec<Replica>,
+    faults: Mutex<FaultPlan>,
+    breaker: Mutex<Breaker>,
     obs: ntr_obs::Obs,
     queue_depth: AtomicUsize,
     requests: AtomicU64,
     batches: AtomicU64,
     errors: AtomicU64,
     shed: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    deadline_exceeded: AtomicU64,
+    internal: AtomicU64,
+    restarts: AtomicU64,
+    quarantined: AtomicU64,
+    degraded_rejects: AtomicU64,
+    degraded_probes: AtomicU64,
+    /// Bounded-memory latency record: 32 log2 buckets, wait-free.
+    latencies_us: Histogram,
 }
 
 impl Shared {
     fn answer(&self, complete: Completion, submitted: Instant, r: ServeResponse) {
-        if r.is_err() {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+        match &r {
+            Err(EncodeError::DeadlineExceeded { .. }) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc("serve/deadline_exceeded");
+            }
+            Err(EncodeError::Internal { .. }) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.internal.fetch_add(1, Ordering::Relaxed);
+                self.obs.inc("serve/internal_errors");
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(_) => {}
         }
         let us = submitted.elapsed().as_micros() as u64;
-        self.latencies_us.lock().unwrap().push(us);
+        self.latencies_us.record(us);
         self.obs.observe("serve/latency_us", us);
         complete(r);
     }
 
-    fn stats(&self) -> ServeStats {
-        let mut lat = self.latencies_us.lock().unwrap().clone();
-        lat.sort_unstable();
-        let pct = |p: usize| -> u64 {
-            if lat.is_empty() {
-                0
-            } else {
-                lat[(lat.len() - 1) * p / 100].div_ceil(1000)
+    /// Answers whatever is still on the flight board with a typed
+    /// internal error — the exactly-once guarantee after a caught panic.
+    fn fail_board(&self, board: &[Mutex<Option<InFlight>>], detail: &str) {
+        for slot in board {
+            if let Some(f) = lock_clean(slot).take() {
+                self.answer(
+                    f.complete,
+                    f.submitted,
+                    Err(EncodeError::Internal {
+                        detail: detail.to_string(),
+                    }),
+                );
             }
-        };
+        }
+    }
+
+    /// A percentile (0–100) from the latency histogram, reported as the
+    /// matched log2 bucket's upper edge, converted to milliseconds.
+    fn latency_pct_ms(&self, p: u64) -> u64 {
+        let count = self.latencies_us.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = (count - 1) * p / 100 + 1;
+        let mut seen = 0u64;
+        for (i, n) in self.latencies_us.nonzero_buckets() {
+            seen += n;
+            if seen >= rank {
+                let upper_us = (1u64 << (i as u32 + 1)) - 1;
+                return upper_us.div_ceil(1000);
+            }
+        }
+        0
+    }
+
+    fn stats(&self) -> ServeStats {
         ServeStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
-            cache: self.cache.lock().unwrap().stats(),
-            p50_ms: pct(50),
-            p99_ms: pct(99),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            degraded_rejects: self.degraded_rejects.load(Ordering::Relaxed),
+            degraded_probes: self.degraded_probes.load(Ordering::Relaxed),
+            cache: lock_clean(&self.cache).stats(),
+            p50_ms: self.latency_pct_ms(50),
+            p99_ms: self.latency_pct_ms(99),
         }
+    }
+
+    fn health(&self) -> HealthReport {
+        let degraded = lock_clean(&self.breaker).open;
+        HealthReport {
+            state: if degraded { "degraded" } else { "ok" },
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_cap: self.cfg.queue_cap,
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            replicas: self
+                .replicas
+                .iter()
+                .map(|r| {
+                    let h = lock_clean(&r.health);
+                    ReplicaStatus {
+                        rebuilds: h.rebuilds,
+                        retired: h.retired,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Records a flush outcome into the breaker and handles state
+    /// transitions (open on clustered faults, close on a clean flush
+    /// while open).
+    fn breaker_record(&self, flush_no: u64, faulted: bool) {
+        let mut b = lock_clean(&self.breaker);
+        if b.open {
+            if !faulted {
+                b.open = false;
+                b.window.clear();
+                b.rejected_since_probe = 0;
+                drop(b);
+                self.obs.inc("serve/degraded_recovered");
+                if let Some(ev) = self.obs.event("serve_recover") {
+                    ev.str("kind", "degraded").u64("flush", flush_no).finish();
+                }
+            }
+            return;
+        }
+        b.window.push_back(faulted);
+        while b.window.len() > self.cfg.breaker_window.max(1) {
+            b.window.pop_front();
+        }
+        let faults = b.window.iter().filter(|f| **f).count();
+        if faults >= self.cfg.breaker_threshold.max(1) {
+            b.open = true;
+            b.rejected_since_probe = 0;
+            drop(b);
+            self.obs.inc("serve/degraded_entered");
+            if let Some(ev) = self.obs.event("serve_fault") {
+                ev.str("kind", "degraded")
+                    .u64("flush", flush_no)
+                    .str("detail", "internal-error rate tripped the breaker")
+                    .finish();
+            }
+        }
+    }
+
+    /// Degraded-mode admission gate for cache misses: `true` admits
+    /// (breaker closed, or this miss is the half-open probe).
+    fn degraded_gate(&self) -> bool {
+        let mut b = lock_clean(&self.breaker);
+        if !b.open {
+            return true;
+        }
+        b.rejected_since_probe += 1;
+        if b.rejected_since_probe >= self.cfg.probe_every.max(1) {
+            b.rejected_since_probe = 0;
+            drop(b);
+            self.degraded_probes.fetch_add(1, Ordering::Relaxed);
+            self.obs.inc("serve/degraded_probes");
+            return true;
+        }
+        false
     }
 }
 
@@ -223,10 +562,12 @@ impl ServeHandle {
 
     /// Admission-controlled submission — the server front door. The
     /// completion is invoked exactly once, possibly before this returns
-    /// (cache hit, invalid request, or shed) and possibly from a worker
-    /// thread. When the submit queue holds `queue_cap` requests the
-    /// request is rejected *before* the batcher with a typed
-    /// [`EncodeError::Overloaded`] and [`Admission::Shed`] is returned.
+    /// (cache hit, invalid request, shed, degraded-mode reject) and
+    /// possibly from a worker thread. When the submit queue holds
+    /// `queue_cap` requests the request is rejected *before* the batcher
+    /// with a typed [`EncodeError::Overloaded`] and [`Admission::Shed`]
+    /// is returned; in degraded mode misses are rejected with
+    /// [`EncodeError::Degraded`] and [`Admission::Rejected`].
     pub fn try_submit(&self, req: ServeRequest, complete: Completion) -> Admission {
         self.submit_inner(req, complete, true)
     }
@@ -242,7 +583,7 @@ impl ServeHandle {
             &req.table,
             &req.context,
         );
-        if let Some(hit) = shared.cache.lock().unwrap().get(key) {
+        if let Some(hit) = lock_clean(&shared.cache).get(key) {
             shared.answer(
                 complete,
                 submitted,
@@ -252,6 +593,32 @@ impl ServeHandle {
                 }),
             );
             return Admission::CacheHit;
+        }
+        // Deadline enforcement tier 1 (admission): a zero budget is
+        // already expired and never queues.
+        let timeout = req.timeout.or(shared.cfg.default_timeout);
+        let deadline = timeout.map(|t| (submitted + t, t.as_millis() as u64));
+        if let Some((_, ms)) = deadline {
+            if timeout.is_some_and(|t| t.is_zero()) {
+                shared.answer(
+                    complete,
+                    submitted,
+                    Err(EncodeError::DeadlineExceeded { timeout_ms: ms }),
+                );
+                return Admission::Rejected;
+            }
+        }
+        // Degraded mode: cache-only service while the breaker is open.
+        // Misses are typed-rejected in O(1); every `probe_every`-th miss
+        // goes through as a half-open probe.
+        if !shared.degraded_gate() {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            shared.degraded_rejects.fetch_add(1, Ordering::Relaxed);
+            shared.obs.inc("serve/degraded_rejects");
+            // Like sheds, degraded rejects do no work; keeping them out
+            // of the latency histogram keeps the SLO honest.
+            complete(Err(EncodeError::Degraded));
+            return Admission::Rejected;
         }
         // Admission control happens here — in front of the micro-batcher,
         // so a saturated service rejects in O(1) instead of queueing work
@@ -278,11 +645,23 @@ impl ServeHandle {
             table: req.table,
             context: req.context,
             submitted,
+            deadline,
             complete,
         };
-        // The batcher only exits after every sender is gone, so this
-        // cannot fail while a handle exists.
-        self.tx.send(job).expect("batcher thread alive");
+        // The batcher exits only after its restart budget is exhausted
+        // (or every sender is gone); a dead batcher is a typed error for
+        // the caller, never a panic and never a hang.
+        if let Err(mpsc::SendError(job)) = self.tx.send(job) {
+            shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            shared.answer(
+                job.complete,
+                job.submitted,
+                Err(EncodeError::Internal {
+                    detail: "batcher unavailable (restart budget exhausted)".to_string(),
+                }),
+            );
+            return Admission::Rejected;
+        }
         Admission::Queued
     }
 
@@ -300,6 +679,11 @@ impl ServeHandle {
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
     }
+
+    /// Current self-assessment (the `health` wire verb).
+    pub fn health(&self) -> HealthReport {
+        self.shared.health()
+    }
 }
 
 /// The running service: batcher thread + worker pool + cache.
@@ -308,40 +692,61 @@ pub struct EmbeddingService {
     batcher: Option<JoinHandle<()>>,
 }
 
+/// Supervision backoff bounds for batcher restarts (kept short: the
+/// batcher holds no corrupt state across restarts, the backoff only
+/// stops a hot panic loop from spinning a core).
+const RESTART_BACKOFF_MIN: Duration = Duration::from_millis(1);
+const RESTART_BACKOFF_MAX: Duration = Duration::from_millis(50);
+
 impl EmbeddingService {
-    /// Starts the batcher thread. `obs` receives `serve_batch` events and
-    /// the serve metrics; pass [`ntr_obs::Obs::disabled`] to opt out.
-    pub fn start(pipeline: Pipeline, cfg: ServeConfig, obs: ntr_obs::Obs) -> Self {
+    /// Starts the supervised batcher thread. `obs` receives `serve_batch`
+    /// / `serve_fault` / `serve_recover` events and the serve metrics;
+    /// pass [`ntr_obs::Obs::disabled`] to opt out. The only error is a
+    /// failed thread spawn, surfaced instead of panicking.
+    pub fn start(pipeline: Pipeline, cfg: ServeConfig, obs: ntr_obs::Obs) -> std::io::Result<Self> {
         let model_cfg = cfg
             .model_config
             .unwrap_or_else(|| pipeline.default_config());
         let n_workers = cfg.n_workers.max(1);
+        let faults = cfg.faults.clone().unwrap_or_default();
         let shared = Arc::new(Shared {
             cache: Mutex::new(EmbeddingCache::new(cfg.cache_bytes)),
-            replicas: (0..n_workers).map(|_| Mutex::new(HashMap::new())).collect(),
+            replicas: (0..n_workers)
+                .map(|_| Replica {
+                    models: Mutex::new(HashMap::new()),
+                    health: Mutex::new(ReplicaHealth::default()),
+                })
+                .collect(),
             pipeline,
             cfg,
             model_cfg,
+            faults: Mutex::new(faults),
+            breaker: Mutex::new(Breaker::default()),
             obs,
             queue_depth: AtomicUsize::new(0),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shed: AtomicU64::new(0),
-            latencies_us: Mutex::new(Vec::new()),
+            deadline_exceeded: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            degraded_rejects: AtomicU64::new(0),
+            degraded_probes: AtomicU64::new(0),
+            latencies_us: Histogram::default(),
         });
         let (tx, rx) = mpsc::channel::<Job>();
         let batcher = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ntr-serve-batcher".into())
-                .spawn(move || batcher_loop(&shared, &rx))
-                .expect("spawn batcher thread")
+                .spawn(move || supervised_batcher(&shared, &rx))?
         };
-        EmbeddingService {
+        Ok(EmbeddingService {
             handle: ServeHandle { tx, shared },
             batcher: Some(batcher),
-        }
+        })
     }
 
     /// A cloneable submission handle.
@@ -352,6 +757,11 @@ impl EmbeddingService {
     /// Current counters.
     pub fn stats(&self) -> ServeStats {
         self.handle.shared.stats()
+    }
+
+    /// Current self-assessment.
+    pub fn health(&self) -> HealthReport {
+        self.handle.shared.health()
     }
 
     /// Graceful shutdown: drains every queued request through the normal
@@ -367,6 +777,65 @@ impl EmbeddingService {
             let _ = batcher.join();
         }
         shared.stats()
+    }
+}
+
+/// The batcher thread body: runs [`batcher_loop`] under `catch_unwind`
+/// with bounded restarts and exponential backoff. Flush-path panics are
+/// already isolated inside [`flush`]; this is the outer layer that keeps
+/// a panic in the *loop itself* from killing the service. Past the
+/// restart budget the thread stops batching but keeps draining the
+/// queue, answering everything with a typed internal error so no client
+/// ever hangs.
+fn supervised_batcher(shared: &Shared, rx: &mpsc::Receiver<Job>) {
+    let mut backoff = RESTART_BACKOFF_MIN;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| batcher_loop(shared, rx))) {
+            // Normal exit: every sender is gone and the queue drained.
+            Ok(()) => return,
+            Err(payload) => {
+                let restarts = shared.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.obs.inc("serve/restarts");
+                if let Some(ev) = shared.obs.event("serve_fault") {
+                    ev.str("kind", "batcher_panic")
+                        .u64("flush", shared.batches.load(Ordering::Relaxed))
+                        .str("detail", &panic_msg(payload.as_ref()))
+                        .finish();
+                }
+                if u64::from(shared.cfg.max_batcher_restarts) < restarts {
+                    // Budget exhausted: fail requests fast, typed, forever.
+                    while let Ok(job) = rx.recv() {
+                        shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        shared.answer(
+                            job.complete,
+                            job.submitted,
+                            Err(EncodeError::Internal {
+                                detail: "batcher restart budget exhausted".to_string(),
+                            }),
+                        );
+                    }
+                    return;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(RESTART_BACKOFF_MAX);
+                if let Some(ev) = shared.obs.event("serve_recover") {
+                    ev.str("kind", "batcher")
+                        .u64("flush", shared.batches.load(Ordering::Relaxed))
+                        .u64("restarts", restarts)
+                        .finish();
+                }
+            }
+        }
+    }
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
     }
 }
 
@@ -397,44 +866,147 @@ fn batcher_loop(shared: &Shared, rx: &mpsc::Receiver<Job>) {
     }
 }
 
-/// Encodes one batch across the worker replicas and answers every request.
+/// Encodes one batch across the worker replicas and answers every
+/// request — exactly once, whatever faults fire in between. The
+/// completions live on a flight board built *before* any fallible work;
+/// panics caught at the bucket level quarantine the replica, panics
+/// caught here fail whatever is still on the board.
 fn flush(shared: &Shared, batch: Vec<Job>) {
     let t0 = Instant::now();
     let size = batch.len() as u64;
-    shared.batches.fetch_add(1, Ordering::Relaxed);
+    let flush_no = shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
 
-    // Serialize on the batcher thread; invalid requests are answered
-    // immediately and never reach a worker.
-    let mut jobs: Vec<(Job, EncodedTable)> = Vec::with_capacity(batch.len());
-    for job in batch {
-        match shared.pipeline.try_serialize(&job.table, &job.context) {
-            Ok(encoded) => jobs.push((job, encoded)),
-            Err(e) => shared.answer(job.complete, job.submitted, Err(e)),
+    let mut board: Vec<Mutex<Option<InFlight>>> = Vec::with_capacity(batch.len());
+    let mut work: Vec<(usize, ModelKind, Table, String)> = Vec::with_capacity(batch.len());
+    for (i, job) in batch.into_iter().enumerate() {
+        board.push(Mutex::new(Some(InFlight {
+            key: job.key,
+            submitted: job.submitted,
+            deadline: job.deadline,
+            complete: job.complete,
+        })));
+        work.push((i, job.kind, job.table, job.context));
+    }
+
+    let panicked = catch_unwind(AssertUnwindSafe(|| {
+        flush_inner(shared, flush_no, &board, work)
+    }));
+    let faulted = match panicked {
+        Ok(n_bucket_panics) => n_bucket_panics > 0,
+        Err(payload) => {
+            let msg = panic_msg(payload.as_ref());
+            if let Some(ev) = shared.obs.event("serve_fault") {
+                ev.str("kind", "flush_panic")
+                    .u64("flush", flush_no)
+                    .str("detail", &msg)
+                    .finish();
+            }
+            shared.fail_board(&board, &format!("flush panicked: {msg}"));
+            true
+        }
+    };
+    shared.breaker_record(flush_no, faulted);
+
+    shared.obs.observe("serve/batch_size", size);
+    if let Some(ev) = shared.obs.event("serve_batch") {
+        ev.u64("size", size)
+            .u64("queued", shared.queue_depth.load(Ordering::Relaxed) as u64)
+            .u64("encode_ms", t0.elapsed().as_millis() as u64)
+            .finish();
+    }
+}
+
+/// The fallible middle of a flush; returns how many buckets panicked
+/// (each already quarantined and answered).
+fn flush_inner(
+    shared: &Shared,
+    flush_no: u64,
+    board: &[Mutex<Option<InFlight>>],
+    work: Vec<(usize, ModelKind, Table, String)>,
+) -> usize {
+    // Injected drills, consumed at flush granularity (`@N` = Nth flush).
+    let (slow, panic_armed) = {
+        let mut faults = lock_clean(&shared.faults);
+        (
+            faults.take(FaultKind::ServeSlow, flush_no),
+            faults.take(FaultKind::ServePanic, flush_no),
+        )
+    };
+    if slow {
+        if let Some(ev) = shared.obs.event("serve_fault") {
+            ev.str("kind", "slow_flush")
+                .u64("flush", flush_no)
+                .str("detail", "injected flush delay")
+                .finish();
+        }
+        std::thread::sleep(INJECTED_SLOW_FLUSH);
+    }
+
+    // Serialize on the batcher thread; invalid or already-expired
+    // requests are answered immediately and never reach a worker.
+    let now = Instant::now();
+    let mut jobs: Vec<(usize, ModelKind, EncodedTable)> = Vec::with_capacity(work.len());
+    for (i, kind, table, context) in work {
+        let Some(inflight) = lock_clean(&board[i]).take() else {
+            continue;
+        };
+        // Deadline enforcement tier 2 (in-queue): expired while waiting
+        // for the batch to fill.
+        if let Some((at, ms)) = inflight.deadline {
+            if now >= at {
+                shared.answer(
+                    inflight.complete,
+                    inflight.submitted,
+                    Err(EncodeError::DeadlineExceeded { timeout_ms: ms }),
+                );
+                continue;
+            }
+        }
+        match shared.pipeline.try_serialize(&table, &context) {
+            Ok(encoded) => {
+                *lock_clean(&board[i]) = Some(inflight);
+                jobs.push((i, kind, encoded));
+            }
+            Err(e) => shared.answer(inflight.complete, inflight.submitted, Err(e)),
         }
     }
     if jobs.is_empty() {
-        return;
+        return 0;
     }
 
-    // Length-balanced buckets: longest sequences first, each assigned to
-    // the currently lightest worker, so replicas finish together.
-    let n_buckets = shared.replicas.len().min(jobs.len());
+    // Length-balanced buckets over the *active* (non-retired) replicas:
+    // longest sequences first, each assigned to the currently lightest
+    // bucket, so replicas finish together. Load respreads automatically
+    // when a replica is retired.
+    let active: Vec<usize> = {
+        let mut active: Vec<usize> = (0..shared.replicas.len())
+            .filter(|&r| !lock_clean(&shared.replicas[r].health).retired)
+            .collect();
+        if active.is_empty() {
+            active.push(0); // the last replica is never retired, but be safe
+        }
+        active
+    };
+    let n_buckets = active.len().min(jobs.len());
     let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].1.len()), i));
+    order.sort_by_key(|&i| (std::cmp::Reverse(jobs[i].2.len()), i));
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_buckets];
     let mut loads = vec![0usize; n_buckets];
     for i in order {
         let lightest = (0..n_buckets).min_by_key(|&b| (loads[b], b)).unwrap();
-        loads[lightest] += jobs[i].1.len();
+        loads[lightest] += jobs[i].2.len();
         buckets[lightest].push(i);
     }
 
     // Encode every bucket concurrently, one model replica per bucket.
     // Each request runs through `encode_serialized` — the same compute
     // core as sequential `Pipeline::encode` — on a replica whose weights
-    // are bit-identical by construction (same config, same seed).
-    let slots: Vec<Mutex<Vec<(Job, EncodedTable)>>> = {
-        let mut jobs: Vec<Option<(Job, EncodedTable)>> = jobs.into_iter().map(Some).collect();
+    // are bit-identical by construction (same config, same seed). The
+    // bucket body runs under `catch_unwind`: a panic quarantines the
+    // replica and fails only that bucket's unanswered requests.
+    let slots: Vec<Mutex<Vec<(usize, ModelKind, EncodedTable)>>> = {
+        let mut jobs: Vec<Option<(usize, ModelKind, EncodedTable)>> =
+            jobs.into_iter().map(Some).collect();
         buckets
             .iter()
             .map(|bucket| {
@@ -447,41 +1019,242 @@ fn flush(shared: &Shared, batch: Vec<Job>) {
             })
             .collect()
     };
-    let done: Vec<Vec<(Job, Arc<TableEncoding>)>> = par::map_tasks(n_buckets, n_buckets, |b| {
-        let work = std::mem::take(&mut *slots[b].lock().unwrap());
-        let mut replica = shared.replicas[b].lock().unwrap();
-        let mut out = Vec::with_capacity(work.len());
-        for (job, encoded) in work {
-            let model = replica
-                .entry(job.kind)
-                .or_insert_with(|| build_model(job.kind, &shared.model_cfg));
-            let enc = Arc::new(shared.pipeline.encode_serialized(model.as_mut(), encoded));
-            out.push((job, enc));
+    let bucket_panics: Vec<usize> = par::map_tasks(n_buckets, n_buckets, |b| {
+        let replica_idx = active[b];
+        let replica = &shared.replicas[replica_idx];
+        let members: Vec<usize> = lock_clean(&slots[b]).iter().map(|(i, _, _)| *i).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let work = std::mem::take(&mut *lock_clean(&slots[b]));
+            let mut models = lock_clean(&replica.models);
+            for (job_no, (i, kind, encoded)) in work.into_iter().enumerate() {
+                if panic_armed && b == 0 && job_no == 0 {
+                    panic!("{INJECTED_FLUSH_PANIC_MSG}");
+                }
+                let model = models
+                    .entry(kind)
+                    .or_insert_with(|| build_model(kind, &shared.model_cfg));
+                let enc = Arc::new(shared.pipeline.encode_serialized(model.as_mut(), encoded));
+                let Some(inflight) = lock_clean(&board[i]).take() else {
+                    continue;
+                };
+                // The work is done either way; cache it so future hits
+                // benefit even when this response arrives too late.
+                lock_clean(&shared.cache).insert(inflight.key, Arc::clone(&enc));
+                // Deadline enforcement tier 3 (post-batch).
+                let r = match inflight.deadline {
+                    Some((at, ms)) if Instant::now() >= at => {
+                        Err(EncodeError::DeadlineExceeded { timeout_ms: ms })
+                    }
+                    _ => Ok(ServeReply {
+                        encoding: enc,
+                        cached: false,
+                    }),
+                };
+                shared.answer(inflight.complete, inflight.submitted, r);
+            }
+        }));
+        match outcome {
+            Ok(()) => {
+                lock_clean(&replica.health).consecutive_failures = 0;
+                0
+            }
+            Err(payload) => {
+                let msg = panic_msg(payload.as_ref());
+                quarantine(shared, replica_idx, flush_no, &msg, active.len());
+                for &i in &members {
+                    if let Some(f) = lock_clean(&board[i]).take() {
+                        shared.answer(
+                            f.complete,
+                            f.submitted,
+                            Err(EncodeError::Internal {
+                                detail: format!("replica {replica_idx} panicked: {msg}"),
+                            }),
+                        );
+                    }
+                }
+                1
+            }
         }
-        out
     });
+    bucket_panics.into_iter().sum()
+}
 
-    for (job, enc) in done.into_iter().flatten() {
-        shared
-            .cache
-            .lock()
-            .unwrap()
-            .insert(job.key, Arc::clone(&enc));
-        shared.answer(
-            job.complete,
-            job.submitted,
-            Ok(ServeReply {
-                encoding: enc,
-                cached: false,
-            }),
+/// Quarantines a replica after its bucket panicked: drop its models (the
+/// panic may have left an encoder mid-mutation) so they rebuild lazily
+/// from the shared seeded config — bit-identical to the originals by
+/// construction. After `max_rebuilds` consecutive failures the replica
+/// is retired, unless it is the last active one.
+fn quarantine(shared: &Shared, replica_idx: usize, flush_no: u64, msg: &str, n_active: usize) {
+    let replica = &shared.replicas[replica_idx];
+    lock_clean(&replica.models).clear();
+    let (rebuilds, retired) = {
+        let mut h = lock_clean(&replica.health);
+        h.consecutive_failures += 1;
+        h.rebuilds += 1;
+        if h.consecutive_failures >= shared.cfg.max_rebuilds.max(1) && n_active > 1 {
+            h.retired = true;
+        }
+        (h.rebuilds, h.retired)
+    };
+    shared.quarantined.fetch_add(1, Ordering::Relaxed);
+    shared.obs.inc("serve/quarantined");
+    if retired {
+        shared.obs.inc("serve/retired");
+    }
+    if let Some(ev) = shared.obs.event("serve_fault") {
+        ev.str(
+            "kind",
+            if retired {
+                "replica_retired"
+            } else {
+                "replica_panic"
+            },
+        )
+        .u64("flush", flush_no)
+        .u64("replica", replica_idx as u64)
+        .str("detail", msg)
+        .finish();
+    }
+    if !retired {
+        if let Some(ev) = shared.obs.event("serve_recover") {
+            ev.str("kind", "replica_rebuild")
+                .u64("flush", flush_no)
+                .u64("rebuilds", rebuilds)
+                .finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_clean_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock_clean(&m), 7, "lock_clean still reads the state");
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_upper_edges() {
+        let shared_lat = Histogram::default();
+        // 99 fast (≈100µs, bucket 6: 64..127) + 1 slow (≈80ms, bucket
+        // 16: 65536..131071).
+        for _ in 0..99 {
+            shared_lat.record(100);
+        }
+        shared_lat.record(80_000);
+        let pct = |p: u64| {
+            let count = shared_lat.count();
+            let rank = (count - 1) * p / 100 + 1;
+            let mut seen = 0;
+            for (i, n) in shared_lat.nonzero_buckets() {
+                seen += n;
+                if seen >= rank {
+                    return ((1u64 << (i as u32 + 1)) - 1).div_ceil(1000);
+                }
+            }
+            0
+        };
+        assert_eq!(
+            pct(50),
+            1,
+            "p50 reports the fast bucket's upper edge (127µs → 1ms)"
+        );
+        assert_eq!(pct(99), 1, "p99 rank 99 still lands in the fast bucket");
+        assert_eq!(
+            pct(100),
+            131,
+            "max rank reaches the slow bucket (131071µs → 131ms)"
         );
     }
 
-    shared.obs.observe("serve/batch_size", size);
-    if let Some(ev) = shared.obs.event("serve_batch") {
-        ev.u64("size", size)
-            .u64("queued", shared.queue_depth.load(Ordering::Relaxed) as u64)
-            .u64("encode_ms", t0.elapsed().as_millis() as u64)
-            .finish();
+    #[test]
+    fn latency_store_memory_is_bounded() {
+        // The store is a fixed array of 32 atomic buckets — recording
+        // never allocates, so a soak's footprint equals an idle one's.
+        // (The old per-request `Vec<u64>` grew ~8 bytes per response.)
+        assert!(
+            std::mem::size_of::<Histogram>() <= 64 * 8,
+            "latency store regressed to a growable structure?"
+        );
+        let h = Histogram::default();
+        for i in 0..1_000_000u64 {
+            h.record(i % 250_000);
+        }
+        assert_eq!(h.count(), 1_000_000, "every sample still counted");
+        assert!(h.nonzero_buckets().len() <= 32);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probe_closes_it() {
+        let cfg = ServeConfig {
+            breaker_window: 4,
+            breaker_threshold: 2,
+            probe_every: 3,
+            ..ServeConfig::default()
+        };
+        let b = Breaker::default();
+        let shared = shared_for_breaker(cfg, b);
+        assert!(shared.degraded_gate(), "closed breaker admits");
+        shared.breaker_record(1, true);
+        assert!(!lock_clean(&shared.breaker).open, "one fault is not enough");
+        shared.breaker_record(2, true);
+        assert!(
+            lock_clean(&shared.breaker).open,
+            "two faults in the window open it"
+        );
+        // Open: first two misses rejected, third admitted as a probe.
+        assert!(!shared.degraded_gate());
+        assert!(!shared.degraded_gate());
+        assert!(shared.degraded_gate(), "every 3rd miss probes");
+        assert_eq!(shared.degraded_probes.load(Ordering::Relaxed), 1);
+        // A faulted probe keeps it open; a clean one closes it.
+        shared.breaker_record(3, true);
+        assert!(lock_clean(&shared.breaker).open);
+        shared.breaker_record(4, false);
+        assert!(
+            !lock_clean(&shared.breaker).open,
+            "clean flush closes the breaker"
+        );
+        assert!(shared.degraded_gate());
+    }
+
+    /// A minimal `Shared` for breaker unit tests (no pipeline needed —
+    /// the breaker never touches it). Building a real pipeline here
+    /// would drag vocab training into a unit test.
+    fn shared_for_breaker(cfg: ServeConfig, breaker: Breaker) -> Shared {
+        Shared {
+            pipeline: ntr::Pipeline::builder()
+                .vocab_from_texts(&["alpha beta gamma delta".to_string()])
+                .build()
+                .expect("tiny vocab"),
+            model_cfg: ModelConfig::tiny(64),
+            cache: Mutex::new(EmbeddingCache::new(0)),
+            replicas: Vec::new(),
+            faults: Mutex::new(FaultPlan::none()),
+            breaker: Mutex::new(breaker),
+            obs: ntr_obs::Obs::disabled(),
+            cfg,
+            queue_depth: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            internal: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            degraded_rejects: AtomicU64::new(0),
+            degraded_probes: AtomicU64::new(0),
+            latencies_us: Histogram::default(),
+        }
     }
 }

@@ -5,7 +5,17 @@
 //! {"id": 1, "model": "tapas", "context": "population by country",
 //!  "columns": ["country", "population"], "rows": [["france", "67.8"]]}
 //! ```
-//! Control: `{"cmd": "shutdown"}` asks the server to drain and exit.
+//! An optional `"timeout_ms"` field bounds the request: past that budget
+//! the service answers with a typed `DeadlineExceeded` error instead of
+//! the embedding.
+//!
+//! Control: `{"cmd": "shutdown"}` asks the server to drain and exit;
+//! `{"cmd": "health"}` answers with the service self-assessment:
+//! ```json
+//! {"ok": true, "state": "ok", "queue_depth": 0, "queue_cap": 256,
+//!  "restarts": 0, "quarantined": 0, "deadline_exceeded": 0,
+//!  "replicas": [{"rebuilds": 0, "retired": false}]}
+//! ```
 //!
 //! Success response (`embedding` is the table-level `[CLS]` vector):
 //! ```json
@@ -19,9 +29,10 @@
 //! ```
 
 use crate::json::{self, Json};
-use crate::service::ServeRequest;
+use crate::service::{HealthReport, ServeRequest};
 use ntr::{EncodeError, ModelKind, TableEncoding};
 use ntr_table::Table;
+use std::time::Duration;
 
 /// One parsed request line.
 #[derive(Debug, Clone)]
@@ -35,6 +46,9 @@ pub enum WireRequest {
     },
     /// Graceful-shutdown control message.
     Shutdown,
+    /// Health probe: answered inline with [`health_response`], never
+    /// queued behind the batcher (it must work while degraded).
+    Health,
 }
 
 /// A request that could not be turned into work; becomes an `ok: false`
@@ -63,6 +77,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
     if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
         return match cmd {
             "shutdown" => Ok(WireRequest::Shutdown),
+            "health" => Ok(WireRequest::Health),
             other => Err(bad(None, format!("unknown cmd {other:?}"))),
         };
     }
@@ -84,6 +99,12 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         .and_then(Json::as_str)
         .unwrap_or_default()
         .to_string();
+    let timeout = match doc.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(Duration::from_millis(v.as_u64().ok_or_else(|| {
+            bad(Some(id), "\"timeout_ms\" must be a non-negative integer")
+        })?)),
+    };
     let columns: Vec<String> = doc
         .get("columns")
         .and_then(Json::as_arr)
@@ -141,8 +162,34 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
             kind,
             table,
             context,
+            timeout,
         },
     })
+}
+
+/// Renders the health-verb response line. `state` is passed separately so
+/// the server layer can report `"draining"` during shutdown without the
+/// service knowing about it.
+pub fn health_response(state: &str, h: &HealthReport) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"ok\": true, \"state\": ");
+    json::write_str(&mut out, state);
+    out.push_str(&format!(
+        ", \"queue_depth\": {}, \"queue_cap\": {}, \"restarts\": {}, \
+         \"quarantined\": {}, \"deadline_exceeded\": {}, \"replicas\": [",
+        h.queue_depth, h.queue_cap, h.restarts, h.quarantined, h.deadline_exceeded
+    ));
+    for (i, r) in h.replicas.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"rebuilds\": {}, \"retired\": {}}}",
+            r.rebuilds, r.retired
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Renders a success response line (no trailing newline).
@@ -240,6 +287,71 @@ mod tests {
             parse_request(r#"{"cmd": "shutdown"}"#).unwrap(),
             WireRequest::Shutdown
         ));
+    }
+
+    #[test]
+    fn parses_health() {
+        assert!(matches!(
+            parse_request(r#"{"cmd": "health"}"#).unwrap(),
+            WireRequest::Health
+        ));
+    }
+
+    #[test]
+    fn parses_timeout_ms() {
+        let line = r#"{"id": 1, "model": "bert", "timeout_ms": 250,
+                       "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Encode { req, .. } = parse_request(line).unwrap() else {
+            panic!("expected encode");
+        };
+        assert_eq!(req.timeout, Some(Duration::from_millis(250)));
+        // Absent field means "no per-request deadline".
+        let line = r#"{"id": 1, "model": "bert", "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Encode { req, .. } = parse_request(line).unwrap() else {
+            panic!("expected encode");
+        };
+        assert_eq!(req.timeout, None);
+        // A malformed budget is a typed BadRequest, not a silent default.
+        let e = parse_request(
+            r#"{"id": 9, "model": "bert", "timeout_ms": "soon", "columns": ["a"], "rows": [["1"]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, "BadRequest");
+        assert_eq!(e.id, Some(9));
+    }
+
+    #[test]
+    fn health_response_shape() {
+        use crate::service::ReplicaStatus;
+        let line = health_response(
+            "degraded",
+            &HealthReport {
+                state: "degraded",
+                queue_depth: 3,
+                queue_cap: 256,
+                restarts: 1,
+                quarantined: 2,
+                deadline_exceeded: 4,
+                replicas: vec![
+                    ReplicaStatus {
+                        rebuilds: 2,
+                        retired: false,
+                    },
+                    ReplicaStatus {
+                        rebuilds: 3,
+                        retired: true,
+                    },
+                ],
+            },
+        );
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(doc.get("queue_cap").and_then(Json::as_u64), Some(256));
+        let replicas = doc.get("replicas").and_then(Json::as_arr).unwrap();
+        assert_eq!(replicas.len(), 2);
+        assert_eq!(replicas[1].get("retired"), Some(&Json::Bool(true)));
+        assert_eq!(replicas[1].get("rebuilds").and_then(Json::as_u64), Some(3));
     }
 
     #[test]

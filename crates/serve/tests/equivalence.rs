@@ -149,20 +149,18 @@ proptest! {
                 cache_bytes: 0, // cache off: every request must hit the batch path
                 queue_cap: 0,
                 model_config: Some(cfg),
+                ..ServeConfig::default()
             },
             ntr_obs::Obs::disabled(),
-        );
+        )
+        .expect("spawn service");
         let handle = service.handle();
         // Submit everything before receiving anything, so requests
         // actually coalesce into multi-request batches.
         let rxs: Vec<_> = reqs
             .iter()
             .map(|(kind, t, ctx)| {
-                handle.submit(ServeRequest {
-                    kind: *kind,
-                    table: t.clone(),
-                    context: ctx.clone(),
-                })
+                handle.submit(ServeRequest::new(*kind, t.clone(), ctx.clone()))
             })
             .collect();
         for (rx, e) in rxs.into_iter().zip(&expected) {
@@ -193,15 +191,13 @@ fn cache_returns_identical_encoding() {
             cache_bytes: 32 << 20,
             queue_cap: 0,
             model_config: Some(cfg),
+            ..ServeConfig::default()
         },
         ntr_obs::Obs::disabled(),
-    );
+    )
+    .expect("spawn service");
     let handle = service.handle();
-    let req = || ServeRequest {
-        kind: ModelKind::Tapas,
-        table: table(5, 3, 2),
-        context: "same question".into(),
-    };
+    let req = || ServeRequest::new(ModelKind::Tapas, table(5, 3, 2), "same question");
 
     let first = handle.submit(req()).recv().unwrap().unwrap();
     assert!(!first.cached, "first submission must miss");
@@ -215,11 +211,11 @@ fn cache_returns_identical_encoding() {
 
     // Different content must miss.
     let other = handle
-        .submit(ServeRequest {
-            kind: ModelKind::Tapas,
-            table: table(5, 3, 2),
-            context: "different question".into(),
-        })
+        .submit(ServeRequest::new(
+            ModelKind::Tapas,
+            table(5, 3, 2),
+            "different question",
+        ))
         .recv()
         .unwrap()
         .unwrap();
@@ -258,22 +254,16 @@ fn errors_are_typed_and_isolated() {
             cache_bytes: 0,
             queue_cap: 0,
             model_config: Some(cfg),
+            ..ServeConfig::default()
         },
         ntr_obs::Obs::disabled(),
-    );
+    )
+    .expect("spawn service");
     let handle = service.handle();
     // A huge table (every row overflows) and an empty table (header
     // skeleton is valid) submitted together: one typed error, one success.
-    let bad = handle.submit(ServeRequest {
-        kind: ModelKind::Bert,
-        table: table(1, 3, 3),
-        context: String::new(),
-    });
-    let good = handle.submit(ServeRequest {
-        kind: ModelKind::Bert,
-        table: table(2, 0, 2),
-        context: String::new(),
-    });
+    let bad = handle.submit(ServeRequest::new(ModelKind::Bert, table(1, 3, 3), ""));
+    let good = handle.submit(ServeRequest::new(ModelKind::Bert, table(2, 0, 2), ""));
     match bad.recv().unwrap() {
         Err(EncodeError::TableTooLarge { max_tokens, .. }) => assert_eq!(max_tokens, 3),
         Err(e) => panic!("expected TableTooLarge, got {e}"),

@@ -41,6 +41,7 @@ fn start_server(server_cfg: ServerConfig) -> Server {
         model_config: Some(ntr_models::ModelConfig::tiny(
             pipeline.tokenizer().vocab_size(),
         )),
+        ..ServeConfig::default()
     };
     Server::start_with(pipeline, cfg, server_cfg, 0, ntr_obs::Obs::disabled())
         .expect("bind ephemeral port")

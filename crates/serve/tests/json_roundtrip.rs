@@ -1,0 +1,93 @@
+//! Property tests for the wire JSON string escaping: any Rust string the
+//! service can emit — error details carrying panic payloads, hostile cell
+//! text echoed back in `BadRequest` messages — must survive
+//! `json::write_str` → `json::parse` bit-for-bit. A single mis-escaped
+//! control character would corrupt the NDJSON framing (a raw `\n` splits
+//! one response into two lines), so this property is load-bearing for the
+//! protocol, not just cosmetic.
+
+use ntr::EncodeError;
+use ntr_serve::json::{self, Json};
+use ntr_serve::wire;
+use proptest::prelude::*;
+
+/// Arbitrary Unicode strings, surrogate gap mapped to U+FFFD (the same
+/// substitution the parser applies to unpaired `\u` escapes). Draws are
+/// weighted toward the troublesome regions: ASCII controls, the escape
+/// metacharacters, and astral-plane code points.
+fn arb_string() -> impl Strategy<Value = String> {
+    let cp = prop_oneof![
+        0u32..0x20,             // C0 controls: must be \u-escaped
+        0x20u32..0x80,          // printable ASCII incl. `"` and `\`
+        0x80u32..0x800,         // 2-byte UTF-8
+        0x800u32..0x1_0000,     // 3-byte UTF-8 (crosses the surrogate gap)
+        0x1_0000u32..0x11_0000  // astral plane: 4-byte UTF-8, non-BMP
+    ];
+    proptest::collection::vec(cp, 0..48).prop_map(|cps| {
+        cps.into_iter()
+            .map(|c| char::from_u32(c).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+/// Embeds `s` as an object value the way every response renderer does,
+/// parses the document back, and returns the recovered string.
+fn through_wire(s: &str) -> String {
+    let mut line = String::from("{\"detail\": ");
+    json::write_str(&mut line, s);
+    line.push('}');
+    let doc = json::parse(&line).unwrap_or_else(|e| panic!("emitted invalid JSON {line:?}: {e}"));
+    doc.get("detail")
+        .and_then(Json::as_str)
+        .expect("detail field survives")
+        .to_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_str_round_trips_arbitrary_strings(s in arb_string()) {
+        prop_assert_eq!(through_wire(&s), s);
+    }
+
+    // The full error-response path: an `Internal` whose detail is a panic
+    // payload of arbitrary text must come back as one well-formed line
+    // with the detail intact inside `error.message`.
+    #[test]
+    fn internal_error_responses_round_trip(detail in arb_string(), id in 0u64..1_000_000) {
+        let line = wire::encode_err_response(id, &EncodeError::Internal { detail: detail.clone() });
+        prop_assert!(!line.contains('\n'), "response must stay a single NDJSON line");
+        let doc = json::parse(&line).expect("error response is valid JSON");
+        prop_assert_eq!(doc.get("id").and_then(Json::as_u64), Some(id));
+        prop_assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let err = doc.get("error").expect("error object");
+        prop_assert_eq!(err.get("kind").and_then(Json::as_str), Some("Internal"));
+        let msg = err.get("message").and_then(Json::as_str).expect("message");
+        prop_assert!(msg.contains(&detail), "payload {detail:?} lost from {msg:?}");
+    }
+}
+
+#[test]
+fn targeted_hostile_strings_round_trip() {
+    let cases: &[&str] = &[
+        "",
+        "\"",
+        "\\",
+        "\\\"\\\"",
+        "a\"b\\c",
+        "\n\r\t",
+        "\u{0}\u{1}\u{8}\u{c}\u{1f}", // every escape branch incl. \u00xx
+        "line1\nline2\r\nline3",      // framing hazards
+        "tab\there\tand\tthere",
+        "ünïcödé çhärs",                          // 2-byte sequences
+        "日本語のテーブル",                       // 3-byte sequences
+        "emoji 😀🎉 and music 𝄞",                 // non-BMP (4-byte, surrogate pairs in UTF-16)
+        "\u{FFFD}\u{FFFF}\u{10FFFF}",             // boundary code points
+        "{\"nested\": \"json\"}",                 // JSON-in-string must not re-parse
+        "ntr-faults: injected serve flush panic", // the actual panic payload
+    ];
+    for s in cases {
+        assert_eq!(&through_wire(s), s, "round-trip failed for {s:?}");
+    }
+}

@@ -48,6 +48,7 @@ fn start_server() -> Server {
         model_config: Some(ntr_models::ModelConfig::tiny(
             pipeline.tokenizer().vocab_size(),
         )),
+        ..ServeConfig::default()
     };
     Server::start_with(
         pipeline,

@@ -38,6 +38,7 @@ fn start_server() -> Server {
         model_config: Some(ntr_models::ModelConfig::tiny(
             pipeline.tokenizer().vocab_size(),
         )),
+        ..ServeConfig::default()
     };
     Server::start(pipeline, cfg, 0, ntr_obs::Obs::disabled()).expect("bind ephemeral port")
 }

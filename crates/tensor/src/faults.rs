@@ -23,7 +23,11 @@
 //!   supervisor wipes its in-memory state and restarts from disk);
 //! * `corrupt-ckpt@N` — flip one bit of the on-disk checkpoint written at
 //!   step `N` ([`corrupt_file`]), so a later `crash` exercises the
-//!   corrupt-checkpoint fallback path.
+//!   corrupt-checkpoint fallback path;
+//! * `serve-panic@N` — panic inside the `ntr-serve` micro-batcher's `N`th
+//!   flush (consumed by the serve flush path; `@N` counts flushes);
+//! * `serve-slow@N` — delay the `N`th serve flush, exercising request
+//!   deadlines and slow-path isolation.
 //!
 //! Only the *schedule* lives here; what each fault means is defined by the
 //! component that consumes it. This module is deliberately free of any
@@ -41,6 +45,12 @@ pub enum FaultKind {
     Crash,
     /// Single-bit corruption of the on-disk checkpoint.
     CorruptCkpt,
+    /// Panic inside the serve micro-batcher's Nth flush (`@N` counts
+    /// completed flushes, not optimizer steps).
+    ServePanic,
+    /// Delay the serve micro-batcher's Nth flush (tests deadline
+    /// enforcement and slow-path isolation).
+    ServeSlow,
 }
 
 impl FaultKind {
@@ -51,6 +61,8 @@ impl FaultKind {
             FaultKind::WorkerPanic => "panic",
             FaultKind::Crash => "crash",
             FaultKind::CorruptCkpt => "corrupt-ckpt",
+            FaultKind::ServePanic => "serve-panic",
+            FaultKind::ServeSlow => "serve-slow",
         }
     }
 }
@@ -104,9 +116,12 @@ impl FaultPlan {
                 "panic" => FaultKind::WorkerPanic,
                 "crash" => FaultKind::Crash,
                 "corrupt-ckpt" => FaultKind::CorruptCkpt,
+                "serve-panic" => FaultKind::ServePanic,
+                "serve-slow" => FaultKind::ServeSlow,
                 other => {
                     return Err(format!(
-                        "unknown fault {other:?} (expected nan|panic|crash|corrupt-ckpt)"
+                        "unknown fault {other:?} (expected \
+                         nan|panic|crash|corrupt-ckpt|serve-panic|serve-slow)"
                     ))
                 }
             };
@@ -202,7 +217,10 @@ mod tests {
 
     #[test]
     fn parse_full_grammar() {
-        let plan = FaultPlan::parse("nan@120, panic@300,crash@450,corrupt-ckpt").unwrap();
+        let plan = FaultPlan::parse(
+            "nan@120, panic@300,crash@450,corrupt-ckpt,serve-panic@50, serve-slow@120",
+        )
+        .unwrap();
         let kinds: Vec<_> = plan.faults().iter().map(|f| (f.kind, f.step)).collect();
         assert_eq!(
             kinds,
@@ -211,8 +229,21 @@ mod tests {
                 (FaultKind::WorkerPanic, 300),
                 (FaultKind::Crash, 450),
                 (FaultKind::CorruptCkpt, 0),
+                (FaultKind::ServePanic, 50),
+                (FaultKind::ServeSlow, 120),
             ]
         );
+    }
+
+    #[test]
+    fn serve_faults_are_step_gated_and_one_shot() {
+        let mut plan = FaultPlan::parse("serve-panic@2,serve-slow@3").unwrap();
+        assert!(!plan.take(FaultKind::ServePanic, 1));
+        assert!(!plan.take(FaultKind::ServeSlow, 2));
+        assert!(plan.take(FaultKind::ServePanic, 2));
+        assert!(!plan.take(FaultKind::ServePanic, 3), "one-shot");
+        assert!(plan.take(FaultKind::ServeSlow, 3));
+        assert!(plan.is_empty());
     }
 
     #[test]
