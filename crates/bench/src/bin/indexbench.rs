@@ -1,0 +1,341 @@
+//! `indexbench` — recall-vs-latency sweep for the IVF-flat ANN index.
+//!
+//! Encodes a synthetic-KB corpus with the tiny deterministic model into an
+//! [`ntr_index::EmbeddingStore`], builds an [`ntr_index::IvfIndex`] over
+//! it, and measures — against exact brute-force ground truth computed on a
+//! held-out query set — how recall@k trades against per-query latency as
+//! `nprobe` widens the cluster scan.
+//!
+//! Output is one `BENCH_index.json` row per sweep point, in the criterion
+//! shim's flat-JSON baseline format (merge key `op/shape/threads/simd`):
+//!
+//! ```text
+//! {"op": "index/query", "shape": "nprobe=12", ..., "ns_per_iter": <mean ns>,
+//!  "recall_at_k": 0.98, "speedup_vs_brute": 7.4, "scanned": 1342}
+//! ```
+//!
+//! plus an `index/brute` baseline row and an `index/build` row recording
+//! encode + build cost.
+//!
+//! Usage:
+//!
+//! ```text
+//! indexbench [--tables N] [--queries N] [--k N] [--nprobes LIST]
+//!            [--json BENCH_index.json] [--gate]
+//! ```
+//!
+//! `--gate` turns the run into a CI check: at the index's *default* nprobe
+//! the sweep must reach recall@k ≥ `NTR_INDEXBENCH_MIN_RECALL` (default
+//! 0.95) at ≥ `NTR_INDEXBENCH_MIN_SPEEDUP`× (default 5) the brute-force
+//! scan's mean per-query latency.
+
+use criterion::{read_baseline_entries, Entry};
+use ntr::corpus::tables::{CorpusConfig, TableCorpus};
+use ntr::corpus::{World, WorldConfig};
+use ntr::models::ModelConfig;
+use ntr::pipeline::EncodeRequest;
+use ntr::table::LinearizerOptions;
+use ntr::zoo::{build_model, ModelKind};
+use ntr::Pipeline;
+use ntr_index::{EmbeddingStore, IvfConfig, IvfIndex, SearchIndex};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: indexbench [--tables N] [--queries N] [--k N] [--nprobes LIST] \
+         [--json PATH] [--gate]\n\n\
+         --tables N     stored embeddings (default 10000)\n\
+         --queries N    held-out query tables (default 200)\n\
+         --k N          neighbours per query (default 10)\n\
+         --nprobes LIST comma-separated sweep, 0 = the index default\n\
+         --json PATH    merge rows into this baseline (default BENCH_index.json)\n\
+         --gate         enforce recall@k >= NTR_INDEXBENCH_MIN_RECALL (0.95)\n\
+                        and speedup >= NTR_INDEXBENCH_MIN_SPEEDUP (5) at the\n\
+                        default nprobe"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    tables: usize,
+    queries: usize,
+    k: usize,
+    nprobes: Vec<usize>,
+    json: PathBuf,
+    gate: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tables: 10_000,
+        queries: 200,
+        k: 10,
+        // 0 is replaced by the index's default nprobe once nlist is known.
+        nprobes: vec![1, 2, 4, 8, 0, 16, 32, 64],
+        json: PathBuf::from("BENCH_index.json"),
+        gate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--tables" => args.tables = val().parse().unwrap_or_else(|_| usage()),
+            "--queries" => args.queries = val().parse().unwrap_or_else(|_| usage()),
+            "--k" => args.k = val().parse().unwrap_or_else(|_| usage()),
+            "--nprobes" => {
+                args.nprobes = val()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if args.nprobes.is_empty() {
+                    usage();
+                }
+            }
+            "--json" => args.json = PathBuf::from(val()),
+            "--gate" => args.gate = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Encodes `n_tables + n_queries` synthetic-KB tables; the first
+/// `n_tables` become the store, the rest the held-out query set.
+fn encoded_corpus(n_tables: usize, n_queries: usize) -> (EmbeddingStore, Vec<Vec<f32>>) {
+    let world = World::generate(WorldConfig::default());
+    let corpus = TableCorpus::generate(
+        &world,
+        &CorpusConfig {
+            n_tables: n_tables + n_queries,
+            headerless_prob: 0.0,
+            seed: 7,
+            ..CorpusConfig::default()
+        },
+    );
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(&corpus.tables)
+        .vocab_size(600)
+        .options(LinearizerOptions {
+            max_tokens: 64,
+            ..Default::default()
+        })
+        .build()
+        .expect("vocab is non-empty");
+    let cfg = ModelConfig::tiny(pipeline.tokenizer().vocab_size());
+    let mut model = build_model(ModelKind::Bert, &cfg);
+
+    let mut store = EmbeddingStore::new(cfg.d_model);
+    let mut queries = Vec::with_capacity(n_queries);
+    let reqs: Vec<EncodeRequest> = corpus
+        .tables
+        .iter()
+        .map(|t| EncodeRequest::captioned(t.clone()))
+        .collect();
+    for (start, chunk) in reqs.chunks(64).enumerate().map(|(i, c)| (i * 64, c)) {
+        let encs = pipeline
+            .encode_batch(model.as_mut(), chunk)
+            .expect("encode batch");
+        for (j, (req, enc)) in chunk.iter().zip(&encs).enumerate() {
+            let emb = enc.table_embedding();
+            let v = emb.data();
+            if start + j < n_tables {
+                store.push(req.table.id.clone(), v).expect("push embedding");
+            } else {
+                queries.push(v.to_vec());
+            }
+        }
+    }
+    (store, queries)
+}
+
+/// Merges rows into the baseline file, shim-format (same writer as
+/// `loadgen` / `cargo bench --json`).
+fn write_baseline(path: &PathBuf, rows: Vec<Entry>) {
+    let mut entries = read_baseline_entries(path);
+    for m in rows {
+        entries.retain(|e| {
+            (&e.op, &e.shape, e.threads, e.simd) != (&m.op, &m.shape, m.threads, m.simd)
+        });
+        entries.push(m);
+    }
+    entries.sort_by(|a, b| {
+        (&a.op, &a.shape, a.threads, a.simd).cmp(&(&b.op, &b.shape, b.threads, b.simd))
+    });
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let simd = if e.simd { "on" } else { "off" };
+        let mut line = format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"threads\": {}, \"simd\": \"{simd}\", \"ns_per_iter\": {:.1}",
+            e.op, e.shape, e.threads, e.ns_per_iter
+        );
+        for (k, v) in &e.extra {
+            line.push_str(&format!(", \"{k}\": {v}"));
+        }
+        line.push_str(&format!("}}{comma}\n"));
+        out.push_str(&line);
+    }
+    out.push_str("]\n");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {} ({} entries)", path.display(), entries.len()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let min_recall = env_f64("NTR_INDEXBENCH_MIN_RECALL", 0.95);
+    let min_speedup = env_f64("NTR_INDEXBENCH_MIN_SPEEDUP", 5.0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "indexbench: encoding {} stored + {} query tables ...",
+        args.tables, args.queries
+    );
+    let t_encode = Instant::now();
+    let (store, queries) = encoded_corpus(args.tables, args.queries);
+    let encode_ms = t_encode.elapsed().as_millis() as u64;
+
+    let t_build = Instant::now();
+    let ivf = IvfIndex::build(&store, &IvfConfig::default()).expect("build index");
+    // The packed probe-order copy is what `SearchIndex` serves from; its
+    // construction counts as build time.
+    let idx = SearchIndex::new(store, ivf).expect("assemble search index");
+    let build_ns = t_build.elapsed().as_nanos() as f64;
+    let default_nprobe = idx.ivf.default_nprobe();
+    println!(
+        "index: {} vectors x {} dim, {} clusters, default nprobe {} (encode {encode_ms} ms, build {:.1} ms)",
+        idx.store.len(),
+        idx.store.dim(),
+        idx.ivf.nlist(),
+        default_nprobe,
+        build_ns / 1e6
+    );
+
+    // Exact ground truth (and the latency baseline the speedups are
+    // measured against): a full brute-force scan per query.
+    let t_brute = Instant::now();
+    let truth: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            idx.store
+                .brute_force_topk(q, args.k)
+                .expect("brute force")
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect()
+        })
+        .collect();
+    let brute_ns = t_brute.elapsed().as_nanos() as f64 / queries.len().max(1) as f64;
+
+    let mut rows = vec![
+        Entry {
+            op: "index/build".to_string(),
+            shape: idx.store.len().to_string(),
+            threads,
+            simd: false,
+            ns_per_iter: build_ns,
+            extra: vec![
+                ("dim".to_string(), idx.store.dim().to_string()),
+                ("nlist".to_string(), idx.ivf.nlist().to_string()),
+                ("encode_ms".to_string(), encode_ms.to_string()),
+            ],
+        },
+        Entry {
+            op: "index/brute".to_string(),
+            shape: idx.store.len().to_string(),
+            threads,
+            simd: false,
+            ns_per_iter: brute_ns,
+            extra: vec![("k".to_string(), args.k.to_string())],
+        },
+    ];
+
+    let mut gate_failures = Vec::new();
+    let mut nprobes: Vec<usize> = args
+        .nprobes
+        .iter()
+        .map(|&p| if p == 0 { default_nprobe } else { p })
+        .filter(|&p| p <= idx.ivf.nlist())
+        .collect();
+    nprobes.sort_unstable();
+    nprobes.dedup();
+
+    println!(
+        "\n{:>8} {:>12} {:>10} {:>10} {:>10}",
+        "nprobe", "ns/query", "recall", "speedup", "scanned"
+    );
+    for &nprobe in &nprobes {
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        let mut scanned = 0usize;
+        for (q, t) in queries.iter().zip(&truth) {
+            let res = idx.search(q, args.k, Some(nprobe)).expect("ivf search");
+            scanned += res.scanned;
+            hits += res.hits.iter().filter(|(id, _)| t.contains(id)).count();
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / queries.len().max(1) as f64;
+        let recall = hits as f64 / (queries.len() * args.k.min(idx.store.len())) as f64;
+        let speedup = brute_ns / ns.max(1.0);
+        let mean_scanned = scanned / queries.len().max(1);
+        let mark = if nprobe == default_nprobe {
+            " (default)"
+        } else {
+            ""
+        };
+        println!("{nprobe:>8} {ns:>12.0} {recall:>10.4} {speedup:>9.1}x {mean_scanned:>10}{mark}");
+        if args.gate && nprobe == default_nprobe {
+            if recall < min_recall {
+                gate_failures.push(format!(
+                    "recall@{} {recall:.4} below {min_recall} at default nprobe {nprobe}",
+                    args.k
+                ));
+            }
+            if speedup < min_speedup {
+                gate_failures.push(format!(
+                    "speedup {speedup:.1}x below {min_speedup}x at default nprobe {nprobe}"
+                ));
+            }
+        }
+        rows.push(Entry {
+            op: "index/query".to_string(),
+            shape: format!("nprobe={nprobe}"),
+            threads,
+            simd: false,
+            ns_per_iter: ns,
+            extra: vec![
+                ("recall_at_k".to_string(), format!("{recall:.4}")),
+                ("speedup_vs_brute".to_string(), format!("{speedup:.1}")),
+                ("scanned".to_string(), mean_scanned.to_string()),
+                (
+                    "default".to_string(),
+                    (nprobe == default_nprobe).to_string(),
+                ),
+            ],
+        });
+    }
+
+    write_baseline(&args.json, rows);
+
+    if !gate_failures.is_empty() {
+        eprintln!("indexbench gate FAILED:");
+        for f in &gate_failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    if args.gate {
+        println!("indexbench gate passed");
+    }
+}

@@ -9,14 +9,18 @@
 //! ntr encode    data/countries.csv --model tapas --context "population by country"
 //! ntr pretrain  data/countries.csv --trace run.jsonl --metrics metrics.json
 //! ntr serve     data/countries.csv --port 7878 --max-batch 8 --max-wait-ms 2
+//! ntr index build idx/ --tables 500 --model bert --seed 7
+//! ntr index query idx/ data/countries.csv --k 5
+//! ntr serve     --index idx/ --port 7878
 //! ntr trace summarize run.jsonl
 //! ```
 
-use ntr::corpus::tables::{TableCorpus, TableKind};
+use ntr::corpus::kb::{World, WorldConfig};
+use ntr::corpus::tables::{CorpusConfig, TableCorpus, TableKind};
 use ntr::models::{Mate, ModelConfig, Tapas, Turl, VanillaBert};
 use ntr::obs::trace::{parse_line, schema};
-use ntr::obs::ObsOptions;
-use ntr::pipeline::Pipeline;
+use ntr::obs::{Obs, ObsOptions};
+use ntr::pipeline::{EncodeRequest, Pipeline};
 use ntr::sql::{execute, parse_query};
 use ntr::table::{LinearizerKind, LinearizerOptions, Table};
 use ntr::tasks::pretrain::MlmModel;
@@ -58,6 +62,12 @@ const USAGE: &str = "usage:
                             [--max-conns N] [--idle-timeout-ms N]
                             [--request-timeout-ms N] [--faults SPEC]
                             [--trace PATH] [--metrics PATH] [--no-header]
+  ntr serve     --index <dir> [...same flags; <vocab.csv> is omitted]
+  ntr index build <dir> [--tables N] [--model bert|tapas|turl|mate] [--nlist N]
+                        [--seed N] [--vocab-size N] [--max-tokens N]
+                        [--trace PATH] [--metrics PATH]
+  ntr index query <dir> <table.csv> [--k N] [--nprobe N] [--context TEXT]
+                        [--no-header] [--trace PATH] [--metrics PATH]
   ntr trace summarize <trace.jsonl>
   ntr trace validate  <trace.jsonl>
 
@@ -104,6 +114,21 @@ const USAGE: &str = "usage:
   per-replica status. --faults injects deterministic serve drills,
   e.g. 'serve-panic@50,serve-slow@120' (@N counts flushes; NTR_FAULTS env
   var is the fallback).
+  index build: encodes the synthetic-KB table corpus (--tables tables grown
+  from --seed) with --model via the batch pipeline and writes an embedding
+  store (store.ntrs) plus an IVF-flat ANN index (index.ntri) into <dir>.
+  Both files are crash-safe (temp + fsync + rename, per-section CRCs) and
+  byte-identical for a given seed; --nlist 0 (the default) picks sqrt(n)
+  clusters. The store's metadata records every generation parameter, so
+  later commands rebuild the exact pipeline + model the index was built with.
+  index query: encodes <table.csv> with that reconstructed pipeline and
+  prints the --k nearest stored tables by squared L2 (ties broken by id);
+  --nprobe widens the cluster scan (default nlist/8, clamped to [1, nlist]).
+  serve --index: loads <dir> and additionally answers the
+  {\"cmd\":\"search\",\"k\":K,...} verb: the query table is encoded through
+  the micro-batcher (deadlines, shedding, and degraded mode all apply), then
+  looked up in the IVF index; a missing index or unusable k comes back as a
+  typed IndexNotLoaded / BadK error.
   trace summarize: per-event table plus loss-curve stats from a trace file.
   trace validate: checks every line against the v1 trace schema";
 
@@ -116,6 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "encode" => encode(rest),
         "pretrain" => pretrain(rest),
         "serve" => serve(rest),
+        "index" => index_cmd(rest),
         "trace" => trace_cmd(rest),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -419,8 +445,264 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn serve(rest: &[String]) -> Result<(), String> {
+fn open_obs(flags: &[String]) -> Result<Obs, String> {
+    Obs::open(&ObsOptions {
+        trace: flag_value(flags, "--trace").map(PathBuf::from),
+        metrics: flag_value(flags, "--metrics").map(PathBuf::from),
+    })
+    .map_err(|e| e.to_string())
+}
+
+/// Everything that pins an index's embedding space: the synthetic-KB
+/// generation parameters, vocabulary size, token budget, and model family.
+/// `index build` stamps these into the store's metadata so `index query`
+/// and `serve --index` reconstruct the exact pipeline + model the vectors
+/// were produced with (the repo's bit-identical-encode guarantee does the
+/// rest).
+struct IndexParams {
+    kind: ModelKind,
+    n_tables: usize,
+    seed: u64,
+    vocab_size: usize,
+    max_tokens: usize,
+}
+
+impl IndexParams {
+    fn from_flags(flags: &[String]) -> Result<Self, String> {
+        let name = flag_value(flags, "--model").unwrap_or("bert");
+        Ok(Self {
+            kind: ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?,
+            n_tables: parsed_flag(flags, "--tables", 200)?,
+            seed: parsed_flag(flags, "--seed", 7)?,
+            vocab_size: parsed_flag(flags, "--vocab-size", 600)?,
+            max_tokens: parsed_flag(flags, "--max-tokens", 64)?,
+        })
+    }
+
+    fn from_meta(store: &ntr_index::EmbeddingStore) -> Result<Self, String> {
+        fn get<T: std::str::FromStr>(
+            store: &ntr_index::EmbeddingStore,
+            key: &str,
+        ) -> Result<T, String> {
+            store
+                .meta_get(key)
+                .ok_or_else(|| format!("index metadata is missing {key:?}; rebuild the index"))?
+                .parse()
+                .map_err(|_| format!("index metadata {key:?} is unparseable"))
+        }
+        let name = store
+            .meta_get("model")
+            .ok_or("index metadata is missing \"model\"; rebuild the index")?;
+        Ok(Self {
+            kind: ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?,
+            n_tables: get(store, "n_tables")?,
+            seed: get(store, "seed")?,
+            vocab_size: get(store, "vocab_size")?,
+            max_tokens: get(store, "max_tokens")?,
+        })
+    }
+
+    fn stamp(&self, store: &mut ntr_index::EmbeddingStore) {
+        store.set_meta("model", self.kind.name());
+        store.set_meta("dim", store.dim().to_string());
+        store.set_meta("n_tables", self.n_tables.to_string());
+        store.set_meta("seed", self.seed.to_string());
+        store.set_meta("vocab_size", self.vocab_size.to_string());
+        store.set_meta("max_tokens", self.max_tokens.to_string());
+    }
+
+    /// Deterministically regrows the corpus and rebuilds the pipeline and
+    /// model configuration these parameters describe.
+    fn stack(&self) -> Result<(TableCorpus, Pipeline, ModelConfig), String> {
+        let world = World::generate(WorldConfig {
+            seed: self.seed,
+            ..WorldConfig::default()
+        });
+        let corpus = TableCorpus::generate(
+            &world,
+            &CorpusConfig {
+                n_tables: self.n_tables,
+                seed: self.seed,
+                headerless_prob: 0.0,
+                ..CorpusConfig::default()
+            },
+        );
+        let pipeline = Pipeline::builder()
+            .vocab_from_tables(&corpus.tables)
+            .vocab_size(self.vocab_size)
+            .options(LinearizerOptions {
+                max_tokens: self.max_tokens,
+                ..LinearizerOptions::default()
+            })
+            .build()
+            .map_err(|e| e.to_string())?;
+        let model_cfg = ModelConfig::tiny(pipeline.tokenizer().vocab_size());
+        Ok((corpus, pipeline, model_cfg))
+    }
+}
+
+fn index_cmd(rest: &[String]) -> Result<(), String> {
+    let (verb, rest) = rest
+        .split_first()
+        .ok_or("missing index verb (build|query)")?;
+    match verb.as_str() {
+        "build" => index_build(rest),
+        "query" => index_query(rest),
+        other => Err(format!("unknown index verb {other:?}")),
+    }
+}
+
+fn index_build(rest: &[String]) -> Result<(), String> {
+    let (dir, flags) = rest.split_first().ok_or("missing <index-dir>")?;
+    let flags = flags.to_vec();
+    let params = IndexParams::from_flags(&flags)?;
+    let obs = open_obs(&flags)?;
+    let (corpus, pipeline, model_cfg) = params.stack()?;
+    let mut model = build_model(params.kind, &model_cfg);
+
+    let t_encode = std::time::Instant::now();
+    let mut store = ntr_index::EmbeddingStore::new(model_cfg.d_model);
+    let reqs: Vec<EncodeRequest> = corpus
+        .tables
+        .iter()
+        .map(|t| EncodeRequest::captioned(t.clone()))
+        .collect();
+    for chunk in reqs.chunks(32) {
+        let encs = pipeline
+            .encode_batch(model.as_mut(), chunk)
+            .map_err(|e| e.to_string())?;
+        for (req, enc) in chunk.iter().zip(&encs) {
+            store
+                .push(req.table.id.clone(), enc.table_embedding().data())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let encode_ms = t_encode.elapsed().as_millis() as u64;
+    params.stamp(&mut store);
+
+    let t_build = std::time::Instant::now();
+    let ivf = ntr_index::IvfIndex::build(
+        &store,
+        &ntr_index::IvfConfig {
+            nlist: parsed_flag(&flags, "--nlist", 0usize)?,
+            seed: params.seed,
+            ..ntr_index::IvfConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let build_ms = t_build.elapsed().as_millis() as u64;
+
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let store_bytes = store
+        .save(&dir.join(ntr_index::SearchIndex::STORE_FILE))
+        .map_err(|e| e.to_string())?;
+    let ivf_bytes = ivf
+        .save(&dir.join(ntr_index::SearchIndex::IVF_FILE))
+        .map_err(|e| e.to_string())?;
+
+    if let Some(ev) = obs.event("index_build") {
+        ev.u64("tables", store.len() as u64)
+            .u64("dim", store.dim() as u64)
+            .u64("nlist", ivf.nlist() as u64)
+            .u64("seed", params.seed)
+            .u64("bytes", store_bytes + ivf_bytes)
+            .u64("encode_ms", encode_ms)
+            .u64("build_ms", build_ms)
+            .finish();
+    }
+    obs.inc("index/builds");
+    obs.add("index/bytes", store_bytes + ivf_bytes);
+    obs.write_metrics().map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} table(s) ({} dim, model {}) into {} | {} cluster(s) | {} byte(s) | encode {encode_ms} ms | build {build_ms} ms",
+        store.len(),
+        store.dim(),
+        params.kind.name(),
+        dir.display(),
+        ivf.nlist(),
+        store_bytes + ivf_bytes
+    );
+    Ok(())
+}
+
+fn index_query(rest: &[String]) -> Result<(), String> {
+    let (dir, rest) = rest.split_first().ok_or("missing <index-dir>")?;
+    let idx = ntr_index::SearchIndex::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    let params = IndexParams::from_meta(&idx.store)?;
     let (table, flags) = load_table(rest)?;
+    let obs = open_obs(&flags)?;
+    let k: usize = parsed_flag(&flags, "--k", 10)?;
+    let nprobe: Option<usize> = flag_value(&flags, "--nprobe")
+        .map(|v| v.parse().map_err(|_| format!("bad --nprobe {v:?}")))
+        .transpose()?;
+    let context = flag_value(&flags, "--context")
+        .unwrap_or(&table.caption)
+        .to_string();
+
+    let (_, pipeline, model_cfg) = params.stack()?;
+    let mut model = build_model(params.kind, &model_cfg);
+    let t0 = std::time::Instant::now();
+    let enc = pipeline.encode(model.as_mut(), &table, &context);
+    let res = idx
+        .search(enc.table_embedding().data(), k, nprobe)
+        .map_err(|e| e.to_string())?;
+    let query_ms = t0.elapsed().as_millis() as u64;
+
+    if let Some(ev) = obs.event("index_query") {
+        ev.u64("k", k as u64)
+            .u64(
+                "nprobe",
+                nprobe.unwrap_or_else(|| idx.ivf.default_nprobe()) as u64,
+            )
+            .u64("results", res.hits.len() as u64)
+            .u64("scanned", res.scanned as u64)
+            .u64("query_ms", query_ms)
+            .finish();
+    }
+    obs.inc("index/searches");
+    obs.write_metrics().map_err(|e| e.to_string())?;
+
+    println!(
+        "top {} of {} stored table(s) ({} scanned, model {}):",
+        res.hits.len(),
+        idx.store.len(),
+        res.scanned,
+        params.kind.name()
+    );
+    println!("{:>4} {:<24} {:>12}", "rank", "table_id", "distance");
+    for (rank, (id, dist)) in res.hits.iter().enumerate() {
+        println!("{rank:>4} {:<24} {dist:>12.6}", idx.store.id(*id as usize));
+    }
+    Ok(())
+}
+
+fn serve(rest: &[String]) -> Result<(), String> {
+    // With --index the vocabulary, token budget, and model configuration
+    // are reconstructed from the index's own metadata — query embeddings
+    // must live in the stored embedding space — and the <vocab.csv>
+    // positional is omitted.
+    let (pipeline, model_config, index, flags) = match flag_value(rest, "--index") {
+        Some(dir) => {
+            let idx = ntr_index::SearchIndex::open(Path::new(dir)).map_err(|e| e.to_string())?;
+            let params = IndexParams::from_meta(&idx.store)?;
+            let (_, pipeline, model_cfg) = params.stack()?;
+            (
+                pipeline,
+                Some(model_cfg),
+                Some(std::sync::Arc::new(idx)),
+                rest.to_vec(),
+            )
+        }
+        None => {
+            let (table, flags) = load_table(rest)?;
+            let pipeline = Pipeline::builder()
+                .vocab_from_tables(std::slice::from_ref(&table))
+                .build()
+                .map_err(|e| e.to_string())?;
+            (pipeline, None, None, flags)
+        }
+    };
     let port: u16 = parsed_flag(&flags, "--port", 7878)?;
     // Same grammar and env fallback as `pretrain --faults`; the serve
     // faults are `serve-panic@N` / `serve-slow@N` with `@N` counting
@@ -442,7 +724,7 @@ fn serve(rest: &[String]) -> Result<(), String> {
         })?,
         cache_bytes: parsed_flag(&flags, "--cache-mb", 32usize)? << 20,
         queue_cap: parsed_flag(&flags, "--queue-cap", 256usize)?,
-        model_config: None,
+        model_config,
         default_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
         faults,
         ..Default::default()
@@ -456,16 +738,8 @@ fn serve(rest: &[String]) -> Result<(), String> {
         )?),
         ..Default::default()
     };
-    let obs = ntr::obs::Obs::open(&ObsOptions {
-        trace: flag_value(&flags, "--trace").map(PathBuf::from),
-        metrics: flag_value(&flags, "--metrics").map(PathBuf::from),
-    })
-    .map_err(|e| e.to_string())?;
-    let pipeline = Pipeline::builder()
-        .vocab_from_tables(std::slice::from_ref(&table))
-        .build()
-        .map_err(|e| e.to_string())?;
-    let server = ntr_serve::Server::start_with(pipeline, cfg, server_cfg, port, obs)
+    let obs = open_obs(&flags)?;
+    let server = ntr_serve::Server::start_with_index(pipeline, cfg, server_cfg, port, obs, index)
         .map_err(|e| e.to_string())?;
     // Scripts scrape this line for the (possibly ephemeral) port.
     println!("listening on {}", server.addr());

@@ -1,0 +1,170 @@
+//! Shared on-disk framing for `store.ntrs` and `index.ntri`.
+//!
+//! Both files use the NTRW discipline from `ntr-nn::serialize`:
+//!
+//! ```text
+//! magic[4] version:u32 section_count:u32
+//! repeat section_count times:
+//!     tag[4] len:u64 payload[len] crc32(payload):u32
+//! "NTRE" crc32(every preceding byte):u32
+//! ```
+//!
+//! All integers are little-endian. Writers go through a temp-file sibling,
+//! fsync, rename, then fsync the directory, so a crash mid-write leaves the
+//! previous file (or nothing) — never a torn one. Readers verify the file
+//! CRC before looking at any section, then each section CRC, and never trust
+//! a declared length beyond the bytes actually present.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ntr_tensor::io::{crc32, ByteReader, CrcWriter};
+
+use crate::IndexError;
+
+pub(crate) const TRAILER: [u8; 4] = *b"NTRE";
+
+/// One decoded section: tag plus a borrowed, CRC-verified payload.
+pub(crate) struct Section<'a> {
+    pub tag: [u8; 4],
+    pub payload: &'a [u8],
+}
+
+/// Atomically write a section file. Returns the total byte count on disk.
+pub(crate) fn write_file(
+    path: &Path,
+    magic: [u8; 4],
+    version: u32,
+    sections: &[([u8; 4], Vec<u8>)],
+) -> Result<u64, IndexError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = (|| -> Result<u64, IndexError> {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = CrcWriter::new(std::io::BufWriter::new(file));
+        w.write_all(&magic)?;
+        w.write_all(&version.to_le_bytes())?;
+        w.write_all(&(sections.len() as u32).to_le_bytes())?;
+        for (tag, payload) in sections {
+            w.write_all(tag)?;
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            w.write_all(payload)?;
+            w.write_all(&crc32(payload).to_le_bytes())?;
+        }
+        w.write_all(&TRAILER)?;
+        let file_crc = w.crc();
+        let bytes = w.written() + 4;
+        let mut bw = w.into_inner();
+        bw.write_all(&file_crc.to_le_bytes())?;
+        bw.flush()?;
+        bw.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(bytes)
+    })();
+    let bytes = match result {
+        Ok(b) => b,
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+    };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+    Ok(bytes)
+}
+
+/// Parse and verify a section file read into memory. Every malformed input —
+/// including every truncation prefix — yields a typed error, never a panic.
+pub(crate) fn read_file<'a>(
+    bytes: &'a [u8],
+    magic: [u8; 4],
+    version: u32,
+) -> Result<Vec<Section<'a>>, IndexError> {
+    // Header (12) + trailer tag (4) + file CRC (4) is the empty-file floor.
+    if bytes.len() < 20 {
+        return Err(IndexError::BadFormat(format!(
+            "file too short: {} byte(s)",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let declared = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != declared {
+        return Err(IndexError::Mismatch("file CRC mismatch".into()));
+    }
+    if body[body.len() - 4..] != TRAILER {
+        return Err(IndexError::BadFormat("missing NTRE trailer".into()));
+    }
+    let mut r = ByteReader::new(&body[..body.len() - 4]);
+    let got_magic = r.take(4)?;
+    if got_magic != magic {
+        return Err(IndexError::BadFormat(format!(
+            "bad magic {:?}, expected {:?}",
+            got_magic, magic
+        )));
+    }
+    let got_version = r.u32()?;
+    if got_version != version {
+        return Err(IndexError::BadFormat(format!(
+            "unsupported version {got_version}, expected {version}"
+        )));
+    }
+    let count = r.u32()? as usize;
+    let mut sections = Vec::new();
+    for i in 0..count {
+        let tag: [u8; 4] = r.take(4)?.try_into().unwrap();
+        let len = r.u64()?;
+        if len > r.remaining() as u64 {
+            return Err(IndexError::BadFormat(format!(
+                "section {i} declares {len} byte(s) but only {} remain",
+                r.remaining()
+            )));
+        }
+        let payload = r.take(len as usize)?;
+        let crc = r.u32()?;
+        if crc32(payload) != crc {
+            return Err(IndexError::Mismatch(format!(
+                "section {i} ({}) CRC mismatch",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        sections.push(Section { tag, payload });
+    }
+    if !r.is_empty() {
+        return Err(IndexError::BadFormat(format!(
+            "{} trailing byte(s) after the last section",
+            r.remaining()
+        )));
+    }
+    Ok(sections)
+}
+
+/// Serialize a length-prefixed UTF-8 string (u32 len + bytes).
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Parse a length-prefixed UTF-8 string.
+pub(crate) fn get_str(r: &mut ByteReader<'_>) -> Result<String, IndexError> {
+    let len = r.u32()? as usize;
+    let bytes = r.take(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|e| IndexError::BadFormat(format!("non-UTF8 string: {e}")))
+}
+
+/// Find a required section by tag.
+pub(crate) fn require<'a, 'b>(
+    sections: &'b [Section<'a>],
+    tag: [u8; 4],
+) -> Result<&'b Section<'a>, IndexError> {
+    sections.iter().find(|s| s.tag == tag).ok_or_else(|| {
+        IndexError::BadFormat(format!("missing section {}", String::from_utf8_lossy(&tag)))
+    })
+}

@@ -1,0 +1,99 @@
+//! Fault-injection round trips: every truncation prefix (and every single-bit
+//! corruption probe) of the persisted store/index files must load as a typed
+//! [`IndexError`] — never a panic, never a silently wrong store. Mirrors the
+//! NTRW drill in `ntr-nn::serialize`.
+
+use std::path::PathBuf;
+
+use ntr_index::{EmbeddingStore, IvfConfig, IvfIndex};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ntr_index_fault_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample_files(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let mut store = EmbeddingStore::new(4);
+    store.set_meta("model", "bert");
+    for i in 0..32 {
+        let f = i as f32;
+        store
+            .push(format!("tbl_{i}"), &[f, -f, f * 0.25, 1.0])
+            .unwrap();
+    }
+    let ivf = IvfIndex::build(&store, &IvfConfig::default()).unwrap();
+    let sp = dir.join("store.ntrs");
+    let ip = dir.join("index.ntri");
+    store.save(&sp).unwrap();
+    ivf.save(&ip).unwrap();
+    (sp, ip)
+}
+
+#[test]
+fn every_store_truncation_prefix_is_a_typed_error() {
+    let dir = scratch("store_trunc");
+    let (sp, _) = sample_files(&dir);
+    let full = std::fs::read(&sp).unwrap();
+    let path = dir.join("truncated.ntrs");
+    for len in 0..full.len() {
+        std::fs::write(&path, &full[..len]).unwrap();
+        let err = EmbeddingStore::load(&path)
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} byte(s) loaded successfully"));
+        // Exercise the typed surface: kind and Display must both be usable.
+        assert!(!err.kind().is_empty());
+        assert!(!err.to_string().is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_index_truncation_prefix_is_a_typed_error() {
+    let dir = scratch("index_trunc");
+    let (_, ip) = sample_files(&dir);
+    let full = std::fs::read(&ip).unwrap();
+    let path = dir.join("truncated.ntri");
+    for len in 0..full.len() {
+        std::fs::write(&path, &full[..len]).unwrap();
+        let err = IvfIndex::load(&path)
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} byte(s) loaded successfully"));
+        assert!(!err.kind().is_empty());
+        assert!(!err.to_string().is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_bytes_fail_the_crc_not_the_loader() {
+    let dir = scratch("flip");
+    let (sp, ip) = sample_files(&dir);
+    for (src, is_store) in [(&sp, true), (&ip, false)] {
+        let full = std::fs::read(src).unwrap();
+        let path = dir.join("flipped");
+        // Probe a byte in every region: header, sections, trailer.
+        for pos in (0..full.len()).step_by(7).chain([full.len() - 1]) {
+            let mut bad = full.clone();
+            bad[pos] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            let failed = if is_store {
+                EmbeddingStore::load(&path).is_err()
+            } else {
+                IvfIndex::load(&path).is_err()
+            };
+            assert!(failed, "flip at byte {pos} loaded successfully");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_files_surface_io_errors() {
+    let dir = scratch("missing");
+    let err = EmbeddingStore::load(&dir.join("nope.ntrs")).unwrap_err();
+    assert_eq!(err.kind(), "Io");
+    let err = IvfIndex::load(&dir.join("nope.ntri")).unwrap_err();
+    assert_eq!(err.kind(), "Io");
+    let _ = std::fs::remove_dir_all(&dir);
+}

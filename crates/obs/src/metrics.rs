@@ -79,6 +79,39 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `p`-th percentile (`0.0..=100.0`) of the recorded
+    /// values by interpolating *within* the selected log2 bucket.
+    ///
+    /// Reporting a bucket's upper edge — the previous behavior — overstates
+    /// tail latencies by up to 2× (bucket `i` spans `[2^i, 2^(i+1)-1]`), an
+    /// error an SLO gate then enforces against. Instead, the `k`-th of the
+    /// `n` observations inside a bucket is placed at the midpoint-rule
+    /// position `lo + (hi - lo)·(k - ½)/n`, which is exact in expectation
+    /// for values uniform within the bucket and never exceeds the true
+    /// value's bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank on [1, count]: the smallest rank whose cumulative
+        // share reaches p.
+        let rank = ((count - 1) as f64 * p / 100.0).floor() as u64 + 1;
+        let mut seen = 0u64;
+        for (i, n) in self.nonzero_buckets() {
+            if seen + n >= rank {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = (1u64 << (i + 1)) - 1; // i ≤ 31, no overflow
+                let k = rank - seen; // 1..=n within this bucket
+                let frac = (k as f64 - 0.5) / n as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += n;
+        }
+        0
+    }
+
     /// Non-empty buckets as `(bucket_index, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -301,6 +334,38 @@ mod tests {
         assert_eq!(bucket_of(1023), 9);
         assert_eq!(bucket_of(1024), 10);
         assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        // Known sample set: 99 fast observations (100, bucket 6 = [64,127])
+        // and one slow outlier (80_000, bucket 16 = [65536,131071]).
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(80_000);
+        // Midpoint-rule positions inside the fast bucket: the 50th of 99
+        // lands exactly mid-bucket, the 99th just under the upper edge.
+        assert_eq!(h.percentile(50.0), 96);
+        assert_eq!(h.percentile(99.0), 127);
+        // The sole outlier sits mid-bucket — not at the 131071 upper edge
+        // the pre-fix reporting returned (a ~1.6× overstatement of 80_000).
+        assert_eq!(h.percentile(100.0), 98_304);
+        assert!(h.percentile(100.0) < 131_071);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0, "empty histogram");
+        h.record(0);
+        // Bucket 0 spans {0, 1}; its midpoint rounds to at most 1.
+        assert!(h.percentile(0.0) <= 1);
+        // Out-of-range p clamps instead of panicking.
+        h.record(10);
+        let p = h.percentile(250.0);
+        assert_eq!(p, h.percentile(100.0));
     }
 
     #[test]

@@ -368,6 +368,28 @@ pub mod schema {
             ],
         },
         Event {
+            name: "index_build",
+            fields: &[
+                req("tables", U64),
+                req("dim", U64),
+                req("nlist", U64),
+                req("seed", U64),
+                req("bytes", U64),
+                opt("encode_ms", U64),
+                opt("build_ms", U64),
+            ],
+        },
+        Event {
+            name: "index_query",
+            fields: &[
+                req("k", U64),
+                req("nprobe", U64),
+                req("results", U64),
+                opt("scanned", U64),
+                opt("query_ms", U64),
+            ],
+        },
+        Event {
             name: "serve_end",
             fields: &[
                 req("requests", U64),

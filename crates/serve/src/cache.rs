@@ -73,7 +73,9 @@ pub fn content_key(
         for c in 0..table.n_cols() {
             let cell = table.cell(r, c);
             h.str(&cell.raw);
-            h.num(u64::from(cell.entity.map_or(0, |e| e + 1)));
+            // Widen before the +1: `e + 1` in u32 wraps (panics in debug)
+            // at `e == u32::MAX`, colliding annotated cells with bare ones.
+            h.num(cell.entity.map_or(0u64, |e| u64::from(e) + 1));
         }
     }
     h.0
@@ -260,6 +262,24 @@ mod tests {
             base,
             content_key(ModelKind::Bert, lin.name(), &opts, &with_entity, "q")
         );
+    }
+
+    #[test]
+    fn key_survives_max_entity_id() {
+        // Regression: the +1 disambiguating Some(e) from None used to run in
+        // u32 and wrap (panic in debug) at e == u32::MAX. It must widen
+        // first, keeping the three states distinct.
+        let opts = LinearizerOptions::default();
+        let lin = RowMajorLinearizer;
+        let bare = content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "1"), "q");
+        let mut max_id = table("t", "1");
+        max_id.cell_mut(0, 0).entity = Some(u32::MAX);
+        let max_key = content_key(ModelKind::Bert, lin.name(), &opts, &max_id, "q");
+        let mut near_max = table("t", "1");
+        near_max.cell_mut(0, 0).entity = Some(u32::MAX - 1);
+        let near_key = content_key(ModelKind::Bert, lin.name(), &opts, &near_max, "q");
+        assert_ne!(bare, max_key);
+        assert_ne!(max_key, near_key);
     }
 
     #[test]

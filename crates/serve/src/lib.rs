@@ -27,7 +27,13 @@
 //!   framing, bounded buffers, idle / slow-consumer timeouts;
 //! * [`server`] — [`server::Server`]: a single event-loop thread serving
 //!   every connection with backpressure, fairness caps, load shedding,
-//!   graceful drain, and `ntr-obs` events and metrics.
+//!   graceful drain, and `ntr-obs` events and metrics. Started with an
+//!   [`ntr_index::SearchIndex`] (see [`server::Server::start_with_index`]),
+//!   it also answers the `{"cmd": "search"}` ANN-retrieval verb: the query
+//!   table is encoded through the same batcher (reusing its deadline,
+//!   degraded-mode, and load-shedding machinery), then its embedding is
+//!   looked up in the IVF index; failures surface as typed
+//!   `IndexNotLoaded` / `BadK` errors.
 //!
 //! Everything is std-only: no async runtime, no serde, no libc crate —
 //! `std::net` + `std::sync::mpsc` + the workspace's own thread pool, with
@@ -43,6 +49,7 @@ pub mod wire;
 
 pub use cache::{content_key, CacheStats, EmbeddingCache};
 pub use conn::{CloseReason, ConnLimits};
+pub use ntr_index::{EmbeddingStore, IndexError, IvfConfig, IvfIndex, SearchIndex, SearchResult};
 pub use server::{LoopStats, Server, ServerConfig, ServerStats};
 pub use service::{
     Admission, Completion, EmbeddingService, HealthReport, ReplicaStatus, ServeConfig, ServeHandle,

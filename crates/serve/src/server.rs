@@ -40,7 +40,7 @@ use crate::conn::{CloseReason, Conn, ConnLimits, Frame};
 use crate::poller::{Event, Interest, Poller, WakeReceiver, Waker};
 use crate::service::{EmbeddingService, ServeConfig, ServeHandle, ServeStats};
 use crate::wire::{self, WireRequest};
-use ntr::Pipeline;
+use ntr::{ModelKind, Pipeline};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -100,6 +100,9 @@ pub struct LoopStats {
     pub slow_closes: u64,
     /// Request lines rejected for exceeding `max_line_bytes`.
     pub oversized_lines: u64,
+    /// Events that reached a vacated slot (stale token / recycled slot);
+    /// absorbed and counted instead of panicking the event loop.
+    pub slot_races: u64,
 }
 
 /// Final counters from [`Server::wait`]: the service's plus the loop's.
@@ -142,6 +145,20 @@ impl Server {
         port: u16,
         obs: ntr_obs::Obs,
     ) -> io::Result<Server> {
+        Server::start_with_index(pipeline, cfg, server_cfg, port, obs, None)
+    }
+
+    /// [`Server::start_with`] plus an optional ANN index: when present, the
+    /// wire protocol's `{"cmd": "search"}` verb answers nearest-neighbor
+    /// queries over it; when absent, searches get a typed `IndexNotLoaded`.
+    pub fn start_with_index(
+        pipeline: Pipeline,
+        cfg: ServeConfig,
+        server_cfg: ServerConfig,
+        port: u16,
+        obs: ntr_obs::Obs,
+        index: Option<Arc<ntr_index::SearchIndex>>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -166,6 +183,7 @@ impl Server {
             wake_rx,
             Arc::clone(&stop),
             obs.clone(),
+            index,
         )?;
         let event_loop = std::thread::Builder::new()
             .name("ntr-serve-loop".into())
@@ -288,6 +306,8 @@ struct EventLoop {
     accept_backoff: Duration,
     /// Set when a drain began (shutdown command or `Server::stop`).
     draining_since: Option<Instant>,
+    /// ANN index answering the `search` verb; `None` ⇒ `IndexNotLoaded`.
+    index: Option<Arc<ntr_index::SearchIndex>>,
     stats: LoopStats,
 }
 
@@ -301,6 +321,7 @@ impl EventLoop {
         wake_rx: WakeReceiver,
         stop: Arc<AtomicBool>,
         obs: ntr_obs::Obs,
+        index: Option<Arc<ntr_index::SearchIndex>>,
     ) -> io::Result<EventLoop> {
         let mut poller = Poller::new()?;
         poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
@@ -329,6 +350,7 @@ impl EventLoop {
             accept_resume_at: None,
             accept_backoff: ACCEPT_BACKOFF_MIN,
             draining_since: None,
+            index,
             stats: LoopStats::default(),
         })
     }
@@ -520,26 +542,56 @@ impl EventLoop {
             self.close(slot);
             return;
         }
-        if ev.writable {
-            let flushed = self.slots[slot].as_mut().unwrap().conn.flush(now);
-            if flushed.is_err() {
-                self.close(slot);
-                return;
-            }
+        if ev.writable && !self.flush_slot(slot, now) {
+            return;
         }
         if ev.readable {
-            let filled = self.slots[slot]
-                .as_mut()
-                .unwrap()
-                .conn
-                .fill(&self.limits, now);
-            if filled.is_err() {
-                self.close(slot);
+            if !self.fill_slot(slot, now) {
                 return;
             }
             self.process_frames(slot, now);
         }
         self.finish_or_refresh(slot, now);
+    }
+
+    /// A slot access found the connection gone where one was expected: a
+    /// stale token / recycled-slot race. Before this was checked, the
+    /// `unwrap()` here panicked the single event-loop thread and killed
+    /// every connection; now the straggler is counted and (re)closed.
+    fn slot_race(&mut self, slot: usize) {
+        self.stats.slot_races += 1;
+        self.obs.inc("serve/slot_races");
+        if slot < self.slots.len() {
+            self.close(slot); // no-op on an already vacated slot
+        }
+    }
+
+    /// Flushes `slot`'s write buffer. Returns false when the slot is no
+    /// longer usable (vacated by a race, or closed on a write error).
+    fn flush_slot(&mut self, slot: usize, now: Instant) -> bool {
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            self.slot_race(slot);
+            return false;
+        };
+        if s.conn.flush(now).is_err() {
+            self.close(slot);
+            return false;
+        }
+        true
+    }
+
+    /// Reads from `slot`'s socket into its frame buffer. Returns false when
+    /// the slot is no longer usable.
+    fn fill_slot(&mut self, slot: usize, now: Instant) -> bool {
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            self.slot_race(slot);
+            return false;
+        };
+        if s.conn.fill(&self.limits, now).is_err() {
+            self.close(slot);
+            return false;
+        }
+        true
     }
 
     /// Parses and dispatches frames from `slot`'s read buffer, bounded by
@@ -598,6 +650,9 @@ impl EventLoop {
                         Ok(WireRequest::Encode { id, req }) => {
                             self.submit(slot, id, req);
                         }
+                        Ok(WireRequest::Search(sr)) => {
+                            self.submit_search(slot, sr);
+                        }
                         Err(e) => {
                             let line = wire::err_response(&e);
                             self.queue_line(slot, &line);
@@ -624,6 +679,85 @@ impl EventLoop {
             Box::new(move |resp| {
                 let line = match resp {
                     Ok(reply) => wire::ok_response(id, &reply.encoding, reply.cached),
+                    Err(e) => wire::encode_err_response(id, &e),
+                };
+                crate::service::lock_clean(&completions).push_back(Completion { slot, gen, line });
+                waker.wake();
+            }),
+        );
+    }
+
+    /// Hands a search request's encode stage to the service; the completion
+    /// then runs the ANN lookup (off-loop on a worker thread for cache
+    /// misses, inline for hits — an IVF probe is tens of microseconds) and
+    /// renders the ranked results. Index-level failures are answered inline
+    /// with typed errors; encode-stage failures (deadline, degraded,
+    /// overloaded, …) surface exactly as they do for `encode`.
+    fn submit_search(&mut self, slot: usize, sr: wire::SearchRequest) {
+        let Some(index) = self.index.clone() else {
+            self.obs.inc("index/not_loaded");
+            let line = wire::index_not_loaded_response(sr.id);
+            self.queue_line(slot, &line);
+            return;
+        };
+        if sr.k == 0 || sr.k > index.store.len() {
+            self.obs.inc("index/bad_k");
+            let line = wire::search_err_response(
+                sr.id,
+                &ntr_index::IndexError::BadK {
+                    k: sr.k,
+                    len: index.store.len(),
+                },
+            );
+            self.queue_line(slot, &line);
+            return;
+        }
+        let kind = sr
+            .model
+            .or_else(|| index.store.meta_get("model").and_then(ModelKind::parse));
+        let Some(kind) = kind else {
+            let line = wire::err_response(&wire::WireError {
+                id: Some(sr.id),
+                kind: "BadRequest",
+                message: "missing \"model\" and the index records no build model".into(),
+            });
+            self.queue_line(slot, &line);
+            return;
+        };
+        let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        s.conn.inflight += 1;
+        let gen = s.gen;
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        let obs = self.obs.clone();
+        let (id, k, nprobe) = (sr.id, sr.k, sr.nprobe);
+        let req = crate::service::ServeRequest {
+            kind,
+            table: sr.table,
+            context: sr.context,
+            timeout: sr.timeout,
+        };
+        self.handle.try_submit(
+            req,
+            Box::new(move |resp| {
+                let line = match resp {
+                    Ok(reply) => {
+                        let emb = reply.encoding.table_embedding();
+                        let start = Instant::now();
+                        match index.search(emb.data(), k, nprobe) {
+                            Ok(res) => {
+                                obs.inc("index/searches");
+                                obs.observe("index/search_us", start.elapsed().as_micros() as u64);
+                                wire::search_ok_response(id, reply.cached, &res, &index.store)
+                            }
+                            Err(e) => {
+                                obs.inc("index/search_errors");
+                                wire::search_err_response(id, &e)
+                            }
+                        }
+                    }
                     Err(e) => wire::encode_err_response(id, &e),
                 };
                 crate::service::lock_clean(&completions).push_back(Completion { slot, gen, line });
@@ -673,7 +807,12 @@ impl EventLoop {
                 return;
             }
         };
-        let s = self.slots[slot].as_ref().unwrap();
+        // Re-borrow after the flush above released the slot borrow; the
+        // connection can only have vanished via a slot race.
+        let Some(s) = self.slots.get(slot).and_then(Option::as_ref) else {
+            self.slot_race(slot);
+            return;
+        };
         let done = (flushed && s.conn.close_after_flush)
             || (s.conn.peer_closed && s.conn.quiescent() && !s.conn.has_buffered_input())
             || (s.conn.draining && s.conn.quiescent());
@@ -724,5 +863,78 @@ impl EventLoop {
             self.active -= 1;
             self.free.push(slot);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntr_table::Table;
+
+    fn test_event_loop() -> EventLoop {
+        let t = Table::from_strings("t", &["a", "b"], &[&["1", "2"]]);
+        let pipeline = Pipeline::builder()
+            .vocab_from_tables(std::slice::from_ref(&t))
+            .vocab_size(300)
+            .build()
+            .expect("vocab");
+        let cfg = ServeConfig {
+            n_workers: 1,
+            model_config: Some(ntr_models::ModelConfig::tiny(
+                pipeline.tokenizer().vocab_size(),
+            )),
+            ..ServeConfig::default()
+        };
+        let service =
+            EmbeddingService::start(pipeline, cfg, ntr_obs::Obs::disabled()).expect("service");
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let (waker, wake_rx) = crate::poller::waker().expect("waker");
+        EventLoop::new(
+            listener,
+            service.handle(),
+            ServerConfig::default(),
+            waker,
+            wake_rx,
+            Arc::new(AtomicBool::new(false)),
+            ntr_obs::Obs::disabled(),
+            None,
+        )
+        .expect("event loop")
+    }
+
+    /// Regression for the event-loop slot `unwrap()`s: an event addressed to
+    /// a vacated or out-of-range slot must be absorbed as a counted slot
+    /// race, not panic the loop thread (which killed every connection).
+    #[test]
+    fn vacant_slot_access_is_counted_not_a_panic() {
+        let mut el = test_event_loop();
+        let now = Instant::now();
+
+        // Out-of-range slot (stale token past the slab's end).
+        assert!(!el.flush_slot(17, now));
+        assert_eq!(el.stats.slot_races, 1);
+
+        // In-range but vacated slot (closed earlier, token still queued).
+        el.slots.push(None);
+        el.free.push(0);
+        assert!(!el.fill_slot(0, now));
+        assert_eq!(el.stats.slot_races, 2);
+        assert!(!el.flush_slot(0, now));
+        assert_eq!(el.stats.slot_races, 3);
+
+        // The full event path hits the entry guard and stays silent.
+        let ev = Event {
+            token: TOKEN_BASE,
+            readable: true,
+            writable: true,
+            hangup: false,
+        };
+        el.handle_conn_event(0, ev, now);
+        assert_eq!(el.stats.slot_races, 3);
+
+        // finish_or_refresh on a vacant slot returns without counting.
+        el.finish_or_refresh(0, now);
+        assert_eq!(el.stats.slot_races, 3);
     }
 }

@@ -419,23 +419,12 @@ impl Shared {
         }
     }
 
-    /// A percentile (0–100) from the latency histogram, reported as the
-    /// matched log2 bucket's upper edge, converted to milliseconds.
+    /// A percentile (0–100) from the latency histogram, interpolated within
+    /// the matched log2 bucket and converted to milliseconds. (Reporting the
+    /// bucket's upper edge overstated the tail by up to 2×, which the
+    /// `NTR_LOADGEN_MAX_P99_MS` SLO gate then enforced against.)
     fn latency_pct_ms(&self, p: u64) -> u64 {
-        let count = self.latencies_us.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = (count - 1) * p / 100 + 1;
-        let mut seen = 0u64;
-        for (i, n) in self.latencies_us.nonzero_buckets() {
-            seen += n;
-            if seen >= rank {
-                let upper_us = (1u64 << (i as u32 + 1)) - 1;
-                return upper_us.div_ceil(1000);
-            }
-        }
-        0
+        self.latencies_us.percentile(p as f64).div_ceil(1000)
     }
 
     fn stats(&self) -> ServeStats {
@@ -1143,7 +1132,7 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_are_bucket_upper_edges() {
+    fn histogram_percentiles_interpolate_within_buckets() {
         let shared_lat = Histogram::default();
         // 99 fast (≈100µs, bucket 6: 64..127) + 1 slow (≈80ms, bucket
         // 16: 65536..131071).
@@ -1151,29 +1140,15 @@ mod tests {
             shared_lat.record(100);
         }
         shared_lat.record(80_000);
-        let pct = |p: u64| {
-            let count = shared_lat.count();
-            let rank = (count - 1) * p / 100 + 1;
-            let mut seen = 0;
-            for (i, n) in shared_lat.nonzero_buckets() {
-                seen += n;
-                if seen >= rank {
-                    return ((1u64 << (i as u32 + 1)) - 1).div_ceil(1000);
-                }
-            }
-            0
-        };
-        assert_eq!(
-            pct(50),
-            1,
-            "p50 reports the fast bucket's upper edge (127µs → 1ms)"
-        );
+        // Same reporting path as Shared::latency_pct_ms.
+        let pct = |p: u64| shared_lat.percentile(p as f64).div_ceil(1000);
+        assert_eq!(pct(50), 1, "mid-bucket p50 (96µs) rounds up to 1ms");
         assert_eq!(pct(99), 1, "p99 rank 99 still lands in the fast bucket");
-        assert_eq!(
-            pct(100),
-            131,
-            "max rank reaches the slow bucket (131071µs → 131ms)"
-        );
+        // Regression: the pre-fix upper-edge report turned the single 80ms
+        // outlier into 131ms (131071µs), a ~1.6× overstatement the
+        // NTR_LOADGEN_MAX_P99_MS SLO gate then enforced against. The
+        // midpoint interpolation lands at 98304µs → 99ms.
+        assert_eq!(pct(100), 99, "max rank interpolates within the slow bucket");
     }
 
     #[test]

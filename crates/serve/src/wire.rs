@@ -17,6 +17,25 @@
 //!  "replicas": [{"rebuilds": 0, "retired": false}]}
 //! ```
 //!
+//! Search (requires the server to have been started with an index; the
+//! table body is encoded through the same pipeline as `encode`, then the
+//! embedding is looked up in the ANN index):
+//! ```json
+//! {"cmd": "search", "id": 2, "k": 10, "nprobe": 4,
+//!  "columns": ["country", "population"], "rows": [["france", "67.8"]]}
+//! ```
+//! `k` defaults to 10; `nprobe` defaults to the index's own default;
+//! `model` is optional and falls back to the model the index was built
+//! with. Success response:
+//! ```json
+//! {"id": 2, "ok": true, "cached": false, "k": 10, "scanned": 1287,
+//!  "results": [{"rank": 0, "table_id": "film_12", "distance": 0.42}]}
+//! ```
+//! Typed search failures reuse the error shape below with kinds
+//! `IndexNotLoaded` (no index on this server) and `BadK` (`k` outside
+//! `1..=len`); encode-stage failures (deadline, degraded, overload …)
+//! surface exactly as they do for `encode`.
+//!
 //! Success response (`embedding` is the table-level `[CLS]` vector):
 //! ```json
 //! {"id": 1, "ok": true, "cached": false, "seq_len": 24, "d_model": 64,
@@ -44,11 +63,33 @@ pub enum WireRequest {
         /// What to encode.
         req: ServeRequest,
     },
+    /// A `{"cmd": "search"}` ANN lookup: encode the body table, then
+    /// search the loaded index with its embedding.
+    Search(SearchRequest),
     /// Graceful-shutdown control message.
     Shutdown,
     /// Health probe: answered inline with [`health_response`], never
     /// queued behind the batcher (it must work while degraded).
     Health,
+}
+
+/// A parsed search verb.
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Neighbors requested (default 10).
+    pub k: usize,
+    /// Inverted lists to probe; `None` uses the index default.
+    pub nprobe: Option<usize>,
+    /// Encoder override; `None` falls back to the index's build model.
+    pub model: Option<ModelKind>,
+    /// The query table.
+    pub table: Table,
+    /// Optional context string (caption / question).
+    pub context: String,
+    /// Optional per-request deadline, honored by the encode stage.
+    pub timeout: Option<Duration>,
 }
 
 /// A request that could not be turned into work; becomes an `ok: false`
@@ -78,6 +119,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         return match cmd {
             "shutdown" => Ok(WireRequest::Shutdown),
             "health" => Ok(WireRequest::Health),
+            "search" => parse_search(&doc),
             other => Err(bad(None, format!("unknown cmd {other:?}"))),
         };
     }
@@ -89,11 +131,73 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         .get("model")
         .and_then(Json::as_str)
         .ok_or_else(|| bad(Some(id), "missing \"model\""))?;
-    let kind = ModelKind::parse(model_name).ok_or(WireError {
+    let kind = parse_model(model_name, id)?;
+    let (table, context, timeout) = parse_body(&doc, id)?;
+    Ok(WireRequest::Encode {
+        id,
+        req: ServeRequest {
+            kind,
+            table,
+            context,
+            timeout,
+        },
+    })
+}
+
+/// Parses the `{"cmd": "search"}` verb: same table body as `encode`, plus
+/// `k` / `nprobe` knobs and an optional model override.
+fn parse_search(doc: &Json) -> Result<WireRequest, WireError> {
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(None, "missing or non-integer \"id\""))?;
+    let k = match doc.get("k") {
+        None => 10,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(Some(id), "\"k\" must be a non-negative integer"))?
+            as usize,
+    };
+    let nprobe = match doc.get("nprobe") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| bad(Some(id), "\"nprobe\" must be a non-negative integer"))?
+                as usize,
+        ),
+    };
+    let model = match doc.get("model") {
+        None => None,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| bad(Some(id), "\"model\" must be a string"))?;
+            Some(parse_model(name, id)?)
+        }
+    };
+    let (table, context, timeout) = parse_body(doc, id)?;
+    Ok(WireRequest::Search(SearchRequest {
+        id,
+        k,
+        nprobe,
+        model,
+        table,
+        context,
+        timeout,
+    }))
+}
+
+fn parse_model(model_name: &str, id: u64) -> Result<ModelKind, WireError> {
+    ModelKind::parse(model_name).ok_or(WireError {
         id: Some(id),
         kind: "BadModelChoice",
         message: format!("unknown model {model_name:?}; expected one of bert, tapas, turl, mate"),
-    })?;
+    })
+}
+
+/// Parses the shared request body: `context`, `timeout_ms`, `columns`,
+/// `rows` → the query table.
+fn parse_body(doc: &Json, id: u64) -> Result<(Table, String, Option<Duration>), WireError> {
     let context = doc
         .get("context")
         .and_then(Json::as_str)
@@ -156,15 +260,7 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
     // cache key — a constant here lets identical content from different
     // requests (and different connections) share one cache entry.
     let table = Table::from_strings("wire", &col_refs, &row_slices);
-    Ok(WireRequest::Encode {
-        id,
-        req: ServeRequest {
-            kind,
-            table,
-            context,
-            timeout,
-        },
-    })
+    Ok((table, context, timeout))
 }
 
 /// Renders the health-verb response line. `state` is passed separately so
@@ -211,6 +307,52 @@ pub fn ok_response(id: u64, enc: &TableEncoding, cached: bool) -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// Renders a search success line: ranked `(table_id, distance)` results
+/// plus the scanned-vector count (the work an exact scan would not avoid).
+pub fn search_ok_response(
+    id: u64,
+    cached: bool,
+    res: &ntr_index::SearchResult,
+    store: &ntr_index::EmbeddingStore,
+) -> String {
+    let mut out = String::with_capacity(64 + res.hits.len() * 48);
+    out.push_str(&format!(
+        "{{\"id\": {id}, \"ok\": true, \"cached\": {cached}, \"k\": {}, \"scanned\": {}, \"results\": [",
+        res.hits.len(),
+        res.scanned,
+    ));
+    for (rank, (row, dist)) in res.hits.iter().enumerate() {
+        if rank > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{{\"rank\": {rank}, \"table_id\": "));
+        json::write_str(&mut out, store.id(*row as usize));
+        // Shortest-round-trip float formatting, as in `ok_response`.
+        out.push_str(&format!(", \"distance\": {dist}}}"));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the typed rejection for a search against a server that was
+/// started without an index.
+pub fn index_not_loaded_response(id: u64) -> String {
+    err_response(&WireError {
+        id: Some(id),
+        kind: "IndexNotLoaded",
+        message: "no index loaded; start the server with --index DIR".into(),
+    })
+}
+
+/// Renders a typed search failure from an [`ntr_index::IndexError`].
+pub fn search_err_response(id: u64, e: &ntr_index::IndexError) -> String {
+    err_response(&WireError {
+        id: Some(id),
+        kind: e.kind(),
+        message: e.to_string(),
+    })
 }
 
 /// Renders the typed rejection for a line that exceeded the server's
@@ -318,6 +460,79 @@ mod tests {
         .unwrap_err();
         assert_eq!(e.kind, "BadRequest");
         assert_eq!(e.id, Some(9));
+    }
+
+    #[test]
+    fn parses_search_request() {
+        let line = r#"{"cmd": "search", "id": 5, "k": 3, "nprobe": 2, "model": "bert",
+                       "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Search(sr) = parse_request(line).unwrap() else {
+            panic!("expected search");
+        };
+        assert_eq!(sr.id, 5);
+        assert_eq!(sr.k, 3);
+        assert_eq!(sr.nprobe, Some(2));
+        assert_eq!(sr.model, Some(ModelKind::Bert));
+        assert_eq!(sr.table.n_rows(), 1);
+
+        // k defaults to 10; nprobe and model fall back to the index's own.
+        let line = r#"{"cmd": "search", "id": 6, "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Search(sr) = parse_request(line).unwrap() else {
+            panic!("expected search");
+        };
+        assert_eq!(sr.k, 10);
+        assert_eq!(sr.nprobe, None);
+        assert_eq!(sr.model, None);
+
+        let e = parse_request(
+            r#"{"cmd": "search", "id": 7, "k": "lots", "columns": ["a"], "rows": [["1"]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, "BadRequest");
+        assert_eq!(e.id, Some(7));
+
+        let e =
+            parse_request(r#"{"cmd": "search", "columns": ["a"], "rows": [["1"]]}"#).unwrap_err();
+        assert_eq!(e.kind, "BadRequest");
+        assert_eq!(e.id, None);
+
+        let e = parse_request(
+            r#"{"cmd": "search", "id": 8, "model": "gpt", "columns": ["a"], "rows": [["1"]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, "BadModelChoice");
+    }
+
+    #[test]
+    fn search_response_shape() {
+        let mut store = ntr_index::EmbeddingStore::new(2);
+        store.push("t_a", &[0.0, 0.0]).unwrap();
+        store.push("t_b", &[1.0, 1.0]).unwrap();
+        let res = ntr_index::SearchResult {
+            hits: vec![(1, 0.25), (0, 2.0)],
+            scanned: 2,
+        };
+        let line = search_ok_response(9, true, &res, &store);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(9));
+        assert_eq!(doc.get("k").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("scanned").and_then(Json::as_u64), Some(2));
+        let results = doc.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            results[0].get("table_id").and_then(Json::as_str),
+            Some("t_b")
+        );
+        assert_eq!(results[0].get("rank").and_then(Json::as_u64), Some(0));
+        assert_eq!(results[1].get("rank").and_then(Json::as_u64), Some(1));
+
+        let line = index_not_loaded_response(4);
+        let doc = crate::json::parse(&line).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("IndexNotLoaded")
+        );
     }
 
     #[test]
