@@ -5,7 +5,7 @@ use ntr::corpus::tables::{CorpusConfig, TableCorpus};
 use ntr::corpus::{World, WorldConfig};
 use ntr::models::{EncoderInput, ModelConfig, TaBert};
 use ntr::table::{Linearizer, LinearizerOptions, RowMajorLinearizer};
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 use std::hint::black_box;
 
 fn bench_encode(c: &mut Criterion) {
@@ -34,7 +34,7 @@ fn bench_encode(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("encode");
     for kind in ModelKind::ALL {
-        let mut model = build_model(kind, &cfg);
+        let mut model = build_encoder(EncoderSpec::f32(kind), &cfg).expect("f32 spec");
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &input,

@@ -35,7 +35,7 @@ use ntr::corpus::{World, WorldConfig};
 use ntr::models::ModelConfig;
 use ntr::pipeline::EncodeRequest;
 use ntr::table::LinearizerOptions;
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 use ntr::Pipeline;
 use ntr_index::{EmbeddingStore, IvfConfig, IvfIndex, SearchIndex};
 use std::path::PathBuf;
@@ -131,7 +131,8 @@ fn encoded_corpus(n_tables: usize, n_queries: usize) -> (EmbeddingStore, Vec<Vec
         .build()
         .expect("vocab is non-empty");
     let cfg = ModelConfig::tiny(pipeline.tokenizer().vocab_size());
-    let mut model = build_model(ModelKind::Bert, &cfg);
+    let mut model = build_encoder(EncoderSpec::f32(ModelKind::Bert), &cfg)
+        .expect("f32 bert is always constructible");
 
     let mut store = EmbeddingStore::new(cfg.d_model);
     let mut queries = Vec::with_capacity(n_queries);

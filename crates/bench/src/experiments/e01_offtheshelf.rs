@@ -11,7 +11,7 @@ use ntr::nn::Layer;
 use ntr::table::{
     Linearizer, LinearizerOptions, RowMajorLinearizer, TapexLinearizer, TurlLinearizer,
 };
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 use std::time::Instant;
 
 pub fn run(setup: &Setup) -> Vec<Report> {
@@ -45,7 +45,8 @@ pub fn run(setup: &Setup) -> Vec<Report> {
         };
         let encoded = lin.linearize(table, &table.caption, &setup.tok, &opts);
         let input = EncoderInput::from_encoded(&encoded);
-        let mut model = build_model(kind, &cfg);
+        let mut model = build_encoder(EncoderSpec::f32(kind), &cfg)
+            .expect("f32 specs are valid for every registry kind");
         let start = Instant::now();
         let states = model.encode(&input, false);
         let ms = start.elapsed().as_secs_f64() * 1e3;

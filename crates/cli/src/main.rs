@@ -17,7 +17,7 @@
 
 use ntr::corpus::kb::{World, WorldConfig};
 use ntr::corpus::tables::{CorpusConfig, TableCorpus, TableKind};
-use ntr::models::{Mate, ModelConfig, Tapas, Turl, VanillaBert};
+use ntr::models::{ModelConfig, RowStudent};
 use ntr::obs::trace::{parse_line, schema};
 use ntr::obs::{Obs, ObsOptions};
 use ntr::pipeline::{EncodeRequest, Pipeline};
@@ -26,9 +26,9 @@ use ntr::table::{LinearizerKind, LinearizerOptions, Table};
 use ntr::tasks::pretrain::MlmModel;
 use ntr::tasks::supervisor::SupervisorConfig;
 use ntr::tasks::trainer::{TrainConfig, TrainerOptions};
-use ntr::tasks::TrainRun;
+use ntr::tasks::{DistillRun, TrainRun};
 use ntr::tensor::faults::FaultPlan;
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, build_mlm_model, EncoderSpec, ModelKind, QuantSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -50,20 +50,27 @@ const USAGE: &str = "usage:
   ntr serialize <table.csv> [--strategy row-major|template|column-major|tapex|turl]
                             [--max-tokens N] [--context TEXT] [--no-header]
   ntr query     <table.csv> <SQL> [--no-header]
-  ntr encode    <table.csv> [--model bert|tapas|turl|mate] [--context TEXT] [--no-header]
+  ntr encode    <table.csv> [--model bert|tapas|turl|mate|row-student]
+                            [--precision f32|int8] [--context TEXT] [--no-header]
   ntr pretrain  <table.csv> [--model bert|tapas|turl|mate] [--epochs N] [--batch-size N]
                             [--max-tokens N] [--seed N] [--save PATH]
                             [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
                             [--halt-after N] [--no-header]
                             [--clip-norm F] [--rollback] [--max-retries N] [--faults SPEC]
                             [--snapshot-every N] [--trace PATH] [--metrics PATH]
+  ntr distill   <table.csv> [--teacher bert|tapas|turl|mate] [--teacher-ckpt PATH]
+                            [--epochs N] [--batch-size N] [--max-tokens N] [--seed N]
+                            [--cos-weight F] [--save PATH]
+                            [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+                            [--halt-after N] [--trace PATH] [--metrics PATH] [--no-header]
   ntr serve     <vocab.csv> [--port N] [--max-batch N] [--max-wait-ms N]
                             [--cache-mb N] [--workers N] [--queue-cap N]
                             [--max-conns N] [--idle-timeout-ms N]
                             [--request-timeout-ms N] [--faults SPEC]
                             [--trace PATH] [--metrics PATH] [--no-header]
   ntr serve     --index <dir> [...same flags; <vocab.csv> is omitted]
-  ntr index build <dir> [--tables N] [--model bert|tapas|turl|mate] [--nlist N]
+  ntr index build <dir> [--tables N] [--model bert|tapas|turl|mate|row-student]
+                        [--precision f32|int8] [--nlist N]
                         [--seed N] [--vocab-size N] [--max-tokens N]
                         [--trace PATH] [--metrics PATH]
   ntr index query <dir> <table.csv> [--k N] [--nprobe N] [--context TEXT]
@@ -87,6 +94,17 @@ const USAGE: &str = "usage:
   run end; --snapshot-every N deep-snapshots the model for rollback only every
   N good steps (default 1 = every step). Both sinks default to off and are
   bit-identical no-ops when unset.
+  distill: trains a per-row student encoder against a frozen --teacher
+  (optionally restored from --teacher-ckpt) by MSE + cosine matching of the
+  teacher's pooled row embeddings (--cos-weight sets the cosine term, default
+  0.5). --save writes the student checkpoint; serve it back with
+  --model row-student and --precision int8 for quantized inference. The
+  checkpoint/resume/trace/metrics flags behave exactly as in pretrain.
+  encode / index build: --precision int8 runs the row-student's symmetric
+  per-row int8 path (integer-exact, so bit-identical across SIMD lanes and
+  thread counts); int8 on a teacher family is a typed BadModelChoice error.
+  index build stamps model and precision into the store metadata so queries
+  and serve --index reconstruct the same encoder.
   serve: newline-delimited-JSON embedding server over TCP on 127.0.0.1. The
   CSV trains the vocabulary; clients send
   {\"id\":1,\"model\":\"tapas\",\"context\":\"...\",\"columns\":[...],\"rows\":[[...]]}
@@ -140,6 +158,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => query(rest),
         "encode" => encode(rest),
         "pretrain" => pretrain(rest),
+        "distill" => distill(rest),
         "serve" => serve(rest),
         "index" => index_cmd(rest),
         "trace" => trace_cmd(rest),
@@ -286,8 +305,7 @@ fn parsed_flag<T: std::str::FromStr>(
 
 fn pretrain(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
-    let name = flag_value(&flags, "--model").unwrap_or("tapas");
-    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let kind: ModelKind = flag_value(&flags, "--model").unwrap_or("tapas").parse()?;
     let cfg = TrainConfig {
         epochs: parsed_flag(&flags, "--epochs", 3)?,
         batch_size: parsed_flag(&flags, "--batch-size", 4)?,
@@ -377,48 +395,8 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
     }
 
     let save = flag_value(&flags, "--save");
-    let (steps, first, last) = match kind {
-        ModelKind::Bert => run_mlm(
-            VanillaBert::new(&model_cfg),
-            &corpus,
-            tok,
-            &cfg,
-            max_tokens,
-            &topts,
-            &scfg,
-            save,
-        )?,
-        ModelKind::Tapas => run_mlm(
-            Tapas::new(&model_cfg),
-            &corpus,
-            tok,
-            &cfg,
-            max_tokens,
-            &topts,
-            &scfg,
-            save,
-        )?,
-        ModelKind::Turl => run_mlm(
-            Turl::new(&model_cfg),
-            &corpus,
-            tok,
-            &cfg,
-            max_tokens,
-            &topts,
-            &scfg,
-            save,
-        )?,
-        ModelKind::Mate => run_mlm(
-            Mate::new(&model_cfg),
-            &corpus,
-            tok,
-            &cfg,
-            max_tokens,
-            &topts,
-            &scfg,
-            save,
-        )?,
-    };
+    let model = build_mlm_model(kind, &model_cfg).map_err(|e| e.to_string())?;
+    let (steps, first, last) = run_mlm(model, &corpus, tok, &cfg, max_tokens, &topts, &scfg, save)?;
     println!(
         "model {} | {} optimizer step(s) this run | mlm loss {first:.4} -> {last:.4}",
         kind.name(),
@@ -445,6 +423,94 @@ fn pretrain(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn distill(rest: &[String]) -> Result<(), String> {
+    let (table, flags) = load_table(rest)?;
+    let teacher_kind: ModelKind = flag_value(&flags, "--teacher").unwrap_or("tapas").parse()?;
+    if teacher_kind == ModelKind::RowStudent {
+        return Err("the teacher must be a full-context family, not row-student".into());
+    }
+    let cfg = TrainConfig {
+        epochs: parsed_flag(&flags, "--epochs", 3)?,
+        batch_size: parsed_flag(&flags, "--batch-size", 4)?,
+        seed: parsed_flag(&flags, "--seed", TrainConfig::default().seed)?,
+        ..TrainConfig::default()
+    };
+    let max_tokens: usize = parsed_flag(&flags, "--max-tokens", 128)?;
+    let cos_weight: f32 = parsed_flag(&flags, "--cos-weight", DistillRun::DEFAULT_COS_WEIGHT)?;
+    let every: u64 = parsed_flag(&flags, "--checkpoint-every", 1)?;
+    let topts = TrainerOptions {
+        checkpoint: flag_value(&flags, "--checkpoint").map(|p| (PathBuf::from(p), every)),
+        resume: flag_value(&flags, "--resume").map(PathBuf::from),
+        halt_after: flag_value(&flags, "--halt-after")
+            .map(|v| v.parse().map_err(|_| format!("bad --halt-after {v:?}")))
+            .transpose()?,
+        obs: ObsOptions {
+            trace: flag_value(&flags, "--trace").map(PathBuf::from),
+            metrics: flag_value(&flags, "--metrics").map(PathBuf::from),
+        },
+    };
+    let scfg = SupervisorConfig::default();
+
+    // The same per-row sharding as pretrain: one CSV becomes a small corpus
+    // of (overlapping) row windows, so the student sees many examples.
+    let mut tables = Vec::new();
+    for r in 0..table.n_rows().max(1) {
+        if table.n_rows() > 1 {
+            let hi = (r + 2).min(table.n_rows());
+            let idx: Vec<usize> = (r..hi).collect();
+            tables.push(table.select_rows(&idx));
+        } else {
+            tables.push(table.clone());
+        }
+    }
+    let kinds = vec![TableKind::Employees; tables.len()];
+    let corpus = TableCorpus { tables, kinds };
+
+    let pipeline = Pipeline::builder()
+        .vocab_from_tables(&corpus.tables)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let tok = pipeline.tokenizer();
+    let model_cfg = ModelConfig {
+        vocab_size: tok.vocab_size(),
+        n_entities: 1,
+        ..ModelConfig::tiny(tok.vocab_size())
+    };
+
+    let mut teacher =
+        build_encoder(EncoderSpec::f32(teacher_kind), &model_cfg).map_err(|e| e.to_string())?;
+    if let Some(path) = flag_value(&flags, "--teacher-ckpt") {
+        ntr::nn::serialize::load(teacher.as_mut(), Path::new(path))
+            .map_err(|e| format!("bad --teacher-ckpt: {e}"))?;
+    }
+    let mut student = RowStudent::new(&model_cfg);
+    let report = DistillRun::new(cfg)
+        .max_tokens(max_tokens)
+        .trainer(&topts)
+        .supervisor(&scfg)
+        .cos_weight(cos_weight)
+        .run(&mut student, teacher.as_mut(), &corpus, tok)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = flag_value(&flags, "--save") {
+        ntr::nn::serialize::save(&mut student, Path::new(path)).map_err(|e| e.to_string())?;
+    }
+    let first = report.loss.first().copied().unwrap_or(0.0);
+    let last = report.loss.last().copied().unwrap_or(0.0);
+    println!(
+        "teacher {} -> row-student | {} optimizer step(s) this run | distill loss {first:.4} -> {last:.4} | final cosine {:.4}",
+        teacher_kind.name(),
+        report.loss.len(),
+        report.final_cosine()
+    );
+    if let Some((path, every)) = &topts.checkpoint {
+        println!("checkpointing to {} every {every} step(s)", path.display());
+    }
+    if let Some(path) = &topts.resume {
+        println!("resumed from {}", path.display());
+    }
+    Ok(())
+}
+
 fn open_obs(flags: &[String]) -> Result<Obs, String> {
     Obs::open(&ObsOptions {
         trace: flag_value(flags, "--trace").map(PathBuf::from),
@@ -461,6 +527,7 @@ fn open_obs(flags: &[String]) -> Result<Obs, String> {
 /// rest).
 struct IndexParams {
     kind: ModelKind,
+    precision: QuantSpec,
     n_tables: usize,
     seed: u64,
     vocab_size: usize,
@@ -469,9 +536,9 @@ struct IndexParams {
 
 impl IndexParams {
     fn from_flags(flags: &[String]) -> Result<Self, String> {
-        let name = flag_value(flags, "--model").unwrap_or("bert");
         Ok(Self {
-            kind: ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?,
+            kind: flag_value(flags, "--model").unwrap_or("bert").parse()?,
+            precision: flag_value(flags, "--precision").unwrap_or("f32").parse()?,
             n_tables: parsed_flag(flags, "--tables", 200)?,
             seed: parsed_flag(flags, "--seed", 7)?,
             vocab_size: parsed_flag(flags, "--vocab-size", 600)?,
@@ -494,7 +561,9 @@ impl IndexParams {
             .meta_get("model")
             .ok_or("index metadata is missing \"model\"; rebuild the index")?;
         Ok(Self {
-            kind: ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?,
+            kind: name.parse()?,
+            // Indexes built before the precision stamp existed are f32.
+            precision: store.meta_get("precision").unwrap_or("f32").parse()?,
             n_tables: get(store, "n_tables")?,
             seed: get(store, "seed")?,
             vocab_size: get(store, "vocab_size")?,
@@ -502,8 +571,13 @@ impl IndexParams {
         })
     }
 
+    fn spec(&self) -> EncoderSpec {
+        EncoderSpec::new(self.kind, self.precision)
+    }
+
     fn stamp(&self, store: &mut ntr_index::EmbeddingStore) {
         store.set_meta("model", self.kind.name());
+        store.set_meta("precision", self.precision.name());
         store.set_meta("dim", store.dim().to_string());
         store.set_meta("n_tables", self.n_tables.to_string());
         store.set_meta("seed", self.seed.to_string());
@@ -530,6 +604,7 @@ impl IndexParams {
         let pipeline = Pipeline::builder()
             .vocab_from_tables(&corpus.tables)
             .vocab_size(self.vocab_size)
+            .encoder(self.spec())
             .options(LinearizerOptions {
                 max_tokens: self.max_tokens,
                 ..LinearizerOptions::default()
@@ -558,7 +633,7 @@ fn index_build(rest: &[String]) -> Result<(), String> {
     let params = IndexParams::from_flags(&flags)?;
     let obs = open_obs(&flags)?;
     let (corpus, pipeline, model_cfg) = params.stack()?;
-    let mut model = build_model(params.kind, &model_cfg);
+    let mut model = build_encoder(params.spec(), &model_cfg).map_err(|e| e.to_string())?;
 
     let t_encode = std::time::Instant::now();
     let mut store = ntr_index::EmbeddingStore::new(model_cfg.d_model);
@@ -618,7 +693,7 @@ fn index_build(rest: &[String]) -> Result<(), String> {
         "indexed {} table(s) ({} dim, model {}) into {} | {} cluster(s) | {} byte(s) | encode {encode_ms} ms | build {build_ms} ms",
         store.len(),
         store.dim(),
-        params.kind.name(),
+        params.spec(),
         dir.display(),
         ivf.nlist(),
         store_bytes + ivf_bytes
@@ -641,7 +716,7 @@ fn index_query(rest: &[String]) -> Result<(), String> {
         .to_string();
 
     let (_, pipeline, model_cfg) = params.stack()?;
-    let mut model = build_model(params.kind, &model_cfg);
+    let mut model = build_encoder(params.spec(), &model_cfg).map_err(|e| e.to_string())?;
     let t0 = std::time::Instant::now();
     let enc = pipeline.encode(model.as_mut(), &table, &context);
     let res = idx
@@ -668,7 +743,7 @@ fn index_query(rest: &[String]) -> Result<(), String> {
         res.hits.len(),
         idx.store.len(),
         res.scanned,
-        params.kind.name()
+        params.spec()
     );
     println!("{:>4} {:<24} {:>12}", "rank", "table_id", "distance");
     for (rank, (id, dist)) in res.hits.iter().enumerate() {
@@ -921,21 +996,25 @@ fn summarize_trace(path: &str, text: &str) -> Result<(), String> {
 
 fn encode(rest: &[String]) -> Result<(), String> {
     let (table, flags) = load_table(rest)?;
-    let name = flag_value(&flags, "--model").unwrap_or("tapas");
-    let kind = ModelKind::parse(name).ok_or_else(|| format!("unknown model {name:?}"))?;
+    let kind: ModelKind = flag_value(&flags, "--model").unwrap_or("tapas").parse()?;
+    let precision: QuantSpec = flag_value(&flags, "--precision").unwrap_or("f32").parse()?;
+    let spec = EncoderSpec::new(kind, precision);
     let context = flag_value(&flags, "--context")
         .unwrap_or(&table.caption)
         .to_string();
     let pipeline = Pipeline::builder()
         .vocab_from_tables(std::slice::from_ref(&table))
         .vocab_from_texts(std::slice::from_ref(&context))
+        .encoder(spec)
         .build()
         .map_err(|e| e.to_string())?;
-    let mut model = build_model(kind, &pipeline.default_config());
+    let mut model = pipeline
+        .build_default_encoder()
+        .map_err(|e| e.to_string())?;
     let enc = pipeline.encode(model.as_mut(), &table, &context);
     println!(
         "model {} | {} tokens -> states {:?} | table embedding norm {:.3}",
-        kind.name(),
+        spec,
         enc.encoded.len(),
         enc.states.shape(),
         enc.table_embedding().norm()

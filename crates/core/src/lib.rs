@@ -18,7 +18,7 @@
 //!
 //! ```
 //! use ntr::pipeline::Pipeline;
-//! use ntr::zoo::{build_model, ModelKind};
+//! use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 //! use ntr::table::Table;
 //!
 //! // 1. Load a table from CSV.
@@ -33,8 +33,9 @@
 //! // 2. Build a pipeline (tokenizer + linearizer) over a corpus sample.
 //! let pipeline = Pipeline::builder().vocab_from_tables(&[table.clone()]).build().unwrap();
 //!
-//! // 3. Load a model off the shelf and encode the table.
-//! let mut model = build_model(ModelKind::Tapas, &pipeline.default_config());
+//! // 3. Load a model off the shelf (at exact f32 precision) and encode.
+//! let mut model =
+//!     build_encoder(EncoderSpec::f32(ModelKind::Tapas), &pipeline.default_config()).unwrap();
 //! let encoding = pipeline.encode(model.as_mut(), &table, &table.caption);
 //!
 //! // 4. Inspect the vector representations.
@@ -58,4 +59,6 @@ pub use ntr_tensor as tensor;
 pub use ntr_tokenizer as tokenizer;
 
 pub use pipeline::{EncodeError, EncodeRequest, Pipeline, PipelineBuilder, TableEncoding};
-pub use zoo::{build_model, ModelKind};
+#[allow(deprecated)]
+pub use zoo::build_model;
+pub use zoo::{build_encoder, build_mlm_model, EncoderSpec, ModelKind, QuantSpec};

@@ -2,6 +2,7 @@
 //! representations at every granularity the survey discusses (cell, row,
 //! column, table).
 
+use crate::zoo::{build_encoder, EncoderSpec, ModelKind};
 use ntr_models::{EncoderInput, ModelConfig, SequenceEncoder};
 use ntr_nn::serialize::{self as checkpoint, CheckpointError};
 use ntr_nn::Layer;
@@ -149,6 +150,7 @@ pub struct Pipeline {
     tokenizer: WordPieceTokenizer,
     linearizer: Box<dyn Linearizer + Send + Sync>,
     opts: LinearizerOptions,
+    encoder: EncoderSpec,
 }
 
 /// Builder for [`Pipeline`].
@@ -157,6 +159,7 @@ pub struct PipelineBuilder {
     vocab_size: usize,
     linearizer: LinearizerKind,
     opts: LinearizerOptions,
+    encoder: EncoderSpec,
 }
 
 impl Default for PipelineBuilder {
@@ -166,6 +169,7 @@ impl Default for PipelineBuilder {
             vocab_size: 2000,
             linearizer: LinearizerKind::RowMajor,
             opts: LinearizerOptions::default(),
+            encoder: EncoderSpec::f32(ModelKind::Tapas),
         }
     }
 }
@@ -198,7 +202,18 @@ impl PipelineBuilder {
             tokenizer,
             linearizer: self.linearizer.into_boxed(),
             opts: self.opts,
+            encoder: self.encoder,
         }
+    }
+
+    /// Sets the encoder spec (family + serving precision) that
+    /// [`Pipeline::build_default_encoder`] constructs (default
+    /// `tapas@f32`). The spec is validated at build time, so an int8
+    /// request for a family with no int8 path fails here, not at first
+    /// encode.
+    pub fn encoder(mut self, spec: EncoderSpec) -> Self {
+        self.encoder = spec;
+        self
     }
 
     /// Target vocabulary size (default 2000).
@@ -228,6 +243,7 @@ impl PipelineBuilder {
     /// `vocab_from_tables`/`vocab_from_texts` input) — historically this
     /// silently built a pipeline that tokenized everything to `[UNK]`.
     pub fn build(self) -> Result<Pipeline, EncodeError> {
+        self.encoder.validate()?;
         let vocab = WordPieceTrainer::new(self.vocab_size)
             .train(self.vocab_docs.iter().map(String::as_str));
         if vocab.is_empty() {
@@ -241,6 +257,7 @@ impl PipelineBuilder {
             tokenizer: WordPieceTokenizer::new(vocab),
             linearizer: self.linearizer.into_boxed(),
             opts: self.opts,
+            encoder: self.encoder,
         })
     }
 }
@@ -273,6 +290,19 @@ impl Pipeline {
             vocab_size: self.tokenizer.vocab_size(),
             ..ModelConfig::default()
         }
+    }
+
+    /// The encoder spec this pipeline was built for (see
+    /// [`PipelineBuilder::encoder`]).
+    pub fn encoder_spec(&self) -> EncoderSpec {
+        self.encoder
+    }
+
+    /// Constructs the pipeline's configured encoder, sized to its
+    /// vocabulary: [`build_encoder`] over [`Pipeline::encoder_spec`] and
+    /// [`Pipeline::default_config`].
+    pub fn build_default_encoder(&self) -> Result<Box<dyn SequenceEncoder + Send>, EncodeError> {
+        build_encoder(self.encoder, &self.default_config())
     }
 
     /// Serializes (without encoding) — the §3.2 inspection step. Never
@@ -509,7 +539,7 @@ impl TableEncoding {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::zoo::{build_model, ModelKind};
+    use crate::zoo::{build_encoder, EncoderSpec, ModelKind};
     use ntr_table::ContextPosition;
 
     fn sample() -> Table {
@@ -536,7 +566,8 @@ mod tests {
     fn encode_produces_all_granularities() {
         let p = pipeline();
         let t = sample();
-        let mut model = build_model(ModelKind::Tapas, &p.default_config());
+        let mut model =
+            build_encoder(EncoderSpec::f32(ModelKind::Tapas), &p.default_config()).unwrap();
         let enc = p.encode(model.as_mut(), &t, &t.caption);
         assert_eq!(enc.table_embedding().shape(), &[1, 64]);
         assert!(enc.cell_embedding(0, 0).is_some());
@@ -570,7 +601,7 @@ mod tests {
         let dir = std::env::temp_dir().join("ntr_pipeline_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tapas.ntrw");
-        let mut a = build_model(ModelKind::Tapas, &p.default_config());
+        let mut a = build_encoder(EncoderSpec::f32(ModelKind::Tapas), &p.default_config()).unwrap();
         p.save_model(a.as_mut(), &path).unwrap();
         // A differently-seeded model starts from different weights; loading
         // must overwrite all of them.
@@ -578,7 +609,7 @@ mod tests {
             seed: 0xDEAD,
             ..p.default_config()
         };
-        let mut b = build_model(ModelKind::Tapas, &other_cfg);
+        let mut b = build_encoder(EncoderSpec::f32(ModelKind::Tapas), &other_cfg).unwrap();
         p.load_model(b.as_mut(), &path).unwrap();
         let ea = p.encode(a.as_mut(), &t, &t.caption);
         let eb = p.encode(b.as_mut(), &t, &t.caption);
@@ -588,6 +619,28 @@ mod tests {
             "loaded model must encode bit-identically"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn builder_encoder_spec_round_trips_and_validates() {
+        let p = Pipeline::builder()
+            .vocab_from_tables(&[sample()])
+            .vocab_size(500)
+            .encoder(EncoderSpec::int8(ModelKind::RowStudent))
+            .build()
+            .unwrap();
+        assert_eq!(p.encoder_spec(), EncoderSpec::int8(ModelKind::RowStudent));
+        let mut m = p.build_default_encoder().unwrap();
+        let enc = p.encode(m.as_mut(), &sample(), "");
+        assert_eq!(enc.table_embedding().shape(), &[1, 64]);
+        // An invalid family/precision pair fails at build(), not at encode.
+        let err = Pipeline::builder()
+            .vocab_from_tables(&[sample()])
+            .encoder(EncoderSpec::int8(ModelKind::Mate))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, EncodeError::BadModelChoice { .. }), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use ntr::corpus::{CorpusConfig, TableCorpus, World, WorldConfig};
 use ntr::table::LinearizerOptions;
-use ntr::{build_model, EncodeRequest, ModelKind, Pipeline};
+use ntr::{build_encoder, EncodeRequest, EncoderSpec, ModelKind, Pipeline};
 use ntr_index::{EmbeddingStore, IvfConfig, IvfIndex, SearchIndex};
 
 const K: usize = 10;
@@ -29,7 +29,7 @@ fn encoded_store(n_tables: usize) -> EmbeddingStore {
         .build()
         .expect("vocab training");
     let cfg = ntr::models::ModelConfig::tiny(pipeline.tokenizer().vocab_size());
-    let mut model = build_model(ModelKind::Bert, &cfg);
+    let mut model = build_encoder(EncoderSpec::f32(ModelKind::Bert), &cfg).expect("f32 spec");
     let mut store = EmbeddingStore::new(cfg.d_model);
     let reqs: Vec<EncodeRequest> = corpus
         .tables

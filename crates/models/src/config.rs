@@ -1,4 +1,52 @@
-//! Shared model hyperparameters.
+//! Shared model hyperparameters and the serving-precision spec.
+
+/// Numeric precision an encoder runs inference at.
+///
+/// `F32` is the exact reference path every model supports; `Int8` routes
+/// eligible matmuls through `ntr_tensor::quant` (symmetric per-row int8,
+/// integer-exact and therefore bit-identical across SIMD lanes and
+/// thread counts — see DESIGN.md §13). Only [`crate::RowStudent`]
+/// implements the int8 path; requesting it for another family is a typed
+/// `BadModelChoice` at the zoo/serve layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantSpec {
+    /// Exact f32 inference (the default).
+    #[default]
+    F32,
+    /// Symmetric per-row int8 quantized inference.
+    Int8,
+}
+
+impl QuantSpec {
+    /// Every precision, in wire/CLI order.
+    pub const ALL: [QuantSpec; 2] = [QuantSpec::F32, QuantSpec::Int8];
+
+    /// Stable lowercase name used by the CLI, wire protocol, and index
+    /// metadata alike.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantSpec::F32 => "f32",
+            QuantSpec::Int8 => "int8",
+        }
+    }
+}
+
+impl std::fmt::Display for QuantSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for QuantSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QuantSpec::ALL
+            .into_iter()
+            .find(|q| q.name() == s)
+            .ok_or_else(|| format!("unknown precision {s:?}; expected one of f32, int8"))
+    }
+}
 
 /// Hyperparameters shared by every model family.
 ///

@@ -25,18 +25,20 @@ mod input;
 
 mod bert;
 mod mate;
+mod row_student;
 mod tabert;
 mod tapas;
 mod tapex;
 mod turl;
 
 pub use bert::VanillaBert;
-pub use config::ModelConfig;
+pub use config::{ModelConfig, QuantSpec};
 pub use embeddings::EmbeddingFlags;
 pub use embeddings::TableEmbeddings;
 pub use heads::{pool_mean, pool_mean_backward, ClassifierHead, MlmHead, TokenScoreHead};
 pub use input::EncoderInput;
 pub use mate::{sparse_attention, sparse_attention_flops, Mate, SparseAxis, SparsePattern};
+pub use row_student::RowStudent;
 pub use tabert::TaBert;
 pub use tapas::Tapas;
 pub use tapex::Tapex;

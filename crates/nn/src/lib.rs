@@ -69,7 +69,7 @@ pub use dropout::Dropout;
 pub use embedding::Embedding;
 pub use encoder::{Encoder, EncoderLayer};
 pub use layernorm::LayerNorm;
-pub use linear::Linear;
+pub use linear::{Linear, QuantizedLinear};
 pub use param::Param;
 
 /// Visitation interface over a layer's trainable parameters.

@@ -1,7 +1,9 @@
-//! Fully-connected layer `y = x·W + b` with cached-activation backward.
+//! Fully-connected layer `y = x·W + b` with cached-activation backward,
+//! plus an int8 inference snapshot ([`QuantizedLinear`]).
 
 use crate::init::SeededInit;
 use crate::{Layer, Param};
+use ntr_tensor::quant::{self, QuantizedMatrix};
 use ntr_tensor::Tensor;
 
 /// An affine transformation from `d_in` to `d_out` features.
@@ -69,6 +71,45 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
         f("w", &mut self.w);
         f("b", &mut self.b);
+    }
+}
+
+/// An immutable int8 snapshot of a [`Linear`] for quantized inference:
+/// the weight is quantized per *output column* (`ntr_tensor::quant`,
+/// symmetric, scale = `max|w| / 127`) and the bias stays exact f32.
+///
+/// Scales are a pure function of the f32 weights — they are *not*
+/// checkpointed; a reloaded checkpoint re-derives a bit-identical
+/// snapshot (pinned by `ntr-models`' student round-trip test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedLinear {
+    /// Per-output-column quantized weight, stored transposed `[d_out, d_in]`.
+    pub wq: QuantizedMatrix,
+    /// Exact f32 bias, shape `[d_out]`.
+    pub b: Tensor,
+}
+
+impl QuantizedLinear {
+    /// `y ≈ x·W + b` with activations quantized per row on the fly; `on`
+    /// routes the integer dot products to the AVX2 lane (both lanes are
+    /// bit-identical — the accumulation is exact `i32` math).
+    pub fn forward(&self, on: bool, x: &Tensor) -> Tensor {
+        quant::matmul_quantized(on, x, &self.wq).add_row_broadcast(&self.b)
+    }
+
+    /// Output feature count.
+    pub fn d_out(&self) -> usize {
+        self.wq.rows
+    }
+}
+
+impl Linear {
+    /// Snapshots this layer for the int8 inference path.
+    pub fn quantized(&self) -> QuantizedLinear {
+        QuantizedLinear {
+            wq: quant::quantize_cols(&self.w.value),
+            b: self.b.value.clone(),
+        }
     }
 }
 
@@ -142,6 +183,21 @@ mod tests {
     fn backward_without_forward_panics() {
         let mut l = make();
         let _ = l.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn quantized_snapshot_tracks_f32_and_rederives_identically() {
+        let l = Linear::new(16, 8, &mut SeededInit::new(3));
+        let x = SeededInit::new(4).uniform(&[5, 16], -2.0, 2.0);
+        let exact = l.forward_inference(&x);
+        let q = l.quantized();
+        let approx = q.forward(ntr_tensor::simd::active(), &x);
+        assert_eq!(approx.shape(), exact.shape());
+        for (e, a) in exact.data().iter().zip(approx.data()) {
+            assert!((e - a).abs() < 0.05, "int8 {a} too far from f32 {e}");
+        }
+        // Scales are derived, not stored: a second snapshot is identical.
+        assert_eq!(q, l.quantized());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod metrics;
 pub mod pool;
+pub mod quant;
 pub mod trace;
 
 pub use metrics::{MetricsRegistry, Snapshot};
@@ -101,6 +102,8 @@ impl Obs {
             Some(p) => {
                 pool::reset();
                 pool::set_enabled(true);
+                quant::reset();
+                quant::set_enabled(true);
                 Some((p.clone(), MetricsRegistry::default()))
             }
             None => None,
@@ -182,6 +185,7 @@ impl Obs {
         };
         let mut snap = reg.snapshot();
         snap.merge_pool(&pool::snapshot());
+        snap.merge_quant(&quant::snapshot());
         snap.extend_warnings();
         snap.write(path)
     }

@@ -237,6 +237,18 @@ impl Snapshot {
         }
     }
 
+    /// Folds the global int8-quantization counters into this snapshot
+    /// under `quant/…` names (omitted entirely when no quantized matmul
+    /// ran, so f32-only runs keep their snapshots unchanged).
+    pub fn merge_quant(&mut self, quant: &crate::quant::QuantSnapshot) {
+        if quant.matmuls == 0 && quant.rows_quantized == 0 {
+            return;
+        }
+        self.push_counter("quant/matmuls", quant.matmuls);
+        self.push_counter("quant/out_rows", quant.out_rows);
+        self.push_counter("quant/rows_quantized", quant.rows_quantized);
+    }
+
     /// Folds the process-global warning counters in under `warn/…` names.
     pub fn extend_warnings(&mut self) {
         let n = crate::warnings::metric_len_mismatches();

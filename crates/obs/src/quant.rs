@@ -1,0 +1,93 @@
+//! Global int8-quantization counters.
+//!
+//! `ntr-tensor::quant` reports into these from its matmul entry points,
+//! following the same process-global pattern as [`crate::pool`]: the
+//! kernels are free functions with no `Obs` handle in reach, and the
+//! armed check must stay one relaxed load when observability is off.
+//! `Obs::open` resets and arms them alongside the pool counters so a
+//! run's metrics snapshot covers that run alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static MATMULS: AtomicU64 = AtomicU64::new(0);
+static OUT_ROWS: AtomicU64 = AtomicU64::new(0);
+static ROWS_QUANTIZED: AtomicU64 = AtomicU64::new(0);
+
+/// Arms or disarms collection.
+pub fn set_enabled(on: bool) {
+    ARMED.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is armed.
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Zeroes every counter (does not change armed state).
+pub fn reset() {
+    MATMULS.store(0, Ordering::Relaxed);
+    OUT_ROWS.store(0, Ordering::Relaxed);
+    ROWS_QUANTIZED.store(0, Ordering::Relaxed);
+}
+
+/// Records one quantized matmul producing `rows` output rows.
+pub fn record_matmul(rows: u64) {
+    if enabled() {
+        MATMULS.fetch_add(1, Ordering::Relaxed);
+        OUT_ROWS.fetch_add(rows, Ordering::Relaxed);
+    }
+}
+
+/// Records `rows` activation rows quantized to int8.
+pub fn record_rows(rows: u64) {
+    if enabled() {
+        ROWS_QUANTIZED.fetch_add(rows, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the quantization counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantSnapshot {
+    /// Quantized matmuls executed.
+    pub matmuls: u64,
+    /// Output rows produced by quantized matmuls.
+    pub out_rows: u64,
+    /// Activation rows quantized to int8.
+    pub rows_quantized: u64,
+}
+
+/// Reads every counter.
+pub fn snapshot() -> QuantSnapshot {
+    QuantSnapshot {
+        matmuls: MATMULS.load(Ordering::Relaxed),
+        out_rows: OUT_ROWS.load(Ordering::Relaxed),
+        rows_quantized: ROWS_QUANTIZED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_only_when_armed() {
+        let was = enabled();
+        set_enabled(false);
+        reset();
+        record_matmul(4);
+        record_rows(9);
+        assert_eq!(snapshot(), QuantSnapshot::default());
+        set_enabled(true);
+        record_matmul(4);
+        record_matmul(2);
+        record_rows(9);
+        let s = snapshot();
+        assert_eq!(s.matmuls, 2);
+        assert_eq!(s.out_rows, 6);
+        assert_eq!(s.rows_quantized, 9);
+        reset();
+        assert_eq!(snapshot(), QuantSnapshot::default());
+        set_enabled(was);
+    }
+}

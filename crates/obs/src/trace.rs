@@ -334,6 +334,20 @@ pub mod schema {
             ],
         },
         Event {
+            name: "distill_start",
+            fields: &[
+                req("tables", U64),
+                req("spans", U64),
+                req("d_model", U64),
+                req("teacher", Str),
+                req("cos_weight", Float),
+            ],
+        },
+        Event {
+            name: "distill_step",
+            fields: &[req("loss", Float), req("cosine", Float)],
+        },
+        Event {
             name: "serve_start",
             fields: &[
                 req("port", U64),

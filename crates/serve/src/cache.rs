@@ -1,9 +1,11 @@
 //! Content-addressed LRU cache of table encodings.
 //!
 //! The key is a 64-bit FNV-1a hash over everything that determines an
-//! encoding bit-for-bit: the model family, the linearization strategy and
-//! its options, the context string, and the table's full content (id,
-//! caption, column names, every cell's text, entity annotations, shape).
+//! encoding bit-for-bit: the encoder spec (model family *and* serving
+//! precision — a student's int8 output must never answer an f32 request),
+//! the linearization strategy and its options, the context string, and
+//! the table's full content (id, caption, column names, every cell's
+//! text, entity annotations, shape).
 //! Two requests with identical content therefore share one cached entry,
 //! while any single-character difference lands on a different key.
 //!
@@ -12,7 +14,7 @@
 //! Eviction is least-recently-used. Hits, misses, and evictions are
 //! counted for the `serve_end` trace event and the metrics snapshot.
 
-use ntr::{ModelKind, TableEncoding};
+use ntr::{EncoderSpec, TableEncoding};
 use ntr_table::{LinearizerOptions, Table};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -50,14 +52,15 @@ impl Fnv64 {
 /// The cache key for one encode request: hashes every input that the
 /// encoding depends on.
 pub fn content_key(
-    kind: ModelKind,
+    spec: EncoderSpec,
     linearizer_name: &str,
     opts: &LinearizerOptions,
     table: &Table,
     context: &str,
 ) -> u64 {
     let mut h = Fnv64::new();
-    h.str(kind.name());
+    h.str(spec.kind.name());
+    h.str(spec.precision.name());
     h.str(linearizer_name);
     h.num(opts.max_tokens as u64);
     h.num(opts.context_position as u64);
@@ -217,7 +220,7 @@ impl EmbeddingCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntr::Pipeline;
+    use ntr::{build_encoder, ModelKind, Pipeline};
     use ntr_table::{Linearizer, RowMajorLinearizer};
 
     fn table(id: &str, cell: &str) -> Table {
@@ -231,27 +234,41 @@ mod tests {
             .vocab_size(300)
             .build()
             .unwrap();
-        let mut model = ntr::build_model(ModelKind::Bert, &pipeline.default_config());
+        let mut model = build_encoder(
+            EncoderSpec::f32(ModelKind::Bert),
+            &pipeline.default_config(),
+        )
+        .unwrap();
         Arc::new(pipeline.encode(model.as_mut(), &t, ""))
+    }
+
+    fn bert() -> EncoderSpec {
+        EncoderSpec::f32(ModelKind::Bert)
     }
 
     #[test]
     fn key_is_content_sensitive() {
         let opts = LinearizerOptions::default();
         let lin = RowMajorLinearizer;
-        let base = content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "1"), "q");
+        let base = content_key(bert(), lin.name(), &opts, &table("t", "1"), "q");
         // Identical content -> identical key.
         assert_eq!(
             base,
-            content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "1"), "q")
+            content_key(bert(), lin.name(), &opts, &table("t", "1"), "q")
         );
         // Any differing component -> different key.
         for other in [
-            content_key(ModelKind::Tapas, lin.name(), &opts, &table("t", "1"), "q"),
-            content_key(ModelKind::Bert, "template", &opts, &table("t", "1"), "q"),
-            content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "9"), "q"),
-            content_key(ModelKind::Bert, lin.name(), &opts, &table("u", "1"), "q"),
-            content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "1"), "r"),
+            content_key(
+                EncoderSpec::f32(ModelKind::Tapas),
+                lin.name(),
+                &opts,
+                &table("t", "1"),
+                "q",
+            ),
+            content_key(bert(), "template", &opts, &table("t", "1"), "q"),
+            content_key(bert(), lin.name(), &opts, &table("t", "9"), "q"),
+            content_key(bert(), lin.name(), &opts, &table("u", "1"), "q"),
+            content_key(bert(), lin.name(), &opts, &table("t", "1"), "r"),
         ] {
             assert_ne!(base, other);
         }
@@ -260,7 +277,32 @@ mod tests {
         with_entity.cell_mut(0, 0).entity = Some(7);
         assert_ne!(
             base,
-            content_key(ModelKind::Bert, lin.name(), &opts, &with_entity, "q")
+            content_key(bert(), lin.name(), &opts, &with_entity, "q")
+        );
+    }
+
+    #[test]
+    fn key_separates_precisions() {
+        // A student's int8 encoding is a different bit pattern from its
+        // f32 one; the precision must therefore be part of the key.
+        let opts = LinearizerOptions::default();
+        let lin = RowMajorLinearizer;
+        let student = ModelKind::RowStudent;
+        assert_ne!(
+            content_key(
+                EncoderSpec::f32(student),
+                lin.name(),
+                &opts,
+                &table("t", "1"),
+                "q"
+            ),
+            content_key(
+                EncoderSpec::int8(student),
+                lin.name(),
+                &opts,
+                &table("t", "1"),
+                "q"
+            ),
         );
     }
 
@@ -271,13 +313,13 @@ mod tests {
         // first, keeping the three states distinct.
         let opts = LinearizerOptions::default();
         let lin = RowMajorLinearizer;
-        let bare = content_key(ModelKind::Bert, lin.name(), &opts, &table("t", "1"), "q");
+        let bare = content_key(bert(), lin.name(), &opts, &table("t", "1"), "q");
         let mut max_id = table("t", "1");
         max_id.cell_mut(0, 0).entity = Some(u32::MAX);
-        let max_key = content_key(ModelKind::Bert, lin.name(), &opts, &max_id, "q");
+        let max_key = content_key(bert(), lin.name(), &opts, &max_id, "q");
         let mut near_max = table("t", "1");
         near_max.cell_mut(0, 0).entity = Some(u32::MAX - 1);
-        let near_key = content_key(ModelKind::Bert, lin.name(), &opts, &near_max, "q");
+        let near_key = content_key(bert(), lin.name(), &opts, &near_max, "q");
         assert_ne!(bare, max_key);
         assert_ne!(max_key, near_key);
     }

@@ -40,7 +40,7 @@ use crate::conn::{CloseReason, Conn, ConnLimits, Frame};
 use crate::poller::{Event, Interest, Poller, WakeReceiver, Waker};
 use crate::service::{EmbeddingService, ServeConfig, ServeHandle, ServeStats};
 use crate::wire::{self, WireRequest};
-use ntr::{ModelKind, Pipeline};
+use ntr::{EncoderSpec, Pipeline};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener};
@@ -714,7 +714,7 @@ impl EventLoop {
         }
         let kind = sr
             .model
-            .or_else(|| index.store.meta_get("model").and_then(ModelKind::parse));
+            .or_else(|| index.store.meta_get("model").and_then(|s| s.parse().ok()));
         let Some(kind) = kind else {
             let line = wire::err_response(&wire::WireError {
                 id: Some(sr.id),
@@ -724,6 +724,24 @@ impl EventLoop {
             self.queue_line(slot, &line);
             return;
         };
+        // Precision falls back to the precision the index was built at
+        // (indexes that predate the stamp are f32).
+        let precision = sr.precision.or_else(|| {
+            index
+                .store
+                .meta_get("precision")
+                .and_then(|s| s.parse().ok())
+        });
+        let spec = EncoderSpec::new(kind, precision.unwrap_or_default());
+        if let Err(e) = spec.validate() {
+            let line = wire::err_response(&wire::WireError {
+                id: Some(sr.id),
+                kind: e.kind(),
+                message: e.to_string(),
+            });
+            self.queue_line(slot, &line);
+            return;
+        }
         let Some(s) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
             return;
         };
@@ -734,7 +752,7 @@ impl EventLoop {
         let obs = self.obs.clone();
         let (id, k, nprobe) = (sr.id, sr.k, sr.nprobe);
         let req = crate::service::ServeRequest {
-            kind,
+            spec,
             table: sr.table,
             context: sr.context,
             timeout: sr.timeout,

@@ -71,7 +71,7 @@
 //! touching the batcher.
 
 use crate::cache::{content_key, CacheStats, EmbeddingCache};
-use ntr::{build_model, EncodeError, ModelKind, Pipeline, TableEncoding};
+use ntr::{build_encoder, EncodeError, EncoderSpec, ModelKind, Pipeline, TableEncoding};
 use ntr_models::{ModelConfig, SequenceEncoder};
 use ntr_obs::metrics::Histogram;
 use ntr_table::{EncodedTable, Table};
@@ -165,12 +165,15 @@ impl Default for ServeConfig {
     }
 }
 
-/// One encode request: which model family, over which table, with which
-/// natural-language context, optionally bounded by a deadline.
+/// One encode request: which encoder spec (family + serving precision),
+/// over which table, with which natural-language context, optionally
+/// bounded by a deadline.
 #[derive(Debug, Clone)]
 pub struct ServeRequest {
-    /// Model family to encode with.
-    pub kind: ModelKind,
+    /// Encoder spec to serve with (family + precision). Int8 is only
+    /// valid for [`ModelKind::RowStudent`]; invalid specs are rejected at
+    /// admission with a typed [`EncodeError::BadModelChoice`].
+    pub spec: EncoderSpec,
     /// The table.
     pub table: Table,
     /// Caption / question / claim (may be empty).
@@ -181,10 +184,16 @@ pub struct ServeRequest {
 }
 
 impl ServeRequest {
-    /// A request with no per-request deadline.
+    /// An f32 request with no per-request deadline (what every
+    /// pre-redesign caller meant).
     pub fn new(kind: ModelKind, table: Table, context: impl Into<String>) -> Self {
+        ServeRequest::with_spec(EncoderSpec::f32(kind), table, context)
+    }
+
+    /// A request at an explicit precision, with no per-request deadline.
+    pub fn with_spec(spec: EncoderSpec, table: Table, context: impl Into<String>) -> Self {
         ServeRequest {
-            kind,
+            spec,
             table,
             context: context.into(),
             timeout: None,
@@ -240,7 +249,7 @@ pub enum Admission {
 }
 
 struct Job {
-    kind: ModelKind,
+    spec: EncoderSpec,
     key: u64,
     table: Table,
     context: String,
@@ -338,7 +347,7 @@ struct ReplicaHealth {
 }
 
 struct Replica {
-    models: Mutex<HashMap<ModelKind, Box<dyn SequenceEncoder + Send>>>,
+    models: Mutex<HashMap<EncoderSpec, Box<dyn SequenceEncoder + Send>>>,
     health: Mutex<ReplicaHealth>,
 }
 
@@ -565,8 +574,15 @@ impl ServeHandle {
         let submitted = Instant::now();
         let shared = &self.shared;
         shared.requests.fetch_add(1, Ordering::Relaxed);
+        // Spec validation happens before any queueing: an int8 request
+        // against a family with no int8 path is a typed O(1) rejection,
+        // never a worker-side panic.
+        if let Err(e) = req.spec.validate() {
+            shared.answer(complete, submitted, Err(e));
+            return Admission::Rejected;
+        }
         let key = content_key(
-            req.kind,
+            req.spec,
             shared.pipeline.linearizer().name(),
             shared.pipeline.options(),
             &req.table,
@@ -629,7 +645,7 @@ impl ServeHandle {
         shared.queue_depth.fetch_add(1, Ordering::Relaxed);
         shared.obs.observe("serve/queue_depth", depth as u64 + 1);
         let job = Job {
-            kind: req.kind,
+            spec: req.spec,
             key,
             table: req.table,
             context: req.context,
@@ -866,7 +882,7 @@ fn flush(shared: &Shared, batch: Vec<Job>) {
     let flush_no = shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
 
     let mut board: Vec<Mutex<Option<InFlight>>> = Vec::with_capacity(batch.len());
-    let mut work: Vec<(usize, ModelKind, Table, String)> = Vec::with_capacity(batch.len());
+    let mut work: Vec<(usize, EncoderSpec, Table, String)> = Vec::with_capacity(batch.len());
     for (i, job) in batch.into_iter().enumerate() {
         board.push(Mutex::new(Some(InFlight {
             key: job.key,
@@ -874,7 +890,7 @@ fn flush(shared: &Shared, batch: Vec<Job>) {
             deadline: job.deadline,
             complete: job.complete,
         })));
-        work.push((i, job.kind, job.table, job.context));
+        work.push((i, job.spec, job.table, job.context));
     }
 
     let panicked = catch_unwind(AssertUnwindSafe(|| {
@@ -911,7 +927,7 @@ fn flush_inner(
     shared: &Shared,
     flush_no: u64,
     board: &[Mutex<Option<InFlight>>],
-    work: Vec<(usize, ModelKind, Table, String)>,
+    work: Vec<(usize, EncoderSpec, Table, String)>,
 ) -> usize {
     // Injected drills, consumed at flush granularity (`@N` = Nth flush).
     let (slow, panic_armed) = {
@@ -934,8 +950,8 @@ fn flush_inner(
     // Serialize on the batcher thread; invalid or already-expired
     // requests are answered immediately and never reach a worker.
     let now = Instant::now();
-    let mut jobs: Vec<(usize, ModelKind, EncodedTable)> = Vec::with_capacity(work.len());
-    for (i, kind, table, context) in work {
+    let mut jobs: Vec<(usize, EncoderSpec, EncodedTable)> = Vec::with_capacity(work.len());
+    for (i, spec, table, context) in work {
         let Some(inflight) = lock_clean(&board[i]).take() else {
             continue;
         };
@@ -954,7 +970,7 @@ fn flush_inner(
         match shared.pipeline.try_serialize(&table, &context) {
             Ok(encoded) => {
                 *lock_clean(&board[i]) = Some(inflight);
-                jobs.push((i, kind, encoded));
+                jobs.push((i, spec, encoded));
             }
             Err(e) => shared.answer(inflight.complete, inflight.submitted, Err(e)),
         }
@@ -993,8 +1009,8 @@ fn flush_inner(
     // are bit-identical by construction (same config, same seed). The
     // bucket body runs under `catch_unwind`: a panic quarantines the
     // replica and fails only that bucket's unanswered requests.
-    let slots: Vec<Mutex<Vec<(usize, ModelKind, EncodedTable)>>> = {
-        let mut jobs: Vec<Option<(usize, ModelKind, EncodedTable)>> =
+    let slots: Vec<Mutex<Vec<(usize, EncoderSpec, EncodedTable)>>> = {
+        let mut jobs: Vec<Option<(usize, EncoderSpec, EncodedTable)>> =
             jobs.into_iter().map(Some).collect();
         buckets
             .iter()
@@ -1015,13 +1031,13 @@ fn flush_inner(
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let work = std::mem::take(&mut *lock_clean(&slots[b]));
             let mut models = lock_clean(&replica.models);
-            for (job_no, (i, kind, encoded)) in work.into_iter().enumerate() {
+            for (job_no, (i, spec, encoded)) in work.into_iter().enumerate() {
                 if panic_armed && b == 0 && job_no == 0 {
                     panic!("{INJECTED_FLUSH_PANIC_MSG}");
                 }
-                let model = models
-                    .entry(kind)
-                    .or_insert_with(|| build_model(kind, &shared.model_cfg));
+                let model = models.entry(spec).or_insert_with(|| {
+                    build_encoder(spec, &shared.model_cfg).expect("spec validated at admission")
+                });
                 let enc = Arc::new(shared.pipeline.encode_serialized(model.as_mut(), encoded));
                 let Some(inflight) = lock_clean(&board[i]).take() else {
                     continue;

@@ -7,7 +7,10 @@
 //! ```
 //! An optional `"timeout_ms"` field bounds the request: past that budget
 //! the service answers with a typed `DeadlineExceeded` error instead of
-//! the embedding.
+//! the embedding. An optional `"precision"` field (`"f32"` default, or
+//! `"int8"` — only valid with `"model": "row-student"`) selects the
+//! serving precision; an invalid combination is a typed `BadModelChoice`
+//! at parse time.
 //!
 //! Control: `{"cmd": "shutdown"}` asks the server to drain and exit;
 //! `{"cmd": "health"}` answers with the service self-assessment:
@@ -49,7 +52,7 @@
 
 use crate::json::{self, Json};
 use crate::service::{HealthReport, ServeRequest};
-use ntr::{EncodeError, ModelKind, TableEncoding};
+use ntr::{EncodeError, EncoderSpec, ModelKind, QuantSpec, TableEncoding};
 use ntr_table::Table;
 use std::time::Duration;
 
@@ -84,6 +87,9 @@ pub struct SearchRequest {
     pub nprobe: Option<usize>,
     /// Encoder override; `None` falls back to the index's build model.
     pub model: Option<ModelKind>,
+    /// Precision override; `None` falls back to the precision the index
+    /// was built at (f32 for indexes that predate the stamp).
+    pub precision: Option<QuantSpec>,
     /// The query table.
     pub table: Table,
     /// Optional context string (caption / question).
@@ -132,11 +138,20 @@ pub fn parse_request(line: &str) -> Result<WireRequest, WireError> {
         .and_then(Json::as_str)
         .ok_or_else(|| bad(Some(id), "missing \"model\""))?;
     let kind = parse_model(model_name, id)?;
+    let precision = parse_precision(&doc, id)?.unwrap_or(QuantSpec::F32);
+    let spec = EncoderSpec::new(kind, precision);
+    // Fail the family/precision mismatch at parse time: a typed line now
+    // beats a queued request that the service would reject anyway.
+    spec.validate().map_err(|e| WireError {
+        id: Some(id),
+        kind: e.kind(),
+        message: e.to_string(),
+    })?;
     let (table, context, timeout) = parse_body(&doc, id)?;
     Ok(WireRequest::Encode {
         id,
         req: ServeRequest {
-            kind,
+            spec,
             table,
             context,
             timeout,
@@ -175,24 +190,45 @@ fn parse_search(doc: &Json) -> Result<WireRequest, WireError> {
             Some(parse_model(name, id)?)
         }
     };
+    let precision = parse_precision(doc, id)?;
     let (table, context, timeout) = parse_body(doc, id)?;
     Ok(WireRequest::Search(SearchRequest {
         id,
         k,
         nprobe,
         model,
+        precision,
         table,
         context,
         timeout,
     }))
 }
 
+/// One model parser for the whole system: the registry's `FromStr`, so the
+/// wire error menu can never drift from the CLI's or the META stamp's.
 fn parse_model(model_name: &str, id: u64) -> Result<ModelKind, WireError> {
-    ModelKind::parse(model_name).ok_or(WireError {
+    model_name.parse().map_err(|message| WireError {
         id: Some(id),
         kind: "BadModelChoice",
-        message: format!("unknown model {model_name:?}; expected one of bert, tapas, turl, mate"),
+        message,
     })
+}
+
+/// Parses the optional `"precision"` field (`None` when absent).
+fn parse_precision(doc: &Json, id: u64) -> Result<Option<QuantSpec>, WireError> {
+    match doc.get("precision") {
+        None => Ok(None),
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or_else(|| bad(Some(id), "\"precision\" must be a string"))?;
+            name.parse().map(Some).map_err(|message| WireError {
+                id: Some(id),
+                kind: "BadModelChoice",
+                message,
+            })
+        }
+    }
 }
 
 /// Parses the shared request body: `context`, `timeout_ms`, `columns`,
@@ -416,11 +452,42 @@ mod tests {
             panic!("expected encode");
         };
         assert_eq!(id, 7);
-        assert_eq!(req.kind, ModelKind::Tapas);
+        assert_eq!(req.spec, EncoderSpec::f32(ModelKind::Tapas));
         assert_eq!(req.context, "pop");
         assert_eq!(req.table.n_rows(), 2);
         assert_eq!(req.table.n_cols(), 2);
         assert_eq!(req.table.cell(1, 0).raw, "3");
+    }
+
+    #[test]
+    fn parses_precision_field() {
+        // Explicit int8 on the student.
+        let line = r#"{"id": 1, "model": "row-student", "precision": "int8",
+                       "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Encode { req, .. } = parse_request(line).unwrap() else {
+            panic!("expected encode");
+        };
+        assert_eq!(req.spec, EncoderSpec::int8(ModelKind::RowStudent));
+        // Absent field defaults to f32.
+        let line = r#"{"id": 2, "model": "row-student", "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Encode { req, .. } = parse_request(line).unwrap() else {
+            panic!("expected encode");
+        };
+        assert_eq!(req.spec.precision, QuantSpec::F32);
+        // int8 on a family without an int8 path is rejected at parse time.
+        let e = parse_request(
+            r#"{"id": 3, "model": "tapas", "precision": "int8", "columns": ["a"], "rows": [["1"]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, "BadModelChoice");
+        assert_eq!(e.id, Some(3));
+        // Unknown precision name lists the menu.
+        let e = parse_request(
+            r#"{"id": 4, "model": "bert", "precision": "fp4", "columns": ["a"], "rows": [["1"]]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.kind, "BadModelChoice");
+        assert!(e.message.contains("f32, int8"), "{}", e.message);
     }
 
     #[test]
@@ -473,9 +540,11 @@ mod tests {
         assert_eq!(sr.k, 3);
         assert_eq!(sr.nprobe, Some(2));
         assert_eq!(sr.model, Some(ModelKind::Bert));
+        assert_eq!(sr.precision, None);
         assert_eq!(sr.table.n_rows(), 1);
 
-        // k defaults to 10; nprobe and model fall back to the index's own.
+        // k defaults to 10; nprobe, model and precision fall back to the
+        // index's own.
         let line = r#"{"cmd": "search", "id": 6, "columns": ["a"], "rows": [["1"]]}"#;
         let WireRequest::Search(sr) = parse_request(line).unwrap() else {
             panic!("expected search");
@@ -483,6 +552,15 @@ mod tests {
         assert_eq!(sr.k, 10);
         assert_eq!(sr.nprobe, None);
         assert_eq!(sr.model, None);
+        assert_eq!(sr.precision, None);
+
+        // An explicit precision override parses.
+        let line = r#"{"cmd": "search", "id": 11, "precision": "int8",
+                       "columns": ["a"], "rows": [["1"]]}"#;
+        let WireRequest::Search(sr) = parse_request(line).unwrap() else {
+            panic!("expected search");
+        };
+        assert_eq!(sr.precision, Some(QuantSpec::Int8));
 
         let e = parse_request(
             r#"{"cmd": "search", "id": 7, "k": "lots", "columns": ["a"], "rows": [["1"]]}"#,

@@ -13,7 +13,9 @@
 //! `BadModelChoice` must come back through the response channel, never as
 //! a panic.
 
-use ntr::{build_model, EncodeError, EncodeRequest, ModelKind, Pipeline, TableEncoding};
+use ntr::{
+    build_encoder, EncodeError, EncodeRequest, EncoderSpec, ModelKind, Pipeline, TableEncoding,
+};
 use ntr_models::ModelConfig;
 use ntr_serve::{EmbeddingService, ServeConfig, ServeRequest};
 use ntr_table::{LinearizerOptions, Table};
@@ -68,18 +70,24 @@ fn bits(enc: &TableEncoding) -> Vec<u32> {
 fn sequential(
     p: &Pipeline,
     cfg: &ModelConfig,
-    reqs: &[(ModelKind, Table, String)],
+    reqs: &[(EncoderSpec, Table, String)],
 ) -> Vec<Vec<u32>> {
     reqs.iter()
-        .map(|(kind, t, ctx)| {
-            let mut model = build_model(*kind, cfg);
+        .map(|(spec, t, ctx)| {
+            let mut model = build_encoder(*spec, cfg).unwrap();
             bits(&p.encode(model.as_mut(), t, ctx))
         })
         .collect()
 }
 
-fn kind_for(i: u64) -> ModelKind {
-    ModelKind::ALL[(i as usize) % ModelKind::ALL.len()]
+/// Cycles through every family at f32, plus the student at int8 — the
+/// one quantized spec the registry serves.
+fn spec_for(i: u64) -> EncoderSpec {
+    let n = ModelKind::ALL.len();
+    match (i as usize) % (n + 1) {
+        j if j < n => EncoderSpec::f32(ModelKind::ALL[j]),
+        _ => EncoderSpec::int8(ModelKind::RowStudent),
+    }
 }
 
 proptest! {
@@ -96,10 +104,10 @@ proptest! {
     ) {
         let p = pipeline();
         let cfg = tiny_cfg(&p);
-        let reqs: Vec<(ModelKind, Table, String)> = (0..batch as u64)
+        let reqs: Vec<(EncoderSpec, Table, String)> = (0..batch as u64)
             .map(|i| {
                 (
-                    ModelKind::Bert,
+                    EncoderSpec::f32(ModelKind::Bert),
                     table(seed + i, n_rows, n_cols),
                     format!("q {i}"),
                 )
@@ -107,7 +115,7 @@ proptest! {
             .collect();
         let expected = sequential(&p, &cfg, &reqs);
 
-        let mut model = build_model(ModelKind::Bert, &cfg);
+        let mut model = build_encoder(EncoderSpec::f32(ModelKind::Bert), &cfg).unwrap();
         let batch_reqs: Vec<EncodeRequest> = reqs
             .iter()
             .map(|(_, t, ctx)| EncodeRequest { table: t.clone(), context: ctx.clone() })
@@ -135,8 +143,8 @@ proptest! {
         let max_batch = [1usize, 3, 8][max_batch_pick];
         let p = pipeline();
         let cfg = tiny_cfg(&p);
-        let reqs: Vec<(ModelKind, Table, String)> = (0..batch as u64)
-            .map(|i| (kind_for(i), table(seed + i, n_rows, n_cols), format!("q {i}")))
+        let reqs: Vec<(EncoderSpec, Table, String)> = (0..batch as u64)
+            .map(|i| (spec_for(i), table(seed + i, n_rows, n_cols), format!("q {i}")))
             .collect();
         let expected = sequential(&p, &cfg, &reqs);
 
@@ -159,8 +167,8 @@ proptest! {
         // actually coalesce into multi-request batches.
         let rxs: Vec<_> = reqs
             .iter()
-            .map(|(kind, t, ctx)| {
-                handle.submit(ServeRequest::new(*kind, t.clone(), ctx.clone()))
+            .map(|(spec, t, ctx)| {
+                handle.submit(ServeRequest::with_spec(*spec, t.clone(), ctx.clone()))
             })
             .collect();
         for (rx, e) in rxs.into_iter().zip(&expected) {
@@ -285,7 +293,8 @@ fn errors_are_typed_and_isolated() {
 #[test]
 fn encode_batch_rejects_undersized_model() {
     let p = pipeline();
-    let mut small = build_model(ModelKind::Bert, &ModelConfig::tiny(8));
+    let mut small =
+        build_encoder(EncoderSpec::f32(ModelKind::Bert), &ModelConfig::tiny(8)).unwrap();
     let req = EncodeRequest {
         table: table(0, 2, 2),
         context: String::new(),

@@ -4,7 +4,7 @@
 
 use ntr::corpus::{CorpusConfig, TableCorpus, World, WorldConfig};
 use ntr::table::{LinearizerOptions, Table};
-use ntr::{build_model, ModelKind, Pipeline};
+use ntr::{build_encoder, EncoderSpec, ModelKind, Pipeline};
 use ntr_serve::json::{self, Json};
 use ntr_serve::{IvfConfig, IvfIndex, SearchIndex, ServeConfig, Server, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -45,7 +45,7 @@ fn start_with_index(n_tables: usize) -> Fixture {
         .expect("vocab");
     let model_cfg = ntr_models::ModelConfig::tiny(pipeline.tokenizer().vocab_size());
 
-    let mut model = build_model(ModelKind::Bert, &model_cfg);
+    let mut model = build_encoder(EncoderSpec::f32(ModelKind::Bert), &model_cfg).expect("f32 spec");
     let mut store = ntr_serve::EmbeddingStore::new(model_cfg.d_model);
     for t in &corpus.tables {
         let enc = pipeline.encode(model.as_mut(), t, "");

@@ -5,7 +5,9 @@
 //!
 //! * [`pretrain`] — the hands-on §3.3: MLM pretraining for any encoder,
 //!   joint MLM + masked-entity-recovery for TURL, and neural-SQL-executor
-//!   pretraining for TAPEX;
+//!   pretraining for TAPEX — all behind one [`Objective`] dispatch;
+//! * [`distill`] — teacher–student distillation of a frozen encoder into
+//!   the per-row student that serves at int8 (DESIGN.md §13);
 //! * [`imputation`] — the hands-on §3.4: fine-tune for data imputation,
 //!   evaluate accuracy/F1 with failure slices (numeric / headerless);
 //! * [`qa`] — TAPAS-style cell-selection question answering;
@@ -25,6 +27,7 @@
 
 pub mod aggqa;
 pub mod cta;
+pub mod distill;
 pub mod imputation;
 pub mod linking;
 pub mod metrics;
@@ -38,5 +41,6 @@ pub mod text2sql;
 pub mod trainer;
 pub mod visualize;
 
-pub use pretrain::TrainRun;
+pub use distill::{DistillReport, DistillRun};
+pub use pretrain::{Objective, RunReport, TrainRun};
 pub use trainer::TrainConfig;

@@ -53,6 +53,7 @@ pub mod io;
 pub mod naive;
 mod ops;
 pub mod par;
+pub mod quant;
 mod reduce;
 pub mod simd;
 mod tensor;

@@ -1,0 +1,511 @@
+//! Int8 symmetric per-row quantization for inference.
+//!
+//! The student serving path (DESIGN.md §13) trades a bounded amount of
+//! precision for integer arithmetic: each *row* of an activation matrix
+//! (and each *output column* of a weight matrix) is scaled by its own
+//! `max|x| / 127` factor and rounded to `i8`; the matmul then runs on
+//! `i8 × i8 → i32` integer dot products and converts back to `f32` once
+//! per output element via `scale_row × scale_col`.
+//!
+//! # Determinism class
+//!
+//! Unlike the f32 GEMM (tolerance-bounded under FMA/reassociation, see
+//! `simd`), the quantized matmul is **integer-exact**: addition of `i32`
+//! partial products is associative, so the SIMD lane, the scalar lane,
+//! and every thread count produce the *same bits*. Goldens may pin the
+//! int8 path directly without `force_scalar`.
+//!
+//! # Edge cases (pinned by tests)
+//!
+//! * An all-zero row (or one with no finite element) gets `scale = 0`
+//!   and quantizes to all-zero; dequantization maps it back to exact
+//!   zeros rather than dividing by zero.
+//! * Non-finite inputs saturate: `NaN → 0`, `+Inf → 127`, `-Inf → -127`
+//!   (the scale is computed over *finite* elements only, so one bad cell
+//!   cannot zero out the information in the rest of the row).
+//! * Quantized values are clamped to `[-127, 127]` — `-128` is never
+//!   produced, keeping the code symmetric and the `i16` widening in the
+//!   AVX2 lane overflow-free.
+
+use crate::tensor::Tensor;
+
+/// Largest representable magnitude after quantization.
+pub const QMAX: f32 = 127.0;
+
+/// A row-major `i8` matrix with one symmetric scale per row.
+///
+/// `value[r][c] ≈ data[r * cols + c] as f32 * scales[r]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    /// Row-major quantized values, `rows * cols` of them.
+    pub data: Vec<i8>,
+    /// Per-row dequantization scales (`0.0` for all-zero rows).
+    pub scales: Vec<f32>,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+/// `max|finite x|` over a row: the quantity both the scale and the
+/// quantization step derive from (`0.0` for an empty/all-non-finite row).
+/// Branch-free select on `is_finite` so the scan auto-vectorizes.
+#[inline]
+fn row_absmax(row: &[f32]) -> f32 {
+    // Eight independent accumulators so the reduction vectorizes (a
+    // single running `max` is a loop-carried dependence the compiler
+    // won't reassociate). `max` over a set is order-independent, and the
+    // select has already replaced non-finite elements with 0.0, so the
+    // result is value-exact on every lane.
+    let mut lanes = [0.0f32; 8];
+    let mut chunks = row.chunks_exact(8);
+    for c in chunks.by_ref() {
+        for (m, &v) in lanes.iter_mut().zip(c) {
+            let a = if v.is_finite() { v.abs() } else { 0.0 };
+            *m = m.max(a);
+        }
+    }
+    let mut max = lanes.iter().fold(0.0f32, |x, &y| x.max(y));
+    for &v in chunks.remainder() {
+        let a = if v.is_finite() { v.abs() } else { 0.0 };
+        max = max.max(a);
+    }
+    max
+}
+
+/// The symmetric scale for one row: `max|finite x| / 127`, or `0.0` when
+/// the row is empty, all-zero, or has no finite element.
+pub fn row_scale(row: &[f32]) -> f32 {
+    let max = row_absmax(row);
+    if max == 0.0 {
+        0.0
+    } else {
+        max / QMAX
+    }
+}
+
+/// Quantizes one row into `out` given its absmax, returning the
+/// dequantization scale. The quantization step multiplies by the
+/// reciprocal step (`127 / max`) rather than dividing per element — one
+/// division per row, and the branch-free body auto-vectorizes.
+#[inline]
+fn quantize_row_into(on: bool, row: &[f32], max: f32, out: &mut [i8]) -> f32 {
+    if max == 0.0 {
+        out.fill(0);
+        return 0.0;
+    }
+    let inv = QMAX / max;
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        // Bit-identical to the scalar loop below (see the kernel's doc
+        // comment), so the lane-exactness claim survives the routing.
+        unsafe { avx::quantize_row(row, inv, out) };
+        return max / QMAX;
+    }
+    let _ = on;
+    for (slot, &v) in out.iter_mut().zip(row) {
+        // NaN survives rounding and clamp() and then casts to 0; ±Inf
+        // clamp to ±127 (the clamp keeps -128 out). Ties round to even —
+        // the hardware rounding direction — matching the AVX lane's
+        // `cvtps` exactly.
+        *slot = (v * inv).round_ties_even().clamp(-QMAX, QMAX) as i8;
+    }
+    max / QMAX
+}
+
+/// Quantizes a 2-D tensor row by row.
+pub fn quantize_rows(x: &Tensor) -> QuantizedMatrix {
+    assert_eq!(x.ndim(), 2, "quantize_rows wants [rows, cols]");
+    let (rows, cols) = (x.dim(0), x.dim(1));
+    let mut data = vec![0i8; rows * cols];
+    let mut scales = Vec::with_capacity(rows);
+    let on = crate::simd::active();
+    for (r, out) in data.chunks_mut(cols.max(1)).enumerate().take(rows) {
+        let row = x.row(r);
+        scales.push(quantize_row_into(on, row, row_absmax(row), out));
+    }
+    QuantizedMatrix {
+        data,
+        scales,
+        rows,
+        cols,
+    }
+}
+
+/// Quantizes a weight matrix `w: [d_in, d_out]` per *output column*,
+/// storing it transposed (`rows = d_out`, `cols = d_in`) so the matmul
+/// reads both operands sequentially.
+pub fn quantize_cols(w: &Tensor) -> QuantizedMatrix {
+    assert_eq!(w.ndim(), 2, "quantize_cols wants [d_in, d_out]");
+    let (d_in, d_out) = (w.dim(0), w.dim(1));
+    let wd = w.data();
+    let mut col = vec![0.0f32; d_in];
+    let mut data = vec![0i8; d_in * d_out];
+    let mut scales = Vec::with_capacity(d_out);
+    let on = crate::simd::active();
+    for (c, out) in data.chunks_mut(d_in.max(1)).enumerate().take(d_out) {
+        for (r, slot) in col.iter_mut().enumerate() {
+            *slot = wd[r * d_out + c];
+        }
+        scales.push(quantize_row_into(on, &col, row_absmax(&col), out));
+    }
+    QuantizedMatrix {
+        data,
+        scales,
+        rows: d_out,
+        cols: d_in,
+    }
+}
+
+impl QuantizedMatrix {
+    /// One quantized row.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Maps back to `f32` (lossy inverse of quantization; exact zeros for
+    /// `scale = 0` rows).
+    pub fn dequantize(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for &q in self.row(r) {
+                out.push(q as f32 * s);
+            }
+        }
+        Tensor::from_vec(out, &[self.rows, self.cols])
+    }
+}
+
+/// Integer dot product of two quantized rows; `on` routes to the AVX2
+/// lane exactly like the `simd` kernels (callers capture
+/// [`crate::simd::active()`] once). Both lanes are bit-identical — the
+/// accumulation is exact `i32` arithmetic either way.
+#[inline]
+pub fn dot_i8(on: bool, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if on {
+        return unsafe { avx::dot_i8(a, b) };
+    }
+    let _ = on;
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+/// Quantized matmul: activations `a` (`[n, k]`, per-row scales) times a
+/// per-column-quantized weight `bt` (stored transposed, `[m, k]`),
+/// yielding `f32` `[n, m]` with one scale multiply per output element.
+pub fn matmul_q8(on: bool, a: &QuantizedMatrix, bt: &QuantizedMatrix) -> Tensor {
+    assert_eq!(
+        a.cols, bt.cols,
+        "quantized matmul inner dims: a is [n,{}], w^t is [m,{}]",
+        a.cols, bt.cols
+    );
+    let (n, m) = (a.rows, bt.rows);
+    let mut out = vec![0.0f32; n * m];
+    // Partitioned over activation rows like the f32 GEMM; every output
+    // element is one exact i32 dot regardless of the partition, so the
+    // result is bit-identical for any thread count.
+    let threads = crate::grain::threads_for_units(
+        crate::grain::Work::Madds(n.saturating_mul(a.cols).saturating_mul(m)),
+        n,
+        1,
+    );
+    crate::par::for_chunks(&mut out, m.max(1), threads, |i0, chunk| {
+        for (i, orow) in chunk
+            .chunks_mut(m.max(1))
+            .enumerate()
+            .map(|(k, c)| (i0 + k, c))
+        {
+            let ar = a.row(i);
+            let asc = a.scales[i];
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            if on {
+                unsafe { avx::matmul_row(ar, asc, bt, orow) };
+                continue;
+            }
+            for (j, slot) in orow.iter_mut().enumerate() {
+                let acc = dot_i8(on, ar, bt.row(j));
+                *slot = acc as f32 * (asc * bt.scales[j]);
+            }
+        }
+    });
+    ntr_obs::quant::record_matmul(n as u64);
+    Tensor::from_vec(out, &[n, m])
+}
+
+/// Quantize-then-matmul convenience for one activation tensor against a
+/// pre-quantized weight: `x: [n, k]` × `wq` (from [`quantize_cols`]).
+pub fn matmul_quantized(on: bool, x: &Tensor, wq: &QuantizedMatrix) -> Tensor {
+    let xq = quantize_rows(x);
+    ntr_obs::quant::record_rows(xq.rows as u64);
+    matmul_q8(on, &xq, wq)
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    //! AVX2 lane: 16 `i8` at a time, widened to `i16` and multiply-added
+    //! pairwise into `i32` lanes (`_mm256_madd_epi16`). Products are
+    //! `≤ 127² = 16129`, so the pairwise `i16×i16+i16×i16 → i32` step
+    //! cannot overflow; the `i32` lane accumulator is exact for any
+    //! realistic `k` (overflow needs `k > 2²⁶`).
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        use core::arch::x86_64::*;
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 16 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(i) as *const __m128i);
+            let wa = _mm256_cvtepi8_epi16(va);
+            let wb = _mm256_cvtepi8_epi16(vb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+            i += 16;
+        }
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        let mut sum = _mm_cvtsi128_si32(s);
+        while i < n {
+            sum += *a.get_unchecked(i) as i32 * *b.get_unchecked(i) as i32;
+            i += 1;
+        }
+        sum
+    }
+
+    /// Quantizes one row: `out[i] = clamp(rte(row[i]·inv), ±127)` with
+    /// `NaN → 0`, bit-identical to the scalar loop in
+    /// `quantize_row_into`: `mulps` rounds like the scalar multiply,
+    /// `cvtps` rounds to nearest-even exactly like `round_ties_even`,
+    /// and clamping *before* the convert agrees with rounding before the
+    /// clamp because the ±127 bounds are exactly representable.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn quantize_row(row: &[f32], inv: f32, out: &mut [i8]) {
+        use core::arch::x86_64::*;
+        let n = row.len();
+        let vinv = _mm256_set1_ps(inv);
+        let lo = _mm256_set1_ps(-super::QMAX);
+        let hi = _mm256_set1_ps(super::QMAX);
+        let mut buf = [0i32; 8];
+        let mut i = 0;
+        while i + 8 <= n {
+            let t = _mm256_mul_ps(_mm256_loadu_ps(row.as_ptr().add(i)), vinv);
+            // NaN → 0 via the ordered-compare mask (±Inf is ordered and
+            // passes through), then the clamp saturates ±Inf to ±127.
+            let t = _mm256_and_ps(t, _mm256_cmp_ps(t, t, _CMP_ORD_Q));
+            let t = _mm256_max_ps(_mm256_min_ps(t, hi), lo);
+            _mm256_storeu_si256(buf.as_mut_ptr() as *mut __m256i, _mm256_cvtps_epi32(t));
+            for (slot, &q) in out.get_unchecked_mut(i..i + 8).iter_mut().zip(&buf) {
+                *slot = q as i8;
+            }
+            i += 8;
+        }
+        while i < n {
+            let v = *row.get_unchecked(i);
+            *out.get_unchecked_mut(i) =
+                (v * inv).round_ties_even().clamp(-super::QMAX, super::QMAX) as i8;
+            i += 1;
+        }
+    }
+
+    /// One output row of the quantized matmul: `orow[j] = (ar · bt[j]) ·
+    /// asc·scale[j]` for every output column `j`. Four columns per pass,
+    /// so the widened activation loads are shared and the horizontal
+    /// reduction is a single 4-way transpose-reduce per group instead of
+    /// one per dot — and the whole row runs inside one `target_feature`
+    /// call rather than one per output element. All-integer accumulation,
+    /// so still bit-identical to [`super::dot_i8`]'s scalar lane.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matmul_row(ar: &[i8], asc: f32, bt: &super::QuantizedMatrix, orow: &mut [f32]) {
+        use core::arch::x86_64::*;
+        let k = ar.len();
+        let m = bt.rows;
+        let mut j = 0;
+        while j + 4 <= m {
+            let b0 = bt.row(j).as_ptr();
+            let b1 = bt.row(j + 1).as_ptr();
+            let b2 = bt.row(j + 2).as_ptr();
+            let b3 = bt.row(j + 3).as_ptr();
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            let mut i = 0;
+            while i + 16 <= k {
+                let va =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(ar.as_ptr().add(i) as *const __m128i));
+                let w0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b0.add(i) as *const __m128i));
+                let w1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b1.add(i) as *const __m128i));
+                let w2 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b2.add(i) as *const __m128i));
+                let w3 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b3.add(i) as *const __m128i));
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, w0));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, w1));
+                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(va, w2));
+                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(va, w3));
+                i += 16;
+            }
+            // hadd twice interleaves the four accumulators' pair-sums,
+            // then folding the 128-bit lanes leaves [Σacc0, Σacc1, Σacc2,
+            // Σacc3] — integer adds throughout, so exact.
+            let s01 = _mm256_hadd_epi32(acc0, acc1);
+            let s23 = _mm256_hadd_epi32(acc2, acc3);
+            let s = _mm256_hadd_epi32(s01, s23);
+            let sums = _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256(s, 1));
+            let mut dots = [0i32; 4];
+            _mm_storeu_si128(dots.as_mut_ptr() as *mut __m128i, sums);
+            while i < k {
+                let a = *ar.get_unchecked(i) as i32;
+                dots[0] += a * *b0.add(i) as i32;
+                dots[1] += a * *b1.add(i) as i32;
+                dots[2] += a * *b2.add(i) as i32;
+                dots[3] += a * *b3.add(i) as i32;
+                i += 1;
+            }
+            for (t, &d) in dots.iter().enumerate() {
+                orow[j + t] = d as f32 * (asc * bt.scales[j + t]);
+            }
+            j += 4;
+        }
+        while j < m {
+            orow[j] = dot_i8(ar, bt.row(j)) as f32 * (asc * bt.scales[j]);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn all_zero_row_gets_scale_zero_and_round_trips_to_zero() {
+        let x = t(&[0.0, 0.0, 0.0, 1.0, -2.0, 3.0], &[2, 3]);
+        let q = quantize_rows(&x);
+        assert_eq!(q.scales[0], 0.0);
+        assert_eq!(&q.data[..3], &[0, 0, 0]);
+        let back = q.dequantize();
+        assert_eq!(&back.data()[..3], &[0.0, 0.0, 0.0]);
+        // The non-zero row keeps its extremes exactly.
+        assert_eq!(back.at(&[1, 2]), 3.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate_without_poisoning_the_scale() {
+        let x = t(&[f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 4.0], &[1, 4]);
+        let q = quantize_rows(&x);
+        // Scale comes from the finite 4.0 alone.
+        assert_eq!(q.scales[0], 4.0 / QMAX);
+        assert_eq!(q.data, vec![0, 127, -127, 127]);
+    }
+
+    #[test]
+    fn row_with_no_finite_elements_is_all_zero() {
+        let x = t(&[f32::NAN, f32::INFINITY], &[1, 2]);
+        let q = quantize_rows(&x);
+        assert_eq!(q.scales[0], 0.0);
+        assert_eq!(q.data, vec![0, 0]);
+    }
+
+    #[test]
+    fn clamp_is_symmetric_minus_128_never_appears() {
+        // -1.0 is the row max by magnitude, so it maps to exactly -127.
+        let x = t(&[-1.0, 0.999, 1.0], &[1, 3]);
+        let q = quantize_rows(&x);
+        assert!(q.data.iter().all(|&v| v >= -127));
+        assert_eq!(q.data[0], -127);
+        assert_eq!(q.data[2], 127);
+    }
+
+    #[test]
+    fn quantized_matmul_tracks_f32_within_tolerance() {
+        let x = Tensor::from_fn(&[5, 16], |i| ((i * 37 % 23) as f32 - 11.0) / 7.0);
+        let w = Tensor::from_fn(&[16, 8], |i| ((i * 17 % 19) as f32 - 9.0) / 5.0);
+        let exact = x.matmul(&w);
+        let approx = matmul_quantized(simd::active(), &x, &quantize_cols(&w));
+        for (e, a) in exact.data().iter().zip(approx.data()) {
+            // Per-element error bound: k * (sa/2) * (sb/2) + cross terms —
+            // generous 2% of the max magnitude here.
+            assert!(
+                (e - a).abs() <= 0.02 * 16.0,
+                "quantized {a} too far from exact {e}"
+            );
+        }
+    }
+
+    use crate::simd;
+
+    #[test]
+    fn simd_and_scalar_lanes_are_bit_identical() {
+        let x = Tensor::from_fn(&[7, 33], |i| ((i * 13 % 31) as f32 - 15.0) / 3.0);
+        let w = Tensor::from_fn(&[33, 9], |i| ((i * 29 % 17) as f32 - 8.0) / 4.0);
+        let wq = quantize_cols(&w);
+        let fast = matmul_quantized(simd::active(), &x, &wq);
+        let slow = simd::force_scalar(|| matmul_quantized(simd::active(), &x, &wq));
+        assert_eq!(
+            fast.data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>(),
+            slow.data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>(),
+            "int8 matmul must be integer-exact across lanes"
+        );
+    }
+
+    #[test]
+    fn quantize_lanes_are_bit_identical() {
+        // 103 elements exercises both the 8-wide body and the tail; the
+        // planted max of 127.0 makes `inv = 1.0`, so the 2.5/3.5/-2.5
+        // entries hit exact ties (nearest-even: 2, 4, -2) in both lanes.
+        let mut vals: Vec<f32> = (0..103)
+            .map(|i| ((i * 29 % 41) as f32 - 20.0) / 3.0)
+            .collect();
+        vals[3] = f32::NAN;
+        vals[17] = f32::INFINITY;
+        vals[31] = f32::NEG_INFINITY;
+        vals[40] = 127.0;
+        vals[41] = 2.5;
+        vals[42] = 3.5;
+        vals[43] = -2.5;
+        let x = Tensor::from_vec(vals, &[1, 103]);
+        let fast = quantize_rows(&x);
+        let slow = simd::force_scalar(|| quantize_rows(&x));
+        assert_eq!(fast, slow, "quantization must be lane-exact");
+        assert_eq!(fast.data[41], 2, "ties must round to even");
+        assert_eq!(fast.data[42], 4, "ties must round to even");
+        assert_eq!(fast.data[43], -2, "ties must round to even");
+    }
+
+    #[test]
+    fn dot_i8_handles_every_tail_length() {
+        for n in 0..40usize {
+            let a: Vec<i8> = (0..n).map(|i| (i as i32 % 255 - 127) as i8).collect();
+            let b: Vec<i8> = (0..n).map(|i| ((i * 7) as i32 % 255 - 127) as i8).collect();
+            let reference: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8(simd::active(), &a, &b), reference, "n={n}");
+            assert_eq!(dot_i8(false, &a, &b), reference, "n={n} scalar");
+        }
+    }
+
+    #[test]
+    fn extreme_magnitude_dot_does_not_overflow() {
+        // 4096 × (-127 × 127) = -66 064 384, far inside i32.
+        let a = vec![127i8; 4096];
+        let b = vec![-127i8; 4096];
+        assert_eq!(dot_i8(simd::active(), &a, &b), 4096 * -127 * 127);
+    }
+}

@@ -1,0 +1,144 @@
+//! Int8 quantization equivalence + edge cases over proptest shapes.
+//!
+//! Contracts (DESIGN.md §13):
+//!
+//! * **Integer-exact class** — the quantized matmul must be
+//!   *bit-identical* between the SIMD lane and the scalar lane (and hence
+//!   across thread counts): its accumulation is associative `i32` math,
+//!   a stronger guarantee than the f32 GEMM's tolerance class.
+//! * **Bounded error vs f32** — for finite inputs, each output element of
+//!   the quantized matmul stays within the analytic rounding bound
+//!   `k/4 * (sa*|w|max + sb*|x|max + sa*sb/?)` — conservatively
+//!   `0.5 * k * (sa * sb) * 127` — of the exact f32 product.
+//! * **Edge cases** — all-zero rows (scale 0), NaN/±Inf payloads, and the
+//!   symmetric `[-127, 127]` clamp never panic and never produce `-128`.
+
+use ntr_tensor::quant::{matmul_q8, quantize_cols, quantize_rows, row_scale, QMAX};
+use ntr_tensor::{simd, Tensor};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..12, 1usize..40, 1usize..12)
+}
+
+/// Finite payload with a wide dynamic range.
+fn finite(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-50.0f32..50.0, n)
+}
+
+/// Payload where some elements may be NaN or ±Inf.
+fn hostile(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        (0u8..11, -50.0f32..50.0).prop_map(|(k, v)| match k {
+            8 => f32::NAN,
+            9 => f32::INFINITY,
+            10 => f32::NEG_INFINITY,
+            _ => v,
+        }),
+        n,
+    )
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SIMD lane == scalar lane, bit for bit, for any shape and any
+    /// payload including non-finite values.
+    #[test]
+    fn lanes_bit_identical_over_shapes(
+        (n, k, m) in dims(),
+        seed in 0u64..1000,
+    ) {
+        let x = Tensor::from_fn(&[n, k], |i| {
+            let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(seed);
+            ((h >> 40) as f32 / 1000.0) - 8.0
+        });
+        let w = Tensor::from_fn(&[k, m], |i| {
+            let h = (i as u64).wrapping_mul(0xBF58476D1CE4E5B9).wrapping_add(seed ^ 7);
+            ((h >> 40) as f32 / 2000.0) - 4.0
+        });
+        let xq = quantize_rows(&x);
+        let wq = quantize_cols(&w);
+        let fast = matmul_q8(simd::active(), &xq, &wq);
+        let slow = simd::force_scalar(|| matmul_q8(simd::active(), &xq, &wq));
+        prop_assert_eq!(bits(&fast), bits(&slow));
+    }
+
+    /// For finite inputs the int8 result stays within the documented
+    /// rounding bound of the exact f32 matmul.
+    #[test]
+    fn int8_tracks_f32_within_documented_tolerance(
+        (n, k, m) in dims(),
+        x in (1usize..12, 1usize..40).prop_flat_map(|(n, k)| finite(n * k)),
+    ) {
+        // Reuse `x` entropy for both operands at the sampled dims.
+        let need_x = n * k;
+        let need_w = k * m;
+        let xv: Vec<f32> = x.iter().cycle().take(need_x).copied().collect();
+        let wv: Vec<f32> = x.iter().rev().cycle().take(need_w).copied().collect();
+        let xt = Tensor::from_vec(xv, &[n, k]);
+        let wt = Tensor::from_vec(wv, &[k, m]);
+        let xq = quantize_rows(&xt);
+        let wq = quantize_cols(&wt);
+        let approx = matmul_q8(simd::active(), &xq, &wq);
+        let exact = xt.matmul(&wt);
+        for i in 0..n {
+            for j in 0..m {
+                let e = exact.at(&[i, j]);
+                let a = approx.at(&[i, j]);
+                // Each factor's rounding error is ≤ scale/2; cross terms
+                // bound the per-element error by
+                //   k * (sa/2 * 127*sb + sb/2 * 127*sa + sa/2 * sb/2).
+                let sa = xq.scales[i];
+                let sb = wq.scales[j];
+                let bound = k as f32 * (sa * sb) * (QMAX + 0.25) + 1e-4;
+                prop_assert!(
+                    (e - a).abs() <= bound,
+                    "({i},{j}): exact {e} vs int8 {a}, bound {bound}"
+                );
+            }
+        }
+    }
+
+    /// Hostile payloads never panic, never produce -128, and keep scale-0
+    /// rows exactly zero end to end.
+    #[test]
+    fn hostile_payloads_quantize_safely(
+        (n, k) in (1usize..10, 1usize..30),
+        data in (1usize..10, 1usize..30).prop_flat_map(|(n, k)| hostile(n * k)),
+    ) {
+        let v: Vec<f32> = data.iter().cycle().take(n * k).copied().collect();
+        let t = Tensor::from_vec(v, &[n, k]);
+        let q = quantize_rows(&t);
+        prop_assert!(q.data.iter().all(|&b| (-127..=127).contains(&b)));
+        for r in 0..n {
+            if q.scales[r] == 0.0 {
+                prop_assert!(q.row(r).iter().all(|&b| b == 0));
+                prop_assert!(q.dequantize().row(r).iter().all(|&f| f == 0.0));
+            }
+        }
+        // A matmul against itself transposed must stay finite: the i8
+        // domain has no NaN/Inf left to propagate.
+        let out = matmul_q8(simd::active(), &q, &q);
+        prop_assert!(out.data().iter().all(|f| f.is_finite()));
+    }
+
+    /// row_scale ignores non-finite values and is exact on the max.
+    #[test]
+    fn row_scale_comes_from_finite_max(v in finite(17), hole in 0usize..17) {
+        let mut v = v;
+        let expect = {
+            let mut m = 0.0f32;
+            for (i, x) in v.iter().enumerate() {
+                if i != hole { m = m.max(x.abs()); }
+            }
+            m
+        };
+        v[hole] = f32::NAN;
+        prop_assert_eq!(row_scale(&v), if expect == 0.0 { 0.0 } else { expect / QMAX });
+    }
+}

@@ -12,7 +12,7 @@ use ntr::table::{
     ColumnMajorLinearizer, Linearizer, LinearizerOptions, RowMajorLinearizer, Table,
     TapexLinearizer, TemplateLinearizer, TurlLinearizer,
 };
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 use std::path::Path;
 
 fn main() {
@@ -71,7 +71,7 @@ fn main() {
     println!("\nEncoding with each model family:");
     let cfg = pipeline.default_config();
     for kind in ModelKind::ALL {
-        let mut model = build_model(kind, &cfg);
+        let mut model = build_encoder(EncoderSpec::f32(kind), &cfg).expect("f32 spec");
         let enc = pipeline.encode(model.as_mut(), &table, &table.caption);
         let cls = enc.table_embedding();
         let paris = enc.cell_embedding(0, 1).expect("Paris cell encoded");

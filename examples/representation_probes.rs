@@ -12,7 +12,7 @@ use ntr::models::{EncoderInput, ModelConfig, SequenceEncoder, Turl};
 use ntr::table::{Linearizer, LinearizerOptions, TurlLinearizer};
 use ntr::tasks::probes::consistency;
 use ntr::tasks::visualize::{attention_heatmap, cell_similarity_grid, top_attended};
-use ntr::zoo::{build_model, ModelKind};
+use ntr::zoo::{build_encoder, EncoderSpec, ModelKind};
 
 fn main() {
     let world = World::generate(WorldConfig::default());
@@ -48,7 +48,7 @@ fn main() {
     );
     println!("{:<7} | row-perm ↑ | col-perm ↑ | header-strip ↓", "model");
     for kind in ModelKind::ALL {
-        let mut model = build_model(kind, &cfg);
+        let mut model = build_encoder(EncoderSpec::f32(kind), &cfg).expect("f32 spec");
         let r = consistency(model.as_mut(), &corpus, &tok, &opts, 62);
         println!(
             "{:<7} |   {:+.3}   |   {:+.3}   |   {:+.3}",

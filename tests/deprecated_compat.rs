@@ -222,3 +222,44 @@ fn encode_wrapper_matches_try_encode() {
         "encode must stay a thin wrapper over the validating path"
     );
 }
+
+/// The deprecated encoder-construction surface must stay pure delegates
+/// to the `EncoderSpec` path: `build_model(kind, cfg)` constructs the
+/// same bits as `build_encoder(EncoderSpec::f32(kind), cfg)`, and
+/// `ModelKind::parse` agrees with the one `FromStr` impl on every
+/// registry name (and on garbage).
+#[test]
+fn encoder_spec_delegates_are_bit_exact() {
+    use ntr::{build_encoder, EncoderSpec, ModelKind};
+    let mcfg = ModelConfig {
+        vocab_size: 300,
+        ..ModelConfig::tiny(300)
+    };
+    let f = fixture();
+    let p = ntr::Pipeline::builder()
+        .vocab_from_tables(&f.corpus.tables)
+        .vocab_size(300)
+        .build()
+        .expect("vocab is non-empty");
+    let mcfg = ModelConfig {
+        vocab_size: p.tokenizer().vocab_size(),
+        ..mcfg
+    };
+    let t = &f.corpus.tables[0];
+    for kind in ModelKind::ALL {
+        let mut old = ntr::build_model(kind, &mcfg);
+        let mut new =
+            build_encoder(EncoderSpec::f32(kind), &mcfg).expect("f32 is valid for every family");
+        let a = p.encode(old.as_mut(), t, "ctx");
+        let b = p.encode(new.as_mut(), t, "ctx");
+        assert_eq!(
+            bits(a.states.data()),
+            bits(b.states.data()),
+            "{kind}: build_model must delegate to build_encoder"
+        );
+        assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+        assert_eq!(kind.name().parse::<ModelKind>().ok(), Some(kind));
+    }
+    assert_eq!(ModelKind::parse("no-such-model"), None);
+    assert!("no-such-model".parse::<ModelKind>().is_err());
+}

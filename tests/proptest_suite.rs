@@ -187,3 +187,35 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Model registry: the one name parser shared by CLI, wire, and META
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn model_names_round_trip_and_strangers_are_rejected(s in "[a-z0-9-]{0,16}") {
+        use ntr::zoo::{EncoderSpec, ModelKind, QuantSpec};
+        // Display -> FromStr is the identity on every registry kind…
+        for kind in ModelKind::ALL {
+            prop_assert_eq!(kind.to_string().parse::<ModelKind>(), Ok(kind));
+        }
+        for q in QuantSpec::ALL {
+            prop_assert_eq!(q.to_string().parse::<QuantSpec>(), Ok(q));
+        }
+        // …and an arbitrary string parses iff it IS a registry name, with
+        // the full menu in the error message otherwise.
+        match s.parse::<ModelKind>() {
+            Ok(kind) => prop_assert_eq!(kind.to_string(), s.clone()),
+            Err(msg) => {
+                prop_assert!(ModelKind::ALL.iter().all(|k| k.name() != s));
+                for k in ModelKind::ALL {
+                    prop_assert!(msg.contains(k.name()), "{}", msg);
+                }
+            }
+        }
+        // EncoderSpec's display embeds both round-trippable names.
+        let spec = EncoderSpec::int8(ModelKind::RowStudent);
+        prop_assert_eq!(spec.to_string(), "row-student@int8");
+    }
+}
